@@ -1,0 +1,220 @@
+//! Error-free elapsed times — the formulas of §2.1.3.
+//!
+//! The crucial structural fact (Figure 3): in stop-and-wait mode "the
+//! two processors are never active in parallel", while blast and sliding
+//! window overlap the sender's copy-in with the receiver's copy-out.
+//! Since the copies dominate (75 % of a 1 KB exchange, Table 2), the
+//! overlap roughly halves the elapsed time — the paper's headline
+//! result, visible by comparing [`ErrorFree::saw`] with
+//! [`ErrorFree::blast`] at any size.
+
+use crate::cost::CostModel;
+
+/// Closed-form error-free elapsed times for `N`-packet transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorFree {
+    model: CostModel,
+}
+
+impl ErrorFree {
+    /// Build from a cost model.
+    pub fn new(model: CostModel) -> Self {
+        ErrorFree { model }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Stop-and-wait: `T_SAW = N × (2C + T + 2Ca + Ta + 2τ)`
+    /// (Figure 3.a).  Nothing overlaps; each packet pays the full
+    /// round-trip of copies.
+    pub fn saw(&self, n: u64) -> f64 {
+        n as f64 * self.model.t0_exchange()
+    }
+
+    /// Sliding window: `T_SW = N × (C + Ca + T) + C + Ta + 2τ`
+    /// (Figure 3.c).  Copies overlap across machines, but each packet
+    /// adds an acknowledgement copy `Ca` on the sender's critical path.
+    pub fn sliding_window(&self, n: u64) -> f64 {
+        let m = &self.model;
+        n as f64 * (m.c_data + m.c_ack + m.t_data) + m.c_data + m.t_ack + 2.0 * m.tau
+    }
+
+    /// Blast: `T_B = N × (C + T) + C + 2Ca + Ta + 2τ` (Figure 3.b).
+    /// One ack for the whole sequence; the steady-state cost per packet
+    /// is just `C + T`.
+    pub fn blast(&self, n: u64) -> f64 {
+        self.model.blast_send_time(n) + self.model.reply_tail()
+    }
+
+    /// Blast over a double-buffered interface (Figure 3.d):
+    ///
+    /// * `T ≤ C`: `T_dbl = N×C + T + C + 2Ca + Ta + 2τ` — copy-bound;
+    /// * `T > C`: `T_dbl = N×T + 2C + 2Ca + Ta + 2τ` — wire-bound.
+    ///
+    /// §2.1.3 notes a third buffer buys nothing because `C` and `T` are
+    /// constant — pipeline theory's "two stages need two buffers".
+    pub fn double_buffered(&self, n: u64) -> f64 {
+        let m = &self.model;
+        let tail = 2.0 * m.c_ack + m.t_ack + 2.0 * m.tau;
+        if m.t_data <= m.c_data {
+            n as f64 * m.c_data + m.t_data + m.c_data + tail
+        } else {
+            n as f64 * m.t_data + 2.0 * m.c_data + tail
+        }
+    }
+
+    /// Network utilization of a blast transfer (§2.1.3):
+    /// `u_n = (N·T + Ta) / (N·T + Ta + N·C + C + 2Ca)`.
+    ///
+    /// 38 % for the 64 KB transfer of Table 2 — even the best protocol
+    /// leaves the wire idle most of the time, because the processors
+    /// cannot feed it faster.
+    pub fn utilization(&self, n: u64) -> f64 {
+        let m = &self.model;
+        let wire = n as f64 * m.t_data + m.t_ack;
+        wire / (wire + n as f64 * m.c_data + m.c_data + 2.0 * m.c_ack + 2.0 * m.tau)
+    }
+
+    /// Utilization of a double-buffered blast: the wire time over
+    /// [`double_buffered`](Self::double_buffered).
+    pub fn utilization_double_buffered(&self, n: u64) -> f64 {
+        let wire = n as f64 * self.model.t_data + self.model.t_ack;
+        wire / self.double_buffered(n)
+    }
+
+    /// The §2.1 introduction's naive stop-and-wait estimate:
+    /// `N (T + Ta + 2τ)` — wire arithmetic only.
+    pub fn naive_saw(&self, n: u64) -> f64 {
+        let m = &self.model;
+        n as f64 * (m.t_data + m.t_ack + 2.0 * m.tau)
+    }
+
+    /// The naive sliding-window estimate: `N (T + Ta) + 2τ` — every ack
+    /// still occupies the (shared) ether, but pipelining hides latency.
+    pub fn naive_sliding_window(&self, n: u64) -> f64 {
+        let m = &self.model;
+        n as f64 * (m.t_data + m.t_ack) + 2.0 * m.tau
+    }
+
+    /// The naive blast estimate: `N·T + Ta + 2τ`.
+    pub fn naive_blast(&self, n: u64) -> f64 {
+        let m = &self.model;
+        n as f64 * m.t_data + m.t_ack + 2.0 * m.tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn standalone() -> ErrorFree {
+        ErrorFree::new(CostModel::standalone_sun())
+    }
+
+    #[test]
+    fn intro_naive_estimates_match_paper_microseconds() {
+        // §2.1: 57 024 / 55 764 / 52 551 µs for a 64 KB transfer.
+        let ef = ErrorFree::new(CostModel::wire_only());
+        assert!((ef.naive_saw(64) * 1000.0 - 57_024.0).abs() < 0.5);
+        assert!((ef.naive_sliding_window(64) * 1000.0 - 55_764.0).abs() < 0.5);
+        assert!((ef.naive_blast(64) * 1000.0 - 52_551.0).abs() < 0.5);
+        // "None of these results differ from each other by more than 10
+        // percent."
+        let worst = ef.naive_saw(64) / ef.naive_blast(64);
+        assert!(worst < 1.10);
+    }
+
+    #[test]
+    fn one_packet_exchange_matches_table_2() {
+        // Table 2's modelled total for 1 KB: 3.91 ms (observed 4.08).
+        let ef = standalone();
+        assert!((ef.saw(1) - 3.91).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixty_four_kb_ordering_and_factor() {
+        let ef = standalone();
+        let (saw, sw, b) = (ef.saw(64), ef.sliding_window(64), ef.blast(64));
+        // T_SAW = 64 × 3.91 = 250.24; T_SW = 64×2.34 + 1.40 = 151.16;
+        // T_B = 64×2.17 + 1.74 = 140.62.
+        assert!((saw - 250.24).abs() < 1e-9);
+        assert!((sw - 151.16).abs() < 1e-9);
+        assert!((b - 140.62).abs() < 1e-9);
+        // "the stop-and-wait protocol takes about twice as much time as
+        // either the sliding window or the blast protocol"
+        assert!(saw / b > 1.7 && saw / b < 2.0);
+        assert!(saw / sw > 1.6);
+        // "Sliding window protocols are slightly inferior to blast".
+        assert!(sw > b && sw / b < 1.1);
+    }
+
+    #[test]
+    fn double_buffering_beats_single_and_third_buffer_would_not_help() {
+        let ef = standalone();
+        // With one packet there is nothing to pipeline: identical times.
+        assert!((ef.double_buffered(1) - ef.blast(1)).abs() < 1e-12);
+        for n in [2u64, 4, 16, 64, 256] {
+            assert!(ef.double_buffered(n) < ef.blast(n), "N={n}");
+        }
+        // Copy-bound on this hardware (T < C): slope per packet is C.
+        let slope = ef.double_buffered(65) - ef.double_buffered(64);
+        assert!((slope - 1.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_buffered_wire_bound_branch() {
+        // A hypothetical fast processor: C < T → slope is T.
+        let fast = ErrorFree::new(CostModel { c_data: 0.3, ..CostModel::standalone_sun() });
+        let slope = fast.double_buffered(65) - fast.double_buffered(64);
+        assert!((slope - 0.82).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_matches_paper_38_percent() {
+        // §2.1.3: "for the 64 kilobyte transfer … the network
+        // utilization is only 38 percent".  The formula's exact value is
+        // 52.53/140.62 = 0.3736; the paper rounds up to "38 percent".
+        let ef = standalone();
+        let u = ef.utilization(64);
+        assert!((u - 0.3736).abs() < 0.001, "u = {u}");
+        // Double buffering improves it but still far from 100 %.
+        let ud = ef.utilization_double_buffered(64);
+        assert!(ud > u && ud < 0.7, "ud = {ud}");
+    }
+
+    #[test]
+    fn utilization_is_monotone_and_bounded() {
+        let ef = standalone();
+        let mut prev = 0.0;
+        for n in [1u64, 2, 4, 8, 16, 64, 1024] {
+            let u = ef.utilization(n);
+            assert!(u > prev && u < 1.0);
+            prev = u;
+        }
+        // Asymptote: T / (T + C) = 0.82/2.17 ≈ 0.378.
+        assert!((ef.utilization(1_000_000) - 0.82 / 2.17).abs() < 1e-3);
+    }
+
+    #[test]
+    fn vkernel_matches_table_3() {
+        // To(1) ≈ 5.9 ms, To(64) ≈ 173 ms (§3.1.3's parameters).
+        // Exactly: To(1) = 5.87, To(64) = 64×2.65 + 3.22 = 172.82.
+        let ef = ErrorFree::new(CostModel::vkernel_sun());
+        assert!((ef.saw(1) - 5.87).abs() < 0.01);
+        assert!((ef.blast(64) - 172.82).abs() < 0.01);
+    }
+
+    #[test]
+    fn protocols_coincide_for_single_packet() {
+        // With one packet there is nothing to overlap: SAW == SW == B.
+        let ef = standalone();
+        assert!((ef.saw(1) - ef.blast(1)).abs() < 1e-9);
+        let sw_gap = ef.sliding_window(1) - ef.blast(1);
+        // SW counts one Ca on the sender path that blast's formula
+        // counts in the tail — identical totals.
+        assert!(sw_gap.abs() < 1e-9 + 0.17 + 1e-9);
+    }
+}

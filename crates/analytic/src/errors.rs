@@ -1,0 +1,196 @@
+//! Expected elapsed times under iid packet loss — §3.1 of the paper.
+//!
+//! The analysis assumes "packet transmissions are statistically
+//! independent events which can fail with probability `p_n`".  A whole
+//! attempt then fails with probability `p_c` (2 packets exposed for a
+//! stop-and-wait exchange, `D + 1` for a blast), the number of failed
+//! attempts is geometric, and each failure costs the failed attempt's
+//! time plus the retransmission interval `T_r`.
+
+use crate::cost::CostModel;
+use crate::errorfree::ErrorFree;
+use crate::geom;
+
+/// Expected-time formulas for transfers of `D` packets at error rate
+/// `p_n`, with retransmission interval `t_r` (ms).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpectedTime {
+    ef: ErrorFree,
+}
+
+impl ExpectedTime {
+    /// Build from a cost model.
+    pub fn new(model: CostModel) -> Self {
+        ExpectedTime { ef: ErrorFree::new(model) }
+    }
+
+    /// The embedded error-free model.
+    pub fn error_free(&self) -> &ErrorFree {
+        &self.ef
+    }
+
+    /// Failure probability of a 1-packet stop-and-wait exchange:
+    /// `p_c = 1 − (1−p_n)²` (data packet and its ack are both exposed).
+    pub fn saw_exchange_failure(&self, p_n: f64) -> f64 {
+        geom::any_of(p_n, 2)
+    }
+
+    /// Failure probability of a `D`-packet blast:
+    /// `p_c = 1 − (1−p_n)^(D+1)`.
+    pub fn blast_failure(&self, p_n: f64, d: u64) -> f64 {
+        geom::any_of(p_n, d + 1)
+    }
+
+    /// §3.1.1: expected time of a `D`-packet stop-and-wait transfer,
+    /// `T̄ = D × [To(1) + (To(1) + T_r) × p_c/(1−p_c)]`.
+    ///
+    /// Returns infinity when `p_c = 1` (the transfer can never finish).
+    pub fn saw(&self, d: u64, p_n: f64, t_r: f64) -> f64 {
+        let p_c = self.saw_exchange_failure(p_n);
+        if p_c >= 1.0 {
+            return f64::INFINITY;
+        }
+        let t0 = self.ef.saw(1);
+        d as f64 * (t0 + (t0 + t_r) * geom::mean_failures(p_c))
+    }
+
+    /// §3.1.2: expected time of a `D`-packet blast with full
+    /// retransmission on error,
+    /// `T̄ = To(D) + (To(D) + T_r) × p_c/(1−p_c)`.
+    pub fn blast_full_retx(&self, d: u64, p_n: f64, t_r: f64) -> f64 {
+        let p_c = self.blast_failure(p_n, d);
+        if p_c >= 1.0 {
+            return f64::INFINITY;
+        }
+        let t0 = self.ef.blast(d);
+        t0 + (t0 + t_r) * geom::mean_failures(p_c)
+    }
+
+    /// Expected *extra* time a blast pays over its error-free time, as a
+    /// fraction (0 at `p_n = 0`).  Useful for locating the knee of the
+    /// Figure-5 curves.
+    pub fn blast_penalty(&self, d: u64, p_n: f64, t_r: f64) -> f64 {
+        let t0 = self.ef.blast(d);
+        (self.blast_full_retx(d, p_n, t_r) - t0) / t0
+    }
+
+    /// First-order expected time of a go-back-n blast: each lost data
+    /// packet at position `i` forces an extra round sending `D − i`
+    /// packets; the NACK arrives one reply-tail after the round.  Valid
+    /// for `p_n·D ≪ 1` (the regime of Figure 5's flat region).
+    ///
+    /// This is *our* extension — the paper only derives expected time
+    /// for full retransmission, arguing (§3.1.3) that it is already
+    /// near-optimal; this formula quantifies how much closer go-back-n
+    /// sits to the floor.
+    pub fn blast_gobackn_approx(&self, d: u64, p_n: f64, t_r: f64) -> f64 {
+        let m = self.ef.model();
+        let t0 = self.ef.blast(d);
+        // Mean resend length: losses are uniform over positions, a loss
+        // at position i (0-based) forces a round of D−i packets; average
+        // (D+1)/2.  Expected lost data packets per pass ≈ p_n·D.
+        let mean_round = (d as f64 + 1.0) / 2.0;
+        let per_loss = m.blast_send_time(1) * mean_round + m.reply_tail();
+        // Lost tail packet or ack ⇒ timeout instead of NACK.
+        let timeout_part = 2.0 * p_n * (t_r + m.blast_send_time(1) + m.reply_tail());
+        t0 + p_n * d as f64 * per_loss + timeout_part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vkernel() -> ExpectedTime {
+        ExpectedTime::new(CostModel::vkernel_sun())
+    }
+
+    #[test]
+    fn zero_loss_is_error_free_floor() {
+        let x = vkernel();
+        for d in [1u64, 16, 64] {
+            assert_eq!(x.saw(d, 0.0, 100.0), x.error_free().saw(d));
+            assert_eq!(x.blast_full_retx(d, 0.0, 100.0), x.error_free().blast(d));
+            assert_eq!(x.blast_penalty(d, 0.0, 10.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn figure_5_flat_region_and_knee() {
+        // §3.1.3's parameters: D = 64, To(1) = 5.9, To(D) = 173,
+        // p_n between 1e-5 and 1e-4 ("we operate somewhere in the region
+        // between 10^-5 and 10^-4").
+        let x = vkernel();
+        let t0 = x.error_free().blast(64);
+        // Flat: at p_n = 1e-5 even Tr = 10×To(D) adds < 1.5 %.
+        let t = x.blast_full_retx(64, 1e-5, 10.0 * t0);
+        assert!((t - t0) / t0 < 0.015, "penalty {}", (t - t0) / t0);
+        // Knee: at p_n = 1e-2 the penalty is large.
+        let t = x.blast_full_retx(64, 1e-2, t0);
+        assert!((t - t0) / t0 > 0.5);
+    }
+
+    #[test]
+    fn blast_beats_saw_at_lan_error_rates() {
+        // The paper's key comparison: "the expected time of the blast
+        // protocol is still notably better than that of the
+        // stop-and-wait protocol" in the operating region.
+        let x = vkernel();
+        let t0_1 = x.error_free().saw(1);
+        for p_n in [1e-6, 1e-5, 1e-4, 1e-3] {
+            let saw = x.saw(64, p_n, 10.0 * t0_1);
+            let blast = x.blast_full_retx(64, p_n, x.error_free().blast(64));
+            assert!(blast < saw, "p_n={p_n}: blast {blast} vs saw {saw}");
+        }
+    }
+
+    #[test]
+    fn saw_crosses_blast_at_high_error_rates() {
+        // Blast exposes D+1 packets per attempt and repeats *everything*
+        // on failure; at extreme p_n stop-and-wait (which only repeats
+        // one packet) must win — the crossover motivates §3.2's better
+        // strategies.
+        let x = vkernel();
+        let t0_1 = x.error_free().saw(1);
+        let t0_d = x.error_free().blast(64);
+        let p_n = 0.05;
+        let saw = x.saw(64, p_n, 10.0 * t0_1);
+        let blast = x.blast_full_retx(64, p_n, t0_d);
+        assert!(blast > saw, "blast {blast} should exceed saw {saw} at p_n={p_n}");
+    }
+
+    #[test]
+    fn expected_time_is_monotone_in_pn_and_tr() {
+        let x = vkernel();
+        let mut prev = 0.0;
+        for p_n in [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+            let t = x.blast_full_retx(64, p_n, 173.0);
+            assert!(t > prev || p_n == 0.0);
+            prev = t;
+        }
+        assert!(
+            x.blast_full_retx(64, 1e-3, 1730.0) > x.blast_full_retx(64, 1e-3, 173.0),
+            "longer timeout must cost more"
+        );
+    }
+
+    #[test]
+    fn certain_loss_diverges() {
+        let x = vkernel();
+        assert_eq!(x.saw(4, 1.0, 1.0), f64::INFINITY);
+        assert_eq!(x.blast_full_retx(4, 1.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn gobackn_approx_sits_between_floor_and_full() {
+        let x = vkernel();
+        let d = 64;
+        for p_n in [1e-5, 1e-4, 1e-3] {
+            let t0 = x.error_free().blast(d);
+            let gbn = x.blast_gobackn_approx(d, p_n, t0);
+            let full = x.blast_full_retx(d, p_n, t0);
+            assert!(gbn >= t0, "p_n={p_n}");
+            assert!(gbn <= full * 1.0001, "p_n={p_n}: gbn {gbn} vs full {full}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Geometric-distribution helpers.
+//!
+//! §3.1 of the paper: "the probabilities `s(i+1)` of the exchange
+//! succeeding on the (i+1)th transmission attempt form a geometric
+//! distribution with parameter `p_c`".  The number of *failures* before
+//! success is geometric on {0, 1, 2, …}; everything in §3 reduces to its
+//! first two moments.
+
+/// P(failures = i) for a geometric distribution with failure
+/// probability `p` per attempt: `pⁱ (1−p)`.
+pub fn pmf(p: f64, i: u32) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p));
+    p.powi(i as i32) * (1.0 - p)
+}
+
+/// Expected number of failures before success: `p / (1−p)`.
+///
+/// This is the multiplier in every expected-time formula of §3.1: each
+/// failure costs one timed-out attempt.
+pub fn mean_failures(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p));
+    p / (1.0 - p)
+}
+
+/// Variance of the number of failures: `p / (1−p)²`.
+pub fn var_failures(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p));
+    p / ((1.0 - p) * (1.0 - p))
+}
+
+/// Standard deviation of the number of failures: `√p / (1−p)`.
+pub fn stddev_failures(p: f64) -> f64 {
+    var_failures(p).sqrt()
+}
+
+/// Probability that at least one of `k` independent events, each of
+/// probability `p_n`, occurs: `1 − (1−p_n)^k`.
+///
+/// With `k = D + 1` this is the paper's blast failure probability
+/// (`D` data packets plus the acknowledgement); with `k = 2` the
+/// stop-and-wait exchange failure probability.
+pub fn any_of(p_n: f64, k: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p_n));
+    1.0 - (1.0 - p_n).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for p in [0.0, 0.1, 0.5, 0.9] {
+            let total: f64 = (0..10_000).map(|i| pmf(p, i)).sum();
+            assert!(close(total, 1.0, 1e-9), "p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn moments_match_pmf() {
+        for p in [0.05, 0.3, 0.7] {
+            let mean: f64 = (0..100_000).map(|i| i as f64 * pmf(p, i)).sum();
+            let var: f64 =
+                (0..100_000).map(|i| (i as f64 - mean).powi(2) * pmf(p, i)).sum();
+            assert!(close(mean, mean_failures(p), 1e-6), "p={p}");
+            assert!(close(var, var_failures(p), 1e-5), "p={p}");
+            assert!(close(stddev_failures(p), var.sqrt(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn no_loss_means_no_failures() {
+        assert_eq!(mean_failures(0.0), 0.0);
+        assert_eq!(var_failures(0.0), 0.0);
+        assert_eq!(any_of(0.0, 65), 0.0);
+    }
+
+    #[test]
+    fn any_of_grows_with_k_and_p() {
+        assert!(any_of(1e-4, 65) > any_of(1e-4, 2));
+        assert!(any_of(1e-3, 65) > any_of(1e-4, 65));
+        // Small-p approximation: 1-(1-p)^k ≈ k·p, to second order
+        // (the C(65,2)·p² ≈ 2·10⁻⁹ correction).
+        assert!(close(any_of(1e-6, 65), 65e-6, 1e-8));
+        // Certain loss.
+        assert_eq!(any_of(1.0, 1), 1.0);
+    }
+}

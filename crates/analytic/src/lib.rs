@@ -1,0 +1,40 @@
+//! # blast-analytic — the paper's performance model, in code
+//!
+//! Closed-form elapsed-time and error analysis from *Zwaenepoel,
+//! "Protocols for Large Data Transfers over Local Networks"*, SIGCOMM
+//! 1985, plus Monte-Carlo estimators for the strategies the paper itself
+//! could only simulate (§3.2.3: "we have simulated the procedures by
+//! computer").
+//!
+//! * [`cost`] — the four constants everything reduces to: `C` (data
+//!   copy), `Ca` (ack copy), `T` (data transmission), `Ta` (ack
+//!   transmission), plus the propagation delay `τ`; with the paper's
+//!   calibrated presets (standalone SUN, V-kernel, wire-only).
+//! * [`errorfree`] — §2.1.3: `T_SAW`, `T_SW`, `T_B`, `T_dbl`, network
+//!   utilization, and the §2.1 "naive" wire-only estimates.
+//! * [`geom`] — geometric-distribution helpers underlying §3.1.
+//! * [`errors`] — §3.1: failure probabilities and expected elapsed
+//!   times under iid packet loss.
+//! * [`variance`] — §3.2.1/§3.2.2: closed-form standard deviations for
+//!   full retransmission with and without NACK.
+//! * [`montecarlo`] — trial-level simulation of all four retransmission
+//!   strategies at the paper's level of abstraction (packet Bernoulli
+//!   trials + the cost model), for Figure 5/6 reproductions and for
+//!   validating the closed forms.
+//!
+//! All times are `f64` **milliseconds** — the unit the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod errorfree;
+pub mod errors;
+pub mod geom;
+pub mod montecarlo;
+pub mod variance;
+
+pub use cost::CostModel;
+pub use errorfree::ErrorFree;
+pub use errors::ExpectedTime;
+pub use montecarlo::{McConfig, McResult, Strategy};

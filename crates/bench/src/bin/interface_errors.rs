@@ -1,0 +1,113 @@
+//! Ablation A3 — the interface-error regime (§3.1.3).
+//!
+//! "Our measurements on our local 10 megabit Ethernet indicate an error
+//! rate of approximately 1 in 100,000 under normal circumstances.
+//! However, when one station transmits at full speed to another
+//! workstation, the error rates rise an order of magnitude, to
+//! approximately 1 in 10,000.  We assume that most of the additional
+//! errors are due to failures in the 3-COM Ethernet interface."
+//!
+//! The simulator reproduces the mechanism: a receiver whose processor
+//! is slightly slower than the sender's (violating the matched-speed
+//! assumption) with a small number of interface receive buffers drops
+//! frames by *overrun*.  This binary sweeps the speed mismatch and
+//! buffer count and reports the effective interface error rate — and
+//! shows that go-back-n recovers where the paper's no-NACK strategy
+//! would stall on timeouts.
+
+use blast_bench::payload;
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_sim::{SimConfig, Simulator};
+use blast_stats::Table;
+
+struct Outcome {
+    overruns: u64,
+    frames: u64,
+    elapsed_ms: f64,
+}
+
+fn run(speed: f64, rx_buffers: usize, strategy: RetxStrategy) -> Outcome {
+    let data = payload(64 * 1024);
+    let sim_cfg = SimConfig::standalone().with_rx_buffers(rx_buffers);
+    let mut sim = Simulator::new(sim_cfg);
+    let a = sim.add_host("sender");
+    let b = sim.add_host_scaled("receiver", speed);
+    let mut cfg = ProtocolConfig::default().with_strategy(strategy);
+    cfg.max_retries = 1_000_000;
+    cfg.retransmit_timeout = std::time::Duration::from_millis(500);
+    sim.attach(a, b, Box::new(BlastSender::new(1, data.clone(), &cfg)));
+    sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
+    let report = sim.run();
+    let frames: u64 = report.host_stats.iter().map(|(_, s)| s.frames_sent).sum();
+    Outcome {
+        overruns: report.total_overruns(),
+        frames,
+        elapsed_ms: report.elapsed_ms(a, 1).unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    println!("Interface errors from speed mismatch (64 KB blast, standalone constants)\n");
+    let mut t = Table::new(&[
+        "rx speed",
+        "rx buffers",
+        "overruns",
+        "frames",
+        "iface error rate",
+        "elapsed (ms)",
+    ])
+    .with_title("go-back-n blast under receive-interface overruns");
+    // The overrun threshold is analytic: the receiver falls behind once
+    // its per-packet copy C×scale exceeds the sender's C+T inter-arrival
+    // slot, i.e. scale > (C+T)/C = 2.17/1.35 ≈ 1.61.
+    for &(speed, bufs) in &[
+        (1.0, 1),
+        (1.5, 1),
+        (1.6, 1),
+        (1.65, 1),
+        (1.65, 4),
+        (1.8, 1),
+        (2.0, 1),
+        (2.0, 4),
+        (3.0, 8),
+    ] {
+        let o = run(speed, bufs, RetxStrategy::GoBackN);
+        t.row(&[
+            &format!("{speed:.2}x slower"),
+            &bufs.to_string(),
+            &o.overruns.to_string(),
+            &o.frames.to_string(),
+            &format!("{:.3}", o.overruns as f64 / o.frames.max(1) as f64),
+            &format!("{:.1}", o.elapsed_ms),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("matched speeds (the paper's assumption): zero overruns — the receiver");
+    println!("keeps up because its per-packet copy fits within the sender's C+T slot.");
+    println!("past the analytic knee at (C+T)/C = 1.61x, a mismatched receiver overruns");
+    println!("systematically: the paper's 1e-5 -> 1e-4 error-rate jump 'when one");
+    println!("station transmits at full speed'.  More receive buffers absorb bursts");
+    println!("but cannot fix a sustained rate mismatch.");
+    println!();
+
+    // Strategy comparison under heavy overruns (past the 1.61 knee).
+    let mut t = Table::new(&["strategy", "elapsed (ms)", "overruns"])
+        .with_title("strategies under a 2x slower receiver, 1 rx buffer");
+    for strategy in RetxStrategy::ALL {
+        let o = run(2.0, 1, strategy);
+        t.row(&[
+            &strategy.to_string(),
+            &format!("{:.1}", o.elapsed_ms),
+            &o.overruns.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "this is exactly why §3.2 wants NACK-directed retransmission: interface\n\
+         errors are frequent and systematic, so full-retransmission-on-timeout\n\
+         keeps losing the same race; go-back-n resends only the dropped suffix\n\
+         at a pace the receiver can absorb."
+    );
+}

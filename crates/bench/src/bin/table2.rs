@@ -1,0 +1,55 @@
+//! Table 2 — "Breakdown of Transmission Cost over its Various
+//! Components", plus the Figure 2 timeline.
+//!
+//! A 1 KB reliable exchange decomposed into its six components.  The
+//! component values *are* the calibration constants, so the table
+//! reproduces exactly; the value of this binary is the cross-check that
+//! the simulator's trace shows the same decomposition, and the rendered
+//! packet-transmission timeline (Figure 2).
+
+use blast_bench::{run_transfer, Proto, RunResult};
+use blast_sim::{render_timeline, Lane, SimConfig};
+use blast_stats::Table;
+
+fn main() {
+    let mut t = Table::new(&["operation", "time (ms)"])
+        .with_title("Table 2: breakdown of a 1 KB reliable exchange");
+    t.row(&["Copy data into sender's interface", "1.35"]);
+    t.row(&["Transmit data", "0.82"]);
+    t.row(&["Copy data out of receiver's interface", "1.35"]);
+    t.row(&["Copy ack into receiver's interface", "0.17"]);
+    t.row(&["Transmit ack", "0.05"]);
+    t.row(&["Copy ack out of sender's interface", "0.17"]);
+    t.row(&["Total (model)", "3.91"]);
+    t.row(&["Observed elapsed time (paper)", "4.08"]);
+    println!("{}", t.render());
+
+    // Cross-check: run the exchange in the simulator with tracing and
+    // recompute the component sums from the trace itself.
+    let RunResult { elapsed_ms, report } =
+        run_transfer(Proto::Saw, 1024, SimConfig::standalone().with_trace(), None);
+    let copy_ms: f64 = report
+        .trace
+        .iter()
+        .filter(|e| e.lane != Lane::Wire)
+        .map(|e| (e.end - e.start).as_secs_f64() * 1e3)
+        .sum();
+    let wire_ms: f64 = report
+        .trace
+        .iter()
+        .filter(|e| e.lane == Lane::Wire)
+        .map(|e| (e.end - e.start).as_secs_f64() * 1e3)
+        .sum();
+    println!("simulated exchange: {elapsed_ms} ms total");
+    println!(
+        "  copying: {copy_ms:.2} ms ({:.0} % — paper says 75 %)",
+        copy_ms / elapsed_ms * 100.0
+    );
+    println!(
+        "  wire:    {wire_ms:.2} ms ({:.0} % — paper says 21 %)",
+        wire_ms / elapsed_ms * 100.0
+    );
+    println!();
+    println!("Figure 2: network packet transmission (timeline):");
+    println!("{}", render_timeline(&report.trace, &["sender", "receiver"], 72));
+}

@@ -1,0 +1,227 @@
+//! The action vocabulary engines use to talk to their driver, plus
+//! completion bookkeeping.
+
+use core::fmt;
+use std::time::Duration;
+
+use crate::error::CoreError;
+
+/// Identifies a timer within one engine.
+///
+/// Tokens are engine-scoped: the driver keys pending timers by
+/// `(engine, token)`.  Setting a timer with a token that is already
+/// pending **replaces** it; cancelling a non-pending token is a no-op.
+/// Stop-and-wait and blast engines use a single token; the sliding-window
+/// sender uses one token per in-flight packet (its sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(pub u64);
+
+/// One instruction from an engine to its driver.
+///
+/// The driver executes actions *in order*.  Order matters: the paper's
+/// cost model charges processor copy time per transmitted packet, so the
+/// simulator turns each `Transmit` into "occupy the CPU for `C`, then
+/// hand the frame to the interface" in emission order, which is exactly
+/// how the measured SUN code behaved (copy loop, then start transmit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Hand a complete transport datagram (header + payload, as produced
+    /// by `blast_wire::DatagramBuilder`) to the network.
+    Transmit(Vec<u8>),
+    /// Arm (or re-arm) the timer `token` to fire after `after`.
+    SetTimer {
+        /// Engine-scoped timer identity.
+        token: TimerToken,
+        /// Relative expiry.
+        after: Duration,
+    },
+    /// Cancel the timer `token` if pending.
+    CancelTimer {
+        /// Engine-scoped timer identity.
+        token: TimerToken,
+    },
+    /// The engine has finished, successfully or not.  No further actions
+    /// will be emitted; the driver may drop the engine.
+    Complete(Box<CompletionInfo>),
+}
+
+impl Action {
+    /// Convenience: the transmitted bytes if this is a `Transmit`.
+    pub fn as_transmit(&self) -> Option<&[u8]> {
+        match self {
+            Action::Transmit(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+}
+
+/// Sink for engine actions.
+///
+/// A plain `Vec<Action>` implements this; drivers that want to avoid the
+/// intermediate vector can implement it directly.
+pub trait ActionSink {
+    /// Receive one action.
+    fn push_action(&mut self, action: Action);
+}
+
+impl ActionSink for Vec<Action> {
+    fn push_action(&mut self, action: Action) {
+        self.push(action);
+    }
+}
+
+/// Statistics one engine accumulated over its lifetime.
+///
+/// These are what the paper's experiments count: total packets placed on
+/// the wire (each costs `C` or `Ca` of processor copy time plus `T` or
+/// `Ta` of transmission time), how many of those were retransmissions,
+/// and how many retransmission rounds (timeout or NACK triggered) the
+/// transfer needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Data packets transmitted, including retransmissions.
+    pub data_packets_sent: u64,
+    /// Data packets that were retransmissions.
+    pub data_packets_retransmitted: u64,
+    /// Acknowledgement packets transmitted (positive and negative).
+    pub acks_sent: u64,
+    /// Negative acknowledgements among `acks_sent`.
+    pub nacks_sent: u64,
+    /// Data packets received and newly placed in the buffer.
+    pub data_packets_received: u64,
+    /// Data packets received that were duplicates of already-placed data.
+    pub duplicate_packets_received: u64,
+    /// Acknowledgements received (positive and negative).
+    pub acks_received: u64,
+    /// Retransmission rounds: how many times the sender reacted to a
+    /// timeout or NACK by sending more data (0 for an error-free run).
+    pub retransmission_rounds: u64,
+    /// Timer expirations the engine acted on.
+    pub timeouts: u64,
+}
+
+impl EngineStats {
+    /// Merge another engine's counters into this one (used by multiblast
+    /// to aggregate per-chunk stats).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.data_packets_sent += other.data_packets_sent;
+        self.data_packets_retransmitted += other.data_packets_retransmitted;
+        self.acks_sent += other.acks_sent;
+        self.nacks_sent += other.nacks_sent;
+        self.data_packets_received += other.data_packets_received;
+        self.duplicate_packets_received += other.duplicate_packets_received;
+        self.acks_received += other.acks_received;
+        self.retransmission_rounds += other.retransmission_rounds;
+        self.timeouts += other.timeouts;
+    }
+}
+
+/// Why and how an engine finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionInfo {
+    /// `Ok(bytes_transferred)` on success, the failure otherwise.
+    pub result: Result<usize, CoreError>,
+    /// Counters accumulated over the engine's lifetime.
+    pub stats: EngineStats,
+}
+
+impl CompletionInfo {
+    /// Successful completion of `bytes` bytes.
+    pub fn success(bytes: usize, stats: EngineStats) -> Self {
+        CompletionInfo { result: Ok(bytes), stats }
+    }
+
+    /// Failed completion.
+    pub fn failure(err: CoreError, stats: EngineStats) -> Self {
+        CompletionInfo { result: Err(err), stats }
+    }
+
+    /// True if the transfer succeeded.
+    pub fn is_success(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+impl fmt::Display for CompletionInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.result {
+            Ok(bytes) => write!(
+                f,
+                "ok: {} bytes, {} data pkts ({} retx), {} rounds",
+                bytes,
+                self.stats.data_packets_sent,
+                self.stats.data_packets_retransmitted,
+                self.stats.retransmission_rounds
+            ),
+            Err(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// The pair of completions a full transfer produces, as reported by test
+/// harnesses and drivers that run both ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Sender-side counters.
+    pub sender: EngineStats,
+    /// Receiver-side counters.
+    pub receiver: EngineStats,
+    /// Bytes delivered.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_as_transmit() {
+        let a = Action::Transmit(vec![1, 2, 3]);
+        assert_eq!(a.as_transmit(), Some(&[1u8, 2, 3][..]));
+        let a = Action::CancelTimer { token: TimerToken(0) };
+        assert_eq!(a.as_transmit(), None);
+    }
+
+    #[test]
+    fn vec_is_an_action_sink() {
+        let mut v: Vec<Action> = Vec::new();
+        v.push_action(Action::SetTimer { token: TimerToken(3), after: Duration::from_millis(5) });
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn stats_absorb_sums_everything() {
+        let mut a = EngineStats {
+            data_packets_sent: 1,
+            data_packets_retransmitted: 2,
+            acks_sent: 3,
+            nacks_sent: 4,
+            data_packets_received: 5,
+            duplicate_packets_received: 6,
+            acks_received: 7,
+            retransmission_rounds: 8,
+            timeouts: 9,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.data_packets_sent, 2);
+        assert_eq!(a.data_packets_retransmitted, 4);
+        assert_eq!(a.acks_sent, 6);
+        assert_eq!(a.nacks_sent, 8);
+        assert_eq!(a.data_packets_received, 10);
+        assert_eq!(a.duplicate_packets_received, 12);
+        assert_eq!(a.acks_received, 14);
+        assert_eq!(a.retransmission_rounds, 16);
+        assert_eq!(a.timeouts, 18);
+    }
+
+    #[test]
+    fn completion_display() {
+        let ok = CompletionInfo::success(1024, EngineStats::default());
+        assert!(ok.to_string().contains("1024 bytes"));
+        assert!(ok.is_success());
+        let bad = CompletionInfo::failure(CoreError::Cancelled, EngineStats::default());
+        assert!(bad.to_string().contains("cancelled"));
+        assert!(!bad.is_success());
+    }
+}

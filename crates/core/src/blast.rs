@@ -1,0 +1,784 @@
+//! The blast protocol (§2.1 Figure 3.b, §3 of the paper).
+//!
+//! "With a blast protocol all data packets are transmitted in sequence,
+//! with only a single acknowledgement for the entire packet sequence.
+//! Different protocols within the category of blast protocols are
+//! distinguished by their retransmission strategies."
+//!
+//! ## Structure of a transfer (§3.2.3)
+//!
+//! "In order to execute a D-packet transfer, (D−1) packets are
+//! transmitted without acknowledgement.  The last packet is sent
+//! reliably, i.e. it is retransmitted periodically until an
+//! acknowledgement is received.  The acknowledgement to the last packet
+//! indicates [what is missing].  If D′ did not get there, they need to
+//! be retransmitted using the same method: transmit D′−1 packets
+//! unreliably and the last packet reliably.  This procedure continues
+//! until all packets get to their destination."
+//!
+//! Each *round* therefore sends a set of packets whose final member
+//! carries the `LAST|RELIABLE` flags and solicits a status report:
+//!
+//! * round 0 sends packets `0..D`;
+//! * a go-back-n NACK (`first_missing = f`) makes the next round send
+//!   `f..D`;
+//! * a selective NACK (bitmap) makes the next round send exactly the
+//!   missing set;
+//! * a full-retransmission NACK (or, for [`RetxStrategy::FullNoNack`] /
+//!   [`RetxStrategy::FullNack`], a timeout) makes the next round resend
+//!   `0..D`;
+//! * for [`RetxStrategy::GoBackN`] and [`RetxStrategy::Selective`] a
+//!   timeout retransmits *only* the round's reliable last packet — that
+//!   is what "the last packet is sent reliably" means; the re-solicited
+//!   NACK then directs the real retransmission.
+//!
+//! The sender supports an arbitrary sub-range of the transfer so that
+//! [`crate::multiblast`] can reuse it per chunk; acknowledgements use
+//! cumulative semantics (`Positive { acked: s }` ⇒ everything `≤ s`
+//! arrived).
+
+use std::sync::Arc;
+
+use blast_wire::ack::{AckPayload, Bitmap};
+use blast_wire::header::PacketKind;
+use blast_wire::packet::{Datagram, DatagramBuilder};
+
+use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
+use crate::config::{ProtocolConfig, RetxStrategy};
+use crate::engine::{Engine, Finish};
+use crate::error::CoreError;
+use crate::rxbuf::RxBuffer;
+use crate::txdata::TxData;
+
+/// The single timer a blast sender uses.
+const RETX_TIMER: TimerToken = TimerToken(0);
+
+/// Blast sender for a contiguous range of a transfer.
+#[derive(Debug)]
+pub struct BlastSender {
+    transfer_id: u32,
+    tx: TxData,
+    builder: DatagramBuilder,
+    timeout: std::time::Duration,
+    max_retries: u32,
+    strategy: RetxStrategy,
+    /// First sequence this sender is responsible for.
+    first: u32,
+    /// One past the last sequence this sender is responsible for.
+    end: u32,
+    /// The reliable (LAST-flagged) packet of the current round.
+    reliable_seq: u32,
+    /// Retransmission rounds consumed (timeouts + NACK rounds).
+    rounds_used: u32,
+    stats: EngineStats,
+    finish: Finish,
+}
+
+impl BlastSender {
+    /// Create a sender blasting all of `data` on `transfer_id`.
+    pub fn new(transfer_id: u32, data: Arc<[u8]>, config: &ProtocolConfig) -> Self {
+        let tx = TxData::new(data, config.packet_payload);
+        let end = tx.total_packets();
+        Self::for_range(transfer_id, tx, config, 0, end, false)
+    }
+
+    /// Create a sender for packets `first..end` of `data` (multi-blast
+    /// chunks).  `multiblast` stamps the MULTIBLAST flag on packets.
+    pub(crate) fn for_range(
+        transfer_id: u32,
+        tx: TxData,
+        config: &ProtocolConfig,
+        first: u32,
+        end: u32,
+        multiblast: bool,
+    ) -> Self {
+        assert!(first < end && end <= tx.total_packets(), "invalid blast range");
+        BlastSender {
+            transfer_id,
+            tx,
+            builder: DatagramBuilder::new(transfer_id)
+                .kernel(config.kernel_flag)
+                .multiblast(multiblast),
+            timeout: config.retransmit_timeout,
+            max_retries: config.max_retries,
+            strategy: config.strategy,
+            first,
+            end,
+            reliable_seq: end - 1,
+            rounds_used: 0,
+            stats: EngineStats::default(),
+            finish: Finish::default(),
+        }
+    }
+
+    /// The strategy this sender retransmits with.
+    pub fn strategy(&self) -> RetxStrategy {
+        self.strategy
+    }
+
+    fn transmit_one(&mut self, seq: u32, last: bool, sink: &mut dyn ActionSink) {
+        let payload = self.tx.payload_of(seq);
+        let mut buf = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let len = self
+            .builder
+            .build_data(
+                &mut buf,
+                seq,
+                self.tx.total_packets(),
+                self.tx.offset_of(seq) as u32,
+                payload,
+                self.rounds_used.min(u16::MAX as u32) as u16,
+                last,
+            )
+            .expect("buffer sized for payload");
+        buf.truncate(len);
+        self.stats.data_packets_sent += 1;
+        if self.rounds_used > 0 {
+            self.stats.data_packets_retransmitted += 1;
+        }
+        sink.push_action(Action::Transmit(buf));
+    }
+
+    /// Blast out `packets` (ordered); the final one is the round's
+    /// reliable packet.  Arms the retransmission timer.
+    fn send_round(&mut self, packets: &[u32], sink: &mut dyn ActionSink) {
+        debug_assert!(!packets.is_empty());
+        let last = *packets.last().expect("non-empty round");
+        self.reliable_seq = last;
+        for &seq in packets {
+            self.transmit_one(seq, seq == last, sink);
+        }
+        sink.push_action(Action::SetTimer { token: RETX_TIMER, after: self.timeout });
+    }
+
+    /// Consume one unit of retransmission budget; completes with failure
+    /// and returns `false` when exhausted.
+    fn charge_round(&mut self, sink: &mut dyn ActionSink) -> bool {
+        if self.rounds_used >= self.max_retries {
+            let stats = self.stats;
+            self.finish.complete(
+                sink,
+                CompletionInfo::failure(
+                    CoreError::RetriesExhausted { retries: self.max_retries },
+                    stats,
+                ),
+            );
+            return false;
+        }
+        self.rounds_used += 1;
+        self.stats.retransmission_rounds += 1;
+        true
+    }
+
+    fn full_range(&self) -> Vec<u32> {
+        (self.first..self.end).collect()
+    }
+
+    /// Packets to resend for a NACK, per strategy and NACK payload.
+    fn resend_set(&self, ack: &AckPayload) -> Option<Vec<u32>> {
+        match ack {
+            AckPayload::Positive { .. } => None,
+            AckPayload::NackFull => Some(self.full_range()),
+            AckPayload::NackFirstMissing { first_missing } => {
+                if *first_missing >= self.end {
+                    // Nonsense NACK (beyond our range): re-solicit.
+                    Some(vec![self.reliable_seq])
+                } else {
+                    Some((*first_missing..self.end).collect())
+                }
+            }
+            AckPayload::NackBitmap(bm) => {
+                let mut set: Vec<u32> =
+                    bm.missing().filter(|&s| s < self.end).collect();
+                // Anything beyond the bitmap's horizon is unreported;
+                // conservatively resend it (empty for transfers that fit
+                // in one bitmap, i.e. ≤ Bitmap::MAX_BITS packets).
+                let horizon = bm.base() + u32::from(bm.nbits());
+                set.extend(horizon.max(self.first)..self.end);
+                if set.is_empty() {
+                    // NACK with nothing missing in range: re-solicit.
+                    Some(vec![self.reliable_seq])
+                } else {
+                    Some(set)
+                }
+            }
+        }
+    }
+}
+
+impl Engine for BlastSender {
+    fn start(&mut self, sink: &mut dyn ActionSink) {
+        let all = self.full_range();
+        self.send_round(&all, sink);
+    }
+
+    fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
+        if self.finish.is_finished() || dgram.kind != PacketKind::Ack {
+            return;
+        }
+        let Some(ack) = &dgram.ack else { return };
+        self.stats.acks_received += 1;
+        match ack {
+            AckPayload::Positive { acked } => {
+                if *acked + 1 >= self.end {
+                    sink.push_action(Action::CancelTimer { token: RETX_TIMER });
+                    let stats = self.stats;
+                    let bytes = self.tx.len();
+                    self.finish.complete(sink, CompletionInfo::success(bytes, stats));
+                }
+                // A positive ack below our range end is stale
+                // (an earlier chunk's ack); keep waiting.
+            }
+            nack => {
+                if let Some(set) = self.resend_set(nack) {
+                    if self.charge_round(sink) {
+                        self.send_round(&set, sink);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, sink: &mut dyn ActionSink) {
+        if self.finish.is_finished() || token != RETX_TIMER {
+            return;
+        }
+        self.stats.timeouts += 1;
+        if !self.charge_round(sink) {
+            return;
+        }
+        match self.strategy {
+            // §3.1.2 / §3.2.2: "it retransmits the whole sequence".
+            RetxStrategy::FullNoNack | RetxStrategy::FullNack => {
+                let all = self.full_range();
+                self.send_round(&all, sink);
+            }
+            // §3.2.3: only the reliable last packet is retransmitted
+            // periodically; the NACK it solicits directs the rest.
+            RetxStrategy::GoBackN | RetxStrategy::Selective => {
+                let seq = self.reliable_seq;
+                self.transmit_one(seq, true, sink);
+                sink.push_action(Action::SetTimer { token: RETX_TIMER, after: self.timeout });
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finish.is_finished()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn transfer_id(&self) -> u32 {
+        self.transfer_id
+    }
+}
+
+/// Blast receiver: places data packets into the pre-allocated buffer and
+/// answers each round's reliable packet with the strategy's status
+/// report.
+#[derive(Debug)]
+pub struct BlastReceiver {
+    transfer_id: u32,
+    rx: RxBuffer,
+    builder: DatagramBuilder,
+    strategy: RetxStrategy,
+    /// Highest sequence number ever seen — the horizon up to which
+    /// status reports are computed.  Cumulative-ack semantics for
+    /// multi-blast fall out of this: a chunk's reliable packet raises
+    /// the horizon to the chunk end, and the report covers everything
+    /// up to it.
+    horizon: Option<u32>,
+    stats: EngineStats,
+    finish: Finish,
+}
+
+impl BlastReceiver {
+    /// Create a receiver expecting `bytes` bytes on `transfer_id`.
+    pub fn new(transfer_id: u32, bytes: usize, config: &ProtocolConfig) -> Self {
+        BlastReceiver {
+            transfer_id,
+            rx: RxBuffer::new(bytes, config.packet_payload),
+            builder: DatagramBuilder::new(transfer_id).kernel(config.kernel_flag),
+            strategy: config.strategy,
+            horizon: None,
+            stats: EngineStats::default(),
+            finish: Finish::default(),
+        }
+    }
+
+    /// The received bytes (zero-filled holes until complete).
+    pub fn data(&self) -> &[u8] {
+        self.rx.data()
+    }
+
+    /// Consume the engine, returning the received data.
+    pub fn into_data(self) -> Vec<u8> {
+        self.rx.into_data()
+    }
+
+    /// Packets received so far (diagnostics).
+    pub fn received_packets(&self) -> u32 {
+        self.rx.received_packets()
+    }
+
+    fn send_status(&mut self, sink: &mut dyn ActionSink) {
+        let upto = match self.horizon {
+            Some(h) => h,
+            None => return,
+        };
+        let total = self.rx.total_packets();
+        let report = match self.rx.first_missing_upto(upto) {
+            None => AckPayload::Positive { acked: upto },
+            Some(first_missing) => match self.strategy {
+                // Strategy 1: stay silent; the sender's timeout drives
+                // full retransmission.
+                RetxStrategy::FullNoNack => return,
+                RetxStrategy::FullNack => AckPayload::NackFull,
+                RetxStrategy::GoBackN => AckPayload::NackFirstMissing { first_missing },
+                RetxStrategy::Selective => {
+                    let bm = self
+                        .rx
+                        .missing_bitmap_upto(upto)
+                        .expect("missing bitmap exists when a packet is missing");
+                    AckPayload::NackBitmap(bm)
+                }
+            },
+        };
+        let is_nack = report.is_nack();
+        let mut buf = vec![0u8; blast_wire::HEADER_LEN + report.encoded_len()];
+        let len = self.builder.build_ack(&mut buf, total, &report).expect("ack fits");
+        buf.truncate(len);
+        self.stats.acks_sent += 1;
+        if is_nack {
+            self.stats.nacks_sent += 1;
+        }
+        sink.push_action(Action::Transmit(buf));
+    }
+}
+
+impl Engine for BlastReceiver {
+    fn start(&mut self, _sink: &mut dyn ActionSink) {
+        // Passive: buffers were allocated in `new`, per the paper.
+    }
+
+    fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
+        match dgram.kind {
+            PacketKind::Data => {}
+            PacketKind::Cancel => {
+                let stats = self.stats;
+                self.finish.complete(sink, CompletionInfo::failure(CoreError::Cancelled, stats));
+                return;
+            }
+            _ => return,
+        }
+        match self.rx.place(dgram.seq, dgram.offset as usize, dgram.payload) {
+            Ok(true) => self.stats.data_packets_received += 1,
+            Ok(false) => self.stats.duplicate_packets_received += 1,
+            Err(e) => {
+                let stats = self.stats;
+                self.finish.complete(sink, CompletionInfo::failure(e, stats));
+                return;
+            }
+        }
+        self.horizon = Some(self.horizon.map_or(dgram.seq, |h| h.max(dgram.seq)));
+        // Only the round's reliable packet solicits a status report —
+        // that is the whole point of the blast protocol: one ack (or
+        // NACK) per round instead of one per packet.
+        if dgram.is_last() {
+            self.send_status(sink);
+        }
+        if self.rx.is_complete() {
+            let stats = self.stats;
+            let bytes = self.rx.len();
+            self.finish.complete(sink, CompletionInfo::success(bytes, stats));
+        }
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _sink: &mut dyn ActionSink) {}
+
+    fn is_finished(&self) -> bool {
+        self.finish.is_finished()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn transfer_id(&self) -> u32 {
+        self.transfer_id
+    }
+}
+
+/// Compute the resend set a bitmap NACK implies — exposed for tests and
+/// for the analytic Monte-Carlo model, which replays strategy behaviour
+/// without engines.
+pub fn bitmap_resend_set(bm: &Bitmap, range_end: u32) -> Vec<u32> {
+    let mut set: Vec<u32> = bm.missing().filter(|&s| s < range_end).collect();
+    set.extend((bm.base() + u32::from(bm.nbits())).min(range_end)..range_end);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(strategy: RetxStrategy) -> ProtocolConfig {
+        ProtocolConfig::default().with_strategy(strategy)
+    }
+
+    fn data(n: usize) -> Arc<[u8]> {
+        (0..n).map(|i| (i * 13 % 251) as u8).collect::<Vec<u8>>().into()
+    }
+
+    fn feed(engine: &mut dyn Engine, packet: &[u8]) -> Vec<Action> {
+        let d = Datagram::parse(packet).unwrap();
+        let mut out = Vec::new();
+        engine.on_datagram(&d, &mut out);
+        out
+    }
+
+    fn transmits(actions: &[Action]) -> Vec<Vec<u8>> {
+        actions.iter().filter_map(|a| a.as_transmit().map(<[u8]>::to_vec)).collect()
+    }
+
+    #[test]
+    fn round_zero_blasts_everything_with_one_reliable_tail() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let mut s = BlastSender::new(1, data(8 * 1024), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let pkts = transmits(&actions);
+        assert_eq!(pkts.len(), 8);
+        for (i, p) in pkts.iter().enumerate() {
+            let d = Datagram::parse(p).unwrap();
+            assert_eq!(d.seq, i as u32);
+            assert_eq!(d.is_last(), i == 7, "only the tail is LAST");
+            assert_eq!(d.is_reliable(), i == 7, "only the tail is RELIABLE");
+        }
+        // Exactly one timer, armed after the blast.
+        let timers = actions.iter().filter(|a| matches!(a, Action::SetTimer { .. })).count();
+        assert_eq!(timers, 1);
+    }
+
+    #[test]
+    fn error_free_blast_single_ack() {
+        for strategy in RetxStrategy::ALL {
+            let cfg = config(strategy);
+            let payload = data(8 * 1024);
+            let mut s = BlastSender::new(1, payload.clone(), &cfg);
+            let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+            let mut actions = Vec::new();
+            s.start(&mut actions);
+            let mut acks = Vec::new();
+            for p in transmits(&actions) {
+                let out = feed(&mut r, &p);
+                acks.extend(transmits(&out));
+            }
+            assert_eq!(acks.len(), 1, "{strategy}: blast uses a single ack");
+            assert!(r.is_finished());
+            assert_eq!(r.data(), &payload[..]);
+            feed(&mut s, &acks[0]);
+            assert!(s.is_finished(), "{strategy}");
+            assert_eq!(s.stats().data_packets_sent, 8);
+            assert_eq!(s.stats().data_packets_retransmitted, 0);
+            assert_eq!(r.stats().acks_sent, 1);
+            assert_eq!(r.stats().nacks_sent, 0);
+        }
+    }
+
+    /// Deliver `pkts` to the receiver, dropping the sequences in `drop`.
+    fn deliver_except(r: &mut BlastReceiver, pkts: &[Vec<u8>], drop: &[u32]) -> Vec<Vec<u8>> {
+        let mut acks = Vec::new();
+        for p in pkts {
+            let d = Datagram::parse(p).unwrap();
+            if drop.contains(&d.seq) {
+                continue;
+            }
+            let out = feed(r, p);
+            acks.extend(transmits(&out));
+        }
+        acks
+    }
+
+    #[test]
+    fn gobackn_nack_names_first_missing_and_sender_goes_back() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let payload = data(8 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        // Drop packets 3 and 5; the reliable tail (7) arrives.
+        let acks = deliver_except(&mut r, &transmits(&actions), &[3, 5]);
+        assert_eq!(acks.len(), 1);
+        let d = Datagram::parse(&acks[0]).unwrap();
+        assert_eq!(d.ack, Some(AckPayload::NackFirstMissing { first_missing: 3 }));
+
+        // Sender resends 3..8.
+        let out = feed(&mut s, &acks[0]);
+        let resent: Vec<u32> =
+            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        assert_eq!(resent, vec![3, 4, 5, 6, 7]);
+        // Tail of the new round is reliable again.
+        let last = transmits(&out).pop().unwrap();
+        let d = Datagram::parse(&last).unwrap();
+        assert!(d.is_last() && d.is_reliable());
+        assert_eq!(d.round, 1);
+
+        // Deliver the new round; receiver completes and acks positively.
+        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        assert!(r.is_finished());
+        assert_eq!(r.data(), &payload[..]);
+        let d = Datagram::parse(&acks[0]).unwrap();
+        assert_eq!(d.ack, Some(AckPayload::Positive { acked: 7 }));
+        feed(&mut s, &acks[0]);
+        assert!(s.is_finished());
+        assert_eq!(s.stats().retransmission_rounds, 1);
+        assert_eq!(s.stats().data_packets_retransmitted, 5);
+    }
+
+    #[test]
+    fn selective_nack_resends_exactly_missing() {
+        let cfg = config(RetxStrategy::Selective);
+        let payload = data(8 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let acks = deliver_except(&mut r, &transmits(&actions), &[1, 4, 6]);
+        let d = Datagram::parse(&acks[0]).unwrap();
+        match &d.ack {
+            Some(AckPayload::NackBitmap(bm)) => {
+                assert_eq!(bm.missing().collect::<Vec<_>>(), vec![1, 4, 6]);
+            }
+            other => panic!("expected bitmap NACK, got {other:?}"),
+        }
+        let out = feed(&mut s, &acks[0]);
+        let resent: Vec<u32> =
+            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        assert_eq!(resent, vec![1, 4, 6], "selective resends exactly the missing set");
+        // Last of the resent subset carries the solicitation flags.
+        let pkts = transmits(&out);
+        let tail = Datagram::parse(pkts.last().unwrap()).unwrap();
+        assert_eq!(tail.seq, 6);
+        assert!(tail.is_last() && tail.is_reliable());
+
+        let acks = deliver_except(&mut r, &pkts, &[]);
+        assert!(r.is_finished());
+        assert_eq!(r.data(), &payload[..]);
+        feed(&mut s, &acks[0]);
+        assert!(s.is_finished());
+        assert_eq!(s.stats().data_packets_retransmitted, 3);
+    }
+
+    #[test]
+    fn full_nack_strategy_resends_all() {
+        let cfg = config(RetxStrategy::FullNack);
+        let payload = data(4 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let acks = deliver_except(&mut r, &transmits(&actions), &[0]);
+        let d = Datagram::parse(&acks[0]).unwrap();
+        assert_eq!(d.ack, Some(AckPayload::NackFull));
+        assert_eq!(r.stats().nacks_sent, 1);
+
+        let out = feed(&mut s, &acks[0]);
+        let resent: Vec<u32> =
+            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        assert_eq!(resent, vec![0, 1, 2, 3], "full retransmission resends the whole sequence");
+    }
+
+    #[test]
+    fn full_no_nack_receiver_stays_silent_on_loss() {
+        let cfg = config(RetxStrategy::FullNoNack);
+        let payload = data(4 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let acks = deliver_except(&mut r, &transmits(&actions), &[2]);
+        assert!(acks.is_empty(), "strategy 1 receiver must not NACK");
+
+        // Sender timeout: full retransmission.
+        let mut out = Vec::new();
+        s.on_timer(RETX_TIMER, &mut out);
+        let resent: Vec<u32> =
+            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        assert_eq!(resent, vec![0, 1, 2, 3]);
+        assert_eq!(s.stats().timeouts, 1);
+
+        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        assert_eq!(acks.len(), 1);
+        let d = Datagram::parse(&acks[0]).unwrap();
+        assert_eq!(d.ack, Some(AckPayload::Positive { acked: 3 }));
+    }
+
+    #[test]
+    fn gobackn_timeout_resends_only_the_reliable_tail() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let mut s = BlastSender::new(1, data(8 * 1024), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let mut out = Vec::new();
+        s.on_timer(RETX_TIMER, &mut out);
+        let resent = transmits(&out);
+        assert_eq!(resent.len(), 1, "timeout solicits, it does not re-blast");
+        let d = Datagram::parse(&resent[0]).unwrap();
+        assert_eq!(d.seq, 7);
+        assert!(d.is_last() && d.is_reliable());
+    }
+
+    #[test]
+    fn lost_tail_then_timeout_then_nack_recovers() {
+        // Lose the reliable tail itself: receiver can't report until the
+        // re-solicitation arrives.
+        let cfg = config(RetxStrategy::GoBackN);
+        let payload = data(6 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let acks = deliver_except(&mut r, &transmits(&actions), &[2, 5]);
+        assert!(acks.is_empty(), "tail lost: no report possible");
+
+        let mut out = Vec::new();
+        s.on_timer(RETX_TIMER, &mut out);
+        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        assert_eq!(acks.len(), 1);
+        let d = Datagram::parse(&acks[0]).unwrap();
+        assert_eq!(d.ack, Some(AckPayload::NackFirstMissing { first_missing: 2 }));
+
+        let out = feed(&mut s, &acks[0]);
+        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        assert!(r.is_finished());
+        assert_eq!(r.data(), &payload[..]);
+        feed(&mut s, &acks[0]);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn lost_final_ack_recovered_by_resolicitation() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let payload = data(3 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        // Receiver gets everything; its positive ack is "lost".
+        let _lost_acks = deliver_except(&mut r, &transmits(&actions), &[]);
+        assert!(r.is_finished());
+        // Sender times out, re-solicits with the reliable tail.
+        let mut out = Vec::new();
+        s.on_timer(RETX_TIMER, &mut out);
+        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        assert_eq!(acks.len(), 1, "finished receiver must re-ack duplicates of the tail");
+        let d = Datagram::parse(&acks[0]).unwrap();
+        assert_eq!(d.ack, Some(AckPayload::Positive { acked: 2 }));
+        feed(&mut s, &acks[0]);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn retries_exhaust_to_failure() {
+        let mut cfg = config(RetxStrategy::FullNoNack);
+        cfg.max_retries = 2;
+        let mut s = BlastSender::new(1, data(2048), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        for _ in 0..2 {
+            let mut out = Vec::new();
+            s.on_timer(RETX_TIMER, &mut out);
+            assert!(!s.is_finished());
+        }
+        let mut out = Vec::new();
+        s.on_timer(RETX_TIMER, &mut out);
+        assert!(s.is_finished());
+        match &out[..] {
+            [Action::Complete(info)] => {
+                assert!(matches!(info.result, Err(CoreError::RetriesExhausted { retries: 2 })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_sequence_packets_do_not_trigger_acks() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let mut r = BlastReceiver::new(1, 8 * 1024, &cfg);
+        let b = DatagramBuilder::new(1);
+        let mut buf = vec![0u8; 2048];
+        let payload = vec![7u8; 1024];
+        for seq in 0..7u32 {
+            let len = b.build_data(&mut buf, seq, 8, seq * 1024, &payload, 0, false).unwrap();
+            let out = feed(&mut r, &buf[..len]);
+            assert!(transmits(&out).is_empty(), "no per-packet acks in blast mode");
+        }
+        assert_eq!(r.stats().acks_sent, 0);
+        assert_eq!(r.received_packets(), 7);
+    }
+
+    #[test]
+    fn positive_ack_below_range_is_ignored() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let mut s = BlastSender::new(1, data(4 * 1024), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let b = DatagramBuilder::new(1);
+        let mut buf = vec![0u8; 64];
+        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 1 }).unwrap();
+        feed(&mut s, &buf[..len]);
+        assert!(!s.is_finished(), "cumulative ack below the range end must not complete");
+        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 }).unwrap();
+        feed(&mut s, &buf[..len]);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn nonsense_nacks_resolicit_not_crash() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let mut s = BlastSender::new(1, data(4 * 1024), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let b = DatagramBuilder::new(1);
+        let mut buf = vec![0u8; 64];
+        // first_missing beyond the range: sender re-solicits with tail.
+        let len =
+            b.build_ack(&mut buf, 4, &AckPayload::NackFirstMissing { first_missing: 99 }).unwrap();
+        let out = feed(&mut s, &buf[..len]);
+        let resent: Vec<u32> =
+            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        assert_eq!(resent, vec![3]);
+    }
+
+    #[test]
+    fn bitmap_resend_set_includes_beyond_horizon() {
+        let bm = Bitmap::from_missing(2, 4, [3, 5]).unwrap(); // covers 2..6
+        let set = bitmap_resend_set(&bm, 10);
+        assert_eq!(set, vec![3, 5, 6, 7, 8, 9]);
+        let set = bitmap_resend_set(&bm, 6);
+        assert_eq!(set, vec![3, 5]);
+    }
+
+    #[test]
+    fn single_packet_blast() {
+        let cfg = config(RetxStrategy::GoBackN);
+        let payload = data(100);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let pkts = transmits(&actions);
+        assert_eq!(pkts.len(), 1);
+        let d = Datagram::parse(&pkts[0]).unwrap();
+        assert!(d.is_last() && d.is_reliable(), "single packet is the reliable tail");
+        let acks = deliver_except(&mut r, &pkts, &[]);
+        feed(&mut s, &acks[0]);
+        assert!(s.is_finished() && r.is_finished());
+        assert_eq!(r.data(), &payload[..]);
+    }
+}

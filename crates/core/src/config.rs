@@ -1,0 +1,260 @@
+//! Protocol configuration shared by all engines.
+
+use core::fmt;
+use std::time::Duration;
+
+use crate::error::{CoreError, CoreResult};
+
+/// Which of the paper's protocol classes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Stop-and-wait: "the source refrains from sending a packet until
+    /// it has received an acknowledgement for the previous packet".
+    StopAndWait,
+    /// Sliding window: "every packet is individually acknowledged but
+    /// the sender continues to transmit data without waiting".
+    SlidingWindow,
+    /// Blast: "all data packets are transmitted in sequence, with only a
+    /// single acknowledgement for the entire packet sequence".
+    Blast,
+    /// Multi-blast (§3.1.3): the transfer is broken into a number of
+    /// blasts, each acknowledged separately — for very large transfers
+    /// where a failure of a single huge blast becomes too costly.
+    MultiBlast,
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolKind::StopAndWait => "stop-and-wait",
+            ProtocolKind::SlidingWindow => "sliding-window",
+            ProtocolKind::Blast => "blast",
+            ProtocolKind::MultiBlast => "multi-blast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Retransmission strategy for blast transfers (§3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RetxStrategy {
+    /// (1) Full retransmission on error **without** negative
+    /// acknowledgement: the receiver only ever sends a positive ack when
+    /// the entire sequence arrived; the sender retransmits everything on
+    /// timeout.  Simplest, and per §3.1.3 its *expected* time is nearly
+    /// optimal at LAN error rates — but §3.2.1 shows its standard
+    /// deviation is unacceptable for realistic timeout intervals.
+    FullNoNack,
+    /// (2) Full retransmission **with** negative acknowledgement: if the
+    /// receiver gets the last packet but misses earlier ones it NACKs
+    /// immediately, so the sender rarely waits out the full timeout.
+    FullNack,
+    /// (3) Partial retransmission from the first packet not received
+    /// (go-back-n).  The paper's recommendation: "simple to implement
+    /// and not significantly worse than more complicated strategies".
+    #[default]
+    GoBackN,
+    /// (4) Selective retransmission of exactly the missing packets,
+    /// reported in a bitmap NACK.
+    Selective,
+}
+
+impl RetxStrategy {
+    /// All strategies, in the paper's order.
+    pub const ALL: [RetxStrategy; 4] = [
+        RetxStrategy::FullNoNack,
+        RetxStrategy::FullNack,
+        RetxStrategy::GoBackN,
+        RetxStrategy::Selective,
+    ];
+
+    /// Does the receiver send negative acknowledgements at all?
+    pub fn uses_nack(&self) -> bool {
+        !matches!(self, RetxStrategy::FullNoNack)
+    }
+}
+
+impl fmt::Display for RetxStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RetxStrategy::FullNoNack => "full-no-nack",
+            RetxStrategy::FullNack => "full-nack",
+            RetxStrategy::GoBackN => "go-back-n",
+            RetxStrategy::Selective => "selective",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunable parameters for a transfer.
+///
+/// The defaults reproduce the paper's experimental setup: 1024-byte data
+/// packets, a retransmission interval equal to the error-free transfer
+/// time of a 64-packet blast (`Tr = To(D)`, the best curve in Fig. 5/6),
+/// go-back-n retransmission, and an effectively unbounded window for the
+/// sliding-window protocol ("we assume that the window is large enough
+/// so that it never gets closed").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Payload bytes per data packet.  The paper uses 1024 everywhere.
+    pub packet_payload: usize,
+    /// Retransmission interval `Tr`: how long the sender waits for an
+    /// acknowledgement before acting.  Figure 5 sweeps this between
+    /// `To(D)` and `100 × To(1)`.
+    pub retransmit_timeout: Duration,
+    /// How many retransmission rounds to attempt before giving up with
+    /// [`CoreError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Blast retransmission strategy.
+    pub strategy: RetxStrategy,
+    /// Sliding-window size in packets.  `None` means unbounded — the
+    /// paper's assumption.  `Some(w)` bounds the number of unacked
+    /// packets in flight.
+    pub window: Option<u32>,
+    /// Packets per chunk for multi-blast transfers (§3.1.3).
+    pub multiblast_chunk: u32,
+    /// Set the KERNEL flag on all packets (V-kernel IPC traffic).
+    pub kernel_flag: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            packet_payload: 1024,
+            // ≈ the error-free time of a 64-packet V-kernel blast
+            // (To(D) = 173 ms in Table 3) — the paper's best-case Tr.
+            retransmit_timeout: Duration::from_millis(173),
+            max_retries: 64,
+            strategy: RetxStrategy::default(),
+            window: None,
+            multiblast_chunk: 64,
+            kernel_flag: false,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Validate the configuration, returning it for chaining.
+    pub fn validated(self) -> CoreResult<Self> {
+        if self.packet_payload == 0 {
+            return Err(CoreError::BadConfig { what: "packet_payload must be > 0" });
+        }
+        if self.packet_payload > blast_wire::MAX_ETHERNET_PAYLOAD {
+            return Err(CoreError::BadConfig {
+                what: "packet_payload exceeds the maximum Ethernet payload",
+            });
+        }
+        if self.retransmit_timeout.is_zero() {
+            return Err(CoreError::BadConfig { what: "retransmit_timeout must be > 0" });
+        }
+        if self.window == Some(0) {
+            return Err(CoreError::BadConfig { what: "window must be > 0 when bounded" });
+        }
+        if self.multiblast_chunk == 0 {
+            return Err(CoreError::BadConfig { what: "multiblast_chunk must be > 0" });
+        }
+        Ok(self)
+    }
+
+    /// Number of data packets a transfer of `bytes` bytes needs.
+    pub fn packets_for(&self, bytes: usize) -> u32 {
+        if bytes == 0 {
+            1 // a zero-byte transfer still sends one (empty) packet
+        } else {
+            bytes.div_ceil(self.packet_payload) as u32
+        }
+    }
+
+    /// Builder-style setter for the strategy.
+    pub fn with_strategy(mut self, strategy: RetxStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style setter for the retransmission interval.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.retransmit_timeout = timeout;
+        self
+    }
+
+    /// Builder-style setter for the window bound.
+    pub fn with_window(mut self, window: Option<u32>) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builder-style setter for the packet payload size.
+    pub fn with_packet_payload(mut self, payload: usize) -> Self {
+        self.packet_payload = payload;
+        self
+    }
+
+    /// Builder-style setter for the multiblast chunk size.
+    pub fn with_multiblast_chunk(mut self, chunk: u32) -> Self {
+        self.multiblast_chunk = chunk;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paperlike() {
+        let c = ProtocolConfig::default().validated().unwrap();
+        assert_eq!(c.packet_payload, 1024);
+        assert_eq!(c.strategy, RetxStrategy::GoBackN);
+        assert!(c.window.is_none());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(ProtocolConfig { packet_payload: 0, ..Default::default() }.validated().is_err());
+        assert!(ProtocolConfig { packet_payload: 40_000, ..Default::default() }
+            .validated()
+            .is_err());
+        assert!(ProtocolConfig { retransmit_timeout: Duration::ZERO, ..Default::default() }
+            .validated()
+            .is_err());
+        assert!(ProtocolConfig { window: Some(0), ..Default::default() }.validated().is_err());
+        assert!(ProtocolConfig { multiblast_chunk: 0, ..Default::default() }.validated().is_err());
+    }
+
+    #[test]
+    fn packets_for_rounds_up() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.packets_for(0), 1);
+        assert_eq!(c.packets_for(1), 1);
+        assert_eq!(c.packets_for(1024), 1);
+        assert_eq!(c.packets_for(1025), 2);
+        assert_eq!(c.packets_for(64 * 1024), 64);
+        assert_eq!(c.packets_for(64 * 1024 + 1), 65);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ProtocolConfig::default()
+            .with_strategy(RetxStrategy::Selective)
+            .with_timeout(Duration::from_millis(10))
+            .with_window(Some(8))
+            .with_packet_payload(512)
+            .with_multiblast_chunk(16);
+        assert_eq!(c.strategy, RetxStrategy::Selective);
+        assert_eq!(c.retransmit_timeout, Duration::from_millis(10));
+        assert_eq!(c.window, Some(8));
+        assert_eq!(c.packet_payload, 512);
+        assert_eq!(c.multiblast_chunk, 16);
+    }
+
+    #[test]
+    fn strategy_metadata() {
+        assert!(!RetxStrategy::FullNoNack.uses_nack());
+        for s in [RetxStrategy::FullNack, RetxStrategy::GoBackN, RetxStrategy::Selective] {
+            assert!(s.uses_nack());
+        }
+        assert_eq!(RetxStrategy::ALL.len(), 4);
+        assert_eq!(RetxStrategy::GoBackN.to_string(), "go-back-n");
+        assert_eq!(ProtocolKind::Blast.to_string(), "blast");
+    }
+}

@@ -1,0 +1,93 @@
+//! The [`Engine`] trait: the contract between protocol state machines
+//! and their drivers.
+
+use blast_wire::packet::Datagram;
+
+use crate::api::{ActionSink, EngineStats, TimerToken};
+
+/// A sans-I/O protocol engine (one end of one transfer).
+///
+/// ## Driver contract
+///
+/// * Call [`start`](Engine::start) exactly once before anything else.
+///   Senders emit their opening transmissions from it; receivers are
+///   passive and emit nothing.
+/// * For every arriving datagram that parses and carries this engine's
+///   transfer id, call [`on_datagram`](Engine::on_datagram).  Malformed
+///   packets must be dropped *before* the engine — on the paper's
+///   hardware that filtering was the Ethernet FCS in the interface.
+/// * When a timer the engine armed fires, call
+///   [`on_timer`](Engine::on_timer) with its token.  A timer that was
+///   re-armed must fire only at its newest expiry; a cancelled timer
+///   must not fire at all.
+/// * Execute emitted actions in order.
+/// * After the engine emits [`crate::api::Action::Complete`] it will
+///   emit no further actions, but it remains safe to call — a finished
+///   receiver still re-acknowledges duplicate packets so that a lost
+///   final ack does not strand the sender (the classic tail problem of
+///   §3.2.2: the ack to the last packet can itself be lost).
+pub trait Engine {
+    /// Kick the engine off.
+    fn start(&mut self, sink: &mut dyn ActionSink);
+
+    /// Feed one parsed datagram addressed to this engine's transfer.
+    fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink);
+
+    /// Notify that timer `token` fired.
+    fn on_timer(&mut self, token: TimerToken, sink: &mut dyn ActionSink);
+
+    /// True once `Complete` has been emitted.
+    fn is_finished(&self) -> bool;
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> EngineStats;
+
+    /// The transfer this engine serves.
+    fn transfer_id(&self) -> u32;
+}
+
+/// Shared bookkeeping for "the transfer is over" used by every engine:
+/// guarantees a single `Complete` emission.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Finish {
+    done: bool,
+}
+
+impl Finish {
+    pub(crate) fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    /// Emit `Complete` exactly once; later calls are ignored.
+    pub(crate) fn complete(
+        &mut self,
+        sink: &mut dyn ActionSink,
+        info: crate::api::CompletionInfo,
+    ) {
+        if !self.done {
+            self.done = true;
+            sink.push_action(crate::api::Action::Complete(Box::new(info)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Action, CompletionInfo};
+
+    #[test]
+    fn finish_emits_exactly_once() {
+        let mut f = Finish::default();
+        let mut sink: Vec<Action> = Vec::new();
+        assert!(!f.is_finished());
+        f.complete(&mut sink, CompletionInfo::success(1, EngineStats::default()));
+        f.complete(&mut sink, CompletionInfo::success(2, EngineStats::default()));
+        assert!(f.is_finished());
+        assert_eq!(sink.len(), 1);
+        match &sink[0] {
+            Action::Complete(info) => assert_eq!(info.result, Ok(1)),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Errors surfaced by the protocol engines.
+
+use core::fmt;
+
+use blast_wire::WireError;
+
+/// Result alias for engine operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors from the protocol engines.
+///
+/// Engines treat most anomalies (duplicate packets, stale rounds,
+/// unexpected acks) as noise to be ignored — that is protocol behaviour,
+/// not an error.  `CoreError` is reserved for conditions that make the
+/// transfer itself fail or that indicate caller misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The retransmission budget was exhausted without completing the
+    /// transfer (the peer is unreachable or losses exceed the budget).
+    RetriesExhausted {
+        /// Retries configured.
+        retries: u32,
+    },
+    /// A received packet contradicts the transfer parameters, e.g. a
+    /// data packet whose `total`/`offset`/length does not match the
+    /// pre-allocated receive buffer.  The paper's premise is that buffers
+    /// are allocated *before* the transfer, so geometry is fixed.
+    GeometryMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+    /// The transfer was cancelled by the peer.
+    Cancelled,
+    /// A wire-format error on a packet the engine was asked to process.
+    /// Drivers normally drop malformed packets before the engine sees
+    /// them; this surfaces misuse of the engine API itself.
+    Wire(WireError),
+    /// Caller misuse: the engine cannot accept this call in its current
+    /// state (e.g. `start` called twice).
+    BadState {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// The requested configuration is unusable (zero-size packets,
+    /// window of zero, transfer too large for a single blast, ...).
+    BadConfig {
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::RetriesExhausted { retries } => {
+                write!(f, "transfer failed after {retries} retransmission attempts")
+            }
+            CoreError::GeometryMismatch { what } => {
+                write!(f, "packet does not match transfer geometry: {what}")
+            }
+            CoreError::Cancelled => write!(f, "transfer cancelled by peer"),
+            CoreError::Wire(e) => write!(f, "wire error: {e}"),
+            CoreError::BadState { what } => write!(f, "engine misuse: {what}"),
+            CoreError::BadConfig { what } => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for CoreError {
+    fn from(e: WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::RetriesExhausted { retries: 5 }.to_string().contains('5'));
+        assert!(CoreError::GeometryMismatch { what: "offset" }.to_string().contains("offset"));
+        assert_eq!(CoreError::Cancelled.to_string(), "transfer cancelled by peer");
+        assert!(CoreError::BadState { what: "double start" }.to_string().contains("double"));
+        assert!(CoreError::BadConfig { what: "window=0" }.to_string().contains("window=0"));
+    }
+
+    #[test]
+    fn wire_error_converts_and_chains() {
+        let we = WireError::BadChecksum;
+        let ce: CoreError = we.into();
+        assert!(matches!(ce, CoreError::Wire(WireError::BadChecksum)));
+        assert!(std::error::Error::source(&ce).is_some());
+        assert!(std::error::Error::source(&CoreError::Cancelled).is_none());
+    }
+}

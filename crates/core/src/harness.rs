@@ -1,0 +1,528 @@
+//! A deterministic virtual-time harness that runs a sender engine
+//! against a receiver engine over a configurable lossy channel.
+//!
+//! This is *not* the performance simulator (`blast-sim` models processor
+//! copy costs, interfaces and the Ethernet medium).  The harness exists
+//! to test and property-test protocol *correctness*: it gives packets a
+//! fixed tiny latency, honours timers in virtual time, and injects
+//! losses according to a [`LossPlan`] — deterministic from a seed, so
+//! every failure reproduces.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::time::Duration;
+
+use blast_wire::packet::Datagram;
+
+use crate::api::{Action, EngineStats, Outcome, TimerToken};
+use crate::engine::Engine;
+use crate::error::CoreError;
+
+/// Which end of the channel an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The data source.
+    Sender,
+    /// The data sink.
+    Receiver,
+}
+
+impl Side {
+    fn other(self) -> Side {
+        match self {
+            Side::Sender => Side::Receiver,
+            Side::Receiver => Side::Sender,
+        }
+    }
+}
+
+/// Loss injection policy for the harness channel.
+#[derive(Debug, Clone)]
+pub enum LossPlan {
+    /// Deliver everything.
+    Perfect,
+    /// Drop each packet independently with probability
+    /// `numerator / denominator` — the paper's iid error model with
+    /// `p_n = numerator/denominator`, driven by a deterministic
+    /// xorshift generator from `seed`.
+    Random {
+        /// RNG seed; same seed ⇒ same drop pattern.
+        seed: u64,
+        /// Loss probability numerator.
+        numerator: u32,
+        /// Loss probability denominator.
+        denominator: u32,
+    },
+    /// Drop exactly the n-th, m-th, ... packets placed on the wire
+    /// (0-based, counting every transmission from either side).
+    Script(Vec<u64>),
+}
+
+impl LossPlan {
+    /// No loss.
+    pub fn perfect() -> Self {
+        LossPlan::Perfect
+    }
+
+    /// iid loss with probability `p halves in 1/denominator` units.
+    pub fn random(seed: u64, numerator: u32, denominator: u32) -> Self {
+        assert!(denominator > 0 && numerator <= denominator);
+        LossPlan::Random { seed, numerator, denominator }
+    }
+
+    /// Drop the given wire-sequence numbers.
+    pub fn script(drops: impl Into<Vec<u64>>) -> Self {
+        LossPlan::Script(drops.into())
+    }
+}
+
+/// Internal deterministic RNG (xorshift64*), independent of the `rand`
+/// crate so the harness can live in `blast-core` without dependencies.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Deliver { to: Side, packet: Vec<u8> },
+    Timer { side: Side, token: TimerToken, generation: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    at_ns: u64,
+    seq: u64, // tie-break for determinism
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ns, self.seq).cmp(&(other.at_ns, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Errors the harness can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// Both event queues drained without both engines completing —
+    /// a protocol deadlock.
+    Deadlock {
+        /// Virtual time at which the queue drained.
+        at: Duration,
+    },
+    /// The event budget was exhausted (livelock or pathological loss).
+    BudgetExhausted,
+    /// An engine completed with a failure.
+    TransferFailed(CoreError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Deadlock { at } => write!(f, "protocol deadlock at {at:?}"),
+            HarnessError::BudgetExhausted => write!(f, "event budget exhausted"),
+            HarnessError::TransferFailed(e) => write!(f, "transfer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Receiver engines that expose the received bytes, so the harness can
+/// verify data integrity.
+pub trait ReceiverEngine: Engine {
+    /// The received bytes (zero-filled holes until complete).
+    fn received(&self) -> &[u8];
+}
+
+impl ReceiverEngine for crate::saw::SawReceiver {
+    fn received(&self) -> &[u8] {
+        self.data()
+    }
+}
+
+impl ReceiverEngine for crate::blast::BlastReceiver {
+    fn received(&self) -> &[u8] {
+        self.data()
+    }
+}
+
+/// The virtual-time correctness harness.
+pub struct Harness<S: Engine, R: ReceiverEngine> {
+    sender: S,
+    receiver: R,
+    plan: LossPlan,
+    rng: XorShift,
+    queue: BinaryHeap<Reverse<Event>>,
+    now_ns: u64,
+    event_seq: u64,
+    /// Current generation per (side, token): a timer event only fires if
+    /// its generation is still current (set/cancel bump it).
+    timer_gen: HashMap<(Side, TimerToken), u64>,
+    /// One-way packet latency.
+    latency: Duration,
+    /// Packets placed on the wire so far (index for `LossPlan::Script`).
+    pub wire_count: u64,
+    /// Packets dropped by the loss plan.
+    pub dropped: u64,
+    /// Hard cap on processed events.
+    pub max_events: u64,
+    sender_done: Option<Result<usize, CoreError>>,
+    receiver_done: Option<Result<usize, CoreError>>,
+    sender_finish_ns: Option<u64>,
+}
+
+impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
+    /// Create a harness around a sender/receiver pair.
+    pub fn new(sender: S, receiver: R, plan: LossPlan) -> Self {
+        let seed = match &plan {
+            LossPlan::Random { seed, .. } => *seed,
+            _ => 1,
+        };
+        Harness {
+            sender,
+            receiver,
+            plan,
+            rng: XorShift::new(seed),
+            queue: BinaryHeap::new(),
+            now_ns: 0,
+            event_seq: 0,
+            timer_gen: HashMap::new(),
+            latency: Duration::from_micros(10), // the paper's τ
+            wire_count: 0,
+            dropped: 0,
+            max_events: 10_000_000,
+            sender_done: None,
+            receiver_done: None,
+            sender_finish_ns: None,
+        }
+    }
+
+    /// Override the one-way latency (default 10 µs).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    fn push(&mut self, at_ns: u64, kind: EventKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.queue.push(Reverse(Event { at_ns, seq, kind }));
+    }
+
+    fn should_drop(&mut self) -> bool {
+        let idx = self.wire_count;
+        match &self.plan {
+            LossPlan::Perfect => false,
+            LossPlan::Random { numerator, denominator, .. } => {
+                let (n, d) = (*numerator, *denominator);
+                (self.rng.next_u64() % u64::from(d)) < u64::from(n)
+            }
+            LossPlan::Script(drops) => drops.contains(&idx),
+        }
+    }
+
+    fn run_actions(&mut self, side: Side, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Transmit(packet) => {
+                    let drop = self.should_drop();
+                    self.wire_count += 1;
+                    if drop {
+                        self.dropped += 1;
+                    } else {
+                        let at = self.now_ns + self.latency.as_nanos() as u64;
+                        self.push(at, EventKind::Deliver { to: side.other(), packet });
+                    }
+                }
+                Action::SetTimer { token, after } => {
+                    let generation = self.timer_gen.entry((side, token)).or_insert(0);
+                    *generation += 1;
+                    let g = *generation;
+                    let at = self.now_ns + after.as_nanos() as u64;
+                    self.push(at, EventKind::Timer { side, token, generation: g });
+                }
+                Action::CancelTimer { token } => {
+                    // Bump the generation: pending events become stale.
+                    *self.timer_gen.entry((side, token)).or_insert(0) += 1;
+                }
+                Action::Complete(info) => match side {
+                    Side::Sender => {
+                        self.sender_done = Some(info.result.clone());
+                        self.sender_finish_ns = Some(self.now_ns);
+                    }
+                    Side::Receiver => self.receiver_done = Some(info.result.clone()),
+                },
+            }
+        }
+    }
+
+    /// Run until both engines complete (success) or fail.
+    pub fn run(&mut self) -> Result<Outcome, HarnessError> {
+        let mut actions = Vec::new();
+        self.sender.start(&mut actions);
+        self.run_actions(Side::Sender, actions);
+        let mut actions = Vec::new();
+        self.receiver.start(&mut actions);
+        self.run_actions(Side::Receiver, actions);
+
+        let mut processed: u64 = 0;
+        while self.sender_done.is_none() || self.receiver_done.is_none() {
+            // A failed engine ends the run immediately: its peer may
+            // never learn (that is the failure mode being tested).
+            if let Some(Err(e)) = &self.sender_done {
+                return Err(HarnessError::TransferFailed(e.clone()));
+            }
+            if let Some(Err(e)) = &self.receiver_done {
+                return Err(HarnessError::TransferFailed(e.clone()));
+            }
+            processed += 1;
+            if processed > self.max_events {
+                return Err(HarnessError::BudgetExhausted);
+            }
+            let Some(Reverse(event)) = self.queue.pop() else {
+                return Err(HarnessError::Deadlock {
+                    at: Duration::from_nanos(self.now_ns),
+                });
+            };
+            self.now_ns = event.at_ns;
+            match event.kind {
+                EventKind::Deliver { to, packet } => {
+                    let Ok(dgram) = Datagram::parse(&packet) else {
+                        continue; // corrupt packets are dropped by the wire layer
+                    };
+                    let mut out = Vec::new();
+                    match to {
+                        Side::Sender => self.sender.on_datagram(&dgram, &mut out),
+                        Side::Receiver => self.receiver.on_datagram(&dgram, &mut out),
+                    }
+                    self.run_actions(to, out);
+                }
+                EventKind::Timer { side, token, generation } => {
+                    if self.timer_gen.get(&(side, token)).copied() != Some(generation) {
+                        continue; // re-armed or cancelled
+                    }
+                    let mut out = Vec::new();
+                    match side {
+                        Side::Sender => self.sender.on_timer(token, &mut out),
+                        Side::Receiver => self.receiver.on_timer(token, &mut out),
+                    }
+                    self.run_actions(side, out);
+                }
+            }
+        }
+
+        let sender_result = self.sender_done.clone().expect("loop exit condition");
+        let receiver_result = self.receiver_done.clone().expect("loop exit condition");
+        match (&sender_result, &receiver_result) {
+            (Ok(bytes), Ok(_)) => Ok(Outcome {
+                sender: self.sender.stats(),
+                receiver: self.receiver.stats(),
+                bytes: *bytes,
+            }),
+            (Err(e), _) => Err(HarnessError::TransferFailed(e.clone())),
+            (_, Err(e)) => Err(HarnessError::TransferFailed(e.clone())),
+        }
+    }
+
+    /// Virtual time at which the sender completed (the paper's "elapsed
+    /// time … including the receipt of the last acknowledgement at the
+    /// source").
+    pub fn sender_elapsed(&self) -> Option<Duration> {
+        self.sender_finish_ns.map(Duration::from_nanos)
+    }
+
+    /// The receiver's assembled data.
+    pub fn received_data(&self) -> &[u8] {
+        self.receiver.received()
+    }
+
+    /// Borrow the sender engine.
+    pub fn sender(&self) -> &S {
+        &self.sender
+    }
+
+    /// Borrow the receiver engine.
+    pub fn receiver(&self) -> &R {
+        &self.receiver
+    }
+
+    /// Sender + receiver stats snapshot.
+    pub fn stats(&self) -> (EngineStats, EngineStats) {
+        (self.sender.stats(), self.receiver.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blast::{BlastReceiver, BlastSender};
+    use crate::config::{ProtocolConfig, RetxStrategy};
+    use crate::multiblast::MultiBlastSender;
+    use crate::saw::{SawReceiver, SawSender};
+    use crate::window::WindowSender;
+    use std::sync::Arc;
+
+    fn data(n: usize) -> Arc<[u8]> {
+        (0..n).map(|i| (i * 17 % 255) as u8).collect::<Vec<u8>>().into()
+    }
+
+    #[test]
+    fn all_protocols_complete_losslessly() {
+        let cfg = ProtocolConfig::default();
+        let payload = data(32 * 1024);
+
+        let mut h = Harness::new(
+            SawSender::new(1, payload.clone(), &cfg),
+            SawReceiver::new(1, payload.len(), &cfg),
+            LossPlan::perfect(),
+        );
+        h.run().unwrap();
+        assert_eq!(h.received_data(), &payload[..]);
+
+        let mut h = Harness::new(
+            WindowSender::new(1, payload.clone(), &cfg),
+            SawReceiver::new(1, payload.len(), &cfg),
+            LossPlan::perfect(),
+        );
+        h.run().unwrap();
+        assert_eq!(h.received_data(), &payload[..]);
+
+        for strategy in RetxStrategy::ALL {
+            let cfg = cfg.clone().with_strategy(strategy);
+            let mut h = Harness::new(
+                BlastSender::new(1, payload.clone(), &cfg),
+                BlastReceiver::new(1, payload.len(), &cfg),
+                LossPlan::perfect(),
+            );
+            let outcome = h.run().unwrap();
+            assert_eq!(h.received_data(), &payload[..]);
+            assert_eq!(outcome.sender.data_packets_sent, 32);
+            assert_eq!(outcome.receiver.acks_sent, 1);
+        }
+
+        let cfg = cfg.clone().with_multiblast_chunk(8);
+        let mut h = Harness::new(
+            MultiBlastSender::new(1, payload.clone(), &cfg),
+            BlastReceiver::new(1, payload.len(), &cfg),
+            LossPlan::perfect(),
+        );
+        let outcome = h.run().unwrap();
+        assert_eq!(h.received_data(), &payload[..]);
+        assert_eq!(outcome.receiver.acks_sent, 4);
+    }
+
+    #[test]
+    fn scripted_loss_recovers_per_strategy() {
+        let payload = data(16 * 1024);
+        for strategy in RetxStrategy::ALL {
+            let cfg = ProtocolConfig::default().with_strategy(strategy);
+            // Drop the 2nd, 5th and 11th wire packets.
+            let mut h = Harness::new(
+                BlastSender::new(1, payload.clone(), &cfg),
+                BlastReceiver::new(1, payload.len(), &cfg),
+                LossPlan::script(vec![2, 5, 11]),
+            );
+            let outcome = h.run().unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert_eq!(h.received_data(), &payload[..], "{strategy}");
+            assert!(outcome.sender.data_packets_sent >= 16, "{strategy}");
+            assert_eq!(h.dropped, 3, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn heavy_random_loss_still_completes() {
+        let payload = data(64 * 1024);
+        for strategy in RetxStrategy::ALL {
+            let mut cfg = ProtocolConfig::default().with_strategy(strategy);
+            cfg.max_retries = 10_000;
+            // 10 % iid loss: brutal by LAN standards (the paper's worst
+            // interface-error case is ~1e-2 … 1e-4).
+            let mut h = Harness::new(
+                BlastSender::new(1, payload.clone(), &cfg),
+                BlastReceiver::new(1, payload.len(), &cfg),
+                LossPlan::random(0xBAD5EED ^ strategy as u64, 1, 10),
+            );
+            h.run().unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert_eq!(h.received_data(), &payload[..], "{strategy}");
+            assert!(h.dropped > 0, "{strategy}: loss plan should have dropped something");
+        }
+    }
+
+    #[test]
+    fn total_loss_exhausts_retries() {
+        let payload = data(4 * 1024);
+        let mut cfg = ProtocolConfig::default();
+        cfg.max_retries = 5;
+        let mut h = Harness::new(
+            BlastSender::new(1, payload.clone(), &cfg),
+            BlastReceiver::new(1, payload.len(), &cfg),
+            LossPlan::random(7, 1, 1), // 100 % loss
+        );
+        match h.run() {
+            Err(HarnessError::TransferFailed(CoreError::RetriesExhausted { retries: 5 })) => {}
+            other => panic!("expected retries exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sender_elapsed_reflects_latency_and_timers() {
+        let payload = data(1024);
+        let cfg = ProtocolConfig::default();
+        let mut h = Harness::new(
+            BlastSender::new(1, payload.clone(), &cfg),
+            BlastReceiver::new(1, payload.len(), &cfg),
+            LossPlan::perfect(),
+        );
+        h.run().unwrap();
+        // One data packet out (10 µs) + ack back (10 µs) = 20 µs.
+        assert_eq!(h.sender_elapsed(), Some(Duration::from_micros(20)));
+
+        // Drop the data packet once: one retransmit timeout is added.
+        let mut h = Harness::new(
+            BlastSender::new(1, payload.clone(), &cfg),
+            BlastReceiver::new(1, payload.len(), &cfg),
+            LossPlan::script(vec![0]),
+        );
+        h.run().unwrap();
+        let expected = cfg.retransmit_timeout + Duration::from_micros(20);
+        assert_eq!(h.sender_elapsed(), Some(expected));
+    }
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let payload = data(32 * 1024);
+        let cfg = ProtocolConfig::default();
+        let run = |seed: u64| {
+            let mut h = Harness::new(
+                BlastSender::new(1, payload.clone(), &cfg),
+                BlastReceiver::new(1, payload.len(), &cfg),
+                LossPlan::random(seed, 1, 20),
+            );
+            h.run().unwrap();
+            (h.wire_count, h.dropped, h.sender_elapsed())
+        };
+        assert_eq!(run(42), run(42), "same seed, same trajectory");
+    }
+}

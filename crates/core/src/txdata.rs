@@ -1,0 +1,148 @@
+//! The sender's view of the data being transferred.
+
+use std::sync::Arc;
+
+/// Immutable transfer data, pre-segmented into fixed-size packets.
+///
+/// Cheap to clone (`Arc`); the engines never copy the data — slices of it
+/// are copied exactly once, into the outgoing datagram, which is the
+/// paper's "copy into the sender's interface".
+#[derive(Debug, Clone)]
+pub struct TxData {
+    data: Arc<[u8]>,
+    packet_payload: usize,
+}
+
+impl TxData {
+    /// Wrap `data` for transmission in `packet_payload`-byte packets.
+    ///
+    /// # Panics
+    /// Panics if `packet_payload` is zero (configs are validated before
+    /// engines are built).
+    pub fn new(data: Arc<[u8]>, packet_payload: usize) -> Self {
+        assert!(packet_payload > 0, "packet_payload must be positive");
+        TxData { data, packet_payload }
+    }
+
+    /// Total bytes in the transfer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-byte transfer (still one empty packet on the
+    /// wire, so the receiver gets a completion signal).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of data packets the transfer needs (`D` in the paper).
+    pub fn total_packets(&self) -> u32 {
+        if self.data.is_empty() {
+            1
+        } else {
+            self.data.len().div_ceil(self.packet_payload) as u32
+        }
+    }
+
+    /// Byte offset of packet `seq` within the transfer.
+    pub fn offset_of(&self, seq: u32) -> usize {
+        seq as usize * self.packet_payload
+    }
+
+    /// Payload slice of packet `seq`.  The final packet may be shorter
+    /// than `packet_payload`; all others are exactly `packet_payload`.
+    ///
+    /// # Panics
+    /// Panics if `seq >= total_packets()`.
+    pub fn payload_of(&self, seq: u32) -> &[u8] {
+        let total = self.total_packets();
+        assert!(seq < total, "seq {seq} out of range (total {total})");
+        let start = self.offset_of(seq);
+        let end = (start + self.packet_payload).min(self.data.len());
+        &self.data[start..end]
+    }
+
+    /// The configured per-packet payload size.
+    pub fn packet_payload(&self) -> usize {
+        self.packet_payload
+    }
+
+    /// The whole transfer buffer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(len: usize, payload: usize) -> TxData {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        TxData::new(data.into(), payload)
+    }
+
+    #[test]
+    fn exact_multiple_segmentation() {
+        let tx = make(4096, 1024);
+        assert_eq!(tx.total_packets(), 4);
+        for seq in 0..4 {
+            assert_eq!(tx.payload_of(seq).len(), 1024);
+            assert_eq!(tx.offset_of(seq), seq as usize * 1024);
+        }
+    }
+
+    #[test]
+    fn short_final_packet() {
+        let tx = make(2500, 1024);
+        assert_eq!(tx.total_packets(), 3);
+        assert_eq!(tx.payload_of(0).len(), 1024);
+        assert_eq!(tx.payload_of(1).len(), 1024);
+        assert_eq!(tx.payload_of(2).len(), 2500 - 2048);
+    }
+
+    #[test]
+    fn single_packet_transfer() {
+        let tx = make(10, 1024);
+        assert_eq!(tx.total_packets(), 1);
+        assert_eq!(tx.payload_of(0).len(), 10);
+    }
+
+    #[test]
+    fn empty_transfer_is_one_empty_packet() {
+        let tx = make(0, 1024);
+        assert!(tx.is_empty());
+        assert_eq!(tx.total_packets(), 1);
+        assert_eq!(tx.payload_of(0).len(), 0);
+    }
+
+    #[test]
+    fn payload_content_matches_source() {
+        let tx = make(3000, 1000);
+        let mut reassembled = Vec::new();
+        for seq in 0..tx.total_packets() {
+            reassembled.extend_from_slice(tx.payload_of(seq));
+        }
+        assert_eq!(reassembled, tx.bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn payload_out_of_range_panics() {
+        let tx = make(1024, 1024);
+        let _ = tx.payload_of(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_payload_size_panics() {
+        let _ = TxData::new(vec![1u8].into(), 0);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let tx = make(2048, 1024);
+        let tx2 = tx.clone();
+        assert_eq!(tx.bytes().as_ptr(), tx2.bytes().as_ptr());
+    }
+}

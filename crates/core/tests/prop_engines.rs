@@ -1,0 +1,194 @@
+//! Property-based tests: under *arbitrary* loss patterns, every protocol
+//! eventually delivers byte-identical data or fails cleanly with
+//! retries-exhausted — never corrupts, never deadlocks, never panics.
+//!
+//! This is the invariant the paper takes for granted ("this procedure
+//! continues until all packets get to their destination", §3.2.3); here
+//! it is machine-checked.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_core::harness::{Harness, HarnessError, LossPlan};
+use blast_core::multiblast::MultiBlastSender;
+use blast_core::saw::{SawReceiver, SawSender};
+use blast_core::window::WindowSender;
+use blast_core::CoreError;
+use proptest::prelude::*;
+
+fn payload(len: usize) -> Arc<[u8]> {
+    (0..len).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect::<Vec<u8>>().into()
+}
+
+fn strategy_from(idx: u8) -> RetxStrategy {
+    RetxStrategy::ALL[(idx as usize) % RetxStrategy::ALL.len()]
+}
+
+/// Random-loss completion for the blast strategies.  Loss ≤ 25 %: with a
+/// generous retry budget the transfer must complete with intact data.
+fn check_blast(len: usize, strategy: RetxStrategy, seed: u64, loss_pct: u32) {
+    let mut cfg = ProtocolConfig::default().with_strategy(strategy);
+    cfg.max_retries = 50_000;
+    cfg.retransmit_timeout = Duration::from_millis(50);
+    let data = payload(len);
+    let mut h = Harness::new(
+        BlastSender::new(1, data.clone(), &cfg),
+        BlastReceiver::new(1, data.len(), &cfg),
+        LossPlan::random(seed, loss_pct, 100),
+    );
+    match h.run() {
+        Ok(_) => assert_eq!(h.received_data(), &data[..], "{strategy} seed={seed}"),
+        Err(e) => panic!("{strategy} seed={seed} loss={loss_pct}%: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blast_survives_random_loss(
+        len in 1usize..40_000,
+        strategy_idx in 0u8..4,
+        seed in any::<u64>(),
+        loss_pct in 0u32..=25,
+    ) {
+        check_blast(len, strategy_from(strategy_idx), seed, loss_pct);
+    }
+
+    #[test]
+    fn saw_survives_random_loss(
+        len in 1usize..20_000,
+        seed in any::<u64>(),
+        loss_pct in 0u32..=25,
+    ) {
+        let mut cfg = ProtocolConfig::default();
+        cfg.max_retries = 50_000;
+        cfg.retransmit_timeout = Duration::from_millis(20);
+        let data = payload(len);
+        let mut h = Harness::new(
+            SawSender::new(1, data.clone(), &cfg),
+            SawReceiver::new(1, data.len(), &cfg),
+            LossPlan::random(seed, loss_pct, 100),
+        );
+        h.run().unwrap();
+        prop_assert_eq!(h.received_data(), &data[..]);
+    }
+
+    #[test]
+    fn window_survives_random_loss(
+        len in 1usize..20_000,
+        window in prop::option::of(1u32..16),
+        seed in any::<u64>(),
+        loss_pct in 0u32..=25,
+    ) {
+        let mut cfg = ProtocolConfig::default().with_window(window);
+        cfg.max_retries = 50_000;
+        cfg.retransmit_timeout = Duration::from_millis(20);
+        let data = payload(len);
+        let mut h = Harness::new(
+            WindowSender::new(1, data.clone(), &cfg),
+            SawReceiver::new(1, data.len(), &cfg),
+            LossPlan::random(seed, loss_pct, 100),
+        );
+        h.run().unwrap();
+        prop_assert_eq!(h.received_data(), &data[..]);
+    }
+
+    #[test]
+    fn multiblast_survives_random_loss(
+        len in 1usize..40_000,
+        chunk in 1u32..16,
+        strategy_idx in 0u8..4,
+        seed in any::<u64>(),
+        loss_pct in 0u32..=20,
+    ) {
+        let mut cfg = ProtocolConfig::default()
+            .with_strategy(strategy_from(strategy_idx))
+            .with_multiblast_chunk(chunk);
+        cfg.max_retries = 50_000;
+        cfg.retransmit_timeout = Duration::from_millis(50);
+        let data = payload(len);
+        let mut h = Harness::new(
+            MultiBlastSender::new(1, data.clone(), &cfg),
+            BlastReceiver::new(1, data.len(), &cfg),
+            LossPlan::random(seed, loss_pct, 100),
+        );
+        h.run().unwrap();
+        prop_assert_eq!(h.received_data(), &data[..]);
+    }
+
+    #[test]
+    fn scripted_adversarial_drops_cannot_corrupt(
+        len in 1usize..16_000,
+        strategy_idx in 0u8..4,
+        drops in proptest::collection::btree_set(0u64..60, 0..24),
+    ) {
+        // Drop any subset of the first 60 wire packets: the protocol must
+        // still converge (retries are plentiful, losses are finite).
+        let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
+        cfg.max_retries = 50_000;
+        cfg.retransmit_timeout = Duration::from_millis(50);
+        let data = payload(len);
+        let mut h = Harness::new(
+            BlastSender::new(1, data.clone(), &cfg),
+            BlastReceiver::new(1, data.len(), &cfg),
+            LossPlan::script(drops.into_iter().collect::<Vec<_>>()),
+        );
+        h.run().unwrap();
+        prop_assert_eq!(h.received_data(), &data[..]);
+    }
+
+    #[test]
+    fn exhaustion_is_clean_not_corrupt(
+        len in 1usize..8_000,
+        strategy_idx in 0u8..4,
+        retries in 1u32..6,
+    ) {
+        // 100 % loss: the sender must fail with RetriesExhausted after
+        // exactly the configured budget — no hang, no partial success.
+        let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
+        cfg.max_retries = retries;
+        cfg.retransmit_timeout = Duration::from_millis(5);
+        let data = payload(len);
+        let mut h = Harness::new(
+            BlastSender::new(1, data.clone(), &cfg),
+            BlastReceiver::new(1, data.len(), &cfg),
+            LossPlan::random(9, 1, 1),
+        );
+        match h.run() {
+            Err(HarnessError::TransferFailed(CoreError::RetriesExhausted { retries: r })) => {
+                prop_assert_eq!(r, retries);
+            }
+            other => prop_assert!(false, "expected clean exhaustion, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn retransmission_accounting_is_consistent(
+        len in 1024usize..32_000,
+        strategy_idx in 0u8..4,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
+        cfg.max_retries = 50_000;
+        cfg.retransmit_timeout = Duration::from_millis(50);
+        let data = payload(len);
+        let mut h = Harness::new(
+            BlastSender::new(1, data.clone(), &cfg),
+            BlastReceiver::new(1, data.len(), &cfg),
+            LossPlan::random(seed, 1, 10),
+        );
+        let outcome = h.run().unwrap();
+        let s = outcome.sender;
+        let r = outcome.receiver;
+        let total = blast_core::ProtocolConfig::default().packets_for(len) as u64;
+        // Fresh transmissions = sent − retransmitted = exactly D.
+        prop_assert_eq!(s.data_packets_sent - s.data_packets_retransmitted, total);
+        // The receiver placed exactly D distinct packets.
+        prop_assert_eq!(r.data_packets_received, total);
+        // Everything else it saw was a duplicate.
+        prop_assert!(r.duplicate_packets_received <= s.data_packets_sent - total);
+    }
+}

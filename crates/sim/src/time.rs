@@ -1,0 +1,117 @@
+//! Simulated time: nanosecond-resolution instants.
+//!
+//! The paper's constants are milliseconds with two decimal digits; we
+//! carry nanoseconds so that the closed-form model and the simulator can
+//! be compared for *exact* equality (the strongest validation this
+//! workspace performs — see `tests/model_vs_sim.rs`).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from a millisecond quantity (the paper's unit).
+    /// Rounds to the nearest nanosecond.
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms * 1e6).round() as u64)
+    }
+
+    /// This instant as fractional milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This instant as a `Duration` since the epoch.
+    pub fn as_duration(&self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn since(&self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+/// Convert a millisecond quantity to a `Duration`, rounding to the
+/// nearest nanosecond.
+pub fn ms(ms: f64) -> Duration {
+    Duration::from_nanos((ms * 1e6).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_roundtrip() {
+        let t = SimTime::from_ms(1.35);
+        assert_eq!(t.as_nanos(), 1_350_000);
+        assert!((t.as_ms() - 1.35).abs() < 1e-12);
+        assert_eq!(ms(0.82), Duration::from_micros(820));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(1.0) + ms(0.5);
+        assert_eq!(t, SimTime::from_ms(1.5));
+        assert_eq!(t - SimTime::from_ms(1.0), Duration::from_micros(500));
+        assert_eq!(SimTime::from_ms(1.0).since(SimTime::from_ms(2.0)), Duration::ZERO);
+        let mut u = SimTime::ZERO;
+        u += ms(2.0);
+        assert_eq!(u, SimTime::from_ms(2.0));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_ms(1.0) < SimTime::from_ms(1.001));
+        assert_eq!(SimTime::from_ms(4.08).to_string(), "4.080ms");
+    }
+
+    #[test]
+    fn paper_constants_are_exact() {
+        // The Table 2 constants must round-trip exactly at ns
+        // resolution, or the model-vs-sim equality tests would wobble.
+        for c in [1.35, 0.17, 0.82, 0.05, 0.01, 1.83, 0.67] {
+            let t = SimTime::from_ms(c);
+            assert_eq!(t.as_ms(), c);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Resource-accounting invariants of the simulator: CPU busy time,
+//! frame conservation, medium occupancy and trace consistency must all
+//! reconcile exactly — the discrete-event core keeps books that the
+//! paper's formulas can be checked against.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::saw::{SawReceiver, SawSender};
+use blast_core::ProtocolConfig;
+use blast_sim::{Lane, LossModel, SimConfig, SimTime, Simulator};
+
+fn data(n: usize) -> Arc<[u8]> {
+    (0..n).map(|i| (i % 233) as u8).collect::<Vec<u8>>().into()
+}
+
+fn blast_run(n_kb: usize, sim_cfg: SimConfig) -> blast_sim::SimReport {
+    let mut sim = Simulator::new(sim_cfg);
+    let a = sim.add_host("sender");
+    let b = sim.add_host("receiver");
+    let mut cfg = ProtocolConfig::default();
+    cfg.retransmit_timeout = Duration::from_secs(3600);
+    let payload = data(n_kb * 1024);
+    sim.attach(a, b, Box::new(BlastSender::new(1, payload.clone(), &cfg)));
+    sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &cfg)));
+    sim.run()
+}
+
+#[test]
+fn cpu_busy_time_matches_copy_arithmetic() {
+    // Error-free 64 KB blast: sender CPU = 64 C + 1 Ca (ack copy-out);
+    // receiver CPU = 64 C + 1 Ca (ack copy-in).
+    let report = blast_run(64, SimConfig::standalone());
+    let expected = Duration::from_nanos(((64.0 * 1.35 + 0.17) * 1e6_f64).round() as u64);
+    assert_eq!(report.host_stats[0].1.cpu_busy, expected, "sender");
+    assert_eq!(report.host_stats[1].1.cpu_busy, expected, "receiver");
+}
+
+#[test]
+fn medium_busy_matches_wire_arithmetic() {
+    // 64 data transmissions + 1 ack: 64 T + Ta.
+    let report = blast_run(64, SimConfig::standalone());
+    let expected = Duration::from_nanos(((64.0 * 0.82 + 0.05) * 1e6_f64).round() as u64);
+    assert_eq!(report.medium_busy, expected);
+}
+
+#[test]
+fn frame_conservation_error_free() {
+    let report = blast_run(16, SimConfig::standalone());
+    let sent: u64 = report.host_stats.iter().map(|(_, h)| h.frames_sent).sum();
+    let delivered: u64 = report.host_stats.iter().map(|(_, h)| h.frames_delivered).sum();
+    assert_eq!(sent, 17, "16 data + 1 ack");
+    assert_eq!(delivered, 17);
+    assert_eq!(report.wire_losses, 0);
+    assert_eq!(report.total_overruns(), 0);
+    assert_eq!(report.unroutable, 0);
+}
+
+#[test]
+fn frame_conservation_under_loss() {
+    let report = blast_run(
+        64,
+        SimConfig::standalone().with_loss(LossModel::iid(0.05), 99),
+    );
+    let sent: u64 = report.host_stats.iter().map(|(_, h)| h.frames_sent).sum();
+    let delivered: u64 = report.host_stats.iter().map(|(_, h)| h.frames_delivered).sum();
+    // Every sent frame is delivered, lost in flight, overrun, or still
+    // in an rx queue when the run stopped (the final ack ends the run
+    // while late retransmissions may sit unconsumed).
+    assert!(delivered + report.wire_losses + report.total_overruns() <= sent);
+    assert!(sent - (delivered + report.wire_losses + report.total_overruns()) <= 3);
+    assert!(report.wire_losses > 0);
+}
+
+#[test]
+fn trace_events_are_well_formed_and_cover_the_run() {
+    let report = blast_run(8, SimConfig::standalone().with_trace());
+    assert!(!report.trace.is_empty());
+    for e in &report.trace {
+        assert!(e.end > e.start, "{e:?}");
+        assert!(e.end <= report.end + Duration::ZERO, "{e:?}");
+    }
+    // Per-lane counts: 9 frames each copied in, transmitted, copied out.
+    for lane in [Lane::CpuCopyIn, Lane::Wire, Lane::CpuCopyOut] {
+        let count = report.trace.iter().filter(|e| e.lane == lane).count();
+        assert_eq!(count, 9, "{lane:?}");
+    }
+    // Wire events never overlap (the ether is a single resource).
+    let mut wires: Vec<(SimTime, SimTime)> = report
+        .trace
+        .iter()
+        .filter(|e| e.lane == Lane::Wire)
+        .map(|e| (e.start, e.end))
+        .collect();
+    wires.sort();
+    for w in wires.windows(2) {
+        assert!(w[0].1 <= w[1].0, "wire overlap: {w:?}");
+    }
+}
+
+#[test]
+fn cpu_trace_never_overlaps_per_host() {
+    let report = blast_run(8, SimConfig::standalone().with_trace());
+    for host in 0..2 {
+        let mut cpu: Vec<(SimTime, SimTime)> = report
+            .trace
+            .iter()
+            .filter(|e| e.host == host && e.lane != Lane::Wire)
+            .map(|e| (e.start, e.end))
+            .collect();
+        cpu.sort();
+        for w in cpu.windows(2) {
+            assert!(w[0].1 <= w[1].0, "host {host} CPU overlap: {w:?}");
+        }
+    }
+}
+
+#[test]
+fn stop_and_wait_cpu_books() {
+    // SAW sender: N data copies in + N ack copies out; receiver: N data
+    // copies out + N ack copies in.
+    let mut sim = Simulator::new(SimConfig::standalone());
+    let a = sim.add_host("s");
+    let b = sim.add_host("r");
+    let mut cfg = ProtocolConfig::default();
+    cfg.retransmit_timeout = Duration::from_secs(3600);
+    let payload = data(16 * 1024);
+    sim.attach(a, b, Box::new(SawSender::new(1, payload.clone(), &cfg)));
+    sim.attach(b, a, Box::new(SawReceiver::new(1, payload.len(), &cfg)));
+    let report = sim.run();
+    let expected = Duration::from_nanos(((16.0 * (1.35 + 0.17)) * 1e6_f64).round() as u64);
+    assert_eq!(report.host_stats[0].1.cpu_busy, expected);
+    assert_eq!(report.host_stats[1].1.cpu_busy, expected);
+}
+
+#[test]
+fn utilization_definition_is_consistent() {
+    let report = blast_run(64, SimConfig::standalone());
+    let u = report.utilization();
+    let manual = report.medium_busy.as_secs_f64() / report.end.as_duration().as_secs_f64();
+    assert!((u - manual).abs() < 1e-12);
+}
+
+#[test]
+fn events_processed_is_reported_and_bounded() {
+    let report = blast_run(4, SimConfig::standalone());
+    // 5 frames × (CpuDone-tx, TxEnd, Arrive, CpuDone-rx) = 20 events,
+    // plus scheduling slack; certainly < 64.
+    assert!(report.events_processed >= 20);
+    assert!(report.events_processed < 64, "{}", report.events_processed);
+}

@@ -1,0 +1,314 @@
+//! ASCII line charts, for regenerating the paper's figures in a
+//! terminal.
+//!
+//! Figures 4–6 of the paper are line charts (elapsed time vs transfer
+//! size; expected time and standard deviation vs error rate on a log-x
+//! axis).  [`Chart`] renders multiple named series onto a character
+//! grid, interpolating between data points column-by-column so curves
+//! read as curves.
+
+/// A multi-series line chart.
+///
+/// ```
+/// use blast_stats::Chart;
+/// let mut c = Chart::new("demo", 40, 10);
+/// c.series("linear", (0..10).map(|i| (i as f64, i as f64)).collect());
+/// let s = c.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("a = linear"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    x_log: bool,
+    y_log: bool,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Chart {
+    /// New chart with a plot area of `width × height` characters.
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        Chart {
+            title: title.to_string(),
+            width: width.max(16),
+            height: height.max(4),
+            x_log: false,
+            y_log: false,
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Use a logarithmic x axis (the error-rate axis of Figures 5/6).
+    pub fn log_x(mut self) -> Self {
+        self.x_log = true;
+        self
+    }
+
+    /// Use a logarithmic y axis.
+    pub fn log_y(mut self) -> Self {
+        self.y_log = true;
+        self
+    }
+
+    /// Set the axis labels.
+    pub fn labels(mut self, x: &str, y: &str) -> Self {
+        self.x_label = x.to_string();
+        self.y_label = y.to_string();
+        self
+    }
+
+    /// Add a named series.  Points with non-finite or (on log axes)
+    /// non-positive coordinates are skipped.
+    pub fn series(&mut self, name: &str, mut points: Vec<(f64, f64)>) {
+        points.retain(|(x, y)| {
+            x.is_finite() && y.is_finite() && (!self.x_log || *x > 0.0) && (!self.y_log || *y > 0.0)
+        });
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite by retain"));
+        self.series.push((name.to_string(), points));
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        if self.x_log {
+            x.ln()
+        } else {
+            x
+        }
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        if self.y_log {
+            y.ln()
+        } else {
+            y
+        }
+    }
+
+    /// Render the chart to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(self.tx(x));
+            x_max = x_max.max(self.tx(x));
+            y_min = y_min.min(self.ty(y));
+            y_max = y_max.max(self.ty(y));
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let marker = (b'a' + (si % 26) as u8) as char;
+            if pts.is_empty() {
+                continue;
+            }
+            if pts.len() == 1 {
+                self.plot(&mut grid, pts[0], marker, x_min, x_max, y_min, y_max);
+                continue;
+            }
+            // Column-wise interpolation in transformed space.
+            for col in 0..self.width {
+                let x_t = x_min + (x_max - x_min) * col as f64 / (self.width - 1) as f64;
+                let Some(y_t) = interpolate(pts, x_t, |v| self.tx(v), |v| self.ty(v)) else {
+                    continue;
+                };
+                let row = self.row_of(y_t, y_min, y_max);
+                grid[row][col] = marker;
+            }
+        }
+
+        // Y axis with three tick labels.
+        let y_disp = |t: f64| if self.y_log { t.exp() } else { t };
+        let top_label = fmt_axis(y_disp(y_max));
+        let mid_label = fmt_axis(y_disp((y_min + y_max) / 2.0));
+        let bot_label = fmt_axis(y_disp(y_min));
+        let label_w = top_label.len().max(mid_label.len()).max(bot_label.len());
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                &top_label
+            } else if r == self.height / 2 {
+                &mid_label
+            } else if r == self.height - 1 {
+                &bot_label
+            } else {
+                ""
+            };
+            out.push_str(&format!("{label:>label_w$} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        // X axis.
+        out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(self.width)));
+        let x_disp = |t: f64| if self.x_log { t.exp() } else { t };
+        let left = fmt_axis(x_disp(x_min));
+        let right = fmt_axis(x_disp(x_max));
+        let gap = self.width.saturating_sub(left.len() + right.len());
+        out.push_str(&format!("{:>label_w$}  {left}{}{right}\n", "", " ".repeat(gap)));
+        if !self.x_label.is_empty() || !self.y_label.is_empty() {
+            out.push_str(&format!(
+                "{:>label_w$}  x: {}   y: {}\n",
+                "", self.x_label, self.y_label
+            ));
+        }
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let marker = (b'a' + (si % 26) as u8) as char;
+            out.push_str(&format!("{:>label_w$}  {marker} = {name}\n", ""));
+        }
+        out
+    }
+
+    fn row_of(&self, y_t: f64, y_min: f64, y_max: f64) -> usize {
+        let frac = (y_t - y_min) / (y_max - y_min);
+        let r = ((1.0 - frac) * (self.height - 1) as f64).round();
+        (r as isize).clamp(0, self.height as isize - 1) as usize
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn plot(
+        &self,
+        grid: &mut [Vec<char>],
+        p: (f64, f64),
+        marker: char,
+        x_min: f64,
+        x_max: f64,
+        y_min: f64,
+        y_max: f64,
+    ) {
+        let x_t = self.tx(p.0);
+        let y_t = self.ty(p.1);
+        let col = (((x_t - x_min) / (x_max - x_min)) * (self.width - 1) as f64).round();
+        let col = (col as isize).clamp(0, self.width as isize - 1) as usize;
+        let row = self.row_of(y_t, y_min, y_max);
+        grid[row][col] = marker;
+    }
+}
+
+/// Format an axis tick value: plain decimal in the comfortable range,
+/// scientific notation for very small/large magnitudes (log axes).
+fn fmt_axis(v: f64) -> String {
+    let a = v.abs();
+    if v != 0.0 && (a < 1e-2 || a >= 1e5) {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Interpolate `y` (transformed) at transformed-x `x_t` along the
+/// piecewise-linear curve through `pts`; `None` outside the domain.
+fn interpolate(
+    pts: &[(f64, f64)],
+    x_t: f64,
+    tx: impl Fn(f64) -> f64,
+    ty: impl Fn(f64) -> f64,
+) -> Option<f64> {
+    let first = tx(pts.first()?.0);
+    let last = tx(pts.last()?.0);
+    if x_t < first - 1e-12 || x_t > last + 1e-12 {
+        return None;
+    }
+    for w in pts.windows(2) {
+        let (x0, y0) = (tx(w[0].0), ty(w[0].1));
+        let (x1, y1) = (tx(w[1].0), ty(w[1].1));
+        if x_t <= x1 + 1e-12 {
+            if (x1 - x0).abs() < 1e-12 {
+                return Some(y1);
+            }
+            let f = ((x_t - x0) / (x1 - x0)).clamp(0.0, 1.0);
+            return Some(y0 + (y1 - y0) * f);
+        }
+    }
+    Some(ty(pts.last().expect("non-empty").1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series_with_legend() {
+        let mut c = Chart::new("Figure: demo", 40, 12).labels("N", "ms");
+        c.series("slow", (1..=10).map(|i| (i as f64, 2.0 * i as f64)).collect());
+        c.series("fast", (1..=10).map(|i| (i as f64, i as f64)).collect());
+        let s = c.render();
+        assert!(s.contains("Figure: demo"));
+        assert!(s.contains("a = slow"));
+        assert!(s.contains("b = fast"));
+        assert!(s.contains("x: N"));
+        // Both markers appear in the plot area.
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn log_x_positions_decades_evenly() {
+        let mut c = Chart::new("t", 31, 5).log_x();
+        c.series("s", vec![(1e-6, 1.0), (1e-4, 1.0), (1e-2, 1.0)]);
+        let s = c.render();
+        // A flat series on log-x spans the full width on one row.
+        let data_row = s.lines().find(|l| l.contains('a')).unwrap();
+        let count = data_row.matches('a').count();
+        assert!(count >= 29, "interpolation should fill the row: {count}");
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let c = Chart::new("empty", 30, 8);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn nonpositive_points_dropped_on_log_axes() {
+        let mut c = Chart::new("t", 20, 5).log_x().log_y();
+        c.series("s", vec![(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (1.0, 1.0), (10.0, 10.0)]);
+        let s = c.render();
+        assert!(s.contains('a'));
+    }
+
+    #[test]
+    fn single_point_series_plots() {
+        let mut c = Chart::new("t", 20, 5);
+        c.series("dot", vec![(5.0, 5.0)]);
+        assert!(c.render().contains('a'));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone_rows() {
+        let mut c = Chart::new("t", 30, 10);
+        c.series("inc", (0..30).map(|i| (i as f64, i as f64)).collect());
+        let s = c.render();
+        // First data line (top) should contain the marker near the right.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let top_pos = lines.first().unwrap().rfind('a').unwrap();
+        let bot_pos = lines.last().unwrap().find('a').unwrap();
+        assert!(top_pos > bot_pos, "increasing series: top-right vs bottom-left");
+    }
+
+    #[test]
+    fn axis_bounds_render_values() {
+        let mut c = Chart::new("t", 30, 6);
+        c.series("s", vec![(2.0, 10.0), (4.0, 20.0)]);
+        let s = c.render();
+        assert!(s.contains("2.0000"));
+        assert!(s.contains("4.0000"));
+        assert!(s.contains("20.0000"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Confidence intervals for trial means.
+
+use crate::online::OnlineStats;
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// 95 % confidence interval for the mean of `stats` using a
+    /// Student-t critical value (normal approximation above 30 d.o.f.).
+    pub fn for_mean(stats: &OnlineStats) -> Self {
+        Self::for_mean_at(stats, 0.95)
+    }
+
+    /// Confidence interval at a given level (0.90, 0.95 or 0.99).
+    pub fn for_mean_at(stats: &OnlineStats, level: f64) -> Self {
+        let n = stats.count();
+        let t = t_critical(n.saturating_sub(1), level);
+        ConfidenceInterval {
+            mean: stats.mean(),
+            half_width: t * stats.standard_error(),
+            level,
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` falls within the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} ({}%)", self.mean, self.half_width, self.level * 100.0)
+    }
+}
+
+/// Two-sided Student-t critical values.  Table for small d.o.f.; the
+/// normal quantile beyond.  Accurate to ~1 % — plenty for experiment
+/// reporting.
+fn t_critical(dof: u64, level: f64) -> f64 {
+    // Columns: 90 %, 95 %, 99 %.
+    const TABLE: [(u64, [f64; 3]); 14] = [
+        (1, [6.314, 12.706, 63.657]),
+        (2, [2.920, 4.303, 9.925]),
+        (3, [2.353, 3.182, 5.841]),
+        (4, [2.132, 2.776, 4.604]),
+        (5, [2.015, 2.571, 4.032]),
+        (6, [1.943, 2.447, 3.707]),
+        (7, [1.895, 2.365, 3.499]),
+        (8, [1.860, 2.306, 3.355]),
+        (9, [1.833, 2.262, 3.250]),
+        (10, [1.812, 2.228, 3.169]),
+        (15, [1.753, 2.131, 2.947]),
+        (20, [1.725, 2.086, 2.845]),
+        (30, [1.697, 2.042, 2.750]),
+        (60, [1.671, 2.000, 2.660]),
+    ];
+    let col = if level >= 0.99 {
+        2
+    } else if level >= 0.95 {
+        1
+    } else {
+        0
+    };
+    if dof == 0 {
+        return TABLE[0].1[col];
+    }
+    for &(d, row) in TABLE.iter() {
+        if dof <= d {
+            return row[col];
+        }
+    }
+    // Normal quantiles for the asymptotic case.
+    [1.645, 1.960, 2.576][col]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_narrows_with_samples() {
+        let narrow: OnlineStats = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let wide: OnlineStats = (0..10).map(|i| (i % 7) as f64).collect();
+        let ci_n = ConfidenceInterval::for_mean(&narrow);
+        let ci_w = ConfidenceInterval::for_mean(&wide);
+        assert!(ci_n.half_width < ci_w.half_width);
+        assert!(ci_n.contains(narrow.mean()));
+    }
+
+    #[test]
+    fn critical_values_monotone_in_level() {
+        for dof in [1, 5, 25, 1000] {
+            assert!(t_critical(dof, 0.90) < t_critical(dof, 0.95));
+            assert!(t_critical(dof, 0.95) < t_critical(dof, 0.99));
+        }
+    }
+
+    #[test]
+    fn critical_values_decrease_with_dof() {
+        assert!(t_critical(1, 0.95) > t_critical(10, 0.95));
+        assert!(t_critical(10, 0.95) > t_critical(1000, 0.95));
+        assert!((t_critical(10_000, 0.95) - 1.960).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_and_contains() {
+        let s: OnlineStats = [9.0, 10.0, 11.0, 10.0].into_iter().collect();
+        let ci = ConfidenceInterval::for_mean_at(&s, 0.95);
+        assert!(ci.lo() < 10.0 && 10.0 < ci.hi());
+        assert!(ci.contains(10.0));
+        assert!(!ci.contains(10.0 + ci.half_width * 2.0));
+        assert!(ci.to_string().contains('±'));
+    }
+
+    #[test]
+    fn known_small_sample_half_width() {
+        // n = 4, sample sd = 0.8165, se = 0.4082, t(3, 95 %) = 3.182.
+        let s: OnlineStats = [9.0, 10.0, 11.0, 10.0].into_iter().collect();
+        let ci = ConfidenceInterval::for_mean_at(&s, 0.95);
+        assert!((ci.half_width - 3.182 * s.standard_error()).abs() < 1e-12);
+    }
+}

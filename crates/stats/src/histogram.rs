@@ -1,0 +1,227 @@
+//! Histograms with percentile queries.
+//!
+//! §3.2 of the paper argues that expected time alone is misleading —
+//! strategy 1's *distribution* has an unacceptable tail.  A histogram of
+//! simulated elapsed times shows the same thing percentiles make
+//! precise.
+
+/// A histogram over `[lo, hi)` with equal-width or log-spaced buckets.
+///
+/// Samples outside the range are clamped into the first/last bucket and
+/// counted separately so no data is silently lost.
+///
+/// ```
+/// use blast_stats::Histogram;
+/// let mut h = Histogram::linear(0.0, 100.0, 10);
+/// for x in 0..100 {
+///     h.record(x as f64);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert!((h.percentile(50.0) - 50.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    log: bool,
+    buckets: Vec<u64>,
+    count: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `buckets == 0`.
+    pub fn linear(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0, "invalid histogram range");
+        Histogram { lo, hi, log: false, buckets: vec![0; buckets], count: 0, below: 0, above: 0 }
+    }
+
+    /// Log-spaced buckets over `[lo, hi)`; both bounds must be positive.
+    ///
+    /// # Panics
+    /// Panics if `lo <= 0`, `hi <= lo` or `buckets == 0`.
+    pub fn logarithmic(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && buckets > 0, "invalid log histogram range");
+        Histogram { lo, hi, log: true, buckets: vec![0; buckets], count: 0, below: 0, above: 0 }
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        let n = self.buckets.len();
+        let frac = if self.log {
+            (x.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln())
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        };
+        ((frac * n as f64) as isize).clamp(0, n as isize - 1) as usize
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        let n = self.buckets.len() as f64;
+        if self.log {
+            (self.lo.ln() + (self.hi.ln() - self.lo.ln()) * i as f64 / n).exp()
+        } else {
+            self.lo + (self.hi - self.lo) * i as f64 / n
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        }
+        let b = self.bucket_of(x.clamp(self.lo, self.hi * (1.0 - 1e-12)));
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples clamped from below/above the range.
+    pub fn clamped(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate `p`-th percentile (0–100) by linear interpolation
+    /// within the containing bucket.  Returns `lo` for an empty
+    /// histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return self.lo;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let next = acc + c;
+            if next as f64 >= target && c > 0 {
+                let within = (target - acc as f64) / c as f64;
+                let lo = self.bucket_lo(i);
+                let hi = self.bucket_lo(i + 1);
+                return lo + (hi - lo) * within.clamp(0.0, 1.0);
+            }
+            acc = next;
+        }
+        self.hi
+    }
+
+    /// Render a bar-chart sketch, one line per non-empty bucket.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / max as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!(
+                "{:>12.4} .. {:>12.4} | {:>8} {}\n",
+                self.bucket_lo(i),
+                self.bucket_lo(i + 1),
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.buckets().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn log_bucketing_spreads_decades() {
+        let mut h = Histogram::logarithmic(1.0, 1000.0, 3);
+        h.record(2.0); // decade 1
+        h.record(20.0); // decade 2
+        h.record(200.0); // decade 3
+        assert_eq!(h.buckets(), &[1, 1, 1]);
+        assert!((h.bucket_lo(1) - 10.0).abs() < 1e-9);
+        assert!((h.bucket_lo(2) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_clamped_and_counted() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.clamped(), (1, 1));
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[4], 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::linear(0.0, 100.0, 50);
+        for i in 0..1000 {
+            h.record((i % 100) as f64);
+        }
+        let p10 = h.percentile(10.0);
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        assert!(p10 <= p50 && p50 <= p90);
+        assert!((p50 - 50.0).abs() < 5.0);
+        assert!((p90 - 90.0).abs() < 5.0);
+        assert!(h.percentile(0.0) >= 0.0);
+        assert!(h.percentile(100.0) <= 100.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_lo() {
+        let h = Histogram::linear(5.0, 10.0, 4);
+        assert_eq!(h.percentile(50.0), 5.0);
+    }
+
+    #[test]
+    fn nonfinite_samples_ignored() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::linear(0.0, 4.0, 4);
+        h.record(0.5);
+        h.record(0.6);
+        h.record(2.5);
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 2, "two non-empty buckets");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn rejects_bad_range() {
+        let _ = Histogram::linear(1.0, 1.0, 4);
+    }
+}

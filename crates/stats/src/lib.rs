@@ -1,0 +1,37 @@
+//! # blast-stats — measurement support for the blastlan experiments
+//!
+//! The paper's evaluation is built from repeated timed trials ("for
+//! statistical accuracy, the experiment is repeated a number of times
+//! and the results are averaged", §2.1.1), expected values and standard
+//! deviations (§3), and a handful of tables and figures.  This crate
+//! provides exactly those instruments:
+//!
+//! * [`online`] — numerically-stable streaming mean/variance (Welford),
+//!   so a million simulated trials need O(1) memory;
+//! * [`histogram`] — fixed-bucket and log-scale histograms with
+//!   percentile queries, for looking at elapsed-time distributions
+//!   beyond their first two moments;
+//! * [`ci`] — Student-t confidence intervals for trial means;
+//! * [`table`] — plain-text table rendering for the Table 1/2/3
+//!   reproductions;
+//! * [`chart`] — ASCII line charts with linear or logarithmic axes, for
+//!   the Figure 4/5/6 reproductions;
+//! * [`experiment`] — a seeded multi-trial runner that folds per-trial
+//!   measurements into summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod ci;
+pub mod experiment;
+pub mod histogram;
+pub mod online;
+pub mod table;
+
+pub use chart::Chart;
+pub use ci::ConfidenceInterval;
+pub use experiment::{Experiment, TrialSummary};
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use table::Table;

@@ -1,0 +1,204 @@
+//! Plain-text table rendering, for regenerating the paper's tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// ```
+/// use blast_stats::Table;
+/// let mut t = Table::new(&["size", "SAW (ms)", "blast (ms)"]);
+/// t.row(&["1 KB", "4.1", "4.1"]);
+/// t.row(&["64 KB", "250.2", "140.6"]);
+/// let s = t.render();
+/// assert!(s.contains("64 KB"));
+/// assert!(s.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// New table with the given column headers.  The first column is
+    /// left-aligned, the rest right-aligned (the common numeric layout);
+    /// override with [`aligns`](Self::aligns).
+    pub fn new(headers: &[&str]) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            aligns,
+            title: None,
+        }
+    }
+
+    /// Set a title rendered above the table.
+    pub fn with_title(mut self, title: &str) -> Self {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    /// Override the per-column alignments.
+    ///
+    /// # Panics
+    /// Panics if the count differs from the header count.
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Append a row from anything displayable.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths[i];
+                match aligns[i] {
+                    Align::Left => line.push_str(&format!("{:<w$}", cells[i])),
+                    Align::Right => line.push_str(&format!("{:>w$}", cells[i])),
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a millisecond quantity the way the paper prints them
+/// (e.g. `4.1`, `141`, `0.82`).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 10.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["x", "1"]);
+        t.row(&["longer-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rows all have equal width for column 0.
+        assert!(lines[0].starts_with("name "));
+        assert!(lines[2].starts_with("x "));
+        // Right alignment of numbers.
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    fn title_is_rendered_first() {
+        let mut t = Table::new(&["a"]).with_title("Table 1: demo");
+        t.row(&["1"]);
+        assert!(t.render().starts_with("Table 1: demo\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn row_display_and_len() {
+        let mut t = Table::new(&["n", "sq"]);
+        assert!(t.is_empty());
+        t.row_display(&[2, 4]);
+        t.row_display(&[3, 9]);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains('9'));
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = Table::new(&["a", "b"]).aligns(&[Align::Right, Align::Left]);
+        t.row(&["1", "x"]);
+        t.row(&["22", "yy"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].starts_with(" 1"));
+    }
+
+    #[test]
+    fn fmt_ms_matches_paper_style() {
+        assert_eq!(fmt_ms(4.08), "4.08");
+        assert_eq!(fmt_ms(57.024), "57.0");
+        assert_eq!(fmt_ms(140.6), "141");
+        assert_eq!(fmt_ms(0.82), "0.82");
+    }
+}

@@ -1,0 +1,132 @@
+//! Datagram channels.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Largest datagram the drivers will send or receive.  Loopback UDP
+/// carries much more than Ethernet; we keep a generous bound so large
+/// packet-payload configurations still work.
+pub const MAX_DATAGRAM: usize = 16 * 1024;
+
+/// An unreliable datagram channel — the substrate the blast protocols
+/// assume: datagrams may be lost, duplicated or reordered, never
+/// corrupted silently (checksums convert corruption into loss).
+pub trait Channel {
+    /// Send one datagram.
+    fn send(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Receive one datagram into `buf` within `timeout`.
+    /// Returns `Ok(None)` on timeout.
+    fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>>;
+}
+
+/// A connected UDP socket as a [`Channel`].
+#[derive(Debug)]
+pub struct UdpChannel {
+    socket: UdpSocket,
+}
+
+impl UdpChannel {
+    /// Bind to `local` and connect to `remote`.
+    pub fn connect(local: SocketAddr, remote: SocketAddr) -> io::Result<Self> {
+        let socket = UdpSocket::bind(local)?;
+        socket.connect(remote)?;
+        Ok(UdpChannel { socket })
+    }
+
+    /// Wrap an already-connected socket.
+    pub fn from_socket(socket: UdpSocket) -> Self {
+        UdpChannel { socket }
+    }
+
+    /// Create a connected loopback pair on ephemeral ports — the
+    /// test/example workhorse.
+    pub fn pair() -> io::Result<(UdpChannel, UdpChannel)> {
+        let a = UdpSocket::bind("127.0.0.1:0")?;
+        let b = UdpSocket::bind("127.0.0.1:0")?;
+        let a_addr = a.local_addr()?;
+        let b_addr = b.local_addr()?;
+        a.connect(b_addr)?;
+        b.connect(a_addr)?;
+        Ok((UdpChannel { socket: a }, UdpChannel { socket: b }))
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Channel for UdpChannel {
+    fn send(&mut self, buf: &[u8]) -> io::Result<()> {
+        debug_assert!(buf.len() <= MAX_DATAGRAM, "datagram too large");
+        self.socket.send(buf).map(|_| ())
+    }
+
+    fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
+        // A zero timeout means "no blocking at all"; UdpSocket treats
+        // Some(ZERO) as an error, so clamp to 1 ms.
+        let t = timeout.max(Duration::from_millis(1));
+        self.socket.set_read_timeout(Some(t))?;
+        match self.socket.recv(buf) {
+            Ok(n) => Ok(Some(n)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_roundtrips_datagrams() {
+        let (mut a, mut b) = UdpChannel::pair().unwrap();
+        a.send(b"hello").unwrap();
+        let mut buf = [0u8; 64];
+        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(&buf[..n], b"hello");
+
+        b.send(b"world").unwrap();
+        let n = a.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(&buf[..n], b"world");
+    }
+
+    #[test]
+    fn recv_times_out_cleanly() {
+        let (mut a, _b) = UdpChannel::pair().unwrap();
+        let mut buf = [0u8; 16];
+        let got = a.recv_timeout(&mut buf, Duration::from_millis(5)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn datagram_boundaries_preserved() {
+        let (mut a, mut b) = UdpChannel::pair().unwrap();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        let mut buf = [0u8; 64];
+        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(n, 3);
+        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn large_datagrams_within_bound() {
+        let (mut a, mut b) = UdpChannel::pair().unwrap();
+        let big = vec![0xa5u8; 8 * 1024];
+        a.send(&big).unwrap();
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(n, big.len());
+        assert_eq!(&buf[..n], &big[..]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The blocking driver: one engine, one channel, real timers.
+//!
+//! The sim driver translates engine actions into simulated copy costs;
+//! this driver translates them into socket sends and wall-clock timer
+//! deadlines.  Same engines, same actions, different clock — that is
+//! the point of the sans-I/O design.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::time::{Duration, Instant};
+
+use blast_core::api::{Action, CompletionInfo, TimerToken};
+use blast_core::engine::Engine;
+use blast_wire::header::PacketKind;
+use blast_wire::packet::Datagram;
+
+use crate::channel::{Channel, MAX_DATAGRAM};
+
+/// How long a finished receiver keeps answering duplicate packets, so
+/// that a peer whose final ack was lost can still complete (§3.2.2's
+/// tail problem).  Called "linger" by analogy with TCP's TIME-WAIT.
+pub const LINGER: Duration = Duration::from_millis(50);
+
+/// Outcome of a driver run.
+#[derive(Debug)]
+pub struct DriveOutcome {
+    /// The engine's completion report.
+    pub completion: CompletionInfo,
+    /// Wall-clock duration of the run (excluding linger).
+    pub elapsed: Duration,
+    /// Datagrams sent on the channel.
+    pub datagrams_sent: u64,
+    /// Datagrams received (before filtering).
+    pub datagrams_received: u64,
+    /// Datagrams dropped as malformed (failed wire validation —
+    /// corruption turned into loss, as the Ethernet FCS would).
+    pub malformed: u64,
+}
+
+/// Runs a single engine over a channel until it completes.
+pub struct Driver<C: Channel> {
+    channel: C,
+    /// Re-sent verbatim whenever a `Request` packet arrives — lets the
+    /// session layer keep answering handshake retransmissions while the
+    /// data engine runs (see `crate::peer`).
+    pub request_reply: Option<Vec<u8>>,
+    /// Stop even if incomplete after this long (safety for tests).
+    pub deadline: Duration,
+    /// Keep answering duplicates for [`LINGER`] after the engine
+    /// finishes (receivers should; senders need not).
+    pub linger: bool,
+}
+
+impl<C: Channel> Driver<C> {
+    /// New driver over `channel`.
+    pub fn new(channel: C) -> Self {
+        Driver { channel, request_reply: None, deadline: Duration::from_secs(60), linger: false }
+    }
+
+    /// Enable receiver lingering.
+    pub fn with_linger(mut self) -> Self {
+        self.linger = true;
+        self
+    }
+
+    /// Set the overall deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Take back the channel.
+    pub fn into_channel(self) -> C {
+        self.channel
+    }
+
+    /// Run `engine` to completion.
+    pub fn run(&mut self, engine: &mut dyn Engine) -> io::Result<DriveOutcome> {
+        let start = Instant::now();
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut malformed = 0u64;
+        // (deadline, generation) per token; min-heap of (Instant, token, gen).
+        let mut timer_gen: HashMap<TimerToken, u64> = HashMap::new();
+        let mut timer_heap: BinaryHeap<Reverse<(Instant, u64, TimerToken)>> = BinaryHeap::new();
+
+        let mut actions = Vec::new();
+        engine.start(&mut actions);
+        self.execute(actions, start, &mut sent, &mut timer_gen, &mut timer_heap)?;
+
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut completion: Option<CompletionInfo> = None;
+        let mut finished_at: Option<Instant> = None;
+
+        loop {
+            let now = Instant::now();
+            if now.duration_since(start) > self.deadline {
+                break;
+            }
+            if let Some(t) = finished_at {
+                if !self.linger || now.duration_since(t) > LINGER {
+                    break;
+                }
+            }
+
+            // Fire due timers.
+            while let Some(&Reverse((when, gen, token))) = timer_heap.peek() {
+                if when > now {
+                    break;
+                }
+                timer_heap.pop();
+                if timer_gen.get(&token).copied() != Some(gen) {
+                    continue; // stale
+                }
+                let mut out = Vec::new();
+                engine.on_timer(token, &mut out);
+                let done = self.execute(out, start, &mut sent, &mut timer_gen, &mut timer_heap)?;
+                if let Some(info) = done {
+                    completion = Some(info);
+                    finished_at = Some(Instant::now());
+                }
+            }
+            if finished_at.is_some() && !self.linger {
+                break;
+            }
+
+            // Wait for the next packet or the next timer, whichever
+            // comes first.
+            let until_timer = timer_heap
+                .peek()
+                .map(|Reverse((when, _, _))| when.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(20))
+                .min(Duration::from_millis(50));
+            match self.channel.recv_timeout(&mut buf, until_timer.max(Duration::from_millis(1)))? {
+                None => continue,
+                Some(n) => {
+                    received += 1;
+                    let Ok(dgram) = Datagram::parse(&buf[..n]) else {
+                        malformed += 1; // checksum turned corruption into loss
+                        continue;
+                    };
+                    if dgram.kind == PacketKind::Request {
+                        if let Some(reply) = &self.request_reply {
+                            self.channel.send(reply)?;
+                            sent += 1;
+                        }
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    engine.on_datagram(&dgram, &mut out);
+                    let done =
+                        self.execute(out, start, &mut sent, &mut timer_gen, &mut timer_heap)?;
+                    if let Some(info) = done {
+                        completion = Some(info);
+                        finished_at = Some(Instant::now());
+                    }
+                }
+            }
+        }
+
+        let completion = completion.unwrap_or_else(|| {
+            CompletionInfo::failure(
+                blast_core::CoreError::BadState { what: "driver deadline exceeded" },
+                engine.stats(),
+            )
+        });
+        Ok(DriveOutcome {
+            completion,
+            elapsed: finished_at.unwrap_or_else(Instant::now).duration_since(start),
+            datagrams_sent: sent,
+            datagrams_received: received,
+            malformed,
+        })
+    }
+
+    fn execute(
+        &mut self,
+        actions: Vec<Action>,
+        _start: Instant,
+        sent: &mut u64,
+        timer_gen: &mut HashMap<TimerToken, u64>,
+        timer_heap: &mut BinaryHeap<Reverse<(Instant, u64, TimerToken)>>,
+    ) -> io::Result<Option<CompletionInfo>> {
+        let mut done = None;
+        for action in actions {
+            match action {
+                Action::Transmit(bytes) => {
+                    self.channel.send(&bytes)?;
+                    *sent += 1;
+                }
+                Action::SetTimer { token, after } => {
+                    let gen = timer_gen.entry(token).or_insert(0);
+                    *gen += 1;
+                    timer_heap.push(Reverse((Instant::now() + after, *gen, token)));
+                }
+                Action::CancelTimer { token } => {
+                    *timer_gen.entry(token).or_insert(0) += 1;
+                }
+                Action::Complete(info) => done = Some(*info),
+            }
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::UdpChannel;
+    use blast_core::blast::{BlastReceiver, BlastSender};
+    use blast_core::saw::{SawReceiver, SawSender};
+    use blast_core::ProtocolConfig;
+    use std::sync::Arc;
+
+    fn cfg() -> ProtocolConfig {
+        let mut c = ProtocolConfig::default();
+        c.retransmit_timeout = Duration::from_millis(15);
+        c
+    }
+
+    fn data(n: usize) -> Arc<[u8]> {
+        (0..n).map(|i| (i * 31 % 256) as u8).collect::<Vec<u8>>().into()
+    }
+
+    #[test]
+    fn blast_over_loopback() {
+        let (a, b) = UdpChannel::pair().unwrap();
+        let c = cfg();
+        let payload = data(50_000);
+        let payload2 = payload.clone();
+        let c2 = c.clone();
+        let receiver = std::thread::spawn(move || {
+            let mut engine = BlastReceiver::new(1, payload2.len(), &c2);
+            let mut driver = Driver::new(b).with_linger();
+            let out = driver.run(&mut engine).unwrap();
+            assert!(out.completion.is_success());
+            engine.into_data()
+        });
+        let mut engine = BlastSender::new(1, payload.clone(), &c);
+        let mut driver = Driver::new(a);
+        let out = driver.run(&mut engine).unwrap();
+        assert!(out.completion.is_success(), "{:?}", out.completion);
+        let received = receiver.join().unwrap();
+        assert_eq!(received, payload.as_ref());
+        assert!(out.datagrams_sent >= 49); // 49 data packets
+    }
+
+    #[test]
+    fn saw_over_loopback() {
+        let (a, b) = UdpChannel::pair().unwrap();
+        let c = cfg();
+        let payload = data(8_000);
+        let payload2 = payload.clone();
+        let c2 = c.clone();
+        let receiver = std::thread::spawn(move || {
+            let mut engine = SawReceiver::new(1, payload2.len(), &c2);
+            let mut driver = Driver::new(b).with_linger();
+            driver.run(&mut engine).unwrap();
+            engine.into_data()
+        });
+        let mut engine = SawSender::new(1, payload.clone(), &c);
+        let mut driver = Driver::new(a);
+        let out = driver.run(&mut engine).unwrap();
+        assert!(out.completion.is_success());
+        assert_eq!(receiver.join().unwrap(), payload.as_ref());
+    }
+
+    #[test]
+    fn driver_deadline_prevents_hangs() {
+        // No peer at all: the sender must give up at the deadline.
+        let (a, _b) = UdpChannel::pair().unwrap();
+        let mut c = cfg();
+        c.max_retries = 1_000_000;
+        c.retransmit_timeout = Duration::from_millis(5);
+        let mut engine = BlastSender::new(1, data(1024), &c);
+        let mut driver = Driver::new(a).with_deadline(Duration::from_millis(100));
+        let start = Instant::now();
+        let out = driver.run(&mut engine).unwrap();
+        assert!(!out.completion.is_success());
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn request_reply_answers_handshake_retransmissions() {
+        let (mut a, b) = UdpChannel::pair().unwrap();
+        let c = cfg();
+        // Receiver drives a blast receiver with a canned request-reply.
+        let handle = std::thread::spawn(move || {
+            let mut engine = BlastReceiver::new(5, 1024, &c);
+            let mut driver = Driver::new(b).with_deadline(Duration::from_millis(300));
+            driver.request_reply = Some(vec![0xAB; 4]);
+            let _ = driver.run(&mut engine);
+            driver.into_channel()
+        });
+        // Send a Request packet; expect the canned reply back.
+        let builder = blast_wire::DatagramBuilder::new(5);
+        let mut buf = vec![0u8; 128];
+        let len = builder.build_request(&mut buf, 1, b"hello").unwrap();
+        a.send(&buf[..len]).unwrap();
+        let mut rbuf = [0u8; 64];
+        let n = a.recv_timeout(&mut rbuf, Duration::from_millis(500)).unwrap().unwrap();
+        assert_eq!(&rbuf[..n], &[0xAB; 4]);
+        drop(handle);
+    }
+}

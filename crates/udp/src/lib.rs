@@ -1,0 +1,56 @@
+//! # blast-udp — the blast protocols over real UDP sockets
+//!
+//! The same sans-I/O engines that reproduce the paper's 1985
+//! measurements under `blast-sim` run here over `std::net::UdpSocket`,
+//! making them a real, working bulk-transfer transport on today's
+//! machines.  UDP is the modern equivalent of the paper's raw
+//! data-link-layer access: unreliable, unordered datagrams with no
+//! retransmission — exactly the substrate the blast protocols were
+//! designed to run on.
+//!
+//! * [`channel`] — a minimal datagram-channel abstraction over
+//!   connected UDP sockets (send / receive-with-timeout);
+//! * [`fault`] — a fault-injecting channel wrapper (drop, duplicate,
+//!   reorder, corrupt — in the spirit of smoltcp's `--drop-chance` /
+//!   `--corrupt-chance` knobs), because loopback UDP is *too* reliable
+//!   to exercise retransmission;
+//! * [`driver`] — a blocking event loop that runs one engine over a
+//!   channel with real (wall-clock) timers;
+//! * [`peer`] — one-call bulk transfer: a request/ack handshake that
+//!   pre-allocates the receive buffer (the paper's premise), then the
+//!   configured protocol.
+//!
+//! ## Example (two threads over loopback)
+//!
+//! ```
+//! use std::time::Duration;
+//! use blast_core::ProtocolConfig;
+//! use blast_udp::channel::UdpChannel;
+//! use blast_udp::peer::{send_data, recv_data};
+//!
+//! let (a, b) = UdpChannel::pair().unwrap();
+//! let mut cfg = ProtocolConfig::default();
+//! cfg.retransmit_timeout = Duration::from_millis(20);
+//! let data: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+//!
+//! let cfg2 = cfg.clone();
+//! let sender = std::thread::spawn(move || send_data(a, 7, &data, &cfg2).unwrap());
+//! let received = recv_data(b, &cfg).unwrap();
+//! sender.join().unwrap();
+//! assert_eq!(received.data.len(), 100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod driver;
+pub mod fault;
+pub mod fcs;
+pub mod peer;
+
+pub use channel::{Channel, UdpChannel};
+pub use driver::Driver;
+pub use fault::{FaultConfig, FaultyChannel};
+pub use fcs::FcsChannel;
+pub use peer::{recv_data, send_data, TransferReport};

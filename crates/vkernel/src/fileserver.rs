@@ -1,0 +1,234 @@
+//! The file server — the paper's motivating application (§2).
+//!
+//! "For instance, when a process wants to read an entire file into its
+//! address space, it first allocates a buffer big enough to contain
+//! that file.  It then sends a message to the file server indicating
+//! the starting address of the buffer and its length.  If necessary,
+//! the file server reads the file from disk, and then uses `MoveTo` to
+//! move the file from its address space into that of the client."
+//!
+//! [`FileServer`] implements exactly that protocol over the
+//! [`crate::kernel::VCluster`] primitives, so the worked example of the
+//! paper runs end-to-end: Send(ReadFile) → Receive → MoveTo → Reply.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::{MoveOutcome, VCluster, VKernelError};
+use crate::message::{MessageKind, VMessage};
+use crate::process::Pid;
+use crate::space::SegmentId;
+
+/// An in-memory file server process.
+pub struct FileServer {
+    /// The server's process id.
+    pub pid: Pid,
+    files: BTreeMap<String, Vec<u8>>,
+    /// Reads served so far.
+    pub reads_served: u64,
+}
+
+/// Result of a full client read: the move outcome plus the bytes.
+#[derive(Debug)]
+pub struct ReadOutcome {
+    /// The bulk transfer's outcome.
+    pub transfer: MoveOutcome,
+    /// Number of file bytes delivered.
+    pub bytes: usize,
+}
+
+impl FileServer {
+    /// Create a file server as process `pid` (already created in the
+    /// cluster).
+    pub fn new(pid: Pid) -> Self {
+        FileServer { pid, files: BTreeMap::new(), reads_served: 0 }
+    }
+
+    /// Install a file.
+    pub fn put(&mut self, name: &str, contents: Vec<u8>) {
+        self.files.insert(name.to_string(), contents);
+    }
+
+    /// File size, if present.
+    pub fn size_of(&self, name: &str) -> Option<usize> {
+        self.files.get(name).map(Vec::len)
+    }
+
+    /// Serve one pending request from the server's mailbox: `Receive`
+    /// the message, `MoveTo` the file into the client's pre-registered
+    /// segment, then `Reply`.
+    ///
+    /// The client encodes the destination segment id in the first four
+    /// payload bytes after the file name's terminating NUL — standing in
+    /// for V's "starting address of the buffer and its length".
+    ///
+    /// Returns `Ok(None)` when no request is pending.
+    pub fn serve_one(
+        &mut self,
+        cluster: &mut VCluster,
+    ) -> Result<Option<MoveOutcome>, VKernelError> {
+        let Some(msg) = cluster.receive(self.pid)? else {
+            return Ok(None);
+        };
+        if msg.kind() != MessageKind::ReadFile {
+            cluster.reply(self.pid, msg.sender, VMessage::new(MessageKind::Reply, b"EBADREQ"))?;
+            return Ok(None);
+        }
+        let name = msg.payload_str().to_string();
+        let client = msg.sender;
+        let seg_id = decode_segment_id(&msg);
+        let Some(contents) = self.files.get(&name).cloned() else {
+            cluster.reply(self.pid, client, VMessage::new(MessageKind::Reply, b"ENOENT"))?;
+            return Ok(None);
+        };
+        // Stage the file in the server's address space (the "read from
+        // disk" step) and move it into the client's buffer.
+        let src = cluster.register_segment_with(self.pid, &contents)?;
+        let outcome = cluster.move_to(self.pid, src, client, seg_id)?;
+        cluster.reply(self.pid, client, VMessage::new(MessageKind::Reply, b"OK"))?;
+        self.reads_served += 1;
+        Ok(Some(outcome))
+    }
+}
+
+/// Client-side helper: allocate the buffer, send the read request, let
+/// the server serve it, and collect the reply — the paper's full read
+/// sequence.
+pub fn client_read(
+    cluster: &mut VCluster,
+    server: &mut FileServer,
+    client: Pid,
+    name: &str,
+) -> Result<(SegmentId, ReadOutcome), VKernelError> {
+    let size = server
+        .size_of(name)
+        .ok_or(VKernelError::BadState("file does not exist"))?;
+    // 1. "it first allocates a buffer big enough to contain that file"
+    let segment = cluster.register_segment(client, size)?;
+    // 2. "it then sends a message to the file server"
+    let msg = encode_read_request(name, segment);
+    cluster.send(client, server.pid, msg)?;
+    // 3. the server receives, MoveTo's, and replies
+    let outcome = server
+        .serve_one(cluster)?
+        .ok_or(VKernelError::BadState("server had no pending request"))?;
+    // 4. the client's Send unblocks with the reply
+    let reply = cluster.collect_reply(client).ok_or(VKernelError::BadState("no reply"))?;
+    if reply.payload_str() != "OK" {
+        return Err(VKernelError::BadState("server refused the read"));
+    }
+    Ok((segment, ReadOutcome { bytes: size, transfer: outcome }))
+}
+
+fn encode_read_request(name: &str, segment: SegmentId) -> VMessage {
+    let mut payload = Vec::with_capacity(31);
+    payload.extend_from_slice(name.as_bytes());
+    payload.push(0);
+    payload.extend_from_slice(&segment.0.to_be_bytes());
+    VMessage::new(MessageKind::ReadFile, &payload)
+}
+
+fn decode_segment_id(msg: &VMessage) -> SegmentId {
+    let p = msg.payload();
+    let nul = p.iter().position(|&b| b == 0).unwrap_or(p.len());
+    let mut id = [0u8; 4];
+    if nul + 5 <= p.len() {
+        id.copy_from_slice(&p[nul + 1..nul + 5]);
+    }
+    SegmentId(u32::from_be_bytes(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (VCluster, FileServer, Pid) {
+        let mut c = VCluster::new();
+        let k0 = c.add_kernel("workstation");
+        let k1 = c.add_kernel("server-machine");
+        let client = c.create_process(k0, "client");
+        let fs_pid = c.create_process(k1, "fileserver");
+        let mut fs = FileServer::new(fs_pid);
+        fs.put("/etc/motd", b"welcome to the V system\n".to_vec());
+        fs.put("/big", (0..64 * 1024).map(|i| (i % 251) as u8).collect());
+        (c, fs, client)
+    }
+
+    #[test]
+    fn full_read_sequence_delivers_file() {
+        let (mut c, mut fs, client) = setup();
+        let (seg, outcome) = client_read(&mut c, &mut fs, client, "/etc/motd").unwrap();
+        assert_eq!(c.segment(client, seg).unwrap(), b"welcome to the V system\n");
+        assert_eq!(outcome.bytes, 24);
+        assert!(outcome.transfer.remote);
+        assert_eq!(fs.reads_served, 1);
+    }
+
+    #[test]
+    fn big_read_costs_table_3_time() {
+        let (mut c, mut fs, client) = setup();
+        let before = c.clock_ms;
+        let (seg, outcome) = client_read(&mut c, &mut fs, client, "/big").unwrap();
+        assert_eq!(outcome.bytes, 64 * 1024);
+        // The MoveTo itself is the Table 3 value…
+        assert!((outcome.transfer.elapsed_ms - 172.82).abs() < 0.01);
+        // …and the whole sequence adds the request and reply packets.
+        let total = c.clock_ms - before;
+        assert!(total > outcome.transfer.elapsed_ms);
+        assert!(total < outcome.transfer.elapsed_ms + 10.0);
+        let data = c.segment(client, seg).unwrap();
+        assert_eq!(data.len(), 64 * 1024);
+        assert_eq!(data[1000], (1000 % 251) as u8);
+    }
+
+    #[test]
+    fn missing_file_gets_error_reply() {
+        let (mut c, mut fs, client) = setup();
+        let err = client_read(&mut c, &mut fs, client, "/nope").unwrap_err();
+        assert!(matches!(err, VKernelError::BadState(_)));
+
+        // Manual request for a missing file: server replies ENOENT.
+        let seg = c.register_segment(client, 8).unwrap();
+        let msg = encode_read_request("/nope", seg);
+        c.send(client, fs.pid, msg).unwrap();
+        let served = fs.serve_one(&mut c).unwrap();
+        assert!(served.is_none());
+        let reply = c.collect_reply(client).unwrap();
+        assert_eq!(reply.payload_str(), "ENOENT");
+    }
+
+    #[test]
+    fn serve_one_with_empty_mailbox_is_none() {
+        let (mut c, mut fs, _) = setup();
+        assert!(fs.serve_one(&mut c).unwrap().is_none());
+    }
+
+    #[test]
+    fn non_read_requests_are_rejected_politely() {
+        let (mut c, mut fs, client) = setup();
+        c.send(client, fs.pid, VMessage::new(MessageKind::Data, b"?")).unwrap();
+        assert!(fs.serve_one(&mut c).unwrap().is_none());
+        assert_eq!(c.collect_reply(client).unwrap().payload_str(), "EBADREQ");
+    }
+
+    #[test]
+    fn segment_id_roundtrips_through_message() {
+        let msg = encode_read_request("/a/b/c", SegmentId(0xDEAD));
+        assert_eq!(decode_segment_id(&msg), SegmentId(0xDEAD));
+        assert_eq!(msg.payload_str(), "/a/b/c");
+    }
+
+    #[test]
+    fn lossy_network_read_still_correct() {
+        let mut c = VCluster::new().with_loss(0.05, 1234);
+        let k0 = c.add_kernel("a");
+        let k1 = c.add_kernel("b");
+        let client = c.create_process(k0, "client");
+        let fs_pid = c.create_process(k1, "fs");
+        let mut fs = FileServer::new(fs_pid);
+        let contents: Vec<u8> = (0..32 * 1024).map(|i| (i * 7 % 255) as u8).collect();
+        fs.put("/data", contents.clone());
+        let (seg, outcome) = client_read(&mut c, &mut fs, client, "/data").unwrap();
+        assert_eq!(c.segment(client, seg).unwrap(), &contents[..]);
+        assert!(outcome.transfer.elapsed_ms > 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # blast-vkernel — a miniature V-kernel IPC substrate
+//!
+//! The paper's large data transfers "occur as part of the interprocess
+//! communication functions provided by the V kernel" (§2): the
+//! distributed operating system kernel built at Stanford (Cheriton &
+//! Zwaenepoel).  This crate reproduces the slice of the V kernel the
+//! paper exercises:
+//!
+//! * **Processes and messages** ([`process`], [`message`]) — V's
+//!   32-byte fixed-size messages with blocking
+//!   `Send` / `Receive` / `Reply` semantics;
+//! * **Address spaces with pre-registered segments** ([`space`]) — the
+//!   paper's premise that "the recipient has sufficient buffers
+//!   allocated to receive the data prior to the transfer", which is
+//!   what permits copying packets straight from the network interface
+//!   into their final destination;
+//! * **`MoveTo` / `MoveFrom`** ([`kernel`]) — network-transparent bulk
+//!   data movement between address spaces, local moves by direct copy
+//!   ("without an intermediate copy"), remote moves by running the
+//!   blast engines of `blast-core` over the calibrated simulator of
+//!   `blast-sim` with the V-kernel cost constants of Table 3;
+//! * **A file server** ([`fileserver`]) — §2's motivating application:
+//!   "when a process wants to read an entire file into its address
+//!   space, it first allocates a buffer big enough to contain that
+//!   file … the file server … uses `MoveTo` to move the file from its
+//!   address space into that of the client."
+//!
+//! Timing model: every remote operation reports the simulated elapsed
+//! time of its packet exchange, using the paper's V-kernel constants
+//! (`C = 1.83 ms`, `Ca = 0.67 ms`), so `MoveTo` of 64 KB costs the
+//! Table 3 value of ≈ 173 ms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fileserver;
+pub mod kernel;
+pub mod message;
+pub mod process;
+pub mod space;
+
+pub use fileserver::FileServer;
+pub use kernel::{MoveOutcome, VCluster, VKernelError};
+pub use message::{MessageKind, VMessage};
+pub use process::{Pid, ProcessState};
+pub use space::SegmentId;

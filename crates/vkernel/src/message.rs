@@ -1,0 +1,142 @@
+//! V-kernel messages.
+//!
+//! V messages are short and fixed-size — 32 bytes — by design: "short
+//! fixed-length messages … with data transfer operations for moving
+//! larger amounts of data" (Cheriton & Zwaenepoel, SOSP '83).  The
+//! 32-byte message carries the request; bulk data always moves via
+//! `MoveTo`/`MoveFrom`.
+
+use crate::process::Pid;
+
+/// Bytes of user payload in a V message.
+pub const MESSAGE_BYTES: usize = 32;
+
+/// What a message asks for (the first payload byte, by convention of
+/// this implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Plain data message; meaning is application-defined.
+    Data,
+    /// Request to read a file (payload carries the name) — the file
+    /// server protocol of §2.
+    ReadFile,
+    /// Request to write a file.
+    WriteFile,
+    /// Reply carrying a status code.
+    Reply,
+}
+
+impl MessageKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            MessageKind::Data => 0,
+            MessageKind::ReadFile => 1,
+            MessageKind::WriteFile => 2,
+            MessageKind::Reply => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> MessageKind {
+        match b {
+            1 => MessageKind::ReadFile,
+            2 => MessageKind::WriteFile,
+            3 => MessageKind::Reply,
+            _ => MessageKind::Data,
+        }
+    }
+}
+
+/// A 32-byte V message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VMessage {
+    /// Sending process (filled by the kernel on delivery).
+    pub sender: Pid,
+    bytes: [u8; MESSAGE_BYTES],
+}
+
+impl VMessage {
+    /// Build a message of `kind` whose remaining 31 bytes start with
+    /// `payload` (truncated if longer).
+    pub fn new(kind: MessageKind, payload: &[u8]) -> Self {
+        let mut bytes = [0u8; MESSAGE_BYTES];
+        bytes[0] = kind.to_byte();
+        let n = payload.len().min(MESSAGE_BYTES - 1);
+        bytes[1..1 + n].copy_from_slice(&payload[..n]);
+        VMessage { sender: Pid(0), bytes }
+    }
+
+    /// The message kind.
+    pub fn kind(&self) -> MessageKind {
+        MessageKind::from_byte(self.bytes[0])
+    }
+
+    /// The 31 payload bytes after the kind byte.
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[1..]
+    }
+
+    /// Payload as a string, up to the first NUL — convenient for file
+    /// names.
+    pub fn payload_str(&self) -> &str {
+        let p = self.payload();
+        let end = p.iter().position(|&b| b == 0).unwrap_or(p.len());
+        std::str::from_utf8(&p[..end]).unwrap_or("")
+    }
+
+    /// The raw 32 bytes.
+    pub fn as_bytes(&self) -> &[u8; MESSAGE_BYTES] {
+        &self.bytes
+    }
+
+    /// Stamp the sender (kernel-internal).
+    pub(crate) fn with_sender(mut self, sender: Pid) -> Self {
+        self.sender = sender;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip() {
+        for kind in
+            [MessageKind::Data, MessageKind::ReadFile, MessageKind::WriteFile, MessageKind::Reply]
+        {
+            let m = VMessage::new(kind, b"x");
+            assert_eq!(m.kind(), kind);
+        }
+        assert_eq!(MessageKind::from_byte(99), MessageKind::Data);
+    }
+
+    #[test]
+    fn payload_truncated_to_31_bytes() {
+        let long = [7u8; 64];
+        let m = VMessage::new(MessageKind::Data, &long);
+        assert_eq!(m.payload().len(), 31);
+        assert!(m.payload().iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn payload_str_stops_at_nul() {
+        let m = VMessage::new(MessageKind::ReadFile, b"/etc/motd");
+        assert_eq!(m.payload_str(), "/etc/motd");
+        let m = VMessage::new(MessageKind::Data, &[]);
+        assert_eq!(m.payload_str(), "");
+    }
+
+    #[test]
+    fn message_is_exactly_32_bytes() {
+        let m = VMessage::new(MessageKind::Data, b"abc");
+        assert_eq!(m.as_bytes().len(), MESSAGE_BYTES);
+        assert_eq!(m.as_bytes()[0], 0);
+        assert_eq!(&m.as_bytes()[1..4], b"abc");
+    }
+
+    #[test]
+    fn sender_stamped_by_kernel() {
+        let m = VMessage::new(MessageKind::Data, b"").with_sender(Pid(42));
+        assert_eq!(m.sender, Pid(42));
+    }
+}

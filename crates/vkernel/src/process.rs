@@ -1,0 +1,106 @@
+//! Processes and the blocking Send/Receive/Reply state machine.
+//!
+//! V IPC is synchronous: `Send` blocks the sender until the receiver
+//! has both `Receive`d the message and `Reply`ed to it.  This module
+//! models process states explicitly (no threads — the kernel in this
+//! crate is a deterministic state machine, like the engines in
+//! `blast-core`).
+
+use std::collections::VecDeque;
+
+use crate::message::VMessage;
+
+/// Process identifier.  The high bits encode the kernel (host) the
+/// process lives on, mirroring V's logical host ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Compose from a kernel index and a local index.
+    pub fn new(kernel: u16, local: u16) -> Self {
+        Pid((u32::from(kernel) << 16) | u32::from(local))
+    }
+
+    /// Kernel (logical host) this pid lives on.
+    pub fn kernel(&self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// Index within its kernel.
+    pub fn local(&self) -> u16 {
+        (self.0 & 0xffff) as u16
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.kernel(), self.local())
+    }
+}
+
+/// Scheduling/IPC state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Runnable, not engaged in IPC.
+    Ready,
+    /// Blocked in `Send`, waiting for the receiver to `Reply`.
+    AwaitingReply {
+        /// Who must reply.
+        to: Pid,
+    },
+    /// Blocked in `Receive`, no message available yet.
+    Receiving,
+}
+
+/// A process control block.
+#[derive(Debug)]
+pub struct Process {
+    /// The process id.
+    pub pid: Pid,
+    /// Human-readable name (diagnostics).
+    pub name: String,
+    /// Current state.
+    pub state: ProcessState,
+    /// Messages delivered but not yet received.
+    pub mailbox: VecDeque<VMessage>,
+}
+
+impl Process {
+    /// New ready process.
+    pub fn new(pid: Pid, name: &str) -> Self {
+        Process { pid, name: name.to_string(), state: ProcessState::Ready, mailbox: VecDeque::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    #[test]
+    fn pid_packing() {
+        let p = Pid::new(3, 17);
+        assert_eq!(p.kernel(), 3);
+        assert_eq!(p.local(), 17);
+        assert_eq!(p.to_string(), "3.17");
+        assert_eq!(Pid::new(0, 0).0, 0);
+        assert_eq!(Pid::new(u16::MAX, u16::MAX).0, u32::MAX);
+    }
+
+    #[test]
+    fn process_starts_ready_with_empty_mailbox() {
+        let p = Process::new(Pid::new(0, 1), "fs");
+        assert_eq!(p.state, ProcessState::Ready);
+        assert!(p.mailbox.is_empty());
+        assert_eq!(p.name, "fs");
+    }
+
+    #[test]
+    fn mailbox_is_fifo() {
+        let mut p = Process::new(Pid::new(0, 1), "x");
+        p.mailbox.push_back(VMessage::new(MessageKind::Data, b"1"));
+        p.mailbox.push_back(VMessage::new(MessageKind::Data, b"2"));
+        assert_eq!(p.mailbox.pop_front().unwrap().payload()[0], b'1');
+        assert_eq!(p.mailbox.pop_front().unwrap().payload()[0], b'2');
+    }
+}

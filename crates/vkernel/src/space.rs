@@ -1,0 +1,127 @@
+//! Address spaces and pre-registered segments.
+//!
+//! "By definition of the V interprocess communication primitives, the
+//! recipient has sufficient buffers allocated to receive the data prior
+//! to the transfer" (§2).  A [`Space`] is a process's address space; a
+//! segment is a registered buffer within it that a peer may `MoveTo`
+//! into or `MoveFrom` out of.  Registration is what stands in for V's
+//! "message indicating the starting address of the buffer and its
+//! length".
+
+use std::collections::HashMap;
+
+/// Identifies a registered segment within one address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+/// A process's address space with registered transfer segments.
+#[derive(Debug, Default)]
+pub struct Space {
+    segments: HashMap<SegmentId, Vec<u8>>,
+    next_id: u32,
+}
+
+impl Space {
+    /// Empty address space.
+    pub fn new() -> Self {
+        Space::default()
+    }
+
+    /// Pre-allocate a receive segment of `len` bytes (zero-filled),
+    /// returning its id.  This is the buffer allocation that must
+    /// happen *before* a transfer.
+    pub fn register(&mut self, len: usize) -> SegmentId {
+        let id = SegmentId(self.next_id);
+        self.next_id += 1;
+        self.segments.insert(id, vec![0; len]);
+        id
+    }
+
+    /// Register a segment holding a copy of `data` (a send buffer).
+    pub fn register_with(&mut self, data: &[u8]) -> SegmentId {
+        let id = self.register(data.len());
+        self.segments.get_mut(&id).expect("just registered").copy_from_slice(data);
+        id
+    }
+
+    /// Borrow a segment.
+    pub fn get(&self, id: SegmentId) -> Option<&[u8]> {
+        self.segments.get(&id).map(Vec::as_slice)
+    }
+
+    /// Borrow a segment mutably.
+    pub fn get_mut(&mut self, id: SegmentId) -> Option<&mut [u8]> {
+        self.segments.get_mut(&id).map(Vec::as_mut_slice)
+    }
+
+    /// Length of a segment.
+    pub fn len_of(&self, id: SegmentId) -> Option<usize> {
+        self.segments.get(&id).map(Vec::len)
+    }
+
+    /// Remove a segment, returning its contents.
+    pub fn release(&mut self, id: SegmentId) -> Option<Vec<u8>> {
+        self.segments.remove(&id)
+    }
+
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_allocates_zeroed() {
+        let mut s = Space::new();
+        let id = s.register(16);
+        assert_eq!(s.get(id).unwrap(), &[0u8; 16][..]);
+        assert_eq!(s.len_of(id), Some(16));
+        assert_eq!(s.segment_count(), 1);
+    }
+
+    #[test]
+    fn register_with_copies_data() {
+        let mut s = Space::new();
+        let id = s.register_with(b"file contents");
+        assert_eq!(s.get(id).unwrap(), b"file contents");
+    }
+
+    #[test]
+    fn ids_are_distinct_and_stable() {
+        let mut s = Space::new();
+        let a = s.register(1);
+        let b = s.register(2);
+        assert_ne!(a, b);
+        assert_eq!(s.len_of(a), Some(1));
+        assert_eq!(s.len_of(b), Some(2));
+    }
+
+    #[test]
+    fn mutation_in_place() {
+        let mut s = Space::new();
+        let id = s.register(4);
+        s.get_mut(id).unwrap()[2] = 9;
+        assert_eq!(s.get(id).unwrap(), &[0, 0, 9, 0][..]);
+    }
+
+    #[test]
+    fn release_removes() {
+        let mut s = Space::new();
+        let id = s.register_with(b"xyz");
+        assert_eq!(s.release(id).unwrap(), b"xyz");
+        assert!(s.get(id).is_none());
+        assert!(s.release(id).is_none());
+        assert_eq!(s.segment_count(), 0);
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        let s = Space::new();
+        assert!(s.get(SegmentId(99)).is_none());
+        assert!(s.len_of(SegmentId(99)).is_none());
+    }
+}

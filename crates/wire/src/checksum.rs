@@ -1,0 +1,213 @@
+//! Checksums: the Internet checksum (RFC 1071) for transport headers and
+//! the IEEE 802.3 CRC-32 as a software stand-in for the Ethernet FCS.
+//!
+//! On the paper's hardware the frame check sequence was computed by the
+//! 3-Com interface; a corrupted frame was simply dropped by the receiver,
+//! which is why the paper models errors as packet *loss* with probability
+//! `p_n` rather than byte corruption.  Our simulated and UDP channels do
+//! the same: `blast-sim` drops frames outright, and `blast-udp`'s
+//! fault injector corrupts octets which then fail these checksums and are
+//! dropped by the demultiplexer — converting corruption into loss exactly
+//! as real Ethernet hardware did.
+
+/// Compute the 16-bit ones-complement Internet checksum (RFC 1071) of a
+/// byte slice.
+///
+/// The returned value is the checksum field value to place in the packet:
+/// the ones-complement of the ones-complement sum.  Verifying a packet
+/// whose checksum field is filled yields `0xffff` from [`sum`] or,
+/// equivalently, [`verify`] returns `true`.
+///
+/// ```
+/// let mut data = *b"blast protocol!!";
+/// let c = blast_wire::checksum::internet(&data);
+/// // Append the checksum and the total now verifies.
+/// let mut with = data.to_vec();
+/// with.extend_from_slice(&c.to_be_bytes());
+/// assert!(blast_wire::checksum::verify(&with));
+/// ```
+pub fn internet(data: &[u8]) -> u16 {
+    !fold(sum(data))
+}
+
+/// Raw 32-bit accumulating ones-complement sum of a byte slice (big-endian
+/// 16-bit words, odd trailing byte padded with zero).
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into a 16-bit ones-complement value.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Verify a buffer that *includes* its checksum field: the folded sum of a
+/// correct buffer is `0xffff`.
+///
+/// The all-zero buffer also folds to a passing value; callers that care
+/// should reject empty/all-zero packets at a higher layer (the blast
+/// header's magic field does this for us).
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum(data)) == 0xffff
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of a byte
+/// slice — the same polynomial the Ethernet FCS uses.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = CRC32_INIT;
+    for &byte in data {
+        crc = crc32_step(crc, byte);
+    }
+    !crc
+}
+
+/// Incremental CRC-32 state for streaming use.
+///
+/// ```
+/// use blast_wire::checksum::{crc32, Crc32};
+/// let mut s = Crc32::new();
+/// s.update(b"hello ");
+/// s.update(b"world");
+/// assert_eq!(s.finish(), crc32(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: CRC32_INIT }
+    }
+
+    /// Absorb more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state = crc32_step(self.state, byte);
+        }
+    }
+
+    /// Final CRC value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const CRC32_INIT: u32 = 0xffff_ffff;
+
+fn crc32_step(crc: u32, byte: u8) -> u32 {
+    let mut crc = crc ^ u32::from(byte);
+    for _ in 0..8 {
+        let mask = (crc & 1).wrapping_neg();
+        crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internet_checksum_rfc1071_example() {
+        // The classic example from RFC 1071 §3: words 0001 f203 f4f5 f6f7
+        // sum to 0xddf2 before complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data)), 0xddf2);
+        assert_eq!(internet(&data), !0xddf2);
+    }
+
+    #[test]
+    fn internet_checksum_odd_length() {
+        // A trailing odd byte is padded on the right with zero.
+        assert_eq!(sum(&[0xab]), sum(&[0xab, 0x00]));
+        let data = [1, 2, 3];
+        let c = internet(&data);
+        let mut with = data.to_vec();
+        // Append pad byte then checksum so words align for verification.
+        with.push(0);
+        with.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&with));
+    }
+
+    #[test]
+    fn verify_detects_single_bit_flips() {
+        let mut data = b"the quick brown fox jumps over!!".to_vec();
+        let c = internet(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(!verify(&bad), "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn internet_checksum_is_order_sensitive_within_words_only() {
+        // Ones-complement addition commutes across 16-bit words: swapping
+        // whole words leaves the checksum unchanged (a known weakness).
+        let a = [0x12, 0x34, 0x56, 0x78];
+        let b = [0x56, 0x78, 0x12, 0x34];
+        assert_eq!(internet(&a), internet(&b));
+        // ...but swapping bytes within a word changes it.
+        let c = [0x34, 0x12, 0x56, 0x78];
+        assert_ne!(internet(&a), internet(&c));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0, 1, 7, 128, 255, 256] {
+            let mut s = Crc32::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finish(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn crc32_detects_corruption() {
+        let data = vec![0xa5u8; 1024];
+        let good = crc32(&data);
+        let mut bad = data.clone();
+        bad[512] ^= 0x01;
+        assert_ne!(crc32(&bad), good);
+    }
+
+    #[test]
+    fn fold_handles_large_accumulators() {
+        assert_eq!(fold(0), 0);
+        assert_eq!(fold(0xffff), 0xffff);
+        assert_eq!(fold(0x1_0000), 1);
+        assert_eq!(fold(0xffff_ffff), 0xffff);
+    }
+}

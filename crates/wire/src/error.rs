@@ -1,0 +1,121 @@
+//! Error type shared by all wire-format parsers in this crate.
+
+use core::fmt;
+
+/// Result alias for wire-format operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Reasons a buffer failed to parse (or emit) as a wire structure.
+///
+/// Parsers in this crate are *total*: any byte buffer either parses into a
+/// well-formed view or yields one of these errors — malformed input never
+/// panics.  This matters for the fault-injection experiments, which corrupt
+/// random octets of in-flight packets (cf. the interface-error discussion
+/// in §3 of the paper and the smoltcp-style `--corrupt-chance` knob in
+/// `blast-udp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed part of the structure.
+    Truncated {
+        /// Bytes required by the structure.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A magic/constant field holds an unexpected value.
+    BadMagic {
+        /// The value found on the wire.
+        found: u16,
+    },
+    /// The version field names a protocol revision we do not speak.
+    BadVersion {
+        /// The version found on the wire.
+        found: u8,
+    },
+    /// The packet-kind discriminant is not one we know.
+    BadKind {
+        /// The discriminant found on the wire.
+        found: u8,
+    },
+    /// A checksum failed to verify.
+    BadChecksum,
+    /// A length field points outside the buffer.
+    BadLength {
+        /// The claimed length.
+        claimed: usize,
+        /// The bytes actually available for it.
+        available: usize,
+    },
+    /// A field value is semantically impossible (e.g. `seq >= total`).
+    BadField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The acknowledgement payload does not match the packet kind.
+    BadAck,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated: need {needed} bytes, got {got}")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad magic: {found:#06x}")
+            }
+            WireError::BadVersion { found } => {
+                write!(f, "unsupported version: {found}")
+            }
+            WireError::BadKind { found } => {
+                write!(f, "unknown packet kind: {found:#04x}")
+            }
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadLength { claimed, available } => {
+                write!(f, "bad length: claimed {claimed}, available {available}")
+            }
+            WireError::BadField { field } => {
+                write!(f, "invalid value in field `{field}`")
+            }
+            WireError::BadAck => write!(f, "acknowledgement payload malformed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { needed: 32, got: 4 };
+        assert_eq!(e.to_string(), "truncated: need 32 bytes, got 4");
+        let e = WireError::BadMagic { found: 0xdead };
+        assert!(e.to_string().contains("0xdead"));
+        let e = WireError::BadVersion { found: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = WireError::BadKind { found: 0xff };
+        assert!(e.to_string().contains("0xff"));
+        assert_eq!(WireError::BadChecksum.to_string(), "checksum mismatch");
+        let e = WireError::BadLength { claimed: 4096, available: 64 };
+        assert!(e.to_string().contains("4096"));
+        let e = WireError::BadField { field: "seq" };
+        assert!(e.to_string().contains("seq"));
+        assert!(WireError::BadAck.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(WireError::BadChecksum);
+        set.insert(WireError::BadChecksum);
+        assert_eq!(set.len(), 1);
+        assert_ne!(
+            WireError::BadMagic { found: 1 },
+            WireError::BadMagic { found: 2 }
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Ethernet II framing.
+//!
+//! The standalone experiments of the paper (§2.1.1) are "implemented at
+//! the data link layer and device level", i.e. raw Ethernet frames with
+//! no further header.  This module provides a zero-copy view over such a
+//! frame: destination and source station addresses, EtherType, and the
+//! payload.  The frame check sequence (FCS) is *not* part of the buffer —
+//! as on real hardware it is appended/verified by the interface; the
+//! simulator's interface model and the UDP driver use
+//! [`crate::checksum::crc32`] for the same purpose when fault injection
+//! is enabled.
+
+use core::fmt;
+
+use crate::error::{WireError, WireResult};
+use crate::mac::{EtherType, MacAddr};
+
+/// Length of the Ethernet II header: two MAC addresses plus EtherType.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Minimum Ethernet payload (frames are padded to 64 bytes on the wire
+/// including the 4-byte FCS, i.e. 46 payload bytes).
+pub const MIN_ETHERNET_PAYLOAD: usize = 46;
+
+/// Field offsets within the Ethernet header.
+mod field {
+    use core::ops::Range;
+    pub const DST: Range<usize> = 0..6;
+    pub const SRC: Range<usize> = 6..12;
+    pub const ETHERTYPE: Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// A zero-copy view of an Ethernet II frame.
+///
+/// Generic over the buffer type: `&[u8]` (or anything `AsRef<[u8]>`)
+/// gives read access, `&mut [u8]` additionally allows emission.
+///
+/// ```
+/// use blast_wire::frame::EthernetFrame;
+/// use blast_wire::mac::{EtherType, MacAddr};
+///
+/// let mut buf = [0u8; 64];
+/// let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+/// frame.set_dst(MacAddr::station(2));
+/// frame.set_src(MacAddr::station(1));
+/// frame.set_ethertype(EtherType::BLAST);
+/// frame.payload_mut()[..5].copy_from_slice(b"hello");
+///
+/// let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+/// assert_eq!(frame.dst(), MacAddr::station(2));
+/// assert_eq!(frame.ethertype(), EtherType::BLAST);
+/// assert_eq!(&frame.payload()[..5], b"hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer without length validation.
+    ///
+    /// Accessors will panic if the buffer is shorter than
+    /// [`ETHERNET_HEADER_LEN`]; use [`new_checked`](Self::new_checked)
+    /// for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wrap a buffer, validating that the fixed header fits.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        let len = buffer.as_ref().len();
+        if len < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated { needed: ETHERNET_HEADER_LEN, got: len });
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination station address.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::DST]).expect("validated length")
+    }
+
+    /// Source station address.
+    pub fn src(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::SRC]).expect("validated length")
+    }
+
+    /// EtherType of the encapsulated payload.
+    pub fn ethertype(&self) -> EtherType {
+        let b = &self.buffer.as_ref()[field::ETHERTYPE];
+        EtherType(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// The encapsulated payload (everything after the 14-byte header).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+
+    /// Total frame length in bytes (header + payload), as held in the
+    /// buffer.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+
+    /// Length this frame would occupy on a real Ethernet wire: padded to
+    /// the 60-byte minimum (excluding FCS) and with the 4-byte FCS, the
+    /// 8-byte preamble and the 9.6 µs interframe gap *not* included.
+    ///
+    /// The simulator uses this to compute transmission times `T` and `Ta`
+    /// consistently with the paper (1024 B data ⇒ 0.82 ms at 10 Mbit/s
+    /// counts header + padding; 64 B ack ⇒ 51 µs).
+    pub fn wire_len(&self) -> usize {
+        self.total_len().max(ETHERNET_HEADER_LEN + MIN_ETHERNET_PAYLOAD)
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination station address.
+    pub fn set_dst(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr.octets());
+    }
+
+    /// Set the source station address.
+    pub fn set_src(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr.octets());
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&ethertype.raw().to_be_bytes());
+    }
+
+    /// Mutable access to the payload region.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]>> fmt::Display for EthernetFrame<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EthernetII {} -> {} type={} len={}",
+            self.src(),
+            self.dst(),
+            self.ethertype(),
+            self.total_len()
+        )
+    }
+}
+
+/// Compute the number of bytes a frame with `payload_len` payload bytes
+/// occupies for transmission-time purposes (header + payload, padded to
+/// the minimum).  Free function so cost models need not build a frame.
+pub const fn frame_wire_len(payload_len: usize) -> usize {
+    let raw = ETHERNET_HEADER_LEN + payload_len;
+    let min = ETHERNET_HEADER_LEN + MIN_ETHERNET_PAYLOAD;
+    if raw < min {
+        min
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut buf = vec![0u8; ETHERNET_HEADER_LEN + 32];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(MacAddr::station(7));
+        f.set_src(MacAddr::station(3));
+        f.set_ethertype(EtherType::BLAST);
+        f.payload_mut().copy_from_slice(&[0xaa; 32]);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let buf = sample_frame();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr::station(7));
+        assert_eq!(f.src(), MacAddr::station(3));
+        assert_eq!(f.ethertype(), EtherType::BLAST);
+        assert_eq!(f.payload(), &[0xaa; 32][..]);
+        assert_eq!(f.total_len(), 46);
+    }
+
+    #[test]
+    fn checked_rejects_short_buffers() {
+        for len in 0..ETHERNET_HEADER_LEN {
+            let buf = vec![0u8; len];
+            assert_eq!(
+                EthernetFrame::new_checked(&buf[..]).unwrap_err(),
+                WireError::Truncated { needed: ETHERNET_HEADER_LEN, got: len }
+            );
+        }
+        assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn wire_len_padding() {
+        // Tiny frames are padded to the 60-byte minimum (without FCS).
+        assert_eq!(frame_wire_len(0), 60);
+        assert_eq!(frame_wire_len(46), 60);
+        assert_eq!(frame_wire_len(47), 61);
+        assert_eq!(frame_wire_len(1024), 1038);
+        let buf = vec![0u8; ETHERNET_HEADER_LEN + 4];
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.wire_len(), 60);
+    }
+
+    #[test]
+    fn display_format() {
+        let buf = sample_frame();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("02:60:8c:00:00:03"), "{s}");
+        assert!(s.contains("BLAST"), "{s}");
+    }
+
+    #[test]
+    fn into_inner_returns_buffer() {
+        let buf = sample_frame();
+        let f = EthernetFrame::new_checked(buf.clone()).unwrap();
+        assert_eq!(f.into_inner(), buf);
+    }
+
+    #[test]
+    fn payload_mut_roundtrips() {
+        let mut buf = vec![0u8; 64];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.payload_mut()[0] = 0x5a;
+        assert_eq!(f.payload()[0], 0x5a);
+        assert_eq!(buf[ETHERNET_HEADER_LEN], 0x5a);
+    }
+}

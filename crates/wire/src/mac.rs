@@ -1,0 +1,227 @@
+//! Ethernet MAC addresses and EtherType values.
+//!
+//! The paper's transfers run between two SUN workstations identified by
+//! their 3-Com interface station addresses; the standalone experiments
+//! use raw Ethernet data-link framing with nothing above it (§2.1.1).
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::WireError;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// ```
+/// use blast_wire::mac::MacAddr;
+/// let a: MacAddr = "02:60:8c:00:00:01".parse().unwrap();
+/// assert_eq!(a.to_string(), "02:60:8c:00:00:01");
+/// assert!(a.is_local());
+/// assert!(!a.is_multicast());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address, `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// An all-zero address, used as "unset".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Construct from the raw six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// A deterministic locally-administered unicast address derived from a
+    /// small host index; used by the simulator and tests to label hosts.
+    ///
+    /// The 3-Com OUI was `02:60:8c`; we reuse it (with the local bit set,
+    /// as original 3-Com cards did) for period flavour.
+    pub const fn station(index: u16) -> Self {
+        MacAddr([0x02, 0x60, 0x8c, 0x00, (index >> 8) as u8, index as u8])
+    }
+
+    /// Parse from a byte slice of length ≥ 6.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 6 {
+            return Err(WireError::Truncated { needed: 6, got: bytes.len() });
+        }
+        let mut octets = [0u8; 6];
+        octets.copy_from_slice(&bytes[..6]);
+        Ok(MacAddr(octets))
+    }
+
+    /// The raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for unicast (neither multicast nor broadcast).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// True if the locally-administered bit is set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    // Forward to `Display`: keeps trace output readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut count = 0;
+        for part in s.split(&[':', '-'][..]) {
+            if count == 6 {
+                return Err(WireError::BadField { field: "mac" });
+            }
+            octets[count] = u8::from_str_radix(part, 16)
+                .map_err(|_| WireError::BadField { field: "mac" })?;
+            count += 1;
+        }
+        if count != 6 {
+            return Err(WireError::BadField { field: "mac" });
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+/// The 16-bit EtherType field of an Ethernet II frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// EtherType we register for blast transport frames.
+    ///
+    /// Experimental/private EtherTypes live above 0x8000; `0xB1A5` reads
+    /// as "BLAS(t)".
+    pub const BLAST: EtherType = EtherType(0xB1A5);
+
+    /// IPv4, for interoperability tests of the frame parser.
+    pub const IPV4: EtherType = EtherType(0x0800);
+
+    /// ARP, for interoperability tests of the frame parser.
+    pub const ARP: EtherType = EtherType(0x0806);
+
+    /// The raw value.
+    pub const fn raw(&self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EtherType::BLAST => write!(f, "BLAST"),
+            EtherType::IPV4 => write!(f, "IPv4"),
+            EtherType::ARP => write!(f, "ARP"),
+            EtherType(other) => write!(f, "{other:#06x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_addresses_are_distinct_local_unicast() {
+        let a = MacAddr::station(1);
+        let b = MacAddr::station(2);
+        let c = MacAddr::station(0x1234);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        for m in [a, b, c] {
+            assert!(m.is_unicast());
+            assert!(m.is_local());
+            assert!(!m.is_broadcast());
+        }
+        assert_eq!(c.octets()[4], 0x12);
+        assert_eq!(c.octets()[5], 0x34);
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["02:60:8c:00:00:01", "ff:ff:ff:ff:ff:ff", "00:00:00:00:00:00"] {
+            let m: MacAddr = s.parse().unwrap();
+            assert_eq!(m.to_string(), s);
+        }
+        // Dash-separated also accepted.
+        let m: MacAddr = "02-60-8c-00-00-01".parse().unwrap();
+        assert_eq!(m, MacAddr::station(1));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:60:8c:00:00".parse::<MacAddr>().is_err());
+        assert!("02:60:8c:00:00:01:02".parse::<MacAddr>().is_err());
+        assert!("02:60:8c:00:00:zz".parse::<MacAddr>().is_err());
+        assert!("hello".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn from_bytes_requires_six() {
+        assert!(MacAddr::from_bytes(&[1, 2, 3]).is_err());
+        let m = MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6, 7]).unwrap();
+        assert_eq!(m.octets(), [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ethertype_display() {
+        assert_eq!(EtherType::BLAST.to_string(), "BLAST");
+        assert_eq!(EtherType::IPV4.to_string(), "IPv4");
+        assert_eq!(EtherType::ARP.to_string(), "ARP");
+        assert_eq!(EtherType(0x88cc).to_string(), "0x88cc");
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        let m = MacAddr::station(3);
+        assert_eq!(format!("{m:?}"), m.to_string());
+    }
+}

@@ -1,0 +1,66 @@
+//! A compact field study of the paper's §3: how the four blast
+//! retransmission strategies behave as the network degrades, using the
+//! full protocol engines over the calibrated simulator.
+//!
+//! Usage: `cargo run --release --example error_field_study -- [trials]`
+
+use blastlan::analytic::{CostModel, ErrorFree};
+use blastlan::core::blast::{BlastReceiver, BlastSender};
+use blastlan::core::config::{ProtocolConfig, RetxStrategy};
+use blastlan::sim::{LossModel, SimConfig, Simulator};
+use blastlan::stats::OnlineStats;
+
+fn measure(strategy: RetxStrategy, p_n: f64, trials: u64) -> OnlineStats {
+    let t0_d = ErrorFree::new(CostModel::vkernel_sun()).blast(64);
+    let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    let mut stats = OnlineStats::new();
+    for t in 0..trials {
+        let seed = 0xF1E1D ^ (t.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut sim =
+            Simulator::new(SimConfig::vkernel().with_loss(LossModel::iid(p_n), seed));
+        let a = sim.add_host("a");
+        let b = sim.add_host("b");
+        let mut cfg = ProtocolConfig::default().with_strategy(strategy);
+        cfg.max_retries = 1_000_000;
+        cfg.retransmit_timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64);
+        sim.attach(a, b, Box::new(BlastSender::new(1, data.clone().into(), &cfg)));
+        sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
+        let report = sim.run();
+        if let Some(ms) = report.elapsed_ms(a, 1) {
+            stats.push(ms);
+        }
+    }
+    stats
+}
+
+fn main() {
+    let trials: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let floor = ErrorFree::new(CostModel::vkernel_sun()).blast(64);
+    println!(
+        "64 KB transfers, V-kernel constants, error-free floor {floor:.1} ms, \
+         {trials} trials per point\n"
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "strategy", "p_n", "mean (ms)", "sigma (ms)", "vs floor"
+    );
+    for p_n in [1e-5, 1e-4, 1e-3, 1e-2] {
+        for strategy in RetxStrategy::ALL {
+            let s = measure(strategy, p_n, trials);
+            println!(
+                "{:<14} {:>10.0e} {:>12.2} {:>12.2} {:>+11.1}%",
+                strategy.to_string(),
+                p_n,
+                s.mean(),
+                s.population_stddev(),
+                (s.mean() / floor - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("the paper's conclusions, visible in the numbers:");
+    println!(" * expected times sit on the error-free floor through the LAN regime (<=1e-4);");
+    println!(" * sigma separates the strategies long before the means do;");
+    println!(" * go-back-n ~ selective << full retransmission, hence §3.2.4's choice.");
+}

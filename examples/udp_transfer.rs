@@ -1,0 +1,62 @@
+//! Bulk transfer over real UDP with configurable fault injection —
+//! the modern incarnation of the paper's protocols.
+//!
+//! Usage: `cargo run --release --example udp_transfer -- [KB] [loss%] [strategy]`
+//! e.g.   `cargo run --release --example udp_transfer -- 512 5 selective`
+//!
+//! Strategies: full-no-nack | full-nack | go-back-n | selective
+
+use std::time::Duration;
+
+use blastlan::core::config::RetxStrategy;
+use blastlan::core::ProtocolConfig;
+use blastlan::udp::channel::UdpChannel;
+use blastlan::udp::fault::{FaultConfig, FaultyChannel};
+use blastlan::udp::peer::{recv_data, send_data};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kb: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let loss_pct: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let strategy = match args.get(3).map(String::as_str) {
+        Some("full-no-nack") => RetxStrategy::FullNoNack,
+        Some("full-nack") => RetxStrategy::FullNack,
+        Some("selective") => RetxStrategy::Selective,
+        _ => RetxStrategy::GoBackN,
+    };
+
+    let data: Vec<u8> = (0..kb * 1024).map(|i| (i.wrapping_mul(31) % 256) as u8).collect();
+    println!("transferring {kb} KB over UDP loopback, {loss_pct}% injected loss, {strategy}\n");
+
+    let (ca, cb) = UdpChannel::pair().unwrap();
+    let mut cfg = ProtocolConfig::default();
+    cfg.strategy = strategy;
+    cfg.retransmit_timeout = Duration::from_millis(20);
+    cfg.max_retries = 100_000;
+
+    // Faults injected on the sender side (data packets suffer the loss,
+    // like the paper's receiving-interface overruns).
+    let faulty = FaultyChannel::new(ca, FaultConfig::loss(loss_pct / 100.0), 0xF00D);
+
+    let cfg2 = cfg.clone();
+    let rx = std::thread::spawn(move || recv_data(cb, &cfg2).unwrap());
+    let tx = send_data(faulty, 1, &data, &cfg).unwrap();
+    let report = rx.join().unwrap();
+
+    assert_eq!(report.data, data, "delivered bytes must be identical");
+    println!("sender:   {} data packets ({} retransmitted), {} rounds, {} timeouts",
+        tx.stats.data_packets_sent,
+        tx.stats.data_packets_retransmitted,
+        tx.stats.retransmission_rounds,
+        tx.stats.timeouts);
+    println!("receiver: {} packets placed, {} duplicates, {} acks ({} NACKs)",
+        report.stats.data_packets_received,
+        report.stats.duplicate_packets_received,
+        report.stats.acks_sent,
+        report.stats.nacks_sent);
+    println!(
+        "elapsed {:.1} ms, goodput {:.0} Mbit/s — data verified byte-identical",
+        tx.elapsed.as_secs_f64() * 1e3,
+        report.goodput_mbps(data.len())
+    );
+}

@@ -1,0 +1,159 @@
+//! Workspace-level property tests: invariants that must hold across the
+//! whole stack for arbitrary sizes, strategies, loss rates and seeds.
+
+use std::time::Duration;
+
+use blastlan::analytic::{CostModel, ErrorFree};
+use blastlan::core::blast::{BlastReceiver, BlastSender};
+use blastlan::core::config::{ProtocolConfig, RetxStrategy};
+use blastlan::core::multiblast::MultiBlastSender;
+use blastlan::sim::{LossModel, SimConfig, Simulator};
+use blastlan::vkernel::fileserver::{client_read, FileServer};
+use blastlan::vkernel::VCluster;
+use proptest::prelude::*;
+
+fn strategy_from(idx: u8) -> RetxStrategy {
+    RetxStrategy::ALL[(idx as usize) % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For any configuration: the transfer completes, the elapsed time
+    /// is at least the error-free floor, equals it when loss is zero,
+    /// and the accounting identities hold.
+    #[test]
+    fn sim_transfer_invariants(
+        kb in 1usize..96,
+        strategy_idx in 0u8..4,
+        loss_milli in 0u32..80, // p_n in [0, 0.08)
+        seed in any::<u64>(),
+    ) {
+        let p_n = loss_milli as f64 / 1000.0;
+        let bytes = kb * 1024;
+        let n = kb as u64;
+        let ef = ErrorFree::new(CostModel::standalone_sun());
+        let floor = ef.blast(n);
+
+        let mut sim = Simulator::new(
+            SimConfig::standalone().with_loss(LossModel::iid(p_n), seed),
+        );
+        let a = sim.add_host("a");
+        let b = sim.add_host("b");
+        let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
+        cfg.max_retries = 1_000_000;
+        cfg.retransmit_timeout = Duration::from_millis(250);
+        let data: std::sync::Arc<[u8]> =
+            (0..bytes).map(|i| (i % 255) as u8).collect::<Vec<u8>>().into();
+        sim.attach(a, b, Box::new(BlastSender::new(1, data, &cfg)));
+        sim.attach(b, a, Box::new(BlastReceiver::new(1, bytes, &cfg)));
+        let report = sim.run();
+
+        prop_assert!(report.succeeded(a, 1), "sender completes");
+        prop_assert!(report.succeeded(b, 1), "receiver completes");
+        let elapsed = report.elapsed_ms(a, 1).unwrap();
+        prop_assert!(elapsed >= floor - 1e-9, "elapsed {elapsed} >= floor {floor}");
+        if p_n == 0.0 {
+            prop_assert!((elapsed - floor).abs() < 1e-9, "error-free is exactly the floor");
+        }
+
+        let s = &report.completions[&(a, 1)].info.stats;
+        let r = &report.completions[&(b, 1)].info.stats;
+        // Fresh transmissions = D.
+        prop_assert_eq!(s.data_packets_sent - s.data_packets_retransmitted, n);
+        // The receiver placed exactly D distinct packets.
+        prop_assert_eq!(r.data_packets_received, n);
+        // Conservation: everything the receiver saw was sent.
+        prop_assert!(
+            r.data_packets_received + r.duplicate_packets_received <= s.data_packets_sent
+        );
+        // Conservation on the wire: sent = delivered + lost + overrun
+        // (+ in-flight at stop, which is zero once both completed and
+        //  the final ack got through — allow a small in-flight slack
+        //  for retransmissions racing the final ack).
+        let sent: u64 = report.host_stats.iter().map(|(_, h)| h.frames_sent).sum();
+        let delivered: u64 =
+            report.host_stats.iter().map(|(_, h)| h.frames_delivered).sum();
+        let overruns = report.total_overruns();
+        prop_assert!(delivered + report.wire_losses + overruns <= sent + 2);
+    }
+
+    /// Multi-blast must agree with single blast on *what* is delivered
+    /// for any chunking, and never be faster than the error-free single
+    /// blast floor minus its extra acks.
+    #[test]
+    fn multiblast_chunking_invariants(
+        kb in 2usize..64,
+        chunk in 1u32..32,
+        seed in any::<u64>(),
+    ) {
+        let bytes = kb * 1024;
+        let mut sim = Simulator::new(
+            SimConfig::standalone().with_loss(LossModel::iid(0.01), seed),
+        );
+        let a = sim.add_host("a");
+        let b = sim.add_host("b");
+        let mut cfg = ProtocolConfig::default().with_multiblast_chunk(chunk);
+        cfg.max_retries = 1_000_000;
+        cfg.retransmit_timeout = Duration::from_millis(250);
+        let data: std::sync::Arc<[u8]> =
+            (0..bytes).map(|i| (i % 251) as u8).collect::<Vec<u8>>().into();
+        sim.attach(a, b, Box::new(MultiBlastSender::new(1, data, &cfg)));
+        sim.attach(b, a, Box::new(BlastReceiver::new(1, bytes, &cfg)));
+        let report = sim.run();
+        prop_assert!(report.succeeded(a, 1));
+        // One cumulative ack per chunk at minimum.
+        let chunks = (kb as u32).div_ceil(chunk) as u64;
+        let r = &report.completions[&(b, 1)].info.stats;
+        prop_assert!(r.acks_sent >= chunks, "acks {} < chunks {chunks}", r.acks_sent);
+    }
+
+    /// The V-kernel file server delivers byte-identical files for any
+    /// content and loss.
+    #[test]
+    fn vkernel_file_reads_always_intact(
+        len in 1usize..80_000,
+        loss_milli in 0u32..50,
+        seed in any::<u64>(),
+        content_seed in any::<u64>(),
+    ) {
+        let mut cluster =
+            VCluster::new().with_loss(loss_milli as f64 / 1000.0, seed);
+        let k0 = cluster.add_kernel("ws");
+        let k1 = cluster.add_kernel("fs");
+        let client = cluster.create_process(k0, "client");
+        let fs_pid = cluster.create_process(k1, "fileserver");
+        let mut fs = FileServer::new(fs_pid);
+        let contents: Vec<u8> = (0..len)
+            .map(|i| (content_seed.wrapping_mul(i as u64 + 1) >> 13) as u8)
+            .collect();
+        fs.put("/f", contents.clone());
+        let (seg, outcome) = client_read(&mut cluster, &mut fs, client, "/f").unwrap();
+        prop_assert_eq!(cluster.segment(client, seg).unwrap(), &contents[..]);
+        prop_assert_eq!(outcome.bytes, len);
+    }
+
+    /// Analytic sanity: for every (D, p_n, Tr) the expected time under
+    /// loss is ≥ the error-free time, monotone in p_n, and the σ of
+    /// strategy 2 never exceeds strategy 1's.
+    #[test]
+    fn analytic_model_invariants(
+        d in 1u64..512,
+        pn_exp in 1u32..50, // p_n = 10^(-pn_exp/10): 1e-0.1 .. 1e-5
+        tr_mult in 1u32..20,
+    ) {
+        use blastlan::analytic::variance::StdDev;
+        let p_n = 10f64.powf(-(pn_exp as f64) / 10.0);
+        let x = blastlan::analytic::ExpectedTime::new(CostModel::vkernel_sun());
+        let t0 = x.error_free().blast(d);
+        let tr = tr_mult as f64 * t0;
+        let t = x.blast_full_retx(d, p_n, tr);
+        prop_assert!(t >= t0);
+        let t_more = x.blast_full_retx(d, (p_n * 1.5).min(0.999), tr);
+        prop_assert!(t_more >= t - 1e-9);
+        let s = StdDev::new(CostModel::vkernel_sun());
+        let s1 = s.full_no_nack(d, p_n, tr);
+        let s2 = s.full_nack(d, p_n, tr);
+        prop_assert!(s2 <= s1 + 1e-9, "NACK can only reduce sigma: {s2} vs {s1}");
+    }
+}
