@@ -45,20 +45,38 @@ impl CostModel {
     /// The standalone measurement constants (Table 2): `C = 1.35 ms`,
     /// `Ca = 0.17 ms`, `T = 0.82 ms`, `Ta = 0.05 ms`, `τ = 0`.
     pub fn standalone_sun() -> Self {
-        CostModel { c_data: 1.35, c_ack: 0.17, t_data: 0.82, t_ack: 0.05, tau: 0.0 }
+        CostModel {
+            c_data: 1.35,
+            c_ack: 0.17,
+            t_data: 0.82,
+            t_ack: 0.05,
+            tau: 0.0,
+        }
     }
 
     /// The V-kernel constants (fitted to Table 3's `To(1) = 5.9 ms`,
     /// `To(64) = 173 ms`): `C = 1.83 ms`, `Ca = 0.67 ms` (§2.2).
     pub fn vkernel_sun() -> Self {
-        CostModel { c_data: 1.83, c_ack: 0.67, t_data: 0.82, t_ack: 0.05, tau: 0.0 }
+        CostModel {
+            c_data: 1.83,
+            c_ack: 0.67,
+            t_data: 0.82,
+            t_ack: 0.05,
+            tau: 0.0,
+        }
     }
 
     /// The §2.1 introduction's naive model: *only* wire time counts
     /// (`C = Ca = 0`), with `τ = 10 µs`.  Reproduces the 57 024 / 55 764
     /// / 52 551 µs estimates that the measurements then demolish.
     pub fn wire_only() -> Self {
-        CostModel { c_data: 0.0, c_ack: 0.0, t_data: 0.82, t_ack: 0.051, tau: 0.01 }
+        CostModel {
+            c_data: 0.0,
+            c_ack: 0.0,
+            t_data: 0.82,
+            t_ack: 0.051,
+            tau: 0.01,
+        }
     }
 
     /// An Excelan-style DMA interface (§2.1.3): the copy is performed by
@@ -69,7 +87,13 @@ impl CostModel {
     /// paper gives no number beyond "much slower"; 2× is conservative
     /// for an 8088 vs a 68000 moving Multibus data).
     pub fn excelan_dma() -> Self {
-        CostModel { c_data: 2.70, c_ack: 0.34, t_data: 0.82, t_ack: 0.05, tau: 0.0 }
+        CostModel {
+            c_data: 2.70,
+            c_ack: 0.34,
+            t_data: 0.82,
+            t_ack: 0.05,
+            tau: 0.0,
+        }
     }
 
     /// Host-CPU time per data packet under this model when the *host*

@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn double_buffered_wire_bound_branch() {
         // A hypothetical fast processor: C < T → slope is T.
-        let fast = ErrorFree::new(CostModel { c_data: 0.3, ..CostModel::standalone_sun() });
+        let fast = ErrorFree::new(CostModel {
+            c_data: 0.3,
+            ..CostModel::standalone_sun()
+        });
         let slope = fast.double_buffered(65) - fast.double_buffered(64);
         assert!((slope - 0.82).abs() < 1e-9);
     }

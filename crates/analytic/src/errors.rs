@@ -21,7 +21,9 @@ pub struct ExpectedTime {
 impl ExpectedTime {
     /// Build from a cost model.
     pub fn new(model: CostModel) -> Self {
-        ExpectedTime { ef: ErrorFree::new(model) }
+        ExpectedTime {
+            ef: ErrorFree::new(model),
+        }
     }
 
     /// The embedded error-free model.
@@ -156,7 +158,10 @@ mod tests {
         let p_n = 0.05;
         let saw = x.saw(64, p_n, 10.0 * t0_1);
         let blast = x.blast_full_retx(64, p_n, t0_d);
-        assert!(blast > saw, "blast {blast} should exceed saw {saw} at p_n={p_n}");
+        assert!(
+            blast > saw,
+            "blast {blast} should exceed saw {saw} at p_n={p_n}"
+        );
     }
 
     #[test]

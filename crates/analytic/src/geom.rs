@@ -64,8 +64,9 @@ mod tests {
     fn moments_match_pmf() {
         for p in [0.05, 0.3, 0.7] {
             let mean: f64 = (0..100_000).map(|i| i as f64 * pmf(p, i)).sum();
-            let var: f64 =
-                (0..100_000).map(|i| (i as f64 - mean).powi(2) * pmf(p, i)).sum();
+            let var: f64 = (0..100_000)
+                .map(|i| (i as f64 - mean).powi(2) * pmf(p, i))
+                .sum();
             assert!(close(mean, mean_failures(p), 1e-6), "p={p}");
             assert!(close(var, var_failures(p), 1e-5), "p={p}");
             assert!(close(stddev_failures(p), var.sqrt(), 1e-6));

@@ -48,7 +48,9 @@ pub fn compound_geometric(t0: f64, p_c: f64, mx: f64, vx: f64) -> (f64, f64) {
 impl StdDev {
     /// Build from a cost model.
     pub fn new(model: CostModel) -> Self {
-        StdDev { ef: ErrorFree::new(model) }
+        StdDev {
+            ef: ErrorFree::new(model),
+        }
     }
 
     /// The embedded error-free model.
@@ -125,7 +127,10 @@ mod tests {
         let s = vkernel();
         let small = s.full_no_nack(64, 1e-4, 173.0);
         let large = s.full_no_nack(64, 1e-4, 1730.0);
-        assert!(large > 4.0 * small, "σ must grow ≈ linearly with T_r: {small} vs {large}");
+        assert!(
+            large > 4.0 * small,
+            "σ must grow ≈ linearly with T_r: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -145,7 +150,10 @@ mod tests {
         let ratio_nonack = s.full_no_nack(64, 1e-4, 1_730.0) / s.full_no_nack(64, 1e-4, 173.0);
         let ratio_nack = large / small;
         assert!(ratio_nonack > 5.0, "{ratio_nonack}");
-        assert!(ratio_nack < ratio_nonack / 2.0, "{ratio_nack} vs {ratio_nonack}");
+        assert!(
+            ratio_nack < ratio_nonack / 2.0,
+            "{ratio_nack} vs {ratio_nonack}"
+        );
         // And strategy 1 is far worse than strategy 2 at any given T_r.
         assert!(s.full_no_nack(64, 1e-4, 1_730.0) > 4.0 * large);
     }

@@ -24,7 +24,14 @@ fn bench_sim(c: &mut Criterion) {
     });
 
     group.bench_function("saw_64k_error_free", |b| {
-        b.iter(|| black_box(run_transfer(Proto::Saw, 64 * 1024, SimConfig::standalone(), None)))
+        b.iter(|| {
+            black_box(run_transfer(
+                Proto::Saw,
+                64 * 1024,
+                SimConfig::standalone(),
+                None,
+            ))
+        })
     });
 
     group.bench_function("blast_64k_1pct_loss", |b| {

@@ -23,13 +23,23 @@ fn bench_build_parse(c: &mut Criterion) {
     group.bench_function("build_data_1k", |b| {
         b.iter(|| {
             let len = builder
-                .build_data(black_box(&mut buf), 5, 64, 5 * 1024, black_box(&payload), 0, false)
+                .build_data(
+                    black_box(&mut buf),
+                    5,
+                    64,
+                    5 * 1024,
+                    black_box(&payload),
+                    0,
+                    false,
+                )
                 .unwrap();
             black_box(len)
         })
     });
 
-    let len = builder.build_data(&mut buf, 5, 64, 5 * 1024, &payload, 0, false).unwrap();
+    let len = builder
+        .build_data(&mut buf, 5, 64, 5 * 1024, &payload, 0, false)
+        .unwrap();
     let packet = buf[..len].to_vec();
     group.bench_function("parse_data_1k", |b| {
         b.iter(|| Datagram::parse(black_box(&packet)).unwrap())
@@ -38,7 +48,11 @@ fn bench_build_parse(c: &mut Criterion) {
     group.bench_function("build_selective_nack_64", |b| {
         let bm = Bitmap::from_missing(0, 64, [1, 7, 33, 60]).unwrap();
         let ack = AckPayload::NackBitmap(bm);
-        b.iter(|| builder.build_ack(black_box(&mut buf), 64, black_box(&ack)).unwrap())
+        b.iter(|| {
+            builder
+                .build_ack(black_box(&mut buf), 64, black_box(&ack))
+                .unwrap()
+        })
     });
 
     group.finish();
@@ -46,7 +60,9 @@ fn bench_build_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("checksum");
     group.throughput(Throughput::Bytes(1024));
     let data = vec![0x5au8; 1024];
-    group.bench_function("internet_1k", |b| b.iter(|| checksum::internet(black_box(&data))));
+    group.bench_function("internet_1k", |b| {
+        b.iter(|| checksum::internet(black_box(&data)))
+    });
     group.bench_function("crc32_1k", |b| b.iter(|| checksum::crc32(black_box(&data))));
     group.finish();
 }

@@ -61,7 +61,11 @@ fn main() {
         let best = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
         for (c, m, s) in results {
             t.row(&[
-                &(if c == 1024 { "1024 (single)".to_string() } else { c.to_string() }),
+                &(if c == 1024 {
+                    "1024 (single)".to_string()
+                } else {
+                    c.to_string()
+                }),
                 &format!("{m:.1}"),
                 &format!("{s:.1}"),
                 &format!("{:+.1} %", (m / best - 1.0) * 100.0),

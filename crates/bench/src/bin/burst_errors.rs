@@ -34,7 +34,12 @@ fn gilbert_elliott() -> LossModel {
     let loss_bad = 0.5;
     let pi_bad = p_g2b / (p_g2b + p_b2g);
     debug_assert!((pi_bad * loss_bad - AVG_LOSS).abs() < 2e-3);
-    LossModel::GilbertElliott { p_g2b, p_b2g, loss_good: 0.0, loss_bad }
+    LossModel::GilbertElliott {
+        p_g2b,
+        p_b2g,
+        loss_good: 0.0,
+        loss_bad,
+    }
 }
 
 fn measure(strategy: RetxStrategy, loss: LossModel, trials: u64) -> (OnlineStats, f64) {

@@ -29,7 +29,11 @@ fn main() {
     let designs: [(&str, CostModel, bool); 3] = [
         ("3-Com (host copies)", CostModel::standalone_sun(), true),
         ("Excelan DMA (8088 copies)", CostModel::excelan_dma(), false),
-        ("ideal DMA (copy at host speed)", CostModel::standalone_sun(), false),
+        (
+            "ideal DMA (copy at host speed)",
+            CostModel::standalone_sun(),
+            false,
+        ),
     ];
 
     let mut t = Table::new(&[
@@ -44,9 +48,13 @@ fn main() {
     for (name, cost, host_copies) in designs {
         let ef = ErrorFree::new(cost);
         let elapsed = ef.blast(n);
-        let sim =
-            run_transfer(Proto::Blast(RetxStrategy::GoBackN), bytes, SimConfig::standalone().with_cost(cost), None)
-                .elapsed_ms;
+        let sim = run_transfer(
+            Proto::Blast(RetxStrategy::GoBackN),
+            bytes,
+            SimConfig::standalone().with_cost(cost),
+            None,
+        )
+        .elapsed_ms;
         let host_cpu = if host_copies {
             // Sender-side: N copies in + 1 ack copy out.
             n as f64 * cost.host_cpu_per_packet_host_copy() + cost.c_ack

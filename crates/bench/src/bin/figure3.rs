@@ -13,18 +13,29 @@ use blast_sim::{render_timeline, SimConfig};
 fn show(title: &str, proto: Proto, sim_cfg: SimConfig) {
     let r = run_transfer(proto, 3 * 1024, sim_cfg.with_trace(), None);
     println!("{title}   (total {} ms)", r.elapsed_ms);
-    println!("{}", render_timeline(&r.report.trace, &["sender", "receiver"], 100));
+    println!(
+        "{}",
+        render_timeline(&r.report.trace, &["sender", "receiver"], 100)
+    );
 }
 
 fn main() {
     println!("Figure 3: transmission timelines, N = 3 data packets\n");
-    show("Figure 3.a: stop-and-wait", Proto::Saw, SimConfig::standalone());
+    show(
+        "Figure 3.a: stop-and-wait",
+        Proto::Saw,
+        SimConfig::standalone(),
+    );
     show(
         "Figure 3.b: blast",
         Proto::Blast(RetxStrategy::GoBackN),
         SimConfig::standalone(),
     );
-    show("Figure 3.c: sliding window", Proto::Window, SimConfig::standalone());
+    show(
+        "Figure 3.c: sliding window",
+        Proto::Window,
+        SimConfig::standalone(),
+    );
     show(
         "Figure 3.d: double-buffered interface with blast",
         Proto::BlastDouble,

@@ -22,16 +22,33 @@ fn main() {
     let mut dbl = Vec::new();
     for &n in &ns {
         let bytes = n as usize * 1024;
-        saw.push((n as f64, run_transfer(Proto::Saw, bytes, SimConfig::standalone(), None).elapsed_ms));
-        sw.push((n as f64, run_transfer(Proto::Window, bytes, SimConfig::standalone(), None).elapsed_ms));
+        saw.push((
+            n as f64,
+            run_transfer(Proto::Saw, bytes, SimConfig::standalone(), None).elapsed_ms,
+        ));
+        sw.push((
+            n as f64,
+            run_transfer(Proto::Window, bytes, SimConfig::standalone(), None).elapsed_ms,
+        ));
         blast.push((
             n as f64,
-            run_transfer(Proto::Blast(RetxStrategy::GoBackN), bytes, SimConfig::standalone(), None)
-                .elapsed_ms,
+            run_transfer(
+                Proto::Blast(RetxStrategy::GoBackN),
+                bytes,
+                SimConfig::standalone(),
+                None,
+            )
+            .elapsed_ms,
         ));
         dbl.push((
             n as f64,
-            run_transfer(Proto::BlastDouble, bytes, SimConfig::double_buffered(), None).elapsed_ms,
+            run_transfer(
+                Proto::BlastDouble,
+                bytes,
+                SimConfig::double_buffered(),
+                None,
+            )
+            .elapsed_ms,
         ));
     }
     series.push(("stop-and-wait", saw.clone()));
@@ -52,7 +69,10 @@ fn main() {
 
     // Key table rows with model cross-check.
     println!("selected points (ms): sim [model]");
-    println!("{:>4} {:>18} {:>18} {:>18} {:>18}", "N", "SAW", "SW", "B", "DBL");
+    println!(
+        "{:>4} {:>18} {:>18} {:>18} {:>18}",
+        "N", "SAW", "SW", "B", "DBL"
+    );
     for &n in &[1u64, 8, 16, 32, 64] {
         let i = (n - 1) as usize;
         println!(

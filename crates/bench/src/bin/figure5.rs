@@ -32,7 +32,8 @@ fn main() {
     .log_x()
     .labels("p_n", "expected time (ms)");
 
-    let curves: [(&str, Box<dyn Fn(f64) -> f64>); 4] = [
+    type Curve<'a> = (&'a str, Box<dyn Fn(f64) -> f64>);
+    let curves: [Curve; 4] = [
         (
             "SAW, Tr = 100 x To(1)",
             Box::new(move |p| x.saw(d, p, 100.0 * t0_1)),

@@ -37,8 +37,10 @@ fn main() {
     .labels("p_n", "sigma (ms)");
 
     // Strategy 1 at two timeouts (the Tr-dependence the figure shows).
-    for (name, tr) in [("full, no NACK, Tr=10xTo(D)", 10.0 * t0_d), ("full, no NACK, Tr=To(D)", t0_d)]
-    {
+    for (name, tr) in [
+        ("full, no NACK, Tr=10xTo(D)", 10.0 * t0_d),
+        ("full, no NACK, Tr=To(D)", t0_d),
+    ] {
         let pts: Vec<(f64, f64)> = pn_sweep()
             .into_iter()
             .map(|p| (p, s.full_no_nack(d, p, tr)))
@@ -54,13 +56,16 @@ fn main() {
         .collect();
     chart.series("full + NACK", pts);
     // Strategies 3 and 4 by Monte Carlo (100k trials per point).
-    for (name, strategy) in
-        [("go-back-n (MC)", Strategy::GoBackN), ("selective (MC)", Strategy::Selective)]
-    {
+    for (name, strategy) in [
+        ("go-back-n (MC)", Strategy::GoBackN),
+        ("selective (MC)", Strategy::Selective),
+    ] {
         let pts: Vec<(f64, f64)> = pn_sweep()
             .into_iter()
             .map(|p| {
-                let cfg = McConfig::paper_default(p).with_trials(100_000).with_t_r(t0_d);
+                let cfg = McConfig::paper_default(p)
+                    .with_trials(100_000)
+                    .with_t_r(t0_d);
                 (p, simulate(strategy, &cfg).stddev)
             })
             .filter(|&(_, y)| y.is_finite() && y > 1e-3)
@@ -72,10 +77,21 @@ fn main() {
     // Numeric slice at the paper's interface-error rate.
     println!("sigma at p_n = 1e-4 (the interface-error regime), Tr = To(D):");
     let p = 1e-4;
-    println!("  full, no NACK : {:>8.2} ms (closed form)", s.full_no_nack(d, p, t0_d));
-    println!("  full + NACK   : {:>8.2} ms (closed form)", s.full_nack(d, p, t0_d));
-    for (name, strategy) in [("go-back-n", Strategy::GoBackN), ("selective", Strategy::Selective)] {
-        let cfg = McConfig::paper_default(p).with_trials(400_000).with_t_r(t0_d);
+    println!(
+        "  full, no NACK : {:>8.2} ms (closed form)",
+        s.full_no_nack(d, p, t0_d)
+    );
+    println!(
+        "  full + NACK   : {:>8.2} ms (closed form)",
+        s.full_nack(d, p, t0_d)
+    );
+    for (name, strategy) in [
+        ("go-back-n", Strategy::GoBackN),
+        ("selective", Strategy::Selective),
+    ] {
+        let cfg = McConfig::paper_default(p)
+            .with_trials(400_000)
+            .with_t_r(t0_d);
         let r = simulate(strategy, &cfg);
         println!("  {name:<14}: {:>8.2} ms (Monte Carlo)", r.stddev);
     }

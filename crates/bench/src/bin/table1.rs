@@ -64,12 +64,20 @@ fn main() {
     println!("naive wire-only estimates (paper §2.1 intro, µs):");
     let naive = ErrorFree::new(CostModel::wire_only());
     let mut t2 = Table::new(&["protocol", "paper", "model"]);
-    t2.row(&["stop-and-wait", "57024", &format!("{:.0}", naive.naive_saw(64) * 1000.0)]);
+    t2.row(&[
+        "stop-and-wait",
+        "57024",
+        &format!("{:.0}", naive.naive_saw(64) * 1000.0),
+    ]);
     t2.row(&[
         "sliding window",
         "55764",
         &format!("{:.0}", naive.naive_sliding_window(64) * 1000.0),
     ]);
-    t2.row(&["blast", "52551", &format!("{:.0}", naive.naive_blast(64) * 1000.0)]);
+    t2.row(&[
+        "blast",
+        "52551",
+        &format!("{:.0}", naive.naive_blast(64) * 1000.0),
+    ]);
     println!("{}", t2.render());
 }

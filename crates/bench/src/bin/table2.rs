@@ -51,5 +51,8 @@ fn main() {
     );
     println!();
     println!("Figure 2: network packet transmission (timeline):");
-    println!("{}", render_timeline(&report.trace, &["sender", "receiver"], 72));
+    println!(
+        "{}",
+        render_timeline(&report.trace, &["sender", "receiver"], 72)
+    );
 }

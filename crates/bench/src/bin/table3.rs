@@ -13,8 +13,13 @@ use blast_vkernel::VCluster;
 
 fn main() {
     let ef = ErrorFree::new(CostModel::vkernel_sun());
-    let mut table = Table::new(&["size", "MoveTo model (ms)", "MoveTo measured (ms)", "packets"])
-        .with_title("Table 3: V kernel MoveTo (remote, error-free)");
+    let mut table = Table::new(&[
+        "size",
+        "MoveTo model (ms)",
+        "MoveTo measured (ms)",
+        "packets",
+    ])
+    .with_title("Table 3: V kernel MoveTo (remote, error-free)");
 
     for kb in [1usize, 4, 16, 64] {
         let mut cluster = VCluster::new();
@@ -55,5 +60,8 @@ fn main() {
     let src = cluster.register_segment_with(a, &data).unwrap();
     let dst = cluster.register_segment(b, data.len()).unwrap();
     let out = cluster.move_to(a, src, b, dst).unwrap();
-    println!("local 64 KB MoveTo (same machine, direct copy): {} ms", fmt_ms(out.elapsed_ms));
+    println!(
+        "local 64 KB MoveTo (same machine, direct copy): {} ms",
+        fmt_ms(out.elapsed_ms)
+    );
 }

@@ -14,21 +14,24 @@ use blast_stats::Table;
 
 fn main() {
     let ef = ErrorFree::new(CostModel::standalone_sun());
-    let mut t = Table::new(&[
-        "size",
-        "u model",
-        "u sim",
-        "u dbl model",
-        "u dbl sim",
-    ])
-    .with_title("Network utilization of blast transfers (single vs double buffered)");
+    let mut t = Table::new(&["size", "u model", "u sim", "u dbl model", "u dbl sim"])
+        .with_title("Network utilization of blast transfers (single vs double buffered)");
 
     for kb in [1usize, 4, 16, 64, 256] {
         let n = kb as u64;
         let bytes = kb * 1024;
-        let single =
-            run_transfer(Proto::Blast(RetxStrategy::GoBackN), bytes, SimConfig::standalone(), None);
-        let double = run_transfer(Proto::BlastDouble, bytes, SimConfig::double_buffered(), None);
+        let single = run_transfer(
+            Proto::Blast(RetxStrategy::GoBackN),
+            bytes,
+            SimConfig::standalone(),
+            None,
+        );
+        let double = run_transfer(
+            Proto::BlastDouble,
+            bytes,
+            SimConfig::double_buffered(),
+            None,
+        );
         t.row(&[
             &format!("{kb} KB"),
             &format!("{:.1} %", ef.utilization(n) * 100.0),
@@ -48,7 +51,11 @@ fn main() {
     );
 
     // Demonstrate exactly that: halve the copy costs and re-measure.
-    let fast = CostModel { c_data: 0.675, c_ack: 0.085, ..CostModel::standalone_sun() };
+    let fast = CostModel {
+        c_data: 0.675,
+        c_ack: 0.085,
+        ..CostModel::standalone_sun()
+    };
     let ef_fast = ErrorFree::new(fast);
     println!();
     println!(

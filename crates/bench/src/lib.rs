@@ -73,7 +73,10 @@ pub struct RunResult {
 
 /// Deterministic payload bytes.
 pub fn payload(bytes: usize) -> Arc<[u8]> {
-    (0..bytes).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect::<Vec<u8>>().into()
+    (0..bytes)
+        .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+        .collect::<Vec<u8>>()
+        .into()
 }
 
 /// Run one `proto` transfer of `bytes` bytes through the simulator.
@@ -130,9 +133,7 @@ pub fn run_transfer(
         }
     }
     let report = sim.run();
-    let elapsed_ms = report
-        .elapsed_ms(a, 1)
-        .unwrap_or(f64::NAN);
+    let elapsed_ms = report.elapsed_ms(a, 1).unwrap_or(f64::NAN);
     RunResult { elapsed_ms, report }
 }
 
@@ -178,8 +179,12 @@ mod tests {
 
     #[test]
     fn run_transfer_matches_known_values() {
-        let r = run_transfer(Proto::Blast(RetxStrategy::GoBackN), 64 * 1024,
-                             SimConfig::standalone(), None);
+        let r = run_transfer(
+            Proto::Blast(RetxStrategy::GoBackN),
+            64 * 1024,
+            SimConfig::standalone(),
+            None,
+        );
         assert_eq!(r.elapsed_ms, 140.62);
         let r = run_transfer(Proto::Saw, 1024, SimConfig::standalone(), None);
         assert_eq!(r.elapsed_ms, 3.91);
@@ -191,9 +196,18 @@ mod tests {
 
     #[test]
     fn multiblast_runs() {
-        let r = run_transfer(Proto::MultiBlast(16), 64 * 1024, SimConfig::standalone(), None);
+        let r = run_transfer(
+            Proto::MultiBlast(16),
+            64 * 1024,
+            SimConfig::standalone(),
+            None,
+        );
         // 4 chunks: 64×(C+T) + 4×(C + 2Ca + Ta) = 138.88 + 4×1.74
-        assert!((r.elapsed_ms - (64.0 * 2.17 + 4.0 * 1.74)).abs() < 1e-9, "{}", r.elapsed_ms);
+        assert!(
+            (r.elapsed_ms - (64.0 * 2.17 + 4.0 * 1.74)).abs() < 1e-9,
+            "{}",
+            r.elapsed_ms
+        );
     }
 
     #[test]
@@ -221,7 +235,10 @@ mod tests {
     #[test]
     fn proto_display() {
         assert_eq!(Proto::Saw.to_string(), "stop-and-wait");
-        assert_eq!(Proto::Blast(RetxStrategy::GoBackN).to_string(), "blast/go-back-n");
+        assert_eq!(
+            Proto::Blast(RetxStrategy::GoBackN).to_string(),
+            "blast/go-back-n"
+        );
         assert_eq!(Proto::MultiBlast(64).to_string(), "multi-blast/64");
     }
 }

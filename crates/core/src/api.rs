@@ -128,12 +128,18 @@ pub struct CompletionInfo {
 impl CompletionInfo {
     /// Successful completion of `bytes` bytes.
     pub fn success(bytes: usize, stats: EngineStats) -> Self {
-        CompletionInfo { result: Ok(bytes), stats }
+        CompletionInfo {
+            result: Ok(bytes),
+            stats,
+        }
     }
 
     /// Failed completion.
     pub fn failure(err: CoreError, stats: EngineStats) -> Self {
-        CompletionInfo { result: Err(err), stats }
+        CompletionInfo {
+            result: Err(err),
+            stats,
+        }
     }
 
     /// True if the transfer succeeded.
@@ -178,14 +184,19 @@ mod tests {
     fn action_as_transmit() {
         let a = Action::Transmit(vec![1, 2, 3]);
         assert_eq!(a.as_transmit(), Some(&[1u8, 2, 3][..]));
-        let a = Action::CancelTimer { token: TimerToken(0) };
+        let a = Action::CancelTimer {
+            token: TimerToken(0),
+        };
         assert_eq!(a.as_transmit(), None);
     }
 
     #[test]
     fn vec_is_an_action_sink() {
         let mut v: Vec<Action> = Vec::new();
-        v.push_action(Action::SetTimer { token: TimerToken(3), after: Duration::from_millis(5) });
+        v.push_action(Action::SetTimer {
+            token: TimerToken(3),
+            after: Duration::from_millis(5),
+        });
         assert_eq!(v.len(), 1);
     }
 

@@ -92,7 +92,10 @@ impl BlastSender {
         end: u32,
         multiblast: bool,
     ) -> Self {
-        assert!(first < end && end <= tx.total_packets(), "invalid blast range");
+        assert!(
+            first < end && end <= tx.total_packets(),
+            "invalid blast range"
+        );
         BlastSender {
             transfer_id,
             tx,
@@ -148,7 +151,10 @@ impl BlastSender {
         for &seq in packets {
             self.transmit_one(seq, seq == last, sink);
         }
-        sink.push_action(Action::SetTimer { token: RETX_TIMER, after: self.timeout });
+        sink.push_action(Action::SetTimer {
+            token: RETX_TIMER,
+            after: self.timeout,
+        });
     }
 
     /// Consume one unit of retransmission budget; completes with failure
@@ -159,7 +165,9 @@ impl BlastSender {
             self.finish.complete(
                 sink,
                 CompletionInfo::failure(
-                    CoreError::RetriesExhausted { retries: self.max_retries },
+                    CoreError::RetriesExhausted {
+                        retries: self.max_retries,
+                    },
                     stats,
                 ),
             );
@@ -188,8 +196,7 @@ impl BlastSender {
                 }
             }
             AckPayload::NackBitmap(bm) => {
-                let mut set: Vec<u32> =
-                    bm.missing().filter(|&s| s < self.end).collect();
+                let mut set: Vec<u32> = bm.missing().filter(|&s| s < self.end).collect();
                 // Anything beyond the bitmap's horizon is unreported;
                 // conservatively resend it (empty for transfers that fit
                 // in one bitmap, i.e. ≤ Bitmap::MAX_BITS packets).
@@ -224,7 +231,8 @@ impl Engine for BlastSender {
                     sink.push_action(Action::CancelTimer { token: RETX_TIMER });
                     let stats = self.stats;
                     let bytes = self.tx.len();
-                    self.finish.complete(sink, CompletionInfo::success(bytes, stats));
+                    self.finish
+                        .complete(sink, CompletionInfo::success(bytes, stats));
                 }
                 // A positive ack below our range end is stale
                 // (an earlier chunk's ack); keep waiting.
@@ -258,7 +266,10 @@ impl Engine for BlastSender {
             RetxStrategy::GoBackN | RetxStrategy::Selective => {
                 let seq = self.reliable_seq;
                 self.transmit_one(seq, true, sink);
-                sink.push_action(Action::SetTimer { token: RETX_TIMER, after: self.timeout });
+                sink.push_action(Action::SetTimer {
+                    token: RETX_TIMER,
+                    after: self.timeout,
+                });
             }
         }
     }
@@ -349,7 +360,10 @@ impl BlastReceiver {
         };
         let is_nack = report.is_nack();
         let mut buf = vec![0u8; blast_wire::HEADER_LEN + report.encoded_len()];
-        let len = self.builder.build_ack(&mut buf, total, &report).expect("ack fits");
+        let len = self
+            .builder
+            .build_ack(&mut buf, total, &report)
+            .expect("ack fits");
         buf.truncate(len);
         self.stats.acks_sent += 1;
         if is_nack {
@@ -369,17 +383,22 @@ impl Engine for BlastReceiver {
             PacketKind::Data => {}
             PacketKind::Cancel => {
                 let stats = self.stats;
-                self.finish.complete(sink, CompletionInfo::failure(CoreError::Cancelled, stats));
+                self.finish
+                    .complete(sink, CompletionInfo::failure(CoreError::Cancelled, stats));
                 return;
             }
             _ => return,
         }
-        match self.rx.place(dgram.seq, dgram.offset as usize, dgram.payload) {
+        match self
+            .rx
+            .place(dgram.seq, dgram.offset as usize, dgram.payload)
+        {
             Ok(true) => self.stats.data_packets_received += 1,
             Ok(false) => self.stats.duplicate_packets_received += 1,
             Err(e) => {
                 let stats = self.stats;
-                self.finish.complete(sink, CompletionInfo::failure(e, stats));
+                self.finish
+                    .complete(sink, CompletionInfo::failure(e, stats));
                 return;
             }
         }
@@ -393,7 +412,8 @@ impl Engine for BlastReceiver {
         if self.rx.is_complete() {
             let stats = self.stats;
             let bytes = self.rx.len();
-            self.finish.complete(sink, CompletionInfo::success(bytes, stats));
+            self.finish
+                .complete(sink, CompletionInfo::success(bytes, stats));
         }
     }
 
@@ -430,7 +450,10 @@ mod tests {
     }
 
     fn data(n: usize) -> Arc<[u8]> {
-        (0..n).map(|i| (i * 13 % 251) as u8).collect::<Vec<u8>>().into()
+        (0..n)
+            .map(|i| (i * 13 % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into()
     }
 
     fn feed(engine: &mut dyn Engine, packet: &[u8]) -> Vec<Action> {
@@ -441,7 +464,10 @@ mod tests {
     }
 
     fn transmits(actions: &[Action]) -> Vec<Vec<u8>> {
-        actions.iter().filter_map(|a| a.as_transmit().map(<[u8]>::to_vec)).collect()
+        actions
+            .iter()
+            .filter_map(|a| a.as_transmit().map(<[u8]>::to_vec))
+            .collect()
     }
 
     #[test]
@@ -459,7 +485,10 @@ mod tests {
             assert_eq!(d.is_reliable(), i == 7, "only the tail is RELIABLE");
         }
         // Exactly one timer, armed after the blast.
-        let timers = actions.iter().filter(|a| matches!(a, Action::SetTimer { .. })).count();
+        let timers = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SetTimer { .. }))
+            .count();
         assert_eq!(timers, 1);
     }
 
@@ -515,12 +544,17 @@ mod tests {
         let acks = deliver_except(&mut r, &transmits(&actions), &[3, 5]);
         assert_eq!(acks.len(), 1);
         let d = Datagram::parse(&acks[0]).unwrap();
-        assert_eq!(d.ack, Some(AckPayload::NackFirstMissing { first_missing: 3 }));
+        assert_eq!(
+            d.ack,
+            Some(AckPayload::NackFirstMissing { first_missing: 3 })
+        );
 
         // Sender resends 3..8.
         let out = feed(&mut s, &acks[0]);
-        let resent: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let resent: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(resent, vec![3, 4, 5, 6, 7]);
         // Tail of the new round is reliable again.
         let last = transmits(&out).pop().unwrap();
@@ -557,9 +591,15 @@ mod tests {
             other => panic!("expected bitmap NACK, got {other:?}"),
         }
         let out = feed(&mut s, &acks[0]);
-        let resent: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
-        assert_eq!(resent, vec![1, 4, 6], "selective resends exactly the missing set");
+        let resent: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
+        assert_eq!(
+            resent,
+            vec![1, 4, 6],
+            "selective resends exactly the missing set"
+        );
         // Last of the resent subset carries the solicitation flags.
         let pkts = transmits(&out);
         let tail = Datagram::parse(pkts.last().unwrap()).unwrap();
@@ -588,9 +628,15 @@ mod tests {
         assert_eq!(r.stats().nacks_sent, 1);
 
         let out = feed(&mut s, &acks[0]);
-        let resent: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
-        assert_eq!(resent, vec![0, 1, 2, 3], "full retransmission resends the whole sequence");
+        let resent: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
+        assert_eq!(
+            resent,
+            vec![0, 1, 2, 3],
+            "full retransmission resends the whole sequence"
+        );
     }
 
     #[test]
@@ -607,8 +653,10 @@ mod tests {
         // Sender timeout: full retransmission.
         let mut out = Vec::new();
         s.on_timer(RETX_TIMER, &mut out);
-        let resent: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let resent: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(resent, vec![0, 1, 2, 3]);
         assert_eq!(s.stats().timeouts, 1);
 
@@ -651,7 +699,10 @@ mod tests {
         let acks = deliver_except(&mut r, &transmits(&out), &[]);
         assert_eq!(acks.len(), 1);
         let d = Datagram::parse(&acks[0]).unwrap();
-        assert_eq!(d.ack, Some(AckPayload::NackFirstMissing { first_missing: 2 }));
+        assert_eq!(
+            d.ack,
+            Some(AckPayload::NackFirstMissing { first_missing: 2 })
+        );
 
         let out = feed(&mut s, &acks[0]);
         let acks = deliver_except(&mut r, &transmits(&out), &[]);
@@ -676,7 +727,11 @@ mod tests {
         let mut out = Vec::new();
         s.on_timer(RETX_TIMER, &mut out);
         let acks = deliver_except(&mut r, &transmits(&out), &[]);
-        assert_eq!(acks.len(), 1, "finished receiver must re-ack duplicates of the tail");
+        assert_eq!(
+            acks.len(),
+            1,
+            "finished receiver must re-ack duplicates of the tail"
+        );
         let d = Datagram::parse(&acks[0]).unwrap();
         assert_eq!(d.ack, Some(AckPayload::Positive { acked: 2 }));
         feed(&mut s, &acks[0]);
@@ -700,7 +755,10 @@ mod tests {
         assert!(s.is_finished());
         match &out[..] {
             [Action::Complete(info)] => {
-                assert!(matches!(info.result, Err(CoreError::RetriesExhausted { retries: 2 })));
+                assert!(matches!(
+                    info.result,
+                    Err(CoreError::RetriesExhausted { retries: 2 })
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -714,9 +772,14 @@ mod tests {
         let mut buf = vec![0u8; 2048];
         let payload = vec![7u8; 1024];
         for seq in 0..7u32 {
-            let len = b.build_data(&mut buf, seq, 8, seq * 1024, &payload, 0, false).unwrap();
+            let len = b
+                .build_data(&mut buf, seq, 8, seq * 1024, &payload, 0, false)
+                .unwrap();
             let out = feed(&mut r, &buf[..len]);
-            assert!(transmits(&out).is_empty(), "no per-packet acks in blast mode");
+            assert!(
+                transmits(&out).is_empty(),
+                "no per-packet acks in blast mode"
+            );
         }
         assert_eq!(r.stats().acks_sent, 0);
         assert_eq!(r.received_packets(), 7);
@@ -730,10 +793,17 @@ mod tests {
         s.start(&mut actions);
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 64];
-        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 1 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 4, &AckPayload::Positive { acked: 1 })
+            .unwrap();
         feed(&mut s, &buf[..len]);
-        assert!(!s.is_finished(), "cumulative ack below the range end must not complete");
-        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 }).unwrap();
+        assert!(
+            !s.is_finished(),
+            "cumulative ack below the range end must not complete"
+        );
+        let len = b
+            .build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 })
+            .unwrap();
         feed(&mut s, &buf[..len]);
         assert!(s.is_finished());
     }
@@ -747,11 +817,18 @@ mod tests {
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 64];
         // first_missing beyond the range: sender re-solicits with tail.
-        let len =
-            b.build_ack(&mut buf, 4, &AckPayload::NackFirstMissing { first_missing: 99 }).unwrap();
+        let len = b
+            .build_ack(
+                &mut buf,
+                4,
+                &AckPayload::NackFirstMissing { first_missing: 99 },
+            )
+            .unwrap();
         let out = feed(&mut s, &buf[..len]);
-        let resent: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let resent: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(resent, vec![3]);
     }
 
@@ -775,7 +852,10 @@ mod tests {
         let pkts = transmits(&actions);
         assert_eq!(pkts.len(), 1);
         let d = Datagram::parse(&pkts[0]).unwrap();
-        assert!(d.is_last() && d.is_reliable(), "single packet is the reliable tail");
+        assert!(
+            d.is_last() && d.is_reliable(),
+            "single packet is the reliable tail"
+        );
         let acks = deliver_except(&mut r, &pkts, &[]);
         feed(&mut s, &acks[0]);
         assert!(s.is_finished() && r.is_finished());

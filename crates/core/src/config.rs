@@ -137,7 +137,9 @@ impl ProtocolConfig {
     /// Validate the configuration, returning it for chaining.
     pub fn validated(self) -> CoreResult<Self> {
         if self.packet_payload == 0 {
-            return Err(CoreError::BadConfig { what: "packet_payload must be > 0" });
+            return Err(CoreError::BadConfig {
+                what: "packet_payload must be > 0",
+            });
         }
         if self.packet_payload > blast_wire::MAX_ETHERNET_PAYLOAD {
             return Err(CoreError::BadConfig {
@@ -145,13 +147,19 @@ impl ProtocolConfig {
             });
         }
         if self.retransmit_timeout.is_zero() {
-            return Err(CoreError::BadConfig { what: "retransmit_timeout must be > 0" });
+            return Err(CoreError::BadConfig {
+                what: "retransmit_timeout must be > 0",
+            });
         }
         if self.window == Some(0) {
-            return Err(CoreError::BadConfig { what: "window must be > 0 when bounded" });
+            return Err(CoreError::BadConfig {
+                what: "window must be > 0 when bounded",
+            });
         }
         if self.multiblast_chunk == 0 {
-            return Err(CoreError::BadConfig { what: "multiblast_chunk must be > 0" });
+            return Err(CoreError::BadConfig {
+                what: "multiblast_chunk must be > 0",
+            });
         }
         Ok(self)
     }
@@ -210,15 +218,36 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        assert!(ProtocolConfig { packet_payload: 0, ..Default::default() }.validated().is_err());
-        assert!(ProtocolConfig { packet_payload: 40_000, ..Default::default() }
-            .validated()
-            .is_err());
-        assert!(ProtocolConfig { retransmit_timeout: Duration::ZERO, ..Default::default() }
-            .validated()
-            .is_err());
-        assert!(ProtocolConfig { window: Some(0), ..Default::default() }.validated().is_err());
-        assert!(ProtocolConfig { multiblast_chunk: 0, ..Default::default() }.validated().is_err());
+        assert!(ProtocolConfig {
+            packet_payload: 0,
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
+        assert!(ProtocolConfig {
+            packet_payload: 40_000,
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
+        assert!(ProtocolConfig {
+            retransmit_timeout: Duration::ZERO,
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
+        assert!(ProtocolConfig {
+            window: Some(0),
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
+        assert!(ProtocolConfig {
+            multiblast_chunk: 0,
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
     }
 
     #[test]
@@ -250,7 +279,11 @@ mod tests {
     #[test]
     fn strategy_metadata() {
         assert!(!RetxStrategy::FullNoNack.uses_nack());
-        for s in [RetxStrategy::FullNack, RetxStrategy::GoBackN, RetxStrategy::Selective] {
+        for s in [
+            RetxStrategy::FullNack,
+            RetxStrategy::GoBackN,
+            RetxStrategy::Selective,
+        ] {
             assert!(s.uses_nack());
         }
         assert_eq!(RetxStrategy::ALL.len(), 4);

@@ -33,7 +33,11 @@ impl Default for Demux {
 impl Demux {
     /// Empty table.
     pub fn new() -> Self {
-        Demux { engines: HashMap::new(), unroutable: 0, malformed: 0 }
+        Demux {
+            engines: HashMap::new(),
+            unroutable: 0,
+            malformed: 0,
+        }
     }
 
     /// Register `engine` (keyed by its transfer id) and start it,
@@ -105,7 +109,11 @@ impl Demux {
 
     /// Transfer ids of engines that have finished.
     pub fn finished(&self) -> Vec<u32> {
-        self.engines.iter().filter(|(_, e)| e.is_finished()).map(|(id, _)| *id).collect()
+        self.engines
+            .iter()
+            .filter(|(_, e)| e.is_finished())
+            .map(|(id, _)| *id)
+            .collect()
     }
 }
 

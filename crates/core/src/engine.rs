@@ -59,11 +59,7 @@ impl Finish {
     }
 
     /// Emit `Complete` exactly once; later calls are ignored.
-    pub(crate) fn complete(
-        &mut self,
-        sink: &mut dyn ActionSink,
-        info: crate::api::CompletionInfo,
-    ) {
+    pub(crate) fn complete(&mut self, sink: &mut dyn ActionSink, info: crate::api::CompletionInfo) {
         if !self.done {
             self.done = true;
             sink.push_action(crate::api::Action::Complete(Box::new(info)));
@@ -81,8 +77,14 @@ mod tests {
         let mut f = Finish::default();
         let mut sink: Vec<Action> = Vec::new();
         assert!(!f.is_finished());
-        f.complete(&mut sink, CompletionInfo::success(1, EngineStats::default()));
-        f.complete(&mut sink, CompletionInfo::success(2, EngineStats::default()));
+        f.complete(
+            &mut sink,
+            CompletionInfo::success(1, EngineStats::default()),
+        );
+        f.complete(
+            &mut sink,
+            CompletionInfo::success(2, EngineStats::default()),
+        );
         assert!(f.is_finished());
         assert_eq!(sink.len(), 1);
         match &sink[0] {

@@ -87,11 +87,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::RetriesExhausted { retries: 5 }.to_string().contains('5'));
-        assert!(CoreError::GeometryMismatch { what: "offset" }.to_string().contains("offset"));
-        assert_eq!(CoreError::Cancelled.to_string(), "transfer cancelled by peer");
-        assert!(CoreError::BadState { what: "double start" }.to_string().contains("double"));
-        assert!(CoreError::BadConfig { what: "window=0" }.to_string().contains("window=0"));
+        assert!(CoreError::RetriesExhausted { retries: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(CoreError::GeometryMismatch { what: "offset" }
+            .to_string()
+            .contains("offset"));
+        assert_eq!(
+            CoreError::Cancelled.to_string(),
+            "transfer cancelled by peer"
+        );
+        assert!(CoreError::BadState {
+            what: "double start"
+        }
+        .to_string()
+        .contains("double"));
+        assert!(CoreError::BadConfig { what: "window=0" }
+            .to_string()
+            .contains("window=0"));
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl LossPlan {
     /// iid loss with probability `p halves in 1/denominator` units.
     pub fn random(seed: u64, numerator: u32, denominator: u32) -> Self {
         assert!(denominator > 0 && numerator <= denominator);
-        LossPlan::Random { seed, numerator, denominator }
+        LossPlan::Random {
+            seed,
+            numerator,
+            denominator,
+        }
     }
 
     /// Drop the given wire-sequence numbers.
@@ -99,8 +103,15 @@ impl XorShift {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
-    Deliver { to: Side, packet: Vec<u8> },
-    Timer { side: Side, token: TimerToken, generation: u64 },
+    Deliver {
+        to: Side,
+        packet: Vec<u8>,
+    },
+    Timer {
+        side: Side,
+        token: TimerToken,
+        generation: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,7 +246,11 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
         let idx = self.wire_count;
         match &self.plan {
             LossPlan::Perfect => false,
-            LossPlan::Random { numerator, denominator, .. } => {
+            LossPlan::Random {
+                numerator,
+                denominator,
+                ..
+            } => {
                 let (n, d) = (*numerator, *denominator);
                 (self.rng.next_u64() % u64::from(d)) < u64::from(n)
             }
@@ -253,7 +268,13 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                         self.dropped += 1;
                     } else {
                         let at = self.now_ns + self.latency.as_nanos() as u64;
-                        self.push(at, EventKind::Deliver { to: side.other(), packet });
+                        self.push(
+                            at,
+                            EventKind::Deliver {
+                                to: side.other(),
+                                packet,
+                            },
+                        );
                     }
                 }
                 Action::SetTimer { token, after } => {
@@ -261,7 +282,14 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                     *generation += 1;
                     let g = *generation;
                     let at = self.now_ns + after.as_nanos() as u64;
-                    self.push(at, EventKind::Timer { side, token, generation: g });
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            side,
+                            token,
+                            generation: g,
+                        },
+                    );
                 }
                 Action::CancelTimer { token } => {
                     // Bump the generation: pending events become stale.
@@ -319,7 +347,11 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                     }
                     self.run_actions(to, out);
                 }
-                EventKind::Timer { side, token, generation } => {
+                EventKind::Timer {
+                    side,
+                    token,
+                    generation,
+                } => {
                     if self.timer_gen.get(&(side, token)).copied() != Some(generation) {
                         continue; // re-armed or cancelled
                     }
@@ -385,7 +417,10 @@ mod tests {
     use std::sync::Arc;
 
     fn data(n: usize) -> Arc<[u8]> {
-        (0..n).map(|i| (i * 17 % 255) as u8).collect::<Vec<u8>>().into()
+        (0..n)
+            .map(|i| (i * 17 % 255) as u8)
+            .collect::<Vec<u8>>()
+            .into()
     }
 
     #[test]
@@ -466,7 +501,10 @@ mod tests {
             );
             h.run().unwrap_or_else(|e| panic!("{strategy}: {e}"));
             assert_eq!(h.received_data(), &payload[..], "{strategy}");
-            assert!(h.dropped > 0, "{strategy}: loss plan should have dropped something");
+            assert!(
+                h.dropped > 0,
+                "{strategy}: loss plan should have dropped something"
+            );
         }
     }
 

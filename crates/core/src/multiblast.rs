@@ -92,7 +92,8 @@ impl MultiBlastSender {
                         Ok(_) => self.advance(sink),
                         Err(e) => {
                             let stats = self.absorbed;
-                            self.finish.complete(sink, CompletionInfo::failure(e, stats));
+                            self.finish
+                                .complete(sink, CompletionInfo::failure(e, stats));
                         }
                     }
                 }
@@ -105,7 +106,8 @@ impl MultiBlastSender {
         let next_start = self.chunk_start + self.chunk;
         if next_start >= self.tx.total_packets() {
             let stats = self.absorbed;
-            self.finish.complete(sink, CompletionInfo::success(self.tx.len(), stats));
+            self.finish
+                .complete(sink, CompletionInfo::success(self.tx.len(), stats));
             return;
         }
         self.chunk_start = next_start;
@@ -169,7 +171,10 @@ mod tests {
     use blast_wire::header::flags;
 
     fn data(n: usize) -> Arc<[u8]> {
-        (0..n).map(|i| (i * 31 % 251) as u8).collect::<Vec<u8>>().into()
+        (0..n)
+            .map(|i| (i * 31 % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into()
     }
 
     fn feed(engine: &mut dyn Engine, packet: &[u8]) -> Vec<Action> {
@@ -180,7 +185,10 @@ mod tests {
     }
 
     fn transmits(actions: &[Action]) -> Vec<Vec<u8>> {
-        actions.iter().filter_map(|a| a.as_transmit().map(<[u8]>::to_vec)).collect()
+        actions
+            .iter()
+            .filter_map(|a| a.as_transmit().map(<[u8]>::to_vec))
+            .collect()
     }
 
     fn run_lossless(bytes: usize, chunk: u32) -> (MultiBlastSender, BlastReceiver, u32) {
@@ -247,7 +255,10 @@ mod tests {
 
         // First chunk: global seqs 0,1; LAST on 1.
         let pkts = transmits(&actions);
-        let seqs: Vec<u32> = pkts.iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let seqs: Vec<u32> = pkts
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(seqs, vec![0, 1]);
         for p in &pkts {
             let d = Datagram::parse(p).unwrap();
@@ -264,16 +275,19 @@ mod tests {
 
         // Feeding it advances to chunk 2 (global seqs 2,3).
         let out = feed(&mut s, &acks[0]);
-        let seqs: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let seqs: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(seqs, vec![2, 3]);
         assert_eq!(s.current_chunk(), 1);
     }
 
     #[test]
     fn loss_within_chunk_recovers_before_next_chunk() {
-        let cfg =
-            ProtocolConfig::default().with_multiblast_chunk(4).with_strategy(RetxStrategy::GoBackN);
+        let cfg = ProtocolConfig::default()
+            .with_multiblast_chunk(4)
+            .with_strategy(RetxStrategy::GoBackN);
         let payload = data(8 * 1024);
         let mut s = MultiBlastSender::new(1, payload.clone(), &cfg);
         let mut r = BlastReceiver::new(1, payload.len(), &cfg);
@@ -291,12 +305,17 @@ mod tests {
             acks.extend(transmits(&feed(&mut r, p)));
         }
         let d = Datagram::parse(&acks[0]).unwrap();
-        assert_eq!(d.ack, Some(AckPayload::NackFirstMissing { first_missing: 1 }));
+        assert_eq!(
+            d.ack,
+            Some(AckPayload::NackFirstMissing { first_missing: 1 })
+        );
 
         // NACK resends 1..4 — still chunk 0, not chunk 1.
         let out = feed(&mut s, &acks[0]);
-        let seqs: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let seqs: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(seqs, vec![1, 2, 3]);
         assert_eq!(s.current_chunk(), 0);
 
@@ -306,8 +325,10 @@ mod tests {
             acks.extend(transmits(&feed(&mut r, &p)));
         }
         let out = feed(&mut s, &acks[0]);
-        let seqs: Vec<u32> =
-            transmits(&out).iter().map(|p| Datagram::parse(p).unwrap().seq).collect();
+        let seqs: Vec<u32> = transmits(&out)
+            .iter()
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
         assert_eq!(seqs, vec![4, 5, 6, 7]);
 
         // Finish up.

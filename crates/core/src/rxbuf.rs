@@ -31,7 +31,11 @@ impl RxBuffer {
     /// Panics if `packet_payload` is zero.
     pub fn new(bytes: usize, packet_payload: usize) -> Self {
         assert!(packet_payload > 0, "packet_payload must be positive");
-        let total = if bytes == 0 { 1 } else { bytes.div_ceil(packet_payload) as u32 };
+        let total = if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(packet_payload) as u32
+        };
         RxBuffer {
             buf: vec![0; bytes],
             received: vec![false; total as usize],
@@ -74,7 +78,10 @@ impl RxBuffer {
     /// Expected payload length of packet `seq`.
     pub fn expected_len(&self, seq: u32) -> usize {
         let start = seq as usize * self.packet_payload;
-        self.buf.len().saturating_sub(start).min(self.packet_payload)
+        self.buf
+            .len()
+            .saturating_sub(start)
+            .min(self.packet_payload)
     }
 
     /// Place the payload of packet `seq` at byte `offset`.
@@ -88,13 +95,19 @@ impl RxBuffer {
     /// and must not scribble over the caller's memory.
     pub fn place(&mut self, seq: u32, offset: usize, payload: &[u8]) -> CoreResult<bool> {
         if seq >= self.total {
-            return Err(CoreError::GeometryMismatch { what: "sequence beyond buffer" });
+            return Err(CoreError::GeometryMismatch {
+                what: "sequence beyond buffer",
+            });
         }
         if offset != seq as usize * self.packet_payload {
-            return Err(CoreError::GeometryMismatch { what: "offset does not match sequence" });
+            return Err(CoreError::GeometryMismatch {
+                what: "offset does not match sequence",
+            });
         }
         if payload.len() != self.expected_len(seq) {
-            return Err(CoreError::GeometryMismatch { what: "payload length mismatch" });
+            return Err(CoreError::GeometryMismatch {
+                what: "payload length mismatch",
+            });
         }
         if self.received[seq as usize] {
             return Ok(false);
@@ -126,8 +139,7 @@ impl RxBuffer {
         let end = (upto as usize + 1).min(self.total as usize) as u32;
         let span = end - first;
         let nbits = span.min(u32::from(Bitmap::MAX_BITS)) as u16;
-        let missing = (first..first + u32::from(nbits))
-            .filter(|&s| !self.received[s as usize]);
+        let missing = (first..first + u32::from(nbits)).filter(|&s| !self.received[s as usize]);
         let bm = Bitmap::from_missing(first, nbits, missing)
             .expect("sequences within bitmap range by construction");
         Some(bm)
@@ -160,7 +172,7 @@ mod tests {
         for seq in 0..4u32 {
             assert!(!rx.is_complete());
             let p = payload(seq, 1024);
-            assert_eq!(rx.place(seq, seq as usize * 1024, &p).unwrap(), true);
+            assert!(rx.place(seq, seq as usize * 1024, &p).unwrap());
         }
         assert!(rx.is_complete());
         assert_eq!(rx.received_packets(), 4);
@@ -183,8 +195,8 @@ mod tests {
     fn duplicates_are_idempotent() {
         let mut rx = RxBuffer::new(2048, 1024);
         let p = payload(0, 1024);
-        assert_eq!(rx.place(0, 0, &p).unwrap(), true);
-        assert_eq!(rx.place(0, 0, &p).unwrap(), false);
+        assert!(rx.place(0, 0, &p).unwrap());
+        assert!(!rx.place(0, 0, &p).unwrap());
         assert_eq!(rx.received_packets(), 1);
     }
 
@@ -234,7 +246,8 @@ mod tests {
     fn missing_bitmap_reports_exact_set() {
         let mut rx = RxBuffer::new(8 * 1024, 1024);
         for seq in [0u32, 1, 3, 5, 7] {
-            rx.place(seq, seq as usize * 1024, &payload(seq, 1024)).unwrap();
+            rx.place(seq, seq as usize * 1024, &payload(seq, 1024))
+                .unwrap();
         }
         let bm = rx.missing_bitmap_upto(7).unwrap();
         assert_eq!(bm.base(), 2);

@@ -80,7 +80,10 @@ impl SawSender {
             self.stats.data_packets_retransmitted += 1;
         }
         sink.push_action(Action::Transmit(buf));
-        sink.push_action(Action::SetTimer { token: RETX_TIMER, after: self.timeout });
+        sink.push_action(Action::SetTimer {
+            token: RETX_TIMER,
+            after: self.timeout,
+        });
     }
 }
 
@@ -109,7 +112,8 @@ impl Engine for SawSender {
         if self.cur == self.tx.total_packets() {
             sink.push_action(Action::CancelTimer { token: RETX_TIMER });
             let stats = self.stats;
-            self.finish.complete(sink, CompletionInfo::success(self.tx.len(), stats));
+            self.finish
+                .complete(sink, CompletionInfo::success(self.tx.len(), stats));
         } else {
             self.send_current(sink);
         }
@@ -125,7 +129,9 @@ impl Engine for SawSender {
             self.finish.complete(
                 sink,
                 CompletionInfo::failure(
-                    CoreError::RetriesExhausted { retries: self.max_retries },
+                    CoreError::RetriesExhausted {
+                        retries: self.max_retries,
+                    },
                     stats,
                 ),
             );
@@ -189,7 +195,11 @@ impl SawReceiver {
         let mut buf = vec![0u8; blast_wire::HEADER_LEN + 8];
         let len = self
             .builder
-            .build_ack(&mut buf, self.rx.total_packets(), &AckPayload::Positive { acked: seq })
+            .build_ack(
+                &mut buf,
+                self.rx.total_packets(),
+                &AckPayload::Positive { acked: seq },
+            )
             .expect("ack fits");
         buf.truncate(len);
         self.stats.acks_sent += 1;
@@ -208,19 +218,24 @@ impl Engine for SawReceiver {
             PacketKind::Data => {}
             PacketKind::Cancel => {
                 let stats = self.stats;
-                self.finish.complete(sink, CompletionInfo::failure(CoreError::Cancelled, stats));
+                self.finish
+                    .complete(sink, CompletionInfo::failure(CoreError::Cancelled, stats));
                 return;
             }
             _ => return,
         }
-        match self.rx.place(dgram.seq, dgram.offset as usize, dgram.payload) {
+        match self
+            .rx
+            .place(dgram.seq, dgram.offset as usize, dgram.payload)
+        {
             Ok(true) => self.stats.data_packets_received += 1,
             Ok(false) => self.stats.duplicate_packets_received += 1,
             Err(e) => {
                 // A packet contradicting the pre-allocated geometry is a
                 // protocol violation, not recoverable loss.
                 let stats = self.stats;
-                self.finish.complete(sink, CompletionInfo::failure(e, stats));
+                self.finish
+                    .complete(sink, CompletionInfo::failure(e, stats));
                 return;
             }
         }
@@ -231,7 +246,8 @@ impl Engine for SawReceiver {
         if self.rx.is_complete() {
             let stats = self.stats;
             let bytes = self.rx.len();
-            self.finish.complete(sink, CompletionInfo::success(bytes, stats));
+            self.finish
+                .complete(sink, CompletionInfo::success(bytes, stats));
         }
     }
 
@@ -370,7 +386,9 @@ mod tests {
         // honest receiver, but the engine must not advance on it).
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 64];
-        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 })
+            .unwrap();
         let out = feed(&mut s, &buf[..len]);
         assert!(out.is_empty());
         assert_eq!(s.stats().acks_received, 0);
@@ -388,12 +406,20 @@ mod tests {
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 2048];
         let payload: Vec<u8> = (0..1024).map(|i| i as u8).collect();
-        let len = b.build_reliable_data(&mut buf, 0, 2, 0, &payload, 0).unwrap();
+        let len = b
+            .build_reliable_data(&mut buf, 0, 2, 0, &payload, 0)
+            .unwrap();
         let first = feed(&mut r, &buf[..len]);
-        assert_eq!(first.iter().filter(|a| a.as_transmit().is_some()).count(), 1);
+        assert_eq!(
+            first.iter().filter(|a| a.as_transmit().is_some()).count(),
+            1
+        );
         // Same packet again (our ack was lost): must re-ack.
         let second = feed(&mut r, &buf[..len]);
-        assert_eq!(second.iter().filter(|a| a.as_transmit().is_some()).count(), 1);
+        assert_eq!(
+            second.iter().filter(|a| a.as_transmit().is_some()).count(),
+            1
+        );
         assert_eq!(r.stats().duplicate_packets_received, 1);
         assert_eq!(r.stats().acks_sent, 2);
     }
@@ -405,13 +431,25 @@ mod tests {
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 2048];
         let payload: Vec<u8> = (0..1024).map(|i| i as u8).collect();
-        let len = b.build_reliable_data(&mut buf, 0, 1, 0, &payload, 0).unwrap();
+        let len = b
+            .build_reliable_data(&mut buf, 0, 1, 0, &payload, 0)
+            .unwrap();
         let out = feed(&mut r, &buf[..len]);
         assert!(r.is_finished());
-        assert_eq!(out.iter().filter(|a| matches!(a, Action::Complete(_))).count(), 1);
+        assert_eq!(
+            out.iter()
+                .filter(|a| matches!(a, Action::Complete(_)))
+                .count(),
+            1
+        );
         // Duplicate after completion: re-ack, but no second Complete.
         let out = feed(&mut r, &buf[..len]);
-        assert_eq!(out.iter().filter(|a| matches!(a, Action::Complete(_))).count(), 0);
+        assert_eq!(
+            out.iter()
+                .filter(|a| matches!(a, Action::Complete(_)))
+                .count(),
+            0
+        );
         assert_eq!(out.iter().filter(|a| a.as_transmit().is_some()).count(), 1);
     }
 
@@ -438,12 +476,17 @@ mod tests {
         let mut buf = vec![0u8; 2048];
         // seq 1 but offset of seq 0.
         let payload = vec![0u8; 1024];
-        let len = b.build_reliable_data(&mut buf, 1, 2, 0, &payload, 0).unwrap();
+        let len = b
+            .build_reliable_data(&mut buf, 1, 2, 0, &payload, 0)
+            .unwrap();
         let out = feed(&mut r, &buf[..len]);
         assert!(r.is_finished());
         match &out[..] {
             [Action::Complete(info)] => {
-                assert!(matches!(info.result, Err(CoreError::GeometryMismatch { .. })));
+                assert!(matches!(
+                    info.result,
+                    Err(CoreError::GeometryMismatch { .. })
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -459,7 +502,10 @@ mod tests {
         let pkt = actions[0].as_transmit().unwrap().to_vec();
         let r_out = feed(&mut r, &pkt);
         assert!(r.is_finished());
-        let ack = r_out.iter().find_map(|a| a.as_transmit().map(<[u8]>::to_vec)).unwrap();
+        let ack = r_out
+            .iter()
+            .find_map(|a| a.as_transmit().map(<[u8]>::to_vec))
+            .unwrap();
         feed(&mut s, &ack);
         assert!(s.is_finished());
     }

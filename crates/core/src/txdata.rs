@@ -21,7 +21,10 @@ impl TxData {
     /// engines are built).
     pub fn new(data: Arc<[u8]>, packet_payload: usize) -> Self {
         assert!(packet_payload > 0, "packet_payload must be positive");
-        TxData { data, packet_payload }
+        TxData {
+            data,
+            packet_payload,
+        }
     }
 
     /// Total bytes in the transfer.

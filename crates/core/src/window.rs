@@ -72,7 +72,9 @@ impl WindowSender {
 
     fn in_flight(&self) -> u32 {
         // Packets transmitted at least once and not yet acked.
-        (0..self.next_unsent).filter(|&s| !self.acked[s as usize]).count() as u32
+        (0..self.next_unsent)
+            .filter(|&s| !self.acked[s as usize])
+            .count() as u32
     }
 
     fn window_open(&self) -> bool {
@@ -103,7 +105,10 @@ impl WindowSender {
             self.stats.data_packets_retransmitted += 1;
         }
         sink.push_action(Action::Transmit(buf));
-        sink.push_action(Action::SetTimer { token: TimerToken(u64::from(seq)), after: self.timeout });
+        sink.push_action(Action::SetTimer {
+            token: TimerToken(u64::from(seq)),
+            after: self.timeout,
+        });
     }
 
     /// Send fresh packets while the window allows.
@@ -136,10 +141,13 @@ impl Engine for WindowSender {
         self.stats.acks_received += 1;
         self.acked[seq as usize] = true;
         self.acked_count += 1;
-        sink.push_action(Action::CancelTimer { token: TimerToken(u64::from(seq)) });
+        sink.push_action(Action::CancelTimer {
+            token: TimerToken(u64::from(seq)),
+        });
         if self.acked_count == self.tx.total_packets() {
             let stats = self.stats;
-            self.finish.complete(sink, CompletionInfo::success(self.tx.len(), stats));
+            self.finish
+                .complete(sink, CompletionInfo::success(self.tx.len(), stats));
         } else {
             self.fill_window(sink);
         }
@@ -159,7 +167,9 @@ impl Engine for WindowSender {
             self.finish.complete(
                 sink,
                 CompletionInfo::failure(
-                    CoreError::RetriesExhausted { retries: self.max_retries },
+                    CoreError::RetriesExhausted {
+                        retries: self.max_retries,
+                    },
                     stats,
                 ),
             );
@@ -189,7 +199,10 @@ mod tests {
     use crate::saw::SawReceiver;
 
     fn data(n: usize) -> Arc<[u8]> {
-        (0..n).map(|i| (i * 7 % 251) as u8).collect::<Vec<u8>>().into()
+        (0..n)
+            .map(|i| (i * 7 % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into()
     }
 
     fn feed(engine: &mut dyn Engine, packet: &[u8]) -> Vec<Action> {
@@ -208,7 +221,10 @@ mod tests {
         let transmits = actions.iter().filter(|a| a.as_transmit().is_some()).count();
         assert_eq!(transmits, 8, "the paper's window never closes");
         // Every packet got its own timer.
-        let timers = actions.iter().filter(|a| matches!(a, Action::SetTimer { .. })).count();
+        let timers = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SetTimer { .. }))
+            .count();
         assert_eq!(timers, 8);
     }
 
@@ -218,12 +234,17 @@ mod tests {
         let mut s = WindowSender::new(1, data(8 * 1024), &cfg);
         let mut actions = Vec::new();
         s.start(&mut actions);
-        assert_eq!(actions.iter().filter(|a| a.as_transmit().is_some()).count(), 3);
+        assert_eq!(
+            actions.iter().filter(|a| a.as_transmit().is_some()).count(),
+            3
+        );
 
         // Ack seq 0: exactly one new packet (seq 3) goes out.
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 64];
-        let len = b.build_ack(&mut buf, 8, &AckPayload::Positive { acked: 0 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 8, &AckPayload::Positive { acked: 0 })
+            .unwrap();
         let out = feed(&mut s, &buf[..len]);
         let sent: Vec<u32> = out
             .iter()
@@ -251,7 +272,10 @@ mod tests {
                 .collect();
             assert_eq!(pkts.len(), 1, "window=1 must behave like stop-and-wait");
             let r_out = feed(&mut r, &pkts[0]);
-            let ack = r_out.iter().find_map(|a| a.as_transmit().map(<[u8]>::to_vec)).unwrap();
+            let ack = r_out
+                .iter()
+                .find_map(|a| a.as_transmit().map(<[u8]>::to_vec))
+                .unwrap();
             actions = feed(&mut s, &ack);
         }
         assert!(r.is_finished());
@@ -269,7 +293,9 @@ mod tests {
         let mut buf = vec![0u8; 64];
         for seq in [3u32, 1, 0, 2] {
             assert!(!s.is_finished());
-            let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: seq }).unwrap();
+            let len = b
+                .build_ack(&mut buf, 4, &AckPayload::Positive { acked: seq })
+                .unwrap();
             feed(&mut s, &buf[..len]);
         }
         assert!(s.is_finished());
@@ -284,12 +310,16 @@ mod tests {
         s.start(&mut actions);
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 64];
-        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 2 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 4, &AckPayload::Positive { acked: 2 })
+            .unwrap();
         feed(&mut s, &buf[..len]);
         feed(&mut s, &buf[..len]);
         assert_eq!(s.stats().acks_received, 1);
         // Ack beyond what was sent is ignored too.
-        let len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 9 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 4, &AckPayload::Positive { acked: 9 })
+            .unwrap();
         feed(&mut s, &buf[..len]);
         assert_eq!(s.stats().acks_received, 1);
     }
@@ -322,7 +352,9 @@ mod tests {
         s.start(&mut actions);
         let b = DatagramBuilder::new(1);
         let mut buf = vec![0u8; 64];
-        let len = b.build_ack(&mut buf, 2, &AckPayload::Positive { acked: 0 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 2, &AckPayload::Positive { acked: 0 })
+            .unwrap();
         feed(&mut s, &buf[..len]);
         let mut out = Vec::new();
         s.on_timer(TimerToken(0), &mut out);
@@ -346,7 +378,10 @@ mod tests {
         assert!(s.is_finished());
         match &out[..] {
             [Action::Complete(info)] => {
-                assert!(matches!(info.result, Err(CoreError::RetriesExhausted { .. })));
+                assert!(matches!(
+                    info.result,
+                    Err(CoreError::RetriesExhausted { .. })
+                ));
             }
             other => panic!("{other:?}"),
         }

@@ -37,7 +37,9 @@ fn engines_ignore_wrong_direction_traffic() {
     let payload = vec![1u8; 1024];
     let data_len = b.build_data(&mut buf, 0, 4, 0, &payload, 0, false).unwrap();
     let data_pkt = buf[..data_len].to_vec();
-    let ack_len = b.build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 }).unwrap();
+    let ack_len = b
+        .build_ack(&mut buf, 4, &AckPayload::Positive { acked: 3 })
+        .unwrap();
     let ack_pkt = buf[..ack_len].to_vec();
 
     // Senders fed a data packet: no reaction.
@@ -105,7 +107,11 @@ fn odd_packet_payload_sizes() {
             LossPlan::perfect(),
         );
         h.run().unwrap();
-        assert_eq!(h.received_data(), &payload[..], "payload_size={payload_size}");
+        assert_eq!(
+            h.received_data(),
+            &payload[..],
+            "payload_size={payload_size}"
+        );
     }
 }
 

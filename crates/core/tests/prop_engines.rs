@@ -19,7 +19,10 @@ use blast_core::CoreError;
 use proptest::prelude::*;
 
 fn payload(len: usize) -> Arc<[u8]> {
-    (0..len).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect::<Vec<u8>>().into()
+    (0..len)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect::<Vec<u8>>()
+        .into()
 }
 
 fn strategy_from(idx: u8) -> RetxStrategy {

@@ -128,12 +128,19 @@ impl SimConfig {
     /// transmission, access checking, demultiplexing and interrupt
     /// handling.
     pub fn vkernel() -> Self {
-        SimConfig { cost: CostModel::vkernel_sun(), ..Self::standalone() }
+        SimConfig {
+            cost: CostModel::vkernel_sun(),
+            ..Self::standalone()
+        }
     }
 
     /// The hypothetical double-buffered interface of Figure 3.d.
     pub fn double_buffered() -> Self {
-        SimConfig { tx_buffers: 2, busy_wait_tx: false, ..Self::standalone() }
+        SimConfig {
+            tx_buffers: 2,
+            busy_wait_tx: false,
+            ..Self::standalone()
+        }
     }
 
     /// Builder-style loss model.

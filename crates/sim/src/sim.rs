@@ -106,10 +106,22 @@ struct Agent {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
-    CpuDone { host: usize },
-    TxEnd { frame: u64 },
-    Arrive { host: usize, frame: u64 },
-    TimerFire { host: usize, transfer: u32, token: TimerToken, gen: u64 },
+    CpuDone {
+        host: usize,
+    },
+    TxEnd {
+        frame: u64,
+    },
+    Arrive {
+        host: usize,
+        frame: u64,
+    },
+    TimerFire {
+        host: usize,
+        transfer: u32,
+        token: TimerToken,
+        gen: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,7 +176,9 @@ pub struct SimReport {
 impl SimReport {
     /// Completion time of `(host, transfer)` in milliseconds.
     pub fn elapsed_ms(&self, host: usize, transfer: u32) -> Option<f64> {
-        self.completions.get(&(host, transfer)).map(|c| c.at.as_ms())
+        self.completions
+            .get(&(host, transfer))
+            .map(|c| c.at.as_ms())
     }
 
     /// Whether `(host, transfer)` completed successfully.
@@ -192,9 +206,21 @@ impl SimReport {
 
 enum LossState {
     None,
-    Iid { p: f64 },
-    Ge { bad: bool, p_g2b: f64, p_b2g: f64, loss_good: f64, loss_bad: f64 },
+    Iid {
+        p: f64,
+    },
+    Ge {
+        bad: bool,
+        p_g2b: f64,
+        p_b2g: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    },
 }
+
+/// A timer armed once its frame finishes transmitting:
+/// `(host, transfer, token, generation, delay)`.
+type PendingArm = (usize, u32, TimerToken, u64, Duration);
 
 /// The discrete-event simulator.  Build with [`Simulator::new`], add
 /// hosts, attach engines, then [`run`](Simulator::run).
@@ -209,7 +235,7 @@ pub struct Simulator {
     agents: BTreeMap<(usize, u32), Agent>,
     timers: HashMap<(usize, u32, TimerToken), u64>,
     /// Timers to arm when a frame finishes transmitting.
-    pending_arm: HashMap<u64, Vec<(usize, u32, TimerToken, u64, Duration)>>,
+    pending_arm: HashMap<u64, Vec<PendingArm>>,
     medium_current: Option<u64>,
     medium_q: VecDeque<u64>,
     medium_busy: Duration,
@@ -229,9 +255,18 @@ impl Simulator {
         let loss = match cfg.loss {
             LossModel::None => LossState::None,
             LossModel::Iid { p } => LossState::Iid { p },
-            LossModel::GilbertElliott { p_g2b, p_b2g, loss_good, loss_bad } => {
-                LossState::Ge { bad: false, p_g2b, p_b2g, loss_good, loss_bad }
-            }
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+            } => LossState::Ge {
+                bad: false,
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+            },
         };
         // Anchor the per-byte copy line through the paper's two
         // calibration points, expressed as wire lengths.
@@ -292,10 +327,17 @@ impl Simulator {
     /// # Panics
     /// Panics on unknown host ids or if `(host, transfer_id)` is taken.
     pub fn attach(&mut self, host: usize, peer: usize, engine: Box<dyn Engine>) {
-        assert!(host < self.hosts.len() && peer < self.hosts.len(), "unknown host");
+        assert!(
+            host < self.hosts.len() && peer < self.hosts.len(),
+            "unknown host"
+        );
         let key = (host, engine.transfer_id());
         let prev = self.agents.insert(key, Agent { engine, peer });
-        assert!(prev.is_none(), "duplicate engine for host {host} transfer {}", key.1);
+        assert!(
+            prev.is_none(),
+            "duplicate engine for host {host} transfer {}",
+            key.1
+        );
     }
 
     fn push_event(&mut self, at: SimTime, ev: Ev) {
@@ -343,7 +385,13 @@ impl Simulator {
         match &mut self.loss {
             LossState::None => false,
             LossState::Iid { p } => self.rng.gen::<f64>() < *p,
-            LossState::Ge { bad, p_g2b, p_b2g, loss_good, loss_bad } => {
+            LossState::Ge {
+                bad,
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+            } => {
                 // Transition, then sample loss in the new state.
                 let flip: f64 = self.rng.gen();
                 if *bad {
@@ -361,7 +409,11 @@ impl Simulator {
 
     /// Execute a batch of engine actions emitted by `(host, transfer)`.
     fn process_actions(&mut self, host: usize, transfer: u32, actions: Vec<Action>) {
-        let peer = self.agents.get(&(host, transfer)).map(|a| a.peer).unwrap_or(host);
+        let peer = self
+            .agents
+            .get(&(host, transfer))
+            .map(|a| a.peer)
+            .unwrap_or(host);
         let mut last_frame: Option<u64> = None;
         for action in actions {
             match action {
@@ -380,7 +432,16 @@ impl Simulator {
                     };
                     let id = self.frame_seq;
                     self.frame_seq += 1;
-                    self.frames.insert(id, Frame { src: host, dst: peer, bytes, is_data, label });
+                    self.frames.insert(
+                        id,
+                        Frame {
+                            src: host,
+                            dst: peer,
+                            bytes,
+                            is_data,
+                            label,
+                        },
+                    );
                     self.hosts[host].tx_q.push_back(id);
                     last_frame = Some(id);
                     self.dispatch_cpu(host);
@@ -401,7 +462,15 @@ impl Simulator {
                             .push((host, transfer, token, gen, after)),
                         None => {
                             let at = self.now + after;
-                            self.push_event(at, Ev::TimerFire { host, transfer, token, gen });
+                            self.push_event(
+                                at,
+                                Ev::TimerFire {
+                                    host,
+                                    transfer,
+                                    token,
+                                    gen,
+                                },
+                            );
                         }
                     }
                 }
@@ -409,8 +478,13 @@ impl Simulator {
                     *self.timers.entry((host, transfer, token)).or_insert(0) += 1;
                 }
                 Action::Complete(info) => {
-                    self.completions
-                        .insert((host, transfer), Completion { at: self.now, info: *info });
+                    self.completions.insert(
+                        (host, transfer),
+                        Completion {
+                            at: self.now,
+                            info: *info,
+                        },
+                    );
                 }
             }
         }
@@ -427,7 +501,11 @@ impl Simulator {
         // copy-data / copy-ack alternation).
         if let Some(frame_id) = h.rx_q.pop_front() {
             h.cpu_busy = true;
-            h.current_job = Some(Job { kind: JobKind::RxCopy, frame: frame_id, started: self.now });
+            h.current_job = Some(Job {
+                kind: JobKind::RxCopy,
+                frame: frame_id,
+                started: self.now,
+            });
             let frame = &self.frames[&frame_id];
             let cost = self.copy_cost(frame, host);
             self.hosts[host].stats.cpu_busy += cost;
@@ -440,8 +518,11 @@ impl Simulator {
                 h.tx_q.pop_front();
                 h.tx_slots_busy += 1;
                 h.cpu_busy = true;
-                h.current_job =
-                    Some(Job { kind: JobKind::TxCopy, frame: frame_id, started: self.now });
+                h.current_job = Some(Job {
+                    kind: JobKind::TxCopy,
+                    frame: frame_id,
+                    started: self.now,
+                });
                 let frame = &self.frames[&frame_id];
                 let cost = self.copy_cost(frame, host);
                 self.hosts[host].stats.cpu_busy += cost;
@@ -455,7 +536,9 @@ impl Simulator {
         if self.medium_current.is_some() {
             return;
         }
-        let Some(frame_id) = self.medium_q.pop_front() else { return };
+        let Some(frame_id) = self.medium_q.pop_front() else {
+            return;
+        };
         let frame = &self.frames[&frame_id];
         let t = self.tx_time(frame);
         self.medium_current = Some(frame_id);
@@ -474,7 +557,10 @@ impl Simulator {
     }
 
     fn on_cpu_done(&mut self, host: usize) {
-        let job = self.hosts[host].current_job.take().expect("CpuDone without job");
+        let job = self.hosts[host]
+            .current_job
+            .take()
+            .expect("CpuDone without job");
         self.hosts[host].cpu_busy = false;
         match job.kind {
             JobKind::TxCopy => {
@@ -541,7 +627,15 @@ impl Simulator {
         if let Some(arms) = self.pending_arm.remove(&frame_id) {
             for (host, transfer, token, gen, after) in arms {
                 let at = self.now + after;
-                self.push_event(at, Ev::TimerFire { host, transfer, token, gen });
+                self.push_event(
+                    at,
+                    Ev::TimerFire {
+                        host,
+                        transfer,
+                        token,
+                        gen,
+                    },
+                );
             }
         }
         if self.lose_frame() {
@@ -549,7 +643,13 @@ impl Simulator {
             self.frames.remove(&frame_id);
         } else {
             let at = self.now + ms(self.cfg.cost.tau);
-            self.push_event(at, Ev::Arrive { host: dst, frame: frame_id });
+            self.push_event(
+                at,
+                Ev::Arrive {
+                    host: dst,
+                    frame: frame_id,
+                },
+            );
         }
         self.kick_medium();
         self.dispatch_cpu(src);
@@ -586,7 +686,11 @@ impl Simulator {
         let keys: Vec<(usize, u32)> = self.agents.keys().copied().collect();
         for key in keys {
             let mut actions = Vec::new();
-            self.agents.get_mut(&key).expect("key just listed").engine.start(&mut actions);
+            self.agents
+                .get_mut(&key)
+                .expect("key just listed")
+                .engine
+                .start(&mut actions);
             self.process_actions(key.0, key.1, actions);
         }
 
@@ -596,16 +700,21 @@ impl Simulator {
             if processed > self.cfg.max_events {
                 break;
             }
-            let Some(Reverse(event)) = self.queue.pop() else { break };
+            let Some(Reverse(event)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(event.at >= self.now, "time must not run backwards");
             self.now = event.at;
             match event.ev {
                 Ev::CpuDone { host } => self.on_cpu_done(host),
                 Ev::TxEnd { frame } => self.on_tx_end(frame),
                 Ev::Arrive { host, frame } => self.on_arrive(host, frame),
-                Ev::TimerFire { host, transfer, token, gen } => {
-                    self.on_timer_fire(host, transfer, token, gen)
-                }
+                Ev::TimerFire {
+                    host,
+                    transfer,
+                    token,
+                    gen,
+                } => self.on_timer_fire(host, transfer, token, gen),
             }
         }
 
@@ -696,7 +805,10 @@ mod tests {
         sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &pcfg)));
         let report = sim.run();
         assert!(report.succeeded(a, 1) && report.succeeded(b, 1));
-        assert!(report.wire_losses > 0, "5% loss over ≥65 frames should drop something");
+        assert!(
+            report.wire_losses > 0,
+            "5% loss over ≥65 frames should drop something"
+        );
         let elapsed = report.elapsed_ms(a, 1).unwrap();
         assert!(elapsed > 140.62, "losses must cost time: {elapsed}");
     }
@@ -735,7 +847,10 @@ mod tests {
         sim.attach(a, b, Box::new(BlastSender::new(1, payload.clone(), &pcfg)));
         sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &pcfg)));
         let report = sim.run();
-        assert!(report.total_overruns() > 0, "mismatched speeds must overrun the interface");
+        assert!(
+            report.total_overruns() > 0,
+            "mismatched speeds must overrun the interface"
+        );
         assert!(report.succeeded(a, 1), "go-back-n still recovers");
     }
 
@@ -748,9 +863,17 @@ mod tests {
         sim.attach(a, b, Box::new(BlastSender::new(1, payload.clone(), &pcfg)));
         sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &pcfg)));
         let report = sim.run();
-        let copy_ins = report.trace.iter().filter(|e| e.lane == Lane::CpuCopyIn).count();
+        let copy_ins = report
+            .trace
+            .iter()
+            .filter(|e| e.lane == Lane::CpuCopyIn)
+            .count();
         let wires = report.trace.iter().filter(|e| e.lane == Lane::Wire).count();
-        let copy_outs = report.trace.iter().filter(|e| e.lane == Lane::CpuCopyOut).count();
+        let copy_outs = report
+            .trace
+            .iter()
+            .filter(|e| e.lane == Lane::CpuCopyOut)
+            .count();
         // 3 data + 1 ack, each copied in, transmitted, copied out.
         assert_eq!(copy_ins, 4);
         assert_eq!(wires, 4);
@@ -771,7 +894,10 @@ mod tests {
         let per_kind = run(TimingPolicy::PerKind);
         let per_byte = run(TimingPolicy::PerByte);
         let rel = (per_kind - per_byte).abs() / per_kind;
-        assert!(rel < 0.06, "byte-accurate timing should stay close: {per_kind} vs {per_byte}");
+        assert!(
+            rel < 0.06,
+            "byte-accurate timing should stay close: {per_kind} vs {per_byte}"
+        );
     }
 
     #[test]

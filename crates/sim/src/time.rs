@@ -93,7 +93,10 @@ mod tests {
         let t = SimTime::from_ms(1.0) + ms(0.5);
         assert_eq!(t, SimTime::from_ms(1.5));
         assert_eq!(t - SimTime::from_ms(1.0), Duration::from_micros(500));
-        assert_eq!(SimTime::from_ms(1.0).since(SimTime::from_ms(2.0)), Duration::ZERO);
+        assert_eq!(
+            SimTime::from_ms(1.0).since(SimTime::from_ms(2.0)),
+            Duration::ZERO
+        );
         let mut u = SimTime::ZERO;
         u += ms(2.0);
         assert_eq!(u, SimTime::from_ms(2.0));

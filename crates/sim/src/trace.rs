@@ -55,7 +55,11 @@ pub fn render_timeline(events: &[TraceEvent], host_names: &[&str], width: usize)
     if events.is_empty() {
         return "(no trace)\n".to_string();
     }
-    let t_end = events.iter().map(|e| e.end.as_nanos()).max().expect("non-empty");
+    let t_end = events
+        .iter()
+        .map(|e| e.end.as_nanos())
+        .max()
+        .expect("non-empty");
     let t_end = t_end.max(1);
     let col_of = |t: SimTime| -> usize {
         ((t.as_nanos() as u128 * (width as u128 - 1)) / t_end as u128) as usize
@@ -81,7 +85,10 @@ pub fn render_timeline(events: &[TraceEvent], host_names: &[&str], width: usize)
     }
     // One shared wire row.
     let wire_row = rows.len();
-    rows.push((format!("{:<10} {}", "ether", Lane::Wire.label()), vec![' '; width]));
+    rows.push((
+        format!("{:<10} {}", "ether", Lane::Wire.label()),
+        vec![' '; width],
+    ));
 
     for e in events {
         let row = match e.lane {
@@ -177,7 +184,10 @@ mod tests {
         let wire_line = s.lines().find(|l| l.starts_with("ether")).unwrap();
         let first = wire_line.find('0').unwrap();
         let last = wire_line.rfind('1').unwrap();
-        assert!(last > first + 30, "events 10x apart should be far apart: {wire_line}");
+        assert!(
+            last > first + 30,
+            "events 10x apart should be far apart: {wire_line}"
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ fn double_buffered_blast_matches_model_exactly() {
 #[test]
 fn double_buffered_wire_bound_branch_matches() {
     // A fast processor (C < T) exercises the other branch of T_dbl.
-    let fast = CostModel { c_data: 0.3, c_ack: 0.05, ..CostModel::standalone_sun() };
+    let fast = CostModel {
+        c_data: 0.3,
+        c_ack: 0.05,
+        ..CostModel::standalone_sun()
+    };
     let ef = ErrorFree::new(fast);
     for n in [1u64, 2, 8, 64] {
         let sim_ms = run_sim(
@@ -240,7 +244,11 @@ fn third_transmit_buffer_buys_nothing() {
     // copy-bound and wire-bound sides.
     for cost in [
         CostModel::standalone_sun(), // T < C (copy-bound)
-        CostModel { c_data: 0.3, c_ack: 0.05, ..CostModel::standalone_sun() }, // T > C
+        CostModel {
+            c_data: 0.3,
+            c_ack: 0.05,
+            ..CostModel::standalone_sun()
+        }, // T > C
     ] {
         let run = |buffers: usize| {
             let cfg = SimConfig {
@@ -248,7 +256,13 @@ fn third_transmit_buffer_buys_nothing() {
                 busy_wait_tx: false,
                 ..SimConfig::standalone().with_cost(cost)
             };
-            run_sim(cfg, |c, d| Box::new(BlastSender::new(1, d, c)), false, 64 * 1024, 100_000)
+            run_sim(
+                cfg,
+                |c, d| Box::new(BlastSender::new(1, d, c)),
+                false,
+                64 * 1024,
+                100_000,
+            )
         };
         let two = run(2);
         let three = run(3);

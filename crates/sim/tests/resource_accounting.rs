@@ -49,7 +49,11 @@ fn medium_busy_matches_wire_arithmetic() {
 fn frame_conservation_error_free() {
     let report = blast_run(16, SimConfig::standalone());
     let sent: u64 = report.host_stats.iter().map(|(_, h)| h.frames_sent).sum();
-    let delivered: u64 = report.host_stats.iter().map(|(_, h)| h.frames_delivered).sum();
+    let delivered: u64 = report
+        .host_stats
+        .iter()
+        .map(|(_, h)| h.frames_delivered)
+        .sum();
     assert_eq!(sent, 17, "16 data + 1 ack");
     assert_eq!(delivered, 17);
     assert_eq!(report.wire_losses, 0);
@@ -64,7 +68,11 @@ fn frame_conservation_under_loss() {
         SimConfig::standalone().with_loss(LossModel::iid(0.05), 99),
     );
     let sent: u64 = report.host_stats.iter().map(|(_, h)| h.frames_sent).sum();
-    let delivered: u64 = report.host_stats.iter().map(|(_, h)| h.frames_delivered).sum();
+    let delivered: u64 = report
+        .host_stats
+        .iter()
+        .map(|(_, h)| h.frames_delivered)
+        .sum();
     // Every sent frame is delivered, lost in flight, overrun, or still
     // in an rx queue when the run stopped (the final ack ends the run
     // while late retransmissions may sit unconsumed).

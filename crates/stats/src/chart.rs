@@ -94,8 +94,11 @@ impl Chart {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
         if all.is_empty() {
             out.push_str("(no data)\n");
             return out;
@@ -125,7 +128,10 @@ impl Chart {
                 self.plot(&mut grid, pts[0], marker, x_min, x_max, y_min, y_max);
                 continue;
             }
-            // Column-wise interpolation in transformed space.
+            // Column-wise interpolation in transformed space.  The row
+            // index is data-dependent, so `grid` cannot be walked with
+            // an iterator here.
+            #[allow(clippy::needless_range_loop)]
             for col in 0..self.width {
                 let x_t = x_min + (x_max - x_min) * col as f64 / (self.width - 1) as f64;
                 let Some(y_t) = interpolate(pts, x_t, |v| self.tx(v), |v| self.ty(v)) else {
@@ -162,7 +168,11 @@ impl Chart {
         let left = fmt_axis(x_disp(x_min));
         let right = fmt_axis(x_disp(x_max));
         let gap = self.width.saturating_sub(left.len() + right.len());
-        out.push_str(&format!("{:>label_w$}  {left}{}{right}\n", "", " ".repeat(gap)));
+        out.push_str(&format!(
+            "{:>label_w$}  {left}{}{right}\n",
+            "",
+            " ".repeat(gap)
+        ));
         if !self.x_label.is_empty() || !self.y_label.is_empty() {
             out.push_str(&format!(
                 "{:>label_w$}  x: {}   y: {}\n",
@@ -206,7 +216,7 @@ impl Chart {
 /// scientific notation for very small/large magnitudes (log axes).
 fn fmt_axis(v: f64) -> String {
     let a = v.abs();
-    if v != 0.0 && (a < 1e-2 || a >= 1e5) {
+    if v != 0.0 && !(1e-2..1e5).contains(&a) {
         format!("{v:.1e}")
     } else {
         format!("{v:.4}")
@@ -247,7 +257,10 @@ mod tests {
     #[test]
     fn renders_two_series_with_legend() {
         let mut c = Chart::new("Figure: demo", 40, 12).labels("N", "ms");
-        c.series("slow", (1..=10).map(|i| (i as f64, 2.0 * i as f64)).collect());
+        c.series(
+            "slow",
+            (1..=10).map(|i| (i as f64, 2.0 * i as f64)).collect(),
+        );
         c.series("fast", (1..=10).map(|i| (i as f64, i as f64)).collect());
         let s = c.render();
         assert!(s.contains("Figure: demo"));
@@ -278,7 +291,16 @@ mod tests {
     #[test]
     fn nonpositive_points_dropped_on_log_axes() {
         let mut c = Chart::new("t", 20, 5).log_x().log_y();
-        c.series("s", vec![(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (1.0, 1.0), (10.0, 10.0)]);
+        c.series(
+            "s",
+            vec![
+                (0.0, 1.0),
+                (-1.0, 2.0),
+                (1.0, 0.0),
+                (1.0, 1.0),
+                (10.0, 10.0),
+            ],
+        );
         let s = c.render();
         assert!(s.contains('a'));
     }
@@ -299,7 +321,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
         let top_pos = lines.first().unwrap().rfind('a').unwrap();
         let bot_pos = lines.last().unwrap().find('a').unwrap();
-        assert!(top_pos > bot_pos, "increasing series: top-right vs bottom-left");
+        assert!(
+            top_pos > bot_pos,
+            "increasing series: top-right vs bottom-left"
+        );
     }
 
     #[test]

@@ -49,7 +49,13 @@ impl ConfidenceInterval {
 
 impl std::fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.4} ± {:.4} ({}%)", self.mean, self.half_width, self.level * 100.0)
+        write!(
+            f,
+            "{:.4} ± {:.4} ({}%)",
+            self.mean,
+            self.half_width,
+            self.level * 100.0
+        )
     }
 }
 

@@ -49,7 +49,11 @@ impl Experiment {
     /// `base_seed`.
     pub fn new(trials: u64, base_seed: u64) -> Self {
         assert!(trials > 0, "at least one trial");
-        Experiment { trials, base_seed, histogram: None }
+        Experiment {
+            trials,
+            base_seed,
+            histogram: None,
+        }
     }
 
     /// Also collect the measurement distribution.
@@ -77,7 +81,11 @@ impl Experiment {
                 None => skipped += 1,
             }
         }
-        TrialSummary { stats, histogram, skipped }
+        TrialSummary {
+            stats,
+            histogram,
+            skipped,
+        }
     }
 }
 

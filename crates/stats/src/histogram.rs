@@ -37,7 +37,15 @@ impl Histogram {
     /// Panics if `hi <= lo` or `buckets == 0`.
     pub fn linear(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(hi > lo && buckets > 0, "invalid histogram range");
-        Histogram { lo, hi, log: false, buckets: vec![0; buckets], count: 0, below: 0, above: 0 }
+        Histogram {
+            lo,
+            hi,
+            log: false,
+            buckets: vec![0; buckets],
+            count: 0,
+            below: 0,
+            above: 0,
+        }
     }
 
     /// Log-spaced buckets over `[lo, hi)`; both bounds must be positive.
@@ -45,8 +53,19 @@ impl Histogram {
     /// # Panics
     /// Panics if `lo <= 0`, `hi <= lo` or `buckets == 0`.
     pub fn logarithmic(lo: f64, hi: f64, buckets: usize) -> Self {
-        assert!(lo > 0.0 && hi > lo && buckets > 0, "invalid log histogram range");
-        Histogram { lo, hi, log: true, buckets: vec![0; buckets], count: 0, below: 0, above: 0 }
+        assert!(
+            lo > 0.0 && hi > lo && buckets > 0,
+            "invalid log histogram range"
+        );
+        Histogram {
+            lo,
+            hi,
+            log: true,
+            buckets: vec![0; buckets],
+            count: 0,
+            below: 0,
+            above: 0,
+        }
     }
 
     fn bucket_of(&self, x: f64) -> usize {

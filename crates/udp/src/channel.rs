@@ -61,7 +61,15 @@ impl UdpChannel {
 impl Channel for UdpChannel {
     fn send(&mut self, buf: &[u8]) -> io::Result<()> {
         debug_assert!(buf.len() <= MAX_DATAGRAM, "datagram too large");
-        self.socket.send(buf).map(|_| ())
+        match self.socket.send(buf) {
+            Ok(_) => Ok(()),
+            // A connected UDP socket reports the peer's ICMP
+            // port-unreachable as ECONNREFUSED (e.g. the other side
+            // already closed after its final ack).  On this channel
+            // abstraction that is just loss, not failure.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
@@ -72,11 +80,14 @@ impl Channel for UdpChannel {
         match self.socket.recv(buf) {
             Ok(n) => Ok(Some(n)),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }
+            // See `send`: a queued ICMP unreachable from our own
+            // earlier send surfaces here.  Treat it as a timeout slice
+            // with nothing delivered, not as a channel failure.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(None),
             Err(e) => Err(e),
         }
     }
@@ -91,11 +102,17 @@ mod tests {
         let (mut a, mut b) = UdpChannel::pair().unwrap();
         a.send(b"hello").unwrap();
         let mut buf = [0u8; 64];
-        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = b
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(&buf[..n], b"hello");
 
         b.send(b"world").unwrap();
-        let n = a.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = a
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(&buf[..n], b"world");
     }
 
@@ -113,9 +130,15 @@ mod tests {
         a.send(b"one").unwrap();
         a.send(b"two").unwrap();
         let mut buf = [0u8; 64];
-        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = b
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(n, 3);
-        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = b
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(n, 3);
     }
 
@@ -125,7 +148,10 @@ mod tests {
         let big = vec![0xa5u8; 8 * 1024];
         a.send(&big).unwrap();
         let mut buf = vec![0u8; MAX_DATAGRAM];
-        let n = b.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = b
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(n, big.len());
         assert_eq!(&buf[..n], &big[..]);
     }

@@ -55,7 +55,12 @@ pub struct Driver<C: Channel> {
 impl<C: Channel> Driver<C> {
     /// New driver over `channel`.
     pub fn new(channel: C) -> Self {
-        Driver { channel, request_reply: None, deadline: Duration::from_secs(60), linger: false }
+        Driver {
+            channel,
+            request_reply: None,
+            deadline: Duration::from_secs(60),
+            linger: false,
+        }
     }
 
     /// Enable receiver lingering.
@@ -132,7 +137,10 @@ impl<C: Channel> Driver<C> {
                 .map(|Reverse((when, _, _))| when.saturating_duration_since(now))
                 .unwrap_or(Duration::from_millis(20))
                 .min(Duration::from_millis(50));
-            match self.channel.recv_timeout(&mut buf, until_timer.max(Duration::from_millis(1)))? {
+            match self
+                .channel
+                .recv_timeout(&mut buf, until_timer.max(Duration::from_millis(1)))?
+            {
                 None => continue,
                 Some(n) => {
                     received += 1;
@@ -161,13 +169,17 @@ impl<C: Channel> Driver<C> {
 
         let completion = completion.unwrap_or_else(|| {
             CompletionInfo::failure(
-                blast_core::CoreError::BadState { what: "driver deadline exceeded" },
+                blast_core::CoreError::BadState {
+                    what: "driver deadline exceeded",
+                },
                 engine.stats(),
             )
         });
         Ok(DriveOutcome {
             completion,
-            elapsed: finished_at.unwrap_or_else(Instant::now).duration_since(start),
+            elapsed: finished_at
+                .unwrap_or_else(Instant::now)
+                .duration_since(start),
             datagrams_sent: sent,
             datagrams_received: received,
             malformed,
@@ -220,7 +232,10 @@ mod tests {
     }
 
     fn data(n: usize) -> Arc<[u8]> {
-        (0..n).map(|i| (i * 31 % 256) as u8).collect::<Vec<u8>>().into()
+        (0..n)
+            .map(|i| (i * 31 % 256) as u8)
+            .collect::<Vec<u8>>()
+            .into()
     }
 
     #[test]
@@ -299,7 +314,10 @@ mod tests {
         let len = builder.build_request(&mut buf, 1, b"hello").unwrap();
         a.send(&buf[..len]).unwrap();
         let mut rbuf = [0u8; 64];
-        let n = a.recv_timeout(&mut rbuf, Duration::from_millis(500)).unwrap().unwrap();
+        let n = a
+            .recv_timeout(&mut rbuf, Duration::from_millis(500))
+            .unwrap()
+            .unwrap();
         assert_eq!(&rbuf[..n], &[0xAB; 4]);
         drop(handle);
     }

@@ -32,17 +32,30 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// No faults.
     pub fn none() -> Self {
-        FaultConfig { drop: 0.0, duplicate: 0.0, reorder: 0.0, corrupt: 0.0 }
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+        }
     }
 
     /// Loss only, probability `p` — the paper's error model.
     pub fn loss(p: f64) -> Self {
-        FaultConfig { drop: p, ..Self::none() }
+        FaultConfig {
+            drop: p,
+            ..Self::none()
+        }
     }
 
     /// A stress mix exercising every pathology at once.
     pub fn chaos(p: f64) -> Self {
-        FaultConfig { drop: p, duplicate: p, reorder: p, corrupt: p }
+        FaultConfig {
+            drop: p,
+            duplicate: p,
+            reorder: p,
+            corrupt: p,
+        }
     }
 
     fn validate(&self) {
@@ -52,7 +65,10 @@ impl FaultConfig {
             ("reorder", self.reorder),
             ("corrupt", self.corrupt),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} probability out of range: {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} probability out of range: {v}"
+            );
         }
     }
 }
@@ -120,8 +136,8 @@ impl<C: Channel> Channel for FaultyChannel<C> {
         let mut packet = buf.to_vec();
         if self.chance(self.config.corrupt) && !packet.is_empty() {
             let byte = self.rng.gen_range(0..packet.len());
-            let bit = self.rng.gen_range(0..8);
-            packet[byte] ^= 1 << bit;
+            let bit = self.rng.gen_range(0u32..8);
+            packet[byte] ^= 1u8 << bit;
             self.corrupted += 1;
         }
 
@@ -205,7 +221,10 @@ mod tests {
 
     #[test]
     fn duplicate_always_sends_twice() {
-        let cfg = FaultConfig { duplicate: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            duplicate: 1.0,
+            ..FaultConfig::none()
+        };
         let mut ch = FaultyChannel::new(MemChannel::default(), cfg, 1);
         ch.send(b"a").unwrap();
         assert_eq!(ch.duplicated, 1);
@@ -214,7 +233,10 @@ mod tests {
 
     #[test]
     fn corrupt_flips_exactly_one_bit() {
-        let cfg = FaultConfig { corrupt: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            corrupt: 1.0,
+            ..FaultConfig::none()
+        };
         let mut ch = FaultyChannel::new(MemChannel::default(), cfg, 7);
         let original = [0u8; 32];
         ch.send(&original).unwrap();
@@ -226,7 +248,10 @@ mod tests {
 
     #[test]
     fn reorder_swaps_adjacent_packets() {
-        let cfg = FaultConfig { reorder: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            reorder: 1.0,
+            ..FaultConfig::none()
+        };
         let mut ch = FaultyChannel::new(MemChannel::default(), cfg, 3);
         ch.send(b"1").unwrap(); // held
         ch.send(b"2").unwrap(); // "2" held? — release rule: "1" follows "2"
@@ -240,7 +265,11 @@ mod tests {
 
     #[test]
     fn reordered_packet_not_lost_behind_drop() {
-        let cfg = FaultConfig { reorder: 1.0, drop: 0.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            reorder: 1.0,
+            drop: 0.0,
+            ..FaultConfig::none()
+        };
         let mut ch = FaultyChannel::new(MemChannel::default(), cfg, 3);
         ch.send(b"a").unwrap();
         // Change config to always drop, then send: held "a" must still
@@ -255,8 +284,7 @@ mod tests {
     #[test]
     fn determinism_by_seed() {
         let run = |seed| {
-            let mut ch =
-                FaultyChannel::new(MemChannel::default(), FaultConfig::chaos(0.3), seed);
+            let mut ch = FaultyChannel::new(MemChannel::default(), FaultConfig::chaos(0.3), seed);
             for i in 0..100u8 {
                 ch.send(&[i]).unwrap();
             }

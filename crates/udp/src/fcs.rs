@@ -27,7 +27,10 @@ pub struct FcsChannel<C: Channel> {
 impl<C: Channel> FcsChannel<C> {
     /// Wrap `inner`.
     pub fn new(inner: C) -> Self {
-        FcsChannel { inner, fcs_drops: 0 }
+        FcsChannel {
+            inner,
+            fcs_drops: 0,
+        }
     }
 
     /// Take back the wrapped channel.
@@ -50,9 +53,7 @@ impl<C: Channel> Channel for FcsChannel<C> {
                 None => return Ok(None),
                 Some(n) if n >= 4 => {
                     let body = n - 4;
-                    let got = u32::from_be_bytes(
-                        buf[body..n].try_into().expect("4-byte slice"),
-                    );
+                    let got = u32::from_be_bytes(buf[body..n].try_into().expect("4-byte slice"));
                     if crc32(&buf[..body]) == got {
                         return Ok(Some(body));
                     }
@@ -85,7 +86,10 @@ mod tests {
         let mut rx = FcsChannel::new(b);
         tx.send(b"framed!").unwrap();
         let mut buf = [0u8; 64];
-        let n = rx.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = rx
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(&buf[..n], b"framed!");
         assert_eq!(rx.fcs_drops, 0);
     }
@@ -94,12 +98,21 @@ mod tests {
     fn corruption_between_fcs_endpoints_is_dropped() {
         let (a, b) = UdpChannel::pair().unwrap();
         // Corrupt every frame after the FCS is applied.
-        let faulty = FaultyChannel::new(a, FaultConfig { corrupt: 1.0, ..FaultConfig::none() }, 5);
+        let faulty = FaultyChannel::new(
+            a,
+            FaultConfig {
+                corrupt: 1.0,
+                ..FaultConfig::none()
+            },
+            5,
+        );
         let mut tx = FcsChannel::new(faulty);
         let mut rx = FcsChannel::new(b);
         tx.send(b"doomed").unwrap();
         let mut buf = [0u8; 64];
-        let got = rx.recv_timeout(&mut buf, Duration::from_millis(50)).unwrap();
+        let got = rx
+            .recv_timeout(&mut buf, Duration::from_millis(50))
+            .unwrap();
         assert_eq!(got, None, "corrupted frame must be dropped, not delivered");
         assert_eq!(rx.fcs_drops, 1);
     }
@@ -117,7 +130,10 @@ mod tests {
         good.extend_from_slice(&crc32(b"good").to_be_bytes());
         raw_a.send(&good).unwrap();
         let mut buf = [0u8; 64];
-        let n = rx.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = rx
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(&buf[..n], b"good");
         assert_eq!(rx.fcs_drops, 1);
     }
@@ -128,7 +144,11 @@ mod tests {
         let mut rx = FcsChannel::new(b);
         raw_a.send(&[1, 2]).unwrap();
         let mut buf = [0u8; 16];
-        assert_eq!(rx.recv_timeout(&mut buf, Duration::from_millis(50)).unwrap(), None);
+        assert_eq!(
+            rx.recv_timeout(&mut buf, Duration::from_millis(50))
+                .unwrap(),
+            None
+        );
         assert_eq!(rx.fcs_drops, 1);
     }
 
@@ -139,7 +159,10 @@ mod tests {
         let mut rx = FcsChannel::new(b);
         tx.send(b"").unwrap();
         let mut buf = [0u8; 16];
-        let n = rx.recv_timeout(&mut buf, Duration::from_secs(1)).unwrap().unwrap();
+        let n = rx
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(n, 0);
     }
 }

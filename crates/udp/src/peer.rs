@@ -61,7 +61,10 @@ impl TransferReport {
 }
 
 fn strategy_to_u8(s: RetxStrategy) -> u8 {
-    RetxStrategy::ALL.iter().position(|&x| x == s).expect("strategy in ALL") as u8
+    RetxStrategy::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("strategy in ALL") as u8
 }
 
 fn strategy_from_u8(b: u8) -> RetxStrategy {
@@ -95,7 +98,11 @@ fn decode_request(p: &[u8]) -> Option<RequestInfo> {
         return None;
     }
     let strategy = strategy_from_u8(p[12]);
-    Some(RequestInfo { len, packet_payload, strategy })
+    Some(RequestInfo {
+        len,
+        packet_payload,
+        strategy,
+    })
 }
 
 /// Send `data` over `channel` as transfer `transfer_id`, blocking until
@@ -145,7 +152,10 @@ fn send_impl<C: Channel>(
     let deadline = Instant::now() + Duration::from_secs(30);
     'handshake: loop {
         if Instant::now() > deadline {
-            return Err(io::Error::new(io::ErrorKind::TimedOut, "handshake timed out"));
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "handshake timed out",
+            ));
         }
         channel.send(&req)?;
         handshake_sent += 1;
@@ -167,7 +177,11 @@ fn send_impl<C: Channel>(
 
     // Data phase.
     let mut engine: Box<dyn Engine> = if multiblast {
-        Box::new(MultiBlastSender::new(transfer_id, data.to_vec().into(), cfg))
+        Box::new(MultiBlastSender::new(
+            transfer_id,
+            data.to_vec().into(),
+            cfg,
+        ))
     } else {
         Box::new(BlastSender::new(transfer_id, data.to_vec().into(), cfg))
     };
@@ -183,7 +197,7 @@ fn send_impl<C: Channel>(
             datagrams_received: out.datagrams_received,
             malformed: out.malformed + fcs_drops,
         }),
-        Err(e) => Err(io::Error::new(io::ErrorKind::Other, format!("transfer failed: {e}"))),
+        Err(e) => Err(io::Error::other(format!("transfer failed: {e}"))),
     }
 }
 
@@ -199,16 +213,23 @@ pub fn recv_data<C: Channel>(channel: C, cfg: &ProtocolConfig) -> io::Result<Tra
     let deadline = Instant::now() + Duration::from_secs(30);
     let (transfer_id, info, echo) = loop {
         if Instant::now() > deadline {
-            return Err(io::Error::new(io::ErrorKind::TimedOut, "no request received"));
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no request received",
+            ));
         }
         let Some(n) = channel.recv_timeout(&mut buf, Duration::from_millis(100))? else {
             continue;
         };
-        let Ok(d) = Datagram::parse(&buf[..n]) else { continue };
+        let Ok(d) = Datagram::parse(&buf[..n]) else {
+            continue;
+        };
         if d.kind != PacketKind::Request {
             continue;
         }
-        let Some(info) = decode_request(d.payload) else { continue };
+        let Some(info) = decode_request(d.payload) else {
+            continue;
+        };
         break (d.transfer_id, info, buf[..n].to_vec());
     };
 
@@ -232,7 +253,7 @@ pub fn recv_data<C: Channel>(channel: C, cfg: &ProtocolConfig) -> io::Result<Tra
             datagrams_received: out.datagrams_received,
             malformed: out.malformed + fcs_drops,
         }),
-        Err(e) => Err(io::Error::new(io::ErrorKind::Other, format!("receive failed: {e}"))),
+        Err(e) => Err(io::Error::other(format!("receive failed: {e}"))),
     }
 }
 
@@ -313,12 +334,25 @@ mod tests {
         let data = payload(30_000);
         let data2 = data.clone();
         let c2 = c.clone();
-        let fa = FaultyChannel::new(a, FaultConfig { corrupt: 0.2, ..FaultConfig::none() }, 3);
+        let fa = FaultyChannel::new(
+            a,
+            FaultConfig {
+                corrupt: 0.2,
+                ..FaultConfig::none()
+            },
+            3,
+        );
         let rx = std::thread::spawn(move || recv_data(b, &c2).unwrap());
         let _tx = send_data(fa, 2, &data, &c).unwrap();
         let report = rx.join().unwrap();
-        assert_eq!(report.data, data2, "corrupted packets must never corrupt the payload");
-        assert!(report.malformed > 0, "some corruption should have been caught on receive");
+        assert_eq!(
+            report.data, data2,
+            "corrupted packets must never corrupt the payload"
+        );
+        assert!(
+            report.malformed > 0,
+            "some corruption should have been caught on receive"
+        );
     }
 
     #[test]
@@ -334,7 +368,11 @@ mod tests {
         let report = rx.join().unwrap();
         assert_eq!(report.data, data2);
         // ~294 packets in chunks of 16 → ≥ 19 chunk acks.
-        assert!(report.stats.acks_sent >= 19, "acks {}", report.stats.acks_sent);
+        assert!(
+            report.stats.acks_sent >= 19,
+            "acks {}",
+            report.stats.acks_sent
+        );
         assert!(tx.elapsed > Duration::ZERO);
     }
 

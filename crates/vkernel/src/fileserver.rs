@@ -40,7 +40,11 @@ impl FileServer {
     /// Create a file server as process `pid` (already created in the
     /// cluster).
     pub fn new(pid: Pid) -> Self {
-        FileServer { pid, files: BTreeMap::new(), reads_served: 0 }
+        FileServer {
+            pid,
+            files: BTreeMap::new(),
+            reads_served: 0,
+        }
     }
 
     /// Install a file.
@@ -70,14 +74,22 @@ impl FileServer {
             return Ok(None);
         };
         if msg.kind() != MessageKind::ReadFile {
-            cluster.reply(self.pid, msg.sender, VMessage::new(MessageKind::Reply, b"EBADREQ"))?;
+            cluster.reply(
+                self.pid,
+                msg.sender,
+                VMessage::new(MessageKind::Reply, b"EBADREQ"),
+            )?;
             return Ok(None);
         }
         let name = msg.payload_str().to_string();
         let client = msg.sender;
         let seg_id = decode_segment_id(&msg);
         let Some(contents) = self.files.get(&name).cloned() else {
-            cluster.reply(self.pid, client, VMessage::new(MessageKind::Reply, b"ENOENT"))?;
+            cluster.reply(
+                self.pid,
+                client,
+                VMessage::new(MessageKind::Reply, b"ENOENT"),
+            )?;
             return Ok(None);
         };
         // Stage the file in the server's address space (the "read from
@@ -112,11 +124,19 @@ pub fn client_read(
         .serve_one(cluster)?
         .ok_or(VKernelError::BadState("server had no pending request"))?;
     // 4. the client's Send unblocks with the reply
-    let reply = cluster.collect_reply(client).ok_or(VKernelError::BadState("no reply"))?;
+    let reply = cluster
+        .collect_reply(client)
+        .ok_or(VKernelError::BadState("no reply"))?;
     if reply.payload_str() != "OK" {
         return Err(VKernelError::BadState("server refused the read"));
     }
-    Ok((segment, ReadOutcome { bytes: size, transfer: outcome }))
+    Ok((
+        segment,
+        ReadOutcome {
+            bytes: size,
+            transfer: outcome,
+        },
+    ))
 }
 
 fn encode_read_request(name: &str, segment: SegmentId) -> VMessage {
@@ -157,7 +177,10 @@ mod tests {
     fn full_read_sequence_delivers_file() {
         let (mut c, mut fs, client) = setup();
         let (seg, outcome) = client_read(&mut c, &mut fs, client, "/etc/motd").unwrap();
-        assert_eq!(c.segment(client, seg).unwrap(), b"welcome to the V system\n");
+        assert_eq!(
+            c.segment(client, seg).unwrap(),
+            b"welcome to the V system\n"
+        );
         assert_eq!(outcome.bytes, 24);
         assert!(outcome.transfer.remote);
         assert_eq!(fs.reads_served, 1);
@@ -205,7 +228,8 @@ mod tests {
     #[test]
     fn non_read_requests_are_rejected_politely() {
         let (mut c, mut fs, client) = setup();
-        c.send(client, fs.pid, VMessage::new(MessageKind::Data, b"?")).unwrap();
+        c.send(client, fs.pid, VMessage::new(MessageKind::Data, b"?"))
+            .unwrap();
         assert!(fs.serve_one(&mut c).unwrap().is_none());
         assert_eq!(c.collect_reply(client).unwrap().payload_str(), "EBADREQ");
     }

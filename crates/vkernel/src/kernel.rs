@@ -165,7 +165,9 @@ impl VCluster {
     }
 
     fn kernel_of(&self, pid: Pid) -> Result<&Kernel, VKernelError> {
-        self.kernels.get(pid.kernel() as usize).ok_or(VKernelError::UnknownProcess(pid))
+        self.kernels
+            .get(pid.kernel() as usize)
+            .ok_or(VKernelError::UnknownProcess(pid))
     }
 
     fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, VKernelError> {
@@ -299,7 +301,10 @@ impl VCluster {
             .and_then(|s| s.len_of(dst_segment))
             .ok_or(VKernelError::UnknownSegment(dst, dst_segment))?;
         if dst_len != data.len() {
-            return Err(VKernelError::SizeMismatch { src: data.len(), dst: dst_len });
+            return Err(VKernelError::SizeMismatch {
+                src: data.len(),
+                dst: dst_len,
+            });
         }
         let outcome = if src.kernel() == dst.kernel() {
             // Local: one direct copy, no network.  Cost: proportional
@@ -363,12 +368,13 @@ impl VCluster {
         sim.attach(b, a, Box::new(receiver));
         let report = sim.run();
 
-        let sender_completion = report
-            .completions
-            .get(&(a, transfer))
-            .ok_or(VKernelError::TransferFailed(CoreError::BadState {
-                what: "sender never completed",
-            }))?;
+        let sender_completion =
+            report
+                .completions
+                .get(&(a, transfer))
+                .ok_or(VKernelError::TransferFailed(CoreError::BadState {
+                    what: "sender never completed",
+                }))?;
         let sender_stats = sender_completion.info.stats;
         if let Err(e) = &sender_completion.info.result {
             return Err(VKernelError::TransferFailed(e.clone()));
@@ -421,15 +427,24 @@ mod tests {
         assert_eq!(c.receive(server).unwrap(), None);
         assert_eq!(c.state_of(server).unwrap(), ProcessState::Receiving);
 
-        c.send(client, server, VMessage::new(MessageKind::ReadFile, b"/etc/motd")).unwrap();
-        assert_eq!(c.state_of(client).unwrap(), ProcessState::AwaitingReply { to: server });
+        c.send(
+            client,
+            server,
+            VMessage::new(MessageKind::ReadFile, b"/etc/motd"),
+        )
+        .unwrap();
+        assert_eq!(
+            c.state_of(client).unwrap(),
+            ProcessState::AwaitingReply { to: server }
+        );
 
         let msg = c.receive(server).unwrap().expect("message queued");
         assert_eq!(msg.kind(), MessageKind::ReadFile);
         assert_eq!(msg.payload_str(), "/etc/motd");
         assert_eq!(msg.sender, client);
 
-        c.reply(server, client, VMessage::new(MessageKind::Reply, b"ok")).unwrap();
+        c.reply(server, client, VMessage::new(MessageKind::Reply, b"ok"))
+            .unwrap();
         assert_eq!(c.state_of(client).unwrap(), ProcessState::Ready);
         let r = c.collect_reply(client).expect("reply deposited");
         assert_eq!(r.kind(), MessageKind::Reply);
@@ -438,15 +453,20 @@ mod tests {
     #[test]
     fn reply_without_send_is_an_error() {
         let (mut c, client, server) = two_kernel_cluster();
-        let err = c.reply(server, client, VMessage::new(MessageKind::Reply, b"")).unwrap_err();
+        let err = c
+            .reply(server, client, VMessage::new(MessageKind::Reply, b""))
+            .unwrap_err();
         assert!(matches!(err, VKernelError::BadState(_)));
     }
 
     #[test]
     fn double_send_blocked() {
         let (mut c, client, server) = two_kernel_cluster();
-        c.send(client, server, VMessage::new(MessageKind::Data, b"1")).unwrap();
-        let err = c.send(client, server, VMessage::new(MessageKind::Data, b"2")).unwrap_err();
+        c.send(client, server, VMessage::new(MessageKind::Data, b"1"))
+            .unwrap();
+        let err = c
+            .send(client, server, VMessage::new(MessageKind::Data, b"2"))
+            .unwrap_err();
         assert!(matches!(err, VKernelError::BadState(_)));
     }
 
@@ -510,7 +530,8 @@ mod tests {
     fn clock_accumulates_across_operations() {
         let (mut c, client, server) = two_kernel_cluster();
         assert_eq!(c.clock_ms, 0.0);
-        c.send(client, server, VMessage::new(MessageKind::Data, b"req")).unwrap();
+        c.send(client, server, VMessage::new(MessageKind::Data, b"req"))
+            .unwrap();
         let after_send = c.clock_ms;
         assert!(after_send > 0.0, "remote send must cost time");
         let data = vec![9u8; 8 * 1024];
@@ -530,8 +551,14 @@ mod tests {
             c.send(ghost, client, VMessage::new(MessageKind::Data, b"")),
             Err(VKernelError::UnknownProcess(_))
         ));
-        assert!(matches!(c.segment(client, SegmentId(9)), Err(VKernelError::UnknownSegment(..))));
-        assert!(matches!(c.state_of(Pid::new(9, 1)), Err(VKernelError::UnknownProcess(_))));
+        assert!(matches!(
+            c.segment(client, SegmentId(9)),
+            Err(VKernelError::UnknownSegment(..))
+        ));
+        assert!(matches!(
+            c.state_of(Pid::new(9, 1)),
+            Err(VKernelError::UnknownProcess(_))
+        ));
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl VMessage {
         bytes[0] = kind.to_byte();
         let n = payload.len().min(MESSAGE_BYTES - 1);
         bytes[1..1 + n].copy_from_slice(&payload[..n]);
-        VMessage { sender: Pid(0), bytes }
+        VMessage {
+            sender: Pid(0),
+            bytes,
+        }
     }
 
     /// The message kind.
@@ -101,9 +104,12 @@ mod tests {
 
     #[test]
     fn kinds_roundtrip() {
-        for kind in
-            [MessageKind::Data, MessageKind::ReadFile, MessageKind::WriteFile, MessageKind::Reply]
-        {
+        for kind in [
+            MessageKind::Data,
+            MessageKind::ReadFile,
+            MessageKind::WriteFile,
+            MessageKind::Reply,
+        ] {
             let m = VMessage::new(kind, b"x");
             assert_eq!(m.kind(), kind);
         }

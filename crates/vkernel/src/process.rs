@@ -68,7 +68,12 @@ pub struct Process {
 impl Process {
     /// New ready process.
     pub fn new(pid: Pid, name: &str) -> Self {
-        Process { pid, name: name.to_string(), state: ProcessState::Ready, mailbox: VecDeque::new() }
+        Process {
+            pid,
+            name: name.to_string(),
+            state: ProcessState::Ready,
+            mailbox: VecDeque::new(),
+        }
     }
 }
 

@@ -40,7 +40,10 @@ impl Space {
     /// Register a segment holding a copy of `data` (a send buffer).
     pub fn register_with(&mut self, data: &[u8]) -> SegmentId {
         let id = self.register(data.len());
-        self.segments.get_mut(&id).expect("just registered").copy_from_slice(data);
+        self.segments
+            .get_mut(&id)
+            .expect("just registered")
+            .copy_from_slice(data);
         id
     }
 

@@ -56,7 +56,11 @@ impl Bitmap {
     /// Create an empty (all-received) bitmap covering
     /// `[base, base+nbits)`.
     pub fn new(base: u32, nbits: u16) -> Self {
-        Bitmap { base, nbits, bits: vec![0; (nbits as usize).div_ceil(8)] }
+        Bitmap {
+            base,
+            nbits,
+            bits: vec![0; (nbits as usize).div_ceil(8)],
+        }
     }
 
     /// Build a bitmap from an iterator of missing sequence numbers.
@@ -120,7 +124,9 @@ impl Bitmap {
 
     fn index_of(&self, seq: u32) -> WireResult<usize> {
         if seq < self.base || seq - self.base >= u32::from(self.nbits) {
-            return Err(WireError::BadField { field: "bitmap seq" });
+            return Err(WireError::BadField {
+                field: "bitmap seq",
+            });
         }
         Ok((seq - self.base) as usize)
     }
@@ -169,7 +175,10 @@ impl AckPayload {
     pub fn encode(&self, buf: &mut [u8]) -> WireResult<usize> {
         let need = self.encoded_len();
         if buf.len() < need {
-            return Err(WireError::Truncated { needed: need, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: need,
+                got: buf.len(),
+            });
         }
         match self {
             AckPayload::Positive { acked } => {
@@ -195,8 +204,9 @@ impl AckPayload {
 
     /// Parse from the payload of an ack packet.
     pub fn decode(buf: &[u8]) -> WireResult<Self> {
-        let (&tag_byte, rest) =
-            buf.split_first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+        let (&tag_byte, rest) = buf
+            .split_first()
+            .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
         match tag_byte {
             tag::POSITIVE => {
                 let acked = read_u32(rest)?;
@@ -209,17 +219,25 @@ impl AckPayload {
             }
             tag::NACK_BITMAP => {
                 if rest.len() < 6 {
-                    return Err(WireError::Truncated { needed: 7, got: buf.len() });
+                    return Err(WireError::Truncated {
+                        needed: 7,
+                        got: buf.len(),
+                    });
                 }
                 let base = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
                 let nbits = u16::from_be_bytes([rest[4], rest[5]]);
                 if nbits > Bitmap::MAX_BITS {
-                    return Err(WireError::BadField { field: "bitmap nbits" });
+                    return Err(WireError::BadField {
+                        field: "bitmap nbits",
+                    });
                 }
                 let nbytes = (nbits as usize).div_ceil(8);
                 let body = &rest[6..];
                 if body.len() < nbytes {
-                    return Err(WireError::Truncated { needed: 7 + nbytes, got: buf.len() });
+                    return Err(WireError::Truncated {
+                        needed: 7 + nbytes,
+                        got: buf.len(),
+                    });
                 }
                 let bits = body[..nbytes].to_vec();
                 // Trailing bits beyond nbits must be zero so that the
@@ -228,7 +246,9 @@ impl AckPayload {
                     let last = bits[nbytes - 1];
                     let mask = !((1u16 << (nbits % 8)) - 1) as u8;
                     if last & mask != 0 {
-                        return Err(WireError::BadField { field: "bitmap padding" });
+                        return Err(WireError::BadField {
+                            field: "bitmap padding",
+                        });
                     }
                 }
                 Ok(AckPayload::NackBitmap(Bitmap { base, nbits, bits }))
@@ -245,7 +265,10 @@ impl AckPayload {
 
 fn read_u32(buf: &[u8]) -> WireResult<u32> {
     if buf.len() < 4 {
-        return Err(WireError::Truncated { needed: 4, got: buf.len() });
+        return Err(WireError::Truncated {
+            needed: 4,
+            got: buf.len(),
+        });
     }
     Ok(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]))
 }
@@ -372,7 +395,9 @@ mod tests {
         buf.extend_from_slice(&vec![0; 2000]);
         assert!(matches!(
             AckPayload::decode(&buf).unwrap_err(),
-            WireError::BadField { field: "bitmap nbits" }
+            WireError::BadField {
+                field: "bitmap nbits"
+            }
         ));
     }
 
@@ -382,7 +407,9 @@ mod tests {
         let buf = vec![tag::NACK_BITMAP, 0, 0, 0, 0, 0, 5, 0b0010_0000];
         assert!(matches!(
             AckPayload::decode(&buf).unwrap_err(),
-            WireError::BadField { field: "bitmap padding" }
+            WireError::BadField {
+                field: "bitmap padding"
+            }
         ));
         // Same covered bits with clean padding parses.
         let buf = vec![tag::NACK_BITMAP, 0, 0, 0, 0, 0, 5, 0b0001_0001];

@@ -99,7 +99,10 @@ mod tests {
         let e = WireError::BadKind { found: 0xff };
         assert!(e.to_string().contains("0xff"));
         assert_eq!(WireError::BadChecksum.to_string(), "checksum mismatch");
-        let e = WireError::BadLength { claimed: 4096, available: 64 };
+        let e = WireError::BadLength {
+            claimed: 4096,
+            available: 64,
+        };
         assert!(e.to_string().contains("4096"));
         let e = WireError::BadField { field: "seq" };
         assert!(e.to_string().contains("seq"));

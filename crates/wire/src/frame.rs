@@ -71,7 +71,10 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
     pub fn new_checked(buffer: T) -> WireResult<Self> {
         let len = buffer.as_ref().len();
         if len < ETHERNET_HEADER_LEN {
-            return Err(WireError::Truncated { needed: ETHERNET_HEADER_LEN, got: len });
+            return Err(WireError::Truncated {
+                needed: ETHERNET_HEADER_LEN,
+                got: len,
+            });
         }
         Ok(EthernetFrame { buffer })
     }
@@ -116,7 +119,8 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
     /// consistently with the paper (1024 B data ⇒ 0.82 ms at 10 Mbit/s
     /// counts header + padding; 64 B ack ⇒ 51 µs).
     pub fn wire_len(&self) -> usize {
-        self.total_len().max(ETHERNET_HEADER_LEN + MIN_ETHERNET_PAYLOAD)
+        self.total_len()
+            .max(ETHERNET_HEADER_LEN + MIN_ETHERNET_PAYLOAD)
     }
 }
 
@@ -199,7 +203,10 @@ mod tests {
             let buf = vec![0u8; len];
             assert_eq!(
                 EthernetFrame::new_checked(&buf[..]).unwrap_err(),
-                WireError::Truncated { needed: ETHERNET_HEADER_LEN, got: len }
+                WireError::Truncated {
+                    needed: ETHERNET_HEADER_LEN,
+                    got: len
+                }
             );
         }
         assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
@@ -212,7 +219,7 @@ mod tests {
         assert_eq!(frame_wire_len(46), 60);
         assert_eq!(frame_wire_len(47), 61);
         assert_eq!(frame_wire_len(1024), 1038);
-        let buf = vec![0u8; ETHERNET_HEADER_LEN + 4];
+        let buf = [0u8; ETHERNET_HEADER_LEN + 4];
         let f = EthernetFrame::new_checked(&buf[..]).unwrap();
         assert_eq!(f.wire_len(), 60);
     }
@@ -235,7 +242,7 @@ mod tests {
 
     #[test]
     fn payload_mut_roundtrips() {
-        let mut buf = vec![0u8; 64];
+        let mut buf = [0u8; 64];
         let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
         f.payload_mut()[0] = 0x5a;
         assert_eq!(f.payload()[0], 0x5a);

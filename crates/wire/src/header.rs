@@ -154,13 +154,20 @@ impl<T: AsRef<[u8]>> BlastHeader<T> {
     pub fn check(&self) -> WireResult<()> {
         let buf = self.buffer.as_ref();
         if buf.len() < HEADER_LEN {
-            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
         }
         if self.magic() != MAGIC {
-            return Err(WireError::BadMagic { found: self.magic() });
+            return Err(WireError::BadMagic {
+                found: self.magic(),
+            });
         }
         if self.version() != VERSION {
-            return Err(WireError::BadVersion { found: self.version() });
+            return Err(WireError::BadVersion {
+                found: self.version(),
+            });
         }
         PacketKind::from_u8(buf[field::KIND])?;
         let claimed = self.payload_len() as usize;
@@ -377,7 +384,10 @@ impl<T: AsRef<[u8]>> fmt::Display for BlastHeader<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kind = match self.kind() {
             Ok(k) => k.to_string(),
-            Err(_) => format!("kind?{:#04x}", self.buffer.as_ref().get(3).copied().unwrap_or(0)),
+            Err(_) => format!(
+                "kind?{:#04x}",
+                self.buffer.as_ref().get(3).copied().unwrap_or(0)
+            ),
         };
         write!(
             f,
@@ -507,7 +517,10 @@ mod tests {
         h.fill_checksum();
         assert!(matches!(
             BlastHeader::new_checked(&buf[..]).unwrap_err(),
-            WireError::BadLength { claimed: 17, available: 16 }
+            WireError::BadLength {
+                claimed: 17,
+                available: 16
+            }
         ));
     }
 
@@ -570,7 +583,12 @@ mod tests {
 
     #[test]
     fn kind_discriminants_roundtrip() {
-        for kind in [PacketKind::Data, PacketKind::Ack, PacketKind::Request, PacketKind::Cancel] {
+        for kind in [
+            PacketKind::Data,
+            PacketKind::Ack,
+            PacketKind::Request,
+            PacketKind::Cancel,
+        ] {
             assert_eq!(PacketKind::from_u8(kind as u8).unwrap(), kind);
         }
         assert!(PacketKind::from_u8(0).is_err());

@@ -45,7 +45,10 @@ impl MacAddr {
     /// Parse from a byte slice of length ≥ 6.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         if bytes.len() < 6 {
-            return Err(WireError::Truncated { needed: 6, got: bytes.len() });
+            return Err(WireError::Truncated {
+                needed: 6,
+                got: bytes.len(),
+            });
         }
         let mut octets = [0u8; 6];
         octets.copy_from_slice(&bytes[..6]);
@@ -106,8 +109,8 @@ impl FromStr for MacAddr {
             if count == 6 {
                 return Err(WireError::BadField { field: "mac" });
             }
-            octets[count] = u8::from_str_radix(part, 16)
-                .map_err(|_| WireError::BadField { field: "mac" })?;
+            octets[count] =
+                u8::from_str_radix(part, 16).map_err(|_| WireError::BadField { field: "mac" })?;
             count += 1;
         }
         if count != 6 {
@@ -186,7 +189,11 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["02:60:8c:00:00:01", "ff:ff:ff:ff:ff:ff", "00:00:00:00:00:00"] {
+        for s in [
+            "02:60:8c:00:00:01",
+            "ff:ff:ff:ff:ff:ff",
+            "00:00:00:00:00:00",
+        ] {
             let m: MacAddr = s.parse().unwrap();
             assert_eq!(m.to_string(), s);
         }

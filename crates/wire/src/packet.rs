@@ -103,7 +103,11 @@ pub struct DatagramBuilder {
 impl DatagramBuilder {
     /// Builder for packets of transfer `transfer_id`.
     pub fn new(transfer_id: u32) -> Self {
-        DatagramBuilder { transfer_id, kernel: false, multiblast: false }
+        DatagramBuilder {
+            transfer_id,
+            kernel: false,
+            multiblast: false,
+        }
     }
 
     /// Mark packets as belonging to a V-kernel IPC operation.
@@ -129,6 +133,9 @@ impl DatagramBuilder {
         f
     }
 
+    // Private helper mirroring the header's field list one-to-one; a
+    // params struct would just restate `BlastHeader` field by field.
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         &self,
         buf: &mut [u8],
@@ -142,7 +149,10 @@ impl DatagramBuilder {
     ) -> WireResult<usize> {
         let need = HEADER_LEN + payload.len();
         if buf.len() < need {
-            return Err(WireError::Truncated { needed: need, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: need,
+                got: buf.len(),
+            });
         }
         BlastHeader::<&mut [u8]>::clear(buf);
         let mut h = BlastHeader::new_unchecked(&mut buf[..need]);
@@ -176,7 +186,16 @@ impl DatagramBuilder {
         if last {
             extra |= flags::LAST | flags::RELIABLE;
         }
-        self.emit(buf, PacketKind::Data, seq, total, offset, payload, round, extra)
+        self.emit(
+            buf,
+            PacketKind::Data,
+            seq,
+            total,
+            offset,
+            payload,
+            round,
+            extra,
+        )
     }
 
     /// Build a data packet that is individually acknowledged (stop-and-
@@ -196,7 +215,16 @@ impl DatagramBuilder {
         if seq + 1 == total {
             extra |= flags::LAST;
         }
-        self.emit(buf, PacketKind::Data, seq, total, offset, payload, round, extra)
+        self.emit(
+            buf,
+            PacketKind::Data,
+            seq,
+            total,
+            offset,
+            payload,
+            round,
+            extra,
+        )
     }
 
     /// Build an acknowledgement packet carrying `ack`.
@@ -228,7 +256,9 @@ mod tests {
     fn data_roundtrip_with_flags() {
         let mut buf = [0u8; 256];
         let b = DatagramBuilder::new(9).kernel(true);
-        let len = b.build_data(&mut buf, 63, 64, 63 * 1024, b"tail", 1, true).unwrap();
+        let len = b
+            .build_data(&mut buf, 63, 64, 63 * 1024, b"tail", 1, true)
+            .unwrap();
         let d = Datagram::parse(&buf[..len]).unwrap();
         assert_eq!(d.kind, PacketKind::Data);
         assert_eq!(d.transfer_id, 9);
@@ -251,7 +281,9 @@ mod tests {
         let d = Datagram::parse(&buf[..len]).unwrap();
         assert!(d.is_reliable());
         assert!(!d.is_last());
-        let len = b.build_reliable_data(&mut buf, 2, 3, 2048, b"x", 0).unwrap();
+        let len = b
+            .build_reliable_data(&mut buf, 2, 3, 2048, b"x", 0)
+            .unwrap();
         let d = Datagram::parse(&buf[..len]).unwrap();
         assert!(d.is_reliable());
         assert!(d.is_last());
@@ -296,7 +328,9 @@ mod tests {
     fn build_rejects_small_buffer() {
         let mut buf = [0u8; HEADER_LEN + 3];
         let b = DatagramBuilder::new(1);
-        assert!(b.build_data(&mut buf, 0, 1, 0, b"too big for that", 0, true).is_err());
+        assert!(b
+            .build_data(&mut buf, 0, 1, 0, b"too big for that", 0, true)
+            .is_err());
         assert!(b.build_data(&mut buf, 0, 1, 0, b"ok!", 0, true).is_ok());
     }
 
@@ -304,7 +338,9 @@ mod tests {
     fn parse_rejects_corrupted_ack_payload() {
         let mut buf = [0u8; 256];
         let b = DatagramBuilder::new(5);
-        let len = b.build_ack(&mut buf, 64, &AckPayload::Positive { acked: 63 }).unwrap();
+        let len = b
+            .build_ack(&mut buf, 64, &AckPayload::Positive { acked: 63 })
+            .unwrap();
         // Corrupt the ack tag byte; header checksum doesn't cover payload
         // so the ack decoder must catch it.
         buf[HEADER_LEN] = 0x99;

@@ -5,11 +5,11 @@
 //! cleanly.  These tests drive that with random data.
 
 use blast_wire::ack::{AckPayload, Bitmap};
+use blast_wire::checksum;
 use blast_wire::frame::{EthernetFrame, ETHERNET_HEADER_LEN};
 use blast_wire::header::{BlastHeader, PacketKind, HEADER_LEN};
 use blast_wire::mac::{EtherType, MacAddr};
 use blast_wire::packet::{Datagram, DatagramBuilder};
-use blast_wire::checksum;
 use proptest::prelude::*;
 
 proptest! {

@@ -16,14 +16,17 @@ fn measure(strategy: RetxStrategy, p_n: f64, trials: u64) -> OnlineStats {
     let mut stats = OnlineStats::new();
     for t in 0..trials {
         let seed = 0xF1E1D ^ (t.wrapping_mul(0x9E3779B97F4A7C15));
-        let mut sim =
-            Simulator::new(SimConfig::vkernel().with_loss(LossModel::iid(p_n), seed));
+        let mut sim = Simulator::new(SimConfig::vkernel().with_loss(LossModel::iid(p_n), seed));
         let a = sim.add_host("a");
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default().with_strategy(strategy);
         cfg.max_retries = 1_000_000;
         cfg.retransmit_timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64);
-        sim.attach(a, b, Box::new(BlastSender::new(1, data.clone().into(), &cfg)));
+        sim.attach(
+            a,
+            b,
+            Box::new(BlastSender::new(1, data.clone().into(), &cfg)),
+        );
         sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
         let report = sim.run();
         if let Some(ms) = report.elapsed_ms(a, 1) {
@@ -34,8 +37,10 @@ fn measure(strategy: RetxStrategy, p_n: f64, trials: u64) -> OnlineStats {
 }
 
 fn main() {
-    let trials: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
     let floor = ErrorFree::new(CostModel::vkernel_sun()).blast(64);
     println!(
         "64 KB transfers, V-kernel constants, error-free floor {floor:.1} ms, \

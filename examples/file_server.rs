@@ -24,8 +24,14 @@ fn main() {
 
     // Install some files.
     fs.put("/etc/motd", b"V-System 6.0  --  welcome\n".to_vec());
-    fs.put("/bin/editor", (0..48 * 1024).map(|i| (i % 253) as u8).collect());
-    fs.put("/usr/data/trace.log", (0..64 * 1024).map(|i| (i * 7 % 251) as u8).collect());
+    fs.put(
+        "/bin/editor",
+        (0..48 * 1024).map(|i| (i % 253) as u8).collect(),
+    );
+    fs.put(
+        "/usr/data/trace.log",
+        (0..64 * 1024).map(|i| (i * 7 % 251) as u8).collect(),
+    );
 
     println!("client {} reading files from server {}\n", client, fs_pid);
     for name in ["/etc/motd", "/bin/editor", "/usr/data/trace.log"] {

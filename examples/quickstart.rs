@@ -17,7 +17,10 @@ use blastlan::udp::peer::{recv_data, send_data};
 
 fn main() {
     let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
-    println!("transferring {} KB with the blast protocol (go-back-n)\n", data.len() / 1024);
+    println!(
+        "transferring {} KB with the blast protocol (go-back-n)\n",
+        data.len() / 1024
+    );
 
     // 1. Virtual-time harness with 1 % injected loss.
     let cfg = ProtocolConfig::default();
@@ -39,14 +42,21 @@ fn main() {
     let mut sim = Simulator::new(SimConfig::standalone());
     let a = sim.add_host("sun-1");
     let b = sim.add_host("sun-2");
-    sim.attach(a, b, Box::new(BlastSender::new(1, data.clone().into(), &cfg)));
+    sim.attach(
+        a,
+        b,
+        Box::new(BlastSender::new(1, data.clone().into(), &cfg)),
+    );
     sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
     let report = sim.run();
     println!(
         "[simulator] 64 KB on the paper's hardware: {:.2} ms (paper's Table 1 value: 141 ms)",
         report.elapsed_ms(a, 1).unwrap()
     );
-    println!("            network utilization {:.1} %", report.utilization() * 100.0);
+    println!(
+        "            network utilization {:.1} %",
+        report.utilization() * 100.0
+    );
 
     // 3. Real UDP over loopback.
     let (ca, cb) = UdpChannel::pair().unwrap();

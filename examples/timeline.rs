@@ -13,8 +13,16 @@ use blastlan::sim::{render_timeline, SimConfig, Simulator};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let proto = args.get(1).map(String::as_str).unwrap_or("blast").to_string();
-    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4).clamp(1, 20);
+    let proto = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("blast")
+        .to_string();
+    let n: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+        .clamp(1, 20);
 
     let data: Vec<u8> = vec![0u8; n * 1024];
     let mut cfg = ProtocolConfig::default();
@@ -34,11 +42,19 @@ fn main() {
             sim.attach(b, a, Box::new(SawReceiver::new(1, data.len(), &cfg)));
         }
         "sw" => {
-            sim.attach(a, b, Box::new(WindowSender::new(1, data.clone().into(), &cfg)));
+            sim.attach(
+                a,
+                b,
+                Box::new(WindowSender::new(1, data.clone().into(), &cfg)),
+            );
             sim.attach(b, a, Box::new(SawReceiver::new(1, data.len(), &cfg)));
         }
         _ => {
-            sim.attach(a, b, Box::new(BlastSender::new(1, data.clone().into(), &cfg)));
+            sim.attach(
+                a,
+                b,
+                Box::new(BlastSender::new(1, data.clone().into(), &cfg)),
+            );
             sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
         }
     }
@@ -47,7 +63,10 @@ fn main() {
         "{proto} transfer of {n} KB on the paper's hardware: {:.2} ms\n",
         report.elapsed_ms(a, 1).unwrap()
     );
-    println!("{}", render_timeline(&report.trace, &["sender", "receiver"], 110));
+    println!(
+        "{}",
+        render_timeline(&report.trace, &["sender", "receiver"], 110)
+    );
     println!("digits: data packet copies/transmissions (sequence mod 10); 'a': acks.");
     println!("compare `saw` vs `blast`: the copy rows of the two hosts only overlap in blast.");
 }

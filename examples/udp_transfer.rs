@@ -25,7 +25,9 @@ fn main() {
         _ => RetxStrategy::GoBackN,
     };
 
-    let data: Vec<u8> = (0..kb * 1024).map(|i| (i.wrapping_mul(31) % 256) as u8).collect();
+    let data: Vec<u8> = (0..kb * 1024)
+        .map(|i| (i.wrapping_mul(31) % 256) as u8)
+        .collect();
     println!("transferring {kb} KB over UDP loopback, {loss_pct}% injected loss, {strategy}\n");
 
     let (ca, cb) = UdpChannel::pair().unwrap();
@@ -44,16 +46,20 @@ fn main() {
     let report = rx.join().unwrap();
 
     assert_eq!(report.data, data, "delivered bytes must be identical");
-    println!("sender:   {} data packets ({} retransmitted), {} rounds, {} timeouts",
+    println!(
+        "sender:   {} data packets ({} retransmitted), {} rounds, {} timeouts",
         tx.stats.data_packets_sent,
         tx.stats.data_packets_retransmitted,
         tx.stats.retransmission_rounds,
-        tx.stats.timeouts);
-    println!("receiver: {} packets placed, {} duplicates, {} acks ({} NACKs)",
+        tx.stats.timeouts
+    );
+    println!(
+        "receiver: {} packets placed, {} duplicates, {} acks ({} NACKs)",
         report.stats.data_packets_received,
         report.stats.duplicate_packets_received,
         report.stats.acks_sent,
-        report.stats.nacks_sent);
+        report.stats.nacks_sent
+    );
     println!(
         "elapsed {:.1} ms, goodput {:.0} Mbit/s — data verified byte-identical",
         tx.elapsed.as_secs_f64() * 1e3,

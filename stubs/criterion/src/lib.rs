@@ -1,0 +1,225 @@
+//! Offline in-tree shim for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use: [`criterion_group!`]/[`criterion_main!`], [`Criterion`] with
+//! benchmark groups, [`Throughput`], and `Bencher::{iter, iter_custom}`.
+//! Measurement is a short warm-up followed by one timed pass sized off
+//! the warm-up — mean time and optional throughput, no statistics, no
+//! outlier analysis, no reports.  See `stubs/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget one benchmark aims to spend measuring.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let sample_size = self.sample_size;
+        let time = self.measurement_time;
+        run_one(&name.into(), sample_size, time, None, f);
+    }
+}
+
+/// How to express a benchmark's work per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named set of benchmarks sharing throughput/measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done by one iteration of every benchmark in
+    /// the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the group's measurement time budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        run_one(&full, self.criterion.sample_size, time, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to
+    /// flush in the shim).
+    pub fn finish(self) {}
+}
+
+/// Times the body of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the body time itself: `body` receives the iteration count
+    /// and returns the total measured duration.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut body: F) {
+        self.elapsed = body(self.iters);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: one iteration, timed, to size the measured pass.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+    // Measured pass: aim for the time budget, capped by sample_size.
+    let budget_iters = (measurement_time.as_nanos() / per_iter.as_nanos()).max(1);
+    let iters = u64::try_from(budget_iters)
+        .unwrap_or(u64::MAX)
+        .min(sample_size as u64);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<50} {:>12} /iter  ({iters} iters){rate}",
+        fmt_time(mean)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!` (both the plain and the
+/// `name =`/`config =`/`targets =` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! `option::of` — optional-value strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Generates `None` about a quarter of the time and `Some` of the
+/// inner strategy otherwise, mirroring `proptest::option::of`'s
+/// default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The strategy returned by [`of`].
+#[derive(Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The deterministic generator behind every test case.
+//!
+//! Reuses the in-tree `rand` stub's xoshiro256++ [`SmallRng`] so the
+//! workspace has exactly one PRNG implementation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator handed to strategies by the runner.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Returns a value uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below: zero bound");
+        self.0.next_u64() % bound
+    }
+}
+
+/// Hashes a test name and case index into a per-case seed (FNV-1a over
+/// the name, xored with golden-ratio-spread case bits), so every run
+/// of the suite explores the same deterministic sequence.  Final
+/// avalanche mixing happens in `SmallRng::seed_from_u64`.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

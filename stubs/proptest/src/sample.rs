@@ -1,0 +1,26 @@
+//! `sample::Index` — a position scaled into any collection.
+
+use crate::arbitrary::Arbitrary;
+use crate::rng::TestRng;
+
+/// An arbitrary position scalable to any collection length, mirroring
+/// `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Scales this index into `0..size`.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index: zero-length collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,67 @@
+//! The case-running loop and its configuration.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{case_seed, TestRng};
+
+/// How many cases to run, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The number of generated cases per test.
+    pub cases: u32,
+}
+
+/// The default case count when neither `with_cases` nor the
+/// `PROPTEST_CASES` environment variable overrides it.  (The real
+/// crate defaults to 256; the shim trades depth for suite latency.)
+pub const DEFAULT_CASES: u32 = 64;
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        Config { cases }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Drives one property test through its cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Builds a runner for `config`.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `f` once per case with a deterministic per-case generator.
+    ///
+    /// On panic, reports the test name, case number, and seed (enough
+    /// to reproduce: seeds depend only on `name` and the case index),
+    /// then propagates the panic so the harness records a failure.
+    pub fn run_named<F: FnMut(&mut TestRng)>(&mut self, name: &str, mut f: F) {
+        for case in 0..self.config.cases {
+            let seed = case_seed(name, case);
+            let mut rng = TestRng::from_seed(seed);
+            let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest shim: `{name}` failed at case {case}/{} (seed {seed:#018x})",
+                    self.config.cases,
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -18,7 +18,9 @@ use blastlan::vkernel::fileserver::{client_read, FileServer};
 use blastlan::vkernel::VCluster;
 
 fn payload(bytes: usize) -> Vec<u8> {
-    (0..bytes).map(|i| (i.wrapping_mul(131) % 256) as u8).collect()
+    (0..bytes)
+        .map(|i| (i.wrapping_mul(131) % 256) as u8)
+        .collect()
 }
 
 #[test]
@@ -34,17 +36,21 @@ fn same_engine_three_substrates() {
             BlastReceiver::new(1, data.len(), &cfg),
             LossPlan::random(strategy as u64 + 1, 1, 20),
         );
-        h.run().unwrap_or_else(|e| panic!("{strategy} harness: {e}"));
+        h.run()
+            .unwrap_or_else(|e| panic!("{strategy} harness: {e}"));
         assert_eq!(h.received_data(), &data[..], "{strategy} harness");
 
         // 2. Simulator, 2 % loss.
-        let mut sim =
-            Simulator::new(SimConfig::standalone().with_loss(LossModel::iid(0.02), 3));
+        let mut sim = Simulator::new(SimConfig::standalone().with_loss(LossModel::iid(0.02), 3));
         let a = sim.add_host("a");
         let b = sim.add_host("b");
         let mut scfg = cfg.clone();
         scfg.retransmit_timeout = Duration::from_millis(200);
-        sim.attach(a, b, Box::new(BlastSender::new(1, data.clone().into(), &scfg)));
+        sim.attach(
+            a,
+            b,
+            Box::new(BlastSender::new(1, data.clone().into(), &scfg)),
+        );
         sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &scfg)));
         let report = sim.run();
         assert!(report.succeeded(a, 1), "{strategy} sim");
@@ -74,10 +80,17 @@ fn simulator_hosts_concurrent_transfers_with_demux() {
         let b = sim.add_host(&format!("rx{i}"));
         let bytes = (8 + 8 * i as usize) * 1024;
         let data = payload(bytes);
-        let cfg = ProtocolConfig::default()
-            .with_strategy(RetxStrategy::ALL[i as usize % 4]);
-        sim.attach(a, b, Box::new(BlastSender::new(100 + i, data.clone().into(), &cfg)));
-        sim.attach(b, a, Box::new(BlastReceiver::new(100 + i, data.len(), &cfg)));
+        let cfg = ProtocolConfig::default().with_strategy(RetxStrategy::ALL[i as usize % 4]);
+        sim.attach(
+            a,
+            b,
+            Box::new(BlastSender::new(100 + i, data.clone().into(), &cfg)),
+        );
+        sim.attach(
+            b,
+            a,
+            Box::new(BlastReceiver::new(100 + i, data.len(), &cfg)),
+        );
         expected.push((a, 100 + i));
     }
     let report = sim.run();
@@ -100,7 +113,11 @@ fn multiblast_over_udp_and_sim_agree_on_data() {
     let b = sim.add_host("b");
     let mut scfg = cfg.clone();
     scfg.retransmit_timeout = Duration::from_millis(200);
-    sim.attach(a, b, Box::new(MultiBlastSender::new(9, data.clone().into(), &scfg)));
+    sim.attach(
+        a,
+        b,
+        Box::new(MultiBlastSender::new(9, data.clone().into(), &scfg)),
+    );
     sim.attach(b, a, Box::new(BlastReceiver::new(9, data.len(), &scfg)));
     let report = sim.run();
     assert!(report.succeeded(a, 9));
@@ -128,7 +145,10 @@ fn vkernel_file_read_on_lossy_network() {
     let (seg, outcome) = client_read(&mut cluster, &mut fs, client, "/dump").unwrap();
     assert_eq!(cluster.segment(client, seg).unwrap(), &contents[..]);
     assert!(outcome.transfer.remote);
-    assert!(outcome.transfer.elapsed_ms > 300.0, "128 KB ≈ 2 × 173 ms of blasting");
+    assert!(
+        outcome.transfer.elapsed_ms > 300.0,
+        "128 KB ≈ 2 × 173 ms of blasting"
+    );
     assert_eq!(fs.reads_served, 1);
 }
 
@@ -136,20 +156,21 @@ fn vkernel_file_read_on_lossy_network() {
 fn sim_elapsed_never_beats_the_error_free_floor() {
     // Loss can only cost time: for any seed, elapsed ≥ the closed-form
     // error-free time.
-    let floor = blastlan::analytic::ErrorFree::new(
-        blastlan::analytic::CostModel::standalone_sun(),
-    )
-    .blast(32);
+    let floor = blastlan::analytic::ErrorFree::new(blastlan::analytic::CostModel::standalone_sun())
+        .blast(32);
     let data = payload(32 * 1024);
     for seed in 0..20 {
-        let mut sim =
-            Simulator::new(SimConfig::standalone().with_loss(LossModel::iid(0.05), seed));
+        let mut sim = Simulator::new(SimConfig::standalone().with_loss(LossModel::iid(0.05), seed));
         let a = sim.add_host("a");
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default();
         cfg.max_retries = 100_000;
         cfg.retransmit_timeout = Duration::from_millis(100);
-        sim.attach(a, b, Box::new(BlastSender::new(1, data.clone().into(), &cfg)));
+        sim.attach(
+            a,
+            b,
+            Box::new(BlastSender::new(1, data.clone().into(), &cfg)),
+        );
         sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
         let report = sim.run();
         let elapsed = report.elapsed_ms(a, 1).unwrap();

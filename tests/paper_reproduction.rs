@@ -13,7 +13,10 @@ use blastlan::core::window::WindowSender;
 use blastlan::sim::{SimConfig, Simulator};
 
 fn data(bytes: usize) -> std::sync::Arc<[u8]> {
-    (0..bytes).map(|i| (i % 247) as u8).collect::<Vec<u8>>().into()
+    (0..bytes)
+        .map(|i| (i % 247) as u8)
+        .collect::<Vec<u8>>()
+        .into()
 }
 
 fn sim_elapsed(
@@ -77,7 +80,10 @@ fn table_1_stop_and_wait_doubles_blast() {
     assert!((sw - 151.16).abs() < 0.25);
     // The paper's phrasing.
     let ratio = saw / blast;
-    assert!(ratio > 1.7 && ratio < 2.0, "\"about twice as much time\": {ratio}");
+    assert!(
+        ratio > 1.7 && ratio < 2.0,
+        "\"about twice as much time\": {ratio}"
+    );
     assert!(sw > blast && sw / blast < 1.1, "\"slightly inferior\"");
 }
 
@@ -138,7 +144,10 @@ fn figure_5_flat_region_and_dominance() {
     let t0_1 = x.error_free().saw(1);
     for p_n in [1e-6, 1e-5, 1e-4] {
         let blast = x.blast_full_retx(64, p_n, t0_d);
-        assert!((blast - t0_d) / t0_d < 0.05, "p_n={p_n}: still in the flat region");
+        assert!(
+            (blast - t0_d) / t0_d < 0.05,
+            "p_n={p_n}: still in the flat region"
+        );
         let saw = x.saw(64, p_n, 10.0 * t0_1);
         assert!(blast < 0.5 * saw, "p_n={p_n}: blast dominates");
     }
@@ -157,15 +166,24 @@ fn figure_6_sigma_ordering() {
     let sig2 = s.full_nack(64, p_n, t0_d);
     let mc3 = simulate(
         Strategy::GoBackN,
-        &McConfig::paper_default(p_n).with_trials(60_000).with_t_r(t0_d),
+        &McConfig::paper_default(p_n)
+            .with_trials(60_000)
+            .with_t_r(t0_d),
     );
     let mc4 = simulate(
         Strategy::Selective,
-        &McConfig::paper_default(p_n).with_trials(60_000).with_t_r(t0_d),
+        &McConfig::paper_default(p_n)
+            .with_trials(60_000)
+            .with_t_r(t0_d),
     );
     assert!(sig1 > sig2, "{sig1} vs {sig2}");
     assert!(sig2 > mc3.stddev, "{sig2} vs {}", mc3.stddev);
-    assert!(mc3.stddev >= mc4.stddev * 0.9, "{} vs {}", mc3.stddev, mc4.stddev);
+    assert!(
+        mc3.stddev >= mc4.stddev * 0.9,
+        "{} vs {}",
+        mc3.stddev,
+        mc4.stddev
+    );
     // Strategy 1 scales with Tr; strategy 2 barely moves.
     let sig1_big = s.full_no_nack(64, p_n, 10.0 * t0_d);
     let sig2_big = s.full_nack(64, p_n, 10.0 * t0_d);
@@ -193,12 +211,15 @@ fn strategy_retransmission_volumes() {
     let bytes = 64 * 1024;
     let t0_d = ErrorFree::new(CostModel::vkernel_sun()).blast(64);
     let mut volumes = Vec::new();
-    for strategy in [RetxStrategy::FullNack, RetxStrategy::GoBackN, RetxStrategy::Selective] {
+    for strategy in [
+        RetxStrategy::FullNack,
+        RetxStrategy::GoBackN,
+        RetxStrategy::Selective,
+    ] {
         let mut total_retx = 0u64;
         for seed in 0..30u64 {
-            let mut sim = Simulator::new(
-                SimConfig::vkernel().with_loss(LossModel::iid(5e-3), 7_000 + seed),
-            );
+            let mut sim =
+                Simulator::new(SimConfig::vkernel().with_loss(LossModel::iid(5e-3), 7_000 + seed));
             let a = sim.add_host("a");
             let b = sim.add_host("b");
             let mut cfg = ProtocolConfig::default().with_strategy(strategy);
@@ -207,8 +228,10 @@ fn strategy_retransmission_volumes() {
             sim.attach(a, b, Box::new(BlastSender::new(1, data(bytes), &cfg)));
             sim.attach(b, a, Box::new(BlastReceiver::new(1, bytes, &cfg)));
             let report = sim.run();
-            total_retx +=
-                report.completions[&(a, 1)].info.stats.data_packets_retransmitted;
+            total_retx += report.completions[&(a, 1)]
+                .info
+                .stats
+                .data_packets_retransmitted;
         }
         volumes.push((strategy, total_retx));
     }
