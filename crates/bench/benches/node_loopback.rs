@@ -1,0 +1,82 @@
+//! Criterion bench for the node: aggregate goodput as the number of
+//! concurrent sessions grows (1, 4, 16) on loopback.
+//!
+//! Each measurement pushes `BYTES_PER_SESSION` from N client threads
+//! simultaneously through one node and times the whole fan-in, so the
+//! reported throughput is the *aggregate* across sessions — the figure
+//! a transfer node is judged on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use blast_core::ProtocolConfig;
+use blast_node::client;
+use blast_node::server::{NodeConfig, NodeServer};
+use blast_udp::channel::UdpChannel;
+
+const BYTES_PER_SESSION: usize = 256 * 1024;
+
+fn client_cfg() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::default();
+    cfg.retransmit_timeout = Duration::from_millis(50);
+    cfg.max_retries = 100_000;
+    // Larger packets than the paper's 1 KB: loopback has no Ethernet
+    // MTU, but stay within the validated bound.
+    cfg.packet_payload = 1400;
+    cfg
+}
+
+fn bench_node(c: &mut Criterion) {
+    let data: Vec<u8> = (0..BYTES_PER_SESSION).map(|i| i as u8).collect();
+
+    let mut group = c.benchmark_group("node_loopback");
+    group.measurement_time(Duration::from_secs(8));
+
+    for sessions in [1usize, 4, 16] {
+        group.throughput(Throughput::Bytes((BYTES_PER_SESSION * sessions) as u64));
+        group.bench_function(format!("push_{sessions}x256k"), |b| {
+            b.iter_custom(|iters| {
+                let mut node_cfg = NodeConfig::default();
+                node_cfg.protocol.retransmit_timeout = Duration::from_millis(50);
+                node_cfg.protocol.max_retries = 100_000;
+                let node = NodeServer::bind(node_cfg).unwrap().spawn().unwrap();
+                let addr = node.addr();
+                let ids = Arc::new(AtomicU64::new(1));
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let t0 = std::time::Instant::now();
+                    let handles: Vec<_> = (0..sessions)
+                        .map(|s| {
+                            let data = data.clone();
+                            let ids = Arc::clone(&ids);
+                            std::thread::spawn(move || {
+                                let id = ids.fetch_add(1, Ordering::Relaxed) as u32;
+                                let cfg = client_cfg();
+                                let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr)
+                                    .unwrap();
+                                client::push_blob(ch, id, &format!("s{s}"), &data, &cfg).unwrap();
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    total += t0.elapsed();
+                }
+                node.shutdown().unwrap();
+                total
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_node
+}
+criterion_main!(benches);

@@ -430,6 +430,10 @@ impl Engine for BlastReceiver {
     fn transfer_id(&self) -> u32 {
         self.transfer_id
     }
+
+    fn received_data(&self) -> Option<&[u8]> {
+        Some(self.rx.data())
+    }
 }
 
 /// Compute the resend set a bitmap NACK implies — exposed for tests and

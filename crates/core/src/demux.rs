@@ -16,12 +16,28 @@ use crate::api::ActionSink;
 use crate::engine::Engine;
 
 /// Routes datagrams to engines by transfer id.
+///
+/// ## Lifecycle
+///
+/// Engines enter via [`register`](Demux::register) (started in place) or
+/// [`insert`](Demux::insert) (already started).  Finished engines stay
+/// registered — a finished receiver must keep re-acknowledging duplicate
+/// packets so a lost final ack cannot strand its peer — until the owner
+/// removes them with [`remove`](Demux::remove) or sweeps them with
+/// [`reap_finished`](Demux::reap_finished), typically after a linger
+/// period.  Without reaping, a long-lived server accumulates one dead
+/// engine per transfer forever.
 pub struct Demux {
     engines: HashMap<u32, Box<dyn Engine>>,
     /// Datagrams dropped because no engine owned their transfer id.
     pub unroutable: u64,
     /// Buffers dropped because they failed wire validation.
     pub malformed: u64,
+    /// Datagrams successfully routed to an engine.
+    pub dispatched: u64,
+    /// Engines removed via [`reap_finished`](Demux::reap_finished) or
+    /// [`remove`](Demux::remove) over the table's lifetime.
+    pub reaped: u64,
 }
 
 impl Default for Demux {
@@ -37,6 +53,8 @@ impl Demux {
             engines: HashMap::new(),
             unroutable: 0,
             malformed: 0,
+            dispatched: 0,
+            reaped: 0,
         }
     }
 
@@ -67,9 +85,40 @@ impl Demux {
         self.engines.get(&transfer_id).map(|b| b.as_ref())
     }
 
+    /// Mutably borrow an engine by transfer id, for drivers that parse
+    /// datagrams themselves (e.g. to segregate handshake traffic) and
+    /// only need the routing table.
+    pub fn get_mut(&mut self, transfer_id: u32) -> Option<&mut dyn Engine> {
+        match self.engines.get_mut(&transfer_id) {
+            Some(b) => Some(b.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Transfer ids currently registered, in no particular order.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.engines.keys().copied()
+    }
+
     /// Remove an engine (e.g. once finished and drained).
     pub fn remove(&mut self, transfer_id: u32) -> Option<Box<dyn Engine>> {
-        self.engines.remove(&transfer_id)
+        let engine = self.engines.remove(&transfer_id);
+        if engine.is_some() {
+            self.reaped += 1;
+        }
+        engine
+    }
+
+    /// Remove and return every finished engine.  Call periodically (or
+    /// after a linger delay) so completed transfers do not accumulate.
+    pub fn reap_finished(&mut self) -> Vec<Box<dyn Engine>> {
+        let ids: Vec<u32> = self
+            .engines
+            .iter()
+            .filter(|(_, e)| e.is_finished())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter().filter_map(|id| self.remove(id)).collect()
     }
 
     /// Validate a raw buffer and route it.  Malformed packets and
@@ -86,6 +135,7 @@ impl Demux {
         match self.engines.get_mut(&dgram.transfer_id) {
             Some(engine) => {
                 engine.on_datagram(&dgram, sink);
+                self.dispatched += 1;
                 Ok(true)
             }
             None => {
@@ -185,5 +235,66 @@ mod tests {
         assert_eq!(sink.iter().filter(|a| a.as_transmit().is_some()).count(), 1);
         assert!(demux.remove(3).is_some());
         assert!(demux.is_empty());
+        assert_eq!(demux.reaped, 1);
+        assert!(demux.remove(3).is_none());
+        assert_eq!(demux.reaped, 1, "removing a missing id counts nothing");
+    }
+
+    #[test]
+    fn reap_finished_sweeps_only_completed_engines() {
+        let cfg = ProtocolConfig::default();
+        let mut demux = Demux::new();
+        let mut sink: Vec<Action> = Vec::new();
+        demux.register(Box::new(SawReceiver::new(7, 1024, &cfg)), &mut sink);
+        demux.register(Box::new(SawReceiver::new(9, 4096, &cfg)), &mut sink);
+        assert!(demux.reap_finished().is_empty(), "nothing finished yet");
+
+        // Complete transfer 7 with its single packet.
+        let data: std::sync::Arc<[u8]> = vec![1u8; 1024].into();
+        let mut s = SawSender::new(7, data, &cfg);
+        let mut out: Vec<Action> = Vec::new();
+        s.start(&mut out);
+        let pkt = out[0].as_transmit().unwrap().to_vec();
+        demux.dispatch(&pkt, &mut sink).unwrap();
+        assert_eq!(demux.dispatched, 1);
+
+        let reaped = demux.reap_finished();
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].transfer_id(), 7);
+        assert!(reaped[0].is_finished());
+        assert_eq!(demux.len(), 1, "unfinished engine 9 survives the sweep");
+        assert_eq!(demux.reaped, 1);
+        assert!(demux.get(9).is_some());
+
+        // A reaped id becomes unroutable again.
+        demux.dispatch(&pkt, &mut sink).unwrap();
+        assert_eq!(demux.unroutable, 1);
+        assert_eq!(demux.dispatched, 1);
+    }
+
+    #[test]
+    fn received_data_is_reachable_through_the_table() {
+        let cfg = ProtocolConfig::default();
+        let mut demux = Demux::new();
+        let mut sink: Vec<Action> = Vec::new();
+        demux.register(Box::new(SawReceiver::new(4, 512, &cfg)), &mut sink);
+        let payload: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
+        let data: std::sync::Arc<[u8]> = payload.clone().into();
+        let mut s = SawSender::new(4, data, &cfg);
+        let mut out: Vec<Action> = Vec::new();
+        s.start(&mut out);
+        let pkt = out[0].as_transmit().unwrap().to_vec();
+        demux.dispatch(&pkt, &mut sink).unwrap();
+
+        let engine = demux.get_mut(4).unwrap();
+        assert!(engine.is_finished());
+        assert_eq!(engine.received_data(), Some(&payload[..]));
+
+        // Senders expose no buffer.
+        let data2: std::sync::Arc<[u8]> = vec![0u8; 64].into();
+        let sender = SawSender::new(5, data2, &cfg);
+        demux.insert(Box::new(sender));
+        assert_eq!(demux.get(5).unwrap().received_data(), None);
+        assert_eq!(demux.ids().count(), 2);
     }
 }

@@ -26,7 +26,11 @@ use crate::api::{ActionSink, EngineStats, TimerToken};
 ///   receiver still re-acknowledges duplicate packets so that a lost
 ///   final ack does not strand the sender (the classic tail problem of
 ///   §3.2.2: the ack to the last packet can itself be lost).
-pub trait Engine {
+///
+/// Engines are plain state machines (no I/O handles), so the trait
+/// requires [`Send`]: drivers that own engines — like the `blast-node`
+/// server with its whole session table — can move onto worker threads.
+pub trait Engine: Send {
     /// Kick the engine off.
     fn start(&mut self, sink: &mut dyn ActionSink);
 
@@ -44,6 +48,17 @@ pub trait Engine {
 
     /// The transfer this engine serves.
     fn transfer_id(&self) -> u32;
+
+    /// Borrow the receive buffer, for engines that own one.
+    ///
+    /// Lets a driver extract a completed transfer's payload through the
+    /// trait object — e.g. a server storing a pushed blob while the
+    /// engine stays registered to re-acknowledge duplicate packets.
+    /// Holes are zero-filled until [`is_finished`](Engine::is_finished).
+    /// Senders return `None` (the default).
+    fn received_data(&self) -> Option<&[u8]> {
+        None
+    }
 }
 
 /// Shared bookkeeping for "the transfer is over" used by every engine:

@@ -1,0 +1,121 @@
+//! Client-side one-call operations against a node.
+//!
+//! Mirrors `blast_udp::peer` but speaks the node's named-blob dialect:
+//! [`push_blob`] stores bytes under a name, [`pull_blob`] fetches a
+//! named blob whose size the client learns from the handshake echo.
+//! Both are generic over [`Channel`] so tests can interpose
+//! `FaultyChannel` and exercise the retransmission machinery.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::config::ProtocolConfig;
+use blast_udp::channel::{Channel, UdpChannel};
+use blast_udp::driver::Driver;
+use blast_udp::fcs::FcsChannel;
+use blast_udp::handshake::{self, Request};
+use blast_udp::peer::TransferReport;
+
+/// Handshake pacing: re-request at the protocol's retransmission
+/// interval, capped so a long data-phase timeout does not slow the
+/// handshake down.
+fn retry_interval(cfg: &ProtocolConfig) -> Duration {
+    cfg.retransmit_timeout.min(Duration::from_millis(200))
+}
+
+/// Overall handshake patience.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Bind an ephemeral local port connected to `node` — the usual way to
+/// get a client [`Channel`].  The local socket matches the node's
+/// address family (a loopback-bound socket could not reach a LAN
+/// address, nor a v4 socket a v6 node).
+pub fn connect(node: SocketAddr) -> io::Result<UdpChannel> {
+    let local: SocketAddr = if node.is_ipv4() {
+        "0.0.0.0:0".parse().expect("literal addr")
+    } else {
+        "[::]:0".parse().expect("literal addr")
+    };
+    UdpChannel::connect(local, node)
+}
+
+/// Store `data` on the node as the named blob `name`, blocking until
+/// the node acknowledges the whole transfer.
+pub fn push_blob<C: Channel>(
+    channel: C,
+    transfer_id: u32,
+    name: &str,
+    data: &[u8],
+    cfg: &ProtocolConfig,
+) -> io::Result<TransferReport> {
+    let mut channel = FcsChannel::new(channel);
+    let request = Request::push(data.len(), cfg, false).with_name(name);
+    let reply = handshake::initiate(
+        &mut channel,
+        transfer_id,
+        &request,
+        retry_interval(cfg),
+        HANDSHAKE_DEADLINE,
+    )?;
+
+    let mut engine = BlastSender::new(transfer_id, data.to_vec().into(), cfg);
+    let mut driver = Driver::new(channel);
+    let out = driver.run(&mut engine)?;
+    let fcs_drops = driver.into_channel().fcs_drops;
+    match out.completion.result {
+        Ok(_) => Ok(TransferReport {
+            data: Vec::new(),
+            elapsed: out.elapsed,
+            stats: out.completion.stats,
+            datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
+            datagrams_received: out.datagrams_received,
+            malformed: out.malformed + fcs_drops,
+        }),
+        Err(e) => Err(io::Error::other(format!("push failed: {e}"))),
+    }
+}
+
+/// Fetch the named blob `name` from the node.  The blob's size comes
+/// back in the handshake echo; the receive buffer is pre-allocated
+/// from it before the data phase (the paper's premise).
+///
+/// Errors with `NotFound` if the node does not have the blob.
+pub fn pull_blob<C: Channel>(
+    channel: C,
+    transfer_id: u32,
+    name: &str,
+    cfg: &ProtocolConfig,
+) -> io::Result<TransferReport> {
+    let mut channel = FcsChannel::new(channel);
+    let request = Request::pull(name, cfg);
+    let reply = handshake::initiate(
+        &mut channel,
+        transfer_id,
+        &request,
+        retry_interval(cfg),
+        HANDSHAKE_DEADLINE,
+    )?;
+
+    let mut engine = BlastReceiver::new(transfer_id, reply.echoed.len, cfg);
+    // The linger window is a quiet window (traffic restarts it): make
+    // it comfortably longer than the node's tail-retransmission
+    // interval so the driver stays for as many re-ack rounds as the
+    // node needs, yet a clean exit costs only ~100 ms.
+    let linger = (cfg.retransmit_timeout * 4).max(Duration::from_millis(100));
+    let mut driver = Driver::new(channel).with_linger_for(linger);
+    let out = driver.run(&mut engine)?;
+    let fcs_drops = driver.into_channel().fcs_drops;
+    match out.completion.result {
+        Ok(_) => Ok(TransferReport {
+            data: engine.into_data(),
+            elapsed: out.elapsed,
+            stats: out.completion.stats,
+            datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
+            datagrams_received: out.datagrams_received,
+            malformed: out.malformed + fcs_drops,
+        }),
+        Err(e) => Err(io::Error::other(format!("pull failed: {e}"))),
+    }
+}

@@ -1,0 +1,52 @@
+//! # blast-node — a concurrent blast transfer server over UDP
+//!
+//! The paper's engines move one transfer at a time; this crate serves
+//! many at once through one socket, which is how modern bulk-transfer
+//! services scale: a single node multiplexing many simultaneous
+//! sessions, judged on aggregate concurrent throughput.
+//!
+//! * [`server`] — the node: a single-threaded event loop over a
+//!   non-blocking `std::net::UdpSocket`, a timer wheel keyed by
+//!   `(session, TimerToken)`, a session table fed by the `blast-udp`
+//!   pre-allocation handshake, and a `blast_core::Demux` routing
+//!   datagrams to per-session sans-I/O engines (any of the four
+//!   retransmission strategies, in either direction);
+//! * [`store`] — the in-memory named-blob catalogue the node serves —
+//!   the `blast-vkernel` file-server semantics at the page level;
+//! * [`client`] — one-call `push_blob` / `pull_blob` against a node;
+//! * [`metrics`] — per-session reports and aggregate `blast-stats`
+//!   accumulators.
+//!
+//! ## Example (server thread + two clients)
+//!
+//! ```
+//! use std::time::Duration;
+//! use blast_core::ProtocolConfig;
+//! use blast_node::server::{NodeConfig, NodeServer};
+//! use blast_node::client;
+//!
+//! let node = NodeServer::bind(NodeConfig::default()).unwrap().spawn().unwrap();
+//! let mut cfg = ProtocolConfig::default();
+//! cfg.retransmit_timeout = Duration::from_millis(20);
+//!
+//! let data: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
+//! client::push_blob(client::connect(node.addr()).unwrap(), 1, "blob", &data, &cfg).unwrap();
+//! let pulled = client::pull_blob(client::connect(node.addr()).unwrap(), 2, "blob", &cfg).unwrap();
+//! assert_eq!(pulled.data, data);
+//!
+//! let server = node.shutdown().unwrap();
+//! assert_eq!(server.metrics().sessions_completed, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod store;
+
+pub use client::{pull_blob, push_blob};
+pub use metrics::{NodeMetrics, SessionReport};
+pub use server::{NodeConfig, NodeHandle, NodeServer};
+pub use store::{shared_store, BlobStore, SharedStore};

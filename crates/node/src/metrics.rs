@@ -1,0 +1,224 @@
+//! Per-session and aggregate node metrics.
+//!
+//! A node is judged on aggregate concurrent throughput, so the loop
+//! records, per completed session, the engine counters the paper's
+//! experiments track (packets, retransmissions, rounds) plus wall-clock
+//! elapsed time and goodput — and folds the latter two into
+//! [`OnlineStats`] accumulators so a long-lived node summarises
+//! millions of sessions in O(1) memory.
+
+use std::time::Duration;
+
+use blast_core::api::EngineStats;
+use blast_stats::OnlineStats;
+use blast_udp::handshake::Direction;
+
+/// One completed (or failed) session, as recorded by the event loop.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The session's transfer id.
+    pub transfer_id: u32,
+    /// Push (client stored a blob) or pull (client fetched one).
+    pub direction: Direction,
+    /// Blob name (may be empty for anonymous pushes).
+    pub name: String,
+    /// Payload bytes moved.
+    pub bytes: usize,
+    /// Handshake-echo to completion, as seen by the node.
+    pub elapsed: Duration,
+    /// The session engine's counters.
+    pub stats: EngineStats,
+    /// Whether the transfer completed successfully.
+    pub ok: bool,
+}
+
+impl SessionReport {
+    /// Goodput in megabits per second.
+    pub fn goodput_mbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.bytes * 8) as f64 / secs / 1e6
+    }
+}
+
+/// Aggregate counters and distributions for one node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Sessions opened (handshake accepted).
+    pub sessions_accepted: u64,
+    /// Sessions that completed successfully.
+    pub sessions_completed: u64,
+    /// Sessions that ended in failure (engine error or timeout).
+    pub sessions_failed: u64,
+    /// Push sessions among those accepted.
+    pub pushes: u64,
+    /// Pull sessions among those accepted.
+    pub pulls: u64,
+    /// Pull requests for names the store does not have.
+    pub pull_misses: u64,
+    /// Requests rejected because the transfer id was already in use by
+    /// a different peer.
+    pub collisions: u64,
+    /// Requests rejected because the session table was full.
+    pub rejected_busy: u64,
+    /// Push requests rejected for announcing more than the node's
+    /// maximum transfer size.
+    pub rejected_oversize: u64,
+    /// Outgoing datagrams dropped at the socket (send buffer full or
+    /// peer unreachable) — loss the protocols recover from.
+    pub send_drops: u64,
+    /// Payload bytes received in completed pushes.
+    pub bytes_received: u64,
+    /// Payload bytes sent in completed pulls.
+    pub bytes_sent: u64,
+    /// Datagrams read off the socket.
+    pub datagrams_received: u64,
+    /// Datagrams written to the socket.
+    pub datagrams_sent: u64,
+    /// Frames dropped for a bad FCS.
+    pub fcs_drops: u64,
+    /// Datagrams dropped by wire validation.
+    pub malformed: u64,
+    /// Datagrams for transfer ids with no session.
+    pub unroutable: u64,
+    /// Session elapsed-time distribution, in seconds.
+    pub session_secs: OnlineStats,
+    /// Session goodput distribution, in Mbit/s.
+    pub session_goodput_mbps: OnlineStats,
+    /// The most recent finished-session reports, oldest first, capped
+    /// at [`MAX_REPORTS`] so a long-lived node stays O(1) in memory —
+    /// only the [`OnlineStats`] accumulators see every session.
+    pub reports: std::collections::VecDeque<SessionReport>,
+}
+
+/// How many per-session reports [`NodeMetrics`] retains.
+pub const MAX_REPORTS: usize = 1024;
+
+impl NodeMetrics {
+    /// Record a finished session.
+    pub fn record(&mut self, report: SessionReport) {
+        if report.ok {
+            self.sessions_completed += 1;
+            match report.direction {
+                Direction::Push => self.bytes_received += report.bytes as u64,
+                Direction::Pull => self.bytes_sent += report.bytes as u64,
+            }
+            self.session_secs.push(report.elapsed.as_secs_f64());
+            self.session_goodput_mbps.push(report.goodput_mbps());
+        } else {
+            self.sessions_failed += 1;
+        }
+        if self.reports.len() == MAX_REPORTS {
+            self.reports.pop_front();
+        }
+        self.reports.push_back(report);
+    }
+
+    /// Sessions currently unaccounted for (accepted but not yet
+    /// completed or failed).
+    pub fn sessions_in_flight(&self) -> u64 {
+        self.sessions_accepted - self.sessions_completed - self.sessions_failed
+    }
+
+    /// A multi-line, human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "sessions: {} accepted ({} push / {} pull), {} completed, {} failed, {} in flight\n\
+             rejects: {} pull misses, {} id collisions, {} at capacity, {} oversize\n\
+             payload: {} B in, {} B out; datagrams: {} in / {} out ({} bad FCS, {} malformed, {} unroutable, {} send drops)\n\
+             session time [s]: {}\n\
+             goodput [Mbit/s]: {}",
+            self.sessions_accepted,
+            self.pushes,
+            self.pulls,
+            self.sessions_completed,
+            self.sessions_failed,
+            self.sessions_in_flight(),
+            self.pull_misses,
+            self.collisions,
+            self.rejected_busy,
+            self.rejected_oversize,
+            self.bytes_received,
+            self.bytes_sent,
+            self.datagrams_received,
+            self.datagrams_sent,
+            self.fcs_drops,
+            self.malformed,
+            self.unroutable,
+            self.send_drops,
+            self.session_secs,
+            self.session_goodput_mbps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ok: bool, direction: Direction, bytes: usize, ms: u64) -> SessionReport {
+        SessionReport {
+            transfer_id: 1,
+            direction,
+            name: "x".into(),
+            bytes,
+            elapsed: Duration::from_millis(ms),
+            stats: EngineStats::default(),
+            ok,
+        }
+    }
+
+    #[test]
+    fn record_routes_bytes_by_direction() {
+        let mut m = NodeMetrics::default();
+        m.sessions_accepted = 3;
+        m.record(report(true, Direction::Push, 1000, 10));
+        m.record(report(true, Direction::Pull, 500, 20));
+        m.record(report(false, Direction::Push, 0, 1));
+        assert_eq!(m.sessions_completed, 2);
+        assert_eq!(m.sessions_failed, 1);
+        assert_eq!(m.bytes_received, 1000);
+        assert_eq!(m.bytes_sent, 500);
+        assert_eq!(m.sessions_in_flight(), 0);
+        assert_eq!(m.session_secs.count(), 2, "failures do not pollute stats");
+        assert_eq!(m.reports.len(), 3);
+    }
+
+    #[test]
+    fn goodput_math() {
+        let r = report(true, Direction::Push, 1_000_000, 1000);
+        assert!((r.goodput_mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_retention_is_bounded() {
+        let mut m = NodeMetrics::default();
+        m.sessions_accepted = MAX_REPORTS as u64 + 10;
+        for i in 0..MAX_REPORTS + 10 {
+            let mut r = report(true, Direction::Push, 100, 1);
+            r.transfer_id = i as u32;
+            m.record(r);
+        }
+        assert_eq!(m.reports.len(), MAX_REPORTS, "retention capped");
+        assert_eq!(m.reports.front().unwrap().transfer_id, 10, "oldest evicted");
+        assert_eq!(
+            m.sessions_completed,
+            MAX_REPORTS as u64 + 10,
+            "aggregates still see every session"
+        );
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let mut m = NodeMetrics::default();
+        m.sessions_accepted = 1;
+        m.pushes = 1;
+        m.record(report(true, Direction::Push, 4096, 5));
+        let s = m.summary();
+        assert!(s.contains("1 accepted"), "{s}");
+        assert!(s.contains("1 completed"), "{s}");
+        assert!(s.contains("4096 B in"), "{s}");
+    }
+}

@@ -1,0 +1,725 @@
+//! The node: one socket, one event loop, many concurrent transfers.
+//!
+//! The paper's engines move one transfer at a time; a node multiplexes
+//! many.  A single thread owns a non-blocking `UdpSocket` and runs the
+//! classic reactor cycle:
+//!
+//! 1. fire due timers from a [`TimerWheel`] keyed by
+//!    `(transfer_id, TimerToken)` — each session's engine timers plus
+//!    two node-owned timers per session (linger-reap and give-up);
+//! 2. drain the socket, routing `Request` packets to the handshake
+//!    logic and everything else through the [`Demux`] to the owning
+//!    engine;
+//! 3. execute whatever actions the engines emitted (transmissions go
+//!    out `send_to` the session's peer, wrapped in the FCS trailer);
+//! 4. if nothing happened, park briefly — `std` has no selector, and
+//!    at the timescales the paper measures (1.35 ms of processor time
+//!    *per packet*) sub-millisecond parking is invisible.
+//!
+//! Sessions are created by the `Request` pre-allocation handshake from
+//! `blast-udp`: a push request allocates a [`BlastReceiver`] for the
+//! announced length before any data arrives (the paper's premise), a
+//! pull request looks the named blob up in the [`BlobStore`] and
+//! blasts it back with the strategy the client asked for.  Finished
+//! engines linger briefly — a finished receiver must keep re-acking
+//! duplicates or a lost final ack strands its peer (§3.2.2's tail
+//! problem) — and are then reaped from the demux table.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use blast_core::api::{Action, CompletionInfo, TimerToken};
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::config::ProtocolConfig;
+use blast_core::demux::Demux;
+use blast_core::multiblast::MultiBlastSender;
+use blast_core::Engine;
+use blast_udp::channel::MAX_DATAGRAM;
+use blast_udp::fcs;
+use blast_udp::handshake::{Direction, Request};
+use blast_udp::timers::TimerWheel;
+use blast_wire::header::PacketKind;
+use blast_wire::packet::{Datagram, DatagramBuilder};
+
+use crate::metrics::{NodeMetrics, SessionReport};
+use crate::store::{shared_store, SharedStore};
+
+/// Reap a finished session's engine after the linger period.
+const REAP: TimerToken = TimerToken(u64::MAX);
+/// Abandon a session whose peer went silent.
+const GIVE_UP: TimerToken = TimerToken(u64::MAX - 1);
+
+/// Tunables for one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Address to bind (use port 0 for an ephemeral port).
+    pub bind: SocketAddr,
+    /// Base protocol parameters for server-side engines.  Packet size,
+    /// strategy and multiblast chunk are overridden per session by the
+    /// client's request; timeout and retry limits are the node's.
+    pub protocol: ProtocolConfig,
+    /// How long a finished engine keeps answering duplicates before it
+    /// is reaped (the tail-ack insurance of §3.2.2).  This is a *quiet*
+    /// window: traffic for the session restarts it, so a peer still
+    /// retransmitting — its copy of our final ack was lost — keeps the
+    /// engine alive until it converges (bounded by
+    /// [`session_timeout`](NodeConfig::session_timeout)).  Must exceed
+    /// the slowest client's retransmission interval.
+    pub linger: Duration,
+    /// Bound on a session's total lifetime: an engine that has not
+    /// completed by then is failed (peer crashed mid-transfer), and a
+    /// finished engine still lingering is reaped regardless.
+    pub session_timeout: Duration,
+    /// Maximum concurrent sessions; requests beyond it are cancelled.
+    pub max_sessions: usize,
+    /// Largest transfer a push request may announce.  The handshake
+    /// pre-allocates the whole receive buffer from the wire-supplied
+    /// length (the paper's premise), so without a bound one spoofed
+    /// datagram could demand a terabyte allocation.
+    pub max_transfer_bytes: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        let mut protocol = ProtocolConfig::default();
+        // Server-side retransmission interval: loopback/LAN round trips
+        // are far below the paper's 173 ms To(D); keep tail-packet
+        // retransmission snappy.
+        protocol.retransmit_timeout = Duration::from_millis(25);
+        protocol.max_retries = 1000;
+        NodeConfig {
+            bind: "127.0.0.1:0".parse().expect("literal addr"),
+            protocol,
+            linger: Duration::from_millis(250),
+            session_timeout: Duration::from_secs(30),
+            max_sessions: 1024,
+            max_transfer_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Node-side state for one transfer (the engine itself lives in the
+/// demux table under the same id).
+#[derive(Debug)]
+struct Session {
+    peer: SocketAddr,
+    direction: Direction,
+    name: String,
+    /// The echo datagram, re-sent verbatim for duplicate requests.
+    echo: Vec<u8>,
+    started: Instant,
+    finished: bool,
+}
+
+/// A blast transfer node serving concurrent push/pull sessions.
+pub struct NodeServer {
+    socket: UdpSocket,
+    config: NodeConfig,
+    store: SharedStore,
+    metrics: Arc<Mutex<NodeMetrics>>,
+    shutdown: Arc<AtomicBool>,
+    demux: Demux,
+    sessions: HashMap<u32, Session>,
+    timers: TimerWheel<(u32, TimerToken)>,
+}
+
+impl NodeServer {
+    /// Bind a node with an empty store.
+    pub fn bind(config: NodeConfig) -> io::Result<Self> {
+        Self::bind_with_store(config, shared_store())
+    }
+
+    /// Bind a node serving (and filling) `store`.
+    pub fn bind_with_store(config: NodeConfig, store: SharedStore) -> io::Result<Self> {
+        let socket = UdpSocket::bind(config.bind)?;
+        socket.set_nonblocking(true)?;
+        Ok(NodeServer {
+            socket,
+            config,
+            store,
+            metrics: Arc::new(Mutex::new(NodeMetrics::default())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            demux: Demux::new(),
+            sessions: HashMap::new(),
+            timers: TimerWheel::new(),
+        })
+    }
+
+    /// The bound address clients should talk to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The blob store this node serves.
+    pub fn store(&self) -> SharedStore {
+        Arc::clone(&self.store)
+    }
+
+    /// A snapshot of the aggregate metrics.
+    pub fn metrics(&self) -> NodeMetrics {
+        self.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// The flag that stops [`run`](NodeServer::run) when set.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Run the event loop until the shutdown flag is set.
+    pub fn run(&mut self) -> io::Result<()> {
+        while !self.shutdown.load(Ordering::Relaxed) {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Run until `n` sessions have finished (completed or failed) and
+    /// every engine has been reaped — the "serve a fixed workload then
+    /// report" mode the examples and CI smoke test use.
+    pub fn run_sessions(&mut self, n: u64) -> io::Result<()> {
+        loop {
+            self.tick()?;
+            if self.sessions.is_empty() {
+                let m = self.metrics.lock().expect("metrics lock");
+                if m.sessions_completed + m.sessions_failed >= n {
+                    return Ok(());
+                }
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Move the server onto its own thread, returning a handle.
+    pub fn spawn(self) -> io::Result<NodeHandle> {
+        let addr = self.local_addr()?;
+        let store = self.store();
+        let metrics = Arc::clone(&self.metrics);
+        let shutdown = self.shutdown_flag();
+        let mut server = self;
+        let thread = std::thread::Builder::new()
+            .name("blast-node".into())
+            .spawn(move || {
+                let result = server.run();
+                result.map(|()| server)
+            })?;
+        Ok(NodeHandle {
+            addr,
+            store,
+            metrics,
+            shutdown,
+            thread,
+        })
+    }
+
+    /// One reactor cycle: timers, then a socket drain, then (if idle) a
+    /// brief park.
+    fn tick(&mut self) -> io::Result<()> {
+        let now = Instant::now();
+        while let Some((id, token)) = self.timers.pop_due(now) {
+            self.on_timer(id, token)?;
+        }
+        let drained = self.drain_socket()?;
+        if drained == 0 {
+            let park = self
+                .timers
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(1))
+                .clamp(Duration::from_micros(200), Duration::from_millis(1));
+            std::thread::sleep(park);
+        }
+        Ok(())
+    }
+
+    /// Receive until the socket is dry (or a batch limit, so timers are
+    /// never starved by a firehose).  Returns datagrams processed.
+    fn drain_socket(&mut self) -> io::Result<usize> {
+        let mut buf = vec![0u8; MAX_DATAGRAM + 4];
+        let mut drained = 0;
+        while drained < 128 {
+            let (n, peer) = match self.socket.recv_from(&mut buf) {
+                Ok(x) => x,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break
+                }
+                // A queued ICMP unreachable from an earlier send-to a
+                // departed client; not a socket failure.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => continue,
+                Err(e) => return Err(e),
+            };
+            drained += 1;
+            self.metrics_mut(|m| m.datagrams_received += 1);
+            let Some(body) = fcs::unframe(&buf[..n]) else {
+                self.metrics_mut(|m| m.fcs_drops += 1);
+                continue;
+            };
+            self.on_datagram(&buf[..body], peer)?;
+        }
+        Ok(drained)
+    }
+
+    fn on_datagram(&mut self, raw: &[u8], peer: SocketAddr) -> io::Result<()> {
+        let Ok(dgram) = Datagram::parse(raw) else {
+            self.metrics_mut(|m| m.malformed += 1);
+            return Ok(());
+        };
+        if dgram.kind == PacketKind::Request {
+            return self.on_request(&dgram, raw, peer);
+        }
+        let id = dgram.transfer_id;
+        match self.sessions.get(&id) {
+            // Only the session's peer may drive its engine.
+            Some(s) if s.peer == peer => {
+                let mut sink: Vec<Action> = Vec::new();
+                if let Some(engine) = self.demux.get_mut(id) {
+                    engine.on_datagram(&dgram, &mut sink);
+                }
+                self.execute(id, sink)?;
+                // Traffic for a finished session means the peer has not
+                // heard our final ack yet: postpone the reap so the
+                // engine stays to re-answer (the linger quiet window).
+                if self.sessions.get(&id).is_some_and(|s| s.finished) {
+                    self.timers.arm((id, REAP), self.config.linger);
+                }
+                Ok(())
+            }
+            _ => {
+                self.metrics_mut(|m| m.unroutable += 1);
+                Ok(())
+            }
+        }
+    }
+
+    fn on_request(&mut self, dgram: &Datagram<'_>, raw: &[u8], peer: SocketAddr) -> io::Result<()> {
+        let id = dgram.transfer_id;
+        let Some(request) = Request::decode(dgram.payload) else {
+            self.metrics_mut(|m| m.malformed += 1);
+            return Ok(());
+        };
+        if let Some(session) = self.sessions.get(&id) {
+            if session.peer == peer {
+                // Duplicate request: our echo was lost; re-send it.
+                let echo = session.echo.clone();
+                self.send_framed(peer, &echo)?;
+            } else {
+                // Someone else's id: refuse rather than cross wires.
+                self.metrics_mut(|m| m.collisions += 1);
+                self.send_cancel(id, peer)?;
+            }
+            return Ok(());
+        }
+        if self.sessions.len() >= self.config.max_sessions {
+            self.metrics_mut(|m| m.rejected_busy += 1);
+            return self.send_cancel(id, peer);
+        }
+        // The announced length becomes an eager allocation: bound it
+        // before trusting a 24-byte datagram with a terabyte.
+        if request.direction == Direction::Push && request.len > self.config.max_transfer_bytes {
+            self.metrics_mut(|m| m.rejected_oversize += 1);
+            return self.send_cancel(id, peer);
+        }
+
+        let mut engine_cfg = self.config.protocol.clone();
+        request.apply_to(&mut engine_cfg);
+        let (engine, echo): (Box<dyn Engine>, Vec<u8>) = match request.direction {
+            Direction::Push => {
+                // Pre-allocate the whole receive buffer from the
+                // announced length — the paper's premise — and echo the
+                // request verbatim.
+                let engine = BlastReceiver::new(id, request.len, &engine_cfg);
+                (Box::new(engine), raw.to_vec())
+            }
+            Direction::Pull => {
+                let blob = self.store.lock().expect("store lock").get(&request.name);
+                let Some(blob) = blob else {
+                    self.metrics_mut(|m| m.pull_misses += 1);
+                    return self.send_cancel(id, peer);
+                };
+                // Fill the length in before echoing: the echo is the
+                // client's size announcement.
+                let mut advertised = request.clone();
+                advertised.len = blob.len();
+                let echo = advertised.build_datagram(id);
+                let engine: Box<dyn Engine> = if request.multiblast_chunk > 0 {
+                    Box::new(MultiBlastSender::new(id, blob, &engine_cfg))
+                } else {
+                    Box::new(BlastSender::new(id, blob, &engine_cfg))
+                };
+                (engine, echo)
+            }
+        };
+
+        self.metrics_mut(|m| {
+            m.sessions_accepted += 1;
+            match request.direction {
+                Direction::Push => m.pushes += 1,
+                Direction::Pull => m.pulls += 1,
+            }
+        });
+        self.sessions.insert(
+            id,
+            Session {
+                peer,
+                direction: request.direction,
+                name: request.name.clone(),
+                echo: echo.clone(),
+                started: Instant::now(),
+                finished: false,
+            },
+        );
+        // Echo before starting the engine so that, in order-preserving
+        // conditions, the size announcement precedes round-0 data.
+        self.send_framed(peer, &echo)?;
+        let mut sink: Vec<Action> = Vec::new();
+        self.demux.register(engine, &mut sink);
+        self.timers.arm((id, GIVE_UP), self.config.session_timeout);
+        self.execute(id, sink)
+    }
+
+    fn on_timer(&mut self, id: u32, token: TimerToken) -> io::Result<()> {
+        match token {
+            REAP => {
+                self.reap(id);
+                Ok(())
+            }
+            GIVE_UP => {
+                // The hard bound on session lifetime: fail an engine
+                // that never completed, and evict even a finished one
+                // whose peer keeps the linger window open forever.
+                let timed_out = self.sessions.get(&id).is_some_and(|s| !s.finished);
+                if timed_out {
+                    let info = self.demux.get(id).map(|e| {
+                        CompletionInfo::failure(
+                            blast_core::CoreError::BadState {
+                                what: "session timed out",
+                            },
+                            e.stats(),
+                        )
+                    });
+                    if let Some(info) = info {
+                        self.finish_session(id, &info);
+                    }
+                }
+                self.reap(id);
+                Ok(())
+            }
+            _ => {
+                let mut sink: Vec<Action> = Vec::new();
+                self.demux.on_timer(id, token, &mut sink);
+                self.execute(id, sink)
+            }
+        }
+    }
+
+    /// Apply one session's engine actions to the world.
+    fn execute(&mut self, id: u32, actions: Vec<Action>) -> io::Result<()> {
+        let Some(peer) = self.sessions.get(&id).map(|s| s.peer) else {
+            return Ok(());
+        };
+        let mut completion = None;
+        for action in actions {
+            match action {
+                Action::Transmit(bytes) => self.send_framed(peer, &bytes)?,
+                Action::SetTimer { token, after } => self.timers.arm((id, token), after),
+                Action::CancelTimer { token } => self.timers.cancel((id, token)),
+                Action::Complete(info) => completion = Some(*info),
+            }
+        }
+        if let Some(info) = completion {
+            self.finish_session(id, &info);
+            // Keep the engine routable through the linger window, then
+            // sweep it (completed-engine reaping).
+            self.timers.arm((id, REAP), self.config.linger);
+        }
+        Ok(())
+    }
+
+    fn finish_session(&mut self, id: u32, info: &CompletionInfo) {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        if session.finished {
+            return;
+        }
+        session.finished = true;
+        // GIVE_UP stays armed: it now bounds the linger phase.
+        let ok = info.is_success();
+        let bytes = *info.result.as_ref().unwrap_or(&0);
+        // A completed push becomes a named blob other clients can pull.
+        if ok && session.direction == Direction::Push && !session.name.is_empty() {
+            if let Some(data) = self.demux.get(id).and_then(Engine::received_data) {
+                self.store
+                    .lock()
+                    .expect("store lock")
+                    .put(&session.name, data.to_vec());
+            }
+        }
+        let report = SessionReport {
+            transfer_id: id,
+            direction: session.direction,
+            name: session.name.clone(),
+            bytes,
+            elapsed: session.started.elapsed(),
+            stats: info.stats,
+            ok,
+        };
+        self.metrics_mut(|m| m.record(report));
+    }
+
+    fn reap(&mut self, id: u32) {
+        self.demux.remove(id);
+        self.sessions.remove(&id);
+        self.timers.forget_where(|&(session, _)| session == id);
+    }
+
+    fn send_framed(&self, peer: SocketAddr, datagram: &[u8]) -> io::Result<()> {
+        match self.socket.send_to(&fcs::frame(datagram), peer) {
+            Ok(_) => {
+                self.metrics_mut(|m| m.datagrams_sent += 1);
+                Ok(())
+            }
+            // The peer vanished (ICMP unreachable), or the send buffer
+            // is full (the socket is non-blocking, so a blast burst can
+            // hit EAGAIN/ENOBUFS): both are loss, which the protocols
+            // already handle by retransmission — not server failures.
+            Err(e)
+                if e.kind() == io::ErrorKind::ConnectionRefused
+                    || e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::OutOfMemory
+                    || e.raw_os_error() == Some(105) =>
+            {
+                self.metrics_mut(|m| m.send_drops += 1);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn send_cancel(&self, id: u32, peer: SocketAddr) -> io::Result<()> {
+        let mut buf = vec![0u8; blast_wire::HEADER_LEN];
+        let n = DatagramBuilder::new(id)
+            .build_cancel(&mut buf)
+            .expect("cancel fits");
+        buf.truncate(n);
+        self.send_framed(peer, &buf)
+    }
+
+    fn metrics_mut(&self, f: impl FnOnce(&mut NodeMetrics)) {
+        f(&mut self.metrics.lock().expect("metrics lock"));
+    }
+}
+
+/// A running node on its own thread.
+pub struct NodeHandle {
+    addr: SocketAddr,
+    store: SharedStore,
+    metrics: Arc<Mutex<NodeMetrics>>,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<io::Result<NodeServer>>,
+}
+
+impl NodeHandle {
+    /// The address clients should talk to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's blob store.
+    pub fn store(&self) -> SharedStore {
+        Arc::clone(&self.store)
+    }
+
+    /// A snapshot of the aggregate metrics.
+    pub fn metrics(&self) -> NodeMetrics {
+        self.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// Block until no session is in flight (or `timeout` passes).
+    ///
+    /// A client can observe its transfer as complete while its final
+    /// ack is still in flight to the node — the receiver side of any
+    /// protocol finishes one packet before the sender side hears about
+    /// it.  Callers that want every session accounted for (tests,
+    /// fixed-workload examples) should drain before
+    /// [`shutdown`](NodeHandle::shutdown).
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let m = self.metrics.lock().expect("metrics lock");
+            if m.sessions_in_flight() == 0 {
+                return true;
+            }
+            drop(m);
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stop the event loop and join the thread, returning the server
+    /// (store, metrics and all) for inspection.
+    pub fn shutdown(self) -> io::Result<NodeServer> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.thread.join().expect("node thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use blast_udp::channel::UdpChannel;
+
+    fn test_config() -> NodeConfig {
+        let mut cfg = NodeConfig::default();
+        cfg.protocol.retransmit_timeout = Duration::from_millis(15);
+        cfg
+    }
+
+    fn client_cfg() -> ProtocolConfig {
+        let mut c = ProtocolConfig::default();
+        c.retransmit_timeout = Duration::from_millis(15);
+        c.max_retries = 1000;
+        c
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i.wrapping_mul(131) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn push_then_pull_roundtrip() {
+        let node = NodeServer::bind(test_config()).unwrap().spawn().unwrap();
+        let cfg = client_cfg();
+        let data = payload(100_000);
+
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+        let push = client::push_blob(ch, 1, "hello", &data, &cfg).unwrap();
+        assert!(push.stats.data_packets_sent >= 98);
+
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+        let pull = client::pull_blob(ch, 2, "hello", &cfg).unwrap();
+        assert_eq!(pull.data, data);
+
+        assert!(node.wait_idle(Duration::from_secs(5)), "tail ack drained");
+        let server = node.shutdown().unwrap();
+        let m = server.metrics();
+        assert_eq!(m.sessions_completed, 2);
+        assert_eq!(m.pushes, 1);
+        assert_eq!(m.pulls, 1);
+        assert_eq!(m.bytes_received, 100_000);
+        assert_eq!(m.bytes_sent, 100_000);
+        assert!(m.session_goodput_mbps.mean() > 0.0);
+    }
+
+    #[test]
+    fn pull_of_missing_blob_is_not_found() {
+        let node = NodeServer::bind(test_config()).unwrap().spawn().unwrap();
+        let cfg = client_cfg();
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+        let err = client::pull_blob(ch, 9, "nope", &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let m = node.metrics();
+        assert_eq!(m.pull_misses, 1);
+        assert_eq!(m.sessions_accepted, 0);
+        node.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pre_seeded_store_serves_pulls() {
+        let store = shared_store();
+        store.lock().unwrap().put("seeded", payload(30_000));
+        let node = NodeServer::bind_with_store(test_config(), store)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let cfg = client_cfg();
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+        let pull = client::pull_blob(ch, 3, "seeded", &cfg).unwrap();
+        assert_eq!(pull.data, payload(30_000));
+        node.shutdown().unwrap();
+    }
+
+    #[test]
+    fn colliding_transfer_id_from_other_peer_is_cancelled() {
+        let store = shared_store();
+        store.lock().unwrap().put("blob", payload(200_000));
+        let node = NodeServer::bind_with_store(test_config(), store)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let cfg = client_cfg();
+        // First client opens session 5.
+        let addr = node.addr();
+        let cfg2 = cfg.clone();
+        let t = std::thread::spawn(move || {
+            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+            client::pull_blob(ch, 5, "blob", &cfg2).unwrap()
+        });
+        // Wait until the node has actually accepted session 5 before
+        // contending for the id from a different peer.
+        while node.metrics().sessions_accepted == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The contender is refused (Cancel → NotFound) while session 5
+        // lives — or, if the first transfer already finished and was
+        // reaped, it simply succeeds.  It must never hang or corrupt.
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+        match client::pull_blob(ch, 5, "blob", &cfg) {
+            Ok(r) => assert_eq!(r.data, payload(200_000)),
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+        }
+        let first = t.join().unwrap();
+        assert_eq!(first.data, payload(200_000));
+        node.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_push_announcement_is_refused() {
+        let mut cfg = test_config();
+        cfg.max_transfer_bytes = 64 * 1024;
+        let node = NodeServer::bind(cfg).unwrap().spawn().unwrap();
+        let ccfg = client_cfg();
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+        let err = client::push_blob(ch, 4, "big", &payload(65 * 1024), &ccfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound, "cancelled, not hung");
+        let m = node.metrics();
+        assert_eq!(m.rejected_oversize, 1);
+        assert_eq!(m.sessions_accepted, 0, "no buffer was allocated");
+        node.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_timeout_reaps_abandoned_push() {
+        let mut cfg = test_config();
+        cfg.session_timeout = Duration::from_millis(80);
+        let node = NodeServer::bind(cfg).unwrap().spawn().unwrap();
+        // Open a push session by hand, then walk away: no data phase.
+        let req = Request::push(50_000, &client_cfg(), false).with_name("ghost");
+        let dgram = req.build_datagram(77);
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.send_to(&fcs::frame(&dgram), node.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        let m = node.metrics();
+        assert_eq!(m.sessions_accepted, 1);
+        assert_eq!(m.sessions_failed, 1, "abandoned session must fail");
+        assert_eq!(m.sessions_in_flight(), 0);
+        let server = node.shutdown().unwrap();
+        assert!(
+            !server.store.lock().unwrap().contains("ghost"),
+            "no blob from a failed push"
+        );
+        assert_eq!(server.demux.len(), 0, "engine reaped");
+        assert_eq!(server.demux.reaped, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The in-memory blob store a node serves.
+//!
+//! This is the `blast-vkernel` file-server idea carried down to the
+//! page level: the paper's motivating workload is a client that
+//! "allocates a buffer big enough to contain that file", asks the
+//! server for it by name, and has the whole thing moved into its
+//! address space in one bulk transfer.  [`BlobStore`] is that server's
+//! catalogue — named, immutable byte blobs, each pulled or pushed as
+//! one blast transfer — without the surrounding IPC machinery.
+//!
+//! Blobs are `Arc<[u8]>` so that serving a pull never copies the
+//! catalogue entry: the session's sender engine shares the allocation,
+//! and a concurrent `put` under the same name simply swaps the `Arc`
+//! without disturbing in-flight transfers.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A named catalogue of immutable byte blobs.
+#[derive(Debug, Default)]
+pub struct BlobStore {
+    blobs: BTreeMap<String, Arc<[u8]>>,
+    /// Blobs inserted over the store's lifetime (puts, not distinct
+    /// names).
+    pub puts: u64,
+}
+
+impl BlobStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) `name`.  In-flight pulls of a replaced blob
+    /// keep the version they started with.
+    pub fn put(&mut self, name: &str, data: impl Into<Arc<[u8]>>) {
+        self.blobs.insert(name.to_string(), data.into());
+        self.puts += 1;
+    }
+
+    /// Fetch `name`, sharing the allocation.
+    pub fn get(&self, name: &str) -> Option<Arc<[u8]>> {
+        self.blobs.get(name).cloned()
+    }
+
+    /// Whether `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.blobs.contains_key(name)
+    }
+
+    /// Remove `name`, returning the blob if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<[u8]>> {
+        self.blobs.remove(name)
+    }
+
+    /// Number of blobs stored.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total payload bytes across all blobs.
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.values().map(|b| b.len()).sum()
+    }
+
+    /// Blob names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.blobs.keys().map(String::as_str)
+    }
+}
+
+/// The store as shared between a running server and its owner.
+pub type SharedStore = Arc<Mutex<BlobStore>>;
+
+/// A fresh, empty [`SharedStore`].
+pub fn shared_store() -> SharedStore {
+    Arc::new(Mutex::new(BlobStore::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_replace() {
+        let mut s = BlobStore::new();
+        assert!(s.is_empty());
+        s.put("a", vec![1u8, 2, 3]);
+        s.put("b", vec![9u8; 10]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_bytes(), 13);
+        assert_eq!(s.get("a").unwrap().as_ref(), &[1, 2, 3]);
+        assert!(s.get("missing").is_none());
+        s.put("a", vec![7u8; 4]);
+        assert_eq!(s.len(), 2, "replacement, not duplication");
+        assert_eq!(s.get("a").unwrap().len(), 4);
+        assert_eq!(s.puts, 3);
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn inflight_pull_keeps_replaced_version() {
+        let mut s = BlobStore::new();
+        s.put("model", vec![1u8; 100]);
+        let inflight = s.get("model").unwrap();
+        s.put("model", vec![2u8; 50]);
+        assert_eq!(inflight.len(), 100, "old Arc still alive");
+        assert_eq!(s.get("model").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s = BlobStore::new();
+        s.put("x", vec![0u8; 8]);
+        assert!(s.contains("x"));
+        assert_eq!(s.remove("x").unwrap().len(), 8);
+        assert!(!s.contains("x"));
+        assert!(s.remove("x").is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! The acceptance test for the node: many concurrent transfers, mixed
+//! push/pull, mixed retransmission strategies, fault injection — one
+//! node, one socket, every payload verified byte for byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_node::server::{NodeConfig, NodeServer};
+use blast_node::{client, shared_store};
+use blast_udp::channel::UdpChannel;
+use blast_udp::fault::{FaultConfig, FaultyChannel};
+
+fn client_cfg(strategy: RetxStrategy) -> ProtocolConfig {
+    let mut c = ProtocolConfig::default();
+    c.retransmit_timeout = Duration::from_millis(12);
+    c.max_retries = 100_000;
+    c.strategy = strategy;
+    c
+}
+
+fn node_cfg() -> NodeConfig {
+    let mut cfg = NodeConfig::default();
+    cfg.protocol.retransmit_timeout = Duration::from_millis(12);
+    cfg.protocol.max_retries = 100_000;
+    cfg
+}
+
+fn payload(seed: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i.wrapping_mul(31) ^ seed.wrapping_mul(97)) % 256) as u8)
+        .collect()
+}
+
+/// ≥ 8 concurrent transfers through one node: pushes and pulls, all
+/// four strategies, half the clients behind lossy/chaotic channels.
+#[test]
+fn twelve_concurrent_mixed_transfers_with_faults() {
+    let store = shared_store();
+    // Four seeded blobs for the pull sessions, one per strategy.
+    let pull_blobs: Vec<(String, Vec<u8>)> = (0..4)
+        .map(|i| (format!("seed-{i}"), payload(1000 + i, 30_000 + 7000 * i)))
+        .collect();
+    {
+        let mut s = store.lock().unwrap();
+        for (name, data) in &pull_blobs {
+            s.put(name, data.clone());
+        }
+    }
+    let node = NodeServer::bind_with_store(node_cfg(), store)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = node.addr();
+    let transfer_ids = Arc::new(AtomicU64::new(1));
+
+    let mut handles = Vec::new();
+    // 6 pushes (ids issued centrally), strategies cycling through all
+    // four, the odd ones behind a fault-injecting channel.
+    let mut push_data = Vec::new();
+    for i in 0..6usize {
+        let strategy = RetxStrategy::ALL[i % 4];
+        let data = payload(i, 20_000 + 9000 * i);
+        let name = format!("push-{i}");
+        push_data.push((name.clone(), data.clone()));
+        let ids = Arc::clone(&transfer_ids);
+        handles.push(std::thread::spawn(move || {
+            let id = ids.fetch_add(1, Ordering::Relaxed) as u32;
+            let cfg = client_cfg(strategy);
+            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+            let report = if i % 2 == 1 {
+                let faulty = FaultyChannel::new(ch, FaultConfig::chaos(0.04), 40 + i as u64);
+                client::push_blob(faulty, id, &name, &data, &cfg).unwrap()
+            } else {
+                client::push_blob(ch, id, &name, &data, &cfg).unwrap()
+            };
+            assert!(report.stats.data_packets_sent > 0, "{name}");
+        }));
+    }
+    // 6 pulls of the seeded blobs (two blobs pulled twice), again with
+    // strategies cycling and faults on the odd clients.
+    for i in 0..6usize {
+        let strategy = RetxStrategy::ALL[(i + 2) % 4];
+        let (name, expected) = pull_blobs[i % 4].clone();
+        let ids = Arc::clone(&transfer_ids);
+        handles.push(std::thread::spawn(move || {
+            let id = ids.fetch_add(1, Ordering::Relaxed) as u32;
+            let cfg = client_cfg(strategy);
+            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+            let report = if i % 2 == 1 {
+                let faulty = FaultyChannel::new(ch, FaultConfig::loss(0.06), 70 + i as u64);
+                client::pull_blob(faulty, id, &name, &cfg).unwrap()
+            } else {
+                client::pull_blob(ch, id, &name, &cfg).unwrap()
+            };
+            assert_eq!(report.data, expected, "pull {name} must be byte-exact");
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Every push must now be pullable, byte for byte.
+    for (i, (name, expected)) in push_data.iter().enumerate() {
+        let id = 1000 + i as u32;
+        let cfg = client_cfg(RetxStrategy::Selective);
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+        let report = client::pull_blob(ch, id, name, &cfg).unwrap();
+        assert_eq!(&report.data, expected, "pushed blob {name} must round-trip");
+    }
+
+    // A pull client finishes one packet before the node hears its
+    // final ack; drain before counting.
+    assert!(
+        node.wait_idle(Duration::from_secs(10)),
+        "sessions drained\n{}\nreports: {:?}",
+        node.metrics().summary(),
+        node.metrics()
+            .reports
+            .iter()
+            .map(|r| (r.transfer_id, r.name.clone(), r.ok))
+            .collect::<Vec<_>>()
+    );
+    let server = node.shutdown().unwrap();
+    let m = server.metrics();
+    assert_eq!(m.sessions_accepted, 18, "12 concurrent + 6 verification");
+    assert_eq!(m.sessions_completed, 18);
+    assert_eq!(m.sessions_failed, 0);
+    assert_eq!(m.pushes, 6);
+    assert_eq!(m.pulls, 12);
+    assert_eq!(m.sessions_in_flight(), 0);
+    assert_eq!(m.session_secs.count(), 18);
+    assert!(
+        m.session_goodput_mbps.mean() > 0.1,
+        "goodput {}",
+        m.session_goodput_mbps
+    );
+    // The store holds the 4 seeds plus the 6 pushes.
+    let store = server.store();
+    let s = store.lock().unwrap();
+    assert_eq!(s.len(), 10);
+    // Fault injection really happened: chaotic clients corrupted frames
+    // (FCS drops) and/or duplicated data the engines had to absorb.
+    let dup_or_drops: u64 = m.fcs_drops
+        + m.reports
+            .iter()
+            .map(|r| r.stats.duplicate_packets_received + r.stats.data_packets_retransmitted)
+            .sum::<u64>();
+    assert!(
+        dup_or_drops > 0,
+        "faulty channels must exercise recovery paths"
+    );
+}
+
+/// Zero-length blobs survive the full push/pull cycle.
+#[test]
+fn empty_blob_roundtrip() {
+    let node = NodeServer::bind(node_cfg()).unwrap().spawn().unwrap();
+    let cfg = client_cfg(RetxStrategy::GoBackN);
+    let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+    client::push_blob(ch, 1, "empty", &[], &cfg).unwrap();
+    let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+    let report = client::pull_blob(ch, 2, "empty", &cfg).unwrap();
+    assert!(report.data.is_empty());
+    node.shutdown().unwrap();
+}
+
+/// A multiblast pull: the client asks for chunked transfer and the
+/// node serves it with a `MultiBlastSender`.
+#[test]
+fn multiblast_pull() {
+    let store = shared_store();
+    let data = payload(7, 300_000);
+    store.lock().unwrap().put("big", data.clone());
+    let node = NodeServer::bind_with_store(node_cfg(), store)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut cfg = client_cfg(RetxStrategy::GoBackN);
+    cfg.multiblast_chunk = 16;
+    let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
+    // Build a pull request that asks for chunking.
+    let report = {
+        use blast_udp::fcs::FcsChannel;
+        use blast_udp::handshake::{self, Request};
+        let mut channel = FcsChannel::new(ch);
+        let mut request = Request::pull("big", &cfg);
+        request.multiblast_chunk = 16;
+        let reply = handshake::initiate(
+            &mut channel,
+            9,
+            &request,
+            Duration::from_millis(12),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(reply.echoed.len, data.len());
+        let mut engine = blast_core::blast::BlastReceiver::new(9, reply.echoed.len, &cfg);
+        let mut driver = blast_udp::Driver::new(channel).with_linger();
+        let out = driver.run(&mut engine).unwrap();
+        assert!(out.completion.is_success(), "{:?}", out.completion);
+        engine.into_data()
+    };
+    assert_eq!(report, data);
+    assert!(node.wait_idle(Duration::from_secs(5)), "tail ack drained");
+    let m = node.metrics();
+    // ~294 packets in chunks of 16 → a chunk ack per chunk arrived at
+    // the node as acks_received on the sender engine.
+    let pull = m.reports.iter().find(|r| r.name == "big").unwrap();
+    assert!(pull.stats.acks_received >= 18, "{:?}", pull.stats);
+    node.shutdown().unwrap();
+}

@@ -151,6 +151,25 @@ impl FromIterator<f64> for OnlineStats {
     }
 }
 
+impl core::fmt::Display for OnlineStats {
+    /// `n=8 mean=5.000 σ=2.000 min=2.000 max=9.000` — the one-line form
+    /// metric dashboards (e.g. the `blast-node` summary) print.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.n == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.3} σ={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.population_stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +246,18 @@ mod tests {
             .collect();
         assert!(close(s.mean(), base + 10.0));
         assert!(close(s.population_variance(), 22.5));
+    }
+
+    #[test]
+    fn display_formats_summary_line() {
+        assert_eq!(OnlineStats::new().to_string(), "n=0");
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        let line = s.to_string();
+        assert!(line.contains("n=8"), "{line}");
+        assert!(line.contains("mean=5.000"), "{line}");
+        assert!(line.contains("σ=2.000"), "{line}");
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! deadlines.  Same engines, same actions, different clock — that is
 //! the point of the sans-I/O design.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -16,10 +14,17 @@ use blast_wire::header::PacketKind;
 use blast_wire::packet::Datagram;
 
 use crate::channel::{Channel, MAX_DATAGRAM};
+use crate::timers::TimerWheel;
 
 /// How long a finished receiver keeps answering duplicate packets, so
 /// that a peer whose final ack was lost can still complete (§3.2.2's
 /// tail problem).  Called "linger" by analogy with TCP's TIME-WAIT.
+///
+/// The window is a *quiet* window: incoming traffic restarts it, since
+/// a peer still retransmitting is a peer that has not heard our final
+/// ack.  Lingering therefore lasts exactly as long as the peer needs
+/// (bounded by the driver deadline), and a clean exit costs only this
+/// constant.
 pub const LINGER: Duration = Duration::from_millis(50);
 
 /// Outcome of a driver run.
@@ -47,9 +52,16 @@ pub struct Driver<C: Channel> {
     pub request_reply: Option<Vec<u8>>,
     /// Stop even if incomplete after this long (safety for tests).
     pub deadline: Duration,
-    /// Keep answering duplicates for [`LINGER`] after the engine
-    /// finishes (receivers should; senders need not).
+    /// Keep answering duplicates after the engine finishes until the
+    /// channel has been quiet for [`linger_for`](Driver::linger_for)
+    /// (receivers should; senders need not).
     pub linger: bool,
+    /// The quiet window that ends lingering.  Incoming traffic restarts
+    /// it: a peer still retransmitting has not heard our final ack, so
+    /// the driver stays to re-acknowledge.  The [`LINGER`] default
+    /// suits most links; raise it past the peer's retransmission
+    /// interval if that interval is unusually long.
+    pub linger_for: Duration,
 }
 
 impl<C: Channel> Driver<C> {
@@ -60,12 +72,20 @@ impl<C: Channel> Driver<C> {
             request_reply: None,
             deadline: Duration::from_secs(60),
             linger: false,
+            linger_for: LINGER,
         }
     }
 
     /// Enable receiver lingering.
     pub fn with_linger(mut self) -> Self {
         self.linger = true;
+        self
+    }
+
+    /// Enable receiver lingering with an explicit window.
+    pub fn with_linger_for(mut self, window: Duration) -> Self {
+        self.linger = true;
+        self.linger_for = window;
         self
     }
 
@@ -86,44 +106,40 @@ impl<C: Channel> Driver<C> {
         let mut sent = 0u64;
         let mut received = 0u64;
         let mut malformed = 0u64;
-        // (deadline, generation) per token; min-heap of (Instant, token, gen).
-        let mut timer_gen: HashMap<TimerToken, u64> = HashMap::new();
-        let mut timer_heap: BinaryHeap<Reverse<(Instant, u64, TimerToken)>> = BinaryHeap::new();
+        let mut timers: TimerWheel<TimerToken> = TimerWheel::new();
 
         let mut actions = Vec::new();
         engine.start(&mut actions);
-        self.execute(actions, start, &mut sent, &mut timer_gen, &mut timer_heap)?;
+        self.execute(actions, &mut sent, &mut timers)?;
 
         let mut buf = vec![0u8; MAX_DATAGRAM];
         let mut completion: Option<CompletionInfo> = None;
         let mut finished_at: Option<Instant> = None;
+        // The linger quiet-clock: set at completion, restarted by any
+        // incoming traffic (kept separate from `finished_at`, which
+        // feeds the elapsed-time measurement).
+        let mut quiet_since: Option<Instant> = None;
 
         loop {
             let now = Instant::now();
             if now.duration_since(start) > self.deadline {
                 break;
             }
-            if let Some(t) = finished_at {
-                if !self.linger || now.duration_since(t) > LINGER {
+            if let Some(t) = quiet_since {
+                if !self.linger || now.duration_since(t) > self.linger_for {
                     break;
                 }
             }
 
             // Fire due timers.
-            while let Some(&Reverse((when, gen, token))) = timer_heap.peek() {
-                if when > now {
-                    break;
-                }
-                timer_heap.pop();
-                if timer_gen.get(&token).copied() != Some(gen) {
-                    continue; // stale
-                }
+            while let Some(token) = timers.pop_due(now) {
                 let mut out = Vec::new();
                 engine.on_timer(token, &mut out);
-                let done = self.execute(out, start, &mut sent, &mut timer_gen, &mut timer_heap)?;
+                let done = self.execute(out, &mut sent, &mut timers)?;
                 if let Some(info) = done {
                     completion = Some(info);
                     finished_at = Some(Instant::now());
+                    quiet_since = finished_at;
                 }
             }
             if finished_at.is_some() && !self.linger {
@@ -132,9 +148,9 @@ impl<C: Channel> Driver<C> {
 
             // Wait for the next packet or the next timer, whichever
             // comes first.
-            let until_timer = timer_heap
-                .peek()
-                .map(|Reverse((when, _, _))| when.saturating_duration_since(now))
+            let until_timer = timers
+                .next_deadline()
+                .map(|when| when.saturating_duration_since(now))
                 .unwrap_or(Duration::from_millis(20))
                 .min(Duration::from_millis(50));
             match self
@@ -144,6 +160,12 @@ impl<C: Channel> Driver<C> {
                 None => continue,
                 Some(n) => {
                     received += 1;
+                    // Any traffic during linger means the peer is still
+                    // working (our final ack may be lost): restart the
+                    // quiet window so we stay to answer.
+                    if let Some(t) = quiet_since.as_mut() {
+                        *t = Instant::now();
+                    }
                     let Ok(dgram) = Datagram::parse(&buf[..n]) else {
                         malformed += 1; // checksum turned corruption into loss
                         continue;
@@ -157,11 +179,11 @@ impl<C: Channel> Driver<C> {
                     }
                     let mut out = Vec::new();
                     engine.on_datagram(&dgram, &mut out);
-                    let done =
-                        self.execute(out, start, &mut sent, &mut timer_gen, &mut timer_heap)?;
+                    let done = self.execute(out, &mut sent, &mut timers)?;
                     if let Some(info) = done {
                         completion = Some(info);
                         finished_at = Some(Instant::now());
+                        quiet_since = finished_at;
                     }
                 }
             }
@@ -189,10 +211,8 @@ impl<C: Channel> Driver<C> {
     fn execute(
         &mut self,
         actions: Vec<Action>,
-        _start: Instant,
         sent: &mut u64,
-        timer_gen: &mut HashMap<TimerToken, u64>,
-        timer_heap: &mut BinaryHeap<Reverse<(Instant, u64, TimerToken)>>,
+        timers: &mut TimerWheel<TimerToken>,
     ) -> io::Result<Option<CompletionInfo>> {
         let mut done = None;
         for action in actions {
@@ -201,14 +221,8 @@ impl<C: Channel> Driver<C> {
                     self.channel.send(&bytes)?;
                     *sent += 1;
                 }
-                Action::SetTimer { token, after } => {
-                    let gen = timer_gen.entry(token).or_insert(0);
-                    *gen += 1;
-                    timer_heap.push(Reverse((Instant::now() + after, *gen, token)));
-                }
-                Action::CancelTimer { token } => {
-                    *timer_gen.entry(token).or_insert(0) += 1;
-                }
+                Action::SetTimer { token, after } => timers.arm(token, after),
+                Action::CancelTimer { token } => timers.cancel(token),
                 Action::Complete(info) => done = Some(*info),
             }
         }

@@ -16,6 +16,28 @@ use blast_wire::checksum::crc32;
 
 use crate::channel::Channel;
 
+/// Append the FCS trailer to `payload`, producing the wire frame.
+///
+/// The building block behind [`FcsChannel::send`], exposed for drivers
+/// that manage raw sockets themselves (the `blast-node` server sends
+/// with `send_to` on an unconnected socket, which the connected
+/// [`Channel`] abstraction cannot express).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(payload.len() + 4);
+    framed.extend_from_slice(payload);
+    framed.extend_from_slice(&crc32(payload).to_be_bytes());
+    framed
+}
+
+/// Verify and strip the FCS trailer of a received frame, returning the
+/// payload length.  `None` means the frame is corrupt (or too short to
+/// carry an FCS) and must be treated as loss.
+pub fn unframe(frame: &[u8]) -> Option<usize> {
+    let body = frame.len().checked_sub(4)?;
+    let got = u32::from_be_bytes(frame[body..].try_into().expect("4-byte slice"));
+    (crc32(&frame[..body]) == got).then_some(body)
+}
+
 /// Channel wrapper adding an Ethernet-style FCS to every datagram.
 #[derive(Debug)]
 pub struct FcsChannel<C: Channel> {
@@ -41,33 +63,22 @@ impl<C: Channel> FcsChannel<C> {
 
 impl<C: Channel> Channel for FcsChannel<C> {
     fn send(&mut self, buf: &[u8]) -> io::Result<()> {
-        let mut framed = Vec::with_capacity(buf.len() + 4);
-        framed.extend_from_slice(buf);
-        framed.extend_from_slice(&crc32(buf).to_be_bytes());
-        self.inner.send(&framed)
+        self.inner.send(&frame(buf))
     }
 
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
         loop {
             match self.inner.recv_timeout(buf, timeout)? {
                 None => return Ok(None),
-                Some(n) if n >= 4 => {
-                    let body = n - 4;
-                    let got = u32::from_be_bytes(buf[body..n].try_into().expect("4-byte slice"));
-                    if crc32(&buf[..body]) == got {
-                        return Ok(Some(body));
-                    }
-                    // Bad FCS: the interface drops the frame silently
-                    // and the caller's timeout logic proceeds as if it
-                    // were lost.  Loop for another datagram within the
-                    // same call so a corrupted frame does not consume
-                    // the whole timeout budget.
-                    self.fcs_drops += 1;
-                }
-                Some(_) => {
-                    // Shorter than an FCS: unframeable garbage.
-                    self.fcs_drops += 1;
-                }
+                Some(n) => match unframe(&buf[..n]) {
+                    Some(body) => return Ok(Some(body)),
+                    // Bad FCS (or a runt frame): the interface drops it
+                    // silently and the caller's timeout logic proceeds
+                    // as if it were lost.  Loop for another datagram
+                    // within the same call so a corrupted frame does
+                    // not consume the whole timeout budget.
+                    None => self.fcs_drops += 1,
+                },
             }
         }
     }
@@ -150,6 +161,18 @@ mod tests {
             None
         );
         assert_eq!(rx.fcs_drops, 1);
+    }
+
+    #[test]
+    fn frame_unframe_roundtrip() {
+        let framed = frame(b"payload");
+        assert_eq!(framed.len(), 11);
+        assert_eq!(unframe(&framed), Some(7));
+        let mut bad = framed.clone();
+        bad[2] ^= 0x10;
+        assert_eq!(unframe(&bad), None);
+        assert_eq!(unframe(&[1, 2, 3]), None, "runt frame");
+        assert_eq!(unframe(&frame(b"")), Some(0));
     }
 
     #[test]

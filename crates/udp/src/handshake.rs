@@ -1,0 +1,424 @@
+//! The pre-allocation `Request` handshake, as a reusable module.
+//!
+//! The paper's premise is that "the recipient has sufficient buffers
+//! allocated to receive the data before the transfer takes place".
+//! Over UDP that guarantee comes from a tiny handshake:
+//!
+//! 1. the initiator transmits a `Request` describing the transfer and
+//!    retransmits it until echoed;
+//! 2. the responder allocates the whole buffer, echoes the `Request`,
+//!    and enters the data phase — continuing to echo duplicate
+//!    requests, since its echo may itself be lost;
+//! 3. the data phase runs, per the strategy carried in the request.
+//!
+//! The `Request` echo is deliberately *not* an `Ack` packet: the blast
+//! sender treats positive acks as completion signals, so handshake
+//! traffic must be invisible to the engines (drivers filter `Request`
+//! packets before any engine sees them).
+//!
+//! Beyond the original peer-to-peer fields (length, packet size,
+//! strategy, multiblast chunk), a request carries a [`Direction`] and a
+//! blob [`name`](Request::name) so that a `blast-node` server can tell
+//! a push ("store these bytes under this name") from a pull ("blast me
+//! the named blob").  For pulls the initiator does not know the length;
+//! the responder fills it in before echoing, so the echo doubles as the
+//! size announcement that lets the client pre-allocate.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_wire::header::PacketKind;
+use blast_wire::packet::{Datagram, DatagramBuilder};
+
+use crate::channel::{Channel, MAX_DATAGRAM};
+
+/// Shortest well-formed request payload (the legacy fixed fields).
+pub const MIN_REQUEST_LEN: usize = 17;
+
+/// Longest blob name a request can carry.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Which way the data phase flows, relative to the request's sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// The initiator sends the data (classic `send_data`, or storing a
+    /// named blob on a node).
+    #[default]
+    Push,
+    /// The initiator receives the data (fetching a named blob).
+    Pull,
+}
+
+/// A decoded transfer request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Transfer length in bytes.  Zero in an outgoing pull request (the
+    /// initiator does not know it); filled in by the responder's echo.
+    pub len: usize,
+    /// Payload bytes per data packet.
+    pub packet_payload: usize,
+    /// Blast retransmission strategy for the data phase.
+    pub strategy: RetxStrategy,
+    /// Packets per chunk for multi-blast transfers; `0` = single blast.
+    pub multiblast_chunk: u32,
+    /// Which way the data flows.
+    pub direction: Direction,
+    /// Blob name (empty for anonymous peer-to-peer transfers).
+    pub name: String,
+}
+
+impl Request {
+    /// A push request for `len` bytes, taking packet size and strategy
+    /// from `cfg`.  `multiblast` selects chunked transfer.
+    pub fn push(len: usize, cfg: &ProtocolConfig, multiblast: bool) -> Self {
+        Request {
+            len,
+            packet_payload: cfg.packet_payload,
+            strategy: cfg.strategy,
+            multiblast_chunk: if multiblast { cfg.multiblast_chunk } else { 0 },
+            direction: Direction::Push,
+            name: String::new(),
+        }
+    }
+
+    /// A pull request for the blob `name`, with transfer parameters
+    /// from `cfg`.  The length is unknown until the responder echoes.
+    pub fn pull(name: &str, cfg: &ProtocolConfig) -> Self {
+        Request {
+            len: 0,
+            packet_payload: cfg.packet_payload,
+            strategy: cfg.strategy,
+            multiblast_chunk: 0,
+            direction: Direction::Pull,
+            name: name.to_string(),
+        }
+    }
+
+    /// Builder-style setter for the blob name.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Copy the negotiated transfer parameters into `cfg` (what a
+    /// responder adopts before instantiating its engine).
+    pub fn apply_to(&self, cfg: &mut ProtocolConfig) {
+        cfg.packet_payload = self.packet_payload;
+        cfg.strategy = self.strategy;
+        if self.multiblast_chunk > 0 {
+            cfg.multiblast_chunk = self.multiblast_chunk;
+        }
+    }
+
+    /// Number of data packets the described transfer needs.
+    pub fn total_packets(&self) -> u32 {
+        if self.len == 0 {
+            1
+        } else {
+            self.len.div_ceil(self.packet_payload) as u32
+        }
+    }
+
+    /// Encode the request payload (`len` u64 | `packet_payload` u32 |
+    /// strategy u8 | `multiblast_chunk` u32 | direction u8 | name-len
+    /// u16 | name bytes).  Decoders also accept the legacy 17-byte
+    /// prefix alone.
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert!(self.name.len() <= MAX_NAME_LEN, "blob name too long");
+        let mut p = Vec::with_capacity(MIN_REQUEST_LEN + 3 + self.name.len());
+        p.extend_from_slice(&(self.len as u64).to_be_bytes());
+        p.extend_from_slice(&(self.packet_payload as u32).to_be_bytes());
+        p.push(strategy_to_u8(self.strategy));
+        p.extend_from_slice(&self.multiblast_chunk.to_be_bytes());
+        p.push(match self.direction {
+            Direction::Push => 0,
+            Direction::Pull => 1,
+        });
+        p.extend_from_slice(&(self.name.len() as u16).to_be_bytes());
+        p.extend_from_slice(self.name.as_bytes());
+        p
+    }
+
+    /// Decode a request payload; `None` if malformed.
+    pub fn decode(p: &[u8]) -> Option<Self> {
+        if p.len() < MIN_REQUEST_LEN {
+            return None;
+        }
+        let len = u64::from_be_bytes(p[0..8].try_into().ok()?) as usize;
+        let packet_payload = u32::from_be_bytes(p[8..12].try_into().ok()?) as usize;
+        if packet_payload == 0 || packet_payload > blast_wire::MAX_ETHERNET_PAYLOAD {
+            return None;
+        }
+        let strategy = strategy_from_u8(p[12]);
+        let multiblast_chunk = u32::from_be_bytes(p[13..17].try_into().ok()?);
+        let (direction, name) = if p.len() == MIN_REQUEST_LEN {
+            // Legacy fixed-field request.
+            (Direction::Push, String::new())
+        } else {
+            if p.len() < MIN_REQUEST_LEN + 3 {
+                return None;
+            }
+            let direction = match p[17] {
+                0 => Direction::Push,
+                1 => Direction::Pull,
+                _ => return None,
+            };
+            let name_len = u16::from_be_bytes(p[18..20].try_into().ok()?) as usize;
+            if name_len > MAX_NAME_LEN || p.len() != MIN_REQUEST_LEN + 3 + name_len {
+                return None;
+            }
+            let name = std::str::from_utf8(&p[20..]).ok()?.to_string();
+            (direction, name)
+        };
+        Some(Request {
+            len,
+            packet_payload,
+            strategy,
+            multiblast_chunk,
+            direction,
+            name,
+        })
+    }
+
+    /// Build the complete `Request` datagram for `transfer_id`.
+    pub fn build_datagram(&self, transfer_id: u32) -> Vec<u8> {
+        let payload = self.encode();
+        let mut buf = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let n = DatagramBuilder::new(transfer_id)
+            .build_request(&mut buf, self.total_packets(), &payload)
+            .expect("request fits");
+        buf.truncate(n);
+        buf
+    }
+}
+
+/// Wire byte for a strategy (its index in [`RetxStrategy::ALL`]).
+pub fn strategy_to_u8(s: RetxStrategy) -> u8 {
+    RetxStrategy::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("strategy in ALL") as u8
+}
+
+/// Strategy for a wire byte (modulo the table, so any byte decodes).
+pub fn strategy_from_u8(b: u8) -> RetxStrategy {
+    RetxStrategy::ALL[(b as usize) % RetxStrategy::ALL.len()]
+}
+
+/// What [`initiate`] returns once the responder echoes.
+#[derive(Debug)]
+pub struct HandshakeReply {
+    /// The request as echoed (for pulls, `len` is now authoritative).
+    pub echoed: Request,
+    /// Request datagrams transmitted before the echo arrived.
+    pub datagrams_sent: u64,
+}
+
+/// Run the initiator side: send the `Request` datagram every
+/// `retry_interval` until the responder echoes it (or sends `Cancel`),
+/// giving up after `deadline`.
+///
+/// Duplicate-tolerance is the responder's job — it must keep echoing
+/// duplicate requests for as long as it serves the transfer, because
+/// any single echo may be lost.  Datagrams that are not a matching echo
+/// (stray data, other transfers, garbage) are ignored here; the caller
+/// typically starts its engine right after, and any data packets that
+/// raced ahead of the echo are still queued in the socket buffer.
+///
+/// Errors: `InvalidInput` for a request no responder could decode (a
+/// blob name over [`MAX_NAME_LEN`] — catching it here turns a silent
+/// 30-second timeout into an immediate error), `NotFound` if the
+/// responder cancels (e.g. pulling a blob the node does not have),
+/// `TimedOut` if `deadline` passes un-echoed.
+pub fn initiate<C: Channel>(
+    channel: &mut C,
+    transfer_id: u32,
+    request: &Request,
+    retry_interval: Duration,
+    deadline: Duration,
+) -> io::Result<HandshakeReply> {
+    if request.name.len() > MAX_NAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("blob name exceeds {MAX_NAME_LEN} bytes"),
+        ));
+    }
+    let req = request.build_datagram(transfer_id);
+    let mut sent = 0u64;
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    let give_up = Instant::now() + deadline;
+    loop {
+        if Instant::now() > give_up {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "handshake timed out",
+            ));
+        }
+        channel.send(&req)?;
+        sent += 1;
+        let t0 = Instant::now();
+        while t0.elapsed() < retry_interval {
+            match channel.recv_timeout(&mut buf, retry_interval)? {
+                None => break,
+                Some(n) => {
+                    let Ok(d) = Datagram::parse(&buf[..n]) else {
+                        continue;
+                    };
+                    if d.transfer_id != transfer_id {
+                        continue;
+                    }
+                    match d.kind {
+                        PacketKind::Request => {
+                            if let Some(echoed) = Request::decode(d.payload) {
+                                return Ok(HandshakeReply {
+                                    echoed,
+                                    datagrams_sent: sent,
+                                });
+                            }
+                        }
+                        PacketKind::Cancel => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::NotFound,
+                                "responder cancelled the transfer",
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Request {
+        Request {
+            len: 123_456,
+            packet_payload: 1400,
+            strategy: RetxStrategy::Selective,
+            multiblast_chunk: 32,
+            direction: Direction::Pull,
+            name: "models/weights.bin".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_name_and_direction() {
+        let r = sample();
+        assert_eq!(Request::decode(&r.encode()), Some(r));
+    }
+
+    #[test]
+    fn roundtrip_empty_name_push() {
+        let r = Request::push(999, &ProtocolConfig::default(), true);
+        assert_eq!(r.multiblast_chunk, 64);
+        assert_eq!(Request::decode(&r.encode()), Some(r));
+    }
+
+    #[test]
+    fn legacy_fixed_fields_decode_as_anonymous_push() {
+        let full = sample().encode();
+        let r = Request::decode(&full[..MIN_REQUEST_LEN]).unwrap();
+        assert_eq!(r.direction, Direction::Push);
+        assert!(r.name.is_empty());
+        assert_eq!(r.len, 123_456);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_none());
+        assert!(Request::decode(&[0; 12]).is_none());
+        // Zero packet size.
+        let mut bad = sample().encode();
+        bad[8..12].copy_from_slice(&0u32.to_be_bytes());
+        assert!(Request::decode(&bad).is_none());
+        // Unknown direction byte.
+        let mut bad = sample().encode();
+        bad[17] = 7;
+        assert!(Request::decode(&bad).is_none());
+        // Name length that contradicts the payload length.
+        let mut bad = sample().encode();
+        bad[18..20].copy_from_slice(&999u16.to_be_bytes());
+        assert!(Request::decode(&bad).is_none());
+        // Truncated extension.
+        let good = sample().encode();
+        assert!(Request::decode(&good[..MIN_REQUEST_LEN + 2]).is_none());
+        // Non-UTF-8 name.
+        let mut bad = sample().encode();
+        let end = bad.len();
+        bad[end - 1] = 0xff;
+        assert!(Request::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn initiate_rejects_oversized_name_immediately() {
+        struct DeadChannel;
+        impl crate::channel::Channel for DeadChannel {
+            fn send(&mut self, _: &[u8]) -> std::io::Result<()> {
+                panic!("must fail before any send");
+            }
+            fn recv_timeout(
+                &mut self,
+                _: &mut [u8],
+                _: Duration,
+            ) -> std::io::Result<Option<usize>> {
+                Ok(None)
+            }
+        }
+        let cfg = ProtocolConfig::default();
+        let request = Request::pull(&"x".repeat(MAX_NAME_LEN + 1), &cfg);
+        let err = initiate(
+            &mut DeadChannel,
+            1,
+            &request,
+            Duration::from_millis(1),
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn strategy_byte_roundtrip() {
+        for s in RetxStrategy::ALL {
+            assert_eq!(strategy_from_u8(strategy_to_u8(s)), s);
+        }
+        // Any byte decodes to *some* strategy (modulo table).
+        let _ = strategy_from_u8(0xff);
+    }
+
+    #[test]
+    fn apply_to_adopts_negotiated_parameters() {
+        let mut cfg = ProtocolConfig::default();
+        sample().apply_to(&mut cfg);
+        assert_eq!(cfg.packet_payload, 1400);
+        assert_eq!(cfg.strategy, RetxStrategy::Selective);
+        assert_eq!(cfg.multiblast_chunk, 32);
+        // A single-blast request leaves the chunk setting alone.
+        let mut cfg = ProtocolConfig::default();
+        Request::push(10, &cfg.clone(), false).apply_to(&mut cfg);
+        assert_eq!(cfg.multiblast_chunk, 64);
+    }
+
+    #[test]
+    fn total_packets_rounds_up_and_floors_at_one() {
+        let r = Request::push(0, &ProtocolConfig::default(), false);
+        assert_eq!(r.total_packets(), 1);
+        let r = Request::push(1025, &ProtocolConfig::default(), false);
+        assert_eq!(r.total_packets(), 2);
+    }
+
+    #[test]
+    fn build_datagram_parses_as_request() {
+        let r = sample();
+        let dgram = r.build_datagram(42);
+        let d = Datagram::parse(&dgram).unwrap();
+        assert_eq!(d.kind, PacketKind::Request);
+        assert_eq!(d.transfer_id, 42);
+        assert_eq!(Request::decode(d.payload), Some(r));
+    }
+}

@@ -16,8 +16,12 @@
 //!   to exercise retransmission;
 //! * [`driver`] — a blocking event loop that runs one engine over a
 //!   channel with real (wall-clock) timers;
-//! * [`peer`] — one-call bulk transfer: a request/ack handshake that
-//!   pre-allocates the receive buffer (the paper's premise), then the
+//! * [`timers`] — the generation-stamped timer wheel behind that loop
+//!   (and behind the multi-session `blast-node` server);
+//! * [`handshake`] — the pre-allocation `Request` handshake: transfer
+//!   length, packet size, strategy, direction and blob name, encoded in
+//!   a `Request` packet that is retransmitted until echoed;
+//! * [`peer`] — one-call bulk transfer: the handshake, then the
 //!   configured protocol.
 //!
 //! ## Example (two threads over loopback)
@@ -47,10 +51,14 @@ pub mod channel;
 pub mod driver;
 pub mod fault;
 pub mod fcs;
+pub mod handshake;
 pub mod peer;
+pub mod timers;
 
 pub use channel::{Channel, UdpChannel};
 pub use driver::Driver;
 pub use fault::{FaultConfig, FaultyChannel};
 pub use fcs::FcsChannel;
+pub use handshake::{Direction, Request};
 pub use peer::{recv_data, send_data, TransferReport};
+pub use timers::TimerWheel;

@@ -22,15 +22,16 @@ use std::time::{Duration, Instant};
 
 use blast_core::api::EngineStats;
 use blast_core::blast::{BlastReceiver, BlastSender};
-use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_core::config::ProtocolConfig;
 use blast_core::engine::Engine;
 use blast_core::multiblast::MultiBlastSender;
 use blast_wire::header::PacketKind;
-use blast_wire::packet::{Datagram, DatagramBuilder};
+use blast_wire::packet::Datagram;
 
 use crate::channel::{Channel, MAX_DATAGRAM};
 use crate::driver::Driver;
 use crate::fcs::FcsChannel;
+use crate::handshake::{self, Request};
 
 /// Outcome of a completed transfer (either side).
 #[derive(Debug)]
@@ -58,51 +59,6 @@ impl TransferReport {
         }
         (bytes * 8) as f64 / secs / 1e6
     }
-}
-
-fn strategy_to_u8(s: RetxStrategy) -> u8 {
-    RetxStrategy::ALL
-        .iter()
-        .position(|&x| x == s)
-        .expect("strategy in ALL") as u8
-}
-
-fn strategy_from_u8(b: u8) -> RetxStrategy {
-    RetxStrategy::ALL[(b as usize) % RetxStrategy::ALL.len()]
-}
-
-/// `Request` payload: length (u64) + packet payload (u32) + strategy
-/// (u8) + multiblast chunk (u32; 0 = single blast).
-fn encode_request(len: usize, cfg: &ProtocolConfig, multiblast: bool) -> Vec<u8> {
-    let mut p = Vec::with_capacity(17);
-    p.extend_from_slice(&(len as u64).to_be_bytes());
-    p.extend_from_slice(&(cfg.packet_payload as u32).to_be_bytes());
-    p.push(strategy_to_u8(cfg.strategy));
-    p.extend_from_slice(&if multiblast { cfg.multiblast_chunk } else { 0 }.to_be_bytes());
-    p
-}
-
-struct RequestInfo {
-    len: usize,
-    packet_payload: usize,
-    strategy: RetxStrategy,
-}
-
-fn decode_request(p: &[u8]) -> Option<RequestInfo> {
-    if p.len() < 17 {
-        return None;
-    }
-    let len = u64::from_be_bytes(p[0..8].try_into().ok()?) as usize;
-    let packet_payload = u32::from_be_bytes(p[8..12].try_into().ok()?) as usize;
-    if packet_payload == 0 || packet_payload > blast_wire::MAX_ETHERNET_PAYLOAD {
-        return None;
-    }
-    let strategy = strategy_from_u8(p[12]);
-    Some(RequestInfo {
-        len,
-        packet_payload,
-        strategy,
-    })
 }
 
 /// Send `data` over `channel` as transfer `transfer_id`, blocking until
@@ -139,41 +95,15 @@ fn send_impl<C: Channel>(
     // hardware, so the engines only ever see intact packets.
     let mut channel = FcsChannel::new(channel);
     // Handshake: request until echoed.
-    let builder = DatagramBuilder::new(transfer_id);
-    let req_payload = encode_request(data.len(), cfg, multiblast);
-    let mut req = vec![0u8; blast_wire::HEADER_LEN + req_payload.len()];
-    let n = builder
-        .build_request(&mut req, cfg.packets_for(data.len()), &req_payload)
-        .expect("request fits");
-    req.truncate(n);
-
-    let mut handshake_sent = 0u64;
-    let mut buf = vec![0u8; MAX_DATAGRAM];
-    let deadline = Instant::now() + Duration::from_secs(30);
-    'handshake: loop {
-        if Instant::now() > deadline {
-            return Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "handshake timed out",
-            ));
-        }
-        channel.send(&req)?;
-        handshake_sent += 1;
-        let wait = cfg.retransmit_timeout.min(Duration::from_millis(200));
-        let t0 = Instant::now();
-        while t0.elapsed() < wait {
-            match channel.recv_timeout(&mut buf, wait)? {
-                None => break,
-                Some(n) => {
-                    if let Ok(d) = Datagram::parse(&buf[..n]) {
-                        if d.kind == PacketKind::Request && d.transfer_id == transfer_id {
-                            break 'handshake; // echoed
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let request = Request::push(data.len(), cfg, multiblast);
+    let reply = handshake::initiate(
+        &mut channel,
+        transfer_id,
+        &request,
+        cfg.retransmit_timeout.min(Duration::from_millis(200)),
+        Duration::from_secs(30),
+    )?;
+    let handshake_sent = reply.datagrams_sent;
 
     // Data phase.
     let mut engine: Box<dyn Engine> = if multiblast {
@@ -227,7 +157,7 @@ pub fn recv_data<C: Channel>(channel: C, cfg: &ProtocolConfig) -> io::Result<Tra
         if d.kind != PacketKind::Request {
             continue;
         }
-        let Some(info) = decode_request(d.payload) else {
+        let Some(info) = Request::decode(d.payload) else {
             continue;
         };
         break (d.transfer_id, info, buf[..n].to_vec());
@@ -235,8 +165,7 @@ pub fn recv_data<C: Channel>(channel: C, cfg: &ProtocolConfig) -> io::Result<Tra
 
     // Pre-allocate and echo.
     let mut rcfg = cfg.clone();
-    rcfg.packet_payload = info.packet_payload;
-    rcfg.strategy = info.strategy;
+    info.apply_to(&mut rcfg);
     let mut engine = BlastReceiver::new(transfer_id, info.len, &rcfg);
     channel.send(&echo)?;
 
@@ -262,6 +191,7 @@ mod tests {
     use super::*;
     use crate::channel::UdpChannel;
     use crate::fault::{FaultConfig, FaultyChannel};
+    use blast_core::config::RetxStrategy;
 
     fn cfg(ms: u64) -> ProtocolConfig {
         let mut c = ProtocolConfig::default();
@@ -374,26 +304,6 @@ mod tests {
             report.stats.acks_sent
         );
         assert!(tx.elapsed > Duration::ZERO);
-    }
-
-    #[test]
-    fn request_decode_rejects_garbage() {
-        assert!(decode_request(&[]).is_none());
-        assert!(decode_request(&[0; 12]).is_none());
-        let mut bad = encode_request(100, &ProtocolConfig::default(), false);
-        bad[8..12].copy_from_slice(&0u32.to_be_bytes()); // zero packet size
-        assert!(decode_request(&bad).is_none());
-        let ok = encode_request(100, &ProtocolConfig::default(), false);
-        let info = decode_request(&ok).unwrap();
-        assert_eq!(info.len, 100);
-        assert_eq!(info.packet_payload, 1024);
-    }
-
-    #[test]
-    fn strategy_byte_roundtrip() {
-        for s in RetxStrategy::ALL {
-            assert_eq!(strategy_from_u8(strategy_to_u8(s)), s);
-        }
     }
 
     #[test]

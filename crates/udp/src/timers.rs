@@ -1,0 +1,253 @@
+//! A generation-stamped timer wheel for event-loop drivers.
+//!
+//! The sans-I/O engines arm and cancel timers by token
+//! ([`blast_core::api::Action::SetTimer`] / `CancelTimer`), with
+//! replace-on-rearm semantics: arming a token that is already pending
+//! moves its deadline, and a cancelled token must not fire.  Deleting
+//! from the middle of a binary heap is awkward, so [`TimerWheel`] uses
+//! the classic lazy scheme instead: every arm/cancel bumps a per-key
+//! *generation*, heap entries carry the generation they were armed
+//! with, and stale entries are discarded when they surface.
+//!
+//! The key is generic so the same wheel serves both the single-engine
+//! blocking [`crate::driver::Driver`] (keyed by [`TimerToken`]) and the
+//! many-session `blast-node` event loop (keyed by
+//! `(transfer_id, TimerToken)`).
+//!
+//! [`TimerToken`]: blast_core::api::TimerToken
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// One pending-deadline tracker per key.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u64,
+    armed: bool,
+}
+
+/// A set of one-shot timers with replace-on-rearm and O(log n) expiry.
+#[derive(Debug)]
+pub struct TimerWheel<K> {
+    slots: HashMap<K, Slot>,
+    heap: BinaryHeap<Reverse<(Instant, u64, K)>>,
+    armed: usize,
+    /// Wheel-global generation counter: every arm draws a fresh value,
+    /// so a key whose slot was dropped by
+    /// [`forget_where`](TimerWheel::forget_where) and later re-armed can
+    /// never collide with one of its own stale heap entries.
+    next_generation: u64,
+}
+
+impl<K: Copy + Eq + Hash + Ord> Default for TimerWheel<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord> TimerWheel<K> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: HashMap::new(),
+            heap: BinaryHeap::new(),
+            armed: 0,
+            next_generation: 0,
+        }
+    }
+
+    /// Arm (or re-arm) `key` to fire at `when`.  A previously pending
+    /// deadline for the same key is superseded.
+    pub fn arm_at(&mut self, key: K, when: Instant) {
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        let slot = self.slots.entry(key).or_insert(Slot {
+            generation,
+            armed: false,
+        });
+        slot.generation = generation;
+        if !slot.armed {
+            slot.armed = true;
+            self.armed += 1;
+        }
+        self.heap.push(Reverse((when, generation, key)));
+    }
+
+    /// Arm (or re-arm) `key` to fire after `after` from now.
+    pub fn arm(&mut self, key: K, after: Duration) {
+        self.arm_at(key, Instant::now() + after);
+    }
+
+    /// Cancel `key` if pending; a no-op otherwise.
+    pub fn cancel(&mut self, key: K) {
+        if let Some(slot) = self.slots.get_mut(&key) {
+            if slot.armed {
+                slot.armed = false;
+                self.armed -= 1;
+            }
+        }
+    }
+
+    /// Drop all bookkeeping for keys matching `pred` (e.g. every timer
+    /// of a reaped session).  Their heap entries become stale and are
+    /// discarded lazily.
+    pub fn forget_where(&mut self, pred: impl Fn(&K) -> bool) {
+        let armed = &mut self.armed;
+        self.slots.retain(|k, slot| {
+            if pred(k) {
+                if slot.armed {
+                    *armed -= 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Number of keys currently armed.
+    pub fn len(&self) -> usize {
+        self.armed
+    }
+
+    /// True when no timer is pending.
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+
+    fn discard_stale_head(&mut self) -> bool {
+        if let Some(&Reverse((_, generation, key))) = self.heap.peek() {
+            let live = self
+                .slots
+                .get(&key)
+                .is_some_and(|s| s.armed && s.generation == generation);
+            if !live {
+                self.heap.pop();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        while self.discard_stale_head() {}
+        self.heap.peek().map(|Reverse((when, _, _))| *when)
+    }
+
+    /// Pop one key whose deadline is at or before `now`.  Call in a
+    /// loop to drain everything due.
+    pub fn pop_due(&mut self, now: Instant) -> Option<K> {
+        while self.discard_stale_head() {}
+        let &Reverse((when, _, key)) = self.heap.peek()?;
+        if when > now {
+            return None;
+        }
+        self.heap.pop();
+        let slot = self.slots.get_mut(&key).expect("live head has a slot");
+        slot.armed = false;
+        self.armed -= 1;
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at(1, t0 + Duration::from_millis(30));
+        w.arm_at(2, t0 + Duration::from_millis(10));
+        w.arm_at(3, t0 + Duration::from_millis(20));
+        assert_eq!(w.len(), 3);
+        let late = t0 + Duration::from_secs(1);
+        assert_eq!(w.pop_due(late), Some(2));
+        assert_eq!(w.pop_due(late), Some(3));
+        assert_eq!(w.pop_due(late), Some(1));
+        assert_eq!(w.pop_due(late), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn rearm_supersedes_previous_deadline() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at(7, t0 + Duration::from_millis(5));
+        w.arm_at(7, t0 + Duration::from_millis(500));
+        assert_eq!(w.len(), 1);
+        // The old deadline must not fire.
+        assert_eq!(w.pop_due(t0 + Duration::from_millis(100)), None);
+        assert_eq!(w.pop_due(t0 + Duration::from_secs(1)), Some(7));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at(1, t0 + Duration::from_millis(1));
+        w.cancel(1);
+        assert!(w.is_empty());
+        assert_eq!(w.pop_due(t0 + Duration::from_secs(1)), None);
+        // Cancelling an unknown key is a no-op.
+        w.cancel(99);
+    }
+
+    #[test]
+    fn next_deadline_skips_stale_entries() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at(1, t0 + Duration::from_millis(1));
+        w.arm_at(2, t0 + Duration::from_millis(50));
+        w.cancel(1);
+        let next = w.next_deadline().unwrap();
+        assert_eq!(next, t0 + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn forget_where_drops_a_sessions_timers() {
+        let mut w: TimerWheel<(u32, u64)> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at((1, 0), t0);
+        w.arm_at((1, 1), t0);
+        w.arm_at((2, 0), t0 + Duration::from_millis(5));
+        w.forget_where(|&(session, _)| session == 1);
+        assert_eq!(w.len(), 1);
+        let late = t0 + Duration::from_secs(1);
+        assert_eq!(w.pop_due(late), Some((2, 0)));
+        assert_eq!(w.pop_due(late), None);
+    }
+
+    #[test]
+    fn forgotten_key_rearmed_cannot_hit_stale_entry() {
+        // Regression: if generations were per-slot, forgetting a key and
+        // re-arming it would restart its generation at 1 and an old heap
+        // entry (same key, generation 1) would fire at the old deadline.
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at(1, t0 + Duration::from_millis(1)); // old session's timer
+        w.forget_where(|&k| k == 1); // session reaped; heap entry left stale
+        w.arm_at(1, t0 + Duration::from_secs(5)); // id reused by a new session
+        assert_eq!(
+            w.pop_due(t0 + Duration::from_secs(1)),
+            None,
+            "the new session's timer must not fire at the old deadline"
+        );
+        assert_eq!(w.pop_due(t0 + Duration::from_secs(6)), Some(1));
+    }
+
+    #[test]
+    fn rearm_after_fire_works() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm_at(1, t0);
+        assert_eq!(w.pop_due(t0), Some(1));
+        w.arm_at(1, t0 + Duration::from_millis(2));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_due(t0 + Duration::from_millis(2)), Some(1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Run a blast transfer node.
+//!
+//! ```bash
+//! cargo run --release --example node_server -- 127.0.0.1:47611 --sessions 2 --seed demo
+//! ```
+//!
+//! Binds the given address (default `127.0.0.1:47611`), optionally
+//! seeds the store with a demo blob, serves the given number of
+//! sessions (default: forever), then prints the aggregate metrics.
+//! Pair it with the `node_client` example.
+
+use blast_node::server::{NodeConfig, NodeServer};
+use blast_node::shared_store;
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:47611".to_string();
+    let mut sessions: Option<u64> = None;
+    let mut seed: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sessions" => sessions = it.next().and_then(|v| v.parse().ok()),
+            "--seed" => seed = it.next(),
+            other => addr = other.to_string(),
+        }
+    }
+
+    let store = shared_store();
+    if let Some(name) = &seed {
+        let blob: Vec<u8> = (0..128 * 1024).map(|i| (i % 251) as u8).collect();
+        store.lock().expect("store lock").put(name, blob);
+        println!("seeded blob '{name}' (128 KiB)");
+    }
+
+    let mut config = NodeConfig::default();
+    config.bind = addr.parse().expect("bind address like 127.0.0.1:47611");
+    let mut server = NodeServer::bind_with_store(config, store)?;
+    println!("blast-node listening on {}", server.local_addr()?);
+
+    match sessions {
+        Some(n) => {
+            println!("serving {n} session(s), then reporting…");
+            server.run_sessions(n)?;
+        }
+        None => {
+            println!("serving forever (Ctrl-C to stop)…");
+            server.run()?;
+        }
+    }
+
+    println!("\n{}", server.metrics().summary());
+    let store = server.store();
+    let s = store.lock().expect("store lock");
+    println!(
+        "store: {} blob(s), {} bytes total: {:?}",
+        s.len(),
+        s.total_bytes(),
+        s.names().collect::<Vec<_>>()
+    );
+    Ok(())
+}

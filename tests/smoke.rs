@@ -15,6 +15,7 @@ use blastlan::core::ProtocolConfig;
 fn umbrella_reexports_resolve() {
     let _cost = blastlan::analytic::CostModel::vkernel_sun();
     let _cfg: blastlan::core::ProtocolConfig = ProtocolConfig::default();
+    let _node = blastlan::node::NodeConfig::default();
     let _sim = blastlan::sim::SimConfig::standalone();
     let _stats = blastlan::stats::OnlineStats::new();
     let _udp = blastlan::udp::FaultConfig::none();
