@@ -1,0 +1,289 @@
+//! `perf` — the machine-readable performance harness.
+//!
+//! Unlike the criterion benches (which need minutes of sampling and
+//! produce human-oriented reports), this runner executes a fixed,
+//! deterministic workload and emits JSON that CI archives on every run,
+//! so the repo accumulates a measured performance trajectory instead of
+//! one-off numbers:
+//!
+//! * `BENCH_engines.json` — pure engine cost: full transfers through the
+//!   virtual-time harness (no sockets, no simulated hardware), per
+//!   protocol variant;
+//! * `BENCH_node_loopback.json` — the real thing: aggregate goodput of a
+//!   `blast-node` server fan-in over loopback UDP at 1/4/16 concurrent
+//!   sessions.
+//!
+//! Every record carries goodput, p50/p99 latency, and — via the
+//! process-wide counting allocator below — **allocations per packet**,
+//! the paper's "per-packet software overhead" made observable.
+//!
+//! Run `--smoke` for the CI-sized workload (a few seconds); the default
+//! workload is larger for quieter numbers on a developer machine.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_core::harness::{Harness, LossPlan};
+use blast_core::saw::{SawReceiver, SawSender};
+use blast_core::window::WindowSender;
+// Every `alloc`/`realloc` in the process bumps the shared counter; the
+// sections below read it before and after a measured loop and divide by
+// the packets moved — allocations per packet is the headline number the
+// zero-allocation hot path is judged on.
+use blast_counting_alloc::{allocations, CountingAlloc};
+use blast_node::client;
+use blast_node::server::{NodeConfig, NodeServer};
+use blast_udp::channel::UdpChannel;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One measured configuration, ready for JSON.
+struct Record {
+    name: String,
+    bytes: usize,
+    iters: usize,
+    goodput_mbps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    packets: u64,
+    allocs_per_packet: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn mbps(bytes: u64, elapsed: Duration) -> f64 {
+    (bytes as f64 / 1e6) / elapsed.as_secs_f64().max(1e-12)
+}
+
+fn payload(bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+        .collect()
+}
+
+/// Engine-only measurement: run `iters` full transfers through the
+/// virtual-time harness.  `run_one` executes a single transfer and
+/// returns the datagrams the pair produced; the first (unmeasured) call
+/// warms one-time setup — buffer pools, scratch capacity — out of the
+/// steady-state numbers.
+fn engine_record(
+    name: &str,
+    bytes: usize,
+    iters: usize,
+    mut run_one: impl FnMut() -> u64,
+) -> Record {
+    let mut latencies = Vec::with_capacity(iters);
+    let mut packets = 0u64;
+    run_one();
+    let allocs_before = allocations();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let it = Instant::now();
+        packets += run_one();
+        latencies.push(it.elapsed().as_secs_f64() * 1e3);
+    }
+    let elapsed = t0.elapsed();
+    let allocs = allocations() - allocs_before;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Record {
+        name: name.to_string(),
+        bytes,
+        iters,
+        goodput_mbps: mbps((bytes * iters) as u64, elapsed),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        packets,
+        allocs_per_packet: allocs as f64 / packets.max(1) as f64,
+    }
+}
+
+/// Node measurement: N concurrent client threads each push `bytes`
+/// through one node on loopback; the aggregate goodput across the
+/// fan-in is the figure a transfer node is judged on.
+fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
+    let data = payload(bytes);
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut goodputs: Vec<f64> = Vec::new();
+    let mut packets = 0u64;
+    let mut allocs = 0u64;
+    for repeat in 0..repeats {
+        let mut node_cfg = NodeConfig::default();
+        node_cfg.protocol.retransmit_timeout = Duration::from_millis(50);
+        node_cfg.protocol.max_retries = 100_000;
+        let node = NodeServer::bind(node_cfg)
+            .expect("bind node")
+            .spawn()
+            .expect("spawn node");
+        let addr = node.addr();
+        let allocs_before = allocations();
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let data = data.clone();
+                std::thread::spawn(move || {
+                    let mut cfg = ProtocolConfig::default();
+                    cfg.retransmit_timeout = Duration::from_millis(50);
+                    cfg.max_retries = 100_000;
+                    cfg.packet_payload = 1400;
+                    let id = (repeat * sessions + s + 1) as u32;
+                    let ch = UdpChannel::connect("127.0.0.1:0".parse().expect("literal"), addr)
+                        .expect("connect");
+                    let report =
+                        client::push_blob(ch, id, &format!("s{id}"), &data, &cfg).expect("push");
+                    report.elapsed.as_secs_f64() * 1e3
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.push(h.join().expect("client thread"));
+        }
+        let elapsed = t0.elapsed();
+        allocs += allocations() - allocs_before;
+        goodputs.push(mbps((bytes * sessions) as u64, elapsed));
+        node.wait_idle(Duration::from_secs(10));
+        let server = node.shutdown().expect("node shutdown");
+        let m = server.metrics();
+        packets += m.datagrams_received + m.datagrams_sent;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Record {
+        name: format!("push_{sessions}x{}k", bytes / 1024),
+        bytes: bytes * sessions,
+        iters: repeats,
+        goodput_mbps: goodputs.iter().sum::<f64>() / goodputs.len().max(1) as f64,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        packets,
+        allocs_per_packet: allocs as f64 / packets.max(1) as f64,
+    }
+}
+
+fn write_json(path: &str, section: &str, mode: &str, records: &[Record]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"iters\": {}, \"goodput_mbps\": {:.3}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"packets\": {}, \
+             \"allocs_per_packet\": {:.4}}}{comma}",
+            r.name,
+            r.bytes,
+            r.iters,
+            r.goodput_mbps,
+            r.p50_ms,
+            r.p99_ms,
+            r.packets,
+            r.allocs_per_packet
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+}
+
+fn print_summary(title: &str, records: &[Record]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<24} {:>14} {:>10} {:>10} {:>10} {:>14}",
+        "name", "goodput MB/s", "p50 ms", "p99 ms", "packets", "allocs/packet"
+    );
+    for r in records {
+        println!(
+            "{:<24} {:>14.2} {:>10.4} {:>10.4} {:>10} {:>14.4}",
+            r.name, r.goodput_mbps, r.p50_ms, r.p99_ms, r.packets, r.allocs_per_packet
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let (engine_iters, saw_iters, node_repeats) = if smoke { (40, 10, 3) } else { (200, 40, 10) };
+    const ENGINE_BYTES: usize = 64 * 1024;
+    const NODE_BYTES: usize = 256 * 1024;
+
+    let data: Arc<[u8]> = payload(ENGINE_BYTES).into();
+    let mut engines = Vec::new();
+    for strategy in RetxStrategy::ALL {
+        let data = data.clone();
+        // One config per record: every iteration's engines share (and
+        // keep warm) the same buffer pool, which is the steady-state
+        // regime a long-lived node runs in.
+        let cfg = ProtocolConfig::default().with_strategy(strategy);
+        engines.push(engine_record(
+            &format!("blast/{strategy}"),
+            ENGINE_BYTES,
+            engine_iters,
+            move || {
+                let mut h = Harness::new(
+                    BlastSender::new(1, data.clone(), &cfg),
+                    BlastReceiver::new(1, data.len(), &cfg),
+                    LossPlan::perfect(),
+                );
+                let o = h.run().expect("lossless blast transfer");
+                o.sender.data_packets_sent + o.receiver.acks_sent
+            },
+        ));
+    }
+    {
+        let data = data.clone();
+        let cfg = ProtocolConfig::default();
+        engines.push(engine_record(
+            "sliding-window",
+            ENGINE_BYTES,
+            engine_iters,
+            move || {
+                let mut h = Harness::new(
+                    WindowSender::new(1, data.clone(), &cfg),
+                    SawReceiver::new(1, data.len(), &cfg),
+                    LossPlan::perfect(),
+                );
+                let o = h.run().expect("lossless window transfer");
+                o.sender.data_packets_sent + o.receiver.acks_sent
+            },
+        ));
+    }
+    {
+        let data = data.clone();
+        let cfg = ProtocolConfig::default();
+        engines.push(engine_record(
+            "stop-and-wait",
+            ENGINE_BYTES,
+            saw_iters,
+            move || {
+                let mut h = Harness::new(
+                    SawSender::new(1, data.clone(), &cfg),
+                    SawReceiver::new(1, data.len(), &cfg),
+                    LossPlan::perfect(),
+                );
+                let o = h.run().expect("lossless saw transfer");
+                o.sender.data_packets_sent + o.receiver.acks_sent
+            },
+        ));
+    }
+    print_summary("engines (virtual-time harness, 64 KB transfers)", &engines);
+    write_json("BENCH_engines.json", "engines", mode, &engines);
+
+    let mut node = Vec::new();
+    for sessions in [1usize, 4, 16] {
+        node.push(node_record(sessions, NODE_BYTES, node_repeats));
+    }
+    print_summary("node_loopback (concurrent push fan-in over UDP)", &node);
+    write_json("BENCH_node_loopback.json", "node_loopback", mode, &node);
+
+    println!("\nwrote BENCH_engines.json and BENCH_node_loopback.json ({mode} mode)");
+}

@@ -5,6 +5,7 @@ use core::fmt;
 use std::time::Duration;
 
 use crate::error::CoreError;
+use crate::pool::PooledBuf;
 
 /// Identifies a timer within one engine.
 ///
@@ -27,7 +28,12 @@ pub struct TimerToken(pub u64);
 pub enum Action {
     /// Hand a complete transport datagram (header + payload, as produced
     /// by `blast_wire::DatagramBuilder`) to the network.
-    Transmit(Vec<u8>),
+    ///
+    /// The bytes ride in a [`PooledBuf`]: engines build packets in
+    /// buffers checked out of the shared [`crate::pool::BufferPool`],
+    /// and the driver dropping the executed action checks the buffer
+    /// back in — the steady-state packet loop allocates nothing.
+    Transmit(PooledBuf),
     /// Arm (or re-arm) the timer `token` to fire after `after`.
     SetTimer {
         /// Engine-scoped timer identity.
@@ -182,7 +188,7 @@ mod tests {
 
     #[test]
     fn action_as_transmit() {
-        let a = Action::Transmit(vec![1, 2, 3]);
+        let a = Action::Transmit(vec![1, 2, 3].into());
         assert_eq!(a.as_transmit(), Some(&[1u8, 2, 3][..]));
         let a = Action::CancelTimer {
             token: TimerToken(0),

@@ -47,6 +47,7 @@ use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::{ProtocolConfig, RetxStrategy};
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
+use crate::pool::BufferPool;
 use crate::rxbuf::RxBuffer;
 use crate::txdata::TxData;
 
@@ -70,8 +71,22 @@ pub struct BlastSender {
     reliable_seq: u32,
     /// Retransmission rounds consumed (timeouts + NACK rounds).
     rounds_used: u32,
+    pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
+}
+
+/// What a NACK asks the sender to retransmit.  Contiguous answers stay
+/// as ranges so the steady paths (full retransmission, go-back-n) never
+/// materialise a `Vec` of sequence numbers; only a selective bitmap
+/// needs an explicit set.
+enum Resend {
+    /// Retransmit `first..end` of the sender's range.
+    Span { first: u32 },
+    /// Retransmit exactly this set (bitmap NACK).
+    Set(Vec<u32>),
+    /// Nothing actionable: re-solicit with the reliable tail.
+    Resolicit,
 }
 
 impl BlastSender {
@@ -109,6 +124,7 @@ impl BlastSender {
             end,
             reliable_seq: end - 1,
             rounds_used: 0,
+            pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
@@ -121,7 +137,9 @@ impl BlastSender {
 
     fn transmit_one(&mut self, seq: u32, last: bool, sink: &mut dyn ActionSink) {
         let payload = self.tx.payload_of(seq);
-        let mut buf = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let mut buf = self
+            .pool
+            .checkout_sized(blast_wire::HEADER_LEN + payload.len());
         let len = self
             .builder
             .build_data(
@@ -157,6 +175,31 @@ impl BlastSender {
         });
     }
 
+    /// Blast out the contiguous span `first..end` — the allocation-free
+    /// fast path used by round 0 and every non-bitmap retransmission.
+    fn send_span(&mut self, first: u32, sink: &mut dyn ActionSink) {
+        let end = self.end;
+        debug_assert!(first < end);
+        self.reliable_seq = end - 1;
+        for seq in first..end {
+            self.transmit_one(seq, seq + 1 == end, sink);
+        }
+        sink.push_action(Action::SetTimer {
+            token: RETX_TIMER,
+            after: self.timeout,
+        });
+    }
+
+    /// Retransmit only the reliable tail to re-solicit a status report.
+    fn resolicit(&mut self, sink: &mut dyn ActionSink) {
+        let seq = self.reliable_seq;
+        self.transmit_one(seq, true, sink);
+        sink.push_action(Action::SetTimer {
+            token: RETX_TIMER,
+            after: self.timeout,
+        });
+    }
+
     /// Consume one unit of retransmission budget; completes with failure
     /// and returns `false` when exhausted.
     fn charge_round(&mut self, sink: &mut dyn ActionSink) -> bool {
@@ -178,21 +221,19 @@ impl BlastSender {
         true
     }
 
-    fn full_range(&self) -> Vec<u32> {
-        (self.first..self.end).collect()
-    }
-
     /// Packets to resend for a NACK, per strategy and NACK payload.
-    fn resend_set(&self, ack: &AckPayload) -> Option<Vec<u32>> {
+    fn resend_set(&self, ack: &AckPayload) -> Option<Resend> {
         match ack {
             AckPayload::Positive { .. } => None,
-            AckPayload::NackFull => Some(self.full_range()),
+            AckPayload::NackFull => Some(Resend::Span { first: self.first }),
             AckPayload::NackFirstMissing { first_missing } => {
                 if *first_missing >= self.end {
                     // Nonsense NACK (beyond our range): re-solicit.
-                    Some(vec![self.reliable_seq])
+                    Some(Resend::Resolicit)
                 } else {
-                    Some((*first_missing..self.end).collect())
+                    Some(Resend::Span {
+                        first: *first_missing,
+                    })
                 }
             }
             AckPayload::NackBitmap(bm) => {
@@ -204,9 +245,9 @@ impl BlastSender {
                 set.extend(horizon.max(self.first)..self.end);
                 if set.is_empty() {
                     // NACK with nothing missing in range: re-solicit.
-                    Some(vec![self.reliable_seq])
+                    Some(Resend::Resolicit)
                 } else {
-                    Some(set)
+                    Some(Resend::Set(set))
                 }
             }
         }
@@ -215,8 +256,8 @@ impl BlastSender {
 
 impl Engine for BlastSender {
     fn start(&mut self, sink: &mut dyn ActionSink) {
-        let all = self.full_range();
-        self.send_round(&all, sink);
+        let first = self.first;
+        self.send_span(first, sink);
     }
 
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
@@ -238,9 +279,13 @@ impl Engine for BlastSender {
                 // (an earlier chunk's ack); keep waiting.
             }
             nack => {
-                if let Some(set) = self.resend_set(nack) {
+                if let Some(resend) = self.resend_set(nack) {
                     if self.charge_round(sink) {
-                        self.send_round(&set, sink);
+                        match resend {
+                            Resend::Span { first } => self.send_span(first, sink),
+                            Resend::Set(set) => self.send_round(&set, sink),
+                            Resend::Resolicit => self.resolicit(sink),
+                        }
                     }
                 }
             }
@@ -258,19 +303,12 @@ impl Engine for BlastSender {
         match self.strategy {
             // §3.1.2 / §3.2.2: "it retransmits the whole sequence".
             RetxStrategy::FullNoNack | RetxStrategy::FullNack => {
-                let all = self.full_range();
-                self.send_round(&all, sink);
+                let first = self.first;
+                self.send_span(first, sink);
             }
             // §3.2.3: only the reliable last packet is retransmitted
             // periodically; the NACK it solicits directs the rest.
-            RetxStrategy::GoBackN | RetxStrategy::Selective => {
-                let seq = self.reliable_seq;
-                self.transmit_one(seq, true, sink);
-                sink.push_action(Action::SetTimer {
-                    token: RETX_TIMER,
-                    after: self.timeout,
-                });
-            }
+            RetxStrategy::GoBackN | RetxStrategy::Selective => self.resolicit(sink),
         }
     }
 
@@ -302,6 +340,7 @@ pub struct BlastReceiver {
     /// the horizon to the chunk end, and the report covers everything
     /// up to it.
     horizon: Option<u32>,
+    pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
 }
@@ -315,6 +354,7 @@ impl BlastReceiver {
             builder: DatagramBuilder::new(transfer_id).kernel(config.kernel_flag),
             strategy: config.strategy,
             horizon: None,
+            pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
@@ -359,7 +399,9 @@ impl BlastReceiver {
             },
         };
         let is_nack = report.is_nack();
-        let mut buf = vec![0u8; blast_wire::HEADER_LEN + report.encoded_len()];
+        let mut buf = self
+            .pool
+            .checkout_sized(blast_wire::HEADER_LEN + report.encoded_len());
         let len = self
             .builder
             .build_ack(&mut buf, total, &report)
@@ -553,21 +595,22 @@ mod tests {
             Some(AckPayload::NackFirstMissing { first_missing: 3 })
         );
 
-        // Sender resends 3..8.
+        // Sender resends 3..8 (one materialised packet list serves the
+        // whole round — no re-collecting clones of every transmit).
         let out = feed(&mut s, &acks[0]);
-        let resent: Vec<u32> = transmits(&out)
+        let pkts = transmits(&out);
+        let resent: Vec<u32> = pkts
             .iter()
             .map(|p| Datagram::parse(p).unwrap().seq)
             .collect();
         assert_eq!(resent, vec![3, 4, 5, 6, 7]);
         // Tail of the new round is reliable again.
-        let last = transmits(&out).pop().unwrap();
-        let d = Datagram::parse(&last).unwrap();
+        let d = Datagram::parse(pkts.last().unwrap()).unwrap();
         assert!(d.is_last() && d.is_reliable());
         assert_eq!(d.round, 1);
 
         // Deliver the new round; receiver completes and acks positively.
-        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        let acks = deliver_except(&mut r, &pkts, &[]);
         assert!(r.is_finished());
         assert_eq!(r.data(), &payload[..]);
         let d = Datagram::parse(&acks[0]).unwrap();
@@ -595,7 +638,8 @@ mod tests {
             other => panic!("expected bitmap NACK, got {other:?}"),
         }
         let out = feed(&mut s, &acks[0]);
-        let resent: Vec<u32> = transmits(&out)
+        let pkts = transmits(&out);
+        let resent: Vec<u32> = pkts
             .iter()
             .map(|p| Datagram::parse(p).unwrap().seq)
             .collect();
@@ -605,7 +649,6 @@ mod tests {
             "selective resends exactly the missing set"
         );
         // Last of the resent subset carries the solicitation flags.
-        let pkts = transmits(&out);
         let tail = Datagram::parse(pkts.last().unwrap()).unwrap();
         assert_eq!(tail.seq, 6);
         assert!(tail.is_last() && tail.is_reliable());
@@ -657,14 +700,15 @@ mod tests {
         // Sender timeout: full retransmission.
         let mut out = Vec::new();
         s.on_timer(RETX_TIMER, &mut out);
-        let resent: Vec<u32> = transmits(&out)
+        let pkts = transmits(&out);
+        let resent: Vec<u32> = pkts
             .iter()
             .map(|p| Datagram::parse(p).unwrap().seq)
             .collect();
         assert_eq!(resent, vec![0, 1, 2, 3]);
         assert_eq!(s.stats().timeouts, 1);
 
-        let acks = deliver_except(&mut r, &transmits(&out), &[]);
+        let acks = deliver_except(&mut r, &pkts, &[]);
         assert_eq!(acks.len(), 1);
         let d = Datagram::parse(&acks[0]).unwrap();
         assert_eq!(d.ack, Some(AckPayload::Positive { acked: 3 }));

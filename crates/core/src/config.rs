@@ -4,6 +4,7 @@ use core::fmt;
 use std::time::Duration;
 
 use crate::error::{CoreError, CoreResult};
+use crate::pool::BufferPool;
 
 /// Which of the paper's protocol classes to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,7 +95,7 @@ impl fmt::Display for RetxStrategy {
 /// go-back-n retransmission, and an effectively unbounded window for the
 /// sliding-window protocol ("we assume that the window is large enough
 /// so that it never gets closed").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ProtocolConfig {
     /// Payload bytes per data packet.  The paper uses 1024 everywhere.
     pub packet_payload: usize,
@@ -115,7 +116,42 @@ pub struct ProtocolConfig {
     pub multiblast_chunk: u32,
     /// Set the KERNEL flag on all packets (V-kernel IPC traffic).
     pub kernel_flag: bool,
+    /// The packet-buffer pool engines built from this config share.
+    ///
+    /// Cloning a config clones the *handle*: every engine created from
+    /// the same config (or a clone of it, as the `blast-node` server
+    /// does per session) recycles one bounded set of buffers — the
+    /// zero-allocation hot path.  Excluded from equality: two configs
+    /// with the same parameters are the same configuration regardless of
+    /// which pool instance they drain.
+    pub pool: BufferPool,
 }
+
+impl PartialEq for ProtocolConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: adding a field without deciding how
+        // it compares is a compile error, not a silently-vacuous eq.
+        let ProtocolConfig {
+            packet_payload,
+            retransmit_timeout,
+            max_retries,
+            strategy,
+            window,
+            multiblast_chunk,
+            kernel_flag,
+            pool: _,
+        } = self;
+        *packet_payload == other.packet_payload
+            && *retransmit_timeout == other.retransmit_timeout
+            && *max_retries == other.max_retries
+            && *strategy == other.strategy
+            && *window == other.window
+            && *multiblast_chunk == other.multiblast_chunk
+            && *kernel_flag == other.kernel_flag
+    }
+}
+
+impl Eq for ProtocolConfig {}
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
@@ -129,6 +165,7 @@ impl Default for ProtocolConfig {
             window: None,
             multiblast_chunk: 64,
             kernel_flag: false,
+            pool: BufferPool::default(),
         }
     }
 }
@@ -200,6 +237,13 @@ impl ProtocolConfig {
     /// Builder-style setter for the multiblast chunk size.
     pub fn with_multiblast_chunk(mut self, chunk: u32) -> Self {
         self.multiblast_chunk = chunk;
+        self
+    }
+
+    /// Builder-style setter for the shared buffer pool (e.g. to make
+    /// several independently-built configs recycle one set of buffers).
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = pool;
         self
     }
 }

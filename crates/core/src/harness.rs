@@ -18,6 +18,7 @@ use blast_wire::packet::Datagram;
 use crate::api::{Action, EngineStats, Outcome, TimerToken};
 use crate::engine::Engine;
 use crate::error::CoreError;
+use crate::pool::PooledBuf;
 
 /// Which end of the channel an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -105,7 +106,9 @@ impl XorShift {
 enum EventKind {
     Deliver {
         to: Side,
-        packet: Vec<u8>,
+        // Stays pooled across the virtual wire: delivering the event
+        // returns the buffer to the engines' shared pool.
+        packet: PooledBuf,
     },
     Timer {
         side: Side,
@@ -258,8 +261,10 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
         }
     }
 
-    fn run_actions(&mut self, side: Side, actions: Vec<Action>) {
-        for action in actions {
+    /// Drain and execute `actions`, leaving the (emptied) vector's
+    /// capacity behind for the caller to reuse.
+    fn run_actions(&mut self, side: Side, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Transmit(packet) => {
                     let drop = self.should_drop();
@@ -308,12 +313,13 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
 
     /// Run until both engines complete (success) or fail.
     pub fn run(&mut self) -> Result<Outcome, HarnessError> {
-        let mut actions = Vec::new();
-        self.sender.start(&mut actions);
-        self.run_actions(Side::Sender, actions);
-        let mut actions = Vec::new();
-        self.receiver.start(&mut actions);
-        self.run_actions(Side::Receiver, actions);
+        // One scratch vector serves every engine call: `run_actions`
+        // drains it, so its capacity is recycled for the whole run.
+        let mut out: Vec<Action> = Vec::new();
+        self.sender.start(&mut out);
+        self.run_actions(Side::Sender, &mut out);
+        self.receiver.start(&mut out);
+        self.run_actions(Side::Receiver, &mut out);
 
         let mut processed: u64 = 0;
         while self.sender_done.is_none() || self.receiver_done.is_none() {
@@ -337,15 +343,21 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
             self.now_ns = event.at_ns;
             match event.kind {
                 EventKind::Deliver { to, packet } => {
-                    let Ok(dgram) = Datagram::parse(&packet) else {
-                        continue; // corrupt packets are dropped by the wire layer
-                    };
-                    let mut out = Vec::new();
-                    match to {
-                        Side::Sender => self.sender.on_datagram(&dgram, &mut out),
-                        Side::Receiver => self.receiver.on_datagram(&dgram, &mut out),
+                    {
+                        let Ok(dgram) = Datagram::parse(&packet) else {
+                            continue; // corrupt packets are dropped by the wire layer
+                        };
+                        match to {
+                            Side::Sender => self.sender.on_datagram(&dgram, &mut out),
+                            Side::Receiver => self.receiver.on_datagram(&dgram, &mut out),
+                        }
                     }
-                    self.run_actions(to, out);
+                    // The datagram borrow ends above; dropping `packet`
+                    // here returns its buffer to the pool before the
+                    // emitted actions (which may check new ones out)
+                    // run.
+                    drop(packet);
+                    self.run_actions(to, &mut out);
                 }
                 EventKind::Timer {
                     side,
@@ -355,12 +367,11 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                     if self.timer_gen.get(&(side, token)).copied() != Some(generation) {
                         continue; // re-armed or cancelled
                     }
-                    let mut out = Vec::new();
                     match side {
                         Side::Sender => self.sender.on_timer(token, &mut out),
                         Side::Receiver => self.receiver.on_timer(token, &mut out),
                     }
-                    self.run_actions(side, out);
+                    self.run_actions(side, &mut out);
                 }
             }
         }

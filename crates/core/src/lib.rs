@@ -79,6 +79,7 @@ pub mod engine;
 pub mod error;
 pub mod harness;
 pub mod multiblast;
+pub mod pool;
 pub mod rxbuf;
 pub mod saw;
 pub mod txdata;
@@ -88,3 +89,4 @@ pub use api::{Action, CompletionInfo, EngineStats, Outcome, TimerToken};
 pub use config::{ProtocolConfig, ProtocolKind, RetxStrategy};
 pub use engine::Engine;
 pub use error::{CoreError, CoreResult};
+pub use pool::{BufferPool, PooledBuf};

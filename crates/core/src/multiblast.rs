@@ -41,6 +41,10 @@ pub struct MultiBlastSender {
     /// Stats of completed chunks (the live chunk's stats are added on
     /// query).
     absorbed: EngineStats,
+    /// Reused staging vector for [`drive`](MultiBlastSender::drive):
+    /// the chunk engine's actions are drained out of it every call, so
+    /// the steady state allocates no per-call sink.
+    staged: Vec<Action>,
     finish: Finish,
 }
 
@@ -60,6 +64,7 @@ impl MultiBlastSender {
             chunk_start: 0,
             inner,
             absorbed: EngineStats::default(),
+            staged: Vec::new(),
             finish: Finish::default(),
         }
     }
@@ -82,9 +87,11 @@ impl MultiBlastSender {
         f: F,
         sink: &mut dyn ActionSink,
     ) {
-        let mut staged: Vec<Action> = Vec::new();
+        // Take/put-back: a recursive `advance` (chunk rollover) sees an
+        // empty staging vector and stages its own batch independently.
+        let mut staged = std::mem::take(&mut self.staged);
         f(&mut self.inner, &mut staged);
-        for action in staged {
+        for action in staged.drain(..) {
             match action {
                 Action::Complete(info) => {
                     self.absorbed.absorb(&info.stats);
@@ -100,6 +107,7 @@ impl MultiBlastSender {
                 other => sink.push_action(other),
             }
         }
+        self.staged = staged;
     }
 
     fn advance(&mut self, sink: &mut dyn ActionSink) {

@@ -21,6 +21,7 @@ use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::ProtocolConfig;
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
+use crate::pool::BufferPool;
 use crate::rxbuf::RxBuffer;
 use crate::txdata::TxData;
 
@@ -39,6 +40,7 @@ pub struct SawSender {
     cur: u32,
     /// Retransmission attempts already made for `cur`.
     attempts: u32,
+    pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
 }
@@ -54,6 +56,7 @@ impl SawSender {
             max_retries: config.max_retries,
             cur: 0,
             attempts: 0,
+            pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
@@ -62,7 +65,9 @@ impl SawSender {
     fn send_current(&mut self, sink: &mut dyn ActionSink) {
         let seq = self.cur;
         let payload = self.tx.payload_of(seq);
-        let mut buf = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let mut buf = self
+            .pool
+            .checkout_sized(blast_wire::HEADER_LEN + payload.len());
         let len = self
             .builder
             .build_reliable_data(
@@ -165,6 +170,7 @@ pub struct SawReceiver {
     transfer_id: u32,
     rx: RxBuffer,
     builder: DatagramBuilder,
+    pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
 }
@@ -176,6 +182,7 @@ impl SawReceiver {
             transfer_id,
             rx: RxBuffer::new(bytes, config.packet_payload),
             builder: DatagramBuilder::new(transfer_id).kernel(config.kernel_flag),
+            pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
@@ -192,14 +199,13 @@ impl SawReceiver {
     }
 
     fn send_ack(&mut self, seq: u32, sink: &mut dyn ActionSink) {
-        let mut buf = vec![0u8; blast_wire::HEADER_LEN + 8];
+        let ack = AckPayload::Positive { acked: seq };
+        let mut buf = self
+            .pool
+            .checkout_sized(blast_wire::HEADER_LEN + ack.encoded_len());
         let len = self
             .builder
-            .build_ack(
-                &mut buf,
-                self.rx.total_packets(),
-                &AckPayload::Positive { acked: seq },
-            )
+            .build_ack(&mut buf, self.rx.total_packets(), &ack)
             .expect("ack fits");
         buf.truncate(len);
         self.stats.acks_sent += 1;
@@ -307,17 +313,18 @@ mod tests {
         while !sender_done {
             steps += 1;
             assert!(steps < 100, "livelock");
-            // Extract the data packet the sender just sent.
+            // Extract the data packet the sender just sent (borrowed in
+            // place — the lockstep needs no copies).
             let pkt = actions
                 .iter()
-                .find_map(|a| a.as_transmit().map(<[u8]>::to_vec))
+                .find_map(Action::as_transmit)
                 .expect("sender transmits");
-            let r_actions = feed(&mut r, &pkt);
+            let r_actions = feed(&mut r, pkt);
             let ack = r_actions
                 .iter()
-                .find_map(|a| a.as_transmit().map(<[u8]>::to_vec))
+                .find_map(Action::as_transmit)
                 .expect("receiver acks");
-            actions = feed(&mut s, &ack);
+            actions = feed(&mut s, ack);
             sender_done = s.is_finished();
         }
         assert!(r.is_finished());

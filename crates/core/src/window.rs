@@ -24,6 +24,7 @@ use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::ProtocolConfig;
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
+use crate::pool::BufferPool;
 use crate::txdata::TxData;
 
 /// Sliding-window receiver: identical to the stop-and-wait receiver.
@@ -45,6 +46,7 @@ pub struct WindowSender {
     acked_count: u32,
     /// Per-packet retransmission attempts.
     attempts: Vec<u32>,
+    pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
 }
@@ -65,6 +67,7 @@ impl WindowSender {
             acked: vec![false; total],
             acked_count: 0,
             attempts: vec![0; total],
+            pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
@@ -86,7 +89,9 @@ impl WindowSender {
 
     fn transmit(&mut self, seq: u32, sink: &mut dyn ActionSink) {
         let payload = self.tx.payload_of(seq);
-        let mut buf = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let mut buf = self
+            .pool
+            .checkout_sized(blast_wire::HEADER_LEN + payload.len());
         let round = self.attempts[seq as usize] as u16;
         let len = self
             .builder
@@ -266,17 +271,11 @@ mod tests {
         while !s.is_finished() {
             safety += 1;
             assert!(safety < 64);
-            let pkts: Vec<Vec<u8>> = actions
-                .iter()
-                .filter_map(|a| a.as_transmit().map(<[u8]>::to_vec))
-                .collect();
+            let pkts: Vec<&[u8]> = actions.iter().filter_map(Action::as_transmit).collect();
             assert_eq!(pkts.len(), 1, "window=1 must behave like stop-and-wait");
-            let r_out = feed(&mut r, &pkts[0]);
-            let ack = r_out
-                .iter()
-                .find_map(|a| a.as_transmit().map(<[u8]>::to_vec))
-                .unwrap();
-            actions = feed(&mut s, &ack);
+            let r_out = feed(&mut r, pkts[0]);
+            let ack = r_out.iter().find_map(Action::as_transmit).unwrap();
+            actions = feed(&mut s, ack);
         }
         assert!(r.is_finished());
         assert_eq!(r.data(), &payload[..]);

@@ -1,0 +1,81 @@
+//! A counting allocator: wraps [`System`] and bumps a global counter on
+//! every `alloc`/`realloc`.
+//!
+//! This is the measurement behind the repo's headline per-packet
+//! number: the `perf` harness divides the counter delta by the packets
+//! moved to report *allocations per packet*, and
+//! `crates/core/tests/zero_alloc.rs` asserts the steady-state blast
+//! loop leaves the counter untouched.
+//!
+//! The crate exists so the one `unsafe impl` lives in exactly one
+//! audited place; consumers stay `forbid(unsafe_code)`-clean and only
+//! declare the registration:
+//!
+//! ```ignore
+//! use blast_counting_alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static GLOBAL: CountingAlloc = CountingAlloc;
+//! ```
+
+// The one sanctioned use of `unsafe` in the workspace (see the
+// workspace lints table in the root Cargo.toml).
+#![allow(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Delegates to [`System`], counting every `alloc` and `realloc`.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocations (plus reallocations) observed so far, process-wide.
+/// Measure a region by differencing before/after.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// atomic increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registered for this test binary so the counter actually moves.
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn counts_heap_activity() {
+        let before = allocations();
+        let v: Vec<u64> = (0..1024).collect();
+        assert!(allocations() > before, "allocation must bump the counter");
+        drop(v);
+        let before = allocations();
+        let _x = 17u64; // stack only
+        assert_eq!(allocations(), before, "stack work must not");
+    }
+}

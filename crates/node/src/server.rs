@@ -19,7 +19,8 @@
 //! Sessions are created by the `Request` pre-allocation handshake from
 //! `blast-udp`: a push request allocates a [`BlastReceiver`] for the
 //! announced length before any data arrives (the paper's premise), a
-//! pull request looks the named blob up in the [`BlobStore`] and
+//! pull request looks the named blob up in the
+//! [`BlobStore`](crate::store::BlobStore) and
 //! blasts it back with the strategy the client asked for.  Finished
 //! engines linger briefly — a finished receiver must keep re-acking
 //! duplicates or a lost final ack strands its peer (§3.2.2's tail
@@ -125,6 +126,13 @@ pub struct NodeServer {
     demux: Demux,
     sessions: HashMap<u32, Session>,
     timers: TimerWheel<(u32, TimerToken)>,
+    /// Reused datagram receive buffer (one per node, not one per tick).
+    recv_buf: Vec<u8>,
+    /// Reused FCS framing scratch for outgoing datagrams.
+    frame_buf: Vec<u8>,
+    /// Reused engine-action sink: taken for the duration of an engine
+    /// call, drained by [`execute`](NodeServer::execute), put back.
+    scratch: Vec<Action>,
 }
 
 impl NodeServer {
@@ -137,6 +145,10 @@ impl NodeServer {
     pub fn bind_with_store(config: NodeConfig, store: SharedStore) -> io::Result<Self> {
         let socket = UdpSocket::bind(config.bind)?;
         socket.set_nonblocking(true)?;
+        // Every session's engine clones `config.protocol`, so they all
+        // share this pool; pre-warm it so the first blast round is
+        // already allocation free.
+        config.protocol.pool.warm(64);
         Ok(NodeServer {
             socket,
             config,
@@ -146,6 +158,9 @@ impl NodeServer {
             demux: Demux::new(),
             sessions: HashMap::new(),
             timers: TimerWheel::new(),
+            recv_buf: vec![0u8; MAX_DATAGRAM + 4],
+            frame_buf: Vec::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -240,10 +255,18 @@ impl NodeServer {
     /// Receive until the socket is dry (or a batch limit, so timers are
     /// never starved by a firehose).  Returns datagrams processed.
     fn drain_socket(&mut self) -> io::Result<usize> {
-        let mut buf = vec![0u8; MAX_DATAGRAM + 4];
+        // Take/put-back so the node recycles one receive buffer for its
+        // whole lifetime (`on_datagram` needs `&mut self`).
+        let mut buf = std::mem::take(&mut self.recv_buf);
+        let result = self.drain_socket_into(&mut buf);
+        self.recv_buf = buf;
+        result
+    }
+
+    fn drain_socket_into(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let mut drained = 0;
         while drained < 128 {
-            let (n, peer) = match self.socket.recv_from(&mut buf) {
+            let (n, peer) = match self.socket.recv_from(buf) {
                 Ok(x) => x,
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -279,11 +302,14 @@ impl NodeServer {
         match self.sessions.get(&id) {
             // Only the session's peer may drive its engine.
             Some(s) if s.peer == peer => {
-                let mut sink: Vec<Action> = Vec::new();
+                let mut sink = std::mem::take(&mut self.scratch);
                 if let Some(engine) = self.demux.get_mut(id) {
                     engine.on_datagram(&dgram, &mut sink);
                 }
-                self.execute(id, sink)?;
+                let executed = self.execute(id, &mut sink);
+                sink.clear();
+                self.scratch = sink;
+                executed?;
                 // Traffic for a finished session means the peer has not
                 // heard our final ack yet: postpone the reap so the
                 // engine stays to re-answer (the linger quiet window).
@@ -379,10 +405,13 @@ impl NodeServer {
         // Echo before starting the engine so that, in order-preserving
         // conditions, the size announcement precedes round-0 data.
         self.send_framed(peer, &echo)?;
-        let mut sink: Vec<Action> = Vec::new();
+        let mut sink = std::mem::take(&mut self.scratch);
         self.demux.register(engine, &mut sink);
         self.timers.arm((id, GIVE_UP), self.config.session_timeout);
-        self.execute(id, sink)
+        let executed = self.execute(id, &mut sink);
+        sink.clear();
+        self.scratch = sink;
+        executed
     }
 
     fn on_timer(&mut self, id: u32, token: TimerToken) -> io::Result<()> {
@@ -413,20 +442,25 @@ impl NodeServer {
                 Ok(())
             }
             _ => {
-                let mut sink: Vec<Action> = Vec::new();
+                let mut sink = std::mem::take(&mut self.scratch);
                 self.demux.on_timer(id, token, &mut sink);
-                self.execute(id, sink)
+                let executed = self.execute(id, &mut sink);
+                sink.clear();
+                self.scratch = sink;
+                executed
             }
         }
     }
 
-    /// Apply one session's engine actions to the world.
-    fn execute(&mut self, id: u32, actions: Vec<Action>) -> io::Result<()> {
+    /// Apply one session's engine actions to the world (draining
+    /// `actions`, whose capacity the caller reuses).
+    fn execute(&mut self, id: u32, actions: &mut Vec<Action>) -> io::Result<()> {
         let Some(peer) = self.sessions.get(&id).map(|s| s.peer) else {
+            actions.clear();
             return Ok(());
         };
         let mut completion = None;
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Transmit(bytes) => self.send_framed(peer, &bytes)?,
                 Action::SetTimer { token, after } => self.timers.arm((id, token), after),
@@ -481,8 +515,13 @@ impl NodeServer {
         self.timers.forget_where(|&(session, _)| session == id);
     }
 
-    fn send_framed(&self, peer: SocketAddr, datagram: &[u8]) -> io::Result<()> {
-        match self.socket.send_to(&fcs::frame(datagram), peer) {
+    fn send_framed(&mut self, peer: SocketAddr, datagram: &[u8]) -> io::Result<()> {
+        // Frame into the node's reused scratch: no allocation per send.
+        let mut framed = std::mem::take(&mut self.frame_buf);
+        fcs::frame_into(datagram, &mut framed);
+        let sent = self.socket.send_to(&framed, peer);
+        self.frame_buf = framed;
+        match sent {
             Ok(_) => {
                 self.metrics_mut(|m| m.datagrams_sent += 1);
                 Ok(())
@@ -504,13 +543,12 @@ impl NodeServer {
         }
     }
 
-    fn send_cancel(&self, id: u32, peer: SocketAddr) -> io::Result<()> {
-        let mut buf = vec![0u8; blast_wire::HEADER_LEN];
+    fn send_cancel(&mut self, id: u32, peer: SocketAddr) -> io::Result<()> {
+        let mut buf = [0u8; blast_wire::HEADER_LEN];
         let n = DatagramBuilder::new(id)
             .build_cancel(&mut buf)
             .expect("cancel fits");
-        buf.truncate(n);
-        self.send_framed(peer, &buf)
+        self.send_framed(peer, &buf[..n])
     }
 
     fn metrics_mut(&self, f: impl FnOnce(&mut NodeMetrics)) {

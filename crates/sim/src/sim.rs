@@ -34,6 +34,7 @@ use std::time::Duration;
 
 use blast_core::api::{Action, CompletionInfo, TimerToken};
 use blast_core::engine::Engine;
+use blast_core::pool::PooledBuf;
 use blast_wire::frame::frame_wire_len;
 use blast_wire::header::PacketKind;
 use blast_wire::packet::Datagram;
@@ -49,7 +50,9 @@ use crate::trace::{Lane, TraceEvent};
 struct Frame {
     src: usize,
     dst: usize,
-    bytes: Vec<u8>,
+    // Pooled: delivering (or dropping) the frame recycles the buffer
+    // into the engines' shared pool.
+    bytes: PooledBuf,
     is_data: bool,
     label: String,
 }

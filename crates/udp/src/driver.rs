@@ -108,9 +108,12 @@ impl<C: Channel> Driver<C> {
         let mut malformed = 0u64;
         let mut timers: TimerWheel<TimerToken> = TimerWheel::new();
 
-        let mut actions = Vec::new();
+        // One scratch vector serves every engine call for the whole
+        // run: `execute` drains it, so the packet loop reuses its
+        // capacity instead of allocating a sink per datagram.
+        let mut actions: Vec<Action> = Vec::new();
         engine.start(&mut actions);
-        self.execute(actions, &mut sent, &mut timers)?;
+        self.execute(&mut actions, &mut sent, &mut timers)?;
 
         let mut buf = vec![0u8; MAX_DATAGRAM];
         let mut completion: Option<CompletionInfo> = None;
@@ -133,9 +136,8 @@ impl<C: Channel> Driver<C> {
 
             // Fire due timers.
             while let Some(token) = timers.pop_due(now) {
-                let mut out = Vec::new();
-                engine.on_timer(token, &mut out);
-                let done = self.execute(out, &mut sent, &mut timers)?;
+                engine.on_timer(token, &mut actions);
+                let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                 if let Some(info) = done {
                     completion = Some(info);
                     finished_at = Some(Instant::now());
@@ -177,9 +179,8 @@ impl<C: Channel> Driver<C> {
                         }
                         continue;
                     }
-                    let mut out = Vec::new();
-                    engine.on_datagram(&dgram, &mut out);
-                    let done = self.execute(out, &mut sent, &mut timers)?;
+                    engine.on_datagram(&dgram, &mut actions);
+                    let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                     if let Some(info) = done {
                         completion = Some(info);
                         finished_at = Some(Instant::now());
@@ -208,14 +209,16 @@ impl<C: Channel> Driver<C> {
         })
     }
 
+    /// Drain and execute `actions`, leaving the vector's capacity for
+    /// the caller to reuse on the next engine call.
     fn execute(
         &mut self,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
         sent: &mut u64,
         timers: &mut TimerWheel<TimerToken>,
     ) -> io::Result<Option<CompletionInfo>> {
         let mut done = None;
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Transmit(bytes) => {
                     self.channel.send(&bytes)?;

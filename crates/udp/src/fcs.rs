@@ -24,9 +24,18 @@ use crate::channel::Channel;
 /// [`Channel`] abstraction cannot express).
 pub fn frame(payload: &[u8]) -> Vec<u8> {
     let mut framed = Vec::with_capacity(payload.len() + 4);
-    framed.extend_from_slice(payload);
-    framed.extend_from_slice(&crc32(payload).to_be_bytes());
+    frame_into(payload, &mut framed);
     framed
+}
+
+/// Build the wire frame into `out` (cleared first), reusing whatever
+/// capacity it already holds — the zero-allocation variant of [`frame`]
+/// for send paths that keep a scratch buffer (the `blast-node` reactor,
+/// [`FcsChannel::send`]).
+pub fn frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
 }
 
 /// Verify and strip the FCS trailer of a received frame, returning the
@@ -44,6 +53,9 @@ pub struct FcsChannel<C: Channel> {
     inner: C,
     /// Datagrams dropped because their FCS failed to verify.
     pub fcs_drops: u64,
+    /// Reused frame scratch: after the first send, framing a datagram
+    /// allocates nothing.
+    scratch: Vec<u8>,
 }
 
 impl<C: Channel> FcsChannel<C> {
@@ -52,6 +64,7 @@ impl<C: Channel> FcsChannel<C> {
         FcsChannel {
             inner,
             fcs_drops: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -63,7 +76,11 @@ impl<C: Channel> FcsChannel<C> {
 
 impl<C: Channel> Channel for FcsChannel<C> {
     fn send(&mut self, buf: &[u8]) -> io::Result<()> {
-        self.inner.send(&frame(buf))
+        let mut scratch = std::mem::take(&mut self.scratch);
+        frame_into(buf, &mut scratch);
+        let result = self.inner.send(&scratch);
+        self.scratch = scratch;
+        result
     }
 
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {

@@ -161,6 +161,11 @@ pub enum AckPayload {
 }
 
 impl AckPayload {
+    /// Upper bound on [`encoded_len`](Self::encoded_len) over every
+    /// variant — the stack/scratch buffer size that always suffices for
+    /// in-place encoding (a full-width bitmap NACK plus its header).
+    pub const MAX_ENCODED_LEN: usize = 1 + 4 + 2 + (Bitmap::MAX_BITS as usize) / 8;
+
     /// Number of bytes [`encode`](Self::encode) will write.
     pub fn encoded_len(&self) -> usize {
         match self {
