@@ -20,7 +20,7 @@ const BYTES_PER_SESSION: usize = 256 * 1024;
 
 fn client_cfg() -> ProtocolConfig {
     let mut cfg = ProtocolConfig::default();
-    cfg.retransmit_timeout = Duration::from_millis(50);
+    cfg.timeout = Duration::from_millis(50).into();
     cfg.max_retries = 100_000;
     // Larger packets than the paper's 1 KB: loopback has no Ethernet
     // MTU, but stay within the validated bound.
@@ -39,7 +39,7 @@ fn bench_node(c: &mut Criterion) {
         group.bench_function(format!("push_{sessions}x256k"), |b| {
             b.iter_custom(|iters| {
                 let mut node_cfg = NodeConfig::default();
-                node_cfg.protocol.retransmit_timeout = Duration::from_millis(50);
+                node_cfg.protocol.timeout = Duration::from_millis(50).into();
                 node_cfg.protocol.max_retries = 100_000;
                 let node = NodeServer::bind(node_cfg).unwrap().spawn().unwrap();
                 let addr = node.addr();

@@ -26,7 +26,7 @@ fn bench_udp(c: &mut Criterion) {
             for _ in 0..iters {
                 let (ca, cb) = UdpChannel::pair().unwrap();
                 let mut cfg = ProtocolConfig::default();
-                cfg.retransmit_timeout = Duration::from_millis(50);
+                cfg.timeout = Duration::from_millis(50).into();
                 // Larger packets than the paper's 1 KB: loopback has no
                 // Ethernet MTU, but stay within the validated bound.
                 cfg.packet_payload = 1400;

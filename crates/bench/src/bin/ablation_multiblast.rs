@@ -29,7 +29,7 @@ fn measure(chunk: u32, p_n: f64, trials: u64) -> (f64, f64) {
         cfg.max_retries = 1_000_000;
         // Timeout sized to one chunk's blast time.
         let chunk_ms = chunk as f64 * 2.65 + 3.22;
-        cfg.retransmit_timeout = std::time::Duration::from_nanos((chunk_ms * 1e6) as u64);
+        cfg.timeout = std::time::Duration::from_nanos((chunk_ms * 1e6) as u64).into();
         let sender: Box<dyn Engine> = Box::new(MultiBlastSender::new(1, data.clone(), &cfg));
         sim.attach(a, b, sender);
         sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));

@@ -54,7 +54,7 @@ fn measure(strategy: RetxStrategy, loss: LossModel, trials: u64) -> (OnlineStats
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default().with_strategy(strategy);
         cfg.max_retries = 1_000_000;
-        cfg.retransmit_timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64);
+        cfg.timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64).into();
         sim.attach(a, b, Box::new(BlastSender::new(1, data.clone(), &cfg)));
         sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
         let report = sim.run();

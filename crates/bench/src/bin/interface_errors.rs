@@ -35,7 +35,7 @@ fn run(speed: f64, rx_buffers: usize, strategy: RetxStrategy) -> Outcome {
     let b = sim.add_host_scaled("receiver", speed);
     let mut cfg = ProtocolConfig::default().with_strategy(strategy);
     cfg.max_retries = 1_000_000;
-    cfg.retransmit_timeout = std::time::Duration::from_millis(500);
+    cfg.timeout = std::time::Duration::from_millis(500).into();
     sim.attach(a, b, Box::new(BlastSender::new(1, data.clone(), &cfg)));
     sim.attach(b, a, Box::new(BlastReceiver::new(1, data.len(), &cfg)));
     let report = sim.run();

@@ -26,9 +26,11 @@ use std::time::{Duration, Instant};
 
 use blast_core::blast::{BlastReceiver, BlastSender};
 use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_core::control::{AdaptiveTimeout, PacingConfig};
 use blast_core::harness::{Harness, LossPlan};
 use blast_core::saw::{SawReceiver, SawSender};
 use blast_core::window::WindowSender;
+use blast_stats::Histogram;
 // Every `alloc`/`realloc` in the process bumps the shared counter; the
 // sections below read it before and after a measured loop and divide by
 // the packets moved — allocations per packet is the headline number the
@@ -51,6 +53,58 @@ struct Record {
     p99_ms: f64,
     packets: u64,
     allocs_per_packet: f64,
+    /// Retransmission-round percentiles across sessions (node records
+    /// only) — the loss-diagnosability histogram from `node::metrics`.
+    retx_p50: Option<f64>,
+    retx_p99: Option<f64>,
+}
+
+/// One loss-sweep measurement: adaptive-RTO + pacing behaviour under
+/// iid loss in the virtual-time harness (deterministic, seed-stamped).
+struct LossRecord {
+    name: String,
+    loss_pct: f64,
+    trials: usize,
+    rounds_mean: f64,
+    retx_packets_mean: f64,
+    rto_initial_ms: f64,
+    rto_final_ms_mean: f64,
+    srtt_final_us_mean: f64,
+}
+
+/// Deterministic per-stream generator (xorshift64*), one instance per
+/// bench session so the 4/16-session runs draw identical streams on
+/// every invocation — the variance band then reflects the system, not
+/// the workload.
+struct SessionRng(u64);
+
+impl SessionRng {
+    fn new(stream: u64) -> Self {
+        // splitmix-style scramble so streams 0,1,2… decorrelate.
+        let mut z = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SessionRng((z ^ (z >> 31)).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn payload(&mut self, bytes: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes);
+        while out.len() < bytes {
+            let word = self.next_u64().to_le_bytes();
+            let take = word.len().min(bytes - out.len());
+            out.extend_from_slice(&word[..take]);
+        }
+        out
+    }
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -104,38 +158,61 @@ fn engine_record(
         p99_ms: percentile(&latencies, 0.99),
         packets,
         allocs_per_packet: allocs as f64 / packets.max(1) as f64,
+        retx_p50: None,
+        retx_p99: None,
     }
 }
 
 /// Node measurement: N concurrent client threads each push `bytes`
 /// through one node on loopback; the aggregate goodput across the
 /// fan-in is the figure a transfer node is judged on.
+///
+/// Transmission control is the adaptive stack (Jacobson/Karn RTO +
+/// paced rounds + grown SO_RCVBUF) on both sides.  Each session draws
+/// its payload and start stagger from a deterministic per-session RNG
+/// stream, so every invocation runs the identical workload and the
+/// 4/16-session variance band reflects the system under test.
 fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
-    let data = payload(bytes);
     let mut latencies: Vec<f64> = Vec::new();
     let mut goodputs: Vec<f64> = Vec::new();
     let mut packets = 0u64;
     let mut allocs = 0u64;
+    let mut retx = Histogram::linear(0.0, 64.0, 64);
     for repeat in 0..repeats {
         let mut node_cfg = NodeConfig::default();
-        node_cfg.protocol.retransmit_timeout = Duration::from_millis(50);
+        // NodeConfig::default is already adaptive + paced; just raise
+        // the retry ceiling for the loss-heavy 16-session runs.
         node_cfg.protocol.max_retries = 100_000;
         let node = NodeServer::bind(node_cfg)
             .expect("bind node")
             .spawn()
             .expect("spawn node");
         let addr = node.addr();
+        // Per-session deterministic streams, drawn before the measured
+        // window so payload generation never pollutes the alloc count.
+        let inputs: Vec<(u32, Vec<u8>, Duration)> = (0..sessions)
+            .map(|s| {
+                let id = (repeat * sessions + s + 1) as u32;
+                let mut rng = SessionRng::new(u64::from(id));
+                let payload = rng.payload(bytes);
+                // Spread session starts over ≤ 2 ms so the handshake
+                // burst does not synchronize round-0 collisions.
+                let stagger = Duration::from_micros(rng.next_u64() % 2000);
+                (id, payload, stagger)
+            })
+            .collect();
         let allocs_before = allocations();
         let t0 = Instant::now();
-        let handles: Vec<_> = (0..sessions)
-            .map(|s| {
-                let data = data.clone();
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|(id, data, stagger)| {
                 std::thread::spawn(move || {
+                    std::thread::sleep(stagger);
                     let mut cfg = ProtocolConfig::default();
-                    cfg.retransmit_timeout = Duration::from_millis(50);
+                    cfg.timeout = AdaptiveTimeout::lan();
+                    cfg.pacing = PacingConfig::lan();
                     cfg.max_retries = 100_000;
                     cfg.packet_payload = 1400;
-                    let id = (repeat * sessions + s + 1) as u32;
                     let ch = UdpChannel::connect("127.0.0.1:0".parse().expect("literal"), addr)
                         .expect("connect");
                     let report =
@@ -154,6 +231,7 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
         let server = node.shutdown().expect("node shutdown");
         let m = server.metrics();
         packets += m.datagrams_received + m.datagrams_sent;
+        retx.merge(&m.retx_rounds);
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     Record {
@@ -165,22 +243,89 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
         p99_ms: percentile(&latencies, 0.99),
         packets,
         allocs_per_packet: allocs as f64 / packets.max(1) as f64,
+        retx_p50: Some(retx.percentile(50.0)),
+        retx_p99: Some(retx.percentile(99.0)),
     }
 }
 
-fn write_json(path: &str, section: &str, mode: &str, records: &[Record]) {
+/// Loss-sweep scenarios: a 64 KB adaptive + paced blast through the
+/// virtual-time harness under iid loss, recording the retransmission
+/// behaviour (rounds, retransmitted packets) and the RTO trajectory
+/// (seed → post-run value, plus the converged SRTT) per loss rate.
+fn loss_sweep(trials: usize) -> Vec<LossRecord> {
+    let initial = Duration::from_millis(5);
+    let mut out = Vec::new();
+    for loss_pct in [0u32, 1, 2, 5, 10] {
+        let cfg = ProtocolConfig::default()
+            .with_timeout(AdaptiveTimeout::Adaptive {
+                initial,
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(500),
+            })
+            .with_pacing(PacingConfig::new(16, Duration::from_micros(50)));
+        let mut cfg = cfg;
+        cfg.max_retries = 100_000;
+        let data: Arc<[u8]> = payload(64 * 1024).into();
+        let mut rounds = 0u64;
+        let mut retx_packets = 0u64;
+        let mut rto_final_ms = 0.0;
+        let mut srtt_final_us = 0.0;
+        for trial in 0..trials {
+            let seed = 0xB1A5_7000 + u64::from(loss_pct) * 1000 + trial as u64;
+            let plan = if loss_pct == 0 {
+                LossPlan::perfect()
+            } else {
+                LossPlan::random(seed, loss_pct, 100)
+            };
+            let mut h = Harness::new(
+                BlastSender::new(1, data.clone(), &cfg),
+                BlastReceiver::new(1, data.len(), &cfg),
+                plan,
+            );
+            let outcome = h.run().expect("loss-sweep transfer completes");
+            rounds += outcome.sender.retransmission_rounds;
+            retx_packets += outcome.sender.data_packets_retransmitted;
+            rto_final_ms += h.sender().current_rto().as_secs_f64() * 1e3;
+            srtt_final_us += h
+                .sender()
+                .srtt()
+                .map(|d| d.as_secs_f64() * 1e6)
+                .unwrap_or(0.0);
+        }
+        let n = trials.max(1) as f64;
+        out.push(LossRecord {
+            name: format!("blast_64k_loss_{loss_pct}pct"),
+            loss_pct: f64::from(loss_pct),
+            trials,
+            rounds_mean: rounds as f64 / n,
+            retx_packets_mean: retx_packets as f64 / n,
+            rto_initial_ms: initial.as_secs_f64() * 1e3,
+            rto_final_ms_mean: rto_final_ms / n,
+            srtt_final_us_mean: srtt_final_us / n,
+        });
+    }
+    out
+}
+
+fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: &[LossRecord]) {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v2\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
+        let retx = match (r.retx_p50, r.retx_p99) {
+            (Some(p50), Some(p99)) => {
+                format!(", \"retx_rounds_p50\": {p50:.2}, \"retx_rounds_p99\": {p99:.2}")
+            }
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"bytes\": {}, \"iters\": {}, \"goodput_mbps\": {:.3}, \
              \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"packets\": {}, \
-             \"allocs_per_packet\": {:.4}}}{comma}",
+             \"allocs_per_packet\": {:.4}{retx}}}{comma}",
             r.name,
             r.bytes,
             r.iters,
@@ -191,7 +336,30 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record]) {
             r.allocs_per_packet
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !sweep.is_empty() {
+        out.push_str(",\n  \"loss_sweep\": [\n");
+        for (i, r) in sweep.iter().enumerate() {
+            let comma = if i + 1 == sweep.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"loss_pct\": {:.1}, \"trials\": {}, \
+                 \"retx_rounds_mean\": {:.3}, \"retx_packets_mean\": {:.3}, \
+                 \"rto_initial_ms\": {:.3}, \"rto_final_ms_mean\": {:.3}, \
+                 \"srtt_final_us_mean\": {:.1}}}{comma}",
+                r.name,
+                r.loss_pct,
+                r.trials,
+                r.rounds_mean,
+                r.retx_packets_mean,
+                r.rto_initial_ms,
+                r.rto_final_ms_mean,
+                r.srtt_final_us_mean
+            );
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     std::fs::write(path, out).expect("write bench json");
 }
 
@@ -276,14 +444,42 @@ fn main() {
         ));
     }
     print_summary("engines (virtual-time harness, 64 KB transfers)", &engines);
-    write_json("BENCH_engines.json", "engines", mode, &engines);
+    let sweep = loss_sweep(if smoke { 10 } else { 40 });
+    println!("\n== loss sweep (adaptive RTO + pacing, virtual time) ==");
+    println!(
+        "{:<24} {:>8} {:>12} {:>12} {:>14} {:>14}",
+        "name", "loss %", "rounds", "retx pkts", "rto final ms", "srtt µs"
+    );
+    for r in &sweep {
+        println!(
+            "{:<24} {:>8.1} {:>12.3} {:>12.3} {:>14.3} {:>14.1}",
+            r.name,
+            r.loss_pct,
+            r.rounds_mean,
+            r.retx_packets_mean,
+            r.rto_final_ms_mean,
+            r.srtt_final_us_mean
+        );
+    }
+    write_json("BENCH_engines.json", "engines", mode, &engines, &sweep);
 
     let mut node = Vec::new();
     for sessions in [1usize, 4, 16] {
         node.push(node_record(sessions, NODE_BYTES, node_repeats));
     }
     print_summary("node_loopback (concurrent push fan-in over UDP)", &node);
-    write_json("BENCH_node_loopback.json", "node_loopback", mode, &node);
+    for r in &node {
+        if let (Some(p50), Some(p99)) = (r.retx_p50, r.retx_p99) {
+            println!("{:<24} retx rounds p50 {:.1} / p99 {:.1}", r.name, p50, p99);
+        }
+    }
+    write_json(
+        "BENCH_node_loopback.json",
+        "node_loopback",
+        mode,
+        &node,
+        &[],
+    );
 
     println!("\nwrote BENCH_engines.json and BENCH_node_loopback.json ({mode} mode)");
 }

@@ -1,0 +1,166 @@
+//! `perf_compare` — diff freshly-generated `BENCH_*.json` against a
+//! committed baseline and print the goodput / allocs-per-packet deltas
+//! as a markdown table (for `$GITHUB_STEP_SUMMARY`).
+//!
+//! Informational only: the process always exits 0, because the smoke
+//! numbers come from shared CI runners whose noise would make a failing
+//! threshold flap.  The value is the visible trajectory — every PR's
+//! job summary shows what it did to the measured numbers.
+//!
+//! Usage: `perf_compare <baseline-dir> <fresh-dir> [file ...]`
+//! (default files: `BENCH_engines.json`, `BENCH_node_loopback.json`).
+//!
+//! The parser is deliberately tiny and tied to the writer in `perf.rs`:
+//! one record per line, `"key": value` fields — not a general JSON
+//! reader (the workspace builds offline, with no serde).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One parsed record line.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    goodput_mbps: Option<f64>,
+    allocs_per_packet: Option<f64>,
+}
+
+/// Extract `"key": <number>` from a record line.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `"name": "<value>"` from a record line.
+fn name_field(line: &str) -> Option<String> {
+    let tag = "\"name\": \"";
+    let start = line.find(tag)? + tag.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn parse(path: &Path) -> Vec<Entry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name = name_field(line)?;
+            let entry = Entry {
+                name,
+                goodput_mbps: field(line, "goodput_mbps"),
+                allocs_per_packet: field(line, "allocs_per_packet"),
+            };
+            // Auxiliary sections (e.g. the loss sweep) carry names but
+            // no goodput; they are trajectories, not comparables.
+            entry.goodput_mbps.is_some().then_some(entry)
+        })
+        .collect()
+}
+
+fn delta_cell(base: Option<f64>, fresh: Option<f64>) -> String {
+    match (base, fresh) {
+        (Some(b), Some(f)) if b.abs() > 1e-12 => {
+            format!("{:+.1}%", (f - b) / b * 100.0)
+        }
+        (None, Some(_)) => "new".to_string(),
+        _ => "–".to_string(),
+    }
+}
+
+fn fmt_opt(v: Option<f64>, digits: usize) -> String {
+    v.map(|x| format!("{x:.digits$}")).unwrap_or("–".into())
+}
+
+fn compare(file: &str, baseline_dir: &Path, fresh_dir: &Path, out: &mut String) {
+    let base = parse(&baseline_dir.join(file));
+    let fresh = parse(&fresh_dir.join(file));
+    if fresh.is_empty() {
+        let _ = writeln!(out, "\n### {file}\n\n_no fresh results found_");
+        return;
+    }
+    let _ = writeln!(out, "\n### {file}\n");
+    let _ = writeln!(
+        out,
+        "| name | goodput MB/s (base → new) | Δ | allocs/packet (base → new) | Δ |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for f in &fresh {
+        let b = base.iter().find(|b| b.name == f.name);
+        let (bg, ba) = b
+            .map(|b| (b.goodput_mbps, b.allocs_per_packet))
+            .unwrap_or((None, None));
+        let _ = writeln!(
+            out,
+            "| {} | {} → {} | {} | {} → {} | {} |",
+            f.name,
+            fmt_opt(bg, 2),
+            fmt_opt(f.goodput_mbps, 2),
+            delta_cell(bg, f.goodput_mbps),
+            fmt_opt(ba, 4),
+            fmt_opt(f.allocs_per_packet, 4),
+            delta_cell(ba, f.allocs_per_packet),
+        );
+    }
+    for b in &base {
+        if !fresh.iter().any(|f| f.name == b.name) {
+            let _ = writeln!(out, "| {} | _dropped from fresh run_ | | | |", b.name);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: perf_compare <baseline-dir> <fresh-dir> [file ...]");
+        // Informational tool: never fail the job, even on misuse.
+        return;
+    }
+    let baseline_dir = Path::new(&args[0]);
+    let fresh_dir = Path::new(&args[1]);
+    let default_files = ["BENCH_engines.json", "BENCH_node_loopback.json"];
+    let files: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        default_files.to_vec()
+    };
+
+    let mut out = String::from("## Perf trajectory vs committed baseline\n");
+    let _ = writeln!(
+        out,
+        "\n_Informational (smoke workload on a shared runner); \
+         deltas are vs the JSONs committed in this checkout._"
+    );
+    for file in files {
+        compare(file, baseline_dir, fresh_dir, &mut out);
+    }
+    print!("{out}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        let line = r#"    {"name": "push_4x256k", "bytes": 1048576, "goodput_mbps": 43.057, "allocs_per_packet": 0.3015},"#;
+        assert_eq!(name_field(line).as_deref(), Some("push_4x256k"));
+        assert_eq!(field(line, "goodput_mbps"), Some(43.057));
+        assert_eq!(field(line, "allocs_per_packet"), Some(0.3015));
+        assert_eq!(field(line, "missing"), None);
+        assert_eq!(name_field("not a record"), None);
+    }
+
+    #[test]
+    fn delta_formatting() {
+        assert_eq!(delta_cell(Some(10.0), Some(11.0)), "+10.0%");
+        assert_eq!(delta_cell(Some(10.0), Some(9.0)), "-10.0%");
+        assert_eq!(delta_cell(None, Some(1.0)), "new");
+        assert_eq!(delta_cell(Some(1.0), None), "–");
+    }
+}

@@ -103,9 +103,9 @@ pub fn run_transfer(
     let mut cfg = ProtocolConfig::default();
     cfg.max_retries = 1_000_000;
     if let Some(ms) = timeout_ms {
-        cfg.retransmit_timeout = Duration::from_nanos((ms * 1e6) as u64);
+        cfg.timeout = Duration::from_nanos((ms * 1e6) as u64).into();
     } else {
-        cfg.retransmit_timeout = Duration::from_secs(3600);
+        cfg.timeout = Duration::from_secs(3600).into();
     }
     let data = payload(bytes);
     match proto {

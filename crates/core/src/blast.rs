@@ -43,16 +43,37 @@ use blast_wire::ack::{AckPayload, Bitmap};
 use blast_wire::header::PacketKind;
 use blast_wire::packet::{Datagram, DatagramBuilder};
 
+use std::time::Duration;
+
 use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::{ProtocolConfig, RetxStrategy};
+use crate::control::{Pacer, RttEstimator, PACE_TIMER};
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, PooledBuf};
 use crate::rxbuf::RxBuffer;
 use crate::txdata::TxData;
 
-/// The single timer a blast sender uses.
+/// The retransmission timer a blast sender uses (pacing uses
+/// [`PACE_TIMER`]).
 const RETX_TIMER: TimerToken = TimerToken(0);
+
+/// Upper bound on the per-round buffer stash (and on one batched pool
+/// checkout) — matches the pool's default free-list bound, so a single
+/// giant round cannot drain the free list through one engine.
+const MAX_BATCH: usize = 256;
+
+/// Emission cursor of the round in flight: what remains to be put on
+/// the wire once the pacer's next burst budget opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// The round is fully emitted; only timers are outstanding.
+    Idle,
+    /// Emitting the contiguous span `next..end`.
+    Span { next: u32 },
+    /// Emitting `pending_set[next..]` (bitmap-NACK rounds).
+    Set { next: usize },
+}
 
 /// Blast sender for a contiguous range of a transfer.
 #[derive(Debug)]
@@ -60,7 +81,9 @@ pub struct BlastSender {
     transfer_id: u32,
     tx: TxData,
     builder: DatagramBuilder,
-    timeout: std::time::Duration,
+    /// Retransmission-timeout source: fixed `Tr` or Jacobson/Karn.
+    rto: RttEstimator,
+    pacer: Pacer,
     max_retries: u32,
     strategy: RetxStrategy,
     /// First sequence this sender is responsible for.
@@ -71,6 +94,20 @@ pub struct BlastSender {
     reliable_seq: u32,
     /// Retransmission rounds consumed (timeouts + NACK rounds).
     rounds_used: u32,
+    /// Driver clock (see [`Engine::set_now`]).
+    now: Duration,
+    /// When the current round's soliciting tail went out — `Some` only
+    /// while an RTT sample off its acknowledgement would be unambiguous
+    /// under Karn's rule (the tail transmitted exactly once, in a round
+    /// that retransmitted nothing).
+    solicit_sent: Option<Duration>,
+    /// Paced-emission cursor for the round in flight.
+    pending: Pending,
+    /// Storage behind [`Pending::Set`], reused across rounds.
+    pending_set: Vec<u32>,
+    /// Batched pool checkouts for the burst being emitted (one pool
+    /// lock per burst instead of one per packet).
+    stash: Vec<PooledBuf>,
     pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
@@ -79,12 +116,12 @@ pub struct BlastSender {
 /// What a NACK asks the sender to retransmit.  Contiguous answers stay
 /// as ranges so the steady paths (full retransmission, go-back-n) never
 /// materialise a `Vec` of sequence numbers; only a selective bitmap
-/// needs an explicit set.
+/// needs an explicit set, staged in the sender's reused `pending_set`.
 enum Resend {
     /// Retransmit `first..end` of the sender's range.
     Span { first: u32 },
-    /// Retransmit exactly this set (bitmap NACK).
-    Set(Vec<u32>),
+    /// Retransmit exactly the set staged in `pending_set` (bitmap NACK).
+    Set,
     /// Nothing actionable: re-solicit with the reliable tail.
     Resolicit,
 }
@@ -111,19 +148,28 @@ impl BlastSender {
             first < end && end <= tx.total_packets(),
             "invalid blast range"
         );
+        let span = (end - first) as usize;
         BlastSender {
             transfer_id,
             tx,
             builder: DatagramBuilder::new(transfer_id)
                 .kernel(config.kernel_flag)
                 .multiblast(multiblast),
-            timeout: config.retransmit_timeout,
+            rto: RttEstimator::new(&config.timeout),
+            pacer: Pacer::new(config.pacing),
             max_retries: config.max_retries,
             strategy: config.strategy,
             first,
             end,
             reliable_seq: end - 1,
             rounds_used: 0,
+            now: Duration::ZERO,
+            solicit_sent: None,
+            pending: Pending::Idle,
+            pending_set: Vec::new(),
+            // Sized up front so steady-state bursts never grow it (the
+            // zero-allocation property of the packet loop).
+            stash: Vec::with_capacity(span.min(MAX_BATCH)),
             pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
@@ -135,11 +181,40 @@ impl BlastSender {
         self.strategy
     }
 
+    /// The retransmission timeout currently in force (diagnostics and
+    /// the perf harness's RTO-trajectory records).
+    pub fn current_rto(&self) -> Duration {
+        self.rto.rto()
+    }
+
+    /// The smoothed round-trip estimate, once a sample has been taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.rto.srtt()
+    }
+
+    /// Snapshot the RTT estimator (multi-blast carries it across
+    /// chunks so later chunks inherit earlier chunks' samples).
+    pub(crate) fn estimator(&self) -> &RttEstimator {
+        &self.rto
+    }
+
+    /// Replace the RTT estimator (the other half of the multi-blast
+    /// carry-over).
+    pub(crate) fn adopt_estimator(&mut self, estimator: RttEstimator) {
+        self.rto = estimator;
+    }
+
     fn transmit_one(&mut self, seq: u32, last: bool, sink: &mut dyn ActionSink) {
         let payload = self.tx.payload_of(seq);
-        let mut buf = self
-            .pool
-            .checkout_sized(blast_wire::HEADER_LEN + payload.len());
+        let len = blast_wire::HEADER_LEN + payload.len();
+        // Bursts pre-checkout their buffers in one batch (`emit_burst`);
+        // stragglers — the re-solicited tail, oversized rounds — fall
+        // back to the per-packet path.
+        let mut buf = match self.stash.pop() {
+            Some(buf) => buf,
+            None => self.pool.checkout_sized(len),
+        };
+        buf.resize(len, 0);
         let len = self
             .builder
             .build_data(
@@ -160,44 +235,116 @@ impl BlastSender {
         sink.push_action(Action::Transmit(buf));
     }
 
-    /// Blast out `packets` (ordered); the final one is the round's
-    /// reliable packet.  Arms the retransmission timer.
-    fn send_round(&mut self, packets: &[u32], sink: &mut dyn ActionSink) {
-        debug_assert!(!packets.is_empty());
-        let last = *packets.last().expect("non-empty round");
-        self.reliable_seq = last;
-        for &seq in packets {
-            self.transmit_one(seq, seq == last, sink);
+    /// Packets of the round in flight not yet emitted.
+    fn pending_len(&self) -> usize {
+        match self.pending {
+            Pending::Idle => 0,
+            Pending::Span { next } => (self.end - next) as usize,
+            Pending::Set { next } => self.pending_set.len() - next,
         }
-        sink.push_action(Action::SetTimer {
-            token: RETX_TIMER,
-            after: self.timeout,
-        });
+    }
+
+    /// Emit up to one pacer burst of the pending round.  Between bursts
+    /// the engine arms [`PACE_TIMER`]; once the round's reliable tail
+    /// is on the wire it arms the retransmission timer at the current
+    /// RTO and records the Karn solicitation timestamp.
+    fn emit_burst(&mut self, sink: &mut dyn ActionSink) {
+        let remaining = self.pending_len();
+        debug_assert!(remaining > 0, "emit_burst on an idle round");
+        let n = remaining.min(self.pacer.burst_budget() as usize);
+        // One pool lock covers the whole burst.
+        self.pool.checkout_many(n.min(MAX_BATCH), &mut self.stash);
+        match self.pending {
+            Pending::Idle => unreachable!("pending_len > 0"),
+            Pending::Span { next } => {
+                for seq in next..next + n as u32 {
+                    self.transmit_one(seq, seq == self.reliable_seq, sink);
+                }
+                self.pending = Pending::Span {
+                    next: next + n as u32,
+                };
+            }
+            Pending::Set { next } => {
+                for i in next..next + n {
+                    let seq = self.pending_set[i];
+                    self.transmit_one(seq, seq == self.reliable_seq, sink);
+                }
+                self.pending = Pending::Set { next: next + n };
+            }
+        }
+        if self.pending_len() == 0 {
+            self.pending = Pending::Idle;
+            // Karn: an acknowledgement solicited by this tail measures a
+            // true round trip only if nothing in the round was a
+            // retransmission.
+            self.solicit_sent = (self.rounds_used == 0).then_some(self.now);
+            sink.push_action(Action::SetTimer {
+                token: RETX_TIMER,
+                after: self.rto.rto(),
+            });
+        } else {
+            sink.push_action(Action::SetTimer {
+                token: PACE_TIMER,
+                after: self.pacer.gap(),
+            });
+        }
+    }
+
+    /// Start emitting a freshly-staged round (the cursor in
+    /// `self.pending`).  A round that spans multiple bursts first
+    /// cancels the previous round's retransmission timer — it is re-armed
+    /// when the tail finally goes out, so a paced round can never be
+    /// interrupted by the old deadline.
+    fn begin_round(&mut self, sink: &mut dyn ActionSink) {
+        if self.pending_len() > self.pacer.burst_budget() as usize {
+            sink.push_action(Action::CancelTimer { token: RETX_TIMER });
+        }
+        self.emit_burst(sink);
     }
 
     /// Blast out the contiguous span `first..end` — the allocation-free
     /// fast path used by round 0 and every non-bitmap retransmission.
     fn send_span(&mut self, first: u32, sink: &mut dyn ActionSink) {
-        let end = self.end;
-        debug_assert!(first < end);
-        self.reliable_seq = end - 1;
-        for seq in first..end {
-            self.transmit_one(seq, seq + 1 == end, sink);
-        }
-        sink.push_action(Action::SetTimer {
-            token: RETX_TIMER,
-            after: self.timeout,
-        });
+        debug_assert!(first < self.end);
+        self.reliable_seq = self.end - 1;
+        self.pending = Pending::Span { next: first };
+        self.begin_round(sink);
+    }
+
+    /// Blast out the explicit set staged in `pending_set` (ordered);
+    /// its final member is the round's reliable packet.
+    fn send_set_round(&mut self, sink: &mut dyn ActionSink) {
+        debug_assert!(!self.pending_set.is_empty());
+        self.reliable_seq = *self.pending_set.last().expect("non-empty round");
+        self.pending = Pending::Set { next: 0 };
+        self.begin_round(sink);
     }
 
     /// Retransmit only the reliable tail to re-solicit a status report.
+    /// The retransmitted tail makes the next acknowledgement ambiguous
+    /// (Karn), so the solicitation timestamp is cleared.
     fn resolicit(&mut self, sink: &mut dyn ActionSink) {
+        // A re-solicitation supersedes any round still mid-emission: a
+        // NACK can arrive in a paced round's inter-burst gap and resolve
+        // to `Resolicit` (nonsense range, empty bitmap) after
+        // `resend_set` has already restaged `pending_set` — the old
+        // cursor must not survive for a stale pace deadline to resume.
+        self.pending = Pending::Idle;
         let seq = self.reliable_seq;
+        self.solicit_sent = None;
         self.transmit_one(seq, true, sink);
         sink.push_action(Action::SetTimer {
             token: RETX_TIMER,
-            after: self.timeout,
+            after: self.rto.rto(),
         });
+    }
+
+    /// Take the Karn-valid RTT sample for an arriving status report, if
+    /// the soliciting tail is still unambiguous.
+    fn sample_rtt(&mut self) {
+        if let Some(sent) = self.solicit_sent.take() {
+            self.rto.sample(self.now.saturating_sub(sent));
+        }
     }
 
     /// Consume one unit of retransmission budget; completes with failure
@@ -221,8 +368,10 @@ impl BlastSender {
         true
     }
 
-    /// Packets to resend for a NACK, per strategy and NACK payload.
-    fn resend_set(&self, ack: &AckPayload) -> Option<Resend> {
+    /// Packets to resend for a NACK, per strategy and NACK payload.  A
+    /// bitmap NACK stages its explicit set into the reused
+    /// `pending_set` storage.
+    fn resend_set(&mut self, ack: &AckPayload) -> Option<Resend> {
         match ack {
             AckPayload::Positive { .. } => None,
             AckPayload::NackFull => Some(Resend::Span { first: self.first }),
@@ -237,17 +386,19 @@ impl BlastSender {
                 }
             }
             AckPayload::NackBitmap(bm) => {
-                let mut set: Vec<u32> = bm.missing().filter(|&s| s < self.end).collect();
+                self.pending_set.clear();
+                self.pending_set
+                    .extend(bm.missing().filter(|&s| s < self.end));
                 // Anything beyond the bitmap's horizon is unreported;
                 // conservatively resend it (empty for transfers that fit
                 // in one bitmap, i.e. ≤ Bitmap::MAX_BITS packets).
                 let horizon = bm.base() + u32::from(bm.nbits());
-                set.extend(horizon.max(self.first)..self.end);
-                if set.is_empty() {
+                self.pending_set.extend(horizon.max(self.first)..self.end);
+                if self.pending_set.is_empty() {
                     // NACK with nothing missing in range: re-solicit.
                     Some(Resend::Resolicit)
                 } else {
-                    Some(Resend::Set(set))
+                    Some(Resend::Set)
                 }
             }
         }
@@ -260,6 +411,10 @@ impl Engine for BlastSender {
         self.send_span(first, sink);
     }
 
+    fn set_now(&mut self, now: Duration) {
+        self.now = now;
+    }
+
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
         if self.finish.is_finished() || dgram.kind != PacketKind::Ack {
             return;
@@ -269,7 +424,10 @@ impl Engine for BlastSender {
         match ack {
             AckPayload::Positive { acked } => {
                 if *acked + 1 >= self.end {
+                    self.sample_rtt();
+                    self.pending = Pending::Idle;
                     sink.push_action(Action::CancelTimer { token: RETX_TIMER });
+                    sink.push_action(Action::CancelTimer { token: PACE_TIMER });
                     let stats = self.stats;
                     let bytes = self.tx.len();
                     self.finish
@@ -279,11 +437,14 @@ impl Engine for BlastSender {
                 // (an earlier chunk's ack); keep waiting.
             }
             nack => {
+                // The status report answers our soliciting tail: a valid
+                // round-trip measurement even when it asks for more data.
+                self.sample_rtt();
                 if let Some(resend) = self.resend_set(nack) {
                     if self.charge_round(sink) {
                         match resend {
                             Resend::Span { first } => self.send_span(first, sink),
-                            Resend::Set(set) => self.send_round(&set, sink),
+                            Resend::Set => self.send_set_round(sink),
                             Resend::Resolicit => self.resolicit(sink),
                         }
                     }
@@ -293,10 +454,27 @@ impl Engine for BlastSender {
     }
 
     fn on_timer(&mut self, token: TimerToken, sink: &mut dyn ActionSink) {
-        if self.finish.is_finished() || token != RETX_TIMER {
+        if self.finish.is_finished() {
+            return;
+        }
+        if token == PACE_TIMER {
+            // The gap between bursts of a paced round elapsed; a stale
+            // pace deadline from a superseded round is inert.
+            if self.pending != Pending::Idle {
+                self.emit_burst(sink);
+            }
+            return;
+        }
+        if token != RETX_TIMER || self.pending != Pending::Idle {
+            // `begin_round` cancels the retransmission deadline for any
+            // multi-burst round, so an expiry mid-round is stale.
             return;
         }
         self.stats.timeouts += 1;
+        // Karn: double the RTO and poison the sample window — whatever
+        // answer eventually arrives is ambiguous.
+        self.rto.backoff();
+        self.solicit_sent = None;
         if !self.charge_round(sink) {
             return;
         }
@@ -878,6 +1056,72 @@ mod tests {
             .map(|p| Datagram::parse(p).unwrap().seq)
             .collect();
         assert_eq!(resent, vec![3]);
+    }
+
+    #[test]
+    fn nonsense_nack_mid_paced_round_leaves_no_stale_pace_cursor() {
+        // Regression: a NACK resolving to `Resolicit` while a paced
+        // bitmap round was mid-emission used to leave `pending` aimed
+        // at the cleared `pending_set`; the still-armed pace deadline
+        // then underflowed `pending_len`.
+        let cfg = config(RetxStrategy::Selective).with_pacing(crate::control::PacingConfig::new(
+            2,
+            std::time::Duration::from_millis(1),
+        ));
+        let payload = data(8 * 1024);
+        let mut s = BlastSender::new(1, payload.clone(), &cfg);
+        let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let mut guard = 0;
+        while transmits(&actions).len() < 8 {
+            s.on_timer(crate::control::PACE_TIMER, &mut actions);
+            guard += 1;
+            assert!(guard < 16, "round 0 failed to drain");
+        }
+        // Drop three packets: the bitmap NACK stages a 3-packet round,
+        // of which the first burst emits only 2 — mid-emission state.
+        let acks = deliver_except(&mut r, &transmits(&actions), &[1, 4, 6]);
+        let out = feed(&mut s, &acks[0]);
+        assert_eq!(transmits(&out).len(), 2, "paced Set round: first burst");
+
+        // A nonsense NACK (beyond the range) arrives in the gap and
+        // resolves to a re-solicitation.
+        let b = DatagramBuilder::new(1);
+        let mut buf = vec![0u8; 64];
+        let len = b
+            .build_ack(
+                &mut buf,
+                8,
+                &AckPayload::NackFirstMissing { first_missing: 99 },
+            )
+            .unwrap();
+        let out = feed(&mut s, &buf[..len]);
+        assert_eq!(transmits(&out).len(), 1, "re-solicited tail");
+
+        // The superseded round's pace deadline fires: must be inert.
+        let mut stale = Vec::new();
+        s.on_timer(crate::control::PACE_TIMER, &mut stale);
+        assert!(transmits(&stale).is_empty(), "stale pace deadline is inert");
+
+        // And the transfer still converges from here.
+        let mut acks = deliver_except(&mut r, &transmits(&out), &[]);
+        let mut guard = 0;
+        while !s.is_finished() {
+            guard += 1;
+            assert!(guard < 32, "livelock after stale pace deadline");
+            let mut next = Vec::new();
+            for a in &acks {
+                next.extend(feed(&mut s, a));
+            }
+            // Drain any paced round fully (idle pace fires are inert).
+            for _ in 0..8 {
+                s.on_timer(crate::control::PACE_TIMER, &mut next);
+            }
+            acks = deliver_except(&mut r, &transmits(&next), &[]);
+        }
+        assert!(r.is_finished());
+        assert_eq!(r.data(), &payload[..]);
     }
 
     #[test]

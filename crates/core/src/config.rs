@@ -3,6 +3,7 @@
 use core::fmt;
 use std::time::Duration;
 
+use crate::control::{AdaptiveTimeout, PacingConfig};
 use crate::error::{CoreError, CoreResult};
 use crate::pool::BufferPool;
 
@@ -99,10 +100,15 @@ impl fmt::Display for RetxStrategy {
 pub struct ProtocolConfig {
     /// Payload bytes per data packet.  The paper uses 1024 everywhere.
     pub packet_payload: usize,
-    /// Retransmission interval `Tr`: how long the sender waits for an
-    /// acknowledgement before acting.  Figure 5 sweeps this between
-    /// `To(D)` and `100 × To(1)`.
-    pub retransmit_timeout: Duration,
+    /// Retransmission-timeout policy.  [`AdaptiveTimeout::Fixed`] is the
+    /// paper's interval `Tr` (Figure 5 sweeps it between `To(D)` and
+    /// `100 × To(1)`); [`AdaptiveTimeout::Adaptive`] is the
+    /// Jacobson/Karn estimator for real, variable-latency paths.
+    pub timeout: AdaptiveTimeout,
+    /// How multi-packet rounds are offered to the network:
+    /// [`PacingConfig::off`] blasts at full speed (the paper's mode),
+    /// anything else spreads each round into timed bursts.
+    pub pacing: PacingConfig,
     /// How many retransmission rounds to attempt before giving up with
     /// [`CoreError::RetriesExhausted`].
     pub max_retries: u32,
@@ -133,7 +139,8 @@ impl PartialEq for ProtocolConfig {
         // it compares is a compile error, not a silently-vacuous eq.
         let ProtocolConfig {
             packet_payload,
-            retransmit_timeout,
+            timeout,
+            pacing,
             max_retries,
             strategy,
             window,
@@ -142,7 +149,8 @@ impl PartialEq for ProtocolConfig {
             pool: _,
         } = self;
         *packet_payload == other.packet_payload
-            && *retransmit_timeout == other.retransmit_timeout
+            && *timeout == other.timeout
+            && *pacing == other.pacing
             && *max_retries == other.max_retries
             && *strategy == other.strategy
             && *window == other.window
@@ -158,8 +166,11 @@ impl Default for ProtocolConfig {
         ProtocolConfig {
             packet_payload: 1024,
             // ≈ the error-free time of a 64-packet V-kernel blast
-            // (To(D) = 173 ms in Table 3) — the paper's best-case Tr.
-            retransmit_timeout: Duration::from_millis(173),
+            // (To(D) = 173 ms in Table 3) — the paper's best-case Tr,
+            // kept fixed so the analytic model and calibrated simulator
+            // reproduce the paper's numbers exactly.
+            timeout: AdaptiveTimeout::Fixed(Duration::from_millis(173)),
+            pacing: PacingConfig::off(),
             max_retries: 64,
             strategy: RetxStrategy::default(),
             window: None,
@@ -183,10 +194,11 @@ impl ProtocolConfig {
                 what: "packet_payload exceeds the maximum Ethernet payload",
             });
         }
-        if self.retransmit_timeout.is_zero() {
-            return Err(CoreError::BadConfig {
-                what: "retransmit_timeout must be > 0",
-            });
+        if let Some(what) = self.timeout.invalid() {
+            return Err(CoreError::BadConfig { what });
+        }
+        if let Some(what) = self.pacing.invalid() {
+            return Err(CoreError::BadConfig { what });
         }
         if self.window == Some(0) {
             return Err(CoreError::BadConfig {
@@ -216,9 +228,18 @@ impl ProtocolConfig {
         self
     }
 
-    /// Builder-style setter for the retransmission interval.
-    pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.retransmit_timeout = timeout;
+    /// Builder-style setter for the timeout policy.  A plain
+    /// [`Duration`] selects the paper's fixed mode; pass
+    /// [`AdaptiveTimeout::Adaptive`] (or [`AdaptiveTimeout::lan`]) for
+    /// the Jacobson/Karn estimator.
+    pub fn with_timeout(mut self, timeout: impl Into<AdaptiveTimeout>) -> Self {
+        self.timeout = timeout.into();
+        self
+    }
+
+    /// Builder-style setter for round pacing.
+    pub fn with_pacing(mut self, pacing: PacingConfig) -> Self {
+        self.pacing = pacing;
         self
     }
 
@@ -258,6 +279,12 @@ mod tests {
         assert_eq!(c.packet_payload, 1024);
         assert_eq!(c.strategy, RetxStrategy::GoBackN);
         assert!(c.window.is_none());
+        // The paper's fixed Tr and full-speed blast are the defaults.
+        assert_eq!(
+            c.timeout,
+            AdaptiveTimeout::Fixed(Duration::from_millis(173))
+        );
+        assert!(!c.pacing.enabled());
     }
 
     #[test]
@@ -275,7 +302,23 @@ mod tests {
         .validated()
         .is_err());
         assert!(ProtocolConfig {
-            retransmit_timeout: Duration::ZERO,
+            timeout: AdaptiveTimeout::Fixed(Duration::ZERO),
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
+        assert!(ProtocolConfig {
+            timeout: AdaptiveTimeout::Adaptive {
+                initial: Duration::from_millis(1),
+                min: Duration::from_millis(5),
+                max: Duration::from_millis(10),
+            },
+            ..Default::default()
+        }
+        .validated()
+        .is_err());
+        assert!(ProtocolConfig {
+            pacing: PacingConfig::new(4, Duration::ZERO),
             ..Default::default()
         }
         .validated()
@@ -312,12 +355,18 @@ mod tests {
             .with_timeout(Duration::from_millis(10))
             .with_window(Some(8))
             .with_packet_payload(512)
-            .with_multiblast_chunk(16);
+            .with_multiblast_chunk(16)
+            .with_pacing(PacingConfig::lan());
         assert_eq!(c.strategy, RetxStrategy::Selective);
-        assert_eq!(c.retransmit_timeout, Duration::from_millis(10));
+        assert_eq!(c.timeout, AdaptiveTimeout::Fixed(Duration::from_millis(10)));
+        assert_eq!(c.timeout.initial(), Duration::from_millis(10));
         assert_eq!(c.window, Some(8));
         assert_eq!(c.packet_payload, 512);
         assert_eq!(c.multiblast_chunk, 16);
+        assert!(c.pacing.enabled());
+        let c = c.with_timeout(AdaptiveTimeout::lan());
+        assert!(c.timeout.is_adaptive());
+        assert!(c.validated().is_ok());
     }
 
     #[test]

@@ -34,6 +34,22 @@ pub trait Engine: Send {
     /// Kick the engine off.
     fn start(&mut self, sink: &mut dyn ActionSink);
 
+    /// Advance the engine's view of the driver's monotonic clock.
+    ///
+    /// Drivers should call this with their current time (any fixed
+    /// epoch — virtual nanoseconds, simulated time, or wall-clock
+    /// elapsed) before each [`start`](Engine::start) /
+    /// [`on_datagram`](Engine::on_datagram) / [`on_timer`](Engine::on_timer)
+    /// call.  Engines use it to take round-trip samples for the
+    /// adaptive retransmission timeout
+    /// ([`crate::control::RttEstimator`]) *without doing any I/O* —
+    /// the clock is an input like datagrams and timer expirations, so
+    /// the sans-I/O property is preserved.  Engines that do not track
+    /// time (and drivers testing fixed-timeout behaviour) may ignore
+    /// it; the default is a no-op and skipping the call merely degrades
+    /// the estimator to its configured initial timeout.
+    fn set_now(&mut self, _now: std::time::Duration) {}
+
     /// Feed one parsed datagram addressed to this engine's transfer.
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink);
 

@@ -316,8 +316,10 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
         // One scratch vector serves every engine call: `run_actions`
         // drains it, so its capacity is recycled for the whole run.
         let mut out: Vec<Action> = Vec::new();
+        self.sender.set_now(Duration::ZERO);
         self.sender.start(&mut out);
         self.run_actions(Side::Sender, &mut out);
+        self.receiver.set_now(Duration::ZERO);
         self.receiver.start(&mut out);
         self.run_actions(Side::Receiver, &mut out);
 
@@ -341,6 +343,9 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                 });
             };
             self.now_ns = event.at_ns;
+            // Engines see the virtual clock before every event — the
+            // adaptive RTO's samples are exact in virtual time.
+            let now = Duration::from_nanos(self.now_ns);
             match event.kind {
                 EventKind::Deliver { to, packet } => {
                     {
@@ -348,8 +353,14 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                             continue; // corrupt packets are dropped by the wire layer
                         };
                         match to {
-                            Side::Sender => self.sender.on_datagram(&dgram, &mut out),
-                            Side::Receiver => self.receiver.on_datagram(&dgram, &mut out),
+                            Side::Sender => {
+                                self.sender.set_now(now);
+                                self.sender.on_datagram(&dgram, &mut out);
+                            }
+                            Side::Receiver => {
+                                self.receiver.set_now(now);
+                                self.receiver.on_datagram(&dgram, &mut out);
+                            }
                         }
                     }
                     // The datagram borrow ends above; dropping `packet`
@@ -368,8 +379,14 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                         continue; // re-armed or cancelled
                     }
                     match side {
-                        Side::Sender => self.sender.on_timer(token, &mut out),
-                        Side::Receiver => self.receiver.on_timer(token, &mut out),
+                        Side::Sender => {
+                            self.sender.set_now(now);
+                            self.sender.on_timer(token, &mut out);
+                        }
+                        Side::Receiver => {
+                            self.receiver.set_now(now);
+                            self.receiver.on_timer(token, &mut out);
+                        }
                     }
                     self.run_actions(side, &mut out);
                 }
@@ -555,7 +572,7 @@ mod tests {
             LossPlan::script(vec![0]),
         );
         h.run().unwrap();
-        let expected = cfg.retransmit_timeout + Duration::from_micros(20);
+        let expected = cfg.timeout.initial() + Duration::from_micros(20);
         assert_eq!(h.sender_elapsed(), Some(expected));
     }
 

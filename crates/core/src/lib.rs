@@ -74,6 +74,7 @@
 pub mod api;
 pub mod blast;
 pub mod config;
+pub mod control;
 pub mod demux;
 pub mod engine;
 pub mod error;
@@ -87,6 +88,7 @@ pub mod window;
 
 pub use api::{Action, CompletionInfo, EngineStats, Outcome, TimerToken};
 pub use config::{ProtocolConfig, ProtocolKind, RetxStrategy};
+pub use control::{AdaptiveTimeout, Pacer, PacingConfig, RttEstimator, PACE_TIMER};
 pub use engine::Engine;
 pub use error::{CoreError, CoreResult};
 pub use pool::{BufferPool, PooledBuf};

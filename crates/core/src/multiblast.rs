@@ -37,6 +37,8 @@ pub struct MultiBlastSender {
     chunk: u32,
     /// First packet of the chunk currently in flight.
     chunk_start: u32,
+    /// Driver clock, mirrored into each chunk engine.
+    now: std::time::Duration,
     inner: BlastSender,
     /// Stats of completed chunks (the live chunk's stats are added on
     /// query).
@@ -62,6 +64,7 @@ impl MultiBlastSender {
             config: config.clone(),
             chunk,
             chunk_start: 0,
+            now: std::time::Duration::ZERO,
             inner,
             absorbed: EngineStats::default(),
             staged: Vec::new(),
@@ -120,6 +123,11 @@ impl MultiBlastSender {
         }
         self.chunk_start = next_start;
         let end = (next_start + self.chunk).min(self.tx.total_packets());
+        // The RTT estimator outlives the chunk engine: every chunk's
+        // round-0 acknowledgement is a clean sample, so later chunks
+        // start from the converged RTO instead of the configured seed.
+        let estimator = self.inner.estimator().clone();
+        let now = self.now;
         self.inner = BlastSender::for_range(
             self.transfer_id,
             self.tx.clone(),
@@ -128,6 +136,8 @@ impl MultiBlastSender {
             end,
             true,
         );
+        self.inner.adopt_estimator(estimator);
+        self.inner.set_now(now);
         // Kick the fresh chunk off; its actions flow to the real sink
         // (completion of a 1-chunk tail is handled recursively).
         self.drive(|inner, staged| inner.start(staged), sink);
@@ -137,6 +147,11 @@ impl MultiBlastSender {
 impl Engine for MultiBlastSender {
     fn start(&mut self, sink: &mut dyn ActionSink) {
         self.drive(|inner, staged| inner.start(staged), sink);
+    }
+
+    fn set_now(&mut self, now: std::time::Duration) {
+        self.now = now;
+        self.inner.set_now(now);
     }
 
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {

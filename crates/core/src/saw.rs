@@ -17,8 +17,11 @@ use blast_wire::ack::AckPayload;
 use blast_wire::header::PacketKind;
 use blast_wire::packet::{Datagram, DatagramBuilder};
 
+use std::time::Duration;
+
 use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::ProtocolConfig;
+use crate::control::RttEstimator;
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
 use crate::pool::BufferPool;
@@ -34,12 +37,18 @@ pub struct SawSender {
     transfer_id: u32,
     tx: TxData,
     builder: DatagramBuilder,
-    timeout: std::time::Duration,
+    /// Retransmission-timeout source: fixed `Tr` or Jacobson/Karn.
+    rto: RttEstimator,
     max_retries: u32,
     /// Sequence currently awaiting acknowledgement.
     cur: u32,
     /// Retransmission attempts already made for `cur`.
     attempts: u32,
+    /// Driver clock (see [`Engine::set_now`]).
+    now: Duration,
+    /// When `cur` first went out — stop-and-wait acknowledges every
+    /// packet, so every untroubled exchange is a Karn-valid RTT sample.
+    sent_at: Duration,
     pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
@@ -52,14 +61,21 @@ impl SawSender {
             transfer_id,
             tx: TxData::new(data, config.packet_payload),
             builder: DatagramBuilder::new(transfer_id).kernel(config.kernel_flag),
-            timeout: config.retransmit_timeout,
+            rto: RttEstimator::new(&config.timeout),
             max_retries: config.max_retries,
             cur: 0,
             attempts: 0,
+            now: Duration::ZERO,
+            sent_at: Duration::ZERO,
             pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
+    }
+
+    /// The retransmission timeout currently in force.
+    pub fn current_rto(&self) -> Duration {
+        self.rto.rto()
     }
 
     fn send_current(&mut self, sink: &mut dyn ActionSink) {
@@ -83,11 +99,15 @@ impl SawSender {
         self.stats.data_packets_sent += 1;
         if self.attempts > 0 {
             self.stats.data_packets_retransmitted += 1;
+        } else {
+            // First transmission: the ack, if it comes before any
+            // retransmission, is an unambiguous RTT sample.
+            self.sent_at = self.now;
         }
         sink.push_action(Action::Transmit(buf));
         sink.push_action(Action::SetTimer {
             token: RETX_TIMER,
-            after: self.timeout,
+            after: self.rto.rto(),
         });
     }
 }
@@ -95,6 +115,10 @@ impl SawSender {
 impl Engine for SawSender {
     fn start(&mut self, sink: &mut dyn ActionSink) {
         self.send_current(sink);
+    }
+
+    fn set_now(&mut self, now: Duration) {
+        self.now = now;
     }
 
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
@@ -112,6 +136,10 @@ impl Engine for SawSender {
             return;
         }
         self.stats.acks_received += 1;
+        if self.attempts == 0 {
+            // Karn: only a never-retransmitted packet's ack is sampled.
+            self.rto.sample(self.now.saturating_sub(self.sent_at));
+        }
         self.cur += 1;
         self.attempts = 0;
         if self.cur == self.tx.total_packets() {
@@ -129,6 +157,7 @@ impl Engine for SawSender {
             return;
         }
         self.stats.timeouts += 1;
+        self.rto.backoff();
         if self.attempts >= self.max_retries {
             let stats = self.stats;
             self.finish.complete(

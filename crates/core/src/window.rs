@@ -20,8 +20,11 @@ use blast_wire::ack::AckPayload;
 use blast_wire::header::PacketKind;
 use blast_wire::packet::{Datagram, DatagramBuilder};
 
+use std::time::Duration;
+
 use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::ProtocolConfig;
+use crate::control::{Pacer, RttEstimator, PACE_TIMER};
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
 use crate::pool::BufferPool;
@@ -36,7 +39,9 @@ pub struct WindowSender {
     transfer_id: u32,
     tx: TxData,
     builder: DatagramBuilder,
-    timeout: std::time::Duration,
+    /// Retransmission-timeout source: fixed `Tr` or Jacobson/Karn.
+    rto: RttEstimator,
+    pacer: Pacer,
     max_retries: u32,
     window: Option<u32>,
     /// Next sequence never yet transmitted.
@@ -46,6 +51,29 @@ pub struct WindowSender {
     acked_count: u32,
     /// Per-packet retransmission attempts.
     attempts: Vec<u32>,
+    /// Per-packet first-transmission time (Karn: each packet is
+    /// individually acknowledged, so each untroubled packet is one RTT
+    /// sample).
+    sent_at: Vec<Duration>,
+    /// Driver clock (see [`Engine::set_now`]).
+    now: Duration,
+    /// Pacing tokens left in the current burst (`u32::MAX` unpaced).
+    /// Only the pace timer refills them — arriving acks may open the
+    /// window, but not the throttle, or pacing would leak.
+    burst_left: u32,
+    /// A pace timer is armed and will refill `burst_left` (guards
+    /// against re-arming, which would push the deadline out forever
+    /// under a steady ack stream).
+    pace_pending: bool,
+    /// Retransmissions awaiting burst tokens — timer-driven resends go
+    /// through the same throttle as fresh packets, or a batch of
+    /// simultaneous expirations would re-create the very burst overrun
+    /// pacing exists to prevent.
+    retx_queue: Vec<u32>,
+    /// Karn backoff epoch: per-packet timers armed together expire
+    /// together, and each expiry must not double the shared RTO again
+    /// — only the first timeout of an epoch backs off.
+    backoff_barrier: Duration,
     pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
@@ -56,21 +84,35 @@ impl WindowSender {
     pub fn new(transfer_id: u32, data: Arc<[u8]>, config: &ProtocolConfig) -> Self {
         let tx = TxData::new(data, config.packet_payload);
         let total = tx.total_packets() as usize;
+        let pacer = Pacer::new(config.pacing);
         WindowSender {
             transfer_id,
             tx,
             builder: DatagramBuilder::new(transfer_id).kernel(config.kernel_flag),
-            timeout: config.retransmit_timeout,
+            rto: RttEstimator::new(&config.timeout),
             max_retries: config.max_retries,
             window: config.window,
             next_unsent: 0,
             acked: vec![false; total],
             acked_count: 0,
             attempts: vec![0; total],
+            sent_at: vec![Duration::ZERO; total],
+            now: Duration::ZERO,
+            burst_left: pacer.burst_budget(),
+            pacer,
+            pace_pending: false,
+            // Sized up front: queueing a retransmission never allocates.
+            retx_queue: Vec::with_capacity(total),
+            backoff_barrier: Duration::ZERO,
             pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
         }
+    }
+
+    /// The retransmission timeout currently in force.
+    pub fn current_rto(&self) -> Duration {
+        self.rto.rto()
     }
 
     fn in_flight(&self) -> u32 {
@@ -108,20 +150,59 @@ impl WindowSender {
         self.stats.data_packets_sent += 1;
         if round > 0 {
             self.stats.data_packets_retransmitted += 1;
+        } else {
+            self.sent_at[seq as usize] = self.now;
         }
         sink.push_action(Action::Transmit(buf));
         sink.push_action(Action::SetTimer {
             token: TimerToken(u64::from(seq)),
-            after: self.timeout,
+            after: self.rto.rto(),
         });
     }
 
-    /// Send fresh packets while the window allows.
+    /// Send fresh packets while the window allows, a pacer burst at a
+    /// time: when the burst tokens run out mid-fill, the engine arms
+    /// [`PACE_TIMER`] and resumes on its expiry with a fresh burst.
     fn fill_window(&mut self, sink: &mut dyn ActionSink) {
         while self.next_unsent < self.tx.total_packets() && self.window_open() {
+            if self.burst_left == 0 {
+                if !self.pace_pending {
+                    self.pace_pending = true;
+                    sink.push_action(Action::SetTimer {
+                        token: PACE_TIMER,
+                        after: self.pacer.gap(),
+                    });
+                }
+                return;
+            }
+            self.burst_left -= 1;
             let seq = self.next_unsent;
             self.next_unsent += 1;
             self.transmit(seq, sink);
+        }
+    }
+
+    /// Emit queued retransmissions while burst tokens last; anything
+    /// left waits for the next pace tick.  Packets acked while queued
+    /// are skipped.
+    fn drain_retx(&mut self, sink: &mut dyn ActionSink) {
+        let mut taken = 0;
+        while taken < self.retx_queue.len() && self.burst_left > 0 {
+            let seq = self.retx_queue[taken];
+            taken += 1;
+            if self.acked[seq as usize] {
+                continue;
+            }
+            self.burst_left -= 1;
+            self.transmit(seq, sink);
+        }
+        self.retx_queue.drain(..taken);
+        if !self.retx_queue.is_empty() && !self.pace_pending {
+            self.pace_pending = true;
+            sink.push_action(Action::SetTimer {
+                token: PACE_TIMER,
+                after: self.pacer.gap(),
+            });
         }
     }
 }
@@ -129,6 +210,10 @@ impl WindowSender {
 impl Engine for WindowSender {
     fn start(&mut self, sink: &mut dyn ActionSink) {
         self.fill_window(sink);
+    }
+
+    fn set_now(&mut self, now: Duration) {
+        self.now = now;
     }
 
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
@@ -144,6 +229,11 @@ impl Engine for WindowSender {
             return;
         }
         self.stats.acks_received += 1;
+        if self.attempts[seq as usize] == 0 {
+            // Karn: never-retransmitted packets yield clean RTT samples.
+            self.rto
+                .sample(self.now.saturating_sub(self.sent_at[seq as usize]));
+        }
         self.acked[seq as usize] = true;
         self.acked_count += 1;
         sink.push_action(Action::CancelTimer {
@@ -162,11 +252,34 @@ impl Engine for WindowSender {
         if self.finish.is_finished() {
             return;
         }
-        let seq = token.0 as u32;
+        if token == PACE_TIMER {
+            // The gap elapsed: refill the burst tokens and resume —
+            // queued retransmissions first (they are oldest), then
+            // fresh window fill.
+            self.pace_pending = false;
+            self.burst_left = self.pacer.burst_budget();
+            self.drain_retx(sink);
+            self.fill_window(sink);
+            return;
+        }
+        // Every other token is a per-packet retransmission timer keyed
+        // by sequence number (always < 2³²; anything larger is foreign).
+        let Ok(seq) = u32::try_from(token.0) else {
+            return;
+        };
         if seq >= self.tx.total_packets() || self.acked[seq as usize] {
             return; // stale timer
         }
         self.stats.timeouts += 1;
+        // Karn backoff, once per loss epoch: sibling timers armed with
+        // the same RTO expire together, and 32 simultaneous expirations
+        // must double the RTO once, not 2³²-fold.  The barrier spans
+        // the old RTO, so a genuinely later timeout (after the backed-off
+        // rearm) still backs off again.
+        if self.now >= self.backoff_barrier {
+            self.backoff_barrier = self.now + self.rto.rto();
+            self.rto.backoff();
+        }
         if self.attempts[seq as usize] >= self.max_retries {
             let stats = self.stats;
             self.finish.complete(
@@ -182,7 +295,21 @@ impl Engine for WindowSender {
         }
         self.attempts[seq as usize] += 1;
         self.stats.retransmission_rounds += 1;
-        self.transmit(seq, sink);
+        // Retransmissions honour the pacer too: consume a token now or
+        // queue for the next pace tick.
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.transmit(seq, sink);
+        } else {
+            self.retx_queue.push(seq);
+            if !self.pace_pending {
+                self.pace_pending = true;
+                sink.push_action(Action::SetTimer {
+                    token: PACE_TIMER,
+                    after: self.pacer.gap(),
+                });
+            }
+        }
     }
 
     fn is_finished(&self) -> bool {
@@ -341,6 +468,75 @@ mod tests {
         // Round counter on the retransmission.
         let rt = out.iter().find_map(|a| a.as_transmit()).unwrap();
         assert_eq!(Datagram::parse(rt).unwrap().round, 1);
+    }
+
+    #[test]
+    fn simultaneous_timeouts_back_off_once_per_epoch() {
+        use crate::control::AdaptiveTimeout;
+        let cfg = ProtocolConfig::default().with_timeout(AdaptiveTimeout::Adaptive {
+            initial: Duration::from_millis(25),
+            min: Duration::from_millis(2),
+            max: Duration::from_secs(2),
+        });
+        let mut s = WindowSender::new(1, data(4 * 1024), &cfg);
+        let mut actions = Vec::new();
+        s.set_now(Duration::ZERO);
+        s.start(&mut actions);
+        // All four per-packet timers were armed with the same 25 ms RTO
+        // and expire in the same tick: the shared estimator must double
+        // once, not 2⁴-fold.
+        s.set_now(Duration::from_millis(25));
+        let mut out = Vec::new();
+        for seq in 0..4u64 {
+            s.on_timer(TimerToken(seq), &mut out);
+        }
+        assert_eq!(s.stats().timeouts, 4);
+        assert_eq!(
+            s.current_rto(),
+            Duration::from_millis(50),
+            "one loss epoch = one backoff"
+        );
+        // A later epoch (after the backed-off rearm) backs off again.
+        s.set_now(Duration::from_millis(80));
+        let mut out = Vec::new();
+        s.on_timer(TimerToken(0), &mut out);
+        assert_eq!(s.current_rto(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn retransmissions_honour_the_pacer() {
+        use crate::control::{PacingConfig, PACE_TIMER};
+        let cfg =
+            ProtocolConfig::default().with_pacing(PacingConfig::new(2, Duration::from_millis(1)));
+        let mut s = WindowSender::new(1, data(4 * 1024), &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        // Burst of 2 sent, tokens exhausted, pace pending.
+        assert_eq!(
+            actions.iter().filter(|a| a.as_transmit().is_some()).count(),
+            2
+        );
+        // Both sent packets time out while the tokens are spent: the
+        // resends must queue, not burst past the throttle.
+        let mut out = Vec::new();
+        s.on_timer(TimerToken(0), &mut out);
+        s.on_timer(TimerToken(1), &mut out);
+        assert_eq!(
+            out.iter().filter(|a| a.as_transmit().is_some()).count(),
+            0,
+            "token-less retransmissions wait for the pace tick"
+        );
+        assert_eq!(s.stats().timeouts, 2, "the timeouts themselves counted");
+        // The pace tick refills tokens and drains the queue first.
+        let mut out = Vec::new();
+        s.on_timer(PACE_TIMER, &mut out);
+        let resent: Vec<u32> = out
+            .iter()
+            .filter_map(|a| a.as_transmit())
+            .map(|p| Datagram::parse(p).unwrap().seq)
+            .collect();
+        assert_eq!(resent, vec![0, 1], "oldest retransmissions first");
+        assert_eq!(s.stats().data_packets_retransmitted, 2);
     }
 
     #[test]

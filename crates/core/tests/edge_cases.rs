@@ -124,7 +124,7 @@ fn selective_transfer_beyond_bitmap_span() {
     // 16-byte packets keep the test fast while exceeding 8192 packets.
     cfg = cfg.with_packet_payload(16);
     cfg.max_retries = 100_000;
-    cfg.retransmit_timeout = Duration::from_millis(100);
+    cfg.timeout = Duration::from_millis(100).into();
     let bytes = 16 * 9000; // 9000 packets > Bitmap::MAX_BITS
     let payload = data(bytes);
     let mut h = Harness::new(
@@ -204,7 +204,7 @@ fn full_run_determinism() {
     let run = |seed: u64| {
         let mut cfg = ProtocolConfig::default();
         cfg.max_retries = 100_000;
-        cfg.retransmit_timeout = Duration::from_millis(20);
+        cfg.timeout = Duration::from_millis(20).into();
         let payload = data(32 * 1024);
         let mut h = Harness::new(
             BlastSender::new(1, payload.clone(), &cfg),

@@ -1,0 +1,226 @@
+//! Property tests for the transmission-control layer: the
+//! Jacobson/Karn [`RttEstimator`] and the paced-round machinery.
+//!
+//! The estimator's contract (convergence on steady samples, bounded
+//! RTO, monotone backoff) is checked over randomized sample streams;
+//! Karn's ambiguity rejection is checked at the engine level, where the
+//! rule actually lives.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::control::{AdaptiveTimeout, PacingConfig, RttEstimator};
+use blast_core::{Engine, ProtocolConfig};
+use blast_wire::packet::Datagram;
+use proptest::prelude::*;
+
+const MIN: Duration = Duration::from_millis(1);
+const MAX: Duration = Duration::from_secs(4);
+
+fn adaptive() -> AdaptiveTimeout {
+    AdaptiveTimeout::Adaptive {
+        initial: Duration::from_millis(100),
+        min: MIN,
+        max: MAX,
+    }
+}
+
+proptest! {
+    /// Whatever samples arrive, the RTO stays inside the configured
+    /// clamp and above the smoothed estimate.
+    #[test]
+    fn rto_always_within_bounds(
+        samples in proptest::collection::vec(1u64..10_000_000, 1..100),
+    ) {
+        let mut e = RttEstimator::new(&adaptive());
+        for us in samples {
+            e.sample(Duration::from_micros(us));
+            let rto = e.rto();
+            prop_assert!(rto >= MIN && rto <= MAX, "rto {rto:?} out of bounds");
+            prop_assert!(
+                rto >= e.srtt().unwrap().min(MIN),
+                "rto below the smoothed estimate"
+            );
+        }
+    }
+
+    /// A constant round-trip time drives SRTT to that value (gain 1/8
+    /// per sample, so 100 samples converge far past any tolerance).
+    #[test]
+    fn constant_rtt_converges(rtt_us in 100u64..1_000_000) {
+        let mut e = RttEstimator::new(&adaptive());
+        let rtt = Duration::from_micros(rtt_us);
+        for _ in 0..100 {
+            e.sample(rtt);
+        }
+        let srtt = e.srtt().expect("sampled");
+        let err = srtt.abs_diff(rtt);
+        prop_assert!(
+            err <= rtt / 100 + Duration::from_micros(1),
+            "srtt {srtt:?} should converge to {rtt:?}"
+        );
+        // With variance decayed, RTO ≈ max(SRTT, min-clamp) — it must
+        // never sit below the observed RTT.
+        prop_assert!(e.rto() >= srtt);
+    }
+
+    /// Backoff is monotone non-decreasing and capped, from any starting
+    /// state reached by a random sample prefix.
+    #[test]
+    fn backoff_is_monotone_and_capped(
+        samples in proptest::collection::vec(1u64..1_000_000, 0..20),
+        backoffs in 1usize..12,
+    ) {
+        let mut e = RttEstimator::new(&adaptive());
+        for us in samples {
+            e.sample(Duration::from_micros(us));
+        }
+        let mut prev = e.rto();
+        for _ in 0..backoffs {
+            e.backoff();
+            prop_assert!(e.rto() >= prev, "backoff shrank the rto");
+            prop_assert!(e.rto() <= MAX, "backoff escaped the cap");
+            prev = e.rto();
+        }
+    }
+
+    /// The fixed (paper) mode never moves, whatever is thrown at it.
+    #[test]
+    fn fixed_mode_never_moves(
+        samples in proptest::collection::vec(1u64..1_000_000, 0..30),
+        fixed_ms in 1u64..1000,
+    ) {
+        let fixed = Duration::from_millis(fixed_ms);
+        let mut e = RttEstimator::new(&AdaptiveTimeout::Fixed(fixed));
+        for us in samples {
+            e.sample(Duration::from_micros(us));
+            e.backoff();
+            prop_assert_eq!(e.rto(), fixed);
+            prop_assert_eq!(e.srtt(), None);
+        }
+    }
+
+    /// A paced blast round never exceeds the configured burst budget
+    /// between pace-timer expirations, for arbitrary geometry.
+    #[test]
+    fn paced_round_never_exceeds_burst_budget(
+        packets in 1u32..120,
+        burst in 1u32..20,
+    ) {
+        let cfg = ProtocolConfig::default()
+            .with_pacing(PacingConfig::new(burst, Duration::from_micros(200)));
+        let payload: Arc<[u8]> = vec![7u8; packets as usize * 1024].into();
+        let mut s = BlastSender::new(1, payload, &cfg);
+        let mut actions = Vec::new();
+        s.start(&mut actions);
+        let mut emitted = 0u32;
+        loop {
+            let transmits = actions
+                .iter()
+                .filter(|a| a.as_transmit().is_some())
+                .count() as u32;
+            prop_assert!(
+                transmits <= burst,
+                "burst of {transmits} exceeded budget {burst}"
+            );
+            emitted += transmits;
+            let paced = actions.iter().any(|a| matches!(
+                a,
+                blast_core::Action::SetTimer { token, .. } if *token == blast_core::PACE_TIMER
+            ));
+            if !paced {
+                break;
+            }
+            actions.clear();
+            s.on_timer(blast_core::PACE_TIMER, &mut actions);
+        }
+        prop_assert_eq!(emitted, packets, "every packet of the round is emitted");
+        prop_assert_eq!(s.stats().data_packets_sent, u64::from(packets));
+        prop_assert_eq!(s.stats().timeouts, 0, "pace timers are not timeouts");
+    }
+}
+
+/// Karn at the engine level: an acknowledgement that arrives after the
+/// soliciting tail was retransmitted must not be sampled, and the
+/// timeout that caused the retransmission must back the RTO off.
+#[test]
+fn karn_ambiguous_ack_is_rejected_and_rto_backs_off() {
+    let cfg = ProtocolConfig::default().with_timeout(AdaptiveTimeout::Adaptive {
+        initial: Duration::from_millis(25),
+        min: Duration::from_millis(2),
+        max: Duration::from_secs(2),
+    });
+    let payload: Arc<[u8]> = vec![3u8; 4096].into();
+    let mut s = BlastSender::new(1, payload.clone(), &cfg);
+    let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+    let mut actions = Vec::new();
+    s.set_now(Duration::ZERO);
+    s.start(&mut actions);
+
+    // The whole round is "lost"; the retransmission timer fires.
+    s.set_now(Duration::from_millis(25));
+    let mut out = Vec::new();
+    s.on_timer(blast_core::TimerToken(0), &mut out);
+    assert_eq!(
+        s.current_rto(),
+        Duration::from_millis(50),
+        "timeout doubles the RTO"
+    );
+
+    // Now deliver everything (original round + re-solicited tail) and
+    // feed the positive ack back: Karn says this sample is ambiguous.
+    let mut acks = Vec::new();
+    for a in actions.iter().chain(out.iter()) {
+        if let Some(pkt) = a.as_transmit() {
+            let d = Datagram::parse(pkt).unwrap();
+            let mut rout = Vec::new();
+            r.on_datagram(&d, &mut rout);
+            acks.extend(
+                rout.iter()
+                    .filter_map(|a| a.as_transmit().map(<[u8]>::to_vec)),
+            );
+        }
+    }
+    let ack = acks.last().expect("receiver acked the tail");
+    s.set_now(Duration::from_millis(26));
+    let d = Datagram::parse(ack).unwrap();
+    let mut fin = Vec::new();
+    s.on_datagram(&d, &mut fin);
+    assert!(s.is_finished());
+    assert_eq!(s.srtt(), None, "ambiguous round trip must not be sampled");
+    assert_eq!(s.current_rto(), Duration::from_millis(50), "backoff sticks");
+}
+
+/// The clean-path counterpart: an untroubled round trip is sampled and
+/// the RTO becomes a function of the measured RTT, not the seed.
+#[test]
+fn clean_round_trip_is_sampled() {
+    let cfg = ProtocolConfig::default().with_timeout(AdaptiveTimeout::lan());
+    let payload: Arc<[u8]> = vec![9u8; 4096].into();
+    let mut s = BlastSender::new(1, payload.clone(), &cfg);
+    let mut r = BlastReceiver::new(1, payload.len(), &cfg);
+    let mut actions = Vec::new();
+    s.set_now(Duration::ZERO);
+    s.start(&mut actions);
+    let mut acks = Vec::new();
+    for a in &actions {
+        if let Some(pkt) = a.as_transmit() {
+            let d = Datagram::parse(pkt).unwrap();
+            let mut rout = Vec::new();
+            r.on_datagram(&d, &mut rout);
+            acks.extend(
+                rout.iter()
+                    .filter_map(|a| a.as_transmit().map(<[u8]>::to_vec)),
+            );
+        }
+    }
+    s.set_now(Duration::from_millis(4));
+    let d = Datagram::parse(&acks[0]).unwrap();
+    let mut fin = Vec::new();
+    s.on_datagram(&d, &mut fin);
+    assert!(s.is_finished());
+    assert_eq!(s.srtt(), Some(Duration::from_millis(4)));
+    // First sample: RTO = SRTT + 4·(SRTT/2) = 3·SRTT.
+    assert_eq!(s.current_rto(), Duration::from_millis(12));
+}

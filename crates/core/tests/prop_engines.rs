@@ -34,7 +34,7 @@ fn strategy_from(idx: u8) -> RetxStrategy {
 fn check_blast(len: usize, strategy: RetxStrategy, seed: u64, loss_pct: u32) {
     let mut cfg = ProtocolConfig::default().with_strategy(strategy);
     cfg.max_retries = 50_000;
-    cfg.retransmit_timeout = Duration::from_millis(50);
+    cfg.timeout = Duration::from_millis(50).into();
     let data = payload(len);
     let mut h = Harness::new(
         BlastSender::new(1, data.clone(), &cfg),
@@ -68,7 +68,7 @@ proptest! {
     ) {
         let mut cfg = ProtocolConfig::default();
         cfg.max_retries = 50_000;
-        cfg.retransmit_timeout = Duration::from_millis(20);
+        cfg.timeout = Duration::from_millis(20).into();
         let data = payload(len);
         let mut h = Harness::new(
             SawSender::new(1, data.clone(), &cfg),
@@ -88,7 +88,7 @@ proptest! {
     ) {
         let mut cfg = ProtocolConfig::default().with_window(window);
         cfg.max_retries = 50_000;
-        cfg.retransmit_timeout = Duration::from_millis(20);
+        cfg.timeout = Duration::from_millis(20).into();
         let data = payload(len);
         let mut h = Harness::new(
             WindowSender::new(1, data.clone(), &cfg),
@@ -111,7 +111,7 @@ proptest! {
             .with_strategy(strategy_from(strategy_idx))
             .with_multiblast_chunk(chunk);
         cfg.max_retries = 50_000;
-        cfg.retransmit_timeout = Duration::from_millis(50);
+        cfg.timeout = Duration::from_millis(50).into();
         let data = payload(len);
         let mut h = Harness::new(
             MultiBlastSender::new(1, data.clone(), &cfg),
@@ -132,7 +132,7 @@ proptest! {
         // still converge (retries are plentiful, losses are finite).
         let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
         cfg.max_retries = 50_000;
-        cfg.retransmit_timeout = Duration::from_millis(50);
+        cfg.timeout = Duration::from_millis(50).into();
         let data = payload(len);
         let mut h = Harness::new(
             BlastSender::new(1, data.clone(), &cfg),
@@ -153,7 +153,7 @@ proptest! {
         // exactly the configured budget — no hang, no partial success.
         let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
         cfg.max_retries = retries;
-        cfg.retransmit_timeout = Duration::from_millis(5);
+        cfg.timeout = Duration::from_millis(5).into();
         let data = payload(len);
         let mut h = Harness::new(
             BlastSender::new(1, data.clone(), &cfg),
@@ -176,7 +176,7 @@ proptest! {
     ) {
         let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
         cfg.max_retries = 50_000;
-        cfg.retransmit_timeout = Duration::from_millis(50);
+        cfg.timeout = Duration::from_millis(50).into();
         let data = payload(len);
         let mut h = Harness::new(
             BlastSender::new(1, data.clone(), &cfg),

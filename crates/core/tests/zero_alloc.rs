@@ -18,9 +18,11 @@
 //! thread would pollute the measured window.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use blast_core::api::Action;
 use blast_core::blast::{BlastReceiver, BlastSender};
+use blast_core::control::{PacingConfig, PACE_TIMER};
 use blast_core::{Engine, ProtocolConfig};
 use blast_counting_alloc::{allocations, CountingAlloc};
 use blast_wire::packet::Datagram;
@@ -129,4 +131,72 @@ fn steady_state_blast_round_trip_allocates_zero_per_packet() {
         "allocations per packet should be ~0, got {per_packet}"
     );
     assert_eq!(r.data(), &payload[..], "and the bytes still arrive intact");
+
+    // Phase C — pacing must not allocate per packet either: a paced
+    // round recycles the same pooled buffers (batch-checked-out, one
+    // pool lock per burst), and the pace-timer bookkeeping is all
+    // in-place state.  Engines are built before the measured window
+    // (their burst stash is pre-sized at construction, like the
+    // receiver's buffer in the paper's pre-allocation premise).
+    let paced_cfg = cfg
+        .clone()
+        .with_pacing(PacingConfig::new(8, Duration::from_millis(1)));
+    let mut s = BlastSender::new(3, payload.clone(), &paced_cfg);
+    let mut r = BlastReceiver::new(3, payload.len(), &paced_cfg);
+    sink.clear();
+    out.clear();
+    sender_out.clear();
+
+    let before_paced = allocations();
+    s.start(&mut sink);
+    // Drive the pace timer until the whole round (tail included) is out.
+    let mut guard = 0;
+    while sink.iter().filter(|a| a.as_transmit().is_some()).count() < PACKETS {
+        s.on_timer(PACE_TIMER, &mut sink);
+        guard += 1;
+        assert!(guard <= PACKETS, "paced round failed to drain");
+    }
+    // Deliver everything but the tail: the steady paced loop.
+    let mut delivered = 0;
+    for a in sink.iter() {
+        if let Some(pkt) = a.as_transmit() {
+            delivered += 1;
+            if delivered == PACKETS {
+                break; // the tail is phase-D territory
+            }
+            let d = Datagram::parse(pkt).expect("well-formed paced packet");
+            r.on_datagram(&d, &mut out);
+            assert!(out.is_empty(), "mid-round paced packets emit nothing");
+        }
+    }
+    let paced_steady = allocations() - before_paced;
+    assert_eq!(
+        paced_steady, 0,
+        "a paced round must stay allocation-free per packet"
+    );
+
+    // Paced tail: same budget as the unpaced one — the ack buffer is
+    // pooled and only the two completion reports are boxed.
+    let before_paced_tail = allocations();
+    let tail = sink
+        .iter()
+        .filter_map(Action::as_transmit)
+        .nth(PACKETS - 1)
+        .expect("paced reliable tail");
+    let d = Datagram::parse(tail).expect("well-formed tail");
+    r.on_datagram(&d, &mut out);
+    assert!(r.is_finished());
+    let ack = out
+        .iter()
+        .find_map(Action::as_transmit)
+        .expect("single paced blast ack");
+    let d = Datagram::parse(ack).expect("well-formed ack");
+    s.on_datagram(&d, &mut sender_out);
+    assert!(s.is_finished());
+    let paced_tail_allocs = allocations() - before_paced_tail;
+    assert!(
+        paced_tail_allocs <= 2,
+        "paced completion budget exceeded: {paced_tail_allocs}"
+    );
+    assert_eq!(r.data(), &payload[..], "paced bytes arrive intact");
 }

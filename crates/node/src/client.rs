@@ -22,7 +22,7 @@ use blast_udp::peer::TransferReport;
 /// interval, capped so a long data-phase timeout does not slow the
 /// handshake down.
 fn retry_interval(cfg: &ProtocolConfig) -> Duration {
-    cfg.retransmit_timeout.min(Duration::from_millis(200))
+    cfg.timeout.initial().min(Duration::from_millis(200))
 }
 
 /// Overall handshake patience.
@@ -103,7 +103,7 @@ pub fn pull_blob<C: Channel>(
     // it comfortably longer than the node's tail-retransmission
     // interval so the driver stays for as many re-ack rounds as the
     // node needs, yet a clean exit costs only ~100 ms.
-    let linger = (cfg.retransmit_timeout * 4).max(Duration::from_millis(100));
+    let linger = (cfg.timeout.initial() * 4).max(Duration::from_millis(100));
     let mut driver = Driver::new(channel).with_linger_for(linger);
     let out = driver.run(&mut engine)?;
     let fcs_drops = driver.into_channel().fcs_drops;

@@ -27,7 +27,7 @@
 //!
 //! let node = NodeServer::bind(NodeConfig::default()).unwrap().spawn().unwrap();
 //! let mut cfg = ProtocolConfig::default();
-//! cfg.retransmit_timeout = Duration::from_millis(20);
+//! cfg.timeout = Duration::from_millis(20).into();
 //!
 //! let data: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
 //! client::push_blob(client::connect(node.addr()).unwrap(), 1, "blob", &data, &cfg).unwrap();

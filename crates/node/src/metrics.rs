@@ -7,10 +7,11 @@
 //! [`OnlineStats`] accumulators so a long-lived node summarises
 //! millions of sessions in O(1) memory.
 
+use std::ops::Deref;
 use std::time::Duration;
 
 use blast_core::api::EngineStats;
-use blast_stats::OnlineStats;
+use blast_stats::{Histogram, OnlineStats};
 use blast_udp::handshake::Direction;
 
 /// One completed (or failed) session, as recorded by the event loop.
@@ -87,6 +88,10 @@ pub struct NodeMetrics {
     pub session_secs: OnlineStats,
     /// Session goodput distribution, in Mbit/s.
     pub session_goodput_mbps: OnlineStats,
+    /// Per-session retransmission-round histogram (every finished
+    /// session, failures included): turns "high variance at 16
+    /// sessions" into "the p99 session needed 7 retransmission rounds".
+    pub retx_rounds: RetxHistogram,
     /// The most recent finished-session reports, oldest first, capped
     /// at [`MAX_REPORTS`] so a long-lived node stays O(1) in memory —
     /// only the [`OnlineStats`] accumulators see every session.
@@ -96,9 +101,42 @@ pub struct NodeMetrics {
 /// How many per-session reports [`NodeMetrics`] retains.
 pub const MAX_REPORTS: usize = 1024;
 
+/// The retransmission-round histogram: one unit-wide bucket per round
+/// count from 0 to [`RETX_BUCKETS`](RetxHistogram::RETX_BUCKETS) − 1,
+/// sessions beyond that clamped into the last bucket (and counted by
+/// `clamped()`).  A newtype so `NodeMetrics` keeps `derive(Default)`.
+#[derive(Debug, Clone)]
+pub struct RetxHistogram(pub Histogram);
+
+impl RetxHistogram {
+    /// Bucket count: rounds 0..=62 resolve exactly; ≥ 63 clamp.
+    pub const RETX_BUCKETS: usize = 64;
+}
+
+impl Default for RetxHistogram {
+    fn default() -> Self {
+        RetxHistogram(Histogram::linear(
+            0.0,
+            Self::RETX_BUCKETS as f64,
+            Self::RETX_BUCKETS,
+        ))
+    }
+}
+
+impl Deref for RetxHistogram {
+    type Target = Histogram;
+
+    fn deref(&self) -> &Histogram {
+        &self.0
+    }
+}
+
 impl NodeMetrics {
     /// Record a finished session.
     pub fn record(&mut self, report: SessionReport) {
+        self.retx_rounds
+            .0
+            .record(report.stats.retransmission_rounds as f64);
         if report.ok {
             self.sessions_completed += 1;
             match report.direction {
@@ -129,7 +167,8 @@ impl NodeMetrics {
              rejects: {} pull misses, {} id collisions, {} at capacity, {} oversize\n\
              payload: {} B in, {} B out; datagrams: {} in / {} out ({} bad FCS, {} malformed, {} unroutable, {} send drops)\n\
              session time [s]: {}\n\
-             goodput [Mbit/s]: {}",
+             goodput [Mbit/s]: {}\n\
+             retransmission rounds: p50 {:.1}, p99 {:.1} over {} sessions",
             self.sessions_accepted,
             self.pushes,
             self.pulls,
@@ -150,6 +189,9 @@ impl NodeMetrics {
             self.send_drops,
             self.session_secs,
             self.session_goodput_mbps,
+            self.retx_rounds.percentile(50.0),
+            self.retx_rounds.percentile(99.0),
+            self.retx_rounds.count(),
         )
     }
 }
@@ -184,6 +226,26 @@ mod tests {
         assert_eq!(m.sessions_in_flight(), 0);
         assert_eq!(m.session_secs.count(), 2, "failures do not pollute stats");
         assert_eq!(m.reports.len(), 3);
+    }
+
+    #[test]
+    fn retransmission_rounds_are_histogrammed() {
+        let mut m = NodeMetrics::default();
+        m.sessions_accepted = 3;
+        let mut clean = report(true, Direction::Push, 1000, 10);
+        clean.stats.retransmission_rounds = 0;
+        let mut lossy = report(true, Direction::Push, 1000, 50);
+        lossy.stats.retransmission_rounds = 5;
+        let mut failed = report(false, Direction::Pull, 0, 99);
+        failed.stats.retransmission_rounds = 7;
+        m.record(clean);
+        m.record(lossy);
+        m.record(failed);
+        assert_eq!(m.retx_rounds.count(), 3, "failures are histogrammed too");
+        assert_eq!(m.retx_rounds.buckets()[0], 1);
+        assert_eq!(m.retx_rounds.buckets()[5], 1);
+        assert_eq!(m.retx_rounds.buckets()[7], 1);
+        assert!(m.summary().contains("retransmission rounds"));
     }
 
     #[test]

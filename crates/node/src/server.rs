@@ -87,10 +87,13 @@ pub struct NodeConfig {
 impl Default for NodeConfig {
     fn default() -> Self {
         let mut protocol = ProtocolConfig::default();
-        // Server-side retransmission interval: loopback/LAN round trips
-        // are far below the paper's 173 ms To(D); keep tail-packet
-        // retransmission snappy.
-        protocol.retransmit_timeout = Duration::from_millis(25);
+        // Server-side transmission control: loopback/LAN round trips are
+        // far below the paper's 173 ms To(D), so let the Jacobson/Karn
+        // estimator find the real RTT (seeded at 25 ms), and pace blast
+        // rounds so a pull does not dump a whole round into the
+        // client's receive buffer in one scheduler quantum.
+        protocol.timeout = blast_core::AdaptiveTimeout::lan();
+        protocol.pacing = blast_core::PacingConfig::lan();
         protocol.max_retries = 1000;
         NodeConfig {
             bind: "127.0.0.1:0".parse().expect("literal addr"),
@@ -126,6 +129,10 @@ pub struct NodeServer {
     demux: Demux,
     sessions: HashMap<u32, Session>,
     timers: TimerWheel<(u32, TimerToken)>,
+    /// Epoch for the engines' sans-I/O clock ([`Engine::set_now`]):
+    /// every engine in the session table shares this zero point, so the
+    /// adaptive RTO's round-trip samples are plain differences.
+    epoch: Instant,
     /// Reused datagram receive buffer (one per node, not one per tick).
     recv_buf: Vec<u8>,
     /// Reused FCS framing scratch for outgoing datagrams.
@@ -145,6 +152,10 @@ impl NodeServer {
     pub fn bind_with_store(config: NodeConfig, store: SharedStore) -> io::Result<Self> {
         let socket = UdpSocket::bind(config.bind)?;
         socket.set_nonblocking(true)?;
+        // Grow the receive queue (best effort): a node fans many
+        // concurrent pushes into one socket, and round-0 loss to a
+        // default-sized SO_RCVBUF was the measured goodput ceiling.
+        blast_udp::sockopt::grow_recv_buffer(&socket);
         // Every session's engine clones `config.protocol`, so they all
         // share this pool; pre-warm it so the first blast round is
         // already allocation free.
@@ -158,6 +169,7 @@ impl NodeServer {
             demux: Demux::new(),
             sessions: HashMap::new(),
             timers: TimerWheel::new(),
+            epoch: Instant::now(),
             recv_buf: vec![0u8; MAX_DATAGRAM + 4],
             frame_buf: Vec::new(),
             scratch: Vec::new(),
@@ -302,8 +314,10 @@ impl NodeServer {
         match self.sessions.get(&id) {
             // Only the session's peer may drive its engine.
             Some(s) if s.peer == peer => {
+                let now = self.epoch.elapsed();
                 let mut sink = std::mem::take(&mut self.scratch);
                 if let Some(engine) = self.demux.get_mut(id) {
+                    engine.set_now(now);
                     engine.on_datagram(&dgram, &mut sink);
                 }
                 let executed = self.execute(id, &mut sink);
@@ -405,6 +419,8 @@ impl NodeServer {
         // Echo before starting the engine so that, in order-preserving
         // conditions, the size announcement precedes round-0 data.
         self.send_framed(peer, &echo)?;
+        let mut engine = engine;
+        engine.set_now(self.epoch.elapsed());
         let mut sink = std::mem::take(&mut self.scratch);
         self.demux.register(engine, &mut sink);
         self.timers.arm((id, GIVE_UP), self.config.session_timeout);
@@ -442,8 +458,12 @@ impl NodeServer {
                 Ok(())
             }
             _ => {
+                let now = self.epoch.elapsed();
                 let mut sink = std::mem::take(&mut self.scratch);
-                self.demux.on_timer(id, token, &mut sink);
+                if let Some(engine) = self.demux.get_mut(id) {
+                    engine.set_now(now);
+                    engine.on_timer(token, &mut sink);
+                }
                 let executed = self.execute(id, &mut sink);
                 sink.clear();
                 self.scratch = sink;
@@ -620,13 +640,13 @@ mod tests {
 
     fn test_config() -> NodeConfig {
         let mut cfg = NodeConfig::default();
-        cfg.protocol.retransmit_timeout = Duration::from_millis(15);
+        cfg.protocol.timeout = Duration::from_millis(15).into();
         cfg
     }
 
     fn client_cfg() -> ProtocolConfig {
         let mut c = ProtocolConfig::default();
-        c.retransmit_timeout = Duration::from_millis(15);
+        c.timeout = Duration::from_millis(15).into();
         c.max_retries = 1000;
         c
     }

@@ -14,7 +14,7 @@ use blast_udp::fault::{FaultConfig, FaultyChannel};
 
 fn client_cfg(strategy: RetxStrategy) -> ProtocolConfig {
     let mut c = ProtocolConfig::default();
-    c.retransmit_timeout = Duration::from_millis(12);
+    c.timeout = Duration::from_millis(12).into();
     c.max_retries = 100_000;
     c.strategy = strategy;
     c
@@ -22,7 +22,7 @@ fn client_cfg(strategy: RetxStrategy) -> ProtocolConfig {
 
 fn node_cfg() -> NodeConfig {
     let mut cfg = NodeConfig::default();
-    cfg.protocol.retransmit_timeout = Duration::from_millis(12);
+    cfg.protocol.timeout = Duration::from_millis(12).into();
     cfg.protocol.max_retries = 100_000;
     cfg
 }
@@ -151,6 +151,55 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
         dup_or_drops > 0,
         "faulty channels must exercise recovery paths"
     );
+}
+
+/// The default (adaptive RTO + paced rounds, on both the node and the
+/// client) carries concurrent pushes end-to-end over real sockets —
+/// the configuration the perf harness measures.
+#[test]
+fn adaptive_paced_defaults_roundtrip_concurrently() {
+    // NodeConfig::default() is adaptive + paced out of the box.
+    let node = NodeServer::bind(NodeConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = node.addr();
+    let mut handles = Vec::new();
+    let mut blobs = Vec::new();
+    for i in 0..4usize {
+        let data = payload(50 + i, 80_000 + 10_000 * i);
+        let name = format!("adaptive-{i}");
+        blobs.push((name.clone(), data.clone()));
+        handles.push(std::thread::spawn(move || {
+            let mut cfg = ProtocolConfig::default();
+            cfg.timeout = blast_core::AdaptiveTimeout::lan();
+            cfg.pacing = blast_core::PacingConfig::lan();
+            cfg.max_retries = 100_000;
+            cfg.packet_payload = 1400;
+            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+            client::push_blob(ch, 100 + i as u32, &name, &data, &cfg).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every paced push must round-trip byte-exactly (pulled back over
+    // the node's own paced sender).
+    for (i, (name, expected)) in blobs.iter().enumerate() {
+        let mut cfg = ProtocolConfig::default();
+        cfg.timeout = blast_core::AdaptiveTimeout::lan();
+        cfg.pacing = blast_core::PacingConfig::lan();
+        cfg.max_retries = 100_000;
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+        let report = client::pull_blob(ch, 200 + i as u32, name, &cfg).unwrap();
+        assert_eq!(&report.data, expected, "{name}");
+    }
+    assert!(node.wait_idle(Duration::from_secs(10)));
+    let server = node.shutdown().unwrap();
+    let m = server.metrics();
+    assert_eq!(m.sessions_completed, 8);
+    assert_eq!(m.sessions_failed, 0);
+    assert_eq!(m.retx_rounds.count(), 8, "histogram sees every session");
 }
 
 /// Zero-length blobs survive the full push/pull cycle.

@@ -602,6 +602,9 @@ impl Simulator {
                         let key = (host, dgram.transfer_id);
                         if let Some(agent) = self.agents.get_mut(&key) {
                             let mut actions = Vec::new();
+                            // Engines see simulated time, so the adaptive
+                            // RTO samples simulated round trips exactly.
+                            agent.engine.set_now(self.now.as_duration());
                             agent.engine.on_datagram(&dgram, &mut actions);
                             self.process_actions(host, dgram.transfer_id, actions);
                         } else {
@@ -676,6 +679,7 @@ impl Simulator {
         }
         if let Some(agent) = self.agents.get_mut(&(host, transfer)) {
             let mut actions = Vec::new();
+            agent.engine.set_now(self.now.as_duration());
             agent.engine.on_timer(token, &mut actions);
             self.process_actions(host, transfer, actions);
         }
@@ -845,7 +849,7 @@ mod tests {
         let b = sim.add_host_scaled("slow-receiver", 4.0);
         let mut pcfg = ProtocolConfig::default();
         pcfg.max_retries = 100_000;
-        pcfg.retransmit_timeout = std::time::Duration::from_millis(600);
+        pcfg.timeout = std::time::Duration::from_millis(600).into();
         let payload = data(32 * 1024);
         sim.attach(a, b, Box::new(BlastSender::new(1, payload.clone(), &pcfg)));
         sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &pcfg)));
@@ -855,6 +859,37 @@ mod tests {
             "mismatched speeds must overrun the interface"
         );
         assert!(report.succeeded(a, 1), "go-back-n still recovers");
+    }
+
+    #[test]
+    fn paced_blast_stretches_by_the_gap_budget() {
+        // Pacing rides the ordinary timer machinery, so the simulator
+        // honours it with no special code: a paced blast completes
+        // correctly and pays at least its inter-burst gaps; the unpaced
+        // run of the same transfer still matches the closed form.
+        let run = |pacing| {
+            let (mut sim, a, b) = two_host_sim(SimConfig::standalone());
+            let mut pcfg = ProtocolConfig::default();
+            pcfg.pacing = pacing;
+            let payload = data(16 * 1024);
+            sim.attach(a, b, Box::new(BlastSender::new(1, payload.clone(), &pcfg)));
+            sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &pcfg)));
+            let report = sim.run();
+            assert!(report.succeeded(a, 1) && report.succeeded(b, 1));
+            assert_eq!(report.completions[&(a, 1)].info.stats.data_packets_sent, 16);
+            report.elapsed_ms(a, 1).unwrap()
+        };
+        let unpaced = run(blast_core::PacingConfig::off());
+        // 16 packets in bursts of 4: 3 gaps of 5 ms must appear.
+        let paced = run(blast_core::PacingConfig::new(
+            4,
+            std::time::Duration::from_millis(5),
+        ));
+        assert_eq!(unpaced, 16.0 * 2.17 + 1.74, "degenerate mode untouched");
+        assert!(
+            paced >= unpaced + 3.0 * 5.0 - 1.0,
+            "paced {paced} vs unpaced {unpaced}"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn run_sim(
     let a = sim.add_host("sender");
     let b = sim.add_host("receiver");
     let mut pcfg = ProtocolConfig::default();
-    pcfg.retransmit_timeout = std::time::Duration::from_millis(timeout_ms);
+    pcfg.timeout = std::time::Duration::from_millis(timeout_ms).into();
     let payload = data(bytes);
     sim.attach(a, b, make_sender(&pcfg, payload.clone()));
     if saw_receiver {

@@ -20,7 +20,7 @@ fn blast_run(n_kb: usize, sim_cfg: SimConfig) -> blast_sim::SimReport {
     let a = sim.add_host("sender");
     let b = sim.add_host("receiver");
     let mut cfg = ProtocolConfig::default();
-    cfg.retransmit_timeout = Duration::from_secs(3600);
+    cfg.timeout = Duration::from_secs(3600).into();
     let payload = data(n_kb * 1024);
     sim.attach(a, b, Box::new(BlastSender::new(1, payload.clone(), &cfg)));
     sim.attach(b, a, Box::new(BlastReceiver::new(1, payload.len(), &cfg)));
@@ -132,7 +132,7 @@ fn stop_and_wait_cpu_books() {
     let a = sim.add_host("s");
     let b = sim.add_host("r");
     let mut cfg = ProtocolConfig::default();
-    cfg.retransmit_timeout = Duration::from_secs(3600);
+    cfg.timeout = Duration::from_secs(3600).into();
     let payload = data(16 * 1024);
     sim.attach(a, b, Box::new(SawSender::new(1, payload.clone(), &cfg)));
     sim.attach(b, a, Box::new(SawReceiver::new(1, payload.len(), &cfg)));

@@ -140,6 +140,27 @@ impl Histogram {
         self.hi
     }
 
+    /// Fold another histogram's counts into this one.
+    ///
+    /// # Panics
+    /// Panics if the two histograms' geometries (range, spacing, bucket
+    /// count) differ — merging those would silently misbucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo
+                && self.hi == other.hi
+                && self.log == other.log
+                && self.buckets.len() == other.buckets.len(),
+            "histogram geometries differ"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.below += other.below;
+        self.above += other.above;
+    }
+
     /// Render a bar-chart sketch, one line per non-empty bucket.
     pub fn render(&self, width: usize) -> String {
         let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
@@ -225,6 +246,29 @@ mod tests {
         h.record(f64::NAN);
         h.record(f64::INFINITY);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_sums_counts_bucketwise() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let mut b = Histogram::linear(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.5);
+        b.record(9.0);
+        b.record(42.0); // clamped above
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.buckets()[0], 2);
+        assert_eq!(a.buckets()[4], 2);
+        assert_eq!(a.clamped(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram geometries differ")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let b = Histogram::linear(0.0, 10.0, 6);
+        a.merge(&b);
     }
 
     #[test]

@@ -28,9 +28,12 @@ pub struct UdpChannel {
 }
 
 impl UdpChannel {
-    /// Bind to `local` and connect to `remote`.
+    /// Bind to `local` and connect to `remote`.  The receive buffer is
+    /// grown (best effort) so a whole blast round queues in the kernel
+    /// instead of spilling — see [`crate::sockopt`].
     pub fn connect(local: SocketAddr, remote: SocketAddr) -> io::Result<Self> {
         let socket = UdpSocket::bind(local)?;
+        crate::sockopt::grow_recv_buffer(&socket);
         socket.connect(remote)?;
         Ok(UdpChannel { socket })
     }
@@ -45,6 +48,8 @@ impl UdpChannel {
     pub fn pair() -> io::Result<(UdpChannel, UdpChannel)> {
         let a = UdpSocket::bind("127.0.0.1:0")?;
         let b = UdpSocket::bind("127.0.0.1:0")?;
+        crate::sockopt::grow_recv_buffer(&a);
+        crate::sockopt::grow_recv_buffer(&b);
         let a_addr = a.local_addr()?;
         let b_addr = b.local_addr()?;
         a.connect(b_addr)?;
@@ -74,8 +79,10 @@ impl Channel for UdpChannel {
 
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
         // A zero timeout means "no blocking at all"; UdpSocket treats
-        // Some(ZERO) as an error, so clamp to 1 ms.
-        let t = timeout.max(Duration::from_millis(1));
+        // Some(ZERO) as an error, so clamp to a small positive floor —
+        // kept well under a millisecond so paced senders' inter-burst
+        // gaps are not rounded up into the scheduler noise.
+        let t = timeout.max(Duration::from_micros(50));
         self.socket.set_read_timeout(Some(t))?;
         match self.socket.recv(buf) {
             Ok(n) => Ok(Some(n)),

@@ -112,6 +112,7 @@ impl<C: Channel> Driver<C> {
         // run: `execute` drains it, so the packet loop reuses its
         // capacity instead of allocating a sink per datagram.
         let mut actions: Vec<Action> = Vec::new();
+        engine.set_now(Duration::ZERO);
         engine.start(&mut actions);
         self.execute(&mut actions, &mut sent, &mut timers)?;
 
@@ -136,6 +137,7 @@ impl<C: Channel> Driver<C> {
 
             // Fire due timers.
             while let Some(token) = timers.pop_due(now) {
+                engine.set_now(now.duration_since(start));
                 engine.on_timer(token, &mut actions);
                 let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                 if let Some(info) = done {
@@ -150,14 +152,24 @@ impl<C: Channel> Driver<C> {
 
             // Wait for the next packet or the next timer, whichever
             // comes first.
-            let until_timer = timers
-                .next_deadline()
+            let next_deadline = timers.next_deadline();
+            let until_timer = next_deadline
                 .map(|when| when.saturating_duration_since(now))
                 .unwrap_or(Duration::from_millis(20))
                 .min(Duration::from_millis(50));
+            // Sub-millisecond deadlines (paced inter-burst gaps run in
+            // the hundreds of µs) cannot go through the socket wait:
+            // SO_RCVTIMEO rounds up to a scheduler tick, turning a
+            // 250 µs gap into ~8 ms and strangling paced throughput.
+            // Yield-spin those out instead; arriving datagrams queue in
+            // the (grown) receive buffer and are drained right after.
+            if next_deadline.is_some() && until_timer < Duration::from_millis(1) {
+                std::thread::yield_now();
+                continue;
+            }
             match self
                 .channel
-                .recv_timeout(&mut buf, until_timer.max(Duration::from_millis(1)))?
+                .recv_timeout(&mut buf, until_timer.max(Duration::from_micros(100)))?
             {
                 None => continue,
                 Some(n) => {
@@ -179,6 +191,7 @@ impl<C: Channel> Driver<C> {
                         }
                         continue;
                     }
+                    engine.set_now(start.elapsed());
                     engine.on_datagram(&dgram, &mut actions);
                     let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                     if let Some(info) = done {
@@ -244,7 +257,7 @@ mod tests {
 
     fn cfg() -> ProtocolConfig {
         let mut c = ProtocolConfig::default();
-        c.retransmit_timeout = Duration::from_millis(15);
+        c.timeout = Duration::from_millis(15).into();
         c
     }
 
@@ -304,7 +317,7 @@ mod tests {
         let (a, _b) = UdpChannel::pair().unwrap();
         let mut c = cfg();
         c.max_retries = 1_000_000;
-        c.retransmit_timeout = Duration::from_millis(5);
+        c.timeout = Duration::from_millis(5).into();
         let mut engine = BlastSender::new(1, data(1024), &c);
         let mut driver = Driver::new(a).with_deadline(Duration::from_millis(100));
         let start = Instant::now();

@@ -100,7 +100,7 @@ fn send_impl<C: Channel>(
         &mut channel,
         transfer_id,
         &request,
-        cfg.retransmit_timeout.min(Duration::from_millis(200)),
+        cfg.timeout.initial().min(Duration::from_millis(200)),
         Duration::from_secs(30),
     )?;
     let handshake_sent = reply.datagrams_sent;
@@ -195,7 +195,7 @@ mod tests {
 
     fn cfg(ms: u64) -> ProtocolConfig {
         let mut c = ProtocolConfig::default();
-        c.retransmit_timeout = Duration::from_millis(ms);
+        c.timeout = Duration::from_millis(ms).into();
         c.max_retries = 100_000;
         c
     }

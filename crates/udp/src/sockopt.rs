@@ -1,0 +1,194 @@
+//! Socket-buffer tuning: grow `SO_RCVBUF` so a blast round fits.
+//!
+//! ROADMAP's measured bottleneck: a full blast round (≈ 256 KB at
+//! 1400-byte payloads) dumped into a default-sized UDP receive buffer
+//! (≈ 208 KB on Linux) loses its tail packets to the kernel before the
+//! application ever sees them — the modern incarnation of the paper's
+//! §3 *interface errors*, where "the receiver has no buffer available
+//! for an incoming packet".  The paper's fix was more interface
+//! buffers; ours is the same: ask the kernel for a bigger receive
+//! queue at socket setup.
+//!
+//! `std::net::UdpSocket` exposes no buffer-size API, so on Linux this
+//! module calls `setsockopt(2)`/`getsockopt(2)` directly through the
+//! already-linked C library.  This is the crate's one sanctioned use of
+//! `unsafe` (mirroring the `blast-counting-alloc` precedent): two
+//! audited FFI calls on a valid file descriptor with stack-local
+//! buffers, nothing else.  On other platforms the functions are no-ops
+//! that report `Unsupported`; callers treat the whole thing as
+//! best-effort — a socket with a small buffer still works, it just
+//! drops more.
+
+use std::io;
+use std::net::UdpSocket;
+
+/// Receive-buffer request for blast workloads: 4 MiB comfortably holds
+/// several concurrent 256 KB rounds.  The kernel clamps the effective
+/// size to `net.core.rmem_max`; [`set_recv_buffer`] reports what was
+/// actually granted.
+pub const BLAST_RECV_BUFFER: usize = 4 * 1024 * 1024;
+
+// The hardcoded option constants below are the asm-generic values;
+// MIPS and SPARC kernels use different ones (SOL_SOCKET = 0xffff), so
+// those architectures take the unsupported fallback rather than poking
+// the wrong socket level.
+#[cfg(all(
+    target_os = "linux",
+    not(any(
+        target_arch = "mips",
+        target_arch = "mips64",
+        target_arch = "sparc",
+        target_arch = "sparc64"
+    ))
+))]
+#[allow(unsafe_code)]
+mod imp {
+    use std::io;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+
+    // Linked via std's libc dependency; declared here because the
+    // workspace builds offline with no `libc` crate available.
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const core::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn getsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *mut core::ffi::c_void,
+            len: *mut u32,
+        ) -> i32;
+    }
+
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+
+    pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+        let fd = socket.as_raw_fd();
+        let request: i32 = bytes.min(i32::MAX as usize) as i32;
+        // SAFETY: `fd` is a live descriptor owned by `socket` for the
+        // duration of the call; the value pointer/length describe a
+        // stack-local i32.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&request as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        recv_buffer(socket)
+    }
+
+    pub fn recv_buffer(socket: &UdpSocket) -> io::Result<usize> {
+        let fd = socket.as_raw_fd();
+        let mut granted: i32 = 0;
+        let mut len = std::mem::size_of::<i32>() as u32;
+        // SAFETY: as above; the kernel writes at most `len` bytes into
+        // the stack-local i32.
+        let rc = unsafe {
+            getsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&mut granted as *mut i32).cast(),
+                &mut len,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(granted.max(0) as usize)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    not(any(
+        target_arch = "mips",
+        target_arch = "mips64",
+        target_arch = "sparc",
+        target_arch = "sparc64"
+    ))
+)))]
+mod imp {
+    use std::io;
+    use std::net::UdpSocket;
+
+    pub fn set_recv_buffer(_socket: &UdpSocket, _bytes: usize) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_RCVBUF tuning is only implemented on Linux",
+        ))
+    }
+
+    pub fn recv_buffer(_socket: &UdpSocket) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_RCVBUF inspection is only implemented on Linux",
+        ))
+    }
+}
+
+/// Ask the kernel for a `bytes`-sized receive buffer and return what it
+/// granted (Linux doubles the request for bookkeeping and clamps it to
+/// `net.core.rmem_max`).  `Unsupported` on non-Linux platforms.
+pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+    imp::set_recv_buffer(socket, bytes)
+}
+
+/// The socket's current receive-buffer size, as the kernel reports it.
+pub fn recv_buffer(socket: &UdpSocket) -> io::Result<usize> {
+    imp::recv_buffer(socket)
+}
+
+/// Best-effort variant of [`set_recv_buffer`] for socket setup paths:
+/// failures (permissions, platform) are swallowed — the socket still
+/// works, it just keeps the default queue depth.
+pub fn grow_recv_buffer(socket: &UdpSocket) {
+    let _ = set_recv_buffer(socket, BLAST_RECV_BUFFER);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(all(
+        target_os = "linux",
+        not(any(
+            target_arch = "mips",
+            target_arch = "mips64",
+            target_arch = "sparc",
+            target_arch = "sparc64"
+        ))
+    ))]
+    fn grow_and_read_back() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let before = recv_buffer(&socket).unwrap();
+        assert!(before > 0);
+        let granted = set_recv_buffer(&socket, BLAST_RECV_BUFFER).unwrap();
+        // The kernel may clamp to rmem_max, but it never grants zero,
+        // and it must not *shrink* the buffer below the old size when
+        // asked for more.
+        assert!(granted > 0);
+        assert!(granted >= before.min(BLAST_RECV_BUFFER));
+        assert_eq!(recv_buffer(&socket).unwrap(), granted);
+    }
+
+    #[test]
+    fn grow_recv_buffer_is_infallible() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        grow_recv_buffer(&socket); // must not panic anywhere
+    }
+}

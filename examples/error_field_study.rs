@@ -21,7 +21,7 @@ fn measure(strategy: RetxStrategy, p_n: f64, trials: u64) -> OnlineStats {
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default().with_strategy(strategy);
         cfg.max_retries = 1_000_000;
-        cfg.retransmit_timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64);
+        cfg.timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64).into();
         sim.attach(
             a,
             b,

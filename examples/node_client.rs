@@ -32,7 +32,7 @@ fn main() -> std::io::Result<()> {
     let addr = addr.parse().expect("node address like 127.0.0.1:47611");
 
     let mut cfg = ProtocolConfig::default();
-    cfg.retransmit_timeout = Duration::from_millis(25);
+    cfg.timeout = Duration::from_millis(25).into();
     // A transfer id unique enough for concurrent example runs.
     let transfer_id = std::process::id();
 

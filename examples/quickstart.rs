@@ -61,7 +61,7 @@ fn main() {
     // 3. Real UDP over loopback.
     let (ca, cb) = UdpChannel::pair().unwrap();
     let mut ucfg = ProtocolConfig::default();
-    ucfg.retransmit_timeout = Duration::from_millis(25);
+    ucfg.timeout = Duration::from_millis(25).into();
     let ucfg2 = ucfg.clone();
     let rx = std::thread::spawn(move || recv_data(cb, &ucfg2).unwrap());
     let tx = send_data(ca, 7, &data, &ucfg).unwrap();

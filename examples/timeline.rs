@@ -26,7 +26,7 @@ fn main() {
 
     let data: Vec<u8> = vec![0u8; n * 1024];
     let mut cfg = ProtocolConfig::default();
-    cfg.retransmit_timeout = std::time::Duration::from_secs(3600);
+    cfg.timeout = std::time::Duration::from_secs(3600).into();
 
     let sim_cfg = if proto == "dbl" {
         SimConfig::double_buffered().with_trace()

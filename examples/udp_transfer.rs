@@ -33,7 +33,7 @@ fn main() {
     let (ca, cb) = UdpChannel::pair().unwrap();
     let mut cfg = ProtocolConfig::default();
     cfg.strategy = strategy;
-    cfg.retransmit_timeout = Duration::from_millis(20);
+    cfg.timeout = Duration::from_millis(20).into();
     cfg.max_retries = 100_000;
 
     // Faults injected on the sender side (data packets suffer the loss,

@@ -45,7 +45,7 @@ fn same_engine_three_substrates() {
         let a = sim.add_host("a");
         let b = sim.add_host("b");
         let mut scfg = cfg.clone();
-        scfg.retransmit_timeout = Duration::from_millis(200);
+        scfg.timeout = Duration::from_millis(200).into();
         sim.attach(
             a,
             b,
@@ -58,7 +58,7 @@ fn same_engine_three_substrates() {
         // 3. Real UDP with injected loss.
         let (ca, cb) = UdpChannel::pair().unwrap();
         let mut ucfg = cfg.clone();
-        ucfg.retransmit_timeout = Duration::from_millis(15);
+        ucfg.timeout = Duration::from_millis(15).into();
         let faulty = FaultyChannel::new(ca, FaultConfig::loss(0.05), strategy as u64);
         let ucfg2 = ucfg.clone();
         let data2 = data.clone();
@@ -104,7 +104,7 @@ fn simulator_hosts_concurrent_transfers_with_demux() {
 fn multiblast_over_udp_and_sim_agree_on_data() {
     let data = payload(200 * 1024);
     let mut cfg = ProtocolConfig::default().with_multiblast_chunk(32);
-    cfg.retransmit_timeout = Duration::from_millis(20);
+    cfg.timeout = Duration::from_millis(20).into();
     cfg.max_retries = 100_000;
 
     // Simulator.
@@ -112,7 +112,7 @@ fn multiblast_over_udp_and_sim_agree_on_data() {
     let a = sim.add_host("a");
     let b = sim.add_host("b");
     let mut scfg = cfg.clone();
-    scfg.retransmit_timeout = Duration::from_millis(200);
+    scfg.timeout = Duration::from_millis(200).into();
     sim.attach(
         a,
         b,
@@ -165,7 +165,7 @@ fn sim_elapsed_never_beats_the_error_free_floor() {
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default();
         cfg.max_retries = 100_000;
-        cfg.retransmit_timeout = Duration::from_millis(100);
+        cfg.timeout = Duration::from_millis(100).into();
         sim.attach(
             a,
             b,

@@ -28,7 +28,7 @@ fn sim_elapsed(
     let a = sim.add_host("a");
     let b = sim.add_host("b");
     let mut cfg = ProtocolConfig::default();
-    cfg.retransmit_timeout = std::time::Duration::from_secs(3600);
+    cfg.timeout = std::time::Duration::from_secs(3600).into();
     make(&mut sim, a, b, &cfg);
     let report = sim.run();
     assert!(report.succeeded(a, 1), "transfer must succeed");
@@ -224,7 +224,7 @@ fn strategy_retransmission_volumes() {
             let b = sim.add_host("b");
             let mut cfg = ProtocolConfig::default().with_strategy(strategy);
             cfg.max_retries = 1_000_000;
-            cfg.retransmit_timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64);
+            cfg.timeout = std::time::Duration::from_nanos((t0_d * 1e6) as u64).into();
             sim.attach(a, b, Box::new(BlastSender::new(1, data(bytes), &cfg)));
             sim.attach(b, a, Box::new(BlastReceiver::new(1, bytes, &cfg)));
             let report = sim.run();

@@ -42,7 +42,7 @@ proptest! {
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default().with_strategy(strategy_from(strategy_idx));
         cfg.max_retries = 1_000_000;
-        cfg.retransmit_timeout = Duration::from_millis(250);
+        cfg.timeout = Duration::from_millis(250).into();
         let data: std::sync::Arc<[u8]> =
             (0..bytes).map(|i| (i % 255) as u8).collect::<Vec<u8>>().into();
         sim.attach(a, b, Box::new(BlastSender::new(1, data, &cfg)));
@@ -95,7 +95,7 @@ proptest! {
         let b = sim.add_host("b");
         let mut cfg = ProtocolConfig::default().with_multiblast_chunk(chunk);
         cfg.max_retries = 1_000_000;
-        cfg.retransmit_timeout = Duration::from_millis(250);
+        cfg.timeout = Duration::from_millis(250).into();
         let data: std::sync::Arc<[u8]> =
             (0..bytes).map(|i| (i % 251) as u8).collect::<Vec<u8>>().into();
         sim.attach(a, b, Box::new(MultiBlastSender::new(1, data, &cfg)));
