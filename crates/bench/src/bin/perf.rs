@@ -57,10 +57,43 @@ struct Record {
     /// only) — the loss-diagnosability histogram from `node::metrics`.
     retx_p50: Option<f64>,
     retx_p99: Option<f64>,
+    /// Which `blast_udp::netio` backend the node ran (node records).
+    netio_backend: Option<String>,
+    /// Mean final AIMD burst across paced sessions (node records).
+    burst_final_mean: Option<f64>,
+    /// Mean of per-session mean burst sizes (node records).
+    burst_mean_mean: Option<f64>,
+    /// Node-socket wait strategy: event wakeups vs timer expiries.
+    io_wakeups: Option<u64>,
+    io_timeouts: Option<u64>,
 }
 
-/// One loss-sweep measurement: adaptive-RTO + pacing behaviour under
-/// iid loss in the virtual-time harness (deterministic, seed-stamped).
+impl Record {
+    fn new(name: String, bytes: usize, iters: usize) -> Record {
+        Record {
+            name,
+            bytes,
+            iters,
+            goodput_mbps: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            packets: 0,
+            allocs_per_packet: 0.0,
+            retx_p50: None,
+            retx_p99: None,
+            netio_backend: None,
+            burst_final_mean: None,
+            burst_mean_mean: None,
+            io_wakeups: None,
+            io_timeouts: None,
+        }
+    }
+}
+
+/// One loss-sweep measurement: adaptive-RTO + AIMD-pacing behaviour
+/// under iid loss in the virtual-time harness (deterministic,
+/// seed-stamped).  The burst fields are the AIMD trajectory: the
+/// initial burst, how small the pacer was driven, and where it ended.
 struct LossRecord {
     name: String,
     loss_pct: f64,
@@ -70,6 +103,9 @@ struct LossRecord {
     rto_initial_ms: f64,
     rto_final_ms_mean: f64,
     srtt_final_us_mean: f64,
+    burst_initial: f64,
+    burst_final_mean: f64,
+    burst_min_mean: f64,
 }
 
 /// Deterministic per-stream generator (xorshift64*), one instance per
@@ -149,18 +185,13 @@ fn engine_record(
     let elapsed = t0.elapsed();
     let allocs = allocations() - allocs_before;
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    Record {
-        name: name.to_string(),
-        bytes,
-        iters,
-        goodput_mbps: mbps((bytes * iters) as u64, elapsed),
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
-        packets,
-        allocs_per_packet: allocs as f64 / packets.max(1) as f64,
-        retx_p50: None,
-        retx_p99: None,
-    }
+    let mut r = Record::new(name.to_string(), bytes, iters);
+    r.goodput_mbps = mbps((bytes * iters) as u64, elapsed);
+    r.p50_ms = percentile(&latencies, 0.50);
+    r.p99_ms = percentile(&latencies, 0.99);
+    r.packets = packets;
+    r.allocs_per_packet = allocs as f64 / packets.max(1) as f64;
+    r
 }
 
 /// Node measurement: N concurrent client threads each push `bytes`
@@ -178,6 +209,11 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
     let mut packets = 0u64;
     let mut allocs = 0u64;
     let mut retx = Histogram::linear(0.0, 64.0, 64);
+    let mut burst_finals: Vec<f64> = Vec::new();
+    let mut burst_means: Vec<f64> = Vec::new();
+    let mut io_wakeups = 0u64;
+    let mut io_timeouts = 0u64;
+    let mut backend = String::new();
     for repeat in 0..repeats {
         let mut node_cfg = NodeConfig::default();
         // NodeConfig::default is already adaptive + paced; just raise
@@ -201,28 +237,42 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
                 (id, payload, stagger)
             })
             .collect();
+        // One client config cloned per session: every client engine
+        // shares (and keeps warm) one buffer pool, the same
+        // steady-state policy the engine records and the node itself
+        // use.  Warmed to the AIMD burst ceiling before the measured
+        // window so pool fills do not masquerade as per-packet cost.
+        let mut client_cfg = ProtocolConfig::default();
+        client_cfg.timeout = AdaptiveTimeout::lan();
+        client_cfg.pacing = PacingConfig::lan();
+        client_cfg.max_retries = 100_000;
+        client_cfg.packet_payload = 1400;
+        client_cfg.pool.warm(bytes / 1400 + 8);
         let allocs_before = allocations();
         let t0 = Instant::now();
         let handles: Vec<_> = inputs
             .into_iter()
             .map(|(id, data, stagger)| {
+                let cfg = client_cfg.clone();
                 std::thread::spawn(move || {
                     std::thread::sleep(stagger);
-                    let mut cfg = ProtocolConfig::default();
-                    cfg.timeout = AdaptiveTimeout::lan();
-                    cfg.pacing = PacingConfig::lan();
-                    cfg.max_retries = 100_000;
-                    cfg.packet_payload = 1400;
                     let ch = UdpChannel::connect("127.0.0.1:0".parse().expect("literal"), addr)
                         .expect("connect");
                     let report =
                         client::push_blob(ch, id, &format!("s{id}"), &data, &cfg).expect("push");
-                    report.elapsed.as_secs_f64() * 1e3
+                    (report.elapsed.as_secs_f64() * 1e3, report.pacing)
                 })
             })
             .collect();
         for h in handles {
-            latencies.push(h.join().expect("client thread"));
+            let (latency, pacing) = h.join().expect("client thread");
+            latencies.push(latency);
+            // The push sender is the client: its engine carries the
+            // AIMD burst trajectory for this session.
+            if let Some(p) = pacing {
+                burst_finals.push(f64::from(p.burst));
+                burst_means.push(p.mean_burst);
+            }
         }
         let elapsed = t0.elapsed();
         allocs += allocations() - allocs_before;
@@ -232,20 +282,34 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
         let m = server.metrics();
         packets += m.datagrams_received + m.datagrams_sent;
         retx.merge(&m.retx_rounds);
+        if m.burst_final.count() > 0 {
+            burst_finals.push(m.burst_final.mean());
+            burst_means.push(m.burst_mean.mean());
+        }
+        io_wakeups += m.io.wakeups;
+        io_timeouts += m.io.timeouts;
+        backend = m.netio_backend.clone();
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    Record {
-        name: format!("push_{sessions}x{}k", bytes / 1024),
-        bytes: bytes * sessions,
-        iters: repeats,
-        goodput_mbps: goodputs.iter().sum::<f64>() / goodputs.len().max(1) as f64,
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
-        packets,
-        allocs_per_packet: allocs as f64 / packets.max(1) as f64,
-        retx_p50: Some(retx.percentile(50.0)),
-        retx_p99: Some(retx.percentile(99.0)),
-    }
+    let avg = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+    let mut r = Record::new(
+        format!("push_{sessions}x{}k", bytes / 1024),
+        bytes * sessions,
+        repeats,
+    );
+    r.goodput_mbps = goodputs.iter().sum::<f64>() / goodputs.len().max(1) as f64;
+    r.p50_ms = percentile(&latencies, 0.50);
+    r.p99_ms = percentile(&latencies, 0.99);
+    r.packets = packets;
+    r.allocs_per_packet = allocs as f64 / packets.max(1) as f64;
+    r.retx_p50 = Some(retx.percentile(50.0));
+    r.retx_p99 = Some(retx.percentile(99.0));
+    r.netio_backend = Some(backend);
+    r.burst_final_mean = avg(&burst_finals);
+    r.burst_mean_mean = avg(&burst_means);
+    r.io_wakeups = Some(io_wakeups);
+    r.io_timeouts = Some(io_timeouts);
+    r
 }
 
 /// Loss-sweep scenarios: a 64 KB adaptive + paced blast through the
@@ -254,6 +318,10 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
 /// (seed → post-run value, plus the converged SRTT) per loss rate.
 fn loss_sweep(trials: usize) -> Vec<LossRecord> {
     let initial = Duration::from_millis(5);
+    // AIMD pacing with room in both directions: initial 16, floor 2,
+    // ceiling 64 — the sweep records how far loss drives the burst
+    // down (and clean runs drive it up).
+    let pacing = PacingConfig::aimd(16, Duration::from_micros(50), 2, 64, 8);
     let mut out = Vec::new();
     for loss_pct in [0u32, 1, 2, 5, 10] {
         let cfg = ProtocolConfig::default()
@@ -262,7 +330,7 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
                 min: Duration::from_millis(1),
                 max: Duration::from_millis(500),
             })
-            .with_pacing(PacingConfig::new(16, Duration::from_micros(50)));
+            .with_pacing(pacing);
         let mut cfg = cfg;
         cfg.max_retries = 100_000;
         let data: Arc<[u8]> = payload(64 * 1024).into();
@@ -270,6 +338,8 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
         let mut retx_packets = 0u64;
         let mut rto_final_ms = 0.0;
         let mut srtt_final_us = 0.0;
+        let mut burst_final = 0.0;
+        let mut burst_min = 0.0;
         for trial in 0..trials {
             let seed = 0xB1A5_7000 + u64::from(loss_pct) * 1000 + trial as u64;
             let plan = if loss_pct == 0 {
@@ -291,6 +361,12 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
                 .srtt()
                 .map(|d| d.as_secs_f64() * 1e6)
                 .unwrap_or(0.0);
+            let snap = h
+                .sender()
+                .pacing_snapshot()
+                .expect("sweep engines are paced");
+            burst_final += f64::from(snap.burst);
+            burst_min += f64::from(snap.min_burst_seen);
         }
         let n = trials.max(1) as f64;
         out.push(LossRecord {
@@ -302,6 +378,9 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
             rto_initial_ms: initial.as_secs_f64() * 1e3,
             rto_final_ms_mean: rto_final_ms / n,
             srtt_final_us_mean: srtt_final_us / n,
+            burst_initial: f64::from(pacing.burst),
+            burst_final_mean: burst_final / n,
+            burst_min_mean: burst_min / n,
         });
     }
     out
@@ -310,22 +389,35 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
 fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: &[LossRecord]) {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v3\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
-        let retx = match (r.retx_p50, r.retx_p99) {
-            (Some(p50), Some(p99)) => {
-                format!(", \"retx_rounds_p50\": {p50:.2}, \"retx_rounds_p99\": {p99:.2}")
-            }
-            _ => String::new(),
-        };
+        let mut extra = String::new();
+        if let (Some(p50), Some(p99)) = (r.retx_p50, r.retx_p99) {
+            let _ = write!(
+                extra,
+                ", \"retx_rounds_p50\": {p50:.2}, \"retx_rounds_p99\": {p99:.2}"
+            );
+        }
+        if let Some(backend) = &r.netio_backend {
+            let _ = write!(extra, ", \"netio_backend\": \"{backend}\"");
+        }
+        if let (Some(bf), Some(bm)) = (r.burst_final_mean, r.burst_mean_mean) {
+            let _ = write!(
+                extra,
+                ", \"burst_final_mean\": {bf:.1}, \"burst_mean_mean\": {bm:.1}"
+            );
+        }
+        if let (Some(w), Some(t)) = (r.io_wakeups, r.io_timeouts) {
+            let _ = write!(extra, ", \"io_wakeups\": {w}, \"io_timeouts\": {t}");
+        }
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"bytes\": {}, \"iters\": {}, \"goodput_mbps\": {:.3}, \
              \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"packets\": {}, \
-             \"allocs_per_packet\": {:.4}{retx}}}{comma}",
+             \"allocs_per_packet\": {:.4}{extra}}}{comma}",
             r.name,
             r.bytes,
             r.iters,
@@ -346,7 +438,8 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: 
                 "    {{\"name\": \"{}\", \"loss_pct\": {:.1}, \"trials\": {}, \
                  \"retx_rounds_mean\": {:.3}, \"retx_packets_mean\": {:.3}, \
                  \"rto_initial_ms\": {:.3}, \"rto_final_ms_mean\": {:.3}, \
-                 \"srtt_final_us_mean\": {:.1}}}{comma}",
+                 \"srtt_final_us_mean\": {:.1}, \"burst_initial\": {:.0}, \
+                 \"burst_final_mean\": {:.2}, \"burst_min_mean\": {:.2}}}{comma}",
                 r.name,
                 r.loss_pct,
                 r.trials,
@@ -354,7 +447,10 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: 
                 r.retx_packets_mean,
                 r.rto_initial_ms,
                 r.rto_final_ms_mean,
-                r.srtt_final_us_mean
+                r.srtt_final_us_mean,
+                r.burst_initial,
+                r.burst_final_mean,
+                r.burst_min_mean
             );
         }
         out.push_str("  ]");
@@ -445,20 +541,22 @@ fn main() {
     }
     print_summary("engines (virtual-time harness, 64 KB transfers)", &engines);
     let sweep = loss_sweep(if smoke { 10 } else { 40 });
-    println!("\n== loss sweep (adaptive RTO + pacing, virtual time) ==");
+    println!("\n== loss sweep (adaptive RTO + AIMD pacing, virtual time) ==");
     println!(
-        "{:<24} {:>8} {:>12} {:>12} {:>14} {:>14}",
-        "name", "loss %", "rounds", "retx pkts", "rto final ms", "srtt µs"
+        "{:<24} {:>8} {:>12} {:>12} {:>14} {:>10} {:>18}",
+        "name", "loss %", "rounds", "retx pkts", "rto final ms", "srtt µs", "burst fin/min"
     );
     for r in &sweep {
         println!(
-            "{:<24} {:>8.1} {:>12.3} {:>12.3} {:>14.3} {:>14.1}",
+            "{:<24} {:>8.1} {:>12.3} {:>12.3} {:>14.3} {:>10.1} {:>12.1}/{:<5.1}",
             r.name,
             r.loss_pct,
             r.rounds_mean,
             r.retx_packets_mean,
             r.rto_final_ms_mean,
-            r.srtt_final_us_mean
+            r.srtt_final_us_mean,
+            r.burst_final_mean,
+            r.burst_min_mean
         );
     }
     write_json("BENCH_engines.json", "engines", mode, &engines, &sweep);
@@ -471,6 +569,17 @@ fn main() {
     for r in &node {
         if let (Some(p50), Some(p99)) = (r.retx_p50, r.retx_p99) {
             println!("{:<24} retx rounds p50 {:.1} / p99 {:.1}", r.name, p50, p99);
+        }
+        if let (Some(bf), Some(bm)) = (r.burst_final_mean, r.burst_mean_mean) {
+            println!("{:<24} AIMD burst final {bf:.1} / mean {bm:.1}", r.name);
+        }
+        if let (Some(backend), Some(w), Some(t)) =
+            (r.netio_backend.as_deref(), r.io_wakeups, r.io_timeouts)
+        {
+            println!(
+                "{:<24} netio [{backend}] waits: {w} wakeups / {t} timeouts",
+                r.name
+            );
         }
     }
     write_json(

@@ -7,8 +7,11 @@
 //! threshold flap.  The value is the visible trajectory — every PR's
 //! job summary shows what it did to the measured numbers.
 //!
-//! Usage: `perf_compare <baseline-dir> <fresh-dir> [file ...]`
-//! (default files: `BENCH_engines.json`, `BENCH_node_loopback.json`).
+//! Usage: `perf_compare [--title <heading>] <baseline-dir> <fresh-dir>
+//! [file ...]` (default files: `BENCH_engines.json`,
+//! `BENCH_node_loopback.json`).  `--title` overrides the heading so the
+//! same tool renders both the committed-baseline trajectory and the
+//! batched-vs-portable backend delta table in one job summary.
 //!
 //! The parser is deliberately tiny and tied to the writer in `perf.rs`:
 //! one record per line, `"key": value` fields — not a general JSON
@@ -115,9 +118,18 @@ fn compare(file: &str, baseline_dir: &Path, fresh_dir: &Path, out: &mut String) 
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut title = String::from("Perf trajectory vs committed baseline");
+    if args.first().map(String::as_str) == Some("--title") {
+        if args.len() < 2 {
+            eprintln!("--title requires a value");
+            return;
+        }
+        title = args[1].clone();
+        args.drain(..2);
+    }
     if args.len() < 2 {
-        eprintln!("usage: perf_compare <baseline-dir> <fresh-dir> [file ...]");
+        eprintln!("usage: perf_compare [--title <heading>] <baseline-dir> <fresh-dir> [file ...]");
         // Informational tool: never fail the job, even on misuse.
         return;
     }
@@ -130,11 +142,11 @@ fn main() {
         default_files.to_vec()
     };
 
-    let mut out = String::from("## Perf trajectory vs committed baseline\n");
+    let mut out = format!("## {title}\n");
     let _ = writeln!(
         out,
         "\n_Informational (smoke workload on a shared runner); \
-         deltas are vs the JSONs committed in this checkout._"
+         deltas are new vs base as given on the command line._"
     );
     for file in files {
         compare(file, baseline_dir, fresh_dir, &mut out);

@@ -47,7 +47,7 @@ use std::time::Duration;
 
 use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::{ProtocolConfig, RetxStrategy};
-use crate::control::{Pacer, RttEstimator, PACE_TIMER};
+use crate::control::{Pacer, PacerSnapshot, RttEstimator, PACE_TIMER};
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
 use crate::pool::{BufferPool, PooledBuf};
@@ -202,6 +202,22 @@ impl BlastSender {
     /// carry-over).
     pub(crate) fn adopt_estimator(&mut self, estimator: RttEstimator) {
         self.rto = estimator;
+    }
+
+    /// Snapshot the pacer (multi-blast carries it across chunks so the
+    /// AIMD burst size keeps adapting over the whole transfer).
+    pub(crate) fn pacer(&self) -> &Pacer {
+        &self.pacer
+    }
+
+    /// Replace the pacer (the other half of the carry-over).
+    pub(crate) fn adopt_pacer(&mut self, pacer: Pacer) {
+        self.pacer = pacer;
+    }
+
+    /// The AIMD pacing state, when pacing is enabled.
+    pub fn pacing_snapshot(&self) -> Option<PacerSnapshot> {
+        self.pacer.enabled().then(|| self.pacer.snapshot())
     }
 
     fn transmit_one(&mut self, seq: u32, last: bool, sink: &mut dyn ActionSink) {
@@ -425,6 +441,9 @@ impl Engine for BlastSender {
             AckPayload::Positive { acked } => {
                 if *acked + 1 >= self.end {
                     self.sample_rtt();
+                    // AIMD: the whole range was acknowledged in one
+                    // report — a clean round, grow the burst.
+                    self.pacer.on_clean_round();
                     self.pending = Pending::Idle;
                     sink.push_action(Action::CancelTimer { token: RETX_TIMER });
                     sink.push_action(Action::CancelTimer { token: PACE_TIMER });
@@ -440,6 +459,9 @@ impl Engine for BlastSender {
                 // The status report answers our soliciting tail: a valid
                 // round-trip measurement even when it asks for more data.
                 self.sample_rtt();
+                // AIMD: any NACK means the receiver missed packets —
+                // shrink the burst before retransmitting.
+                self.pacer.on_loss();
                 if let Some(resend) = self.resend_set(nack) {
                     if self.charge_round(sink) {
                         match resend {
@@ -472,8 +494,10 @@ impl Engine for BlastSender {
         }
         self.stats.timeouts += 1;
         // Karn: double the RTO and poison the sample window — whatever
-        // answer eventually arrives is ambiguous.
+        // answer eventually arrives is ambiguous.  The timeout is also
+        // the strongest loss signal the engine has: AIMD shrink.
         self.rto.backoff();
+        self.pacer.on_loss();
         self.solicit_sent = None;
         if !self.charge_round(sink) {
             return;
@@ -500,6 +524,10 @@ impl Engine for BlastSender {
 
     fn transfer_id(&self) -> u32 {
         self.transfer_id
+    }
+
+    fn pacing_snapshot(&self) -> Option<PacerSnapshot> {
+        BlastSender::pacing_snapshot(self)
     }
 }
 

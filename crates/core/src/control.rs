@@ -206,14 +206,31 @@ impl RttEstimator {
 }
 
 /// How a multi-packet round is offered to the network.
+///
+/// A config with `max_burst == 0` is *static*: every burst is exactly
+/// [`burst`](PacingConfig::burst) packets, forever (the behaviour every
+/// exact-schedule test pins).  Setting `max_burst > 0` makes the
+/// [`Pacer`] **AIMD-adaptive**: clean rounds grow the burst additively
+/// by [`growth`](PacingConfig::growth) up to `max_burst`, and every
+/// loss signal (NACK or retransmission timeout) halves it down to
+/// [`min_burst`](PacingConfig::min_burst) — Reno-style probing with the
+/// burst size as the congestion window, the gap as the clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacingConfig {
     /// Packets emitted back-to-back before the engine yields for
     /// [`gap`](PacingConfig::gap).  `0` disables pacing (the paper's
-    /// full-speed blast).
+    /// full-speed blast).  In AIMD mode this is the *initial* burst.
     pub burst: u32,
     /// Inter-burst gap, expressed through [`PACE_TIMER`].
     pub gap: Duration,
+    /// AIMD floor: the burst never shrinks below this.  Ignored when
+    /// `max_burst == 0` (static pacing).
+    pub min_burst: u32,
+    /// AIMD ceiling: the burst never grows above this.  `0` disables
+    /// adaptation entirely (the pre-AIMD static pacer).
+    pub max_burst: u32,
+    /// Additive increase per clean round, in packets.
+    pub growth: u32,
 }
 
 impl Default for PacingConfig {
@@ -223,25 +240,62 @@ impl Default for PacingConfig {
 }
 
 impl PacingConfig {
+    /// The smallest socket wait the I/O tier should ever issue: waits
+    /// below this are indistinguishable from "poll now" at kernel timer
+    /// resolution, and `std`'s socket timeouts reject zero outright.
+    /// Kept well under the shortest sane inter-burst [`gap`] so pacing
+    /// deadlines are never rounded up into scheduler noise — the single
+    /// authority for the floor the UDP channel and driver used to
+    /// hard-code separately.
+    ///
+    /// [`gap`]: PacingConfig::gap
+    pub const MIN_WAIT: Duration = Duration::from_micros(50);
+
     /// No pacing: every round goes out in one loop (the paper's mode).
     pub fn off() -> Self {
         PacingConfig {
             burst: 0,
             gap: Duration::ZERO,
+            min_burst: 0,
+            max_burst: 0,
+            growth: 0,
         }
     }
 
-    /// Pace `burst` packets per `gap`.
+    /// Pace a *fixed* `burst` packets per `gap` (no adaptation).
     pub fn new(burst: u32, gap: Duration) -> Self {
-        PacingConfig { burst, gap }
+        PacingConfig {
+            burst,
+            gap,
+            min_burst: 0,
+            max_burst: 0,
+            growth: 0,
+        }
     }
 
-    /// LAN/loopback defaults: 32 packets per 500 µs — ≈ 90 MB/s ceiling
-    /// at 1400-byte payloads, far above a single session's goodput but
-    /// low enough that a burst no longer dumps a quarter-megabyte round
-    /// into `SO_RCVBUF` in one scheduler quantum.
+    /// AIMD pacing: start at `burst` packets per `gap`, grow by
+    /// `growth` per clean round up to `max_burst`, halve on loss down
+    /// to `min_burst`.
+    pub fn aimd(burst: u32, gap: Duration, min_burst: u32, max_burst: u32, growth: u32) -> Self {
+        PacingConfig {
+            burst,
+            gap,
+            min_burst,
+            max_burst,
+            growth,
+        }
+    }
+
+    /// LAN/loopback defaults: start at 64 packets per 250 µs (≈ 360 MB/s
+    /// at 1400-byte payloads) and let AIMD probe between 4 and 256.
+    /// The old static preset (32 / 500 µs) was sized for drivers that
+    /// could not *wait* a sub-millisecond gap and had to spin it; with
+    /// the event-driven `NetIo` waits the gap is honest, so the initial
+    /// rate can sit near the link and the shrink-on-loss half of AIMD —
+    /// down to ~22 MB/s at the floor — covers the flooded-`SO_RCVBUF`
+    /// case the conservative preset existed for.
     pub fn lan() -> Self {
-        PacingConfig::new(32, Duration::from_micros(500))
+        PacingConfig::aimd(64, Duration::from_micros(250), 4, 256, 32)
     }
 
     /// True when pacing is in force.
@@ -249,27 +303,78 @@ impl PacingConfig {
         self.burst > 0 && !self.gap.is_zero()
     }
 
+    /// True when the burst size adapts (AIMD mode).
+    pub fn is_adaptive(&self) -> bool {
+        self.enabled() && self.max_burst > 0
+    }
+
     /// Validation error, if any.
     pub(crate) fn invalid(&self) -> Option<&'static str> {
         if self.burst > 0 && self.gap.is_zero() {
             Some("pacing burst requires a non-zero gap")
+        } else if self.max_burst > 0 {
+            if self.min_burst == 0 {
+                Some("AIMD pacing requires min_burst >= 1")
+            } else if self.min_burst > self.burst || self.burst > self.max_burst {
+                Some("AIMD pacing requires min_burst <= burst <= max_burst")
+            } else if self.growth == 0 && self.min_burst != self.max_burst {
+                Some("AIMD pacing requires growth >= 1")
+            } else {
+                None
+            }
         } else {
             None
         }
     }
 }
 
+/// A point-in-time view of one [`Pacer`]'s AIMD state, for metrics and
+/// the perf harness's burst-trajectory records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacerSnapshot {
+    /// The configured initial burst.
+    pub initial_burst: u32,
+    /// The burst size currently in force.
+    pub burst: u32,
+    /// The smallest burst the pacer ever shrank to.
+    pub min_burst_seen: u32,
+    /// Mean burst size over all signalled rounds (the current burst if
+    /// no round has been signalled yet).
+    pub mean_burst: f64,
+    /// Rounds that completed without a loss signal.
+    pub clean_rounds: u64,
+    /// Loss signals received (NACKs + retransmission timeouts).
+    pub loss_events: u64,
+}
+
 /// The per-engine pacing governor: answers "how many packets may this
-/// burst emit" so the emission loops stay branch-light.
+/// burst emit" so the emission loops stay branch-light, and — in AIMD
+/// mode — integrates the engine's clean-round/loss signals into the
+/// burst size.
 #[derive(Debug, Clone, Copy)]
 pub struct Pacer {
     cfg: PacingConfig,
+    /// Burst size currently in force (meaningless when unpaced).
+    burst: u32,
+    min_seen: u32,
+    rounds: u64,
+    clean_rounds: u64,
+    loss_events: u64,
+    burst_sum: u64,
 }
 
 impl Pacer {
     /// A pacer enforcing `cfg`.
     pub fn new(cfg: PacingConfig) -> Self {
-        Pacer { cfg }
+        Pacer {
+            cfg,
+            burst: cfg.burst,
+            min_seen: cfg.burst,
+            rounds: 0,
+            clean_rounds: 0,
+            loss_events: 0,
+            burst_sum: 0,
+        }
     }
 
     /// True when bursts are bounded.
@@ -277,10 +382,15 @@ impl Pacer {
         self.cfg.enabled()
     }
 
+    /// True when the burst size adapts to loss signals.
+    pub fn is_adaptive(&self) -> bool {
+        self.cfg.is_adaptive()
+    }
+
     /// Packets the current burst may emit (`u32::MAX` when unpaced).
     pub fn burst_budget(&self) -> u32 {
         if self.cfg.enabled() {
-            self.cfg.burst
+            self.burst
         } else {
             u32::MAX
         }
@@ -289,6 +399,54 @@ impl Pacer {
     /// The inter-burst gap.
     pub fn gap(&self) -> Duration {
         self.cfg.gap
+    }
+
+    /// Signal that a round completed without loss (a positive ack for
+    /// everything solicited): additive increase.
+    pub fn on_clean_round(&mut self) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        self.rounds += 1;
+        self.burst_sum += u64::from(self.burst);
+        self.clean_rounds += 1;
+        if self.cfg.is_adaptive() {
+            self.burst = self
+                .burst
+                .saturating_add(self.cfg.growth)
+                .min(self.cfg.max_burst);
+        }
+    }
+
+    /// Signal a loss event (NACK or retransmission timeout):
+    /// multiplicative decrease.
+    pub fn on_loss(&mut self) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        self.rounds += 1;
+        self.burst_sum += u64::from(self.burst);
+        self.loss_events += 1;
+        if self.cfg.is_adaptive() {
+            self.burst = (self.burst / 2).max(self.cfg.min_burst).max(1);
+            self.min_seen = self.min_seen.min(self.burst);
+        }
+    }
+
+    /// The current AIMD state (telemetry; cheap to copy).
+    pub fn snapshot(&self) -> PacerSnapshot {
+        PacerSnapshot {
+            initial_burst: self.cfg.burst,
+            burst: self.burst,
+            min_burst_seen: self.min_seen,
+            mean_burst: if self.rounds == 0 {
+                f64::from(self.burst)
+            } else {
+                self.burst_sum as f64 / self.rounds as f64
+            },
+            clean_rounds: self.clean_rounds,
+            loss_events: self.loss_events,
+        }
     }
 }
 
@@ -402,11 +560,77 @@ mod tests {
 
         let p = Pacer::new(PacingConfig::new(8, Duration::from_micros(100)));
         assert!(p.enabled());
+        assert!(!p.is_adaptive());
         assert_eq!(p.burst_budget(), 8);
         assert_eq!(p.gap(), Duration::from_micros(100));
 
         assert!(PacingConfig::off().invalid().is_none());
         assert!(PacingConfig::lan().invalid().is_none());
+        assert!(PacingConfig::lan().is_adaptive());
         assert!(PacingConfig::new(4, Duration::ZERO).invalid().is_some());
+        // AIMD bounds must bracket the initial burst, with room to grow.
+        let gap = Duration::from_micros(100);
+        assert!(PacingConfig::aimd(8, gap, 2, 32, 4).invalid().is_none());
+        assert!(PacingConfig::aimd(8, gap, 0, 32, 4).invalid().is_some());
+        assert!(PacingConfig::aimd(8, gap, 9, 32, 4).invalid().is_some());
+        assert!(PacingConfig::aimd(33, gap, 2, 32, 4).invalid().is_some());
+        assert!(PacingConfig::aimd(8, gap, 2, 32, 0).invalid().is_some());
+        assert!(PacingConfig::aimd(8, gap, 8, 8, 0).invalid().is_none());
+    }
+
+    #[test]
+    fn static_pacer_ignores_signals() {
+        let mut p = Pacer::new(PacingConfig::new(8, Duration::from_micros(100)));
+        p.on_loss();
+        p.on_clean_round();
+        p.on_loss();
+        assert_eq!(p.burst_budget(), 8, "static burst never moves");
+        let snap = p.snapshot();
+        assert_eq!(snap.burst, 8);
+        assert_eq!(snap.min_burst_seen, 8);
+        assert_eq!(snap.clean_rounds, 1);
+        assert_eq!(snap.loss_events, 2);
+    }
+
+    #[test]
+    fn aimd_pacer_grows_additively_and_shrinks_multiplicatively() {
+        let cfg = PacingConfig::aimd(16, Duration::from_micros(100), 4, 64, 8);
+        let mut p = Pacer::new(cfg);
+        assert!(p.is_adaptive());
+        assert_eq!(p.burst_budget(), 16);
+
+        p.on_clean_round();
+        assert_eq!(p.burst_budget(), 24, "additive increase");
+        for _ in 0..20 {
+            p.on_clean_round();
+        }
+        assert_eq!(p.burst_budget(), 64, "capped at the ceiling");
+
+        p.on_loss();
+        assert_eq!(p.burst_budget(), 32, "multiplicative decrease");
+        for _ in 0..20 {
+            p.on_loss();
+        }
+        assert_eq!(p.burst_budget(), 4, "floored");
+        assert_eq!(p.snapshot().min_burst_seen, 4);
+
+        // Recovery: (64 - 4) / 8 = 8 clean rounds back to the ceiling.
+        for _ in 0..8 {
+            p.on_clean_round();
+        }
+        assert_eq!(p.burst_budget(), 64);
+        let snap = p.snapshot();
+        assert!(snap.mean_burst > 4.0 && snap.mean_burst < 64.0);
+        assert_eq!(snap.initial_burst, 16);
+    }
+
+    #[test]
+    fn unpaced_pacer_signals_are_inert() {
+        let mut p = Pacer::new(PacingConfig::off());
+        p.on_loss();
+        p.on_clean_round();
+        assert_eq!(p.burst_budget(), u32::MAX);
+        assert_eq!(p.snapshot().clean_rounds, 0);
+        assert_eq!(p.snapshot().loss_events, 0);
     }
 }

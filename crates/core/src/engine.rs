@@ -65,6 +65,18 @@ pub trait Engine: Send {
     /// The transfer this engine serves.
     fn transfer_id(&self) -> u32;
 
+    /// The engine's AIMD pacing state, for engines that pace their
+    /// transmissions ([`crate::control::Pacer`]).
+    ///
+    /// Lets a driver surface the burst-size trajectory of a session it
+    /// owns only as a trait object — e.g. the `blast-node` server
+    /// folding per-session final/mean burst sizes into its metrics.
+    /// Engines that do not pace (receivers, unpaced senders) return
+    /// `None` (the default).
+    fn pacing_snapshot(&self) -> Option<crate::control::PacerSnapshot> {
+        None
+    }
+
     /// Borrow the receive buffer, for engines that own one.
     ///
     /// Lets a driver extract a completed transfer's payload through the

@@ -123,10 +123,13 @@ impl MultiBlastSender {
         }
         self.chunk_start = next_start;
         let end = (next_start + self.chunk).min(self.tx.total_packets());
-        // The RTT estimator outlives the chunk engine: every chunk's
-        // round-0 acknowledgement is a clean sample, so later chunks
-        // start from the converged RTO instead of the configured seed.
+        // The RTT estimator and the AIMD pacer outlive the chunk
+        // engine: every chunk's round-0 acknowledgement is a clean
+        // sample *and* a clean round, so later chunks start from the
+        // converged RTO and the grown burst instead of the configured
+        // seeds — per-session adaptation, not per-chunk.
         let estimator = self.inner.estimator().clone();
+        let pacer = *self.inner.pacer();
         let now = self.now;
         self.inner = BlastSender::for_range(
             self.transfer_id,
@@ -137,6 +140,7 @@ impl MultiBlastSender {
             true,
         );
         self.inner.adopt_estimator(estimator);
+        self.inner.adopt_pacer(pacer);
         self.inner.set_now(now);
         // Kick the fresh chunk off; its actions flow to the real sink
         // (completion of a 1-chunk tail is handled recursively).
@@ -182,6 +186,10 @@ impl Engine for MultiBlastSender {
 
     fn transfer_id(&self) -> u32 {
         self.transfer_id
+    }
+
+    fn pacing_snapshot(&self) -> Option<crate::control::PacerSnapshot> {
+        self.inner.pacing_snapshot()
     }
 }
 

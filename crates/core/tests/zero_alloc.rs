@@ -134,13 +134,14 @@ fn steady_state_blast_round_trip_allocates_zero_per_packet() {
 
     // Phase C — pacing must not allocate per packet either: a paced
     // round recycles the same pooled buffers (batch-checked-out, one
-    // pool lock per burst), and the pace-timer bookkeeping is all
-    // in-place state.  Engines are built before the measured window
-    // (their burst stash is pre-sized at construction, like the
-    // receiver's buffer in the paper's pre-allocation premise).
-    let paced_cfg = cfg
-        .clone()
-        .with_pacing(PacingConfig::new(8, Duration::from_millis(1)));
+    // pool lock per burst), and the pace-timer and AIMD bookkeeping
+    // (burst growth/shrink, trajectory counters) are all in-place
+    // state.  Engines are built before the measured window (their
+    // burst stash is pre-sized at construction, like the receiver's
+    // buffer in the paper's pre-allocation premise).
+    let paced_cfg =
+        cfg.clone()
+            .with_pacing(PacingConfig::aimd(8, Duration::from_millis(1), 2, 16, 4));
     let mut s = BlastSender::new(3, payload.clone(), &paced_cfg);
     let mut r = BlastReceiver::new(3, payload.len(), &paced_cfg);
     sink.clear();

@@ -69,6 +69,7 @@ pub fn push_blob<C: Channel>(
             data: Vec::new(),
             elapsed: out.elapsed,
             stats: out.completion.stats,
+            pacing: engine.pacing_snapshot(),
             datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
             datagrams_received: out.datagrams_received,
             malformed: out.malformed + fcs_drops,
@@ -112,6 +113,7 @@ pub fn pull_blob<C: Channel>(
             data: engine.into_data(),
             elapsed: out.elapsed,
             stats: out.completion.stats,
+            pacing: None,
             datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
             datagrams_received: out.datagrams_received,
             malformed: out.malformed + fcs_drops,

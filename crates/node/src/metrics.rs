@@ -11,8 +11,10 @@ use std::ops::Deref;
 use std::time::Duration;
 
 use blast_core::api::EngineStats;
+use blast_core::PacerSnapshot;
 use blast_stats::{Histogram, OnlineStats};
 use blast_udp::handshake::Direction;
+use blast_udp::netio::NetIoStats;
 
 /// One completed (or failed) session, as recorded by the event loop.
 #[derive(Debug, Clone)]
@@ -29,6 +31,9 @@ pub struct SessionReport {
     pub elapsed: Duration,
     /// The session engine's counters.
     pub stats: EngineStats,
+    /// The engine's AIMD pacing state at completion (`None` for
+    /// receivers and unpaced senders).
+    pub pacing: Option<PacerSnapshot>,
     /// Whether the transfer completed successfully.
     pub ok: bool,
 }
@@ -84,6 +89,17 @@ pub struct NodeMetrics {
     pub malformed: u64,
     /// Datagrams for transfer ids with no session.
     pub unroutable: u64,
+    /// Which [`blast_udp::netio`] backend the node socket runs
+    /// (`"batched"` or `"portable"`).
+    pub netio_backend: String,
+    /// The node socket's syscall counters (batch amortisation, wait
+    /// strategy: epoll wakeups vs timer expiries), snapshotted from the
+    /// reactor's [`NetIoStats`] every tick.
+    pub io: NetIoStats,
+    /// Final AIMD burst size per completed paced (sender) session.
+    pub burst_final: OnlineStats,
+    /// Mean AIMD burst size per completed paced (sender) session.
+    pub burst_mean: OnlineStats,
     /// Session elapsed-time distribution, in seconds.
     pub session_secs: OnlineStats,
     /// Session goodput distribution, in Mbit/s.
@@ -137,6 +153,10 @@ impl NodeMetrics {
         self.retx_rounds
             .0
             .record(report.stats.retransmission_rounds as f64);
+        if let Some(p) = &report.pacing {
+            self.burst_final.push(f64::from(p.burst));
+            self.burst_mean.push(p.mean_burst);
+        }
         if report.ok {
             self.sessions_completed += 1;
             match report.direction {
@@ -166,6 +186,8 @@ impl NodeMetrics {
             "sessions: {} accepted ({} push / {} pull), {} completed, {} failed, {} in flight\n\
              rejects: {} pull misses, {} id collisions, {} at capacity, {} oversize\n\
              payload: {} B in, {} B out; datagrams: {} in / {} out ({} bad FCS, {} malformed, {} unroutable, {} send drops)\n\
+             netio [{}]: {} send batches / {} recv batches; waits: {} wakeups / {} timeouts\n\
+             pacing burst: final {}, mean {} over {} paced sessions\n\
              session time [s]: {}\n\
              goodput [Mbit/s]: {}\n\
              retransmission rounds: p50 {:.1}, p99 {:.1} over {} sessions",
@@ -187,6 +209,14 @@ impl NodeMetrics {
             self.malformed,
             self.unroutable,
             self.send_drops,
+            self.netio_backend,
+            self.io.send_batches,
+            self.io.recv_batches,
+            self.io.wakeups,
+            self.io.timeouts,
+            self.burst_final,
+            self.burst_mean,
+            self.burst_final.count(),
             self.session_secs,
             self.session_goodput_mbps,
             self.retx_rounds.percentile(50.0),
@@ -208,6 +238,7 @@ mod tests {
             bytes,
             elapsed: Duration::from_millis(ms),
             stats: EngineStats::default(),
+            pacing: None,
             ok,
         }
     }
@@ -246,6 +277,27 @@ mod tests {
         assert_eq!(m.retx_rounds.buckets()[5], 1);
         assert_eq!(m.retx_rounds.buckets()[7], 1);
         assert!(m.summary().contains("retransmission rounds"));
+    }
+
+    #[test]
+    fn pacer_snapshots_feed_burst_distributions() {
+        let mut m = NodeMetrics::default();
+        m.sessions_accepted = 2;
+        let mut paced = report(true, Direction::Pull, 1000, 10);
+        paced.pacing = Some(PacerSnapshot {
+            initial_burst: 32,
+            burst: 64,
+            min_burst_seen: 16,
+            mean_burst: 40.0,
+            clean_rounds: 3,
+            loss_events: 1,
+        });
+        m.record(paced);
+        m.record(report(true, Direction::Push, 1000, 10)); // unpaced
+        assert_eq!(m.burst_final.count(), 1, "only paced sessions counted");
+        assert!((m.burst_final.mean() - 64.0).abs() < 1e-9);
+        assert!((m.burst_mean.mean() - 40.0).abs() < 1e-9);
+        assert!(m.summary().contains("pacing burst"), "{}", m.summary());
     }
 
     #[test]

@@ -38,10 +38,11 @@ use blast_core::blast::{BlastReceiver, BlastSender};
 use blast_core::config::ProtocolConfig;
 use blast_core::demux::Demux;
 use blast_core::multiblast::MultiBlastSender;
-use blast_core::Engine;
+use blast_core::{Engine, PacingConfig};
 use blast_udp::channel::MAX_DATAGRAM;
 use blast_udp::fcs;
 use blast_udp::handshake::{Direction, Request};
+use blast_udp::netio::NetIo;
 use blast_udp::timers::TimerWheel;
 use blast_wire::header::PacketKind;
 use blast_wire::packet::{Datagram, DatagramBuilder};
@@ -122,6 +123,10 @@ struct Session {
 /// A blast transfer node serving concurrent push/pull sessions.
 pub struct NodeServer {
     socket: UdpSocket,
+    /// The syscall backend: batched `recvmmsg` drains and `sendmmsg`
+    /// bursts with event-driven idle waits where available, the
+    /// portable single-syscall fallback elsewhere.
+    io: NetIo,
     config: NodeConfig,
     store: SharedStore,
     metrics: Arc<Mutex<NodeMetrics>>,
@@ -152,19 +157,26 @@ impl NodeServer {
     pub fn bind_with_store(config: NodeConfig, store: SharedStore) -> io::Result<Self> {
         let socket = UdpSocket::bind(config.bind)?;
         socket.set_nonblocking(true)?;
-        // Grow the receive queue (best effort): a node fans many
-        // concurrent pushes into one socket, and round-0 loss to a
-        // default-sized SO_RCVBUF was the measured goodput ceiling.
-        blast_udp::sockopt::grow_recv_buffer(&socket);
+        // Grow both socket queues (best effort): a node fans many
+        // concurrent pushes into one socket (round-0 loss to a
+        // default-sized SO_RCVBUF was the measured goodput ceiling),
+        // and batched pull bursts submit whole rounds per sendmmsg.
+        blast_udp::sockopt::grow_buffers(&socket);
+        // The syscall backend: one recvmmsg per reactor wakeup, one
+        // sendmmsg per engine burst, epoll+timerfd idle waits.
+        let io = NetIo::reactor(&socket);
         // Every session's engine clones `config.protocol`, so they all
         // share this pool; pre-warm it so the first blast round is
         // already allocation free.
         config.protocol.pool.warm(64);
+        let mut metrics = NodeMetrics::default();
+        metrics.netio_backend = io.backend().name().to_string();
         Ok(NodeServer {
             socket,
+            io,
             config,
             store,
-            metrics: Arc::new(Mutex::new(NodeMetrics::default())),
+            metrics: Arc::new(Mutex::new(metrics)),
             shutdown: Arc::new(AtomicBool::new(false)),
             demux: Demux::new(),
             sessions: HashMap::new(),
@@ -244,24 +256,44 @@ impl NodeServer {
         })
     }
 
-    /// One reactor cycle: timers, then a socket drain, then (if idle) a
-    /// brief park.
+    /// One reactor cycle: timers, then a socket drain, then a flush of
+    /// everything the engines queued, then (if idle) an event-driven
+    /// wait — epoll + timerfd wakes on the first datagram or at the
+    /// next timer deadline, whichever comes first (the portable
+    /// fallback degrades to a bounded sleep).
     fn tick(&mut self) -> io::Result<()> {
         let now = Instant::now();
         while let Some((id, token)) = self.timers.pop_due(now) {
             self.on_timer(id, token)?;
         }
         let drained = self.drain_socket()?;
+        // Everything staged this tick goes out before any wait: one
+        // sendmmsg carries the coalesced acks/bursts of all sessions.
+        self.io.flush(&self.socket)?;
+        self.sync_io_stats();
         if drained == 0 {
             let park = self
                 .timers
                 .next_deadline()
                 .map(|d| d.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(1))
-                .clamp(Duration::from_micros(200), Duration::from_millis(1));
-            std::thread::sleep(park);
+                .unwrap_or(Duration::from_millis(5))
+                .clamp(PacingConfig::MIN_WAIT, Duration::from_millis(10));
+            self.io.wait(park)?;
         }
         Ok(())
+    }
+
+    /// Mirror the backend's syscall counters into the shared metrics.
+    /// The backend is the authority on what actually reached the
+    /// kernel: `datagrams_sent` counts flushed submissions only, so
+    /// datagrams dropped at flush are never double-booked as sent.
+    fn sync_io_stats(&self) {
+        let io = self.io.stats;
+        self.metrics_mut(|m| {
+            m.io = io;
+            m.datagrams_sent = io.datagrams_sent;
+            m.send_drops = io.send_drops;
+        });
     }
 
     /// Receive until the socket is dry (or a batch limit, so timers are
@@ -278,19 +310,15 @@ impl NodeServer {
     fn drain_socket_into(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let mut drained = 0;
         while drained < 128 {
-            let (n, peer) = match self.socket.recv_from(buf) {
-                Ok(x) => x,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    break
+            // Pop from the last recvmmsg batch; refill with one kernel
+            // crossing when it runs dry.
+            let Some((n, peer)) = self.io.pop_into(buf) else {
+                if self.io.fill(&self.socket)? == 0 {
+                    break;
                 }
-                // A queued ICMP unreachable from an earlier send-to a
-                // departed client; not a socket failure.
-                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => continue,
-                Err(e) => return Err(e),
+                continue;
             };
+            let Some(peer) = peer else { continue };
             drained += 1;
             self.metrics_mut(|m| m.datagrams_received += 1);
             let Some(body) = fcs::unframe(&buf[..n]) else {
@@ -524,6 +552,9 @@ impl NodeServer {
             bytes,
             elapsed: session.started.elapsed(),
             stats: info.stats,
+            // The AIMD burst trajectory, for paced sender engines: how
+            // far the burst grew (or shrank) by the end of the session.
+            pacing: self.demux.get(id).and_then(Engine::pacing_snapshot),
             ok,
         };
         self.metrics_mut(|m| m.record(report));
@@ -536,31 +567,20 @@ impl NodeServer {
     }
 
     fn send_framed(&mut self, peer: SocketAddr, datagram: &[u8]) -> io::Result<()> {
-        // Frame into the node's reused scratch: no allocation per send.
+        // Frame into the node's reused scratch, then stage into the
+        // backend's batch: a whole engine burst goes out in one
+        // sendmmsg when the queue fills or the tick flushes.  Loss-like
+        // submission failures (peer's ICMP unreachable, full send
+        // buffer) are counted as drops inside the backend — the
+        // protocols recover by retransmission, so they are not server
+        // failures.
         let mut framed = std::mem::take(&mut self.frame_buf);
         fcs::frame_into(datagram, &mut framed);
-        let sent = self.socket.send_to(&framed, peer);
+        let queued = self.io.queue_to(&self.socket, &framed, Some(peer));
         self.frame_buf = framed;
-        match sent {
-            Ok(_) => {
-                self.metrics_mut(|m| m.datagrams_sent += 1);
-                Ok(())
-            }
-            // The peer vanished (ICMP unreachable), or the send buffer
-            // is full (the socket is non-blocking, so a blast burst can
-            // hit EAGAIN/ENOBUFS): both are loss, which the protocols
-            // already handle by retransmission — not server failures.
-            Err(e)
-                if e.kind() == io::ErrorKind::ConnectionRefused
-                    || e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::OutOfMemory
-                    || e.raw_os_error() == Some(105) =>
-            {
-                self.metrics_mut(|m| m.send_drops += 1);
-                Ok(())
-            }
-            Err(e) => Err(e),
-        }
+        queued
+        // `datagrams_sent` is mirrored from the backend in
+        // `sync_io_stats`: only datagrams that actually flushed count.
     }
 
     fn send_cancel(&mut self, id: u32, peer: SocketAddr) -> io::Result<()> {

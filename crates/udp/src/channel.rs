@@ -4,6 +4,8 @@ use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
 
+use crate::netio::{BackendKind, NetIo, NetIoStats};
+
 /// Largest datagram the drivers will send or receive.  Loopback UDP
 /// carries much more than Ethernet; we keep a generous bound so large
 /// packet-payload configurations still work.
@@ -19,28 +21,51 @@ pub trait Channel {
     /// Receive one datagram into `buf` within `timeout`.
     /// Returns `Ok(None)` on timeout.
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>>;
+
+    /// Stage one datagram for a batched [`flush`](Channel::flush).
+    ///
+    /// Channels with a batching backend queue the bytes and submit the
+    /// whole burst in one kernel crossing; the default sends
+    /// immediately, so wrappers and test channels stay correct without
+    /// opting in.  Staged datagrams are delivered in staging order,
+    /// and a direct [`send`](Channel::send) flushes anything staged
+    /// first, so ordering is never violated.
+    fn stage(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.send(buf)
+    }
+
+    /// Put every staged datagram on the wire.  Default: no-op (nothing
+    /// queues).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
-/// A connected UDP socket as a [`Channel`].
+/// A connected UDP socket as a [`Channel`], running on a pluggable
+/// [`NetIo`] backend: batched `sendmmsg`/`recvmmsg` submission with
+/// event-driven (epoll + timerfd) waits on Linux, single-syscall
+/// portable I/O elsewhere (or when `BLAST_NETIO=portable` forces it).
 #[derive(Debug)]
 pub struct UdpChannel {
     socket: UdpSocket,
+    io: NetIo,
 }
 
 impl UdpChannel {
-    /// Bind to `local` and connect to `remote`.  The receive buffer is
-    /// grown (best effort) so a whole blast round queues in the kernel
-    /// instead of spilling — see [`crate::sockopt`].
+    /// Bind to `local` and connect to `remote`.  Both socket buffers
+    /// are grown (best effort) so a whole blast round queues in the
+    /// kernel instead of spilling — see [`crate::sockopt`].
     pub fn connect(local: SocketAddr, remote: SocketAddr) -> io::Result<Self> {
         let socket = UdpSocket::bind(local)?;
-        crate::sockopt::grow_recv_buffer(&socket);
+        crate::sockopt::grow_buffers(&socket);
         socket.connect(remote)?;
-        Ok(UdpChannel { socket })
+        Ok(Self::from_socket(socket))
     }
 
     /// Wrap an already-connected socket.
     pub fn from_socket(socket: UdpSocket) -> Self {
-        UdpChannel { socket }
+        let io = NetIo::connected(&socket);
+        UdpChannel { socket, io }
     }
 
     /// Create a connected loopback pair on ephemeral ports — the
@@ -48,55 +73,52 @@ impl UdpChannel {
     pub fn pair() -> io::Result<(UdpChannel, UdpChannel)> {
         let a = UdpSocket::bind("127.0.0.1:0")?;
         let b = UdpSocket::bind("127.0.0.1:0")?;
-        crate::sockopt::grow_recv_buffer(&a);
-        crate::sockopt::grow_recv_buffer(&b);
+        crate::sockopt::grow_buffers(&a);
+        crate::sockopt::grow_buffers(&b);
         let a_addr = a.local_addr()?;
         let b_addr = b.local_addr()?;
         a.connect(b_addr)?;
         b.connect(a_addr)?;
-        Ok((UdpChannel { socket: a }, UdpChannel { socket: b }))
+        Ok((Self::from_socket(a), Self::from_socket(b)))
     }
 
     /// The local address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.socket.local_addr()
     }
+
+    /// Which [`NetIo`] backend this channel runs.
+    pub fn backend(&self) -> BackendKind {
+        self.io.backend()
+    }
+
+    /// The backend's syscall counters.
+    pub fn io_stats(&self) -> NetIoStats {
+        self.io.stats
+    }
 }
 
 impl Channel for UdpChannel {
     fn send(&mut self, buf: &[u8]) -> io::Result<()> {
         debug_assert!(buf.len() <= MAX_DATAGRAM, "datagram too large");
-        match self.socket.send(buf) {
-            Ok(_) => Ok(()),
-            // A connected UDP socket reports the peer's ICMP
-            // port-unreachable as ECONNREFUSED (e.g. the other side
-            // already closed after its final ack).  On this channel
-            // abstraction that is just loss, not failure.
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(()),
-            Err(e) => Err(e),
-        }
+        // Queue-then-flush keeps ordering with any staged burst; drops
+        // (peer's ICMP unreachable, full buffer) are loss, not failure,
+        // and are counted in the backend stats.
+        self.io.queue(&self.socket, buf)?;
+        self.io.flush(&self.socket)
+    }
+
+    fn stage(&mut self, buf: &[u8]) -> io::Result<()> {
+        debug_assert!(buf.len() <= MAX_DATAGRAM, "datagram too large");
+        self.io.queue(&self.socket, buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.io.flush(&self.socket)
     }
 
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
-        // A zero timeout means "no blocking at all"; UdpSocket treats
-        // Some(ZERO) as an error, so clamp to a small positive floor —
-        // kept well under a millisecond so paced senders' inter-burst
-        // gaps are not rounded up into the scheduler noise.
-        let t = timeout.max(Duration::from_micros(50));
-        self.socket.set_read_timeout(Some(t))?;
-        match self.socket.recv(buf) {
-            Ok(n) => Ok(Some(n)),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
-            }
-            // See `send`: a queued ICMP unreachable from our own
-            // earlier send surfaces here.  Treat it as a timeout slice
-            // with nothing delivered, not as a channel failure.
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(None),
-            Err(e) => Err(e),
-        }
+        self.io.recv(&self.socket, buf, timeout)
     }
 }
 
@@ -161,5 +183,41 @@ mod tests {
             .unwrap();
         assert_eq!(n, big.len());
         assert_eq!(&buf[..n], &big[..]);
+    }
+
+    #[test]
+    fn staged_burst_flushes_in_order() {
+        let (mut a, mut b) = UdpChannel::pair().unwrap();
+        for i in 0..40u8 {
+            a.stage(&[i; 32]).unwrap();
+        }
+        a.flush().unwrap();
+        let mut buf = [0u8; 64];
+        for i in 0..40u8 {
+            let n = b
+                .recv_timeout(&mut buf, Duration::from_secs(1))
+                .unwrap()
+                .unwrap();
+            assert_eq!(&buf[..n], &[i; 32][..], "staging order preserved");
+        }
+        assert_eq!(a.io_stats().datagrams_sent, 40);
+    }
+
+    #[test]
+    fn direct_send_flushes_staged_first() {
+        let (mut a, mut b) = UdpChannel::pair().unwrap();
+        a.stage(b"first").unwrap();
+        a.send(b"second").unwrap();
+        let mut buf = [0u8; 16];
+        let n = b
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(&buf[..n], b"first");
+        let n = b
+            .recv_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(&buf[..n], b"second");
     }
 }

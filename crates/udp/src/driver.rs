@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use blast_core::api::{Action, CompletionInfo, TimerToken};
 use blast_core::engine::Engine;
+use blast_core::PacingConfig;
 use blast_wire::header::PacketKind;
 use blast_wire::packet::Datagram;
 
@@ -151,26 +152,19 @@ impl<C: Channel> Driver<C> {
             }
 
             // Wait for the next packet or the next timer, whichever
-            // comes first.
-            let next_deadline = timers.next_deadline();
-            let until_timer = next_deadline
+            // comes first.  The channel's backend makes this an
+            // *event-driven* wait: the batched `NetIo` blocks on
+            // epoll + timerfd at the exact deadline, so sub-millisecond
+            // pace gaps (hundreds of µs between bursts) cost neither a
+            // scheduler-tick round-up nor the yield-spin that used to
+            // paper over it; the portable fallback degrades to a coarse
+            // `SO_RCVTIMEO` wait with the shared floor.
+            let until_timer = timers
+                .next_deadline()
                 .map(|when| when.saturating_duration_since(now))
                 .unwrap_or(Duration::from_millis(20))
-                .min(Duration::from_millis(50));
-            // Sub-millisecond deadlines (paced inter-burst gaps run in
-            // the hundreds of µs) cannot go through the socket wait:
-            // SO_RCVTIMEO rounds up to a scheduler tick, turning a
-            // 250 µs gap into ~8 ms and strangling paced throughput.
-            // Yield-spin those out instead; arriving datagrams queue in
-            // the (grown) receive buffer and are drained right after.
-            if next_deadline.is_some() && until_timer < Duration::from_millis(1) {
-                std::thread::yield_now();
-                continue;
-            }
-            match self
-                .channel
-                .recv_timeout(&mut buf, until_timer.max(Duration::from_micros(100)))?
-            {
+                .clamp(PacingConfig::MIN_WAIT, Duration::from_millis(50));
+            match self.channel.recv_timeout(&mut buf, until_timer)? {
                 None => continue,
                 Some(n) => {
                     received += 1;
@@ -224,6 +218,11 @@ impl<C: Channel> Driver<C> {
 
     /// Drain and execute `actions`, leaving the vector's capacity for
     /// the caller to reuse on the next engine call.
+    ///
+    /// Transmissions are *staged* and flushed once at the end: a paced
+    /// burst (one engine call's worth of packets) becomes a single
+    /// `sendmmsg` submission on the batched backend instead of one
+    /// kernel crossing per datagram.
     fn execute(
         &mut self,
         actions: &mut Vec<Action>,
@@ -234,7 +233,7 @@ impl<C: Channel> Driver<C> {
         for action in actions.drain(..) {
             match action {
                 Action::Transmit(bytes) => {
-                    self.channel.send(&bytes)?;
+                    self.channel.stage(&bytes)?;
                     *sent += 1;
                 }
                 Action::SetTimer { token, after } => timers.arm(token, after),
@@ -242,6 +241,7 @@ impl<C: Channel> Driver<C> {
                 Action::Complete(info) => done = Some(*info),
             }
         }
+        self.channel.flush()?;
         Ok(done)
     }
 }

@@ -83,6 +83,21 @@ impl<C: Channel> Channel for FcsChannel<C> {
         result
     }
 
+    fn stage(&mut self, buf: &[u8]) -> io::Result<()> {
+        // Frame into the reused scratch, then hand the frame to the
+        // inner channel's batch — FCS framing rides the batched send
+        // path without an extra allocation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        frame_into(buf, &mut scratch);
+        let result = self.inner.stage(&scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
         loop {
             match self.inner.recv_timeout(buf, timeout)? {

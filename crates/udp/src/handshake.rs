@@ -259,7 +259,13 @@ pub fn initiate<C: Channel>(
         sent += 1;
         let t0 = Instant::now();
         while t0.elapsed() < retry_interval {
-            match channel.recv_timeout(&mut buf, retry_interval)? {
+            // Wait only the *remaining* slice of the retry interval:
+            // with the event-driven backend this is exact, and a slow
+            // responder can no longer stretch one interval to two by
+            // trickling unrelated datagrams in.  (Saturating: the clock
+            // may pass the interval between the loop check and here.)
+            let remaining = retry_interval.saturating_sub(t0.elapsed());
+            match channel.recv_timeout(&mut buf, remaining)? {
                 None => break,
                 Some(n) => {
                     let Ok(d) = Datagram::parse(&buf[..n]) else {

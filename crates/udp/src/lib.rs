@@ -21,11 +21,15 @@
 //! * [`handshake`] — the pre-allocation `Request` handshake: transfer
 //!   length, packet size, strategy, direction and blob name, encoded in
 //!   a `Request` packet that is retransmitted until echoed;
+//! * [`netio`] — the pluggable syscall backend: batched
+//!   `sendmmsg`/`recvmmsg` submission with event-driven epoll + timerfd
+//!   waits on Linux, a portable single-syscall fallback everywhere else
+//!   (force it with `BLAST_NETIO=portable`);
 //! * [`peer`] — one-call bulk transfer: the handshake, then the
 //!   configured protocol;
-//! * [`sockopt`] — `SO_RCVBUF` growth at socket setup, so a whole blast
-//!   round fits in the kernel's receive queue instead of spilling (the
-//!   modern form of the paper's §3 interface errors).
+//! * [`sockopt`] — `SO_RCVBUF`/`SO_SNDBUF` growth at socket setup, so a
+//!   whole blast round fits in the kernel's queues instead of spilling
+//!   (the modern form of the paper's §3 interface errors).
 //!
 //! ## Example (two threads over loopback)
 //!
@@ -47,10 +51,11 @@
 //! assert_eq!(received.data.len(), 100_000);
 //! ```
 
-// Deny (not forbid): `sockopt` contains this crate's one sanctioned
-// `unsafe` block — two audited FFI calls growing SO_RCVBUF — and opts
-// in with a module-level allow, mirroring the `blast-counting-alloc`
-// precedent.  Everything else still refuses unsafe code.
+// Deny (not forbid): `sockopt` and `netio` contain this crate's two
+// sanctioned `unsafe` surfaces — audited FFI for socket-buffer tuning
+// and for the batched syscall backend — each opting in with a
+// module-level allow, mirroring the `blast-counting-alloc` precedent.
+// Everything else still refuses unsafe code.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -59,6 +64,7 @@ pub mod driver;
 pub mod fault;
 pub mod fcs;
 pub mod handshake;
+pub mod netio;
 pub mod peer;
 pub mod sockopt;
 pub mod timers;
@@ -68,5 +74,6 @@ pub use driver::Driver;
 pub use fault::{FaultConfig, FaultyChannel};
 pub use fcs::FcsChannel;
 pub use handshake::{Direction, Request};
+pub use netio::{BackendKind, NetIo, NetIoStats};
 pub use peer::{recv_data, send_data, TransferReport};
 pub use timers::TimerWheel;

@@ -1,0 +1,1141 @@
+//! Pluggable syscall backends: batched submission/completion I/O.
+//!
+//! The measured bottleneck behind ROADMAP's single-session goodput item
+//! was never the protocol — it was the syscall bill.  A paced 32-packet
+//! burst cost 32 `sendto(2)` crossings, every receive cost a
+//! `setsockopt(SO_RCVTIMEO)` *plus* a `recvfrom(2)`, and sub-millisecond
+//! pace gaps could not be waited at all (socket timeouts round up to a
+//! scheduler tick), so the driver yield-spun through them.  This module
+//! replaces all of that with a [`NetIo`] backend the channel, driver and
+//! node reactor share:
+//!
+//! * **Batched** (Linux): a burst is staged into pre-allocated slots and
+//!   submitted with one `sendmmsg(2)`; a drain pulls up to a whole batch
+//!   of datagrams with one `recvmmsg(2)`; and waits are event-driven —
+//!   an `epoll(7)` instance watching the socket and a `timerfd(2)` armed
+//!   at the precise deadline, so a 500 µs pace gap blocks for 500 µs,
+//!   not a scheduler tick and not a spin.  The FFI is audited extern-C
+//!   following the [`crate::sockopt`] precedent (crate `deny(unsafe_code)`,
+//!   module-level allow, hardcoded asm-generic constants, so only the
+//!   mainstream Linux targets take this path).
+//! * **Portable** (everything else, or forced): one syscall per
+//!   datagram and coarse `SO_RCVTIMEO` waits as the last resort —
+//!   exactly the pre-batching behaviour, kept as a living fallback.
+//!
+//! Set `BLAST_NETIO=portable` to force the fallback on Linux (CI runs
+//! the perf harness under both and prints the delta).
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+#[cfg(netio_batched)]
+use std::time::Instant;
+
+use blast_core::PacingConfig;
+
+/// Datagrams a single `sendmmsg`/`recvmmsg` submission can carry.  A
+/// full AIMD-grown blast burst (256 packets) flushes in a handful of
+/// kernel crossings instead of 256.
+pub const BATCH: usize = 32;
+
+/// Per-slot buffer capacity: the largest channel datagram plus the FCS
+/// trailer, with headroom.
+const SLOT_CAP: usize = crate::channel::MAX_DATAGRAM + 8;
+
+/// `ENOBUFS`: no stable `io::ErrorKind`, matched by raw value (same as
+/// the node's historical send-drop handling).
+const ENOBUFS: i32 = 105;
+
+/// Counters describing how the backend spent its syscalls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetIoStats {
+    /// Datagrams handed to the kernel.
+    pub datagrams_sent: u64,
+    /// `sendmmsg` submissions (or single sends in portable mode) —
+    /// `datagrams_sent / send_batches` is the amortisation factor.
+    pub send_batches: u64,
+    /// Datagrams the kernel dropped at submission (full buffer, peer
+    /// unreachable) — loss the protocols recover from.
+    pub send_drops: u64,
+    /// Datagrams pulled off the socket.
+    pub datagrams_received: u64,
+    /// `recvmmsg` completions (or single receives in portable mode).
+    pub recv_batches: u64,
+    /// Event-driven waits that ended because the socket went readable.
+    pub wakeups: u64,
+    /// Waits that expired at their deadline instead.
+    pub timeouts: u64,
+}
+
+/// Which backend a [`NetIo`] is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// `sendmmsg`/`recvmmsg` with epoll/timerfd waits.
+    Batched,
+    /// One syscall per datagram, `SO_RCVTIMEO` waits.
+    Portable,
+}
+
+impl BackendKind {
+    /// Stable lowercase name for logs and perf JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Batched => "batched",
+            BackendKind::Portable => "portable",
+        }
+    }
+}
+
+/// A pluggable I/O backend for one UDP socket.
+///
+/// Two usage modes share the type:
+///
+/// * **connected** ([`NetIo::connected`]): the socket is connected;
+///   callers use [`queue`](NetIo::queue)/[`flush`](NetIo::flush) and
+///   the blocking [`recv`](NetIo::recv).
+/// * **reactor** ([`NetIo::reactor`]): the socket is unconnected and
+///   non-blocking; callers use [`queue_to`](NetIo::queue_to),
+///   [`fill`](NetIo::fill)/[`pop_into`](NetIo::pop_into) and the
+///   non-consuming [`wait`](NetIo::wait).
+#[derive(Debug)]
+pub struct NetIo {
+    imp: Impl,
+    /// Syscall accounting, exposed for node metrics and the perf JSON.
+    pub stats: NetIoStats,
+}
+
+#[derive(Debug)]
+enum Impl {
+    // Boxed: the batched backend carries its fixed-size length/address
+    // tables inline and would otherwise dwarf the portable variant.
+    #[cfg(netio_batched)]
+    Batched(Box<batched::BatchedIo>),
+    Portable(PortableIo),
+}
+
+impl NetIo {
+    /// Backend for a connected socket, auto-selected: batched where
+    /// available (puts the socket into non-blocking mode), portable
+    /// otherwise or when `BLAST_NETIO=portable` forces the fallback.
+    /// Infallible: any batched-setup failure silently degrades to the
+    /// portable backend, which needs no setup.
+    pub fn connected(socket: &UdpSocket) -> NetIo {
+        Self::select(socket, false)
+    }
+
+    /// Backend for an unconnected reactor socket (the `blast-node`
+    /// event loop).  The socket is put into non-blocking mode either
+    /// way — the reactor contract.
+    pub fn reactor(socket: &UdpSocket) -> NetIo {
+        let _ = socket.set_nonblocking(true);
+        Self::select(socket, true)
+    }
+
+    fn select(socket: &UdpSocket, reactor: bool) -> NetIo {
+        if !forced_portable() {
+            if let Some(io) = Self::try_batched(socket) {
+                return io;
+            }
+        }
+        if !reactor {
+            // A half-finished batched setup (epoll/timerfd creation can
+            // fail at the fd limit) leaves the socket non-blocking,
+            // which would turn the portable backend's SO_RCVTIMEO waits
+            // into a busy-poll; restore blocking mode for the connected
+            // fallback.  Reactor sockets stay non-blocking by contract.
+            let _ = socket.set_nonblocking(false);
+        }
+        NetIo::portable(reactor)
+    }
+
+    #[cfg(netio_batched)]
+    fn try_batched(socket: &UdpSocket) -> Option<NetIo> {
+        let imp = batched::BatchedIo::new(socket).ok()?;
+        Some(NetIo {
+            imp: Impl::Batched(Box::new(imp)),
+            stats: NetIoStats::default(),
+        })
+    }
+
+    #[cfg(not(netio_batched))]
+    fn try_batched(_socket: &UdpSocket) -> Option<NetIo> {
+        None
+    }
+
+    /// The portable backend, unconditionally.
+    pub fn portable(reactor: bool) -> NetIo {
+        NetIo {
+            imp: Impl::Portable(PortableIo::new(reactor)),
+            stats: NetIoStats::default(),
+        }
+    }
+
+    /// Which backend this instance runs.
+    pub fn backend(&self) -> BackendKind {
+        match &self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(_) => BackendKind::Batched,
+            Impl::Portable(_) => BackendKind::Portable,
+        }
+    }
+
+    /// True when the batched backend is compiled in and selected.
+    pub fn is_batched(&self) -> bool {
+        self.backend() == BackendKind::Batched
+    }
+
+    /// Stage one datagram on a connected socket for a batched flush
+    /// (portable mode sends it immediately).  A full batch flushes
+    /// itself.
+    pub fn queue(&mut self, socket: &UdpSocket, frame: &[u8]) -> io::Result<()> {
+        self.queue_to(socket, frame, None)
+    }
+
+    /// Stage one datagram, optionally addressed (reactor mode).
+    pub fn queue_to(
+        &mut self,
+        socket: &UdpSocket,
+        frame: &[u8],
+        to: Option<SocketAddr>,
+    ) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => {
+                if b.send_full() {
+                    b.flush(socket, &mut self.stats)?;
+                }
+                b.stage(frame, to);
+                Ok(())
+            }
+            Impl::Portable(p) => p.send_now(socket, frame, to, &mut self.stats),
+        }
+    }
+
+    /// Put every staged datagram on the wire in as few syscalls as the
+    /// backend can manage.  A no-op with nothing staged.
+    pub fn flush(&mut self, socket: &UdpSocket) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => b.flush(socket, &mut self.stats),
+            Impl::Portable(_) => Ok(()),
+        }
+    }
+
+    /// Receive one datagram on a connected socket within `timeout`
+    /// (`Ok(None)` on expiry).  Batched mode drains a whole `recvmmsg`
+    /// batch per kernel crossing and pops from it on subsequent calls;
+    /// waits block on epoll + timerfd at the exact deadline.  Portable
+    /// mode is a classic `SO_RCVTIMEO` receive with the
+    /// [`PacingConfig::MIN_WAIT`] floor.
+    pub fn recv(
+        &mut self,
+        socket: &UdpSocket,
+        buf: &mut [u8],
+        timeout: Duration,
+    ) -> io::Result<Option<usize>> {
+        match &mut self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => {
+                let deadline = Instant::now() + timeout;
+                loop {
+                    if let Some((n, _)) = b.pop_into(buf) {
+                        return Ok(Some(n));
+                    }
+                    if b.fill(socket, &mut self.stats)? > 0 {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.stats.timeouts += 1;
+                        return Ok(None);
+                    }
+                    if !b.wait(deadline - now, &mut self.stats)? {
+                        return Ok(None);
+                    }
+                }
+            }
+            Impl::Portable(p) => p.recv(socket, buf, timeout, &mut self.stats),
+        }
+    }
+
+    /// Non-blocking reactor drain: pull up to a batch of datagrams off
+    /// the socket into the backend's slots.  Returns how many arrived
+    /// (0 when the socket is dry).  Call when [`pop_into`] runs out.
+    ///
+    /// [`pop_into`]: NetIo::pop_into
+    pub fn fill(&mut self, socket: &UdpSocket) -> io::Result<usize> {
+        match &mut self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => b.fill(socket, &mut self.stats),
+            Impl::Portable(p) => p.fill(socket, &mut self.stats),
+        }
+    }
+
+    /// Pop one previously-[`fill`](NetIo::fill)ed datagram into `buf`,
+    /// with the sender's address when the socket is unconnected.
+    pub fn pop_into(&mut self, buf: &mut [u8]) -> Option<(usize, Option<SocketAddr>)> {
+        match &mut self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => b.pop_into(buf),
+            Impl::Portable(p) => p.pop_into(buf),
+        }
+    }
+
+    /// Block until the socket is readable or `timeout` elapses; `true`
+    /// means readable.  Batched mode waits on epoll + timerfd with
+    /// sub-millisecond fidelity.  Portable reactor mode can only sleep
+    /// (clamped to a millisecond) and conservatively reports a timeout;
+    /// the caller's next [`fill`](NetIo::fill) discovers any traffic.
+    pub fn wait(&mut self, timeout: Duration) -> io::Result<bool> {
+        match &mut self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => b.wait(timeout, &mut self.stats),
+            Impl::Portable(p) => p.wait(timeout, &mut self.stats),
+        }
+    }
+}
+
+/// Did the operator force the portable backend?  Read once per process
+/// (channels are built per session; an env lookup per construction
+/// would be a per-session allocation for a process-constant answer).
+fn forced_portable() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("BLAST_NETIO")
+            .map(|v| {
+                let v = v.to_ascii_lowercase();
+                v == "portable" || v == "fallback"
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Would sending fail in a way the blast protocols treat as loss, not
+/// as channel failure?  (Peer's ICMP unreachable, full send buffer.)
+fn is_send_drop(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused | io::ErrorKind::WouldBlock | io::ErrorKind::OutOfMemory
+    ) || e.raw_os_error() == Some(ENOBUFS)
+}
+
+/// The single-syscall fallback backend: current everywhere, fast
+/// nowhere, correct always.
+#[derive(Debug)]
+struct PortableIo {
+    /// One-datagram receive slot for reactor mode.
+    slot: Vec<u8>,
+    slot_len: usize,
+    slot_addr: Option<SocketAddr>,
+    slot_full: bool,
+    reactor: bool,
+}
+
+impl PortableIo {
+    fn new(reactor: bool) -> PortableIo {
+        PortableIo {
+            slot: if reactor {
+                vec![0u8; SLOT_CAP]
+            } else {
+                Vec::new()
+            },
+            slot_len: 0,
+            slot_addr: None,
+            slot_full: false,
+            reactor,
+        }
+    }
+
+    fn send_now(
+        &mut self,
+        socket: &UdpSocket,
+        frame: &[u8],
+        to: Option<SocketAddr>,
+        stats: &mut NetIoStats,
+    ) -> io::Result<()> {
+        let result = match to {
+            Some(addr) => socket.send_to(frame, addr).map(|_| ()),
+            None => socket.send(frame).map(|_| ()),
+        };
+        match result {
+            Ok(()) => {
+                stats.datagrams_sent += 1;
+                stats.send_batches += 1;
+                Ok(())
+            }
+            Err(e) if is_send_drop(&e) => {
+                stats.send_drops += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn recv(
+        &mut self,
+        socket: &UdpSocket,
+        buf: &mut [u8],
+        timeout: Duration,
+        stats: &mut NetIoStats,
+    ) -> io::Result<Option<usize>> {
+        // `SO_RCVTIMEO` as the last resort: `Some(ZERO)` is an error to
+        // `std`, and the floor keeps paced senders' inter-burst gaps
+        // from being rounded up into scheduler noise more than the
+        // kernel already insists on.
+        let t = timeout.max(PacingConfig::MIN_WAIT);
+        socket.set_read_timeout(Some(t))?;
+        match socket.recv(buf) {
+            Ok(n) => {
+                stats.datagrams_received += 1;
+                stats.recv_batches += 1;
+                stats.wakeups += 1;
+                Ok(Some(n))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                stats.timeouts += 1;
+                Ok(None)
+            }
+            // A queued ICMP unreachable from our own earlier send: a
+            // timeout slice with nothing delivered, not a failure.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn fill(&mut self, socket: &UdpSocket, stats: &mut NetIoStats) -> io::Result<usize> {
+        debug_assert!(self.reactor, "fill() is a reactor-mode call");
+        if self.slot_full {
+            return Ok(0);
+        }
+        loop {
+            match socket.recv_from(&mut self.slot) {
+                Ok((n, peer)) => {
+                    self.slot_len = n;
+                    self.slot_addr = Some(peer);
+                    self.slot_full = true;
+                    stats.datagrams_received += 1;
+                    stats.recv_batches += 1;
+                    return Ok(1);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(0)
+                }
+                // Queued ICMP unreachable for a departed peer: consume
+                // it and keep draining.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn pop_into(&mut self, buf: &mut [u8]) -> Option<(usize, Option<SocketAddr>)> {
+        if !self.slot_full {
+            return None;
+        }
+        self.slot_full = false;
+        let n = self.slot_len.min(buf.len());
+        buf[..n].copy_from_slice(&self.slot[..n]);
+        Some((n, self.slot_addr))
+    }
+
+    fn wait(&mut self, timeout: Duration, stats: &mut NetIoStats) -> io::Result<bool> {
+        // No selector in `std`: sleep, bounded so arriving traffic is
+        // discovered within a millisecond (the pre-backend node park).
+        std::thread::sleep(timeout.clamp(PacingConfig::MIN_WAIT, Duration::from_millis(1)));
+        stats.timeouts += 1;
+        Ok(false)
+    }
+}
+
+#[cfg(netio_batched)]
+#[allow(unsafe_code)]
+mod batched {
+    //! The Linux batched backend: audited extern-C FFI over
+    //! `sendmmsg`/`recvmmsg`/`epoll`/`timerfd`, mirroring the
+    //! `sockopt` precedent.  Every pointer handed to the kernel points
+    //! into storage owned by this module for the duration of the call
+    //! (slot buffers, stack-local header arrays), and nothing returned
+    //! by the kernel is interpreted beyond the documented out-fields.
+
+    use std::io;
+    use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, UdpSocket};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    use super::{is_send_drop, NetIoStats, BATCH, SLOT_CAP};
+
+    // Linked via std's libc dependency; declared here because the
+    // workspace builds offline with no `libc` crate available.
+    extern "C" {
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn recvmmsg(
+            fd: i32,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut TimeSpec,
+        ) -> i32;
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn timerfd_create(clockid: i32, flags: i32) -> i32;
+        fn timerfd_settime(
+            fd: i32,
+            flags: i32,
+            new_value: *const ITimerSpec,
+            old_value: *mut ITimerSpec,
+        ) -> i32;
+        fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLLIN: u32 = 0x001;
+    const CLOCK_MONOTONIC: i32 = 1;
+    const TFD_NONBLOCK: i32 = 0o4000;
+    const TFD_CLOEXEC: i32 = 0o2000000;
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+    /// `sockaddr_storage` size: holds any address family.
+    const SS_SIZE: usize = 128;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct IoVec {
+        base: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct MsgHdr {
+        msg_name: *mut core::ffi::c_void,
+        msg_namelen: u32,
+        msg_iov: *mut IoVec,
+        msg_iovlen: usize,
+        msg_control: *mut core::ffi::c_void,
+        msg_controllen: usize,
+        msg_flags: i32,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    // `epoll_event` is packed on x86-64 (a kernel ABI quirk) and
+    // naturally aligned everywhere else.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct TimeSpec {
+        sec: i64,
+        nsec: i64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct ITimerSpec {
+        interval: TimeSpec,
+        value: TimeSpec,
+    }
+
+    const ZERO_IOV: IoVec = IoVec {
+        base: std::ptr::null_mut(),
+        len: 0,
+    };
+
+    const ZERO_MSG: MMsgHdr = MMsgHdr {
+        hdr: MsgHdr {
+            msg_name: std::ptr::null_mut(),
+            msg_namelen: 0,
+            msg_iov: std::ptr::null_mut(),
+            msg_iovlen: 0,
+            msg_control: std::ptr::null_mut(),
+            msg_controllen: 0,
+            msg_flags: 0,
+        },
+        len: 0,
+    };
+
+    /// Owned raw descriptor, closed on drop.
+    #[derive(Debug)]
+    struct Fd(i32);
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            // SAFETY: the descriptor was created by this module and is
+            // closed exactly once.
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    /// A batch of pre-allocated datagram slots: one contiguous buffer
+    /// slab (`BATCH × SLOT_CAP`) plus one address slab, so building a
+    /// backend costs two allocations, not two per slot — channels are
+    /// constructed per session, and construction cost shows up directly
+    /// in the perf harness's allocs-per-datagram figure.  Pointer-free,
+    /// so the backend stays `Send`; the kernel-facing header arrays are
+    /// rebuilt on the stack for each syscall.
+    #[derive(Debug)]
+    struct Ring {
+        data: Vec<u8>,
+        addrs: Vec<u8>,
+        lens: [usize; BATCH],
+        addr_lens: [u32; BATCH],
+    }
+
+    impl Ring {
+        fn new() -> Ring {
+            Ring {
+                data: vec![0u8; BATCH * SLOT_CAP],
+                addrs: vec![0u8; BATCH * SS_SIZE],
+                lens: [0; BATCH],
+                addr_lens: [0; BATCH],
+            }
+        }
+
+        fn buf(&self, i: usize) -> &[u8] {
+            &self.data[i * SLOT_CAP..(i + 1) * SLOT_CAP]
+        }
+
+        fn buf_mut(&mut self, i: usize) -> &mut [u8] {
+            &mut self.data[i * SLOT_CAP..(i + 1) * SLOT_CAP]
+        }
+
+        fn addr(&self, i: usize) -> &[u8] {
+            &self.addrs[i * SS_SIZE..(i + 1) * SS_SIZE]
+        }
+
+        fn addr_mut(&mut self, i: usize) -> &mut [u8] {
+            &mut self.addrs[i * SS_SIZE..(i + 1) * SS_SIZE]
+        }
+    }
+
+    /// Encode a socket address as a kernel `sockaddr`, returning its
+    /// length.
+    fn encode_addr(addr: &SocketAddr, out: &mut [u8]) -> u32 {
+        match addr {
+            SocketAddr::V4(a) => {
+                out[0..2].copy_from_slice(&AF_INET.to_ne_bytes());
+                out[2..4].copy_from_slice(&a.port().to_be_bytes());
+                out[4..8].copy_from_slice(&a.ip().octets());
+                out[8..16].fill(0);
+                16
+            }
+            SocketAddr::V6(a) => {
+                out[0..2].copy_from_slice(&AF_INET6.to_ne_bytes());
+                out[2..4].copy_from_slice(&a.port().to_be_bytes());
+                out[4..8].copy_from_slice(&a.flowinfo().to_be_bytes());
+                out[8..24].copy_from_slice(&a.ip().octets());
+                out[24..28].copy_from_slice(&a.scope_id().to_ne_bytes());
+                28
+            }
+        }
+    }
+
+    /// Decode a kernel `sockaddr` back into a socket address.
+    fn decode_addr(buf: &[u8], len: u32) -> Option<SocketAddr> {
+        if len < 8 {
+            return None;
+        }
+        let family = u16::from_ne_bytes([buf[0], buf[1]]);
+        let port = u16::from_be_bytes([buf[2], buf[3]]);
+        match family {
+            AF_INET => {
+                let ip = Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]);
+                Some(SocketAddr::from((ip, port)))
+            }
+            AF_INET6 if len >= 28 => {
+                let mut octets = [0u8; 16];
+                octets.copy_from_slice(&buf[8..24]);
+                let flowinfo = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+                let scope = u32::from_ne_bytes([buf[24], buf[25], buf[26], buf[27]]);
+                Some(SocketAddr::V6(std::net::SocketAddrV6::new(
+                    Ipv6Addr::from(octets),
+                    port,
+                    flowinfo,
+                    scope,
+                )))
+            }
+            _ => None,
+        }
+    }
+
+    fn timespec(d: Duration) -> TimeSpec {
+        TimeSpec {
+            sec: d.as_secs() as i64,
+            nsec: i64::from(d.subsec_nanos()),
+        }
+    }
+
+    /// The batched backend for one socket.
+    #[derive(Debug)]
+    pub(super) struct BatchedIo {
+        epoll: Fd,
+        timer: Fd,
+        sock_fd: i32,
+        send: Ring,
+        send_len: usize,
+        recv: Ring,
+        recv_head: usize,
+        recv_len: usize,
+    }
+
+    impl BatchedIo {
+        pub(super) fn new(socket: &UdpSocket) -> io::Result<BatchedIo> {
+            socket.set_nonblocking(true)?;
+            let sock_fd = socket.as_raw_fd();
+            // SAFETY: plain descriptor-creating syscalls; results are
+            // checked and owned by `Fd` guards.
+            let ep = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if ep < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let epoll = Fd(ep);
+            let tf = unsafe { timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC) };
+            if tf < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let timer = Fd(tf);
+            for (fd, tag) in [(sock_fd, 0u64), (timer.0, 1u64)] {
+                let mut ev = EpollEvent {
+                    events: EPOLLIN,
+                    data: tag,
+                };
+                // SAFETY: `epoll.0`, `fd` are live descriptors; `ev` is
+                // a stack-local the kernel only reads.
+                let rc = unsafe { epoll_ctl(epoll.0, EPOLL_CTL_ADD, fd, &mut ev) };
+                if rc != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            Ok(BatchedIo {
+                epoll,
+                timer,
+                sock_fd,
+                send: Ring::new(),
+                send_len: 0,
+                recv: Ring::new(),
+                recv_head: 0,
+                recv_len: 0,
+            })
+        }
+
+        pub(super) fn send_full(&self) -> bool {
+            self.send_len == BATCH
+        }
+
+        /// Copy one datagram into the next free send slot.
+        pub(super) fn stage(&mut self, frame: &[u8], to: Option<SocketAddr>) {
+            debug_assert!(
+                self.send_len < BATCH,
+                "flush before staging into a full batch"
+            );
+            debug_assert!(frame.len() <= SLOT_CAP, "datagram exceeds slot capacity");
+            let i = self.send_len;
+            let n = frame.len().min(SLOT_CAP);
+            self.send.buf_mut(i)[..n].copy_from_slice(&frame[..n]);
+            self.send.lens[i] = n;
+            self.send.addr_lens[i] = match to {
+                Some(addr) => encode_addr(&addr, self.send.addr_mut(i)),
+                None => 0,
+            };
+            self.send_len += 1;
+        }
+
+        /// Submit every staged datagram: one `sendmmsg` per `BATCH`
+        /// slots, with loss-like submission failures counted as drops
+        /// (the protocols retransmit) rather than surfaced as errors.
+        pub(super) fn flush(
+            &mut self,
+            _socket: &UdpSocket,
+            stats: &mut NetIoStats,
+        ) -> io::Result<()> {
+            let n = self.send_len;
+            if n == 0 {
+                return Ok(());
+            }
+            self.send_len = 0;
+            let mut done = 0usize;
+            // Pending ICMP errors from earlier sends surface as
+            // `ECONNREFUSED` with nothing submitted; each retry consumes
+            // one, so the budget bounds a pathological error queue.
+            let mut refused_budget = n + 4;
+            while done < n {
+                let count = n - done;
+                let mut iovs = [ZERO_IOV; BATCH];
+                let mut hdrs = [ZERO_MSG; BATCH];
+                let data_ptr = self.send.data.as_mut_ptr();
+                let addr_ptr = self.send.addrs.as_mut_ptr();
+                for i in 0..count {
+                    let slot = done + i;
+                    iovs[i] = IoVec {
+                        // SAFETY: in-bounds offsets into the send slabs
+                        // (slot < BATCH by construction).
+                        base: unsafe { data_ptr.add(slot * SLOT_CAP) }.cast(),
+                        len: self.send.lens[slot],
+                    };
+                    hdrs[i].hdr.msg_iov = &mut iovs[i];
+                    hdrs[i].hdr.msg_iovlen = 1;
+                    if self.send.addr_lens[slot] > 0 {
+                        hdrs[i].hdr.msg_name = unsafe { addr_ptr.add(slot * SS_SIZE) }.cast();
+                        hdrs[i].hdr.msg_namelen = self.send.addr_lens[slot];
+                    }
+                }
+                // SAFETY: `hdrs[..count]` reference iovecs and buffers
+                // that outlive the call; the kernel writes only the
+                // documented `len`/`msg_flags` out-fields.
+                let rc = unsafe { sendmmsg(self.sock_fd, hdrs.as_mut_ptr(), count as u32, 0) };
+                if rc > 0 {
+                    done += rc as usize;
+                    stats.datagrams_sent += rc as u64;
+                    stats.send_batches += 1;
+                    continue;
+                }
+                let err = io::Error::last_os_error();
+                match err.kind() {
+                    io::ErrorKind::Interrupted => continue,
+                    io::ErrorKind::ConnectionRefused if refused_budget > 0 => {
+                        refused_budget -= 1;
+                        continue;
+                    }
+                    _ if is_send_drop(&err) => {
+                        stats.send_drops += (n - done) as u64;
+                        return Ok(());
+                    }
+                    _ => return Err(err),
+                }
+            }
+            Ok(())
+        }
+
+        /// Drain up to a batch of datagrams off the socket in one
+        /// `recvmmsg`.  Non-blocking; returns how many arrived.
+        pub(super) fn fill(
+            &mut self,
+            _socket: &UdpSocket,
+            stats: &mut NetIoStats,
+        ) -> io::Result<usize> {
+            debug_assert!(self.recv_head >= self.recv_len, "fill over undrained batch");
+            let mut refused_budget = 16;
+            loop {
+                let mut iovs = [ZERO_IOV; BATCH];
+                let mut hdrs = [ZERO_MSG; BATCH];
+                let data_ptr = self.recv.data.as_mut_ptr();
+                let addr_ptr = self.recv.addrs.as_mut_ptr();
+                for (i, iov) in iovs.iter_mut().enumerate() {
+                    *iov = IoVec {
+                        // SAFETY: in-bounds offsets into the recv slabs.
+                        base: unsafe { data_ptr.add(i * SLOT_CAP) }.cast(),
+                        len: SLOT_CAP,
+                    };
+                    hdrs[i].hdr.msg_iov = iov;
+                    hdrs[i].hdr.msg_iovlen = 1;
+                    hdrs[i].hdr.msg_name = unsafe { addr_ptr.add(i * SS_SIZE) }.cast();
+                    hdrs[i].hdr.msg_namelen = SS_SIZE as u32;
+                }
+                // SAFETY: as in `flush`; the kernel fills buffers and
+                // address storage owned by `self.recv` and reports
+                // per-message lengths in the headers.
+                let rc = unsafe {
+                    recvmmsg(
+                        self.sock_fd,
+                        hdrs.as_mut_ptr(),
+                        BATCH as u32,
+                        0,
+                        std::ptr::null_mut(),
+                    )
+                };
+                if rc > 0 {
+                    let got = rc as usize;
+                    for (i, hdr) in hdrs.iter().enumerate().take(got) {
+                        self.recv.lens[i] = (hdr.len as usize).min(SLOT_CAP);
+                        self.recv.addr_lens[i] = hdr.hdr.msg_namelen;
+                    }
+                    self.recv_head = 0;
+                    self.recv_len = got;
+                    stats.datagrams_received += got as u64;
+                    stats.recv_batches += 1;
+                    return Ok(got);
+                }
+                let err = io::Error::last_os_error();
+                match err.kind() {
+                    io::ErrorKind::WouldBlock => return Ok(0),
+                    io::ErrorKind::Interrupted => continue,
+                    // A queued ICMP unreachable from an earlier send:
+                    // consume and keep draining, boundedly.
+                    io::ErrorKind::ConnectionRefused if refused_budget > 0 => {
+                        refused_budget -= 1;
+                        continue;
+                    }
+                    io::ErrorKind::ConnectionRefused => return Ok(0),
+                    _ => return Err(err),
+                }
+            }
+        }
+
+        /// Pop one filled datagram into `buf`.
+        pub(super) fn pop_into(&mut self, buf: &mut [u8]) -> Option<(usize, Option<SocketAddr>)> {
+            if self.recv_head >= self.recv_len {
+                return None;
+            }
+            let i = self.recv_head;
+            self.recv_head += 1;
+            let n = self.recv.lens[i].min(buf.len());
+            buf[..n].copy_from_slice(&self.recv.buf(i)[..n]);
+            Some((n, decode_addr(self.recv.addr(i), self.recv.addr_lens[i])))
+        }
+
+        /// Block until the socket is readable or `timeout` elapses.
+        /// The deadline rides a one-shot timerfd, so sub-millisecond
+        /// pace gaps wait exactly as long as they should — this is the
+        /// wait that replaced the driver's yield-spin.
+        pub(super) fn wait(
+            &mut self,
+            timeout: Duration,
+            stats: &mut NetIoStats,
+        ) -> io::Result<bool> {
+            // A zero it_value disarms the timer; clamp to one tick so a
+            // zero/near-zero timeout still fires immediately.
+            let spec = ITimerSpec {
+                interval: TimeSpec { sec: 0, nsec: 0 },
+                value: timespec(timeout.max(Duration::from_nanos(1))),
+            };
+            // SAFETY: `timer` is live; `spec` is stack-local and only
+            // read.  Re-arming also clears any stale expiration.
+            let rc = unsafe { timerfd_settime(self.timer.0, 0, &spec, std::ptr::null_mut()) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            loop {
+                let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+                // SAFETY: the kernel writes at most 4 events into the
+                // stack-local array.
+                let rc = unsafe { epoll_wait(self.epoll.0, events.as_mut_ptr(), 4, -1) };
+                if rc < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                let mut readable = false;
+                let mut expired = false;
+                for ev in events.iter().take(rc as usize) {
+                    match ev.data {
+                        0 => readable = true,
+                        _ => expired = true,
+                    }
+                }
+                if expired {
+                    // Drain the expiration count so the timerfd goes
+                    // quiet until re-armed.
+                    let mut ticks = 0u64;
+                    // SAFETY: reads 8 bytes into a stack-local u64, the
+                    // timerfd read contract.
+                    unsafe {
+                        read(self.timer.0, (&mut ticks as *mut u64).cast(), 8);
+                    }
+                }
+                if readable {
+                    stats.wakeups += 1;
+                    return Ok(true);
+                }
+                if expired {
+                    stats.timeouts += 1;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let a_addr = a.local_addr().unwrap();
+        let b_addr = b.local_addr().unwrap();
+        a.connect(b_addr).unwrap();
+        b.connect(a_addr).unwrap();
+        (a, b)
+    }
+
+    fn roundtrip(mut tx: NetIo, mut rx: NetIo, a: &UdpSocket, b: &UdpSocket) {
+        // Stage a whole burst, flush once, receive every datagram.
+        for i in 0..10u8 {
+            tx.queue(a, &[i; 100]).unwrap();
+        }
+        tx.flush(a).unwrap();
+        let mut buf = [0u8; 256];
+        for i in 0..10u8 {
+            let n = rx
+                .recv(b, &mut buf, Duration::from_secs(2))
+                .unwrap()
+                .expect("datagram arrives");
+            assert_eq!(&buf[..n], &[i; 100][..], "order preserved");
+        }
+        assert_eq!(tx.stats.datagrams_sent, 10);
+        assert_eq!(rx.stats.datagrams_received, 10);
+        assert!(
+            tx.stats.send_batches <= 10,
+            "batching never exceeds one syscall per datagram"
+        );
+    }
+
+    #[test]
+    fn connected_roundtrip_auto_backend() {
+        let (a, b) = pair();
+        let tx = NetIo::connected(&a);
+        let rx = NetIo::connected(&b);
+        roundtrip(tx, rx, &a, &b);
+    }
+
+    #[test]
+    fn connected_roundtrip_portable_backend() {
+        let (a, b) = pair();
+        let tx = NetIo::portable(false);
+        let rx = NetIo::portable(false);
+        assert_eq!(tx.backend(), BackendKind::Portable);
+        roundtrip(tx, rx, &a, &b);
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn batched_backend_amortises_syscalls() {
+        let (a, b) = pair();
+        let mut tx = NetIo::connected(&a);
+        let mut rx = NetIo::connected(&b);
+        assert!(tx.is_batched(), "Linux builds select the batched backend");
+        for i in 0..(BATCH as u8) {
+            tx.queue(&a, &[i; 64]).unwrap();
+        }
+        tx.flush(&a).unwrap();
+        assert_eq!(tx.stats.send_batches, 1, "one sendmmsg for a full batch");
+        let mut buf = [0u8; 128];
+        for _ in 0..BATCH {
+            rx.recv(&b, &mut buf, Duration::from_secs(2))
+                .unwrap()
+                .expect("datagram arrives");
+        }
+        assert!(
+            rx.stats.recv_batches < BATCH as u64,
+            "recvmmsg drained multiple datagrams per crossing ({} batches)",
+            rx.stats.recv_batches
+        );
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn batched_wait_has_submillisecond_fidelity() {
+        let (a, _b) = pair();
+        let mut io = NetIo::connected(&a);
+        assert!(io.is_batched());
+        let t0 = Instant::now();
+        let readable = io.wait(Duration::from_micros(500)).unwrap();
+        let waited = t0.elapsed();
+        assert!(!readable, "nothing was sent");
+        assert!(
+            waited >= Duration::from_micros(400),
+            "returned early: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(10),
+            "a 500 µs wait must not round up to a scheduler tick: {waited:?}"
+        );
+        assert_eq!(io.stats.timeouts, 1);
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn batched_wait_wakes_on_traffic() {
+        let (a, b) = pair();
+        let mut rx = NetIo::connected(&b);
+        a.send(b"ping").unwrap();
+        let readable = rx.wait(Duration::from_secs(2)).unwrap();
+        assert!(readable, "pending datagram must wake the waiter");
+        assert_eq!(rx.stats.wakeups, 1);
+        let mut buf = [0u8; 16];
+        let n = rx.recv(&b, &mut buf, Duration::from_secs(1)).unwrap();
+        assert_eq!(n, Some(4));
+    }
+
+    #[test]
+    fn reactor_mode_carries_peer_addresses() {
+        let server = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let mut io = NetIo::reactor(&server);
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client.send_to(b"hello", server_addr).unwrap();
+        let mut buf = [0u8; 64];
+        // Wait (event-driven or sleep), then drain.
+        let mut got = None;
+        for _ in 0..2000 {
+            if let Some(popped) = io.pop_into(&mut buf) {
+                got = Some(popped);
+                break;
+            }
+            if io.fill(&server).unwrap() > 0 {
+                continue;
+            }
+            io.wait(Duration::from_millis(1)).unwrap();
+        }
+        let (n, peer) = got.expect("datagram arrives");
+        assert_eq!(&buf[..n], b"hello");
+        assert_eq!(peer, Some(client.local_addr().unwrap()));
+        // Reply through the queued send path.
+        io.queue_to(&server, b"world", peer).unwrap();
+        io.flush(&server).unwrap();
+        let mut rbuf = [0u8; 16];
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let (n, from) = client.recv_from(&mut rbuf).unwrap();
+        assert_eq!(&rbuf[..n], b"world");
+        assert_eq!(from, server_addr);
+    }
+
+    #[test]
+    fn env_override_forces_portable() {
+        // The env var is read at construction; spawn-free check via the
+        // selector with the variable set for this process would race
+        // other tests, so assert the parsing path indirectly: portable
+        // construction always honours the request.
+        let io = NetIo::portable(false);
+        assert_eq!(io.backend().name(), "portable");
+        assert_eq!(BackendKind::Batched.name(), "batched");
+    }
+
+    #[test]
+    fn send_drop_classification() {
+        assert!(is_send_drop(&io::Error::from(
+            io::ErrorKind::ConnectionRefused
+        )));
+        assert!(is_send_drop(&io::Error::from(io::ErrorKind::WouldBlock)));
+        assert!(is_send_drop(&io::Error::from_raw_os_error(ENOBUFS)));
+        assert!(!is_send_drop(&io::Error::from(
+            io::ErrorKind::PermissionDenied
+        )));
+    }
+}

@@ -42,6 +42,10 @@ pub struct TransferReport {
     pub elapsed: Duration,
     /// Engine counters.
     pub stats: EngineStats,
+    /// The sender's AIMD pacing state at completion (`None` for
+    /// receivers and unpaced senders) — the burst trajectory the perf
+    /// harness records.
+    pub pacing: Option<blast_core::PacerSnapshot>,
     /// Datagrams sent on the channel (handshake included).
     pub datagrams_sent: u64,
     /// Datagrams received on the channel.
@@ -123,6 +127,7 @@ fn send_impl<C: Channel>(
             data: Vec::new(),
             elapsed: out.elapsed,
             stats: out.completion.stats,
+            pacing: engine.pacing_snapshot(),
             datagrams_sent: out.datagrams_sent + handshake_sent,
             datagrams_received: out.datagrams_received,
             malformed: out.malformed + fcs_drops,
@@ -178,6 +183,7 @@ pub fn recv_data<C: Channel>(channel: C, cfg: &ProtocolConfig) -> io::Result<Tra
             data: engine.into_data(),
             elapsed: out.elapsed,
             stats: out.completion.stats,
+            pacing: None,
             datagrams_sent: out.datagrams_sent + 1,
             datagrams_received: out.datagrams_received,
             malformed: out.malformed + fcs_drops,

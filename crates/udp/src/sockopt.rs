@@ -67,9 +67,10 @@ mod imp {
     }
 
     const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
     const SO_RCVBUF: i32 = 8;
 
-    pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+    fn set_buffer(socket: &UdpSocket, option: i32, bytes: usize) -> io::Result<usize> {
         let fd = socket.as_raw_fd();
         let request: i32 = bytes.min(i32::MAX as usize) as i32;
         // SAFETY: `fd` is a live descriptor owned by `socket` for the
@@ -79,7 +80,7 @@ mod imp {
             setsockopt(
                 fd,
                 SOL_SOCKET,
-                SO_RCVBUF,
+                option,
                 (&request as *const i32).cast(),
                 std::mem::size_of::<i32>() as u32,
             )
@@ -87,10 +88,10 @@ mod imp {
         if rc != 0 {
             return Err(io::Error::last_os_error());
         }
-        recv_buffer(socket)
+        buffer(socket, option)
     }
 
-    pub fn recv_buffer(socket: &UdpSocket) -> io::Result<usize> {
+    fn buffer(socket: &UdpSocket, option: i32) -> io::Result<usize> {
         let fd = socket.as_raw_fd();
         let mut granted: i32 = 0;
         let mut len = std::mem::size_of::<i32>() as u32;
@@ -100,7 +101,7 @@ mod imp {
             getsockopt(
                 fd,
                 SOL_SOCKET,
-                SO_RCVBUF,
+                option,
                 (&mut granted as *mut i32).cast(),
                 &mut len,
             )
@@ -109,6 +110,22 @@ mod imp {
             return Err(io::Error::last_os_error());
         }
         Ok(granted.max(0) as usize)
+    }
+
+    pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+        set_buffer(socket, SO_RCVBUF, bytes)
+    }
+
+    pub fn recv_buffer(socket: &UdpSocket) -> io::Result<usize> {
+        buffer(socket, SO_RCVBUF)
+    }
+
+    pub fn set_send_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+        set_buffer(socket, SO_SNDBUF, bytes)
+    }
+
+    pub fn send_buffer(socket: &UdpSocket) -> io::Result<usize> {
+        buffer(socket, SO_SNDBUF)
     }
 }
 
@@ -138,6 +155,20 @@ mod imp {
             "SO_RCVBUF inspection is only implemented on Linux",
         ))
     }
+
+    pub fn set_send_buffer(_socket: &UdpSocket, _bytes: usize) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_SNDBUF tuning is only implemented on Linux",
+        ))
+    }
+
+    pub fn send_buffer(_socket: &UdpSocket) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_SNDBUF inspection is only implemented on Linux",
+        ))
+    }
 }
 
 /// Ask the kernel for a `bytes`-sized receive buffer and return what it
@@ -152,11 +183,32 @@ pub fn recv_buffer(socket: &UdpSocket) -> io::Result<usize> {
     imp::recv_buffer(socket)
 }
 
+/// Ask the kernel for a `bytes`-sized send buffer and return what it
+/// granted (clamped to `net.core.wmem_max`).  `Unsupported` on
+/// non-Linux platforms.
+pub fn set_send_buffer(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+    imp::set_send_buffer(socket, bytes)
+}
+
+/// The socket's current send-buffer size, as the kernel reports it.
+pub fn send_buffer(socket: &UdpSocket) -> io::Result<usize> {
+    imp::send_buffer(socket)
+}
+
 /// Best-effort variant of [`set_recv_buffer`] for socket setup paths:
 /// failures (permissions, platform) are swallowed — the socket still
 /// works, it just keeps the default queue depth.
 pub fn grow_recv_buffer(socket: &UdpSocket) {
     let _ = set_recv_buffer(socket, BLAST_RECV_BUFFER);
+}
+
+/// Grow both socket buffers (best effort): the receive queue so a blast
+/// round does not spill, and the send queue so a whole batched
+/// `sendmmsg` burst (an AIMD-grown round can reach 256 × 1400 bytes)
+/// submits without `ENOBUFS` drops.
+pub fn grow_buffers(socket: &UdpSocket) {
+    let _ = set_recv_buffer(socket, BLAST_RECV_BUFFER);
+    let _ = set_send_buffer(socket, BLAST_RECV_BUFFER);
 }
 
 #[cfg(test)]
@@ -187,8 +239,29 @@ mod tests {
     }
 
     #[test]
+    #[cfg(all(
+        target_os = "linux",
+        not(any(
+            target_arch = "mips",
+            target_arch = "mips64",
+            target_arch = "sparc",
+            target_arch = "sparc64"
+        ))
+    ))]
+    fn grow_and_read_back_send_buffer() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let before = send_buffer(&socket).unwrap();
+        assert!(before > 0);
+        let granted = set_send_buffer(&socket, BLAST_RECV_BUFFER).unwrap();
+        assert!(granted > 0);
+        assert!(granted >= before.min(BLAST_RECV_BUFFER));
+        assert_eq!(send_buffer(&socket).unwrap(), granted);
+    }
+
+    #[test]
     fn grow_recv_buffer_is_infallible() {
         let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
         grow_recv_buffer(&socket); // must not panic anywhere
+        grow_buffers(&socket);
     }
 }
