@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use blast_core::ProtocolConfig;
 use blast_node::client;
-use blast_node::server::{NodeConfig, NodeServer};
+use blast_node::server::NodeBuilder;
 use blast_udp::channel::UdpChannel;
 
 const BYTES_PER_SESSION: usize = 256 * 1024;
@@ -38,10 +38,11 @@ fn bench_node(c: &mut Criterion) {
         group.throughput(Throughput::Bytes((BYTES_PER_SESSION * sessions) as u64));
         group.bench_function(format!("push_{sessions}x256k"), |b| {
             b.iter_custom(|iters| {
-                let mut node_cfg = NodeConfig::default();
-                node_cfg.protocol.timeout = Duration::from_millis(50).into();
-                node_cfg.protocol.max_retries = 100_000;
-                let node = NodeServer::bind(node_cfg).unwrap().spawn().unwrap();
+                let node = NodeBuilder::new()
+                    .timeout(Duration::from_millis(50))
+                    .max_retries(100_000)
+                    .start()
+                    .unwrap();
                 let addr = node.addr();
                 let ids = Arc::new(AtomicU64::new(1));
                 let mut total = Duration::ZERO;

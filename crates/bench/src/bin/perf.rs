@@ -11,7 +11,9 @@
 //!   protocol variant;
 //! * `BENCH_node_loopback.json` — the real thing: aggregate goodput of a
 //!   `blast-node` server fan-in over loopback UDP at 1/4/16 concurrent
-//!   sessions.
+//!   sessions, for every reactor-shard count on the `--shards` axis
+//!   (default `1,4`; sharded records carry an `_sN` name suffix, so the
+//!   single-reactor names stay comparable across history).
 //!
 //! Every record carries goodput, p50/p99 latency, and — via the
 //! process-wide counting allocator below — **allocations per packet**,
@@ -37,7 +39,7 @@ use blast_stats::Histogram;
 // zero-allocation hot path is judged on.
 use blast_counting_alloc::{allocations, CountingAlloc};
 use blast_node::client;
-use blast_node::server::{NodeConfig, NodeServer};
+use blast_node::server::NodeBuilder;
 use blast_udp::channel::UdpChannel;
 
 #[global_allocator]
@@ -66,6 +68,12 @@ struct Record {
     /// Node-socket wait strategy: event wakeups vs timer expiries.
     io_wakeups: Option<u64>,
     io_timeouts: Option<u64>,
+    /// Reactor shards the node effectively ran (node records; differs
+    /// from the requested count where `SO_REUSEPORT` is unavailable).
+    shards: Option<usize>,
+    /// Sessions accepted per shard across all repeats, `"a/b/…"`
+    /// (sharded node records only) — the kernel's 4-tuple spread.
+    shard_sessions: Option<String>,
 }
 
 impl Record {
@@ -86,6 +94,8 @@ impl Record {
             burst_mean_mean: None,
             io_wakeups: None,
             io_timeouts: None,
+            shards: None,
+            shard_sessions: None,
         }
     }
 }
@@ -203,7 +213,11 @@ fn engine_record(
 /// its payload and start stagger from a deterministic per-session RNG
 /// stream, so every invocation runs the identical workload and the
 /// 4/16-session variance band reflects the system under test.
-fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
+///
+/// `shards` asks the node for that many reactor threads (an
+/// `SO_REUSEPORT` socket group); the record carries the *effective*
+/// count, since non-Linux hosts fall back to a single reactor.
+fn node_record(sessions: usize, bytes: usize, repeats: usize, shards: usize) -> Record {
     let mut latencies: Vec<f64> = Vec::new();
     let mut goodputs: Vec<f64> = Vec::new();
     let mut packets = 0u64;
@@ -214,15 +228,16 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
     let mut io_wakeups = 0u64;
     let mut io_timeouts = 0u64;
     let mut backend = String::new();
+    let mut effective_shards = 1usize;
+    let mut shard_accepted: Vec<u64> = Vec::new();
     for repeat in 0..repeats {
-        let mut node_cfg = NodeConfig::default();
-        // NodeConfig::default is already adaptive + paced; just raise
-        // the retry ceiling for the loss-heavy 16-session runs.
-        node_cfg.protocol.max_retries = 100_000;
-        let node = NodeServer::bind(node_cfg)
-            .expect("bind node")
-            .spawn()
-            .expect("spawn node");
+        // Builder defaults are already adaptive + paced; just raise the
+        // retry ceiling for the loss-heavy 16-session runs.
+        let node = NodeBuilder::new()
+            .max_retries(100_000)
+            .shards(shards)
+            .start()
+            .expect("start node");
         let addr = node.addr();
         // Per-session deterministic streams, drawn before the measured
         // window so payload generation never pollutes the alloc count.
@@ -278,8 +293,15 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
         allocs += allocations() - allocs_before;
         goodputs.push(mbps((bytes * sessions) as u64, elapsed));
         node.wait_idle(Duration::from_secs(10));
-        let server = node.shutdown().expect("node shutdown");
-        let m = server.metrics();
+        effective_shards = node.shards();
+        let reports = node.shard_reports();
+        if shard_accepted.len() < reports.len() {
+            shard_accepted.resize(reports.len(), 0);
+        }
+        for (i, rep) in reports.iter().enumerate() {
+            shard_accepted[i] += rep.sessions_accepted;
+        }
+        let m = node.shutdown().expect("node shutdown");
         packets += m.datagrams_received + m.datagrams_sent;
         retx.merge(&m.retx_rounds);
         if m.burst_final.count() > 0 {
@@ -292,11 +314,13 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let avg = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
-    let mut r = Record::new(
-        format!("push_{sessions}x{}k", bytes / 1024),
-        bytes * sessions,
-        repeats,
-    );
+    // Single-reactor runs keep the historical names so the committed
+    // trajectory stays comparable; sharded runs get an `_sN` suffix.
+    let mut name = format!("push_{sessions}x{}k", bytes / 1024);
+    if shards > 1 {
+        let _ = write!(name, "_s{shards}");
+    }
+    let mut r = Record::new(name, bytes * sessions, repeats);
     r.goodput_mbps = goodputs.iter().sum::<f64>() / goodputs.len().max(1) as f64;
     r.p50_ms = percentile(&latencies, 0.50);
     r.p99_ms = percentile(&latencies, 0.99);
@@ -309,6 +333,14 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize) -> Record {
     r.burst_mean_mean = avg(&burst_means);
     r.io_wakeups = Some(io_wakeups);
     r.io_timeouts = Some(io_timeouts);
+    r.shards = Some(effective_shards);
+    r.shard_sessions = (effective_shards > 1).then(|| {
+        shard_accepted
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("/")
+    });
     r
 }
 
@@ -389,7 +421,7 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
 fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: &[LossRecord]) {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v3\",");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v4\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -412,6 +444,12 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: 
         }
         if let (Some(w), Some(t)) = (r.io_wakeups, r.io_timeouts) {
             let _ = write!(extra, ", \"io_wakeups\": {w}, \"io_timeouts\": {t}");
+        }
+        if let Some(sh) = r.shards {
+            let _ = write!(extra, ", \"shards\": {sh}");
+        }
+        if let Some(split) = &r.shard_sessions {
+            let _ = write!(extra, ", \"shard_sessions\": \"{split}\"");
         }
         let _ = writeln!(
             out,
@@ -474,7 +512,17 @@ fn print_summary(title: &str, records: &[Record]) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // `--shards 1,4` picks the reactor-shard axis for the node records;
+    // every count runs the full 1/4/16-session grid.
+    let shard_axis: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|axis: &Vec<usize>| !axis.is_empty())
+        .unwrap_or_else(|| vec![1, 4]);
     let mode = if smoke { "smoke" } else { "full" };
     let (engine_iters, saw_iters, node_repeats) = if smoke { (40, 10, 3) } else { (200, 40, 10) };
     const ENGINE_BYTES: usize = 64 * 1024;
@@ -562,11 +610,17 @@ fn main() {
     write_json("BENCH_engines.json", "engines", mode, &engines, &sweep);
 
     let mut node = Vec::new();
-    for sessions in [1usize, 4, 16] {
-        node.push(node_record(sessions, NODE_BYTES, node_repeats));
+    for &shards in &shard_axis {
+        for sessions in [1usize, 4, 16] {
+            node.push(node_record(sessions, NODE_BYTES, node_repeats, shards));
+        }
     }
     print_summary("node_loopback (concurrent push fan-in over UDP)", &node);
     for r in &node {
+        if let Some(sh) = r.shards {
+            let split = r.shard_sessions.as_deref().unwrap_or("-");
+            println!("{:<24} shards {sh} (sessions/shard: {split})", r.name);
+        }
         if let (Some(p50), Some(p99)) = (r.retx_p50, r.retx_p99) {
             println!("{:<24} retx rounds p50 {:.1} / p99 {:.1}", r.name, p50, p99);
         }

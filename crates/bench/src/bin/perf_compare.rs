@@ -26,6 +26,8 @@ struct Entry {
     name: String,
     goodput_mbps: Option<f64>,
     allocs_per_packet: Option<f64>,
+    p99_ms: Option<f64>,
+    shards: Option<f64>,
 }
 
 /// Extract `"key": <number>` from a record line.
@@ -58,6 +60,8 @@ fn parse(path: &Path) -> Vec<Entry> {
                 name,
                 goodput_mbps: field(line, "goodput_mbps"),
                 allocs_per_packet: field(line, "allocs_per_packet"),
+                p99_ms: field(line, "p99_ms"),
+                shards: field(line, "shards"),
             };
             // Auxiliary sections (e.g. the loss sweep) carry names but
             // no goodput; they are trajectories, not comparables.
@@ -117,6 +121,56 @@ fn compare(file: &str, baseline_dir: &Path, fresh_dir: &Path, out: &mut String) 
     }
 }
 
+/// Split a sharded record name `push_16x256k_s4` into its
+/// single-reactor base name and shard count.
+fn sharded_base(name: &str) -> Option<(&str, u32)> {
+    let (base, suffix) = name.rsplit_once("_s")?;
+    let shards: u32 = suffix.parse().ok()?;
+    (shards > 1).then_some((base, shards))
+}
+
+/// Render the sharded-vs-single goodput/p99 delta table for one fresh
+/// file: every `<name>_sN` record is paired with its `<name>` sibling
+/// from the same run, so the table shows what the reactor shards buy on
+/// this machine (not vs the baseline).
+fn sharding_delta(file: &str, fresh_dir: &Path, out: &mut String) {
+    let fresh = parse(&fresh_dir.join(file));
+    let pairs: Vec<(&Entry, &Entry, u32)> = fresh
+        .iter()
+        .filter_map(|s| {
+            let (base, shards) = sharded_base(&s.name)?;
+            let single = fresh.iter().find(|e| e.name == base)?;
+            Some((single, s, shards))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n### Sharded vs single reactor ({file}, fresh run)\n");
+    let _ = writeln!(
+        out,
+        "| workload | goodput MB/s (1 shard → N) | Δ | p99 ms (1 shard → N) | Δ | shards |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (single, sharded, shards) in pairs {
+        let effective = sharded
+            .shards
+            .map(|s| format!("{s:.0}"))
+            .unwrap_or_else(|| "–".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} → {} | {} | {} → {} | {} | {shards} req / {effective} eff |",
+            single.name,
+            fmt_opt(single.goodput_mbps, 2),
+            fmt_opt(sharded.goodput_mbps, 2),
+            delta_cell(single.goodput_mbps, sharded.goodput_mbps),
+            fmt_opt(single.p99_ms, 2),
+            fmt_opt(sharded.p99_ms, 2),
+            delta_cell(single.p99_ms, sharded.p99_ms),
+        );
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut title = String::from("Perf trajectory vs committed baseline");
@@ -148,8 +202,11 @@ fn main() {
         "\n_Informational (smoke workload on a shared runner); \
          deltas are new vs base as given on the command line._"
     );
-    for file in files {
+    for &file in &files {
         compare(file, baseline_dir, fresh_dir, &mut out);
+    }
+    for &file in &files {
+        sharding_delta(file, fresh_dir, &mut out);
     }
     print!("{out}");
 }
@@ -166,6 +223,14 @@ mod tests {
         assert_eq!(field(line, "allocs_per_packet"), Some(0.3015));
         assert_eq!(field(line, "missing"), None);
         assert_eq!(name_field("not a record"), None);
+    }
+
+    #[test]
+    fn sharded_names_pair_with_their_base() {
+        assert_eq!(sharded_base("push_16x256k_s4"), Some(("push_16x256k", 4)));
+        assert_eq!(sharded_base("push_16x256k"), None);
+        assert_eq!(sharded_base("push_16x256k_s1"), None);
+        assert_eq!(sharded_base("blast/first-missing"), None);
     }
 
     #[test]

@@ -1,31 +1,40 @@
 //! # blast-node — a concurrent blast transfer server over UDP
 //!
 //! The paper's engines move one transfer at a time; this crate serves
-//! many at once through one socket, which is how modern bulk-transfer
-//! services scale: a single node multiplexing many simultaneous
-//! sessions, judged on aggregate concurrent throughput.
+//! many at once, which is how modern bulk-transfer services scale: a
+//! node multiplexing many simultaneous sessions across N reactor
+//! shards, judged on aggregate concurrent throughput.
 //!
-//! * [`server`] — the node: a single-threaded event loop over a
-//!   non-blocking `std::net::UdpSocket`, a timer wheel keyed by
-//!   `(session, TimerToken)`, a session table fed by the `blast-udp`
-//!   pre-allocation handshake, and a `blast_core::Demux` routing
-//!   datagrams to per-session sans-I/O engines (any of the four
-//!   retransmission strategies, in either direction);
-//! * [`store`] — the in-memory named-blob catalogue the node serves —
-//!   the `blast-vkernel` file-server semantics at the page level;
+//! * [`server`] — the node: [`NodeBuilder`] binds one address as an
+//!   `SO_REUSEPORT` socket group and spawns one reactor thread per
+//!   shard — each a non-blocking `std::net::UdpSocket` event loop with
+//!   its own timer wheel keyed by `(session, TimerToken)`, session
+//!   table fed by the `blast-udp` pre-allocation handshake, buffer
+//!   pool, and a `blast_core::Demux` routing datagrams to per-session
+//!   sans-I/O engines (any of the four retransmission strategies, in
+//!   either direction); the [`NodeHandle`] merges per-shard metrics on
+//!   read;
+//! * [`store`] — the named-blob catalogue the node serves, behind the
+//!   object-safe [`Store`] trait (the `blast-vkernel` file-server
+//!   semantics at the page level), with the sharded in-memory
+//!   [`MemStore`] as default;
 //! * [`client`] — one-call `push_blob` / `pull_blob` against a node;
-//! * [`metrics`] — per-session reports and aggregate `blast-stats`
-//!   accumulators.
+//! * [`metrics`] — per-session reports, aggregate `blast-stats`
+//!   accumulators, and the per-shard [`ShardReport`] breakdown.
 //!
-//! ## Example (server thread + two clients)
+//! ## Example (a sharded node + two clients)
 //!
 //! ```
 //! use std::time::Duration;
 //! use blast_core::ProtocolConfig;
-//! use blast_node::server::{NodeConfig, NodeServer};
+//! use blast_node::server::NodeBuilder;
 //! use blast_node::client;
 //!
-//! let node = NodeServer::bind(NodeConfig::default()).unwrap().spawn().unwrap();
+//! let node = NodeBuilder::new()
+//!     .timeout(Duration::from_millis(20))
+//!     .shards(2) // falls back to 1 where SO_REUSEPORT is unavailable
+//!     .start()
+//!     .unwrap();
 //! let mut cfg = ProtocolConfig::default();
 //! cfg.timeout = Duration::from_millis(20).into();
 //!
@@ -34,8 +43,8 @@
 //! let pulled = client::pull_blob(client::connect(node.addr()).unwrap(), 2, "blob", &cfg).unwrap();
 //! assert_eq!(pulled.data, data);
 //!
-//! let server = node.shutdown().unwrap();
-//! assert_eq!(server.metrics().sessions_completed, 2);
+//! let metrics = node.shutdown().unwrap();
+//! assert_eq!(metrics.sessions_completed, 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,6 +56,6 @@ pub mod server;
 pub mod store;
 
 pub use client::{pull_blob, push_blob};
-pub use metrics::{NodeMetrics, SessionReport};
-pub use server::{NodeConfig, NodeHandle, NodeServer};
-pub use store::{shared_store, BlobStore, SharedStore};
+pub use metrics::{NodeMetrics, SessionReport, ShardReport};
+pub use server::{NodeBuilder, NodeConfig, NodeHandle, NodeServer};
+pub use store::{shared_store, BlobStore, MemStore, SharedStore, Store};

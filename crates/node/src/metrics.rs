@@ -148,6 +148,98 @@ impl Deref for RetxHistogram {
 }
 
 impl NodeMetrics {
+    /// Fold another accumulator into this one.
+    ///
+    /// This is how a sharded node presents one `NodeMetrics` to its
+    /// owner: each reactor shard keeps a plain, uncontended accumulator
+    /// and the handle merges the published snapshots on read.  Counters
+    /// add; distributions combine via [`OnlineStats::merge`] /
+    /// [`Histogram::merge`]; recent reports concatenate under the
+    /// [`MAX_REPORTS`] cap.
+    pub fn merge_from(&mut self, other: &NodeMetrics) {
+        self.sessions_accepted += other.sessions_accepted;
+        self.sessions_completed += other.sessions_completed;
+        self.sessions_failed += other.sessions_failed;
+        self.pushes += other.pushes;
+        self.pulls += other.pulls;
+        self.pull_misses += other.pull_misses;
+        self.collisions += other.collisions;
+        self.rejected_busy += other.rejected_busy;
+        self.rejected_oversize += other.rejected_oversize;
+        self.send_drops += other.send_drops;
+        self.bytes_received += other.bytes_received;
+        self.bytes_sent += other.bytes_sent;
+        self.datagrams_received += other.datagrams_received;
+        self.datagrams_sent += other.datagrams_sent;
+        self.fcs_drops += other.fcs_drops;
+        self.malformed += other.malformed;
+        self.unroutable += other.unroutable;
+        if self.netio_backend.is_empty() {
+            self.netio_backend.clone_from(&other.netio_backend);
+        }
+        self.io.datagrams_sent += other.io.datagrams_sent;
+        self.io.send_batches += other.io.send_batches;
+        self.io.send_drops += other.io.send_drops;
+        self.io.datagrams_received += other.io.datagrams_received;
+        self.io.recv_batches += other.io.recv_batches;
+        self.io.wakeups += other.io.wakeups;
+        self.io.timeouts += other.io.timeouts;
+        self.burst_final.merge(&other.burst_final);
+        self.burst_mean.merge(&other.burst_mean);
+        self.session_secs.merge(&other.session_secs);
+        self.session_goodput_mbps.merge(&other.session_goodput_mbps);
+        self.retx_rounds.0.merge(&other.retx_rounds.0);
+        for report in &other.reports {
+            if self.reports.len() == MAX_REPORTS {
+                self.reports.pop_front();
+            }
+            self.reports.push_back(report.clone());
+        }
+    }
+
+    /// Publish this accumulator into `dst`, reusing `dst`'s
+    /// allocations.
+    ///
+    /// A reactor shard calls this once per tick to refresh its shared
+    /// snapshot slot.  In steady state (same backend string, histogram
+    /// geometry, and report set) the copy performs zero allocations —
+    /// only a new finished session, which may grow `dst.reports`,
+    /// allocates, and session completion is off the packet hot path by
+    /// definition.
+    pub fn publish_into(&self, dst: &mut NodeMetrics) {
+        let reports_stale = dst.reports.len() != self.reports.len()
+            || dst.sessions_completed != self.sessions_completed
+            || dst.sessions_failed != self.sessions_failed;
+        dst.sessions_accepted = self.sessions_accepted;
+        dst.sessions_completed = self.sessions_completed;
+        dst.sessions_failed = self.sessions_failed;
+        dst.pushes = self.pushes;
+        dst.pulls = self.pulls;
+        dst.pull_misses = self.pull_misses;
+        dst.collisions = self.collisions;
+        dst.rejected_busy = self.rejected_busy;
+        dst.rejected_oversize = self.rejected_oversize;
+        dst.send_drops = self.send_drops;
+        dst.bytes_received = self.bytes_received;
+        dst.bytes_sent = self.bytes_sent;
+        dst.datagrams_received = self.datagrams_received;
+        dst.datagrams_sent = self.datagrams_sent;
+        dst.fcs_drops = self.fcs_drops;
+        dst.malformed = self.malformed;
+        dst.unroutable = self.unroutable;
+        dst.netio_backend.clone_from(&self.netio_backend);
+        dst.io = self.io;
+        dst.burst_final = self.burst_final;
+        dst.burst_mean = self.burst_mean;
+        dst.session_secs = self.session_secs;
+        dst.session_goodput_mbps = self.session_goodput_mbps;
+        dst.retx_rounds.0.clone_from(&self.retx_rounds.0);
+        if reports_stale {
+            dst.reports.clear();
+            dst.reports.extend(self.reports.iter().cloned());
+        }
+    }
+
     /// Record a finished session.
     pub fn record(&mut self, report: SessionReport) {
         self.retx_rounds
@@ -222,6 +314,76 @@ impl NodeMetrics {
             self.retx_rounds.percentile(50.0),
             self.retx_rounds.percentile(99.0),
             self.retx_rounds.count(),
+        )
+    }
+}
+
+/// One reactor shard's slice of the node's aggregate metrics.
+///
+/// The merged [`NodeMetrics`] deliberately keeps its pre-sharding shape
+/// — one node, one set of counters — so this breakdown is how an
+/// operator sees whether the kernel's 4-tuple hash actually spread the
+/// load: per-shard session counts, byte counts and goodput, straight
+/// from each shard's published accumulator.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index, `0..shards`.
+    pub shard: usize,
+    /// Sessions this shard's socket accepted.
+    pub sessions_accepted: u64,
+    /// Sessions completed successfully on this shard.
+    pub sessions_completed: u64,
+    /// Sessions that failed on this shard.
+    pub sessions_failed: u64,
+    /// Payload bytes received in completed pushes.
+    pub bytes_received: u64,
+    /// Payload bytes sent in completed pulls.
+    pub bytes_sent: u64,
+    /// Datagrams this shard's reactor read off its socket.
+    pub datagrams_received: u64,
+    /// Datagrams this shard's reactor wrote to its socket.
+    pub datagrams_sent: u64,
+    /// Outgoing datagrams the kernel dropped at submission.
+    pub send_drops: u64,
+    /// Per-session goodput distribution on this shard, in Mbit/s.
+    pub goodput_mbps: OnlineStats,
+    /// The netio backend this shard's socket runs.
+    pub netio_backend: String,
+}
+
+impl ShardReport {
+    /// Extract the shard-level view from one shard's accumulator.
+    pub fn from_metrics(shard: usize, m: &NodeMetrics) -> Self {
+        ShardReport {
+            shard,
+            sessions_accepted: m.sessions_accepted,
+            sessions_completed: m.sessions_completed,
+            sessions_failed: m.sessions_failed,
+            bytes_received: m.bytes_received,
+            bytes_sent: m.bytes_sent,
+            datagrams_received: m.datagrams_received,
+            datagrams_sent: m.datagrams_sent,
+            send_drops: m.send_drops,
+            goodput_mbps: m.session_goodput_mbps,
+            netio_backend: m.netio_backend.clone(),
+        }
+    }
+
+    /// A one-line, human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "shard {}: {} accepted, {} completed, {} failed; {} B in / {} B out; \
+             {} dgrams in / {} out ({} send drops); goodput [Mbit/s]: {}",
+            self.shard,
+            self.sessions_accepted,
+            self.sessions_completed,
+            self.sessions_failed,
+            self.bytes_received,
+            self.bytes_sent,
+            self.datagrams_received,
+            self.datagrams_sent,
+            self.send_drops,
+            self.goodput_mbps,
         )
     }
 }
@@ -322,6 +484,112 @@ mod tests {
             MAX_REPORTS as u64 + 10,
             "aggregates still see every session"
         );
+    }
+
+    #[test]
+    fn merge_from_combines_shard_accumulators() {
+        let mut a = NodeMetrics::default();
+        a.sessions_accepted = 3;
+        a.pushes = 2;
+        a.pulls = 1;
+        a.datagrams_received = 100;
+        a.netio_backend = "batched".into();
+        a.io.send_batches = 7;
+        a.record(report(true, Direction::Push, 1000, 10));
+        a.record(report(true, Direction::Pull, 500, 20));
+        a.record(report(false, Direction::Push, 0, 1));
+
+        let mut b = NodeMetrics::default();
+        b.sessions_accepted = 1;
+        b.pulls = 1;
+        b.datagrams_received = 40;
+        b.netio_backend = "batched".into();
+        b.io.send_batches = 3;
+        b.record(report(true, Direction::Pull, 2000, 40));
+
+        let mut merged = NodeMetrics::default();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.sessions_accepted, 4);
+        assert_eq!(merged.sessions_completed, 3);
+        assert_eq!(merged.sessions_failed, 1);
+        assert_eq!(merged.pushes, 2);
+        assert_eq!(merged.pulls, 2);
+        assert_eq!(merged.datagrams_received, 140);
+        assert_eq!(merged.bytes_received, 1000);
+        assert_eq!(merged.bytes_sent, 2500);
+        assert_eq!(merged.io.send_batches, 10);
+        assert_eq!(merged.netio_backend, "batched");
+        assert_eq!(merged.session_secs.count(), 3);
+        assert_eq!(merged.retx_rounds.count(), 4);
+        assert_eq!(merged.reports.len(), 4);
+        assert_eq!(merged.sessions_in_flight(), 0);
+        // Merging is exact for the mean, not just approximate.
+        let all_secs = [0.010, 0.020, 0.040];
+        let want = all_secs.iter().sum::<f64>() / 3.0;
+        assert!((merged.session_secs.mean() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_from_caps_reports() {
+        let mut shard = NodeMetrics::default();
+        shard.sessions_accepted = MAX_REPORTS as u64;
+        for i in 0..MAX_REPORTS {
+            let mut r = report(true, Direction::Push, 100, 1);
+            r.transfer_id = i as u32;
+            shard.record(r);
+        }
+        let mut merged = NodeMetrics::default();
+        merged.merge_from(&shard);
+        merged.merge_from(&shard);
+        assert_eq!(merged.reports.len(), MAX_REPORTS);
+        assert_eq!(merged.sessions_completed, 2 * MAX_REPORTS as u64);
+    }
+
+    #[test]
+    fn publish_into_tracks_the_source() {
+        let mut local = NodeMetrics::default();
+        local.sessions_accepted = 1;
+        local.pushes = 1;
+        local.netio_backend = "portable".into();
+        local.datagrams_received = 5;
+        let mut slot = NodeMetrics::default();
+        local.publish_into(&mut slot);
+        assert_eq!(slot.sessions_accepted, 1);
+        assert_eq!(slot.datagrams_received, 5);
+        assert_eq!(slot.netio_backend, "portable");
+        assert!(slot.reports.is_empty());
+
+        local.datagrams_received = 9;
+        local.record(report(true, Direction::Push, 1000, 10));
+        local.publish_into(&mut slot);
+        assert_eq!(slot.datagrams_received, 9);
+        assert_eq!(slot.sessions_completed, 1);
+        assert_eq!(slot.reports.len(), 1);
+        assert_eq!(slot.retx_rounds.count(), 1);
+
+        // Republishing with no new sessions keeps the reports intact.
+        local.datagrams_received = 12;
+        local.publish_into(&mut slot);
+        assert_eq!(slot.datagrams_received, 12);
+        assert_eq!(slot.reports.len(), 1);
+    }
+
+    #[test]
+    fn shard_report_extracts_the_breakdown() {
+        let mut m = NodeMetrics::default();
+        m.sessions_accepted = 2;
+        m.datagrams_received = 77;
+        m.netio_backend = "batched".into();
+        m.record(report(true, Direction::Push, 1000, 10));
+        let r = ShardReport::from_metrics(3, &m);
+        assert_eq!(r.shard, 3);
+        assert_eq!(r.sessions_accepted, 2);
+        assert_eq!(r.sessions_completed, 1);
+        assert_eq!(r.datagrams_received, 77);
+        assert_eq!(r.bytes_received, 1000);
+        assert_eq!(r.goodput_mbps.count(), 1);
+        assert!(r.summary().starts_with("shard 3:"), "{}", r.summary());
     }
 
     #[test]

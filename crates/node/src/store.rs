@@ -1,4 +1,4 @@
-//! The in-memory blob store a node serves.
+//! The blob store a node serves, behind a [`Store`] trait.
 //!
 //! This is the `blast-vkernel` file-server idea carried down to the
 //! page level: the paper's motivating workload is a client that
@@ -12,9 +12,19 @@
 //! catalogue entry: the session's sender engine shares the allocation,
 //! and a concurrent `put` under the same name simply swaps the `Arc`
 //! without disturbing in-flight transfers.
+//!
+//! Since the node itself is sharded across reactor threads, the store
+//! is accessed concurrently and its public face is the object-safe
+//! [`Store`] trait ([`SharedStore`] = `Arc<dyn Store>`): the default
+//! [`MemStore`] shards a `RwLock`-guarded catalogue by name hash so
+//! pulls on different shards never contend, and a file-backed
+//! implementation can slot in later without another API break.  All
+//! store calls happen at session *boundaries* (handshake, completion) —
+//! the per-packet hot path only ever touches the `Arc<[u8]>` it was
+//! handed, so it stays allocation-free and lock-free.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// A named catalogue of immutable byte blobs.
 #[derive(Debug, Default)]
@@ -74,12 +84,161 @@ impl BlobStore {
     }
 }
 
-/// The store as shared between a running server and its owner.
-pub type SharedStore = Arc<Mutex<BlobStore>>;
+/// A blob catalogue shareable across the node's reactor shards.
+///
+/// Object-safe by design: the node holds a `Arc<dyn Store>` so a
+/// file-backed (or tiered) implementation can replace the in-memory
+/// default without touching the server.  All methods take `&self` —
+/// implementations synchronise internally, and the contract mirrors
+/// [`BlobStore`]: `get` shares the allocation, a `put` under an
+/// existing name swaps the entry without disturbing in-flight readers.
+pub trait Store: Send + Sync + std::fmt::Debug {
+    /// Fetch `name`, sharing the allocation.
+    fn get(&self, name: &str) -> Option<Arc<[u8]>>;
 
-/// A fresh, empty [`SharedStore`].
+    /// Insert (or replace) `name`.
+    fn put(&self, name: &str, data: Arc<[u8]>);
+
+    /// Whether `name` exists.
+    fn contains(&self, name: &str) -> bool;
+
+    /// Remove `name`, returning the blob if present.
+    fn remove(&self, name: &str) -> Option<Arc<[u8]>>;
+
+    /// Number of blobs stored.
+    fn len(&self) -> usize;
+
+    /// True when the catalogue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes across all blobs.
+    fn total_bytes(&self) -> usize;
+
+    /// Blob names in sorted order.
+    fn names(&self) -> Vec<String>;
+}
+
+/// How many independently locked catalogue shards [`MemStore`] keeps.
+/// A small power of two: enough that concurrent sessions touching
+/// different blobs practically never share a lock, cheap enough that
+/// whole-store scans (`len`, `names`) stay trivial.
+const STORE_SHARDS: usize = 8;
+
+/// The default [`Store`]: an in-memory catalogue sharded by name hash.
+///
+/// Each shard is its own `RwLock<BlobStore>`, so reactor shards serving
+/// pulls of different blobs take different read locks, and even the
+/// same blob admits concurrent readers.  Store calls only happen at
+/// session boundaries; the packet hot path works on the `Arc<[u8]>`
+/// handed out here and never comes back to the catalogue.
+#[derive(Debug)]
+pub struct MemStore {
+    shards: Vec<RwLock<BlobStore>>,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        MemStore {
+            shards: (0..STORE_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// FNV-1a over the blob name picks the catalogue shard.
+    fn shard(&self, name: &str) -> &RwLock<BlobStore> {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    /// Blobs inserted over the store's lifetime (puts, not distinct
+    /// names).
+    pub fn puts(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("store shard poisoned").puts)
+            .sum()
+    }
+}
+
+impl Store for MemStore {
+    fn get(&self, name: &str) -> Option<Arc<[u8]>> {
+        self.shard(name)
+            .read()
+            .expect("store shard poisoned")
+            .get(name)
+    }
+
+    fn put(&self, name: &str, data: Arc<[u8]>) {
+        self.shard(name)
+            .write()
+            .expect("store shard poisoned")
+            .put(name, data);
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.shard(name)
+            .read()
+            .expect("store shard poisoned")
+            .contains(name)
+    }
+
+    fn remove(&self, name: &str) -> Option<Arc<[u8]>> {
+        self.shard(name)
+            .write()
+            .expect("store shard poisoned")
+            .remove(name)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("store shard poisoned").len())
+            .sum()
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("store shard poisoned").total_bytes())
+            .sum()
+    }
+
+    fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("store shard poisoned")
+                    .names()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// The store as shared between a running server, its shards, and its
+/// owner.
+pub type SharedStore = Arc<dyn Store>;
+
+/// A fresh, empty [`SharedStore`] backed by [`MemStore`].
 pub fn shared_store() -> SharedStore {
-    Arc::new(Mutex::new(BlobStore::new()))
+    Arc::new(MemStore::new())
 }
 
 #[cfg(test)]
@@ -121,5 +280,53 @@ mod tests {
         assert_eq!(s.remove("x").unwrap().len(), 8);
         assert!(!s.contains("x"));
         assert!(s.remove("x").is_none());
+    }
+
+    #[test]
+    fn mem_store_mirrors_blob_store_semantics() {
+        let s = MemStore::new();
+        assert!(Store::is_empty(&s));
+        s.put("a", vec![1u8, 2, 3].into());
+        s.put("b", vec![9u8; 10].into());
+        assert_eq!(Store::len(&s), 2);
+        assert_eq!(s.total_bytes(), 13);
+        assert_eq!(s.get("a").unwrap().as_ref(), &[1, 2, 3]);
+        assert!(s.get("missing").is_none());
+        s.put("a", vec![7u8; 4].into());
+        assert_eq!(Store::len(&s), 2, "replacement, not duplication");
+        assert_eq!(s.puts(), 3);
+        assert_eq!(s.names(), vec!["a", "b"]);
+        assert!(s.contains("b"));
+        assert_eq!(s.remove("b").unwrap().len(), 10);
+        assert!(!s.contains("b"));
+    }
+
+    #[test]
+    fn mem_store_spreads_names_across_shards() {
+        let s = MemStore::new();
+        for i in 0..256 {
+            s.put(&format!("blob-{i}"), vec![0u8; 1].into());
+        }
+        let occupied = s
+            .shards
+            .iter()
+            .filter(|shard| !shard.read().unwrap().is_empty())
+            .count();
+        assert!(
+            occupied >= STORE_SHARDS / 2,
+            "FNV should reach most shards, got {occupied}/{STORE_SHARDS}"
+        );
+        assert_eq!(Store::len(&s), 256);
+    }
+
+    #[test]
+    fn shared_store_is_a_trait_object() {
+        let s: SharedStore = shared_store();
+        s.put("x", vec![5u8; 5].into());
+        let inflight = s.get("x").unwrap();
+        s.put("x", vec![6u8; 2].into());
+        assert_eq!(inflight.len(), 5, "in-flight Arc survives replacement");
+        assert_eq!(s.get("x").unwrap().len(), 2);
+        assert_eq!(s.names(), vec!["x"]);
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blast_core::config::{ProtocolConfig, RetxStrategy};
-use blast_node::server::{NodeConfig, NodeServer};
+use blast_node::server::NodeBuilder;
 use blast_node::{client, shared_store};
 use blast_udp::channel::UdpChannel;
 use blast_udp::fault::{FaultConfig, FaultyChannel};
@@ -20,11 +20,10 @@ fn client_cfg(strategy: RetxStrategy) -> ProtocolConfig {
     c
 }
 
-fn node_cfg() -> NodeConfig {
-    let mut cfg = NodeConfig::default();
-    cfg.protocol.timeout = Duration::from_millis(12).into();
-    cfg.protocol.max_retries = 100_000;
-    cfg
+fn node_builder() -> NodeBuilder {
+    NodeBuilder::new()
+        .timeout(Duration::from_millis(12))
+        .max_retries(100_000)
 }
 
 fn payload(seed: usize, n: usize) -> Vec<u8> {
@@ -42,16 +41,10 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
     let pull_blobs: Vec<(String, Vec<u8>)> = (0..4)
         .map(|i| (format!("seed-{i}"), payload(1000 + i, 30_000 + 7000 * i)))
         .collect();
-    {
-        let mut s = store.lock().unwrap();
-        for (name, data) in &pull_blobs {
-            s.put(name, data.clone());
-        }
+    for (name, data) in &pull_blobs {
+        store.put(name, data.clone().into());
     }
-    let node = NodeServer::bind_with_store(node_cfg(), store)
-        .unwrap()
-        .spawn()
-        .unwrap();
+    let node = node_builder().store(store).start().unwrap();
     let addr = node.addr();
     let transfer_ids = Arc::new(AtomicU64::new(1));
 
@@ -122,8 +115,8 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
             .map(|r| (r.transfer_id, r.name.clone(), r.ok))
             .collect::<Vec<_>>()
     );
-    let server = node.shutdown().unwrap();
-    let m = server.metrics();
+    let store = node.store();
+    let m = node.shutdown().unwrap();
     assert_eq!(m.sessions_accepted, 18, "12 concurrent + 6 verification");
     assert_eq!(m.sessions_completed, 18);
     assert_eq!(m.sessions_failed, 0);
@@ -137,9 +130,7 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
         m.session_goodput_mbps
     );
     // The store holds the 4 seeds plus the 6 pushes.
-    let store = server.store();
-    let s = store.lock().unwrap();
-    assert_eq!(s.len(), 10);
+    assert_eq!(store.len(), 10);
     // Fault injection really happened: chaotic clients corrupted frames
     // (FCS drops) and/or duplicated data the engines had to absorb.
     let dup_or_drops: u64 = m.fcs_drops
@@ -158,11 +149,8 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
 /// the configuration the perf harness measures.
 #[test]
 fn adaptive_paced_defaults_roundtrip_concurrently() {
-    // NodeConfig::default() is adaptive + paced out of the box.
-    let node = NodeServer::bind(NodeConfig::default())
-        .unwrap()
-        .spawn()
-        .unwrap();
+    // NodeBuilder::new() is adaptive + paced out of the box.
+    let node = NodeBuilder::new().start().unwrap();
     let addr = node.addr();
     let mut handles = Vec::new();
     let mut blobs = Vec::new();
@@ -195,8 +183,7 @@ fn adaptive_paced_defaults_roundtrip_concurrently() {
         assert_eq!(&report.data, expected, "{name}");
     }
     assert!(node.wait_idle(Duration::from_secs(10)));
-    let server = node.shutdown().unwrap();
-    let m = server.metrics();
+    let m = node.shutdown().unwrap();
     assert_eq!(m.sessions_completed, 8);
     assert_eq!(m.sessions_failed, 0);
     assert_eq!(m.retx_rounds.count(), 8, "histogram sees every session");
@@ -205,7 +192,7 @@ fn adaptive_paced_defaults_roundtrip_concurrently() {
 /// Zero-length blobs survive the full push/pull cycle.
 #[test]
 fn empty_blob_roundtrip() {
-    let node = NodeServer::bind(node_cfg()).unwrap().spawn().unwrap();
+    let node = node_builder().start().unwrap();
     let cfg = client_cfg(RetxStrategy::GoBackN);
     let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
     client::push_blob(ch, 1, "empty", &[], &cfg).unwrap();
@@ -221,11 +208,8 @@ fn empty_blob_roundtrip() {
 fn multiblast_pull() {
     let store = shared_store();
     let data = payload(7, 300_000);
-    store.lock().unwrap().put("big", data.clone());
-    let node = NodeServer::bind_with_store(node_cfg(), store)
-        .unwrap()
-        .spawn()
-        .unwrap();
+    store.put("big", data.clone().into());
+    let node = node_builder().store(store).start().unwrap();
     let mut cfg = client_cfg(RetxStrategy::GoBackN);
     cfg.multiblast_chunk = 16;
     let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();

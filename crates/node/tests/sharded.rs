@@ -1,0 +1,173 @@
+//! The acceptance test for the sharded node: 32 concurrent transfers —
+//! mixed push/pull, all four retransmission strategies, fault
+//! injection — through a 4-shard reactor group, every payload verified
+//! byte for byte and the per-shard breakdown reconciled against the
+//! merged metrics.
+//!
+//! Where `SO_REUSEPORT` is unavailable the builder degrades to one
+//! shard; the test then still runs the full workload and checks the
+//! single-shard accounting, so the suite is green everywhere and only
+//! the spread assertions are Linux-conditional.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use blast_core::config::{ProtocolConfig, RetxStrategy};
+use blast_node::server::NodeBuilder;
+use blast_node::{client, shared_store};
+use blast_udp::channel::UdpChannel;
+use blast_udp::fault::{FaultConfig, FaultyChannel};
+use blast_udp::sockopt;
+
+fn client_cfg(strategy: RetxStrategy) -> ProtocolConfig {
+    let mut c = ProtocolConfig::default();
+    c.timeout = Duration::from_millis(12).into();
+    c.max_retries = 100_000;
+    c.strategy = strategy;
+    c
+}
+
+fn payload(seed: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i.wrapping_mul(37) ^ seed.wrapping_mul(101)) % 256) as u8)
+        .collect()
+}
+
+#[test]
+fn thirty_two_mixed_transfers_across_four_shards() {
+    let store = shared_store();
+    // Four seeded blobs for the pull sessions, one per strategy.
+    let pull_blobs: Vec<(String, Vec<u8>)> = (0..4)
+        .map(|i| (format!("seed-{i}"), payload(2000 + i, 15_000 + 4_000 * i)))
+        .collect();
+    for (name, data) in &pull_blobs {
+        store.put(name, data.clone().into());
+    }
+
+    let node = NodeBuilder::new()
+        .timeout(Duration::from_millis(12))
+        .max_retries(100_000)
+        .shards(4)
+        .store(store)
+        .start()
+        .unwrap();
+    if sockopt::reuseport_supported() {
+        assert_eq!(node.shards(), 4, "Linux must give us the full group");
+    } else {
+        assert_eq!(node.shards(), 1, "portable fallback is a single shard");
+    }
+    let addr = node.addr();
+    let transfer_ids = Arc::new(AtomicU64::new(1));
+
+    let mut handles = Vec::new();
+    // 16 pushes: strategies cycling through all four, the odd clients
+    // behind a chaos-injecting channel.  Each client is its own socket,
+    // so each is its own 4-tuple — the kernel spreads them over shards.
+    let mut push_data = Vec::new();
+    for i in 0..16usize {
+        let strategy = RetxStrategy::ALL[i % 4];
+        let data = payload(i, 10_000 + 2_000 * i);
+        let name = format!("push-{i}");
+        push_data.push((name.clone(), data.clone()));
+        let ids = Arc::clone(&transfer_ids);
+        handles.push(std::thread::spawn(move || {
+            let id = ids.fetch_add(1, Ordering::Relaxed) as u32;
+            let cfg = client_cfg(strategy);
+            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+            let report = if i % 2 == 1 {
+                let faulty = FaultyChannel::new(ch, FaultConfig::chaos(0.03), 140 + i as u64);
+                client::push_blob(faulty, id, &name, &data, &cfg).unwrap()
+            } else {
+                client::push_blob(ch, id, &name, &data, &cfg).unwrap()
+            };
+            assert!(report.stats.data_packets_sent > 0, "{name}");
+        }));
+    }
+    // 16 pulls of the seeded blobs (each seed pulled four times), again
+    // with strategies cycling and loss on the odd clients.
+    for i in 0..16usize {
+        let strategy = RetxStrategy::ALL[(i + 2) % 4];
+        let (name, expected) = pull_blobs[i % 4].clone();
+        let ids = Arc::clone(&transfer_ids);
+        handles.push(std::thread::spawn(move || {
+            let id = ids.fetch_add(1, Ordering::Relaxed) as u32;
+            let cfg = client_cfg(strategy);
+            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+            let report = if i % 2 == 1 {
+                let faulty = FaultyChannel::new(ch, FaultConfig::loss(0.05), 170 + i as u64);
+                client::pull_blob(faulty, id, &name, &cfg).unwrap()
+            } else {
+                client::pull_blob(ch, id, &name, &cfg).unwrap()
+            };
+            assert_eq!(report.data, expected, "pull {name} must be byte-exact");
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Every push must now be pullable, byte for byte — the store is
+    // shared across shards, so a blob pushed through one shard must be
+    // servable by whichever shard the verification pull hashes to.
+    for (i, (name, expected)) in push_data.iter().enumerate() {
+        let id = 3000 + i as u32;
+        let cfg = client_cfg(RetxStrategy::Selective);
+        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
+        let report = client::pull_blob(ch, id, name, &cfg).unwrap();
+        assert_eq!(&report.data, expected, "pushed blob {name} must round-trip");
+    }
+
+    assert!(
+        node.wait_idle(Duration::from_secs(10)),
+        "sessions drained\n{}",
+        node.metrics().summary()
+    );
+    let reports = node.shard_reports();
+    let store = node.store();
+    let shards = node.shards();
+    let m = node.shutdown().unwrap();
+
+    // Merged accounting: 32 concurrent + 16 verification pulls.
+    assert_eq!(m.sessions_accepted, 48);
+    assert_eq!(m.sessions_completed, 48);
+    assert_eq!(m.sessions_failed, 0);
+    assert_eq!(m.pushes, 16);
+    assert_eq!(m.pulls, 32);
+    assert_eq!(m.sessions_in_flight(), 0);
+    assert_eq!(m.session_secs.count(), 48);
+    assert_eq!(store.len(), 20, "4 seeds + 16 pushes");
+
+    // The per-shard breakdown must reconcile exactly with the merge.
+    assert_eq!(reports.len(), shards);
+    assert_eq!(
+        reports.iter().map(|r| r.sessions_accepted).sum::<u64>(),
+        m.sessions_accepted
+    );
+    assert_eq!(
+        reports.iter().map(|r| r.sessions_completed).sum::<u64>(),
+        m.sessions_completed
+    );
+    assert_eq!(
+        reports.iter().map(|r| r.datagrams_received).sum::<u64>(),
+        m.datagrams_received
+    );
+    if reports.len() == 4 {
+        // 48 distinct ephemeral 4-tuples over 4 shards: the odds that
+        // the kernel hashed them all onto one shard are ~4^-47.
+        let busy = reports.iter().filter(|r| r.sessions_accepted > 0).count();
+        assert!(busy >= 2, "sessions all landed on one shard: {reports:?}");
+    }
+
+    // Fault injection really happened: chaotic clients corrupted frames
+    // (FCS drops) and/or duplicated data the engines had to absorb.
+    let dup_or_drops: u64 = m.fcs_drops
+        + m.reports
+            .iter()
+            .map(|r| r.stats.duplicate_packets_received + r.stats.data_packets_retransmitted)
+            .sum::<u64>();
+    assert!(
+        dup_or_drops > 0,
+        "faulty channels must exercise recovery paths"
+    );
+}

@@ -19,7 +19,7 @@
 /// assert_eq!(h.count(), 100);
 /// assert!((h.percentile(50.0) - 50.0).abs() < 10.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -28,6 +28,34 @@ pub struct Histogram {
     count: u64,
     below: u64,
     above: u64,
+}
+
+// Hand-written so `clone_from` reuses the destination's bucket vector:
+// the sharded node republishes its histogram into a shared slot every
+// reactor tick, and with same-geometry histograms that republish must
+// not allocate.
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        Histogram {
+            lo: self.lo,
+            hi: self.hi,
+            log: self.log,
+            buckets: self.buckets.clone(),
+            count: self.count,
+            below: self.below,
+            above: self.above,
+        }
+    }
+
+    fn clone_from(&mut self, other: &Self) {
+        self.lo = other.lo;
+        self.hi = other.hi;
+        self.log = other.log;
+        self.buckets.clone_from(&other.buckets);
+        self.count = other.count;
+        self.below = other.below;
+        self.above = other.above;
+    }
 }
 
 impl Histogram {

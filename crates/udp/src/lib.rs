@@ -29,7 +29,10 @@
 //!   configured protocol;
 //! * [`sockopt`] — `SO_RCVBUF`/`SO_SNDBUF` growth at socket setup, so a
 //!   whole blast round fits in the kernel's queues instead of spilling
-//!   (the modern form of the paper's §3 interface errors).
+//!   (the modern form of the paper's §3 interface errors), plus
+//!   `SO_REUSEPORT` socket groups so a sharded node can bind N sockets
+//!   on one address and let the kernel's 4-tuple hash spread sessions
+//!   across reactor threads.
 //!
 //! ## Example (two threads over loopback)
 //!

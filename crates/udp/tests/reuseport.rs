@@ -1,0 +1,149 @@
+//! Property test for the `SO_REUSEPORT` group contract the sharded
+//! node is built on: the kernel's 4-tuple hash assigns every remote
+//! socket to exactly one group member, and keeps it there — a session's
+//! datagrams never migrate between members mid-transfer.
+//!
+//! The test is a hand-rolled property sweep (many clients × many
+//! interleaved rounds) rather than a `proptest` harness: the input
+//! space is "distinct ephemeral 4-tuples", which the OS generates for
+//! us, and the property must hold for *all* of them.
+
+use std::collections::HashMap;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use blast_udp::sockopt;
+
+const MEMBERS: usize = 4;
+const CLIENTS: usize = 24;
+const ROUNDS: usize = 8;
+
+/// Bind a `MEMBERS`-strong reuseport group on a loopback ephemeral
+/// port, or `None` where the platform has no `SO_REUSEPORT`.
+fn bind_group() -> Option<Vec<UdpSocket>> {
+    if !sockopt::reuseport_supported() {
+        return None;
+    }
+    let first = sockopt::bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = first.local_addr().unwrap();
+    let mut group = vec![first];
+    for _ in 1..MEMBERS {
+        group.push(sockopt::bind_reuseport(addr).unwrap());
+    }
+    Some(group)
+}
+
+/// Every client socket maps to exactly one group member, across many
+/// interleaved send rounds, with no datagram lost on loopback.
+#[test]
+fn four_tuple_hash_pins_each_client_to_one_member() {
+    let Some(group) = bind_group() else {
+        eprintln!("skipping: SO_REUSEPORT unsupported on this platform");
+        return;
+    };
+    let group_addr = group[0].local_addr().unwrap();
+    for sock in &group {
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+    }
+
+    // Distinct client sockets — distinct source ports, so each draws an
+    // independent sample from the kernel's hash.
+    let clients: Vec<UdpSocket> = (0..CLIENTS)
+        .map(|_| {
+            let c = UdpSocket::bind("127.0.0.1:0").unwrap();
+            c.connect(group_addr).unwrap();
+            c
+        })
+        .collect();
+
+    // Interleave the rounds (client 0..N, then again) so a hash that
+    // depended on anything but the 4-tuple — arrival order, member
+    // load, time — would get every chance to wander.
+    for round in 0..ROUNDS as u8 {
+        for (i, c) in clients.iter().enumerate() {
+            c.send(&[i as u8, round]).unwrap();
+        }
+    }
+
+    // Drain every member and record which member saw which client.
+    let mut owner: HashMap<u8, usize> = HashMap::new();
+    let mut received = 0usize;
+    let mut buf = [0u8; 16];
+    for (member, sock) in group.iter().enumerate() {
+        while let Ok(n) = sock.recv(&mut buf) {
+            assert_eq!(n, 2, "test datagrams are 2 bytes");
+            received += 1;
+            let client = buf[0];
+            let prev = owner.insert(client, member);
+            assert!(
+                prev.is_none_or(|p| p == member),
+                "client {client} migrated from member {prev:?} to {member}: \
+                 the 4-tuple hash must pin a session to one shard"
+            );
+        }
+    }
+
+    assert_eq!(
+        received,
+        CLIENTS * ROUNDS,
+        "loopback keeps every datagram; a miss means a member dropped out \
+         of the group"
+    );
+    assert_eq!(owner.len(), CLIENTS, "every client was heard");
+    // Not a kernel guarantee, but with 24 ephemeral ports hashed over 4
+    // members the chance of total collapse onto one member is ~4^-23 —
+    // if this fires, the group was not actually sharing the port.
+    let distinct: std::collections::HashSet<usize> = owner.values().copied().collect();
+    assert!(
+        distinct.len() >= 2,
+        "hash spread {CLIENTS} clients over only {distinct:?}"
+    );
+}
+
+/// Pinning survives a member being *added* after traffic started is
+/// not promised (the kernel may rehash) — but a fixed group must keep
+/// serving a long-lived client on the same member even while other
+/// clients come and go.
+#[test]
+fn pinning_is_stable_while_other_clients_churn() {
+    let Some(group) = bind_group() else {
+        eprintln!("skipping: SO_REUSEPORT unsupported on this platform");
+        return;
+    };
+    let group_addr = group[0].local_addr().unwrap();
+    for sock in &group {
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+    }
+
+    let pinned = UdpSocket::bind("127.0.0.1:0").unwrap();
+    pinned.connect(group_addr).unwrap();
+
+    let mut home: Option<usize> = None;
+    let mut buf = [0u8; 16];
+    for wave in 0..6u8 {
+        // Churn: a fresh batch of short-lived clients each wave.
+        for i in 0..8u8 {
+            let c = UdpSocket::bind("127.0.0.1:0").unwrap();
+            c.connect(group_addr).unwrap();
+            c.send(&[0xFF, wave.wrapping_mul(8) + i]).unwrap();
+        }
+        pinned.send(&[0x01, wave]).unwrap();
+        // Find which member got the pinned client's datagram this wave.
+        let mut seen_at: Option<usize> = None;
+        for (member, sock) in group.iter().enumerate() {
+            while let Ok(n) = sock.recv(&mut buf) {
+                if n == 2 && buf[0] == 0x01 && buf[1] == wave {
+                    seen_at = Some(member);
+                }
+            }
+        }
+        let member = seen_at.expect("pinned datagram delivered");
+        assert!(
+            home.is_none_or(|h| h == member),
+            "pinned client moved from member {home:?} to {member} on wave {wave}"
+        );
+        home = Some(member);
+    }
+}

@@ -1,15 +1,19 @@
 //! Run a blast transfer node.
 //!
 //! ```bash
-//! cargo run --release --example node_server -- 127.0.0.1:47611 --sessions 2 --seed demo
+//! cargo run --release --example node_server -- 127.0.0.1:47611 --sessions 2 --shards 4 --seed demo
 //! ```
 //!
-//! Binds the given address (default `127.0.0.1:47611`), optionally
-//! seeds the store with a demo blob, serves the given number of
-//! sessions (default: forever), then prints the aggregate metrics.
-//! Pair it with the `node_client` example.
+//! Binds the given address (default `127.0.0.1:47611`) as a reactor
+//! group of `--shards` threads (default 1; needs `SO_REUSEPORT`, falls
+//! back to one shard elsewhere), optionally seeds the store with a demo
+//! blob, serves the given number of sessions (default: forever), then
+//! prints the aggregate metrics and the per-shard breakdown.  Pair it
+//! with the `node_client` example.
 
-use blast_node::server::{NodeConfig, NodeServer};
+use std::time::Duration;
+
+use blast_node::server::NodeBuilder;
 use blast_node::shared_store;
 
 fn main() -> std::io::Result<()> {
@@ -17,11 +21,13 @@ fn main() -> std::io::Result<()> {
     let mut addr = "127.0.0.1:47611".to_string();
     let mut sessions: Option<u64> = None;
     let mut seed: Option<String> = None;
+    let mut shards = 1usize;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--sessions" => sessions = it.next().and_then(|v| v.parse().ok()),
             "--seed" => seed = it.next(),
+            "--shards" => shards = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             other => addr = other.to_string(),
         }
     }
@@ -29,34 +35,48 @@ fn main() -> std::io::Result<()> {
     let store = shared_store();
     if let Some(name) = &seed {
         let blob: Vec<u8> = (0..128 * 1024).map(|i| (i % 251) as u8).collect();
-        store.lock().expect("store lock").put(name, blob);
+        store.put(name, blob.into());
         println!("seeded blob '{name}' (128 KiB)");
     }
 
-    let mut config = NodeConfig::default();
-    config.bind = addr.parse().expect("bind address like 127.0.0.1:47611");
-    let mut server = NodeServer::bind_with_store(config, store)?;
-    println!("blast-node listening on {}", server.local_addr()?);
+    let node = NodeBuilder::new()
+        .bind(addr.parse().expect("bind address like 127.0.0.1:47611"))
+        .shards(shards)
+        .store(store)
+        .start()?;
+    println!(
+        "blast-node listening on {} ({} shard(s))",
+        node.addr(),
+        node.shards()
+    );
 
     match sessions {
         Some(n) => {
             println!("serving {n} session(s), then reporting…");
-            server.run_sessions(n)?;
+            while !node.wait_sessions(n, Duration::from_secs(3600)) {}
         }
         None => {
             println!("serving forever (Ctrl-C to stop)…");
-            server.run()?;
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
         }
     }
 
-    println!("\n{}", server.metrics().summary());
-    let store = server.store();
-    let s = store.lock().expect("store lock");
+    let store = node.store();
+    let reports = node.shard_reports();
+    let metrics = node.shutdown()?;
+    println!("\n{}", metrics.summary());
+    if reports.len() > 1 {
+        for r in &reports {
+            println!("{}", r.summary());
+        }
+    }
     println!(
         "store: {} blob(s), {} bytes total: {:?}",
-        s.len(),
-        s.total_bytes(),
-        s.names().collect::<Vec<_>>()
+        store.len(),
+        store.total_bytes(),
+        store.names()
     );
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! | [`analytic`] | Closed-form performance model (§2.1.3, §3.1, §3.2) and Monte-Carlo estimators |
 //! | [`vkernel`] | Miniature V-kernel IPC: processes, Send/Receive/Reply, MoveTo/MoveFrom, file server |
 //! | [`udp`] | The same engines over real UDP sockets with fault injection |
-//! | [`node`] | Concurrent blast transfer server: many push/pull sessions through one non-blocking event loop |
+//! | [`node`] | Concurrent blast transfer server: many push/pull sessions across N `SO_REUSEPORT` reactor shards |
 //! | [`stats`] | Experiment support: online statistics, histograms, tables, ASCII charts |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the
@@ -44,6 +44,10 @@
 pub use blast_analytic as analytic;
 pub use blast_core as core;
 pub use blast_node as node;
+/// The node's control surface, re-exported at the top level: build a
+/// sharded node with [`NodeBuilder`], drive it through [`NodeHandle`],
+/// and share a blob catalogue through the object-safe [`Store`] trait.
+pub use blast_node::{shared_store, MemStore, NodeBuilder, NodeHandle, SharedStore, Store};
 pub use blast_sim as sim;
 pub use blast_stats as stats;
 pub use blast_udp as udp;

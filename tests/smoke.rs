@@ -16,6 +16,8 @@ fn umbrella_reexports_resolve() {
     let _cost = blastlan::analytic::CostModel::vkernel_sun();
     let _cfg: blastlan::core::ProtocolConfig = ProtocolConfig::default();
     let _node = blastlan::node::NodeConfig::default();
+    let _builder = blastlan::NodeBuilder::new().shards(2);
+    let _store: blastlan::SharedStore = blastlan::shared_store();
     let _sim = blastlan::sim::SimConfig::standalone();
     let _stats = blastlan::stats::OnlineStats::new();
     let _udp = blastlan::udp::FaultConfig::none();
