@@ -74,6 +74,11 @@ struct Record {
     /// Sessions accepted per shard across all repeats, `"a/b/…"`
     /// (sharded node records only) — the kernel's 4-tuple spread.
     shard_sessions: Option<String>,
+    /// Flight-recorder events captured across all repeats (`_rec`
+    /// records — the recorder-on twin of the plain run).
+    trace_events: Option<u64>,
+    /// Flight-recorder events dropped on ring overflow (`_rec`).
+    trace_dropped: Option<u64>,
 }
 
 impl Record {
@@ -96,6 +101,8 @@ impl Record {
             io_timeouts: None,
             shards: None,
             shard_sessions: None,
+            trace_events: None,
+            trace_dropped: None,
         }
     }
 }
@@ -217,7 +224,18 @@ fn engine_record(
 /// `shards` asks the node for that many reactor threads (an
 /// `SO_REUSEPORT` socket group); the record carries the *effective*
 /// count, since non-Linux hosts fall back to a single reactor.
-fn node_record(sessions: usize, bytes: usize, repeats: usize, shards: usize) -> Record {
+///
+/// `recorder` attaches the flight recorder (per-shard event rings) and
+/// suffixes the record name `_rec`: the same workload measured with
+/// tracing on, so the recorder's overhead is a committed delta rather
+/// than a claim.
+fn node_record(
+    sessions: usize,
+    bytes: usize,
+    repeats: usize,
+    shards: usize,
+    recorder: bool,
+) -> Record {
     let mut latencies: Vec<f64> = Vec::new();
     let mut goodputs: Vec<f64> = Vec::new();
     let mut packets = 0u64;
@@ -230,14 +248,19 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize, shards: usize) -> 
     let mut backend = String::new();
     let mut effective_shards = 1usize;
     let mut shard_accepted: Vec<u64> = Vec::new();
+    let mut trace_events = 0u64;
+    let mut trace_dropped = 0u64;
+    // Per-shard ring sized for a full repeat of the 16-session run, so
+    // the drop counter reads the recorder's honesty, not its budget.
+    const TRACE_RING: usize = 1 << 16;
     for repeat in 0..repeats {
         // Builder defaults are already adaptive + paced; just raise the
         // retry ceiling for the loss-heavy 16-session runs.
-        let node = NodeBuilder::new()
-            .max_retries(100_000)
-            .shards(shards)
-            .start()
-            .expect("start node");
+        let mut builder = NodeBuilder::new().max_retries(100_000).shards(shards);
+        if recorder {
+            builder = builder.telemetry(TRACE_RING);
+        }
+        let node = builder.start().expect("start node");
         let addr = node.addr();
         // Per-session deterministic streams, drawn before the measured
         // window so payload generation never pollutes the alloc count.
@@ -301,6 +324,12 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize, shards: usize) -> 
         for (i, rep) in reports.iter().enumerate() {
             shard_accepted[i] += rep.sessions_accepted;
         }
+        if recorder {
+            // Drain outside the measured window: the rings are sized
+            // for the whole repeat, so the reactors never waited on us.
+            trace_events += node.drain_trace().len() as u64;
+            trace_dropped += node.telemetry_dropped();
+        }
         let m = node.shutdown().expect("node shutdown");
         packets += m.datagrams_received + m.datagrams_sent;
         retx.merge(&m.retx_rounds);
@@ -319,6 +348,9 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize, shards: usize) -> 
     let mut name = format!("push_{sessions}x{}k", bytes / 1024);
     if shards > 1 {
         let _ = write!(name, "_s{shards}");
+    }
+    if recorder {
+        name.push_str("_rec");
     }
     let mut r = Record::new(name, bytes * sessions, repeats);
     r.goodput_mbps = goodputs.iter().sum::<f64>() / goodputs.len().max(1) as f64;
@@ -341,7 +373,59 @@ fn node_record(sessions: usize, bytes: usize, repeats: usize, shards: usize) -> 
             .collect::<Vec<_>>()
             .join("/")
     });
+    if recorder {
+        r.trace_events = Some(trace_events);
+        r.trace_dropped = Some(trace_dropped);
+    }
     r
+}
+
+/// Export a sample Perfetto trace: a 4-shard node with the flight
+/// recorder on, serving concurrent pulls (node-side senders, so the
+/// blast rounds and AIMD transitions happen where the recorder is) and
+/// one remote `Stats` query, drained and rendered as Chrome trace-event
+/// JSON at `path`.
+fn write_sample_trace(path: &str) {
+    let store = blast_node::shared_store();
+    let blob = payload(256 * 1024);
+    for i in 0..4 {
+        store.put(&format!("trace-{i}"), blob.clone().into());
+    }
+    let node = NodeBuilder::new()
+        .max_retries(100_000)
+        .shards(4)
+        .telemetry(1 << 16)
+        .store(store)
+        .start()
+        .expect("start trace node");
+    let addr = node.addr();
+    let handles: Vec<_> = (0..8usize)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut cfg = ProtocolConfig::default();
+                cfg.timeout = AdaptiveTimeout::lan();
+                cfg.max_retries = 100_000;
+                let ch = UdpChannel::connect("127.0.0.1:0".parse().expect("literal"), addr)
+                    .expect("connect");
+                client::pull_blob(ch, 500 + i as u32, &format!("trace-{}", i % 4), &cfg)
+                    .expect("trace pull");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("trace client");
+    }
+    let ch = client::connect(addr).expect("stats connect");
+    client::node_stats(ch, Duration::from_secs(5)).expect("stats query");
+    node.wait_idle(Duration::from_secs(10));
+    let events = node.drain_trace();
+    let dropped = node.telemetry_dropped();
+    node.shutdown().expect("trace node shutdown");
+    std::fs::write(path, blast_telemetry::chrome_trace(&events)).expect("write trace");
+    println!(
+        "wrote {path}: {} events ({dropped} dropped) — load it at https://ui.perfetto.dev",
+        events.len()
+    );
 }
 
 /// Loss-sweep scenarios: a 64 KB adaptive + paced blast through the
@@ -451,6 +535,9 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: 
         if let Some(split) = &r.shard_sessions {
             let _ = write!(extra, ", \"shard_sessions\": \"{split}\"");
         }
+        if let (Some(ev), Some(dr)) = (r.trace_events, r.trace_dropped) {
+            let _ = write!(extra, ", \"trace_events\": {ev}, \"trace_dropped\": {dr}");
+        }
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"bytes\": {}, \"iters\": {}, \"goodput_mbps\": {:.3}, \
@@ -523,6 +610,13 @@ fn main() {
         .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
         .filter(|axis: &Vec<usize>| !axis.is_empty())
         .unwrap_or_else(|| vec![1, 4]);
+    // `--trace <path>` additionally exports a sample Perfetto trace
+    // from an instrumented 4-shard pull workload.
+    let trace_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mode = if smoke { "smoke" } else { "full" };
     let (engine_iters, saw_iters, node_repeats) = if smoke { (40, 10, 3) } else { (200, 40, 10) };
     const ENGINE_BYTES: usize = 64 * 1024;
@@ -612,11 +706,34 @@ fn main() {
     let mut node = Vec::new();
     for &shards in &shard_axis {
         for sessions in [1usize, 4, 16] {
-            node.push(node_record(sessions, NODE_BYTES, node_repeats, shards));
+            node.push(node_record(
+                sessions,
+                NODE_BYTES,
+                node_repeats,
+                shards,
+                false,
+            ));
+        }
+    }
+    // The recorder-on twin of the same grid (`_rec` names): identical
+    // workload with the flight recorder attached, so `perf_compare`
+    // renders the tracing overhead as a measured delta.
+    for &shards in &shard_axis {
+        for sessions in [1usize, 4, 16] {
+            node.push(node_record(
+                sessions,
+                NODE_BYTES,
+                node_repeats,
+                shards,
+                true,
+            ));
         }
     }
     print_summary("node_loopback (concurrent push fan-in over UDP)", &node);
     for r in &node {
+        if let (Some(ev), Some(dr)) = (r.trace_events, r.trace_dropped) {
+            println!("{:<24} trace events {ev} ({dr} dropped)", r.name);
+        }
         if let Some(sh) = r.shards {
             let split = r.shard_sessions.as_deref().unwrap_or("-");
             println!("{:<24} shards {sh} (sessions/shard: {split})", r.name);
@@ -643,6 +760,10 @@ fn main() {
         &node,
         &[],
     );
+
+    if let Some(path) = trace_path {
+        write_sample_trace(&path);
+    }
 
     println!("\nwrote BENCH_engines.json and BENCH_node_loopback.json ({mode} mode)");
 }

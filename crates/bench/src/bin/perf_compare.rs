@@ -129,6 +129,52 @@ fn sharded_base(name: &str) -> Option<(&str, u32)> {
     (shards > 1).then_some((base, shards))
 }
 
+/// Split a recorder-on record name `push_16x256k_s4_rec` into its
+/// recorder-off sibling `push_16x256k_s4`.
+fn recorder_base(name: &str) -> Option<&str> {
+    name.strip_suffix("_rec")
+}
+
+/// Render the flight-recorder overhead table for one fresh file: every
+/// `<name>_rec` record paired with its `<name>` sibling from the same
+/// run.  This is the tentpole's ≤5% overhead claim, measured on every
+/// CI run instead of asserted once.
+fn recorder_delta(file: &str, fresh_dir: &Path, out: &mut String) {
+    let fresh = parse(&fresh_dir.join(file));
+    let pairs: Vec<(&Entry, &Entry)> = fresh
+        .iter()
+        .filter_map(|r| {
+            let base = recorder_base(&r.name)?;
+            let plain = fresh.iter().find(|e| e.name == base)?;
+            Some((plain, r))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n### Flight recorder on vs off ({file}, fresh run)\n");
+    let _ = writeln!(
+        out,
+        "| workload | goodput MB/s (off → on) | Δ | p99 ms (off → on) | Δ | allocs/packet (off → on) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (plain, rec) in pairs {
+        let _ = writeln!(
+            out,
+            "| {} | {} → {} | {} | {} → {} | {} | {} → {} |",
+            plain.name,
+            fmt_opt(plain.goodput_mbps, 2),
+            fmt_opt(rec.goodput_mbps, 2),
+            delta_cell(plain.goodput_mbps, rec.goodput_mbps),
+            fmt_opt(plain.p99_ms, 2),
+            fmt_opt(rec.p99_ms, 2),
+            delta_cell(plain.p99_ms, rec.p99_ms),
+            fmt_opt(plain.allocs_per_packet, 4),
+            fmt_opt(rec.allocs_per_packet, 4),
+        );
+    }
+}
+
 /// Render the sharded-vs-single goodput/p99 delta table for one fresh
 /// file: every `<name>_sN` record is paired with its `<name>` sibling
 /// from the same run, so the table shows what the reactor shards buy on
@@ -208,6 +254,9 @@ fn main() {
     for &file in &files {
         sharding_delta(file, fresh_dir, &mut out);
     }
+    for &file in &files {
+        recorder_delta(file, fresh_dir, &mut out);
+    }
     print!("{out}");
 }
 
@@ -231,6 +280,19 @@ mod tests {
         assert_eq!(sharded_base("push_16x256k"), None);
         assert_eq!(sharded_base("push_16x256k_s1"), None);
         assert_eq!(sharded_base("blast/first-missing"), None);
+    }
+
+    #[test]
+    fn recorder_names_pair_with_their_base() {
+        assert_eq!(recorder_base("push_16x256k_rec"), Some("push_16x256k"));
+        assert_eq!(
+            recorder_base("push_16x256k_s4_rec"),
+            Some("push_16x256k_s4")
+        );
+        assert_eq!(recorder_base("push_16x256k"), None);
+        // `_rec` strips before `_sN` pairing would: a `_rec` record
+        // never also parses as a sharded base of something else.
+        assert_eq!(sharded_base("push_16x256k_rec"), None);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 use std::sync::Arc;
 
+use blast_telemetry::{EventKind, Recorder};
 use blast_wire::ack::{AckPayload, Bitmap};
 use blast_wire::header::PacketKind;
 use blast_wire::packet::{Datagram, DatagramBuilder};
@@ -109,6 +110,8 @@ pub struct BlastSender {
     /// lock per burst instead of one per packet).
     stash: Vec<PooledBuf>,
     pool: BufferPool,
+    /// Flight recorder, when attached; events stamp with `self.now`.
+    recorder: Option<Recorder>,
     stats: EngineStats,
     finish: Finish,
 }
@@ -171,8 +174,31 @@ impl BlastSender {
             // zero-allocation property of the packet loop).
             stash: Vec::with_capacity(span.min(MAX_BATCH)),
             pool: config.pool.clone(),
+            recorder: None,
             stats: EngineStats::default(),
             finish: Finish::default(),
+        }
+    }
+
+    /// One flight-recorder event at the engine's sans-I/O clock; a
+    /// no-op (one branch) when no recorder is attached.
+    fn trace(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record_at(self.now, self.transfer_id, kind, a, b);
+        }
+    }
+
+    /// Trace an AIMD burst transition around a pacer feedback call.
+    /// `before` is the burst budget captured before the call.
+    fn trace_burst_change(&self, before: u32) {
+        if self.recorder.is_none() || !self.pacer.is_adaptive() {
+            return;
+        }
+        let after = self.pacer.burst_budget();
+        if after > before {
+            self.trace(EventKind::PacerGrow, u64::from(before), u64::from(after));
+        } else if after < before {
+            self.trace(EventKind::PacerShrink, u64::from(before), u64::from(after));
         }
     }
 
@@ -269,7 +295,17 @@ impl BlastSender {
         debug_assert!(remaining > 0, "emit_burst on an idle round");
         let n = remaining.min(self.pacer.burst_budget() as usize);
         // One pool lock covers the whole burst.
+        let fresh_before = self
+            .recorder
+            .is_some()
+            .then(|| self.pool.fresh_allocations());
         self.pool.checkout_many(n.min(MAX_BATCH), &mut self.stash);
+        if let Some(before) = fresh_before {
+            let fresh = self.pool.fresh_allocations();
+            if fresh > before {
+                self.trace(EventKind::PoolExhausted, fresh, n as u64);
+            }
+        }
         match self.pending {
             Pending::Idle => unreachable!("pending_len > 0"),
             Pending::Span { next } => {
@@ -312,6 +348,11 @@ impl BlastSender {
     /// when the tail finally goes out, so a paced round can never be
     /// interrupted by the old deadline.
     fn begin_round(&mut self, sink: &mut dyn ActionSink) {
+        self.trace(
+            EventKind::RoundStart,
+            u64::from(self.rounds_used),
+            self.pending_len() as u64,
+        );
         if self.pending_len() > self.pacer.burst_budget() as usize {
             sink.push_action(Action::CancelTimer { token: RETX_TIMER });
         }
@@ -346,6 +387,9 @@ impl BlastSender {
         // `resend_set` has already restaged `pending_set` — the old
         // cursor must not survive for a stale pace deadline to resume.
         self.pending = Pending::Idle;
+        // A re-solicitation is a one-packet round of its own, so the
+        // trace's begin/end spans stay balanced.
+        self.trace(EventKind::RoundStart, u64::from(self.rounds_used), 1);
         let seq = self.reliable_seq;
         self.solicit_sent = None;
         self.transmit_one(seq, true, sink);
@@ -359,7 +403,20 @@ impl BlastSender {
     /// the soliciting tail is still unambiguous.
     fn sample_rtt(&mut self) {
         if let Some(sent) = self.solicit_sent.take() {
-            self.rto.sample(self.now.saturating_sub(sent));
+            let sample = self.now.saturating_sub(sent);
+            self.rto.sample(sample);
+            if self.recorder.is_some() {
+                let srtt = self.rto.srtt().unwrap_or_default();
+                self.trace(
+                    EventKind::RttSample,
+                    sample.as_nanos() as u64,
+                    srtt.as_nanos() as u64,
+                );
+            }
+        } else {
+            // The solicitation window was poisoned (retransmitted tail
+            // or timeout): Karn's rule rejects this report's sample.
+            self.trace(EventKind::KarnReject, u64::from(self.rounds_used), 0);
         }
     }
 
@@ -381,6 +438,7 @@ impl BlastSender {
         }
         self.rounds_used += 1;
         self.stats.retransmission_rounds += 1;
+        self.trace(EventKind::RetxRound, u64::from(self.rounds_used), 0);
         true
     }
 
@@ -443,7 +501,10 @@ impl Engine for BlastSender {
                     self.sample_rtt();
                     // AIMD: the whole range was acknowledged in one
                     // report — a clean round, grow the burst.
+                    let burst_before = self.pacer.burst_budget();
                     self.pacer.on_clean_round();
+                    self.trace_burst_change(burst_before);
+                    self.trace(EventKind::RoundEnd, u64::from(self.rounds_used), 0);
                     self.pending = Pending::Idle;
                     sink.push_action(Action::CancelTimer { token: RETX_TIMER });
                     sink.push_action(Action::CancelTimer { token: PACE_TIMER });
@@ -461,8 +522,23 @@ impl Engine for BlastSender {
                 self.sample_rtt();
                 // AIMD: any NACK means the receiver missed packets —
                 // shrink the burst before retransmitting.
+                let burst_before = self.pacer.burst_budget();
                 self.pacer.on_loss();
+                self.trace_burst_change(burst_before);
+                self.trace(EventKind::RoundEnd, u64::from(self.rounds_used), 1);
                 if let Some(resend) = self.resend_set(nack) {
+                    if self.recorder.is_some() {
+                        let missing = match &resend {
+                            Resend::Span { first } => u64::from(self.end - *first),
+                            Resend::Set => self.pending_set.len() as u64,
+                            Resend::Resolicit => 0,
+                        };
+                        self.trace(
+                            EventKind::NackReceived,
+                            u64::from(self.rounds_used),
+                            missing,
+                        );
+                    }
                     if self.charge_round(sink) {
                         match resend {
                             Resend::Span { first } => self.send_span(first, sink),
@@ -496,8 +572,17 @@ impl Engine for BlastSender {
         // Karn: double the RTO and poison the sample window — whatever
         // answer eventually arrives is ambiguous.  The timeout is also
         // the strongest loss signal the engine has: AIMD shrink.
+        let rto_before = self.rto.rto();
         self.rto.backoff();
+        self.trace(
+            EventKind::RtoBackoff,
+            rto_before.as_nanos() as u64,
+            self.rto.rto().as_nanos() as u64,
+        );
+        let burst_before = self.pacer.burst_budget();
         self.pacer.on_loss();
+        self.trace_burst_change(burst_before);
+        self.trace(EventKind::RoundEnd, u64::from(self.rounds_used), 2);
         self.solicit_sent = None;
         if !self.charge_round(sink) {
             return;
@@ -529,6 +614,10 @@ impl Engine for BlastSender {
     fn pacing_snapshot(&self) -> Option<PacerSnapshot> {
         BlastSender::pacing_snapshot(self)
     }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
 }
 
 /// Blast receiver: places data packets into the pre-allocated buffer and
@@ -549,6 +638,8 @@ pub struct BlastReceiver {
     pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
+    now: Duration,
+    recorder: Option<Recorder>,
 }
 
 impl BlastReceiver {
@@ -563,6 +654,8 @@ impl BlastReceiver {
             pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
+            now: Duration::ZERO,
+            recorder: None,
         }
     }
 
@@ -579,6 +672,12 @@ impl BlastReceiver {
     /// Packets received so far (diagnostics).
     pub fn received_packets(&self) -> u32 {
         self.rx.received_packets()
+    }
+
+    fn trace(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record_at(self.now, self.transfer_id, kind, a, b);
+        }
     }
 
     fn send_status(&mut self, sink: &mut dyn ActionSink) {
@@ -605,6 +704,16 @@ impl BlastReceiver {
             },
         };
         let is_nack = report.is_nack();
+        if self.recorder.is_some() {
+            // Holes below the horizon, counted exactly when the bitmap
+            // is already in hand and approximated otherwise.
+            let missing = match &report {
+                AckPayload::NackBitmap(bm) => bm.missing().filter(|&s| s <= upto).count() as u64,
+                AckPayload::Positive { .. } => 0,
+                _ => (u64::from(upto) + 1).saturating_sub(u64::from(self.rx.received_packets())),
+            };
+            self.trace(EventKind::StatusSend, u64::from(!is_nack), missing);
+        }
         let mut buf = self
             .pool
             .checkout_sized(blast_wire::HEADER_LEN + report.encoded_len());
@@ -624,6 +733,10 @@ impl BlastReceiver {
 impl Engine for BlastReceiver {
     fn start(&mut self, _sink: &mut dyn ActionSink) {
         // Passive: buffers were allocated in `new`, per the paper.
+    }
+
+    fn set_now(&mut self, now: Duration) {
+        self.now = now;
     }
 
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {
@@ -677,6 +790,10 @@ impl Engine for BlastReceiver {
 
     fn transfer_id(&self) -> u32 {
         self.transfer_id
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     fn received_data(&self) -> Option<&[u8]> {

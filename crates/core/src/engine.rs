@@ -77,6 +77,15 @@ pub trait Engine: Send {
         None
     }
 
+    /// Attach a flight-recorder handle ([`blast_telemetry::Recorder`]).
+    ///
+    /// Engines that trace stamp their events with the `set_now` clock
+    /// (the sans-I/O path: the recorder's wall-clock epoch is never
+    /// consulted), so drivers should hand every session engine the
+    /// recorder of the shard/thread it runs on.  The default discards
+    /// the handle — engines without hooks stay untouched.
+    fn set_recorder(&mut self, _recorder: blast_telemetry::Recorder) {}
+
     /// Borrow the receive buffer, for engines that own one.
     ///
     /// Lets a driver extract a completed transfer's payload through the

@@ -39,6 +39,8 @@ pub struct MultiBlastSender {
     chunk_start: u32,
     /// Driver clock, mirrored into each chunk engine.
     now: std::time::Duration,
+    /// Flight recorder, re-attached to each chunk engine.
+    recorder: Option<blast_telemetry::Recorder>,
     inner: BlastSender,
     /// Stats of completed chunks (the live chunk's stats are added on
     /// query).
@@ -65,6 +67,7 @@ impl MultiBlastSender {
             chunk,
             chunk_start: 0,
             now: std::time::Duration::ZERO,
+            recorder: None,
             inner,
             absorbed: EngineStats::default(),
             staged: Vec::new(),
@@ -142,6 +145,9 @@ impl MultiBlastSender {
         self.inner.adopt_estimator(estimator);
         self.inner.adopt_pacer(pacer);
         self.inner.set_now(now);
+        if let Some(rec) = &self.recorder {
+            self.inner.set_recorder(rec.clone());
+        }
         // Kick the fresh chunk off; its actions flow to the real sink
         // (completion of a 1-chunk tail is handled recursively).
         self.drive(|inner, staged| inner.start(staged), sink);
@@ -156,6 +162,11 @@ impl Engine for MultiBlastSender {
     fn set_now(&mut self, now: std::time::Duration) {
         self.now = now;
         self.inner.set_now(now);
+    }
+
+    fn set_recorder(&mut self, recorder: blast_telemetry::Recorder) {
+        self.inner.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
     }
 
     fn on_datagram(&mut self, dgram: &Datagram<'_>, sink: &mut dyn ActionSink) {

@@ -8,15 +8,17 @@
 
 use std::io;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use blast_core::blast::{BlastReceiver, BlastSender};
 use blast_core::config::ProtocolConfig;
-use blast_udp::channel::{Channel, UdpChannel};
+use blast_udp::channel::{Channel, UdpChannel, MAX_DATAGRAM};
 use blast_udp::driver::Driver;
 use blast_udp::fcs::FcsChannel;
 use blast_udp::handshake::{self, Request};
 use blast_udp::peer::TransferReport;
+use blast_wire::header::PacketKind;
+use blast_wire::packet::{Datagram, DatagramBuilder};
 
 /// Handshake pacing: re-request at the protocol's retransmission
 /// interval, capped so a long data-phase timeout does not slow the
@@ -119,5 +121,40 @@ pub fn pull_blob<C: Channel>(
             malformed: out.malformed + fcs_drops,
         }),
         Err(e) => Err(io::Error::other(format!("pull failed: {e}"))),
+    }
+}
+
+/// Ask a node for a live metrics snapshot (the `Stats` control verb).
+///
+/// Returns the node's text report: the merged `NodeMetrics` summary
+/// plus one line per shard — the remote twin of
+/// `NodeHandle::metrics().summary()`.  The query is a single datagram
+/// and is retransmitted until the reply arrives or `timeout` passes,
+/// so it survives the same loss the data plane does.
+pub fn node_stats<C: Channel>(channel: C, timeout: Duration) -> io::Result<String> {
+    let mut channel = FcsChannel::new(channel);
+    let mut query = [0u8; blast_wire::HEADER_LEN];
+    let n = DatagramBuilder::new(0)
+        .build_stats(&mut query, 0, &[])
+        .expect("empty stats query fits");
+    let deadline = Instant::now() + timeout;
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    loop {
+        channel.send(&query[..n])?;
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "stats query timed out",
+            ));
+        }
+        let wait = (deadline - now).min(Duration::from_millis(100));
+        if let Some(got) = channel.recv_timeout(&mut buf, wait)? {
+            if let Ok(dgram) = Datagram::parse(&buf[..got]) {
+                if dgram.kind == PacketKind::Stats {
+                    return Ok(String::from_utf8_lossy(dgram.payload).into_owned());
+                }
+            }
+        }
     }
 }

@@ -55,7 +55,7 @@ pub mod metrics;
 pub mod server;
 pub mod store;
 
-pub use client::{pull_blob, push_blob};
+pub use client::{node_stats, pull_blob, push_blob};
 pub use metrics::{NodeMetrics, SessionReport, ShardReport};
 pub use server::{NodeBuilder, NodeConfig, NodeHandle, NodeServer};
 pub use store::{shared_store, BlobStore, MemStore, SharedStore, Store};

@@ -51,6 +51,7 @@ use blast_core::demux::Demux;
 use blast_core::multiblast::MultiBlastSender;
 use blast_core::pool::BufferPool;
 use blast_core::{AdaptiveTimeout, Engine, PacingConfig};
+use blast_telemetry::{EventKind, Recorder, Telemetry};
 use blast_udp::channel::MAX_DATAGRAM;
 use blast_udp::fcs;
 use blast_udp::handshake::{Direction, Request};
@@ -189,6 +190,13 @@ pub struct NodeServer {
     /// session state without polling lag.
     published_events: u64,
     last_publish: Instant,
+    /// The shard's flight recorder, when the node was built with
+    /// telemetry.  Handed to every session engine on admission.
+    recorder: Option<Recorder>,
+    /// Every shard's snapshot slot (own included), so a `Stats` query
+    /// landing on this shard can answer for the whole node.  Empty on
+    /// single-reactor shims, where `local` is the whole node.
+    peer_slots: Vec<Arc<Mutex<NodeMetrics>>>,
 }
 
 impl NodeServer {
@@ -264,7 +272,19 @@ impl NodeServer {
             scratch: Vec::new(),
             published_events: 0,
             last_publish: Instant::now(),
+            recorder: None,
+            peer_slots: Vec::new(),
         })
+    }
+
+    /// Attach the shard's flight recorder.  The recorder's epoch
+    /// replaces the engine clock's zero point, so engine `record_at`
+    /// stamps and the backend's wall-clock `record` stamps land on one
+    /// consistent node-wide timeline.
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.epoch = recorder.epoch();
+        self.io.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
     }
 
     /// The bound address clients should talk to.
@@ -344,6 +364,7 @@ impl NodeServer {
             slots,
             shutdown,
             threads: vec![thread],
+            telemetry: None,
         })
     }
 
@@ -354,10 +375,19 @@ impl NodeServer {
     /// fallback degrades to a bounded sleep).
     fn tick(&mut self) -> io::Result<()> {
         let now = Instant::now();
+        let mut timers_fired = 0u64;
         while let Some((id, token)) = self.timers.pop_due(now) {
+            timers_fired += 1;
             self.on_timer(id, token)?;
         }
         let drained = self.drain_socket()?;
+        // Only ticks that did work are traced — idle wakeups would
+        // drown the ring without saying anything.
+        if drained > 0 || timers_fired > 0 {
+            if let Some(rec) = &self.recorder {
+                rec.record(0, EventKind::ShardTick, drained as u64, timers_fired);
+            }
+        }
         // Everything staged this tick goes out before any wait: one
         // sendmmsg carries the coalesced acks/bursts of all sessions.
         self.io.flush(&self.socket)?;
@@ -459,6 +489,9 @@ impl NodeServer {
         if dgram.kind == PacketKind::Request {
             return self.on_request(&dgram, raw, peer);
         }
+        if dgram.kind == PacketKind::Stats {
+            return self.on_stats(&dgram, peer);
+        }
         let id = dgram.transfer_id;
         match self.sessions.get(&id) {
             // Only the session's peer may drive its engine.
@@ -519,13 +552,13 @@ impl NodeServer {
 
         let mut engine_cfg = self.config.protocol.clone();
         request.apply_to(&mut engine_cfg);
-        let (engine, echo): (Box<dyn Engine>, Vec<u8>) = match request.direction {
+        let (engine, echo, announced): (Box<dyn Engine>, Vec<u8>, usize) = match request.direction {
             Direction::Push => {
                 // Pre-allocate the whole receive buffer from the
                 // announced length — the paper's premise — and echo the
                 // request verbatim.
                 let engine = BlastReceiver::new(id, request.len, &engine_cfg);
-                (Box::new(engine), raw.to_vec())
+                (Box::new(engine), raw.to_vec(), request.len)
             }
             Direction::Pull => {
                 let blob = self.store.get(&request.name);
@@ -538,12 +571,13 @@ impl NodeServer {
                 let mut advertised = request.clone();
                 advertised.len = blob.len();
                 let echo = advertised.build_datagram(id);
+                let announced = blob.len();
                 let engine: Box<dyn Engine> = if request.multiblast_chunk > 0 {
                     Box::new(MultiBlastSender::new(id, blob, &engine_cfg))
                 } else {
                     Box::new(BlastSender::new(id, blob, &engine_cfg))
                 };
-                (engine, echo)
+                (engine, echo, announced)
             }
         };
 
@@ -567,6 +601,14 @@ impl NodeServer {
         // conditions, the size announcement precedes round-0 data.
         self.send_framed(peer, &echo)?;
         let mut engine = engine;
+        if let Some(rec) = &self.recorder {
+            engine.set_recorder(rec.clone());
+            let direction = match request.direction {
+                Direction::Push => 0,
+                Direction::Pull => 1,
+            };
+            rec.record(id, EventKind::SessionAdmit, direction, announced as u64);
+        }
         engine.set_now(self.epoch.elapsed());
         let mut sink = std::mem::take(&mut self.scratch);
         self.demux.register(engine, &mut sink);
@@ -674,6 +716,55 @@ impl NodeServer {
             ok,
         };
         self.local.record(report);
+        if let Some(rec) = &self.recorder {
+            rec.record(id, EventKind::SessionReap, u64::from(ok), bytes as u64);
+        }
+    }
+
+    /// Answer a control-plane `Stats` query with a whole-node snapshot:
+    /// the merged [`NodeMetrics`] summary plus one line per shard.  The
+    /// query lands on whichever shard the client's 4-tuple hashes to,
+    /// so shards read each other's *published* snapshots (the same ones
+    /// a local [`NodeHandle`] merges) rather than anything shared on
+    /// the packet path.
+    fn on_stats(&mut self, dgram: &Datagram<'_>, peer: SocketAddr) -> io::Result<()> {
+        // Cap the reply comfortably inside one datagram.
+        const MAX_STATS_PAYLOAD: usize = 8 * 1024;
+        // Publish first so the reply reflects this very tick.
+        self.publish_now();
+        let mut merged = NodeMetrics::default();
+        let mut shard_lines = String::new();
+        if self.peer_slots.is_empty() {
+            merged.merge_from(&self.local);
+            shard_lines.push_str(&ShardReport::from_metrics(0, &self.local).summary());
+            shard_lines.push('\n');
+        } else {
+            for (i, slot) in self.peer_slots.iter().enumerate() {
+                let m = slot.lock().expect("metrics slot");
+                merged.merge_from(&m);
+                shard_lines.push_str(&ShardReport::from_metrics(i, &m).summary());
+                shard_lines.push('\n');
+            }
+        }
+        let mut text = merged.summary();
+        text.push('\n');
+        text.push_str(&shard_lines);
+        if text.len() > MAX_STATS_PAYLOAD {
+            let mut cut = MAX_STATS_PAYLOAD;
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text.truncate(cut);
+        }
+        let mut buf = vec![0u8; blast_wire::HEADER_LEN + text.len()];
+        let n = DatagramBuilder::new(dgram.transfer_id)
+            .build_stats(&mut buf, dgram.seq, text.as_bytes())
+            .expect("stats reply fits");
+        self.send_framed(peer, &buf[..n])?;
+        if let Some(rec) = &self.recorder {
+            rec.record(0, EventKind::StatsServed, text.len() as u64, 0);
+        }
+        Ok(())
     }
 
     fn reap(&mut self, id: u32) {
@@ -730,6 +821,7 @@ pub struct NodeBuilder {
     config: NodeConfig,
     store: Option<SharedStore>,
     portable_netio: bool,
+    telemetry_capacity: Option<usize>,
 }
 
 impl NodeBuilder {
@@ -822,6 +914,16 @@ impl NodeBuilder {
         self
     }
 
+    /// Enable the flight recorder: one bounded ring of `capacity`
+    /// events per shard, drained through
+    /// [`NodeHandle::drain_trace`].  The record path is lock-free and
+    /// allocation-free; on overflow events are dropped and counted
+    /// ([`NodeHandle::telemetry_dropped`]), never blocked on.
+    pub fn telemetry(mut self, capacity: usize) -> Self {
+        self.telemetry_capacity = Some(capacity);
+        self
+    }
+
     /// Bind the socket(s), spawn one reactor thread per shard, and
     /// return the control handle.
     ///
@@ -834,11 +936,14 @@ impl NodeBuilder {
             config,
             store,
             portable_netio,
+            telemetry_capacity,
         } = self;
         let store = store.unwrap_or_else(shared_store);
         let shutdown = Arc::new(AtomicBool::new(false));
         let sockets = bind_shard_sockets(config.bind, config.shards.max(1))?;
+        let telemetry = telemetry_capacity.map(|cap| Telemetry::new(sockets.len(), cap));
         let mut slots = Vec::with_capacity(sockets.len());
+        let mut servers = Vec::with_capacity(sockets.len());
         let mut threads = Vec::with_capacity(sockets.len());
         let mut addr = None;
         for (shard, socket) in sockets.into_iter().enumerate() {
@@ -853,7 +958,7 @@ impl NodeBuilder {
                     .protocol
                     .with_pool(BufferPool::new(pool.buf_capacity(), pool.max_free()));
             }
-            let mut server = NodeServer::with_socket(
+            let server = NodeServer::with_socket(
                 cfg,
                 Arc::clone(&store),
                 socket,
@@ -862,6 +967,16 @@ impl NodeBuilder {
             )?;
             addr.get_or_insert(server.local_addr()?);
             slots.push(server.metrics_slot());
+            servers.push(server);
+        }
+        // Second pass, once every slot exists: each shard learns all
+        // the snapshot slots (so a `Stats` query answers for the whole
+        // node) and gets its recorder, then moves onto its thread.
+        for (shard, mut server) in servers.into_iter().enumerate() {
+            server.peer_slots = slots.clone();
+            if let Some(tel) = &telemetry {
+                server.attach_recorder(tel.recorder(shard));
+            }
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("blast-node-{shard}"))
@@ -874,6 +989,7 @@ impl NodeBuilder {
             slots,
             shutdown,
             threads,
+            telemetry,
         })
     }
 }
@@ -917,6 +1033,7 @@ pub struct NodeHandle {
     slots: Vec<Arc<Mutex<NodeMetrics>>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<io::Result<()>>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl NodeHandle {
@@ -943,6 +1060,28 @@ impl NodeHandle {
             merged.merge_from(&slot.lock().expect("metrics slot"));
         }
         merged
+    }
+
+    /// The flight-recorder handle, when the node was built with
+    /// [`NodeBuilder::telemetry`].
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Drain every shard's trace ring into one time-ordered stream
+    /// (ready for `blast_telemetry::export::{jsonl, chrome_trace}`).
+    /// Empty when telemetry was not enabled.
+    pub fn drain_trace(&self) -> Vec<blast_telemetry::TraceEvent> {
+        self.telemetry
+            .as_ref()
+            .map(Telemetry::drain)
+            .unwrap_or_default()
+    }
+
+    /// Trace events dropped on ring overflow so far (0 without
+    /// telemetry).
+    pub fn telemetry_dropped(&self) -> u64 {
+        self.telemetry.as_ref().map(Telemetry::dropped).unwrap_or(0)
     }
 
     /// The per-shard breakdown of the same snapshots: did the kernel's

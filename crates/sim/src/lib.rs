@@ -49,4 +49,4 @@ pub mod trace;
 pub use config::{LossModel, SimConfig, TimingPolicy};
 pub use sim::{Completion, HostStats, SimReport, Simulator};
 pub use time::{ms, SimTime};
-pub use trace::{render_timeline, Lane, TraceEvent};
+pub use trace::{render_timeline, to_chrome_trace, Lane, TraceEvent};

@@ -427,6 +427,7 @@ impl Simulator {
                             PacketKind::Ack => (false, "A".to_string()),
                             PacketKind::Request => (false, "R".to_string()),
                             PacketKind::Cancel => (false, "X".to_string()),
+                            PacketKind::Stats => (false, "S".to_string()),
                         },
                         Err(_) => {
                             debug_assert!(false, "engine emitted malformed datagram");

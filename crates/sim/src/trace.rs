@@ -126,6 +126,46 @@ pub fn render_timeline(events: &[TraceEvent], host_names: &[&str], width: usize)
     out
 }
 
+/// Export simulated timelines as Chrome trace-event JSON for
+/// [Perfetto](https://ui.perfetto.dev) — the interactive twin of
+/// [`render_timeline`]'s ASCII gantt.
+///
+/// Track layout mirrors the ASCII rows: one *process* per host
+/// (labelled from `host_names`) with a thread lane per copy direction,
+/// plus one shared `ether` process for the wire.  Every activity
+/// interval becomes a complete (`ph:"X"`) span named by its packet
+/// label, so the paper's Fig. 2/3 structure — who held the CPU and the
+/// wire, and when — is directly explorable.
+pub fn to_chrome_trace(events: &[TraceEvent], host_names: &[&str]) -> String {
+    use blast_telemetry::ChromeTraceBuilder;
+
+    // pid 0 is the shared wire; host h gets pid h + 1.
+    const WIRE_PID: u64 = 0;
+    let mut b = ChromeTraceBuilder::new();
+    b.process_name(WIRE_PID, "ether");
+    b.thread_name(WIRE_PID, 0, "wire");
+    let mut hosts: Vec<usize> = events.iter().map(|e| e.host).collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    for &h in &hosts {
+        let pid = h as u64 + 1;
+        b.process_name(pid, host_names.get(h).copied().unwrap_or("host"));
+        b.thread_name(pid, 1, "copy-in");
+        b.thread_name(pid, 2, "copy-out");
+    }
+    for e in events {
+        let (pid, tid) = match e.lane {
+            Lane::Wire => (WIRE_PID, 0),
+            Lane::CpuCopyIn => (e.host as u64 + 1, 1),
+            Lane::CpuCopyOut => (e.host as u64 + 1, 2),
+        };
+        let ts = e.start.as_nanos() as f64 / 1e3;
+        let dur = e.end.as_nanos().saturating_sub(e.start.as_nanos()) as f64 / 1e3;
+        b.complete(pid, tid, &e.label, ts, dur);
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +205,37 @@ mod tests {
     #[test]
     fn empty_trace() {
         assert_eq!(render_timeline(&[], &[], 40), "(no trace)\n");
+    }
+
+    #[test]
+    fn chrome_export_mirrors_the_ascii_rows() {
+        let events = vec![
+            ev(0.0, 1.35, 0, Lane::CpuCopyIn, "D0"),
+            ev(1.35, 2.17, 0, Lane::Wire, "D0"),
+            ev(2.17, 3.52, 1, Lane::CpuCopyOut, "D0"),
+            ev(3.52, 3.69, 1, Lane::CpuCopyIn, "A"),
+        ];
+        let out = to_chrome_trace(&events, &["sender", "receiver"]);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        // Four activity spans, all complete events with durations.
+        assert_eq!(out.matches("\"ph\":\"X\"").count(), 4);
+        // Process tracks: the shared wire plus both hosts.
+        assert!(out.contains("\"name\":\"ether\""));
+        assert!(out.contains("\"name\":\"sender\""));
+        assert!(out.contains("\"name\":\"receiver\""));
+        // The wire span lives on pid 0; host 0's copy-in on pid 1.
+        assert!(out.contains("\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":1350.000"));
+        assert!(out.contains("\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.000"));
+        // 1.35 ms copy = 1350 µs duration.
+        assert!(out.contains("\"dur\":1350.000"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_export_of_empty_trace_is_still_valid() {
+        let out = to_chrome_trace(&[], &[]);
+        assert!(out.contains("\"traceEvents\""));
+        assert!(out.contains("\"name\":\"ether\""));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! simulated elapsed times shows the same thing percentiles make
 //! precise.
 
+use std::fmt;
+
 /// A histogram over `[lo, hi)` with equal-width or log-spaced buckets.
 ///
 /// Samples outside the range are clamped into the first/last bucket and
@@ -210,6 +212,37 @@ impl Histogram {
     }
 }
 
+/// One-line summary: sample count, clamp counts when non-zero, and the
+/// p50/p90/p99 tail — the shape §3.2 cares about, at a glance.
+///
+/// ```
+/// use blast_stats::Histogram;
+/// let mut h = Histogram::linear(0.0, 100.0, 100);
+/// for x in 0..100 { h.record(x as f64); }
+/// let line = h.to_string();
+/// assert!(line.contains("n=100"));
+/// assert!(line.contains("p50="));
+/// ```
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0 (empty)");
+        }
+        write!(
+            f,
+            "n={} p50={:.4} p90={:.4} p99={:.4}",
+            self.count,
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+        )?;
+        if self.below > 0 || self.above > 0 {
+            write!(f, " clamped={}/{}", self.below, self.above)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +347,102 @@ mod tests {
     #[should_panic(expected = "invalid histogram range")]
     fn rejects_bad_range() {
         let _ = Histogram::linear(1.0, 1.0, 4);
+    }
+
+    /// With samples uniform over the range, interpolation error is
+    /// bounded by one bucket width at every percentile — the accuracy
+    /// contract the reports rely on.
+    #[test]
+    fn percentile_error_bounded_by_bucket_width() {
+        let mut h = Histogram::linear(0.0, 1000.0, 100);
+        for i in 0..10_000 {
+            h.record(i as f64 / 10.0);
+        }
+        let width = 1000.0 / 100.0;
+        for p in [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+            let exact = p * 10.0; // uniform: p-th percentile = p% of 1000
+            let got = h.percentile(p);
+            assert!(
+                (got - exact).abs() <= width,
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    /// Log-spaced buckets keep *relative* accuracy across decades: each
+    /// estimate lands within one bucket ratio of the true value.
+    #[test]
+    fn log_percentiles_track_across_decades() {
+        let mut h = Histogram::logarithmic(1.0, 10_000.0, 80);
+        // Log-uniform samples: exp of a uniform grid over [0, ln 1e4).
+        for i in 0..8_000 {
+            h.record((i as f64 / 8_000.0 * 10_000f64.ln()).exp());
+        }
+        let ratio = 10_000f64.ln() / 80.0; // per-bucket log width
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let exact = (p / 100.0 * 10_000f64.ln()).exp();
+            let got = h.percentile(p);
+            assert!(
+                (got.ln() - exact.ln()).abs() <= ratio,
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    /// A single-bucket spike interpolates within that bucket's edges —
+    /// the estimate can never escape the containing bucket.
+    #[test]
+    fn percentile_stays_inside_the_containing_bucket() {
+        let mut h = Histogram::linear(0.0, 100.0, 10);
+        for _ in 0..500 {
+            h.record(34.0); // bucket [30, 40)
+        }
+        for p in [0.1, 25.0, 50.0, 99.9] {
+            let got = h.percentile(p);
+            assert!((30.0..=40.0).contains(&got), "p{p} escaped: {got}");
+        }
+    }
+
+    /// Merging two shards and querying equals querying the union —
+    /// what `NodeHandle::metrics` does with per-shard session times.
+    #[test]
+    fn merge_then_quantile_matches_union() {
+        let mut union = Histogram::linear(0.0, 100.0, 50);
+        let mut a = Histogram::linear(0.0, 100.0, 50);
+        let mut b = Histogram::linear(0.0, 100.0, 50);
+        for i in 0..600 {
+            let x = ((i * 7) % 100) as f64;
+            union.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), union.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn display_summarises_count_and_tail() {
+        let mut h = Histogram::linear(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let line = h.to_string();
+        assert!(line.contains("n=100"), "{line}");
+        assert!(line.contains("p50=") && line.contains("p99="), "{line}");
+        assert!(!line.contains("clamped"), "no clamps to report: {line}");
+
+        h.record(-1.0);
+        h.record(1e6);
+        let line = h.to_string();
+        assert!(line.contains("clamped=1/1"), "{line}");
+
+        let empty = Histogram::linear(0.0, 1.0, 2);
+        assert_eq!(empty.to_string(), "n=0 (empty)");
     }
 }

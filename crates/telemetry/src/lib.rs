@@ -1,0 +1,51 @@
+//! # blast-telemetry — the flight recorder
+//!
+//! The paper's core figures (2 and 3) are *event timelines*: who held
+//! the CPU and the wire, and when.  This crate gives the real system
+//! the same visibility — a sans-I/O flight recorder whose record path
+//! is **allocation-free and lock-free in the steady state**, so it can
+//! ride inside the zero-allocation packet path without perturbing the
+//! numbers it is meant to explain.
+//!
+//! * [`event`] — the vocabulary: a fixed-size [`TraceEvent`]
+//!   (relative-ns timestamp, session id, static [`EventKind`], two
+//!   payload words) and nothing else.  No strings, no boxing.
+//! * [`ring`] — per-shard bounded SPSC rings of packed events with
+//!   exact overflow accounting ([`Ring::dropped`] equals offered minus
+//!   accepted, always).  [`Telemetry`] owns the rings and merges them
+//!   into one time-ordered stream on [`Telemetry::drain`]; [`Recorder`]
+//!   is the cheap per-shard producer handle threaded through engines,
+//!   drivers and reactors.
+//! * [`export`] — two renderings of a drained stream: JSONL (one event
+//!   per line, grep-able) and the Chrome trace-event format
+//!   ([`export::chrome_trace`]), which loads directly into Perfetto
+//!   with one process track per shard and one thread track per
+//!   session.  [`export::ChromeTraceBuilder`] is the reusable
+//!   JSON-building core, also used by `blast-sim` to export the
+//!   paper's simulated timelines into the same UI.
+//!
+//! ## Example
+//!
+//! ```
+//! use blast_telemetry::{EventKind, Telemetry};
+//!
+//! let tel = Telemetry::new(2, 1024); // 2 shards, 1024 events each
+//! let rec = tel.recorder(0);
+//! rec.record(7, EventKind::SessionAdmit, 0, 64);
+//! rec.record(7, EventKind::RoundStart, 0, 64);
+//! rec.record(7, EventKind::RoundEnd, 0, 0);
+//! let events = tel.drain();
+//! assert_eq!(events.len(), 3);
+//! assert!(blast_telemetry::export::chrome_trace(&events).contains("traceEvents"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod ring;
+
+pub use event::{EventKind, TraceEvent};
+pub use export::{chrome_trace, jsonl, ChromeTraceBuilder};
+pub use ring::{Recorder, Ring, Telemetry};

@@ -1,0 +1,105 @@
+//! Property tests for the flight-recorder ring: whatever sequence of
+//! pushes and pops a shard performs, the ring never holds more than its
+//! capacity, drains in FIFO order, and accounts for every event it was
+//! offered — `offered == drained + buffered + dropped` exactly.
+
+use blast_telemetry::{EventKind, Ring, TraceEvent};
+use proptest::prelude::*;
+
+fn ev(ts: u64) -> TraceEvent {
+    TraceEvent {
+        ts_ns: ts,
+        session: (ts % 7) as u32,
+        shard: (ts % 3) as u16,
+        kind: EventKind::ALL[(ts % EventKind::ALL.len() as u64) as usize],
+        a: ts.wrapping_mul(31),
+        b: ts.wrapping_mul(17),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Push/pop in arbitrary interleavings: the occupancy never exceeds
+    /// capacity and the drop counter is exactly the number of rejected
+    /// offers.
+    #[test]
+    fn capacity_bound_and_exact_drop_accounting(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(any::<bool>(), 0..512),
+    ) {
+        let ring = Ring::new(capacity);
+        let mut offered = 0u64;
+        let mut drained = 0u64;
+        let mut buffered = 0u64;
+        for &is_push in &ops {
+            if is_push {
+                offered += 1;
+                let expect_accept = buffered < capacity as u64;
+                let accepted = ring.push(ev(offered));
+                prop_assert_eq!(accepted, expect_accept);
+                if accepted {
+                    buffered += 1;
+                }
+            } else if ring.pop().is_some() {
+                drained += 1;
+                buffered -= 1;
+            }
+            prop_assert!(ring.len() <= capacity);
+            prop_assert_eq!(ring.len() as u64, buffered);
+        }
+        // Drain the remainder and reconcile the books.
+        while ring.pop().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(offered, drained + ring.dropped());
+        prop_assert_eq!(ring.accepted(), drained);
+        prop_assert!(ring.is_empty());
+    }
+
+    /// Accepted events come back out in exactly the order they went in,
+    /// payloads intact, across wrap-arounds.
+    #[test]
+    fn fifo_order_survives_wraparound(
+        capacity in 1usize..16,
+        rounds in 1usize..20,
+    ) {
+        let ring = Ring::new(capacity);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for round in 0..rounds {
+            // Overfill by one every other round to exercise the drop path
+            // between wraps.
+            let n = capacity + (round % 2);
+            for _ in 0..n {
+                if ring.push(ev(next_in)) {
+                    next_in += 1;
+                }
+            }
+            while let Some(got) = ring.pop() {
+                prop_assert_eq!(got, ev(next_out));
+                next_out += 1;
+            }
+            prop_assert_eq!(next_in, next_out);
+        }
+    }
+
+    /// A full ring drops the *offered* event, never overwrites a
+    /// buffered one: after overflow, the retained window is the oldest
+    /// `capacity` unconsumed events.
+    #[test]
+    fn overflow_preserves_oldest(
+        capacity in 1usize..16,
+        extra in 1usize..16,
+    ) {
+        let ring = Ring::new(capacity);
+        for i in 0..(capacity + extra) as u64 {
+            ring.push(ev(i));
+        }
+        prop_assert_eq!(ring.dropped(), extra as u64);
+        for i in 0..capacity as u64 {
+            prop_assert_eq!(ring.pop(), Some(ev(i)));
+        }
+        prop_assert_eq!(ring.pop(), None);
+    }
+}

@@ -4,6 +4,8 @@ use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
 
+use blast_telemetry::Recorder;
+
 use crate::netio::{BackendKind, NetIo, NetIoStats};
 
 /// Largest datagram the drivers will send or receive.  Loopback UDP
@@ -39,6 +41,11 @@ pub trait Channel {
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// Attach a flight recorder to the channel's I/O backend, for
+    /// channels that trace syscall activity.  Wrappers should forward;
+    /// the default discards the handle so test channels stay trivial.
+    fn set_recorder(&mut self, _recorder: Recorder) {}
 }
 
 /// A connected UDP socket as a [`Channel`], running on a pluggable
@@ -119,6 +126,10 @@ impl Channel for UdpChannel {
 
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
         self.io.recv(&self.socket, buf, timeout)
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.io.set_recorder(recorder);
     }
 }
 

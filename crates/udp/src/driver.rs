@@ -63,6 +63,11 @@ pub struct Driver<C: Channel> {
     /// suits most links; raise it past the peer's retransmission
     /// interval if that interval is unusually long.
     pub linger_for: Duration,
+    /// Flight recorder, handed to the engine and the channel at
+    /// [`run`](Driver::run).  The recorder's epoch also becomes the
+    /// engine's `set_now` base, so engine events and the backend's
+    /// syscall events land on one consistent timeline.
+    pub recorder: Option<blast_telemetry::Recorder>,
 }
 
 impl<C: Channel> Driver<C> {
@@ -74,7 +79,14 @@ impl<C: Channel> Driver<C> {
             deadline: Duration::from_secs(60),
             linger: false,
             linger_for: LINGER,
+            recorder: None,
         }
+    }
+
+    /// Attach a flight recorder (see [`Driver::recorder`]).
+    pub fn with_recorder(mut self, recorder: blast_telemetry::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Enable receiver lingering.
@@ -113,7 +125,18 @@ impl<C: Channel> Driver<C> {
         // run: `execute` drains it, so the packet loop reuses its
         // capacity instead of allocating a sink per datagram.
         let mut actions: Vec<Action> = Vec::new();
-        engine.set_now(Duration::ZERO);
+        // With a recorder attached, the engine's clock runs from the
+        // recorder's epoch instead of the run start, so `record_at`
+        // timestamps merge cleanly with the backend's `record` ones.
+        let clock = match &self.recorder {
+            Some(rec) => {
+                engine.set_recorder(rec.clone());
+                self.channel.set_recorder(rec.clone());
+                rec.epoch()
+            }
+            None => start,
+        };
+        engine.set_now(clock.elapsed());
         engine.start(&mut actions);
         self.execute(&mut actions, &mut sent, &mut timers)?;
 
@@ -138,7 +161,7 @@ impl<C: Channel> Driver<C> {
 
             // Fire due timers.
             while let Some(token) = timers.pop_due(now) {
-                engine.set_now(now.duration_since(start));
+                engine.set_now(now.duration_since(clock));
                 engine.on_timer(token, &mut actions);
                 let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                 if let Some(info) = done {
@@ -185,7 +208,7 @@ impl<C: Channel> Driver<C> {
                         }
                         continue;
                     }
-                    engine.set_now(start.elapsed());
+                    engine.set_now(clock.elapsed());
                     engine.on_datagram(&dgram, &mut actions);
                     let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                     if let Some(info) = done {

@@ -162,6 +162,10 @@ impl<C: Channel> Channel for FaultyChannel<C> {
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
         self.inner.recv_timeout(buf, timeout)
     }
+
+    fn set_recorder(&mut self, recorder: blast_telemetry::Recorder) {
+        self.inner.set_recorder(recorder);
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,10 @@ impl<C: Channel> Channel for FcsChannel<C> {
         self.inner.flush()
     }
 
+    fn set_recorder(&mut self, recorder: blast_telemetry::Recorder) {
+        self.inner.set_recorder(recorder);
+    }
+
     fn recv_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
         loop {
             match self.inner.recv_timeout(buf, timeout)? {

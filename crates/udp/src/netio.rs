@@ -32,6 +32,7 @@ use std::time::Duration;
 use std::time::Instant;
 
 use blast_core::PacingConfig;
+use blast_telemetry::{EventKind, Recorder};
 
 /// Datagrams a single `sendmmsg`/`recvmmsg` submission can carry.  A
 /// full AIMD-grown blast burst (256 packets) flushes in a handful of
@@ -102,6 +103,9 @@ pub struct NetIo {
     imp: Impl,
     /// Syscall accounting, exposed for node metrics and the perf JSON.
     pub stats: NetIoStats,
+    /// Flight recorder: batch submissions, wait outcomes and kernel
+    /// send-drops become trace events (session track 0).
+    recorder: Option<Recorder>,
 }
 
 #[derive(Debug)]
@@ -154,6 +158,7 @@ impl NetIo {
         Some(NetIo {
             imp: Impl::Batched(Box::new(imp)),
             stats: NetIoStats::default(),
+            recorder: None,
         })
     }
 
@@ -167,6 +172,41 @@ impl NetIo {
         NetIo {
             imp: Impl::Portable(PortableIo::new(reactor)),
             stats: NetIoStats::default(),
+            recorder: None,
+        }
+    }
+
+    /// Attach a flight recorder.  Afterwards every batch submission
+    /// ([`EventKind::BatchSubmit`]: a = datagrams, b = syscalls), wait
+    /// outcome ([`EventKind::WakeEvent`] / [`EventKind::WakeTimeout`])
+    /// and kernel send-drop ([`EventKind::SendDrop`]) is traced on
+    /// session track 0 of the recorder's shard.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Emit trace events for whatever the counters say happened since
+    /// `before`.  Diffing the public stats keeps the two backends free
+    /// of trace plumbing: one site per public entry point.
+    fn trace_delta(&self, before: &NetIoStats) {
+        let Some(rec) = &self.recorder else { return };
+        let s = &self.stats;
+        if s.datagrams_sent > before.datagrams_sent {
+            rec.record(
+                0,
+                EventKind::BatchSubmit,
+                s.datagrams_sent - before.datagrams_sent,
+                s.send_batches - before.send_batches,
+            );
+        }
+        if s.send_drops > before.send_drops {
+            rec.record(0, EventKind::SendDrop, s.send_drops - before.send_drops, 0);
+        }
+        if s.wakeups > before.wakeups {
+            rec.record(0, EventKind::WakeEvent, s.wakeups - before.wakeups, 0);
+        }
+        if s.timeouts > before.timeouts {
+            rec.record(0, EventKind::WakeTimeout, s.timeouts - before.timeouts, 0);
         }
     }
 
@@ -198,7 +238,8 @@ impl NetIo {
         frame: &[u8],
         to: Option<SocketAddr>,
     ) -> io::Result<()> {
-        match &mut self.imp {
+        let before = self.stats;
+        let result = match &mut self.imp {
             #[cfg(netio_batched)]
             Impl::Batched(b) => {
                 if b.send_full() {
@@ -208,17 +249,22 @@ impl NetIo {
                 Ok(())
             }
             Impl::Portable(p) => p.send_now(socket, frame, to, &mut self.stats),
-        }
+        };
+        self.trace_delta(&before);
+        result
     }
 
     /// Put every staged datagram on the wire in as few syscalls as the
     /// backend can manage.  A no-op with nothing staged.
     pub fn flush(&mut self, socket: &UdpSocket) -> io::Result<()> {
-        match &mut self.imp {
+        let before = self.stats;
+        let result = match &mut self.imp {
             #[cfg(netio_batched)]
             Impl::Batched(b) => b.flush(socket, &mut self.stats),
             Impl::Portable(_) => Ok(()),
-        }
+        };
+        self.trace_delta(&before);
+        result
     }
 
     /// Receive one datagram on a connected socket within `timeout`
@@ -233,13 +279,14 @@ impl NetIo {
         buf: &mut [u8],
         timeout: Duration,
     ) -> io::Result<Option<usize>> {
-        match &mut self.imp {
+        let before = self.stats;
+        let result = match &mut self.imp {
             #[cfg(netio_batched)]
             Impl::Batched(b) => {
                 let deadline = Instant::now() + timeout;
                 loop {
                     if let Some((n, _)) = b.pop_into(buf) {
-                        return Ok(Some(n));
+                        break Ok(Some(n));
                     }
                     if b.fill(socket, &mut self.stats)? > 0 {
                         continue;
@@ -247,15 +294,17 @@ impl NetIo {
                     let now = Instant::now();
                     if now >= deadline {
                         self.stats.timeouts += 1;
-                        return Ok(None);
+                        break Ok(None);
                     }
                     if !b.wait(deadline - now, &mut self.stats)? {
-                        return Ok(None);
+                        break Ok(None);
                     }
                 }
             }
             Impl::Portable(p) => p.recv(socket, buf, timeout, &mut self.stats),
-        }
+        };
+        self.trace_delta(&before);
+        result
     }
 
     /// Non-blocking reactor drain: pull up to a batch of datagrams off
@@ -269,6 +318,12 @@ impl NetIo {
             Impl::Batched(b) => b.fill(socket, &mut self.stats),
             Impl::Portable(p) => p.fill(socket, &mut self.stats),
         }
+    }
+
+    /// Take a copy of the counters (for delta accounting around a
+    /// reactor tick).
+    pub fn stats_snapshot(&self) -> NetIoStats {
+        self.stats
     }
 
     /// Pop one previously-[`fill`](NetIo::fill)ed datagram into `buf`,
@@ -287,11 +342,14 @@ impl NetIo {
     /// (clamped to a millisecond) and conservatively reports a timeout;
     /// the caller's next [`fill`](NetIo::fill) discovers any traffic.
     pub fn wait(&mut self, timeout: Duration) -> io::Result<bool> {
-        match &mut self.imp {
+        let before = self.stats;
+        let result = match &mut self.imp {
             #[cfg(netio_batched)]
             Impl::Batched(b) => b.wait(timeout, &mut self.stats),
             Impl::Portable(p) => p.wait(timeout, &mut self.stats),
-        }
+        };
+        self.trace_delta(&before);
+        result
     }
 }
 

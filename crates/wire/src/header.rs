@@ -59,6 +59,10 @@ pub enum PacketKind {
     Request = 3,
     /// Abort an in-progress transfer.
     Cancel = 4,
+    /// Control-plane stats query/reply: a client asks a node for a
+    /// live metrics snapshot; the node answers with the same kind and
+    /// a small text payload.  Carries no transfer state.
+    Stats = 5,
 }
 
 impl PacketKind {
@@ -69,6 +73,7 @@ impl PacketKind {
             2 => Ok(PacketKind::Ack),
             3 => Ok(PacketKind::Request),
             4 => Ok(PacketKind::Cancel),
+            5 => Ok(PacketKind::Stats),
             other => Err(WireError::BadKind { found: other }),
         }
     }
@@ -81,6 +86,7 @@ impl fmt::Display for PacketKind {
             PacketKind::Ack => "ACK",
             PacketKind::Request => "REQ",
             PacketKind::Cancel => "CANCEL",
+            PacketKind::Stats => "STATS",
         };
         f.write_str(s)
     }
@@ -588,10 +594,11 @@ mod tests {
             PacketKind::Ack,
             PacketKind::Request,
             PacketKind::Cancel,
+            PacketKind::Stats,
         ] {
             assert_eq!(PacketKind::from_u8(kind as u8).unwrap(), kind);
         }
         assert!(PacketKind::from_u8(0).is_err());
-        assert!(PacketKind::from_u8(5).is_err());
+        assert!(PacketKind::from_u8(6).is_err());
     }
 }

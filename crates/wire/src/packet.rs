@@ -247,6 +247,14 @@ impl DatagramBuilder {
     pub fn build_cancel(&self, buf: &mut [u8]) -> WireResult<usize> {
         self.emit(buf, PacketKind::Cancel, 0, 0, 0, &[], 0, 0)
     }
+
+    /// Build a control-plane stats packet.  A query carries an empty
+    /// payload; the node's reply reuses the kind with the snapshot text
+    /// as payload.  `seq` echoes the query's nonce so a client can
+    /// match replies to requests.
+    pub fn build_stats(&self, buf: &mut [u8], seq: u32, payload: &[u8]) -> WireResult<usize> {
+        self.emit(buf, PacketKind::Stats, seq, 0, 0, payload, 0, 0)
+    }
 }
 
 #[cfg(test)]

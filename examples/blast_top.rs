@@ -1,0 +1,79 @@
+//! `blast-top` — a live dashboard for a running blast node.
+//!
+//! Polls the node's remote `Stats` control verb (a single datagram
+//! round-trip, no session) and prints the merged metrics snapshot plus
+//! the per-shard breakdown, like `top` for blast transfers:
+//!
+//! ```bash
+//! cargo run --release --example node_server -- 47611 4 &
+//! cargo run --release --example blast_top -- 127.0.0.1:47611
+//! cargo run --release --example blast_top -- 127.0.0.1:47611 --interval 500 --iterations 3
+//! ```
+//!
+//! `--interval <ms>` sets the refresh period (default 1000);
+//! `--iterations <n>` exits after n snapshots (default: run until
+//! interrupted) — that finite mode is what CI smoke-runs.
+
+use std::time::Duration;
+
+use blast_node::client;
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: blast_top <addr> [--interval <ms>] [--iterations <n>]";
+    let mut addr = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut iterations: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{usage}"));
+                interval = Duration::from_millis(ms);
+            }
+            "--iterations" => {
+                iterations = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("{usage}")),
+                );
+            }
+            other => {
+                if addr.replace(other.to_string()).is_some() {
+                    eprintln!("{usage}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let addr: std::net::SocketAddr = addr.parse().expect("node address like 127.0.0.1:47611");
+
+    // Patience per poll: generous enough for a loaded node, short
+    // enough that a dead address fails fast.
+    let patience = interval.max(Duration::from_millis(250)) * 4;
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        match client::node_stats(client::connect(addr)?, patience) {
+            Ok(snapshot) => {
+                println!("── blast-top @ {addr} ── snapshot {tick} ──");
+                print!("{snapshot}");
+                if !snapshot.ends_with('\n') {
+                    println!();
+                }
+            }
+            Err(e) => eprintln!("snapshot {tick}: {e}"),
+        }
+        if iterations.is_some_and(|n| tick >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`vkernel`] | Miniature V-kernel IPC: processes, Send/Receive/Reply, MoveTo/MoveFrom, file server |
 //! | [`udp`] | The same engines over real UDP sockets with fault injection |
 //! | [`node`] | Concurrent blast transfer server: many push/pull sessions across N `SO_REUSEPORT` reactor shards |
+//! | [`telemetry`] | Flight recorder: zero-alloc SPSC event rings, JSONL + Perfetto (Chrome trace-event) exporters |
 //! | [`stats`] | Experiment support: online statistics, histograms, tables, ASCII charts |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the
@@ -50,6 +51,12 @@ pub use blast_node as node;
 pub use blast_node::{shared_store, MemStore, NodeBuilder, NodeHandle, SharedStore, Store};
 pub use blast_sim as sim;
 pub use blast_stats as stats;
+pub use blast_telemetry as telemetry;
+/// The flight recorder's handles, re-exported at the top level: create
+/// a [`Telemetry`] (or get one from `NodeBuilder::telemetry`), thread
+/// [`Recorder`]s through engines and drivers, and drain the merged
+/// stream into `telemetry::export::{jsonl, chrome_trace}`.
+pub use blast_telemetry::{Recorder, Telemetry};
 pub use blast_udp as udp;
 pub use blast_vkernel as vkernel;
 pub use blast_wire as wire;
