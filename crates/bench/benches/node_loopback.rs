@@ -7,14 +7,11 @@
 //! a transfer node is judged on.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use blast_core::ProtocolConfig;
-use blast_node::client;
 use blast_node::server::NodeBuilder;
-use blast_udp::channel::UdpChannel;
+use blast_node::Client;
 
 const BYTES_PER_SESSION: usize = 256 * 1024;
 
@@ -44,20 +41,16 @@ fn bench_node(c: &mut Criterion) {
                     .start()
                     .unwrap();
                 let addr = node.addr();
-                let ids = Arc::new(AtomicU64::new(1));
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
                     let t0 = std::time::Instant::now();
                     let handles: Vec<_> = (0..sessions)
                         .map(|s| {
                             let data = data.clone();
-                            let ids = Arc::clone(&ids);
                             std::thread::spawn(move || {
-                                let id = ids.fetch_add(1, Ordering::Relaxed) as u32;
-                                let cfg = client_cfg();
-                                let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr)
-                                    .unwrap();
-                                client::push_blob(ch, id, &format!("s{s}"), &data, &cfg).unwrap();
+                                let mut client =
+                                    Client::connect(addr).unwrap().config(client_cfg());
+                                client.push(&format!("s{s}"), &data).unwrap();
                             })
                         })
                         .collect();

@@ -38,9 +38,8 @@ use blast_stats::Histogram;
 // the packets moved — allocations per packet is the headline number the
 // zero-allocation hot path is judged on.
 use blast_counting_alloc::{allocations, CountingAlloc};
-use blast_node::client;
 use blast_node::server::NodeBuilder;
-use blast_udp::channel::UdpChannel;
+use blast_node::Client;
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
@@ -294,10 +293,11 @@ fn node_record(
                 let cfg = client_cfg.clone();
                 std::thread::spawn(move || {
                     std::thread::sleep(stagger);
-                    let ch = UdpChannel::connect("127.0.0.1:0".parse().expect("literal"), addr)
-                        .expect("connect");
-                    let report =
-                        client::push_blob(ch, id, &format!("s{id}"), &data, &cfg).expect("push");
+                    let mut client = Client::connect(addr)
+                        .expect("connect")
+                        .config(cfg)
+                        .transfer_ids_from(id);
+                    let report = client.push(&format!("s{id}"), &data).expect("push");
                     (report.elapsed.as_secs_f64() * 1e3, report.pacing)
                 })
             })
@@ -380,6 +380,72 @@ fn node_record(
     r
 }
 
+/// Third-party copy measurement: one source node seeded with a blob,
+/// one destination node, and a client orchestrating the move `repeats`
+/// times.  `relayed` measures the legacy path — the client pulls the
+/// blob from the source and pushes it to the destination, every byte
+/// crossing the client twice — while the direct path issues a single
+/// `Copy` verb and the source blasts straight at the destination
+/// (including the end-to-end digest check).  Direct beating relayed is
+/// the claim the copy records exist to keep honest.
+fn copy_record(bytes: usize, repeats: usize, relayed: bool) -> Record {
+    let data = SessionRng::new(0xC0FFEE).payload(bytes);
+    let store = blast_node::shared_store();
+    store.put("blob", data.clone().into());
+    let src = NodeBuilder::new()
+        .max_retries(100_000)
+        .store(store)
+        .start()
+        .expect("source node");
+    let dst = NodeBuilder::new()
+        .max_retries(100_000)
+        .start()
+        .expect("destination node");
+    // Persistent clients, connected outside the measured window: the
+    // direct path drives the source, the relayed path additionally
+    // pushes through a client connected to the destination.
+    let mut source_client = Client::connect(src.addr()).expect("connect source");
+    let mut dest_client = Client::connect(dst.addr()).expect("connect destination");
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut goodputs: Vec<f64> = Vec::new();
+    let allocs_before = allocations();
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        if relayed {
+            let pulled = source_client.pull("blob").expect("relay pull");
+            dest_client.push("blob", &pulled.data).expect("relay push");
+        } else {
+            let report = source_client
+                .copy_to("blob", dst.addr())
+                .expect("third-party copy");
+            assert!(report.verified, "replica digest mismatch");
+        }
+        let elapsed = t0.elapsed();
+        latencies.push(elapsed.as_secs_f64() * 1e3);
+        goodputs.push(mbps(bytes as u64, elapsed));
+    }
+    let allocs = allocations() - allocs_before;
+    src.wait_idle(Duration::from_secs(10));
+    dst.wait_idle(Duration::from_secs(10));
+    let ms = src.shutdown().expect("source shutdown");
+    let md = dst.shutdown().expect("destination shutdown");
+    let packets =
+        ms.datagrams_received + ms.datagrams_sent + md.datagrams_received + md.datagrams_sent;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let name = format!(
+        "copy_{}_{}k",
+        if relayed { "relayed" } else { "direct" },
+        bytes / 1024
+    );
+    let mut r = Record::new(name, bytes, repeats);
+    r.goodput_mbps = goodputs.iter().sum::<f64>() / goodputs.len().max(1) as f64;
+    r.p50_ms = percentile(&latencies, 0.50);
+    r.p99_ms = percentile(&latencies, 0.99);
+    r.packets = packets;
+    r.allocs_per_packet = allocs as f64 / packets.max(1) as f64;
+    r
+}
+
 /// Export a sample Perfetto trace: a 4-shard node with the flight
 /// recorder on, serving concurrent pulls (node-side senders, so the
 /// blast rounds and AIMD transitions happen where the recorder is) and
@@ -405,9 +471,9 @@ fn write_sample_trace(path: &str) {
                 let mut cfg = ProtocolConfig::default();
                 cfg.timeout = AdaptiveTimeout::lan();
                 cfg.max_retries = 100_000;
-                let ch = UdpChannel::connect("127.0.0.1:0".parse().expect("literal"), addr)
-                    .expect("connect");
-                client::pull_blob(ch, 500 + i as u32, &format!("trace-{}", i % 4), &cfg)
+                let mut client = Client::connect(addr).expect("connect").config(cfg);
+                client
+                    .pull(&format!("trace-{}", i % 4))
                     .expect("trace pull");
             })
         })
@@ -415,8 +481,10 @@ fn write_sample_trace(path: &str) {
     for h in handles {
         h.join().expect("trace client");
     }
-    let ch = client::connect(addr).expect("stats connect");
-    client::node_stats(ch, Duration::from_secs(5)).expect("stats query");
+    let mut stats_client = Client::connect(addr)
+        .expect("stats connect")
+        .patience(Duration::from_secs(5));
+    stats_client.stats().expect("stats query");
     node.wait_idle(Duration::from_secs(10));
     let events = node.drain_trace();
     let dropped = node.telemetry_dropped();
@@ -505,7 +573,7 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
 fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: &[LossRecord]) {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v4\",");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v6\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -729,6 +797,11 @@ fn main() {
             ));
         }
     }
+    // Third-party copy vs client relay: same blob, same pair of nodes
+    // — the committed proof that the Copy verb's node-to-node blast
+    // beats hauling the bytes through the client.
+    node.push(copy_record(NODE_BYTES, node_repeats, false));
+    node.push(copy_record(NODE_BYTES, node_repeats, true));
     print_summary("node_loopback (concurrent push fan-in over UDP)", &node);
     for r in &node {
         if let (Some(ev), Some(dr)) = (r.trace_events, r.trace_dropped) {

@@ -217,6 +217,54 @@ fn sharding_delta(file: &str, fresh_dir: &Path, out: &mut String) {
     }
 }
 
+/// Split a direct third-party-copy record name `copy_direct_256k` into
+/// the name of its client-relayed sibling `copy_relayed_256k`.
+fn relayed_sibling(name: &str) -> Option<String> {
+    let size = name.strip_prefix("copy_direct_")?;
+    Some(format!("copy_relayed_{size}"))
+}
+
+/// Render the third-party-copy delta table for one fresh file: every
+/// `copy_direct_*` record paired with its `copy_relayed_*` sibling
+/// from the same run — what the `Copy` verb's node-to-node blast buys
+/// over hauling the bytes through the client.
+fn copy_delta(file: &str, fresh_dir: &Path, out: &mut String) {
+    let fresh = parse(&fresh_dir.join(file));
+    let pairs: Vec<(&Entry, &Entry)> = fresh
+        .iter()
+        .filter_map(|d| {
+            let sibling = relayed_sibling(&d.name)?;
+            let relayed = fresh.iter().find(|e| e.name == sibling)?;
+            Some((relayed, d))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\n### Third-party copy vs client relay ({file}, fresh run)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| workload | goodput MB/s (relayed → direct) | Δ | p99 ms (relayed → direct) | Δ |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (relayed, direct) in pairs {
+        let _ = writeln!(
+            out,
+            "| {} | {} → {} | {} | {} → {} | {} |",
+            direct.name,
+            fmt_opt(relayed.goodput_mbps, 2),
+            fmt_opt(direct.goodput_mbps, 2),
+            delta_cell(relayed.goodput_mbps, direct.goodput_mbps),
+            fmt_opt(relayed.p99_ms, 2),
+            fmt_opt(direct.p99_ms, 2),
+            delta_cell(relayed.p99_ms, direct.p99_ms),
+        );
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut title = String::from("Perf trajectory vs committed baseline");
@@ -257,6 +305,9 @@ fn main() {
     for &file in &files {
         recorder_delta(file, fresh_dir, &mut out);
     }
+    for &file in &files {
+        copy_delta(file, fresh_dir, &mut out);
+    }
     print!("{out}");
 }
 
@@ -293,6 +344,16 @@ mod tests {
         // `_rec` strips before `_sN` pairing would: a `_rec` record
         // never also parses as a sharded base of something else.
         assert_eq!(sharded_base("push_16x256k_rec"), None);
+    }
+
+    #[test]
+    fn copy_names_pair_direct_with_relayed() {
+        assert_eq!(
+            relayed_sibling("copy_direct_256k").as_deref(),
+            Some("copy_relayed_256k")
+        );
+        assert_eq!(relayed_sibling("copy_relayed_256k"), None);
+        assert_eq!(relayed_sibling("push_16x256k"), None);
     }
 
     #[test]

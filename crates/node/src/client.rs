@@ -1,18 +1,46 @@
-//! Client-side one-call operations against a node.
+//! The client handle: one connection to a node, every operation on it.
 //!
-//! Mirrors `blast_udp::peer` but speaks the node's named-blob dialect:
-//! [`push_blob`] stores bytes under a name, [`pull_blob`] fetches a
-//! named blob whose size the client learns from the handshake echo.
-//! Both are generic over [`Channel`] so tests can interpose
-//! `FaultyChannel` and exercise the retransmission machinery.
+//! [`Client`] owns a connected, FCS-framed channel plus the protocol
+//! configuration, warmed buffer pool and (optional) flight recorder
+//! that every operation shares.  Construct with [`Client::connect`]
+//! (real UDP) or [`Client::over`] (any [`Channel`], e.g. a
+//! `FaultyChannel` in tests), tune with the fluent setters, then call
+//! [`push`](Client::push) / [`pull`](Client::pull) /
+//! [`stats`](Client::stats) — or orchestrate node-to-node transfers
+//! with [`copy_to`](Client::copy_to), [`copy_from`](Client::copy_from)
+//! and [`fan_out`](Client::fan_out).
+//!
+//! ```no_run
+//! # fn main() -> std::io::Result<()> {
+//! use blast_node::client::Client;
+//! use std::time::Duration;
+//!
+//! let node = "127.0.0.1:4510".parse().unwrap();
+//! let mut client = Client::connect(node)?
+//!     .timeout(Duration::from_millis(25))
+//!     .retries(64);
+//! client.push("blob", b"payload")?;
+//! let report = client.pull("blob")?;
+//! assert_eq!(report.data, b"payload");
+//! # Ok(()) }
+//! ```
+//!
+//! Transfer ids are allocated automatically from a base derived from
+//! the client's own ephemeral port, so concurrent clients against one
+//! node do not collide (the node keys sessions by transfer id alone).
+//! Pin the counter with [`transfer_ids_from`](Client::transfer_ids_from)
+//! when a test asserts specific ids.
 
 use std::io;
 use std::net::SocketAddr;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use blast_core::blast::{BlastReceiver, BlastSender};
 use blast_core::config::ProtocolConfig;
+use blast_core::{AdaptiveTimeout, PacingConfig, RetxStrategy};
+use blast_telemetry::Recorder;
 use blast_udp::channel::{Channel, UdpChannel, MAX_DATAGRAM};
+use blast_udp::copy::{errcode, BlobDigest, CopyMode, CopyMsg, CopyState, CopyStatus, CopySubmit};
 use blast_udp::driver::Driver;
 use blast_udp::fcs::FcsChannel;
 use blast_udp::handshake::{self, Request};
@@ -27,13 +55,584 @@ fn retry_interval(cfg: &ProtocolConfig) -> Duration {
     cfg.timeout.initial().min(Duration::from_millis(200))
 }
 
-/// Overall handshake patience.
-const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
+/// Default patience for handshakes, control queries and whole copies.
+const DEFAULT_PATIENCE: Duration = Duration::from_secs(30);
 
-/// Bind an ephemeral local port connected to `node` — the usual way to
-/// get a client [`Channel`].  The local socket matches the node's
-/// address family (a loopback-bound socket could not reach a LAN
-/// address, nor a v4 socket a v6 node).
+/// How long a copy poll sleeps between status queries — short enough
+/// that a loopback copy's `Running` phase is still observed, long
+/// enough not to busy-spin the node's control plane.
+const COPY_POLL: Duration = Duration::from_millis(2);
+
+/// How many buffers the client's pool pre-fills at construction, so
+/// the first push's burst does not allocate mid-flight.
+const POOL_WARM: usize = 32;
+
+/// The orchestration record of one node-to-node copy: identity,
+/// outcome, digest-verification verdict, and every status the client
+/// observed while polling (the per-copy progress trail).
+#[derive(Debug, Clone)]
+pub struct CopyReport {
+    /// The copy's id (also the transfer id of the node-to-node leg).
+    pub copy_id: u32,
+    /// Which way the bytes flowed, from the submitted-to node's view.
+    pub mode: CopyMode,
+    /// The far node of the node-to-node leg.
+    pub remote: SocketAddr,
+    /// Terminal lifecycle state.
+    pub state: CopyState,
+    /// [`errcode`] detail when `state` is [`CopyState::Failed`].
+    pub error: u8,
+    /// Bytes the copy moved.
+    pub bytes: u64,
+    /// CRC-32 of the moved blob, as reported by the submitted-to node.
+    pub crc32: u32,
+    /// Wall-clock time from submit to terminal status.
+    pub elapsed: Duration,
+    /// Whether the far node's digest matched the source's length and
+    /// CRC-32 — the end-to-end byte-verification verdict.
+    pub verified: bool,
+    /// Every status observed, submit acknowledgement through terminal.
+    pub progress: Vec<CopyStatus>,
+}
+
+/// A connection to one node: channel, configuration and telemetry in
+/// one handle.  See the [module docs](self) for the usual flow.
+#[derive(Debug)]
+pub struct Client<C: Channel = UdpChannel> {
+    channel: FcsChannel<C>,
+    cfg: ProtocolConfig,
+    patience: Duration,
+    recorder: Option<Recorder>,
+    local: Option<SocketAddr>,
+    next_id: u32,
+    nonce: u32,
+}
+
+impl Client<UdpChannel> {
+    /// Connect to `node` from an ephemeral local port.  The local
+    /// socket matches the node's address family (a v4 socket cannot
+    /// reach a v6 node, nor vice versa).
+    pub fn connect(node: SocketAddr) -> io::Result<Self> {
+        let local: SocketAddr = if node.is_ipv4() {
+            "0.0.0.0:0".parse().expect("literal addr")
+        } else {
+            "[::]:0".parse().expect("literal addr")
+        };
+        let channel = UdpChannel::connect(local, node)?;
+        let local = channel.local_addr().ok();
+        let mut client = Client::over(channel);
+        client.local = local;
+        // Seed the transfer-id counter from our own ephemeral port:
+        // the node demuxes sessions by transfer id alone, so two
+        // clients must not hand it the same id.  The port is unique
+        // per live client on a host; the low 16 bits count within it.
+        if let Some(addr) = local {
+            client.next_id = (u32::from(addr.port()) << 16) | 1;
+        }
+        Ok(client)
+    }
+}
+
+impl<C: Channel> Client<C> {
+    /// Wrap an already-connected channel (tests interpose
+    /// `FaultyChannel` here to exercise retransmission).  Transfer ids
+    /// count from 1; pin with
+    /// [`transfer_ids_from`](Client::transfer_ids_from) if they might
+    /// collide with another client of the same node.
+    pub fn over(channel: C) -> Self {
+        let cfg = default_config();
+        cfg.pool.warm(POOL_WARM);
+        Client {
+            channel: FcsChannel::new(channel),
+            cfg,
+            patience: DEFAULT_PATIENCE,
+            recorder: None,
+            local: None,
+            next_id: 1,
+            nonce: 0,
+        }
+    }
+
+    /// Set the data-phase retransmission timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.timeout = timeout.into();
+        self
+    }
+
+    /// Set the adaptive-timeout policy wholesale (seed, bounds,
+    /// backoff) instead of just its initial value.
+    pub fn adaptive_timeout(mut self, timeout: AdaptiveTimeout) -> Self {
+        self.cfg.timeout = timeout;
+        self
+    }
+
+    /// Set the per-transfer retransmission budget.
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.cfg.max_retries = max_retries;
+        self
+    }
+
+    /// Set the burst pacing policy.
+    pub fn pacing(mut self, pacing: PacingConfig) -> Self {
+        self.cfg.pacing = pacing;
+        self
+    }
+
+    /// Set the retransmission strategy the handshake proposes.
+    pub fn strategy(mut self, strategy: RetxStrategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Replace the whole protocol configuration (the fine-grained
+    /// setters cover the common knobs; this covers the rest).
+    pub fn config(mut self, cfg: ProtocolConfig) -> Self {
+        cfg.pool.warm(POOL_WARM);
+        self.cfg = cfg;
+        self
+    }
+
+    /// Bound how long handshakes, control queries and whole copies may
+    /// take before erroring `TimedOut` (default 30 s).
+    pub fn patience(mut self, patience: Duration) -> Self {
+        self.patience = patience;
+        self
+    }
+
+    /// Attach a flight recorder: engines and the channel's I/O backend
+    /// trace into it, and copy submits carry its epoch so remote spans
+    /// line up with local ones in one Perfetto view.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.channel.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Pin the transfer-id counter (tests that assert specific ids;
+    /// see the [module docs](self) on why the default is derived from
+    /// the local port).
+    pub fn transfer_ids_from(mut self, first_id: u32) -> Self {
+        self.next_id = first_id;
+        self
+    }
+
+    /// The protocol configuration operations will use.
+    pub fn protocol(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The local socket address (known for [`Client::connect`]
+    /// clients; `None` when wrapped [`over`](Client::over) an opaque
+    /// channel).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local
+    }
+
+    fn alloc_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    /// Store `data` on the node as the named blob `name`, blocking
+    /// until the node acknowledges the whole transfer.
+    pub fn push(&mut self, name: &str, data: &[u8]) -> io::Result<TransferReport> {
+        let transfer_id = self.alloc_id();
+        let request = Request::push(data.len(), &self.cfg, false).with_name(name);
+        let reply = handshake::initiate(
+            &mut self.channel,
+            transfer_id,
+            &request,
+            retry_interval(&self.cfg),
+            self.patience,
+        )?;
+
+        let mut engine = BlastSender::new(transfer_id, data.to_vec().into(), &self.cfg);
+        let drops_before = self.channel.fcs_drops;
+        let mut driver = Driver::new(&mut self.channel);
+        if let Some(rec) = &self.recorder {
+            driver = driver.with_recorder(rec.clone());
+        }
+        let out = driver.run(&mut engine)?;
+        drop(driver);
+        let fcs_drops = self.channel.fcs_drops - drops_before;
+        match out.completion.result {
+            Ok(_) => Ok(TransferReport {
+                data: Vec::new(),
+                elapsed: out.elapsed,
+                stats: out.completion.stats,
+                pacing: engine.pacing_snapshot(),
+                datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
+                datagrams_received: out.datagrams_received,
+                malformed: out.malformed + fcs_drops,
+            }),
+            Err(e) => Err(io::Error::other(format!("push failed: {e}"))),
+        }
+    }
+
+    /// Fetch the named blob `name` from the node.  The blob's size
+    /// comes back in the handshake echo; the receive buffer is
+    /// pre-allocated from it before the data phase (the paper's
+    /// premise).
+    ///
+    /// Errors with `NotFound` if the node does not have the blob.
+    pub fn pull(&mut self, name: &str) -> io::Result<TransferReport> {
+        let transfer_id = self.alloc_id();
+        let request = Request::pull(name, &self.cfg);
+        let reply = handshake::initiate(
+            &mut self.channel,
+            transfer_id,
+            &request,
+            retry_interval(&self.cfg),
+            self.patience,
+        )?;
+
+        let mut engine = BlastReceiver::new(transfer_id, reply.echoed.len, &self.cfg);
+        // The linger window is a quiet window (traffic restarts it):
+        // make it comfortably longer than the node's
+        // tail-retransmission interval so the driver stays for as many
+        // re-ack rounds as the node needs, yet a clean exit costs only
+        // ~100 ms.
+        let linger = (self.cfg.timeout.initial() * 4).max(Duration::from_millis(100));
+        let drops_before = self.channel.fcs_drops;
+        let mut driver = Driver::new(&mut self.channel).with_linger_for(linger);
+        if let Some(rec) = &self.recorder {
+            driver = driver.with_recorder(rec.clone());
+        }
+        let out = driver.run(&mut engine)?;
+        drop(driver);
+        let fcs_drops = self.channel.fcs_drops - drops_before;
+        match out.completion.result {
+            Ok(_) => Ok(TransferReport {
+                data: engine.into_data(),
+                elapsed: out.elapsed,
+                stats: out.completion.stats,
+                pacing: None,
+                datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
+                datagrams_received: out.datagrams_received,
+                malformed: out.malformed + fcs_drops,
+            }),
+            Err(e) => Err(io::Error::other(format!("pull failed: {e}"))),
+        }
+    }
+
+    /// Ask the node for a live metrics snapshot (the `Stats` control
+    /// verb): the merged `NodeMetrics` summary plus one line per shard
+    /// — the remote twin of `NodeHandle::metrics().summary()`.  The
+    /// query datagram is retransmitted until the reply arrives or the
+    /// client's patience runs out, so it survives the same loss the
+    /// data plane does.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let mut query = [0u8; blast_wire::HEADER_LEN];
+        let n = DatagramBuilder::new(0)
+            .build_stats(&mut query, 0, &[])
+            .expect("empty stats query fits");
+        let deadline = Instant::now() + self.patience;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        loop {
+            self.channel.send(&query[..n])?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "stats query timed out",
+                ));
+            }
+            let wait = (deadline - now).min(Duration::from_millis(100));
+            if let Some(got) = self.channel.recv_timeout(&mut buf, wait)? {
+                if let Ok(dgram) = Datagram::parse(&buf[..got]) {
+                    if dgram.kind == PacketKind::Stats {
+                        return Ok(String::from_utf8_lossy(dgram.payload).into_owned());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ask the node whether it holds `name`, and for its length and
+    /// CRC-32 if so — the verification primitive behind
+    /// [`copy_to`](Client::copy_to)'s `verified` verdict, usable on
+    /// its own to audit a replica.
+    pub fn digest(&mut self, name: &str) -> io::Result<BlobDigest> {
+        let deadline = Instant::now() + self.patience;
+        let msg = CopyMsg::Digest { name: name.into() };
+        match self.copy_rpc(0, &msg, deadline)? {
+            CopyMsg::DigestReply(d) => Ok(d),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("node answered digest with {other:?}"),
+            )),
+        }
+    }
+
+    /// One control-plane round trip: send `msg` on a `Copy` datagram
+    /// under `copy_id`, retransmit until a reply echoes this request's
+    /// nonce, return the decoded reply.  Stale replies (earlier
+    /// nonces, other copies) are skipped, not misread.
+    fn copy_rpc(&mut self, copy_id: u32, msg: &CopyMsg, deadline: Instant) -> io::Result<CopyMsg> {
+        self.nonce = self.nonce.wrapping_add(1);
+        let nonce = self.nonce;
+        let payload = msg.encode();
+        let mut query = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let n = DatagramBuilder::new(copy_id)
+            .build_copy(&mut query, nonce, &payload)
+            .expect("control message fits a datagram");
+        let interval = retry_interval(&self.cfg);
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        loop {
+            self.channel.send(&query[..n])?;
+            let sent_at = Instant::now();
+            if sent_at >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "copy control query timed out",
+                ));
+            }
+            // Drain replies until this request's echo, the retransmit
+            // interval, or the overall deadline — whichever first.
+            loop {
+                let now = Instant::now();
+                let budget = (deadline.min(sent_at + interval)).saturating_duration_since(now);
+                if budget.is_zero() {
+                    break;
+                }
+                let Some(got) = self.channel.recv_timeout(&mut buf, budget)? else {
+                    break;
+                };
+                let Ok(dgram) = Datagram::parse(&buf[..got]) else {
+                    continue;
+                };
+                if dgram.kind != PacketKind::Copy
+                    || dgram.transfer_id != copy_id
+                    || dgram.seq != nonce
+                {
+                    continue;
+                }
+                if let Some(reply) = CopyMsg::decode(dgram.payload) {
+                    return Ok(reply);
+                }
+            }
+        }
+    }
+
+    /// [`copy_rpc`](Client::copy_rpc), expecting a status reply.
+    fn copy_status(
+        &mut self,
+        copy_id: u32,
+        msg: &CopyMsg,
+        deadline: Instant,
+    ) -> io::Result<CopyStatus> {
+        match self.copy_rpc(copy_id, msg, deadline)? {
+            CopyMsg::Status(st) => Ok(st),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("node answered copy query with {other:?}"),
+            )),
+        }
+    }
+
+    /// The client's trace epoch as Unix nanoseconds, for carrying in a
+    /// copy submit (0 = no telemetry).
+    fn epoch_ns(&self) -> u64 {
+        let Some(rec) = &self.recorder else { return 0 };
+        let since_epoch = rec.epoch().elapsed().as_nanos();
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|now| now.as_nanos().saturating_sub(since_epoch) as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Client<UdpChannel> {
+    /// Order the connected node to push its blob `name` directly to
+    /// the node at `dest`, poll until the copy finishes, then
+    /// digest-verify the replica at `dest`.  The bytes never pass
+    /// through this client — it only orchestrates.
+    ///
+    /// Errors map the node's failure code: `NotFound` when the node
+    /// lacks the blob, `WouldBlock` when it is at copy capacity,
+    /// `TimedOut`/`Other` for transfer failures.
+    pub fn copy_to(&mut self, name: &str, dest: SocketAddr) -> io::Result<CopyReport> {
+        self.copy(name, CopyMode::Push, dest)
+    }
+
+    /// Order the connected node to fetch blob `name` directly from the
+    /// node at `source` into its own store, then digest-verify what it
+    /// stored against the source's digest.
+    pub fn copy_from(&mut self, name: &str, source: SocketAddr) -> io::Result<CopyReport> {
+        self.copy(name, CopyMode::Pull, source)
+    }
+
+    /// Replicate blob `name` from the connected node to every node in
+    /// `replicas` (1 → M fan-out): submit all copies up front so the
+    /// legs run concurrently, poll round-robin until each reaches a
+    /// terminal state, digest-verify every replica.  Returns one
+    /// [`CopyReport`] per replica, in `replicas` order; a failed
+    /// replica yields its failure state rather than erroring the
+    /// whole call.
+    pub fn fan_out(&mut self, name: &str, replicas: &[SocketAddr]) -> io::Result<Vec<CopyReport>> {
+        let started = Instant::now();
+        let deadline = started + self.patience;
+        let epoch_ns = self.epoch_ns();
+
+        struct Leg {
+            copy_id: u32,
+            remote: SocketAddr,
+            progress: Vec<CopyStatus>,
+            last: CopyStatus,
+        }
+        let mut legs: Vec<Leg> = Vec::with_capacity(replicas.len());
+        for &remote in replicas {
+            let copy_id = self.alloc_id();
+            let submit = CopyMsg::Submit(CopySubmit {
+                mode: CopyMode::Push,
+                remote,
+                epoch_ns,
+                name: name.to_string(),
+            });
+            let st = self.copy_status(copy_id, &submit, deadline)?;
+            legs.push(Leg {
+                copy_id,
+                remote,
+                progress: vec![st],
+                last: st,
+            });
+        }
+
+        loop {
+            let mut settled = true;
+            for leg in &mut legs {
+                if leg.last.state.is_terminal() {
+                    continue;
+                }
+                settled = false;
+                let st = self.copy_status(leg.copy_id, &CopyMsg::Query, deadline)?;
+                leg.progress.push(st);
+                leg.last = st;
+            }
+            if settled {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "fan-out did not settle in time",
+                ));
+            }
+            std::thread::sleep(COPY_POLL);
+        }
+
+        let elapsed = started.elapsed();
+        legs.into_iter()
+            .map(|leg| {
+                let verified = leg.last.state == CopyState::Done
+                    && verify_replica(leg.remote, name, &leg.last, self.patience)?;
+                Ok(CopyReport {
+                    copy_id: leg.copy_id,
+                    mode: CopyMode::Push,
+                    remote: leg.remote,
+                    state: leg.last.state,
+                    error: leg.last.error,
+                    bytes: leg.last.bytes_total,
+                    crc32: leg.last.crc32,
+                    elapsed,
+                    verified,
+                    progress: leg.progress,
+                })
+            })
+            .collect()
+    }
+
+    fn copy(&mut self, name: &str, mode: CopyMode, remote: SocketAddr) -> io::Result<CopyReport> {
+        let copy_id = self.alloc_id();
+        let started = Instant::now();
+        let deadline = started + self.patience;
+        let submit = CopyMsg::Submit(CopySubmit {
+            mode,
+            remote,
+            epoch_ns: self.epoch_ns(),
+            name: name.to_string(),
+        });
+        let mut progress = Vec::new();
+        let mut st = self.copy_status(copy_id, &submit, deadline)?;
+        progress.push(st);
+        while !st.state.is_terminal() {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "copy did not finish in time",
+                ));
+            }
+            std::thread::sleep(COPY_POLL);
+            st = self.copy_status(copy_id, &CopyMsg::Query, deadline)?;
+            progress.push(st);
+        }
+        match st.state {
+            CopyState::Done => {}
+            CopyState::Failed => {
+                let kind = match st.error {
+                    errcode::NOT_FOUND => io::ErrorKind::NotFound,
+                    errcode::BUSY => io::ErrorKind::WouldBlock,
+                    errcode::HANDSHAKE_TIMEOUT => io::ErrorKind::TimedOut,
+                    _ => io::ErrorKind::Other,
+                };
+                return Err(io::Error::new(
+                    kind,
+                    format!("copy failed: {}", errcode::label(st.error)),
+                ));
+            }
+            _ => {
+                return Err(io::Error::other(
+                    "node no longer knows the copy (reaped before terminal status)",
+                ));
+            }
+        }
+        // End-to-end verification: ask the *far* node (the replica for
+        // pushes, the source for pulls) for its digest and compare
+        // with the status the submitted-to node reported.
+        let verified = verify_replica(remote, name, &st, self.patience)?;
+        Ok(CopyReport {
+            copy_id,
+            mode,
+            remote,
+            state: st.state,
+            error: st.error,
+            bytes: st.bytes_total,
+            crc32: st.crc32,
+            elapsed: started.elapsed(),
+            verified,
+            progress,
+        })
+    }
+}
+
+/// Digest blob `name` at `node` and compare against the copy status
+/// `st` the other end reported: found, same length, same CRC-32.
+fn verify_replica(
+    node: SocketAddr,
+    name: &str,
+    st: &CopyStatus,
+    patience: Duration,
+) -> io::Result<bool> {
+    let mut probe = Client::connect(node)?.patience(patience);
+    let digest = probe.digest(name)?;
+    Ok(digest.found && digest.len == st.bytes_total && digest.crc32 == st.crc32)
+}
+
+/// The default client configuration: the node's LAN-tuned transmission
+/// control (adaptive timeout seeded for LAN round trips, paced bursts)
+/// rather than the paper's 173 ms `To(D)` — same reasoning as
+/// `NodeConfig::default`.
+fn default_config() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::default();
+    cfg.timeout = AdaptiveTimeout::lan();
+    cfg.pacing = PacingConfig::lan();
+    cfg.max_retries = 1000;
+    cfg
+}
+
+/// Bind an ephemeral local port connected to `node`.
+#[deprecated(note = "use `Client::connect`, which owns the channel and the configuration")]
 pub fn connect(node: SocketAddr) -> io::Result<UdpChannel> {
     let local: SocketAddr = if node.is_ipv4() {
         "0.0.0.0:0".parse().expect("literal addr")
@@ -43,8 +642,8 @@ pub fn connect(node: SocketAddr) -> io::Result<UdpChannel> {
     UdpChannel::connect(local, node)
 }
 
-/// Store `data` on the node as the named blob `name`, blocking until
-/// the node acknowledges the whole transfer.
+/// Store `data` on the node as the named blob `name`.
+#[deprecated(note = "use `Client::over(channel).push(name, data)`")]
 pub fn push_blob<C: Channel>(
     channel: C,
     transfer_id: u32,
@@ -52,109 +651,29 @@ pub fn push_blob<C: Channel>(
     data: &[u8],
     cfg: &ProtocolConfig,
 ) -> io::Result<TransferReport> {
-    let mut channel = FcsChannel::new(channel);
-    let request = Request::push(data.len(), cfg, false).with_name(name);
-    let reply = handshake::initiate(
-        &mut channel,
-        transfer_id,
-        &request,
-        retry_interval(cfg),
-        HANDSHAKE_DEADLINE,
-    )?;
-
-    let mut engine = BlastSender::new(transfer_id, data.to_vec().into(), cfg);
-    let mut driver = Driver::new(channel);
-    let out = driver.run(&mut engine)?;
-    let fcs_drops = driver.into_channel().fcs_drops;
-    match out.completion.result {
-        Ok(_) => Ok(TransferReport {
-            data: Vec::new(),
-            elapsed: out.elapsed,
-            stats: out.completion.stats,
-            pacing: engine.pacing_snapshot(),
-            datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
-            datagrams_received: out.datagrams_received,
-            malformed: out.malformed + fcs_drops,
-        }),
-        Err(e) => Err(io::Error::other(format!("push failed: {e}"))),
-    }
+    let mut client = Client::over(channel)
+        .config(cfg.clone())
+        .transfer_ids_from(transfer_id);
+    client.push(name, data)
 }
 
-/// Fetch the named blob `name` from the node.  The blob's size comes
-/// back in the handshake echo; the receive buffer is pre-allocated
-/// from it before the data phase (the paper's premise).
-///
-/// Errors with `NotFound` if the node does not have the blob.
+/// Fetch the named blob `name` from the node.
+#[deprecated(note = "use `Client::over(channel).pull(name)`")]
 pub fn pull_blob<C: Channel>(
     channel: C,
     transfer_id: u32,
     name: &str,
     cfg: &ProtocolConfig,
 ) -> io::Result<TransferReport> {
-    let mut channel = FcsChannel::new(channel);
-    let request = Request::pull(name, cfg);
-    let reply = handshake::initiate(
-        &mut channel,
-        transfer_id,
-        &request,
-        retry_interval(cfg),
-        HANDSHAKE_DEADLINE,
-    )?;
-
-    let mut engine = BlastReceiver::new(transfer_id, reply.echoed.len, cfg);
-    // The linger window is a quiet window (traffic restarts it): make
-    // it comfortably longer than the node's tail-retransmission
-    // interval so the driver stays for as many re-ack rounds as the
-    // node needs, yet a clean exit costs only ~100 ms.
-    let linger = (cfg.timeout.initial() * 4).max(Duration::from_millis(100));
-    let mut driver = Driver::new(channel).with_linger_for(linger);
-    let out = driver.run(&mut engine)?;
-    let fcs_drops = driver.into_channel().fcs_drops;
-    match out.completion.result {
-        Ok(_) => Ok(TransferReport {
-            data: engine.into_data(),
-            elapsed: out.elapsed,
-            stats: out.completion.stats,
-            pacing: None,
-            datagrams_sent: out.datagrams_sent + reply.datagrams_sent,
-            datagrams_received: out.datagrams_received,
-            malformed: out.malformed + fcs_drops,
-        }),
-        Err(e) => Err(io::Error::other(format!("pull failed: {e}"))),
-    }
+    let mut client = Client::over(channel)
+        .config(cfg.clone())
+        .transfer_ids_from(transfer_id);
+    client.pull(name)
 }
 
-/// Ask a node for a live metrics snapshot (the `Stats` control verb).
-///
-/// Returns the node's text report: the merged `NodeMetrics` summary
-/// plus one line per shard — the remote twin of
-/// `NodeHandle::metrics().summary()`.  The query is a single datagram
-/// and is retransmitted until the reply arrives or `timeout` passes,
-/// so it survives the same loss the data plane does.
+/// Ask a node for a live metrics snapshot.
+#[deprecated(note = "use `Client::over(channel).patience(timeout).stats()`")]
 pub fn node_stats<C: Channel>(channel: C, timeout: Duration) -> io::Result<String> {
-    let mut channel = FcsChannel::new(channel);
-    let mut query = [0u8; blast_wire::HEADER_LEN];
-    let n = DatagramBuilder::new(0)
-        .build_stats(&mut query, 0, &[])
-        .expect("empty stats query fits");
-    let deadline = Instant::now() + timeout;
-    let mut buf = vec![0u8; MAX_DATAGRAM];
-    loop {
-        channel.send(&query[..n])?;
-        let now = Instant::now();
-        if now >= deadline {
-            return Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "stats query timed out",
-            ));
-        }
-        let wait = (deadline - now).min(Duration::from_millis(100));
-        if let Some(got) = channel.recv_timeout(&mut buf, wait)? {
-            if let Ok(dgram) = Datagram::parse(&buf[..got]) {
-                if dgram.kind == PacketKind::Stats {
-                    return Ok(String::from_utf8_lossy(dgram.payload).into_owned());
-                }
-            }
-        }
-    }
+    let mut client = Client::over(channel).patience(timeout);
+    client.stats()
 }

@@ -18,29 +18,31 @@
 //!   object-safe [`Store`] trait (the `blast-vkernel` file-server
 //!   semantics at the page level), with the sharded in-memory
 //!   [`MemStore`] as default;
-//! * [`client`] — one-call `push_blob` / `pull_blob` against a node;
+//! * [`client`] — the [`Client`] handle: `push` / `pull` / `stats`
+//!   against a node, plus third-party `copy_to` / `copy_from` /
+//!   `fan_out` orchestration of node-to-node transfers;
 //! * [`metrics`] — per-session reports, aggregate `blast-stats`
 //!   accumulators, and the per-shard [`ShardReport`] breakdown.
 //!
-//! ## Example (a sharded node + two clients)
+//! ## Example (a sharded node + one client)
 //!
 //! ```
 //! use std::time::Duration;
-//! use blast_core::ProtocolConfig;
 //! use blast_node::server::NodeBuilder;
-//! use blast_node::client;
+//! use blast_node::client::Client;
 //!
 //! let node = NodeBuilder::new()
 //!     .timeout(Duration::from_millis(20))
 //!     .shards(2) // falls back to 1 where SO_REUSEPORT is unavailable
 //!     .start()
 //!     .unwrap();
-//! let mut cfg = ProtocolConfig::default();
-//! cfg.timeout = Duration::from_millis(20).into();
 //!
 //! let data: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
-//! client::push_blob(client::connect(node.addr()).unwrap(), 1, "blob", &data, &cfg).unwrap();
-//! let pulled = client::pull_blob(client::connect(node.addr()).unwrap(), 2, "blob", &cfg).unwrap();
+//! let mut client = Client::connect(node.addr())
+//!     .unwrap()
+//!     .timeout(Duration::from_millis(20));
+//! client.push("blob", &data).unwrap();
+//! let pulled = client.pull("blob").unwrap();
 //! assert_eq!(pulled.data, data);
 //!
 //! let metrics = node.shutdown().unwrap();
@@ -55,7 +57,7 @@ pub mod metrics;
 pub mod server;
 pub mod store;
 
-pub use client::{node_stats, pull_blob, push_blob};
+pub use client::{Client, CopyReport};
 pub use metrics::{NodeMetrics, SessionReport, ShardReport};
 pub use server::{NodeBuilder, NodeConfig, NodeHandle, NodeServer};
 pub use store::{shared_store, BlobStore, MemStore, SharedStore, Store};

@@ -75,6 +75,19 @@ pub struct NodeMetrics {
     /// Outgoing datagrams dropped at the socket (send buffer full or
     /// peer unreachable) — loss the protocols recover from.
     pub send_drops: u64,
+    /// Third-party copies admitted (a client ordered this node to move
+    /// a blob to/from another node).
+    pub copies_requested: u64,
+    /// Copies whose outbound leg completed successfully.
+    pub copies_completed: u64,
+    /// Copies that failed (missing blob, handshake timeout, transfer
+    /// failure, or lifetime bound).
+    pub copies_failed: u64,
+    /// Payload bytes moved node-to-node by completed copies.
+    pub copy_bytes_moved: u64,
+    /// Outbound copy-handshake retransmissions (the remote's echo was
+    /// slow or lost).
+    pub copy_handshake_retx: u64,
     /// Payload bytes received in completed pushes.
     pub bytes_received: u64,
     /// Payload bytes sent in completed pulls.
@@ -167,6 +180,11 @@ impl NodeMetrics {
         self.rejected_busy += other.rejected_busy;
         self.rejected_oversize += other.rejected_oversize;
         self.send_drops += other.send_drops;
+        self.copies_requested += other.copies_requested;
+        self.copies_completed += other.copies_completed;
+        self.copies_failed += other.copies_failed;
+        self.copy_bytes_moved += other.copy_bytes_moved;
+        self.copy_handshake_retx += other.copy_handshake_retx;
         self.bytes_received += other.bytes_received;
         self.bytes_sent += other.bytes_sent;
         self.datagrams_received += other.datagrams_received;
@@ -220,6 +238,11 @@ impl NodeMetrics {
         dst.rejected_busy = self.rejected_busy;
         dst.rejected_oversize = self.rejected_oversize;
         dst.send_drops = self.send_drops;
+        dst.copies_requested = self.copies_requested;
+        dst.copies_completed = self.copies_completed;
+        dst.copies_failed = self.copies_failed;
+        dst.copy_bytes_moved = self.copy_bytes_moved;
+        dst.copy_handshake_retx = self.copy_handshake_retx;
         dst.bytes_received = self.bytes_received;
         dst.bytes_sent = self.bytes_sent;
         dst.datagrams_received = self.datagrams_received;
@@ -272,11 +295,17 @@ impl NodeMetrics {
         self.sessions_accepted - self.sessions_completed - self.sessions_failed
     }
 
+    /// Third-party copies still driving their outbound leg.
+    pub fn copies_in_flight(&self) -> u64 {
+        self.copies_requested - self.copies_completed - self.copies_failed
+    }
+
     /// A multi-line, human-readable summary.
     pub fn summary(&self) -> String {
         format!(
             "sessions: {} accepted ({} push / {} pull), {} completed, {} failed, {} in flight\n\
              rejects: {} pull misses, {} id collisions, {} at capacity, {} oversize\n\
+             copies: {} requested, {} completed, {} failed, {} in flight; {} B moved, {} handshake retx\n\
              payload: {} B in, {} B out; datagrams: {} in / {} out ({} bad FCS, {} malformed, {} unroutable, {} send drops)\n\
              netio [{}]: {} send batches / {} recv batches; waits: {} wakeups / {} timeouts\n\
              pacing burst: final {}, mean {} over {} paced sessions\n\
@@ -293,6 +322,12 @@ impl NodeMetrics {
             self.collisions,
             self.rejected_busy,
             self.rejected_oversize,
+            self.copies_requested,
+            self.copies_completed,
+            self.copies_failed,
+            self.copies_in_flight(),
+            self.copy_bytes_moved,
+            self.copy_handshake_retx,
             self.bytes_received,
             self.bytes_sent,
             self.datagrams_received,

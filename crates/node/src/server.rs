@@ -53,11 +53,13 @@ use blast_core::pool::BufferPool;
 use blast_core::{AdaptiveTimeout, Engine, PacingConfig};
 use blast_telemetry::{EventKind, Recorder, Telemetry};
 use blast_udp::channel::MAX_DATAGRAM;
+use blast_udp::copy::{errcode, BlobDigest, CopyMode, CopyMsg, CopyState, CopyStatus, CopySubmit};
 use blast_udp::fcs;
 use blast_udp::handshake::{Direction, Request};
 use blast_udp::netio::NetIo;
 use blast_udp::sockopt;
 use blast_udp::timers::TimerWheel;
+use blast_wire::checksum::crc32;
 use blast_wire::header::PacketKind;
 use blast_wire::packet::{Datagram, DatagramBuilder};
 
@@ -68,6 +70,16 @@ use crate::store::{shared_store, SharedStore};
 const REAP: TimerToken = TimerToken(u64::MAX);
 /// Abandon a session whose peer went silent.
 const GIVE_UP: TimerToken = TimerToken(u64::MAX - 1);
+/// Retransmit the outbound handshake of a third-party copy.
+const COPY_HS: TimerToken = TimerToken(u64::MAX - 2);
+/// Forget a terminal copy job once its status grace window passes.
+const COPY_REAP: TimerToken = TimerToken(u64::MAX - 3);
+
+/// How long a terminal copy keeps answering status queries before it is
+/// reaped — the control-plane twin of the data-plane linger window: the
+/// orchestrating client must be able to read the final status even if
+/// its first few polls are lost.
+const COPY_GRACE: Duration = Duration::from_secs(5);
 
 /// How long a shard may sit on counter-only metric changes before
 /// republishing its snapshot.  Session events (accept, finish, reject)
@@ -146,14 +158,100 @@ struct Session {
     finished: bool,
 }
 
+/// One third-party copy in flight: the node acts as a *client* toward
+/// another node, reusing the same engine machinery its own clients use,
+/// driven from this shard's reactor loop (no blocking thread per copy).
+///
+/// The outbound leg runs over its own connected ephemeral-port socket
+/// rather than the shard's `SO_REUSEPORT` socket: replies from the
+/// remote node must come back to *this* shard, and the kernel's 4-tuple
+/// hash over the shared address would happily deliver them to a
+/// sibling.  A dedicated socket makes the 4-tuple unique, at the cost
+/// of the reactor polling it each tick (bounded by the 1 ms tick cap
+/// while copies are active); the engine's pace/RTO timers still ride
+/// the shard's exact timer machinery.
+struct CopyJob {
+    /// The client-chosen copy id — also the transfer id of the
+    /// outbound leg, so the client's id-uniqueness discipline extends
+    /// to the remote node.
+    copy_id: u32,
+    mode: CopyMode,
+    name: String,
+    state: CopyState,
+    /// One of [`errcode`]'s codes once `state` is `Failed`.
+    error: u8,
+    bytes_total: u64,
+    /// CRC-32 of the moved blob: computed up front for pushes, on
+    /// completion for pulls.
+    crc32: u32,
+    /// Payload bytes per data packet, for the running-progress
+    /// estimate.
+    packet_payload: u64,
+    /// The outbound engine; `None` while handshaking and after the
+    /// copy settles.
+    engine: Option<Box<dyn Engine>>,
+    /// The copy's own connected socket; `None` for copies that failed
+    /// at submit time.
+    socket: Option<UdpSocket>,
+    /// The source blob, held from submit until the handshake echo
+    /// promotes it into a sender engine (push mode only).
+    blob: Option<std::sync::Arc<[u8]>>,
+    /// The framed handshake datagram, re-sent verbatim on `COPY_HS`.
+    request_frame: Vec<u8>,
+    started: Instant,
+    retry_interval: Duration,
+}
+
+/// The status a [`CopyJob`] reports: exact when terminal, estimated
+/// from engine counters while the data phase runs.
+fn copy_status(job: &CopyJob) -> CopyStatus {
+    let bytes_done = match job.state {
+        CopyState::Done => job.bytes_total,
+        CopyState::Running => job
+            .engine
+            .as_ref()
+            .map(|e| {
+                let st = e.stats();
+                let pkts = match job.mode {
+                    CopyMode::Push => st
+                        .data_packets_sent
+                        .saturating_sub(st.data_packets_retransmitted),
+                    CopyMode::Pull => st.data_packets_received,
+                };
+                (pkts * job.packet_payload).min(job.bytes_total)
+            })
+            .unwrap_or(0),
+        _ => 0,
+    };
+    CopyStatus {
+        state: job.state,
+        error: job.error,
+        bytes_done,
+        bytes_total: job.bytes_total,
+        crc32: job.crc32,
+    }
+}
+
+/// Bind and connect the dedicated outbound socket for one copy.
+fn copy_socket(remote: SocketAddr) -> io::Result<UdpSocket> {
+    let local: SocketAddr = if remote.is_ipv4() {
+        "0.0.0.0:0".parse().expect("literal addr")
+    } else {
+        "[::]:0".parse().expect("literal addr")
+    };
+    let socket = UdpSocket::bind(local)?;
+    socket.connect(remote)?;
+    socket.set_nonblocking(true)?;
+    sockopt::grow_buffers(&socket);
+    Ok(socket)
+}
+
 /// One reactor shard: a socket, an event loop, and the sessions the
 /// kernel's 4-tuple hash routed to it.
 ///
 /// This is the pre-sharding `NodeServer`, unchanged in behaviour; a
 /// single-shard node *is* one of these.  Construct it through
-/// [`NodeBuilder`] — the deprecated [`bind`](NodeServer::bind) /
-/// [`bind_with_store`](NodeServer::bind_with_store) shims remain for
-/// one release for callers that drive the loop inline.
+/// [`NodeBuilder`].
 pub struct NodeServer {
     socket: UdpSocket,
     /// The syscall backend: batched `recvmmsg` drains and `sendmmsg`
@@ -174,6 +272,14 @@ pub struct NodeServer {
     demux: Demux,
     sessions: HashMap<u32, Session>,
     timers: TimerWheel<(u32, TimerToken)>,
+    /// Outbound third-party copies this shard is driving, by copy id.
+    copies: HashMap<u32, CopyJob>,
+    /// Timers for the copies' engines plus the node-owned `COPY_HS`,
+    /// `GIVE_UP` and `COPY_REAP` tokens.  A separate wheel: copy ids
+    /// are client-chosen and may collide with local session ids.
+    copy_timers: TimerWheel<(u32, TimerToken)>,
+    /// Reused id scratch for the per-tick copy-socket poll.
+    copy_scratch: Vec<u32>,
     /// Epoch for the engines' sans-I/O clock ([`Engine::set_now`]):
     /// every engine in the session table shares this zero point, so the
     /// adaptive RTO's round-trip samples are plain differences.
@@ -200,33 +306,6 @@ pub struct NodeServer {
 }
 
 impl NodeServer {
-    /// Bind a single-shard node with an empty store.
-    #[deprecated(since = "0.6.0", note = "use NodeBuilder::new().bind(..).start()")]
-    pub fn bind(config: NodeConfig) -> io::Result<Self> {
-        Self::single(config, shared_store())
-    }
-
-    /// Bind a single-shard node serving (and filling) `store`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use NodeBuilder::new().bind(..).store(..).start()"
-    )]
-    pub fn bind_with_store(config: NodeConfig, store: SharedStore) -> io::Result<Self> {
-        Self::single(config, store)
-    }
-
-    /// One plain-bound reactor: the `shards = 1` compatibility path.
-    fn single(config: NodeConfig, store: SharedStore) -> io::Result<Self> {
-        let socket = UdpSocket::bind(config.bind)?;
-        Self::with_socket(
-            config,
-            store,
-            socket,
-            Arc::new(AtomicBool::new(false)),
-            false,
-        )
-    }
-
     /// Wrap an already-bound socket in a reactor shard.
     fn with_socket(
         config: NodeConfig,
@@ -266,6 +345,9 @@ impl NodeServer {
             demux: Demux::new(),
             sessions: HashMap::new(),
             timers: TimerWheel::new(),
+            copies: HashMap::new(),
+            copy_timers: TimerWheel::new(),
+            copy_scratch: Vec::new(),
             epoch: Instant::now(),
             recv_buf: vec![0u8; MAX_DATAGRAM + 4],
             frame_buf: Vec::new(),
@@ -347,27 +429,6 @@ impl NodeServer {
         Ok(())
     }
 
-    /// Move this single shard onto its own thread, returning a handle.
-    #[deprecated(since = "0.6.0", note = "use NodeBuilder::new().start()")]
-    pub fn spawn(self) -> io::Result<NodeHandle> {
-        let addr = self.local_addr()?;
-        let store = self.store();
-        let slots = vec![self.metrics_slot()];
-        let shutdown = self.shutdown_flag();
-        let mut server = self;
-        let thread = std::thread::Builder::new()
-            .name("blast-node-0".into())
-            .spawn(move || server.run())?;
-        Ok(NodeHandle {
-            addr,
-            store,
-            slots,
-            shutdown,
-            threads: vec![thread],
-            telemetry: None,
-        })
-    }
-
     /// One reactor cycle: timers, then a socket drain, then a flush of
     /// everything the engines queued, then (if idle) an event-driven
     /// wait — epoll + timerfd wakes on the first datagram or at the
@@ -380,12 +441,22 @@ impl NodeServer {
             timers_fired += 1;
             self.on_timer(id, token)?;
         }
+        while let Some((id, token)) = self.copy_timers.pop_due(now) {
+            timers_fired += 1;
+            self.on_copy_timer(id, token)?;
+        }
         let drained = self.drain_socket()?;
+        let copied = self.poll_copies()?;
         // Only ticks that did work are traced — idle wakeups would
         // drown the ring without saying anything.
-        if drained > 0 || timers_fired > 0 {
+        if drained + copied > 0 || timers_fired > 0 {
             if let Some(rec) = &self.recorder {
-                rec.record(0, EventKind::ShardTick, drained as u64, timers_fired);
+                rec.record(
+                    0,
+                    EventKind::ShardTick,
+                    (drained + copied) as u64,
+                    timers_fired,
+                );
             }
         }
         // Everything staged this tick goes out before any wait: one
@@ -393,13 +464,24 @@ impl NodeServer {
         self.io.flush(&self.socket)?;
         self.sync_io_stats();
         self.publish_metrics();
-        if drained == 0 {
-            let park = self
-                .timers
-                .next_deadline()
+        if drained == 0 && copied == 0 {
+            let next = match (
+                self.timers.next_deadline(),
+                self.copy_timers.next_deadline(),
+            ) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let mut park = next
                 .map(|d| d.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(5))
                 .clamp(PacingConfig::MIN_WAIT, Duration::from_millis(10));
+            if !self.copies.is_empty() {
+                // Copy sockets are polled, not in the event wait: cap
+                // the park so an incoming ack on an outbound leg waits
+                // at most a millisecond.
+                park = park.min(Duration::from_millis(1));
+            }
             self.io.wait(park)?;
         }
         Ok(())
@@ -427,6 +509,9 @@ impl NodeServer {
             + self.local.rejected_oversize
             + self.local.pull_misses
             + self.local.collisions
+            + self.local.copies_requested
+            + self.local.copies_completed
+            + self.local.copies_failed
     }
 
     /// Refresh the published snapshot: immediately on session events,
@@ -491,6 +576,9 @@ impl NodeServer {
         }
         if dgram.kind == PacketKind::Stats {
             return self.on_stats(&dgram, peer);
+        }
+        if dgram.kind == PacketKind::Copy {
+            return self.on_copy(&dgram, peer);
         }
         let id = dgram.transfer_id;
         match self.sessions.get(&id) {
@@ -796,6 +884,452 @@ impl NodeServer {
             .build_cancel(&mut buf)
             .expect("cancel fits");
         self.send_framed(peer, &buf[..n])
+    }
+
+    /// Dispatch one `Copy` control datagram from an orchestrating
+    /// client: submit a copy, answer a status query, or digest a blob.
+    fn on_copy(&mut self, dgram: &Datagram<'_>, peer: SocketAddr) -> io::Result<()> {
+        let Some(msg) = CopyMsg::decode(dgram.payload) else {
+            self.local.malformed += 1;
+            return Ok(());
+        };
+        let id = dgram.transfer_id;
+        let nonce = dgram.seq;
+        match msg {
+            CopyMsg::Submit(submit) => self.on_copy_submit(id, nonce, submit, peer),
+            CopyMsg::Query => {
+                // An unknown id decodes to a terminal `Unknown` status:
+                // never submitted, or already past the grace window.
+                let status = self.copies.get(&id).map(copy_status).unwrap_or(CopyStatus {
+                    state: CopyState::Unknown,
+                    error: errcode::NONE,
+                    bytes_done: 0,
+                    bytes_total: 0,
+                    crc32: 0,
+                });
+                self.send_copy_msg(id, nonce, &CopyMsg::Status(status), peer)
+            }
+            CopyMsg::Digest { name } => {
+                let digest = match self.store.get(&name) {
+                    Some(blob) => BlobDigest {
+                        found: true,
+                        len: blob.len() as u64,
+                        crc32: crc32(&blob),
+                    },
+                    None => BlobDigest {
+                        found: false,
+                        len: 0,
+                        crc32: 0,
+                    },
+                };
+                self.send_copy_msg(id, nonce, &CopyMsg::DigestReply(digest), peer)
+            }
+            // Replies are node-to-client; one arriving *at* a node is
+            // noise from a confused or malicious peer.
+            CopyMsg::Status(_) | CopyMsg::DigestReply(_) => {
+                self.local.unroutable += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Admit (or refuse) a copy order.  Idempotent: a duplicate submit
+    /// for a known id — the client retransmitting because our reply was
+    /// lost — just re-reports the current status.
+    fn on_copy_submit(
+        &mut self,
+        id: u32,
+        nonce: u32,
+        submit: CopySubmit,
+        peer: SocketAddr,
+    ) -> io::Result<()> {
+        if let Some(job) = self.copies.get(&id) {
+            let status = copy_status(job);
+            return self.send_copy_msg(id, nonce, &CopyMsg::Status(status), peer);
+        }
+        if self.copies.len() >= self.config.max_sessions {
+            self.local.rejected_busy += 1;
+            let status = CopyStatus {
+                state: CopyState::Failed,
+                error: errcode::BUSY,
+                bytes_done: 0,
+                bytes_total: 0,
+                crc32: 0,
+            };
+            return self.send_copy_msg(id, nonce, &CopyMsg::Status(status), peer);
+        }
+        self.local.copies_requested += 1;
+        if let Some(rec) = &self.recorder {
+            let direction = match submit.mode {
+                CopyMode::Push => 0,
+                CopyMode::Pull => 1,
+            };
+            rec.record(
+                id,
+                EventKind::CopyAdmit,
+                direction,
+                u64::from(submit.remote.port()),
+            );
+            if submit.epoch_ns != 0 {
+                // The client shipped its trace epoch: anchor this
+                // recorder's timeline to it so one Perfetto view lines
+                // the hosts up.  Both epochs land as unix nanoseconds.
+                let now_unix = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0);
+                let mine = now_unix.saturating_sub(self.epoch.elapsed().as_nanos() as u64);
+                rec.record(id, EventKind::ClockAnchor, submit.epoch_ns, mine);
+            }
+        }
+        let mut job = CopyJob {
+            copy_id: id,
+            mode: submit.mode,
+            name: submit.name.clone(),
+            state: CopyState::Handshaking,
+            error: errcode::NONE,
+            bytes_total: 0,
+            crc32: 0,
+            packet_payload: self.config.protocol.packet_payload as u64,
+            engine: None,
+            socket: None,
+            blob: None,
+            request_frame: Vec::new(),
+            started: Instant::now(),
+            // The client-side handshake cadence: the data-phase RTO,
+            // capped so a long timeout does not slow the handshake.
+            retry_interval: self
+                .config
+                .protocol
+                .timeout
+                .initial()
+                .min(Duration::from_millis(200)),
+        };
+        let request = match submit.mode {
+            CopyMode::Push => {
+                let Some(blob) = self.store.get(&submit.name) else {
+                    return self.refuse_copy(job, nonce, errcode::NOT_FOUND, peer);
+                };
+                job.bytes_total = blob.len() as u64;
+                job.crc32 = crc32(&blob);
+                let req =
+                    Request::push(blob.len(), &self.config.protocol, false).with_name(&submit.name);
+                job.blob = Some(blob);
+                req
+            }
+            CopyMode::Pull => Request::pull(&submit.name, &self.config.protocol),
+        };
+        let socket = match copy_socket(submit.remote) {
+            Ok(socket) => socket,
+            Err(_) => return self.refuse_copy(job, nonce, errcode::TRANSFER_FAILED, peer),
+        };
+        job.request_frame = fcs::frame(&request.build_datagram(id));
+        let _ = socket.send(&job.request_frame);
+        job.socket = Some(socket);
+        self.copy_timers.arm((id, COPY_HS), job.retry_interval);
+        // The session-lifetime bound doubles as the copy's: an outbound
+        // leg that has not settled by then is abandoned.
+        self.copy_timers
+            .arm((id, GIVE_UP), self.config.session_timeout);
+        let status = copy_status(&job);
+        self.copies.insert(id, job);
+        self.send_copy_msg(id, nonce, &CopyMsg::Status(status), peer)
+    }
+
+    /// Register a copy that failed at submit time as a terminal job —
+    /// queries during the grace window see `Failed` with the real error
+    /// code, not an amnesiac `Unknown` — and report it to the client.
+    fn refuse_copy(
+        &mut self,
+        mut job: CopyJob,
+        nonce: u32,
+        error: u8,
+        peer: SocketAddr,
+    ) -> io::Result<()> {
+        job.state = CopyState::Failed;
+        job.error = error;
+        self.local.copies_failed += 1;
+        if let Some(rec) = &self.recorder {
+            rec.record(job.copy_id, EventKind::CopyDone, 0, 0);
+        }
+        self.copy_timers.arm((job.copy_id, COPY_REAP), COPY_GRACE);
+        let status = copy_status(&job);
+        let id = job.copy_id;
+        self.copies.insert(id, job);
+        self.send_copy_msg(id, nonce, &CopyMsg::Status(status), peer)
+    }
+
+    /// Stage one `Copy` reply toward the orchestrating client, echoing
+    /// its request nonce in `seq`.
+    fn send_copy_msg(
+        &mut self,
+        id: u32,
+        nonce: u32,
+        msg: &CopyMsg,
+        peer: SocketAddr,
+    ) -> io::Result<()> {
+        let payload = msg.encode();
+        let mut buf = vec![0u8; blast_wire::HEADER_LEN + payload.len()];
+        let n = DatagramBuilder::new(id)
+            .build_copy(&mut buf, nonce, &payload)
+            .expect("copy reply fits");
+        self.send_framed(peer, &buf[..n])
+    }
+
+    /// Drain every copy's dedicated socket.  Returns datagrams handled.
+    fn poll_copies(&mut self) -> io::Result<usize> {
+        if self.copies.is_empty() {
+            return Ok(0);
+        }
+        let mut ids = std::mem::take(&mut self.copy_scratch);
+        ids.clear();
+        ids.extend(self.copies.keys().copied());
+        let mut buf = std::mem::take(&mut self.recv_buf);
+        let mut handled = 0usize;
+        for &id in &ids {
+            // Take the job out of the table for the duration of the
+            // drain so its engine can borrow `self` mutably.
+            let Some(mut job) = self.copies.remove(&id) else {
+                continue;
+            };
+            loop {
+                let n = {
+                    let Some(socket) = &job.socket else { break };
+                    match socket.recv(&mut buf) {
+                        Ok(n) => n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        // A connected UDP socket surfaces ICMP
+                        // unreachable as ConnectionRefused: the remote
+                        // is not up (yet).  The handshake/RTO
+                        // retransmissions keep probing.
+                        Err(_) => break,
+                    }
+                };
+                handled += 1;
+                match fcs::unframe(&buf[..n]) {
+                    Some(body) => self.on_copy_frame(&mut job, &buf[..body])?,
+                    None => self.local.fcs_drops += 1,
+                }
+            }
+            self.copies.insert(id, job);
+        }
+        self.recv_buf = buf;
+        self.copy_scratch = ids;
+        Ok(handled)
+    }
+
+    /// One verified frame off a copy's socket: the handshake echo while
+    /// handshaking, engine traffic while running.
+    fn on_copy_frame(&mut self, job: &mut CopyJob, raw: &[u8]) -> io::Result<()> {
+        let Ok(dgram) = Datagram::parse(raw) else {
+            self.local.malformed += 1;
+            return Ok(());
+        };
+        if dgram.transfer_id != job.copy_id {
+            return Ok(());
+        }
+        match job.state {
+            CopyState::Handshaking => match dgram.kind {
+                PacketKind::Request => match Request::decode(dgram.payload) {
+                    Some(echoed) => self.promote_copy(job, &echoed),
+                    None => Ok(()),
+                },
+                // The remote refused the handshake — for a pull, it
+                // does not have the blob.
+                PacketKind::Cancel => {
+                    self.fail_copy(job, errcode::NOT_FOUND);
+                    Ok(())
+                }
+                // Data racing ahead of a lost echo: the remote's
+                // retransmission machinery re-elicits everything once
+                // our handshake retry lands.
+                _ => Ok(()),
+            },
+            CopyState::Running => {
+                if dgram.kind == PacketKind::Request {
+                    // Duplicate echo; the engine must never see
+                    // handshake traffic.
+                    return Ok(());
+                }
+                let now = self.epoch.elapsed();
+                let mut sink = std::mem::take(&mut self.scratch);
+                if let Some(engine) = job.engine.as_mut() {
+                    engine.set_now(now);
+                    engine.on_datagram(&dgram, &mut sink);
+                }
+                let executed = self.execute_copy(job, &mut sink);
+                sink.clear();
+                self.scratch = sink;
+                executed
+            }
+            // Terminal: stragglers are the remote's linger machinery.
+            _ => Ok(()),
+        }
+    }
+
+    /// The handshake echo arrived: build the outbound engine and start
+    /// the data phase.
+    fn promote_copy(&mut self, job: &mut CopyJob, echoed: &Request) -> io::Result<()> {
+        let mut cfg = self.config.protocol.clone();
+        echoed.apply_to(&mut cfg);
+        job.packet_payload = cfg.packet_payload as u64;
+        let mut engine: Box<dyn Engine> = match job.mode {
+            CopyMode::Push => {
+                let Some(blob) = job.blob.take() else {
+                    self.fail_copy(job, errcode::TRANSFER_FAILED);
+                    return Ok(());
+                };
+                Box::new(BlastSender::new(job.copy_id, blob, &cfg))
+            }
+            CopyMode::Pull => {
+                // The echo is the size announcement; bound the eager
+                // allocation exactly as the push handshake does.
+                if echoed.len > self.config.max_transfer_bytes {
+                    self.fail_copy(job, errcode::TRANSFER_FAILED);
+                    return Ok(());
+                }
+                job.bytes_total = echoed.len as u64;
+                Box::new(BlastReceiver::new(job.copy_id, echoed.len, &cfg))
+            }
+        };
+        if let Some(rec) = &self.recorder {
+            engine.set_recorder(rec.clone());
+        }
+        engine.set_now(self.epoch.elapsed());
+        self.copy_timers.cancel((job.copy_id, COPY_HS));
+        job.state = CopyState::Running;
+        let mut sink = std::mem::take(&mut self.scratch);
+        engine.start(&mut sink);
+        job.engine = Some(engine);
+        let executed = self.execute_copy(job, &mut sink);
+        sink.clear();
+        self.scratch = sink;
+        executed
+    }
+
+    /// Apply one copy engine's actions: transmissions go out the copy's
+    /// own socket, timers ride the copy wheel, completion settles.
+    fn execute_copy(&mut self, job: &mut CopyJob, actions: &mut Vec<Action>) -> io::Result<()> {
+        let mut completion = None;
+        for action in actions.drain(..) {
+            match action {
+                Action::Transmit(bytes) => {
+                    let mut framed = std::mem::take(&mut self.frame_buf);
+                    fcs::frame_into(&bytes, &mut framed);
+                    // Loss-like submission failures are recovered by
+                    // retransmission, same as the session path.
+                    if let Some(socket) = &job.socket {
+                        let _ = socket.send(&framed);
+                    }
+                    self.frame_buf = framed;
+                }
+                Action::SetTimer { token, after } => {
+                    self.copy_timers.arm((job.copy_id, token), after)
+                }
+                Action::CancelTimer { token } => self.copy_timers.cancel((job.copy_id, token)),
+                Action::Complete(info) => completion = Some(*info),
+            }
+        }
+        if let Some(info) = completion {
+            self.settle_copy(job, &info);
+        }
+        Ok(())
+    }
+
+    /// The outbound engine completed: store pulled bytes, fix the
+    /// digest, book the metrics, and enter the status grace window.
+    fn settle_copy(&mut self, job: &mut CopyJob, info: &CompletionInfo) {
+        if job.state.is_terminal() {
+            return;
+        }
+        match &info.result {
+            Ok(bytes) => {
+                if job.mode == CopyMode::Pull {
+                    if let Some(data) = job.engine.as_deref().and_then(Engine::received_data) {
+                        job.crc32 = crc32(data);
+                        job.bytes_total = data.len() as u64;
+                        if !job.name.is_empty() {
+                            self.store.put(&job.name, data.to_vec().into());
+                        }
+                    }
+                }
+                job.state = CopyState::Done;
+                self.local.copies_completed += 1;
+                self.local.copy_bytes_moved += *bytes as u64;
+                if let Some(rec) = &self.recorder {
+                    rec.record(job.copy_id, EventKind::CopyDone, 1, *bytes as u64);
+                }
+                job.engine = None;
+                self.copy_timers.forget_where(|&(id, _)| id == job.copy_id);
+                self.copy_timers.arm((job.copy_id, COPY_REAP), COPY_GRACE);
+            }
+            Err(_) => self.fail_copy(job, errcode::TRANSFER_FAILED),
+        }
+    }
+
+    /// Fail a copy outside normal engine completion (handshake timeout,
+    /// refused handshake, lifetime bound).
+    fn fail_copy(&mut self, job: &mut CopyJob, error: u8) {
+        if job.state.is_terminal() {
+            return;
+        }
+        job.state = CopyState::Failed;
+        job.error = error;
+        job.engine = None;
+        self.local.copies_failed += 1;
+        if let Some(rec) = &self.recorder {
+            rec.record(job.copy_id, EventKind::CopyDone, 0, 0);
+        }
+        self.copy_timers.forget_where(|&(id, _)| id == job.copy_id);
+        self.copy_timers.arm((job.copy_id, COPY_REAP), COPY_GRACE);
+    }
+
+    fn on_copy_timer(&mut self, id: u32, token: TimerToken) -> io::Result<()> {
+        if token == COPY_REAP {
+            self.copies.remove(&id);
+            self.copy_timers.forget_where(|&(cid, _)| cid == id);
+            return Ok(());
+        }
+        let Some(mut job) = self.copies.remove(&id) else {
+            return Ok(());
+        };
+        let executed = match token {
+            COPY_HS => {
+                if job.state == CopyState::Handshaking {
+                    if job.started.elapsed() >= self.config.session_timeout {
+                        self.fail_copy(&mut job, errcode::HANDSHAKE_TIMEOUT);
+                    } else {
+                        if let Some(socket) = &job.socket {
+                            let _ = socket.send(&job.request_frame);
+                        }
+                        self.local.copy_handshake_retx += 1;
+                        self.copy_timers.arm((id, COPY_HS), job.retry_interval);
+                    }
+                }
+                Ok(())
+            }
+            GIVE_UP => {
+                if !job.state.is_terminal() {
+                    self.fail_copy(&mut job, errcode::TRANSFER_FAILED);
+                }
+                Ok(())
+            }
+            _ => {
+                let now = self.epoch.elapsed();
+                let mut sink = std::mem::take(&mut self.scratch);
+                if let Some(engine) = job.engine.as_mut() {
+                    engine.set_now(now);
+                    engine.on_timer(token, &mut sink);
+                }
+                let executed = self.execute_copy(&mut job, &mut sink);
+                sink.clear();
+                self.scratch = sink;
+                executed
+            }
+        };
+        self.copies.insert(id, job);
+        executed
     }
 }
 
@@ -1155,8 +1689,7 @@ impl NodeHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client;
-    use blast_udp::channel::UdpChannel;
+    use crate::client::Client;
 
     fn test_builder() -> NodeBuilder {
         NodeBuilder::new().timeout(Duration::from_millis(15))
@@ -1194,12 +1727,11 @@ mod tests {
         let cfg = client_cfg();
         let data = payload(100_000);
 
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        let push = client::push_blob(ch, 1, "hello", &data, &cfg).unwrap();
+        let mut client = Client::connect(node.addr()).unwrap().config(cfg);
+        let push = client.push("hello", &data).unwrap();
         assert!(push.stats.data_packets_sent >= 98);
 
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        let pull = client::pull_blob(ch, 2, "hello", &cfg).unwrap();
+        let pull = client.pull("hello").unwrap();
         assert_eq!(pull.data, data);
 
         assert!(node.wait_idle(Duration::from_secs(5)), "tail ack drained");
@@ -1216,8 +1748,8 @@ mod tests {
     fn pull_of_missing_blob_is_not_found() {
         let node = test_builder().start().unwrap();
         let cfg = client_cfg();
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        let err = client::pull_blob(ch, 9, "nope", &cfg).unwrap_err();
+        let mut client = Client::connect(node.addr()).unwrap().config(cfg);
+        let err = client.pull("nope").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
         let m = wait_metric(&node, |m| m.pull_misses == 1);
         assert_eq!(m.pull_misses, 1);
@@ -1231,8 +1763,8 @@ mod tests {
         store.put("seeded", payload(30_000).into());
         let node = test_builder().store(store).start().unwrap();
         let cfg = client_cfg();
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        let pull = client::pull_blob(ch, 3, "seeded", &cfg).unwrap();
+        let mut client = Client::connect(node.addr()).unwrap().config(cfg);
+        let pull = client.pull("seeded").unwrap();
         assert_eq!(pull.data, payload(30_000));
         node.shutdown().unwrap();
     }
@@ -1247,8 +1779,11 @@ mod tests {
         let addr = node.addr();
         let cfg2 = cfg.clone();
         let t = std::thread::spawn(move || {
-            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-            client::pull_blob(ch, 5, "blob", &cfg2).unwrap()
+            let mut client = Client::connect(addr)
+                .unwrap()
+                .config(cfg2)
+                .transfer_ids_from(5);
+            client.pull("blob").unwrap()
         });
         // Wait until the node has actually accepted session 5 before
         // contending for the id from a different peer.
@@ -1258,8 +1793,11 @@ mod tests {
         // The contender is refused (Cancel → NotFound) while session 5
         // lives — or, if the first transfer already finished and was
         // reaped, it simply succeeds.  It must never hang or corrupt.
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-        match client::pull_blob(ch, 5, "blob", &cfg) {
+        let mut contender = Client::connect(addr)
+            .unwrap()
+            .config(cfg)
+            .transfer_ids_from(5);
+        match contender.pull("blob") {
             Ok(r) => assert_eq!(r.data, payload(200_000)),
             Err(e) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
         }
@@ -1275,8 +1813,8 @@ mod tests {
             .start()
             .unwrap();
         let ccfg = client_cfg();
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        let err = client::push_blob(ch, 4, "big", &payload(65 * 1024), &ccfg).unwrap_err();
+        let mut client = Client::connect(node.addr()).unwrap().config(ccfg);
+        let err = client.push("big", &payload(65 * 1024)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound, "cancelled, not hung");
         let m = wait_metric(&node, |m| m.rejected_oversize == 1);
         assert_eq!(m.rejected_oversize, 1);
@@ -1286,35 +1824,27 @@ mod tests {
 
     #[test]
     fn session_timeout_reaps_abandoned_push() {
-        // Drive a single reactor inline through the deprecated shim —
-        // the one mode that still exposes engine-table internals — so
-        // both the shim and the reap path stay covered.
-        #[allow(deprecated)]
-        let mut server = NodeServer::bind(
-            NodeBuilder::new()
-                .timeout(Duration::from_millis(15))
-                .session_timeout(Duration::from_millis(80))
-                .config,
-        )
-        .unwrap();
+        let node = NodeBuilder::new()
+            .timeout(Duration::from_millis(15))
+            .session_timeout(Duration::from_millis(80))
+            .start()
+            .unwrap();
         // Open a push session by hand, then walk away: no data phase.
         let req = Request::push(50_000, &client_cfg(), false).with_name("ghost");
         let dgram = req.build_datagram(77);
         let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
-        sock.send_to(&fcs::frame(&dgram), server.local_addr().unwrap())
-            .unwrap();
-        // Serve until the abandoned session fails and is reaped.
-        server.run_sessions(1).unwrap();
-        let m = server.metrics();
+        sock.send_to(&fcs::frame(&dgram), node.addr()).unwrap();
+        // The reactor must fail and reap the abandoned session on its
+        // own timer, with no further traffic from us.
+        let m = wait_metric(&node, |m| m.sessions_failed == 1);
         assert_eq!(m.sessions_accepted, 1);
         assert_eq!(m.sessions_failed, 1, "abandoned session must fail");
-        assert_eq!(m.sessions_in_flight(), 0);
+        assert!(node.wait_idle(Duration::from_secs(5)), "engine reaped");
         assert!(
-            !server.store.contains("ghost"),
+            !node.store().contains("ghost"),
             "no blob from a failed push"
         );
-        assert_eq!(server.demux.len(), 0, "engine reaped");
-        assert_eq!(server.demux.reaped, 1);
+        node.shutdown().unwrap();
     }
 
     #[test]
@@ -1340,10 +1870,12 @@ mod tests {
         assert!(node.shards() == 2 || !sockopt::reuseport_supported());
         let cfg = client_cfg();
         let data = payload(60_000);
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        client::push_blob(ch, 11, "sharded", &data, &cfg).unwrap();
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        let pull = client::pull_blob(ch, 12, "sharded", &cfg).unwrap();
+        // Two clients, two distinct 4-tuples: the kernel may hash them
+        // to different shards.
+        let mut pusher = Client::connect(node.addr()).unwrap().config(cfg.clone());
+        pusher.push("sharded", &data).unwrap();
+        let mut puller = Client::connect(node.addr()).unwrap().config(cfg);
+        let pull = puller.pull("sharded").unwrap();
         assert_eq!(pull.data, data);
         assert!(node.wait_idle(Duration::from_secs(5)));
         let reports = node.shard_reports();
@@ -1360,8 +1892,8 @@ mod tests {
     fn portable_netio_override_is_honoured() {
         let node = test_builder().portable_netio().start().unwrap();
         let cfg = client_cfg();
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-        client::push_blob(ch, 21, "p", &payload(10_000), &cfg).unwrap();
+        let mut client = Client::connect(node.addr()).unwrap().config(cfg);
+        client.push("p", &payload(10_000)).unwrap();
         assert!(node.wait_idle(Duration::from_secs(5)));
         let m = node.shutdown().unwrap();
         assert_eq!(m.netio_backend, "portable");
@@ -1377,9 +1909,8 @@ mod tests {
             .map(|i| {
                 let cfg = cfg.clone();
                 std::thread::spawn(move || {
-                    let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-                    client::push_blob(ch, 100 + i, &format!("w{i}"), &payload(20_000), &cfg)
-                        .unwrap()
+                    let mut client = Client::connect(addr).unwrap().config(cfg);
+                    client.push(&format!("w{i}"), &payload(20_000)).unwrap()
                 })
             })
             .collect();

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use blast_core::config::{ProtocolConfig, RetxStrategy};
 use blast_node::server::NodeBuilder;
-use blast_node::{client, shared_store};
+use blast_node::{shared_store, Client};
 use blast_udp::channel::UdpChannel;
 use blast_udp::fault::{FaultConfig, FaultyChannel};
 
@@ -64,9 +64,11 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
             let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
             let report = if i % 2 == 1 {
                 let faulty = FaultyChannel::new(ch, FaultConfig::chaos(0.04), 40 + i as u64);
-                client::push_blob(faulty, id, &name, &data, &cfg).unwrap()
+                let mut client = Client::over(faulty).config(cfg).transfer_ids_from(id);
+                client.push(&name, &data).unwrap()
             } else {
-                client::push_blob(ch, id, &name, &data, &cfg).unwrap()
+                let mut client = Client::over(ch).config(cfg).transfer_ids_from(id);
+                client.push(&name, &data).unwrap()
             };
             assert!(report.stats.data_packets_sent > 0, "{name}");
         }));
@@ -83,9 +85,11 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
             let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
             let report = if i % 2 == 1 {
                 let faulty = FaultyChannel::new(ch, FaultConfig::loss(0.06), 70 + i as u64);
-                client::pull_blob(faulty, id, &name, &cfg).unwrap()
+                let mut client = Client::over(faulty).config(cfg).transfer_ids_from(id);
+                client.pull(&name).unwrap()
             } else {
-                client::pull_blob(ch, id, &name, &cfg).unwrap()
+                let mut client = Client::over(ch).config(cfg).transfer_ids_from(id);
+                client.pull(&name).unwrap()
             };
             assert_eq!(report.data, expected, "pull {name} must be byte-exact");
         }));
@@ -95,11 +99,11 @@ fn twelve_concurrent_mixed_transfers_with_faults() {
     }
 
     // Every push must now be pullable, byte for byte.
-    for (i, (name, expected)) in push_data.iter().enumerate() {
-        let id = 1000 + i as u32;
-        let cfg = client_cfg(RetxStrategy::Selective);
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-        let report = client::pull_blob(ch, id, name, &cfg).unwrap();
+    let mut verifier = Client::connect(addr)
+        .unwrap()
+        .config(client_cfg(RetxStrategy::Selective));
+    for (name, expected) in &push_data {
+        let report = verifier.pull(name).unwrap();
         assert_eq!(&report.data, expected, "pushed blob {name} must round-trip");
     }
 
@@ -164,8 +168,8 @@ fn adaptive_paced_defaults_roundtrip_concurrently() {
             cfg.pacing = blast_core::PacingConfig::lan();
             cfg.max_retries = 100_000;
             cfg.packet_payload = 1400;
-            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-            client::push_blob(ch, 100 + i as u32, &name, &data, &cfg).unwrap();
+            let mut client = Client::connect(addr).unwrap().config(cfg);
+            client.push(&name, &data).unwrap();
         }));
     }
     for h in handles {
@@ -173,13 +177,13 @@ fn adaptive_paced_defaults_roundtrip_concurrently() {
     }
     // Every paced push must round-trip byte-exactly (pulled back over
     // the node's own paced sender).
-    for (i, (name, expected)) in blobs.iter().enumerate() {
-        let mut cfg = ProtocolConfig::default();
-        cfg.timeout = blast_core::AdaptiveTimeout::lan();
-        cfg.pacing = blast_core::PacingConfig::lan();
-        cfg.max_retries = 100_000;
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-        let report = client::pull_blob(ch, 200 + i as u32, name, &cfg).unwrap();
+    let mut cfg = ProtocolConfig::default();
+    cfg.timeout = blast_core::AdaptiveTimeout::lan();
+    cfg.pacing = blast_core::PacingConfig::lan();
+    cfg.max_retries = 100_000;
+    let mut verifier = Client::connect(addr).unwrap().config(cfg);
+    for (name, expected) in &blobs {
+        let report = verifier.pull(name).unwrap();
         assert_eq!(&report.data, expected, "{name}");
     }
     assert!(node.wait_idle(Duration::from_secs(10)));
@@ -194,10 +198,9 @@ fn adaptive_paced_defaults_roundtrip_concurrently() {
 fn empty_blob_roundtrip() {
     let node = node_builder().start().unwrap();
     let cfg = client_cfg(RetxStrategy::GoBackN);
-    let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-    client::push_blob(ch, 1, "empty", &[], &cfg).unwrap();
-    let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), node.addr()).unwrap();
-    let report = client::pull_blob(ch, 2, "empty", &cfg).unwrap();
+    let mut client = Client::connect(node.addr()).unwrap().config(cfg);
+    client.push("empty", &[]).unwrap();
+    let report = client.pull("empty").unwrap();
     assert!(report.data.is_empty());
     node.shutdown().unwrap();
 }

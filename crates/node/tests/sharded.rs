@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use blast_core::config::{ProtocolConfig, RetxStrategy};
 use blast_node::server::NodeBuilder;
-use blast_node::{client, shared_store};
+use blast_node::{shared_store, Client};
 use blast_udp::channel::UdpChannel;
 use blast_udp::fault::{FaultConfig, FaultyChannel};
 use blast_udp::sockopt;
@@ -77,9 +77,11 @@ fn thirty_two_mixed_transfers_across_four_shards() {
             let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
             let report = if i % 2 == 1 {
                 let faulty = FaultyChannel::new(ch, FaultConfig::chaos(0.03), 140 + i as u64);
-                client::push_blob(faulty, id, &name, &data, &cfg).unwrap()
+                let mut client = Client::over(faulty).config(cfg).transfer_ids_from(id);
+                client.push(&name, &data).unwrap()
             } else {
-                client::push_blob(ch, id, &name, &data, &cfg).unwrap()
+                let mut client = Client::over(ch).config(cfg).transfer_ids_from(id);
+                client.push(&name, &data).unwrap()
             };
             assert!(report.stats.data_packets_sent > 0, "{name}");
         }));
@@ -96,9 +98,11 @@ fn thirty_two_mixed_transfers_across_four_shards() {
             let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
             let report = if i % 2 == 1 {
                 let faulty = FaultyChannel::new(ch, FaultConfig::loss(0.05), 170 + i as u64);
-                client::pull_blob(faulty, id, &name, &cfg).unwrap()
+                let mut client = Client::over(faulty).config(cfg).transfer_ids_from(id);
+                client.pull(&name).unwrap()
             } else {
-                client::pull_blob(ch, id, &name, &cfg).unwrap()
+                let mut client = Client::over(ch).config(cfg).transfer_ids_from(id);
+                client.pull(&name).unwrap()
             };
             assert_eq!(report.data, expected, "pull {name} must be byte-exact");
         }));
@@ -110,11 +114,11 @@ fn thirty_two_mixed_transfers_across_four_shards() {
     // Every push must now be pullable, byte for byte — the store is
     // shared across shards, so a blob pushed through one shard must be
     // servable by whichever shard the verification pull hashes to.
-    for (i, (name, expected)) in push_data.iter().enumerate() {
-        let id = 3000 + i as u32;
-        let cfg = client_cfg(RetxStrategy::Selective);
-        let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-        let report = client::pull_blob(ch, id, name, &cfg).unwrap();
+    for (name, expected) in &push_data {
+        let mut verifier = Client::connect(addr)
+            .unwrap()
+            .config(client_cfg(RetxStrategy::Selective));
+        let report = verifier.pull(name).unwrap();
         assert_eq!(&report.data, expected, "pushed blob {name} must round-trip");
     }
 

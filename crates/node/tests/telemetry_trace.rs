@@ -9,9 +9,8 @@ use std::time::Duration;
 
 use blast_core::config::ProtocolConfig;
 use blast_node::server::NodeBuilder;
-use blast_node::{client, shared_store};
+use blast_node::{shared_store, Client};
 use blast_telemetry::{chrome_trace, jsonl, EventKind};
-use blast_udp::channel::UdpChannel;
 use blast_udp::sockopt;
 
 fn client_cfg() -> ProtocolConfig {
@@ -49,18 +48,16 @@ fn four_shard_workload_produces_a_loadable_trace() {
     let mut handles = Vec::new();
     for i in 0..4usize {
         handles.push(std::thread::spawn(move || {
-            let cfg = client_cfg();
-            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-            let report = client::pull_blob(ch, 100 + i as u32, &format!("blob-{i}"), &cfg).unwrap();
+            let mut client = Client::connect(addr).unwrap().config(client_cfg());
+            let report = client.pull(&format!("blob-{i}")).unwrap();
             assert_eq!(report.data, payload(i, 60_000));
         }));
     }
     for i in 0..2usize {
         handles.push(std::thread::spawn(move || {
-            let cfg = client_cfg();
             let data = payload(10 + i, 30_000);
-            let ch = UdpChannel::connect("127.0.0.1:0".parse().unwrap(), addr).unwrap();
-            client::push_blob(ch, 200 + i as u32, &format!("pushed-{i}"), &data, &cfg).unwrap();
+            let mut client = Client::connect(addr).unwrap().config(client_cfg());
+            client.push(&format!("pushed-{i}"), &data).unwrap();
         }));
     }
     for h in handles {
@@ -69,8 +66,10 @@ fn four_shard_workload_produces_a_loadable_trace() {
 
     // The Stats verb, live while the node runs: the remote snapshot
     // must carry the merged accounting and the per-shard breakdown.
-    let ch = client::connect(addr).unwrap();
-    let stats = client::node_stats(ch, Duration::from_secs(5)).unwrap();
+    let mut stats_client = Client::connect(addr)
+        .unwrap()
+        .patience(Duration::from_secs(5));
+    let stats = stats_client.stats().unwrap();
     assert!(stats.contains("sessions"), "stats text: {stats}");
     assert!(stats.contains("shard 0:"), "per-shard lines: {stats}");
 

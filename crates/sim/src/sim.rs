@@ -428,6 +428,7 @@ impl Simulator {
                             PacketKind::Request => (false, "R".to_string()),
                             PacketKind::Cancel => (false, "X".to_string()),
                             PacketKind::Stats => (false, "S".to_string()),
+                            PacketKind::Copy => (false, "C".to_string()),
                         },
                         Err(_) => {
                             debug_assert!(false, "engine emitted malformed datagram");

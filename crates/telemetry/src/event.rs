@@ -59,6 +59,18 @@ pub enum EventKind {
     ShardTick = 18,
     /// A remote `Stats` snapshot was served: `a` = reply bytes.
     StatsServed = 19,
+    /// A third-party copy was admitted (the session field carries the
+    /// copy id): `a` = direction (0 push / 1 pull), `b` = the remote
+    /// node's port.
+    CopyAdmit = 20,
+    /// A third-party copy finished: `a` = 1 success / 0 failure,
+    /// `b` = bytes moved.
+    CopyDone = 21,
+    /// A copy submit carried the orchestrating client's trace epoch,
+    /// anchoring this host's timeline to the client's: `a` = the
+    /// client's epoch (unix ns), `b` = this recorder's epoch (unix ns).
+    /// Subtracting aligns the two hosts' spans in one Perfetto view.
+    ClockAnchor = 22,
     /// A batched send was submitted to the kernel: `a` = datagrams in
     /// the batch, `b` = syscalls it took.
     BatchSubmit = 24,
@@ -90,6 +102,9 @@ impl EventKind {
             17 => EventKind::SessionReap,
             18 => EventKind::ShardTick,
             19 => EventKind::StatsServed,
+            20 => EventKind::CopyAdmit,
+            21 => EventKind::CopyDone,
+            22 => EventKind::ClockAnchor,
             24 => EventKind::BatchSubmit,
             25 => EventKind::WakeEvent,
             26 => EventKind::WakeTimeout,
@@ -116,6 +131,9 @@ impl EventKind {
             EventKind::SessionReap => "session-reap",
             EventKind::ShardTick => "shard-tick",
             EventKind::StatsServed => "stats-served",
+            EventKind::CopyAdmit => "copy-admit",
+            EventKind::CopyDone => "copy-done",
+            EventKind::ClockAnchor => "clock-anchor",
             EventKind::BatchSubmit => "batch-submit",
             EventKind::WakeEvent => "wake-event",
             EventKind::WakeTimeout => "wake-timeout",
@@ -124,7 +142,7 @@ impl EventKind {
     }
 
     /// Every defined kind, for exhaustive tests.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::RoundStart,
         EventKind::RoundEnd,
         EventKind::NackReceived,
@@ -140,6 +158,9 @@ impl EventKind {
         EventKind::SessionReap,
         EventKind::ShardTick,
         EventKind::StatsServed,
+        EventKind::CopyAdmit,
+        EventKind::CopyDone,
+        EventKind::ClockAnchor,
         EventKind::BatchSubmit,
         EventKind::WakeEvent,
         EventKind::WakeTimeout,

@@ -1,0 +1,483 @@
+//! Third-party-copy control messages: node-to-node transfers.
+//!
+//! The paper's client pulls every byte through itself; at replication
+//! scale that hop is the bottleneck.  The `Copy` wire verb (WLCG
+//! HTTPS-TPC / Globus style, see PAPERS.md) lets a client *orchestrate*
+//! a transfer that flows node→node directly: the client submits a copy
+//! to the source (or sink) node, polls its status, and verifies the
+//! replica's bytes with a digest query — while the node reuses its own
+//! client-side engine machinery as the outbound leg.
+//!
+//! Every message here rides as the payload of a
+//! [`PacketKind::Copy`](blast_wire::header::PacketKind::Copy) datagram:
+//! the datagram's `transfer_id` names the copy being discussed
+//! (transfer *ownership* — the client chose the id and owns the copy's
+//! lifecycle), and `seq` carries a request nonce echoed by replies.
+//! The first payload byte is the operation; decoders are total (no
+//! input panics) and exact-length (trailing bytes reject), and unknown
+//! operations decode to `None` so future verbs degrade to a
+//! recognisable `Unknown` status instead of undefined behaviour.
+
+use std::net::{IpAddr, SocketAddr};
+
+pub use crate::handshake::MAX_NAME_LEN;
+
+/// Direction of the node-to-node leg, from the submitted-to node's
+/// point of view: `Push` sends its blob to the remote node, `Pull`
+/// fetches the remote's blob into its own store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyMode {
+    /// The submitted-to node pushes its named blob to the remote node.
+    Push,
+    /// The submitted-to node pulls the named blob from the remote node.
+    Pull,
+}
+
+impl CopyMode {
+    fn to_wire(self) -> u8 {
+        match self {
+            CopyMode::Push => 1,
+            CopyMode::Pull => 2,
+        }
+    }
+
+    fn from_wire(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(CopyMode::Push),
+            2 => Some(CopyMode::Pull),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CopyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CopyMode::Push => "push",
+            CopyMode::Pull => "pull",
+        })
+    }
+}
+
+/// Lifecycle state of a copy, as reported in [`CopyStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyState {
+    /// The node does not know this copy id (never submitted, or
+    /// already reaped).
+    Unknown,
+    /// Submitted; the outbound handshake toward the remote node is
+    /// still being retransmitted.
+    Handshaking,
+    /// The remote echoed the handshake; the data engine is running.
+    Running,
+    /// The outbound transfer completed and (for pulls) the blob is
+    /// stored.
+    Done,
+    /// The copy failed; [`CopyStatus::error`] says why.
+    Failed,
+}
+
+impl CopyState {
+    fn to_wire(self) -> u8 {
+        match self {
+            CopyState::Unknown => 0,
+            CopyState::Handshaking => 1,
+            CopyState::Running => 2,
+            CopyState::Done => 3,
+            CopyState::Failed => 4,
+        }
+    }
+
+    fn from_wire(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(CopyState::Unknown),
+            1 => Some(CopyState::Handshaking),
+            2 => Some(CopyState::Running),
+            3 => Some(CopyState::Done),
+            4 => Some(CopyState::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether this state is final (the copy will make no more
+    /// progress).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            CopyState::Done | CopyState::Failed | CopyState::Unknown
+        )
+    }
+}
+
+impl std::fmt::Display for CopyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CopyState::Unknown => "unknown",
+            CopyState::Handshaking => "handshaking",
+            CopyState::Running => "running",
+            CopyState::Done => "done",
+            CopyState::Failed => "failed",
+        })
+    }
+}
+
+/// Error codes carried by [`CopyStatus::error`].
+pub mod errcode {
+    /// No error.
+    pub const NONE: u8 = 0;
+    /// The named blob is not in the source store.
+    pub const NOT_FOUND: u8 = 1;
+    /// The node is at its concurrent-copy capacity.
+    pub const BUSY: u8 = 2;
+    /// The remote node never echoed the outbound handshake.
+    pub const HANDSHAKE_TIMEOUT: u8 = 3;
+    /// The outbound data transfer failed (engine gave up).
+    pub const TRANSFER_FAILED: u8 = 4;
+    /// The submit message itself was malformed or unsupported.
+    pub const MALFORMED: u8 = 5;
+
+    /// A short label for diagnostics.
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            NONE => "ok",
+            NOT_FOUND => "blob not found",
+            BUSY => "node busy",
+            HANDSHAKE_TIMEOUT => "remote handshake timeout",
+            TRANSFER_FAILED => "transfer failed",
+            MALFORMED => "malformed submit",
+            _ => "unknown error",
+        }
+    }
+}
+
+/// A copy order: "move blob `name` between yourself and `remote`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopySubmit {
+    /// Which way the bytes flow relative to the submitted-to node.
+    pub mode: CopyMode,
+    /// The far node of the node-to-node leg.
+    pub remote: SocketAddr,
+    /// The orchestrating client's trace epoch as nanoseconds since the
+    /// Unix epoch — carried in the handshake so the node can log a
+    /// clock-offset event and one Perfetto view lines up spans across
+    /// hosts.  Zero when the client records no telemetry.
+    pub epoch_ns: u64,
+    /// The blob to move.
+    pub name: String,
+}
+
+/// A status reply: the copy's lifecycle state plus progress and the
+/// source blob's digest, so the client can verify the replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyStatus {
+    /// Lifecycle state.
+    pub state: CopyState,
+    /// One of [`errcode`]'s codes (meaningful when `state` is
+    /// [`CopyState::Failed`]).
+    pub error: u8,
+    /// Bytes moved so far (estimated from engine counters while
+    /// running; exact once done).
+    pub bytes_done: u64,
+    /// Total bytes the copy will move (0 until known).
+    pub bytes_total: u64,
+    /// CRC-32 of the source blob (0 until known) — compare against the
+    /// sink's [`BlobDigest`] to byte-verify without re-reading.
+    pub crc32: u32,
+}
+
+/// A digest reply: whether the node holds `name`, and its length and
+/// CRC-32 if so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobDigest {
+    /// Whether the blob exists in this node's store.
+    pub found: bool,
+    /// Blob length in bytes (0 when not found).
+    pub len: u64,
+    /// CRC-32 of the blob (0 when not found).
+    pub crc32: u32,
+}
+
+/// Operation discriminants (first payload byte).
+mod op {
+    pub const SUBMIT: u8 = 1;
+    pub const QUERY: u8 = 2;
+    pub const STATUS: u8 = 3;
+    pub const DIGEST: u8 = 4;
+    pub const DIGEST_REPLY: u8 = 5;
+}
+
+/// Any message that rides a `Copy` datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopyMsg {
+    /// Client → node: start a copy (idempotent; a duplicate submit for
+    /// a known copy id just re-reports its status).
+    Submit(CopySubmit),
+    /// Client → node: report the copy's current status.
+    Query,
+    /// Node → client: the status reply.
+    Status(CopyStatus),
+    /// Client → node: report whether you hold `name`, with its digest.
+    Digest {
+        /// The blob to describe.
+        name: String,
+    },
+    /// Node → client: the digest reply.
+    DigestReply(BlobDigest),
+}
+
+impl CopyMsg {
+    /// Encode to the wire payload.  Control-plane messages are small
+    /// and rare, so a fresh `Vec` is fine here — the data path never
+    /// goes through this module.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            CopyMsg::Submit(s) => {
+                debug_assert!(s.name.len() <= MAX_NAME_LEN, "blob name too long");
+                out.push(op::SUBMIT);
+                out.push(s.mode.to_wire());
+                match s.remote.ip() {
+                    IpAddr::V4(ip) => {
+                        out.push(4);
+                        out.extend_from_slice(&ip.octets());
+                    }
+                    IpAddr::V6(ip) => {
+                        out.push(6);
+                        out.extend_from_slice(&ip.octets());
+                    }
+                }
+                out.extend_from_slice(&s.remote.port().to_be_bytes());
+                out.extend_from_slice(&s.epoch_ns.to_be_bytes());
+                out.extend_from_slice(&(s.name.len() as u16).to_be_bytes());
+                out.extend_from_slice(s.name.as_bytes());
+            }
+            CopyMsg::Query => out.push(op::QUERY),
+            CopyMsg::Status(st) => {
+                out.push(op::STATUS);
+                out.push(st.state.to_wire());
+                out.push(st.error);
+                out.extend_from_slice(&st.bytes_done.to_be_bytes());
+                out.extend_from_slice(&st.bytes_total.to_be_bytes());
+                out.extend_from_slice(&st.crc32.to_be_bytes());
+            }
+            CopyMsg::Digest { name } => {
+                debug_assert!(name.len() <= MAX_NAME_LEN, "blob name too long");
+                out.push(op::DIGEST);
+                out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+                out.extend_from_slice(name.as_bytes());
+            }
+            CopyMsg::DigestReply(d) => {
+                out.push(op::DIGEST_REPLY);
+                out.push(u8::from(d.found));
+                out.extend_from_slice(&d.len.to_be_bytes());
+                out.extend_from_slice(&d.crc32.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode from a wire payload.  Total: no input panics.  Returns
+    /// `None` on unknown operations, truncated or oversized fields, and
+    /// trailing bytes — callers treat all of those as an unknown copy.
+    pub fn decode(p: &[u8]) -> Option<CopyMsg> {
+        let (&opcode, rest) = p.split_first()?;
+        match opcode {
+            op::SUBMIT => {
+                let (&mode, rest) = rest.split_first()?;
+                let mode = CopyMode::from_wire(mode)?;
+                let (&family, rest) = rest.split_first()?;
+                let addr_len = match family {
+                    4 => 4,
+                    6 => 16,
+                    _ => return None,
+                };
+                if rest.len() < addr_len {
+                    return None;
+                }
+                let (addr_bytes, rest) = rest.split_at(addr_len);
+                let ip: IpAddr = if family == 4 {
+                    let o: [u8; 4] = addr_bytes.try_into().ok()?;
+                    IpAddr::from(o)
+                } else {
+                    let o: [u8; 16] = addr_bytes.try_into().ok()?;
+                    IpAddr::from(o)
+                };
+                if rest.len() < 2 + 8 + 2 {
+                    return None;
+                }
+                let port = u16::from_be_bytes(rest[0..2].try_into().ok()?);
+                let epoch_ns = u64::from_be_bytes(rest[2..10].try_into().ok()?);
+                let name_len = u16::from_be_bytes(rest[10..12].try_into().ok()?) as usize;
+                let rest = &rest[12..];
+                if name_len > MAX_NAME_LEN || rest.len() != name_len {
+                    return None;
+                }
+                let name = std::str::from_utf8(rest).ok()?.to_string();
+                Some(CopyMsg::Submit(CopySubmit {
+                    mode,
+                    remote: SocketAddr::new(ip, port),
+                    epoch_ns,
+                    name,
+                }))
+            }
+            op::QUERY => rest.is_empty().then_some(CopyMsg::Query),
+            op::STATUS => {
+                if rest.len() != 2 + 8 + 8 + 4 {
+                    return None;
+                }
+                let state = CopyState::from_wire(rest[0])?;
+                Some(CopyMsg::Status(CopyStatus {
+                    state,
+                    error: rest[1],
+                    bytes_done: u64::from_be_bytes(rest[2..10].try_into().ok()?),
+                    bytes_total: u64::from_be_bytes(rest[10..18].try_into().ok()?),
+                    crc32: u32::from_be_bytes(rest[18..22].try_into().ok()?),
+                }))
+            }
+            op::DIGEST => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                let name_len = u16::from_be_bytes(rest[0..2].try_into().ok()?) as usize;
+                let rest = &rest[2..];
+                if name_len > MAX_NAME_LEN || rest.len() != name_len {
+                    return None;
+                }
+                let name = std::str::from_utf8(rest).ok()?.to_string();
+                Some(CopyMsg::Digest { name })
+            }
+            op::DIGEST_REPLY => {
+                if rest.len() != 1 + 8 + 4 {
+                    return None;
+                }
+                Some(CopyMsg::DigestReply(BlobDigest {
+                    found: rest[0] != 0,
+                    len: u64::from_be_bytes(rest[1..9].try_into().ok()?),
+                    crc32: u32::from_be_bytes(rest[9..13].try_into().ok()?),
+                }))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: CopyMsg) {
+        let bytes = msg.encode();
+        assert_eq!(CopyMsg::decode(&bytes), Some(msg));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(CopyMsg::Submit(CopySubmit {
+            mode: CopyMode::Push,
+            remote: "127.0.0.1:47611".parse().unwrap(),
+            epoch_ns: 1_754_000_000_000_000_000,
+            name: "blob-α".into(),
+        }));
+        roundtrip(CopyMsg::Submit(CopySubmit {
+            mode: CopyMode::Pull,
+            remote: "[::1]:9".parse().unwrap(),
+            epoch_ns: 0,
+            name: String::new(),
+        }));
+        roundtrip(CopyMsg::Query);
+        roundtrip(CopyMsg::Status(CopyStatus {
+            state: CopyState::Running,
+            error: errcode::NONE,
+            bytes_done: 123_456,
+            bytes_total: 1 << 40,
+            crc32: 0xdead_beef,
+        }));
+        roundtrip(CopyMsg::Digest {
+            name: "replica".into(),
+        });
+        roundtrip(CopyMsg::DigestReply(BlobDigest {
+            found: true,
+            len: 300_000,
+            crc32: 7,
+        }));
+        roundtrip(CopyMsg::DigestReply(BlobDigest {
+            found: false,
+            len: 0,
+            crc32: 0,
+        }));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_op_truncation_and_trailers() {
+        assert_eq!(CopyMsg::decode(&[]), None);
+        assert_eq!(CopyMsg::decode(&[0]), None);
+        assert_eq!(CopyMsg::decode(&[99, 1, 2, 3]), None);
+        // Truncation at every prefix of a valid submit.
+        let full = CopyMsg::Submit(CopySubmit {
+            mode: CopyMode::Push,
+            remote: "10.0.0.9:4242".parse().unwrap(),
+            epoch_ns: 42,
+            name: "x".into(),
+        })
+        .encode();
+        for len in 0..full.len() {
+            assert_eq!(CopyMsg::decode(&full[..len]), None, "prefix {len}");
+        }
+        // Trailing garbage rejects.
+        let mut noisy = full.clone();
+        noisy.push(0);
+        assert_eq!(CopyMsg::decode(&noisy), None);
+        let mut q = CopyMsg::Query.encode();
+        q.push(1);
+        assert_eq!(CopyMsg::decode(&q), None);
+    }
+
+    #[test]
+    fn decode_rejects_bad_fields() {
+        // Bad mode.
+        let mut m = CopyMsg::Submit(CopySubmit {
+            mode: CopyMode::Push,
+            remote: "10.0.0.9:4242".parse().unwrap(),
+            epoch_ns: 0,
+            name: "x".into(),
+        })
+        .encode();
+        m[1] = 9;
+        assert_eq!(CopyMsg::decode(&m), None);
+        // Bad address family.
+        let mut m = CopyMsg::Submit(CopySubmit {
+            mode: CopyMode::Push,
+            remote: "10.0.0.9:4242".parse().unwrap(),
+            epoch_ns: 0,
+            name: "x".into(),
+        })
+        .encode();
+        m[2] = 5;
+        assert_eq!(CopyMsg::decode(&m), None);
+        // Bad status state.
+        let mut m = CopyMsg::Status(CopyStatus {
+            state: CopyState::Done,
+            error: 0,
+            bytes_done: 0,
+            bytes_total: 0,
+            crc32: 0,
+        })
+        .encode();
+        m[1] = 200;
+        assert_eq!(CopyMsg::decode(&m), None);
+        // Non-UTF-8 name.
+        let mut m = CopyMsg::Digest { name: "ab".into() }.encode();
+        let n = m.len();
+        m[n - 1] = 0xff;
+        assert_eq!(CopyMsg::decode(&m), None);
+    }
+
+    #[test]
+    fn decode_is_total_on_garbage() {
+        let mut garbage = Vec::with_capacity(256);
+        for len in 0..256 {
+            garbage.push((len * 71 + 13) as u8);
+            let _ = CopyMsg::decode(&garbage);
+        }
+    }
+}

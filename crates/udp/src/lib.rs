@@ -21,6 +21,9 @@
 //! * [`handshake`] — the pre-allocation `Request` handshake: transfer
 //!   length, packet size, strategy, direction and blob name, encoded in
 //!   a `Request` packet that is retransmitted until echoed;
+//! * [`copy`] — third-party-copy control messages: a client orders one
+//!   node to move a named blob directly to/from another node, polls the
+//!   copy's status, and digest-verifies the replica;
 //! * [`netio`] — the pluggable syscall backend: batched
 //!   `sendmmsg`/`recvmmsg` submission with event-driven epoll + timerfd
 //!   waits on Linux, a portable single-syscall fallback everywhere else
@@ -63,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod copy;
 pub mod driver;
 pub mod fault;
 pub mod fcs;
@@ -73,6 +77,7 @@ pub mod sockopt;
 pub mod timers;
 
 pub use channel::{Channel, UdpChannel};
+pub use copy::{BlobDigest, CopyMode, CopyMsg, CopyState, CopyStatus, CopySubmit};
 pub use driver::Driver;
 pub use fault::{FaultConfig, FaultyChannel};
 pub use fcs::FcsChannel;

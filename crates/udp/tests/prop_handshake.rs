@@ -163,3 +163,147 @@ proptest! {
         let _ = Request::decode(&bytes);
     }
 }
+
+// ---------------------------------------------------------------------
+// Copy control-plane robustness: the `Copy` verb rides the same
+// handshake datagram path, so its messages get the same treatment —
+// unknown operations are rejected, truncations never decode, and the
+// encode/decode pair is a bijection over every field the submit and
+// status carry.
+
+use std::net::{IpAddr, SocketAddr};
+
+use blast_udp::copy::{errcode, BlobDigest, CopyMode, CopyMsg, CopyState, CopyStatus, CopySubmit};
+
+/// Build an arbitrary-but-valid `CopyMsg` from proptest primitives.
+#[allow(clippy::too_many_arguments)]
+fn copy_msg_from(
+    selector: u8,
+    pull: bool,
+    v6: bool,
+    addr_bits: u128,
+    port: u16,
+    epoch_ns: u64,
+    name_tag: u64,
+    state_byte: u8,
+    error_sel: u8,
+    bytes_done: u64,
+    bytes_total: u64,
+    crc32: u32,
+) -> CopyMsg {
+    let states = [
+        CopyState::Unknown,
+        CopyState::Handshaking,
+        CopyState::Running,
+        CopyState::Done,
+        CopyState::Failed,
+    ];
+    let errors = [
+        errcode::NONE,
+        errcode::NOT_FOUND,
+        errcode::BUSY,
+        errcode::HANDSHAKE_TIMEOUT,
+        errcode::TRANSFER_FAILED,
+        errcode::MALFORMED,
+    ];
+    match selector % 5 {
+        0 => {
+            let ip: IpAddr = if v6 {
+                IpAddr::from(addr_bits.to_be_bytes())
+            } else {
+                IpAddr::from((addr_bits as u32).to_be_bytes())
+            };
+            CopyMsg::Submit(CopySubmit {
+                mode: if pull { CopyMode::Pull } else { CopyMode::Push },
+                remote: SocketAddr::new(ip, port),
+                epoch_ns,
+                name: format!("blob-{name_tag}"),
+            })
+        }
+        1 => CopyMsg::Query,
+        2 => CopyMsg::Status(CopyStatus {
+            state: states[state_byte as usize % states.len()],
+            error: errors[error_sel as usize % errors.len()],
+            bytes_done,
+            bytes_total,
+            crc32,
+        }),
+        3 => CopyMsg::Digest {
+            name: format!("blob-{name_tag}"),
+        },
+        _ => CopyMsg::DigestReply(BlobDigest {
+            found: pull,
+            len: bytes_total,
+            crc32,
+        }),
+    }
+}
+
+proptest! {
+    /// Encode/decode is a bijection over the copy control plane: every
+    /// submit (both modes, v4 and v6 remotes, any trace epoch, any
+    /// name), status, digest and reply round-trips exactly.
+    #[test]
+    fn copy_msg_roundtrips(
+        selector in any::<u8>(),
+        pull in any::<bool>(),
+        v6 in any::<bool>(),
+        addr_bits in any::<u128>(),
+        port in any::<u16>(),
+        epoch_ns in any::<u64>(),
+        name_tag in 0u64..10_000,
+        state_byte in any::<u8>(),
+        error_sel in any::<u8>(),
+        bytes_done in any::<u64>(),
+        bytes_total in any::<u64>(),
+        crc32 in any::<u32>(),
+    ) {
+        let msg = copy_msg_from(
+            selector, pull, v6, addr_bits, port, epoch_ns, name_tag,
+            state_byte, error_sel, bytes_done, bytes_total, crc32,
+        );
+        prop_assert_eq!(CopyMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    /// The copy decoder is total: arbitrary bytes either decode or are
+    /// rejected, never panic.
+    #[test]
+    fn copy_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = CopyMsg::decode(&bytes);
+    }
+
+    /// Unknown operation bytes are rejected outright — a node never
+    /// guesses at a verb it does not speak.
+    #[test]
+    fn copy_unknown_ops_rejected(
+        opcode in 6u8..=u8::MAX,
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut payload = vec![opcode];
+        payload.extend_from_slice(&body);
+        prop_assert_eq!(CopyMsg::decode(&payload), None);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected: the
+    /// decoders demand exact length, so a truncated submit can never
+    /// masquerade as a shorter valid message.
+    #[test]
+    fn copy_truncations_never_decode(
+        selector in any::<u8>(),
+        pull in any::<bool>(),
+        v6 in any::<bool>(),
+        addr_bits in any::<u128>(),
+        port in any::<u16>(),
+        epoch_ns in any::<u64>(),
+        name_tag in 0u64..10_000,
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let msg = copy_msg_from(
+            selector, pull, v6, addr_bits, port, epoch_ns, name_tag,
+            0, 0, 0, 0, 0,
+        );
+        let wire = msg.encode();
+        let truncated = &wire[..cut.index(wire.len())];
+        prop_assert_eq!(CopyMsg::decode(truncated), None);
+    }
+}

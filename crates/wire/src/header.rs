@@ -63,6 +63,12 @@ pub enum PacketKind {
     /// live metrics snapshot; the node answers with the same kind and
     /// a small text payload.  Carries no transfer state.
     Stats = 5,
+    /// Control-plane third-party-copy verb: a client instructs a node
+    /// to move a named blob directly to/from another node.  The payload
+    /// is a `blast_udp::copy` sub-message (submit / status query /
+    /// status reply / digest); the transfer id demultiplexes copies and
+    /// the sequence field echoes request nonces.
+    Copy = 6,
 }
 
 impl PacketKind {
@@ -74,6 +80,7 @@ impl PacketKind {
             3 => Ok(PacketKind::Request),
             4 => Ok(PacketKind::Cancel),
             5 => Ok(PacketKind::Stats),
+            6 => Ok(PacketKind::Copy),
             other => Err(WireError::BadKind { found: other }),
         }
     }
@@ -87,6 +94,7 @@ impl fmt::Display for PacketKind {
             PacketKind::Request => "REQ",
             PacketKind::Cancel => "CANCEL",
             PacketKind::Stats => "STATS",
+            PacketKind::Copy => "COPY",
         };
         f.write_str(s)
     }
@@ -595,10 +603,11 @@ mod tests {
             PacketKind::Request,
             PacketKind::Cancel,
             PacketKind::Stats,
+            PacketKind::Copy,
         ] {
             assert_eq!(PacketKind::from_u8(kind as u8).unwrap(), kind);
         }
         assert!(PacketKind::from_u8(0).is_err());
-        assert!(PacketKind::from_u8(6).is_err());
+        assert!(PacketKind::from_u8(7).is_err());
     }
 }

@@ -255,6 +255,14 @@ impl DatagramBuilder {
     pub fn build_stats(&self, buf: &mut [u8], seq: u32, payload: &[u8]) -> WireResult<usize> {
         self.emit(buf, PacketKind::Stats, seq, 0, 0, payload, 0, 0)
     }
+
+    /// Build a control-plane third-party-copy packet.  The payload is a
+    /// `blast_udp::copy` sub-message (submit, status query/reply,
+    /// digest); `seq` carries the request nonce echoed in replies, and
+    /// the builder's transfer id names the copy being discussed.
+    pub fn build_copy(&self, buf: &mut [u8], seq: u32, payload: &[u8]) -> WireResult<usize> {
+        self.emit(buf, PacketKind::Copy, seq, 0, 0, payload, 0, 0)
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +340,19 @@ mod tests {
         let d = Datagram::parse(&buf[..len]).unwrap();
         assert_eq!(d.kind, PacketKind::Cancel);
         assert!(d.payload.is_empty());
+    }
+
+    #[test]
+    fn copy_roundtrip() {
+        let mut buf = [0u8; 256];
+        let b = DatagramBuilder::new(31);
+        let len = b.build_copy(&mut buf, 0xfeed, b"submit bytes").unwrap();
+        let d = Datagram::parse(&buf[..len]).unwrap();
+        assert_eq!(d.kind, PacketKind::Copy);
+        assert_eq!(d.transfer_id, 31);
+        assert_eq!(d.seq, 0xfeed);
+        assert_eq!(d.payload, b"submit bytes");
+        assert!(d.ack.is_none());
     }
 
     #[test]

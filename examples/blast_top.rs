@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use blast_node::client;
+use blast_node::Client;
 
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,10 +58,11 @@ fn main() -> std::io::Result<()> {
     // Patience per poll: generous enough for a loaded node, short
     // enough that a dead address fails fast.
     let patience = interval.max(Duration::from_millis(250)) * 4;
+    let mut client = Client::connect(addr)?.patience(patience);
     let mut tick = 0u64;
     loop {
         tick += 1;
-        match client::node_stats(client::connect(addr)?, patience) {
+        match client.stats() {
             Ok(snapshot) => {
                 println!("── blast-top @ {addr} ── snapshot {tick} ──");
                 print!("{snapshot}");

@@ -12,8 +12,7 @@
 
 use std::time::Duration;
 
-use blast_core::ProtocolConfig;
-use blast_node::client;
+use blast_node::Client;
 
 fn pattern(n: usize) -> Vec<u8> {
     (0..n).map(|i| (i % 251) as u8).collect()
@@ -31,16 +30,15 @@ fn main() -> std::io::Result<()> {
     };
     let addr = addr.parse().expect("node address like 127.0.0.1:47611");
 
-    let mut cfg = ProtocolConfig::default();
-    cfg.timeout = Duration::from_millis(25).into();
-    // A transfer id unique enough for concurrent example runs.
-    let transfer_id = std::process::id();
+    // Transfer ids come from the client's own ephemeral port, so
+    // concurrent example runs never collide.
+    let mut client = Client::connect(addr)?.timeout(Duration::from_millis(25));
 
     match op.as_slice() {
         [verb, name, bytes] if verb == "push" => {
             let n: usize = bytes.parse().expect("byte count");
             let data = pattern(n);
-            let report = client::push_blob(client::connect(addr)?, transfer_id, name, &data, &cfg)?;
+            let report = client.push(name, &data)?;
             println!(
                 "pushed '{}' ({} bytes) in {:?}: {} data packets ({} retransmitted), {:.1} Mbit/s",
                 name,
@@ -52,7 +50,7 @@ fn main() -> std::io::Result<()> {
             );
         }
         [verb, name] if verb == "pull" => {
-            let report = client::pull_blob(client::connect(addr)?, transfer_id, name, &cfg)?;
+            let report = client.pull(name)?;
             let n = report.data.len();
             let verified = if report.data == pattern(n) {
                 "pattern verified"

@@ -47,8 +47,12 @@ pub use blast_core as core;
 pub use blast_node as node;
 /// The node's control surface, re-exported at the top level: build a
 /// sharded node with [`NodeBuilder`], drive it through [`NodeHandle`],
-/// and share a blob catalogue through the object-safe [`Store`] trait.
-pub use blast_node::{shared_store, MemStore, NodeBuilder, NodeHandle, SharedStore, Store};
+/// talk to it with a [`Client`] (push/pull/stats plus third-party
+/// `copy_to`/`copy_from`/`fan_out`), and share a blob catalogue
+/// through the object-safe [`Store`] trait.
+pub use blast_node::{
+    shared_store, Client, CopyReport, MemStore, NodeBuilder, NodeHandle, SharedStore, Store,
+};
 pub use blast_sim as sim;
 pub use blast_stats as stats;
 pub use blast_telemetry as telemetry;
