@@ -78,6 +78,15 @@ struct Record {
     trace_events: Option<u64>,
     /// Flight-recorder events dropped on ring overflow (`_rec`).
     trace_dropped: Option<u64>,
+    /// Segmentation-offload probe outcome the node ran with (node and
+    /// copy records) — `gso+gro`, `unsupported`, `offload-disabled`, …
+    offload: Option<String>,
+    /// GSO super-datagrams submitted / segments carried inside them,
+    /// and the GRO twins on the receive side (node and copy records).
+    gso_super_datagrams: Option<u64>,
+    gso_segments: Option<u64>,
+    gro_super_datagrams: Option<u64>,
+    gro_segments: Option<u64>,
 }
 
 impl Record {
@@ -102,7 +111,23 @@ impl Record {
             shard_sessions: None,
             trace_events: None,
             trace_dropped: None,
+            offload: None,
+            gso_super_datagrams: None,
+            gso_segments: None,
+            gro_super_datagrams: None,
+            gro_segments: None,
         }
+    }
+
+    /// Stamp the segmentation-offload outcome and counters from one
+    /// node's final metrics (additive, so a record spanning several
+    /// nodes accumulates all of them).
+    fn add_offload(&mut self, m: &blast_node::metrics::NodeMetrics) {
+        self.offload = Some(m.netio_offload.clone());
+        *self.gso_super_datagrams.get_or_insert(0) += m.io.gso_super_datagrams;
+        *self.gso_segments.get_or_insert(0) += m.io.gso_segments;
+        *self.gro_super_datagrams.get_or_insert(0) += m.io.gro_super_datagrams;
+        *self.gro_segments.get_or_insert(0) += m.io.gro_segments;
     }
 }
 
@@ -228,13 +253,22 @@ fn engine_record(
 /// suffixes the record name `_rec`: the same workload measured with
 /// tracing on, so the recorder's overhead is a committed delta rather
 /// than a claim.
+///
+/// `gso` flips the process-wide segmentation-offload switch for the
+/// run and suffixes the record name `_gso`: plain records pin offload
+/// off, so the `_gso` twin isolates what `UDP_SEGMENT`/`UDP_GRO` buy
+/// (the record's `offload` field carries the probe outcome, so a host
+/// without kernel support commits an explicit `unsupported` record
+/// instead of a silent identical rerun).
 fn node_record(
     sessions: usize,
     bytes: usize,
     repeats: usize,
     shards: usize,
     recorder: bool,
+    gso: bool,
 ) -> Record {
+    blast_udp::netio::set_offload_enabled(gso);
     let mut latencies: Vec<f64> = Vec::new();
     let mut goodputs: Vec<f64> = Vec::new();
     let mut packets = 0u64;
@@ -245,6 +279,7 @@ fn node_record(
     let mut io_wakeups = 0u64;
     let mut io_timeouts = 0u64;
     let mut backend = String::new();
+    let mut offload_metrics = blast_node::metrics::NodeMetrics::default();
     let mut effective_shards = 1usize;
     let mut shard_accepted: Vec<u64> = Vec::new();
     let mut trace_events = 0u64;
@@ -340,6 +375,7 @@ fn node_record(
         io_wakeups += m.io.wakeups;
         io_timeouts += m.io.timeouts;
         backend = m.netio_backend.clone();
+        offload_metrics.merge_from(&m);
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let avg = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
@@ -348,6 +384,9 @@ fn node_record(
     let mut name = format!("push_{sessions}x{}k", bytes / 1024);
     if shards > 1 {
         let _ = write!(name, "_s{shards}");
+    }
+    if gso {
+        name.push_str("_gso");
     }
     if recorder {
         name.push_str("_rec");
@@ -377,6 +416,7 @@ fn node_record(
         r.trace_events = Some(trace_events);
         r.trace_dropped = Some(trace_dropped);
     }
+    r.add_offload(&offload_metrics);
     r
 }
 
@@ -443,6 +483,10 @@ fn copy_record(bytes: usize, repeats: usize, relayed: bool) -> Record {
     r.p99_ms = percentile(&latencies, 0.99);
     r.packets = packets;
     r.allocs_per_packet = allocs as f64 / packets.max(1) as f64;
+    // Both nodes' offload counters, so the record shows the blast legs
+    // (source→destination and node→client) coalescing.
+    r.add_offload(&ms);
+    r.add_offload(&md);
     r
 }
 
@@ -573,7 +617,7 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
 fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: &[LossRecord]) {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v6\",");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v7\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -605,6 +649,21 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: 
         }
         if let (Some(ev), Some(dr)) = (r.trace_events, r.trace_dropped) {
             let _ = write!(extra, ", \"trace_events\": {ev}, \"trace_dropped\": {dr}");
+        }
+        if let Some(offload) = &r.offload {
+            let _ = write!(extra, ", \"offload\": \"{offload}\"");
+        }
+        if let (Some(gs), Some(gseg), Some(rs), Some(rseg)) = (
+            r.gso_super_datagrams,
+            r.gso_segments,
+            r.gro_super_datagrams,
+            r.gro_segments,
+        ) {
+            let _ = write!(
+                extra,
+                ", \"gso_super_datagrams\": {gs}, \"gso_segments\": {gseg}, \
+                 \"gro_super_datagrams\": {rs}, \"gro_segments\": {rseg}"
+            );
         }
         let _ = writeln!(
             out,
@@ -772,6 +831,9 @@ fn main() {
     write_json("BENCH_engines.json", "engines", mode, &engines, &sweep);
 
     let mut node = Vec::new();
+    // Plain grid: segmentation offload pinned off, so these names keep
+    // measuring the batched sendmmsg/recvmmsg path the history was
+    // recorded on.
     for &shards in &shard_axis {
         for sessions in [1usize, 4, 16] {
             node.push(node_record(
@@ -780,12 +842,30 @@ fn main() {
                 node_repeats,
                 shards,
                 false,
+                false,
             ));
         }
     }
-    // The recorder-on twin of the same grid (`_rec` names): identical
-    // workload with the flight recorder attached, so `perf_compare`
-    // renders the tracing overhead as a measured delta.
+    // The GSO/GRO twin of the same grid (`_gso` names): identical
+    // workload with the segmentation-offload probe live, so
+    // `perf_compare` renders what `UDP_SEGMENT`/`UDP_GRO` buy — or an
+    // explicit `unsupported` record on hosts without kernel support.
+    for &shards in &shard_axis {
+        for sessions in [1usize, 4, 16] {
+            node.push(node_record(
+                sessions,
+                NODE_BYTES,
+                node_repeats,
+                shards,
+                false,
+                true,
+            ));
+        }
+    }
+    // The recorder-on twin (`_rec` names): identical workload with the
+    // flight recorder attached (offload off, matching the plain grid),
+    // so `perf_compare` renders the tracing overhead as a measured
+    // delta.
     for &shards in &shard_axis {
         for sessions in [1usize, 4, 16] {
             node.push(node_record(
@@ -794,12 +874,15 @@ fn main() {
                 node_repeats,
                 shards,
                 true,
+                false,
             ));
         }
     }
     // Third-party copy vs client relay: same blob, same pair of nodes
     // — the committed proof that the Copy verb's node-to-node blast
-    // beats hauling the bytes through the client.
+    // beats hauling the bytes through the client.  Runs with offload in
+    // its probed (default) state, the regime a production node is in.
+    blast_udp::netio::set_offload_enabled(true);
     node.push(copy_record(NODE_BYTES, node_repeats, false));
     node.push(copy_record(NODE_BYTES, node_repeats, true));
     print_summary("node_loopback (concurrent push fan-in over UDP)", &node);
@@ -822,6 +905,19 @@ fn main() {
         {
             println!(
                 "{:<24} netio [{backend}] waits: {w} wakeups / {t} timeouts",
+                r.name
+            );
+        }
+        if let (Some(offload), Some(gs), Some(gseg), Some(rs), Some(rseg)) = (
+            r.offload.as_deref(),
+            r.gso_super_datagrams,
+            r.gso_segments,
+            r.gro_super_datagrams,
+            r.gro_segments,
+        ) {
+            println!(
+                "{:<24} offload [{offload}]: {gseg} segs out in {gs} supers, \
+                 {rseg} segs in from {rs} supers",
                 r.name
             );
         }

@@ -28,6 +28,9 @@ struct Entry {
     allocs_per_packet: Option<f64>,
     p99_ms: Option<f64>,
     shards: Option<f64>,
+    /// Segmentation-offload probe outcome (`gso+gro`, `unsupported`,
+    /// `offload-disabled`, …) — node records from schema v7 on.
+    offload: Option<String>,
 }
 
 /// Extract `"key": <number>` from a record line.
@@ -41,12 +44,17 @@ fn field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Extract `"name": "<value>"` from a record line.
-fn name_field(line: &str) -> Option<String> {
-    let tag = "\"name\": \"";
-    let start = line.find(tag)? + tag.len();
+/// Extract `"key": "<value>"` (a string field) from a record line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
     let rest = &line[start..];
     Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract `"name": "<value>"` from a record line.
+fn name_field(line: &str) -> Option<String> {
+    str_field(line, "name")
 }
 
 fn parse(path: &Path) -> Vec<Entry> {
@@ -62,6 +70,7 @@ fn parse(path: &Path) -> Vec<Entry> {
                 allocs_per_packet: field(line, "allocs_per_packet"),
                 p99_ms: field(line, "p99_ms"),
                 shards: field(line, "shards"),
+                offload: str_field(line, "offload"),
             };
             // Auxiliary sections (e.g. the loss sweep) carry names but
             // no goodput; they are trajectories, not comparables.
@@ -217,6 +226,60 @@ fn sharding_delta(file: &str, fresh_dir: &Path, out: &mut String) {
     }
 }
 
+/// Split a GSO-on record name `push_16x256k_s4_gso` into its
+/// offload-off sibling `push_16x256k_s4`.
+fn gso_base(name: &str) -> Option<&str> {
+    name.strip_suffix("_gso")
+}
+
+/// Render the segmentation-offload delta table for one fresh file:
+/// every `<name>_gso` record paired with its offload-off `<name>`
+/// sibling from the same run, with the probe outcome alongside — so
+/// the job summary shows what `UDP_SEGMENT`/`UDP_GRO` bought, or says
+/// `unsupported` explicitly on hosts whose kernel lacks them.
+fn gso_delta(file: &str, fresh_dir: &Path, out: &mut String) {
+    let fresh = parse(&fresh_dir.join(file));
+    let pairs: Vec<(&Entry, &Entry)> = fresh
+        .iter()
+        .filter_map(|g| {
+            let base = gso_base(&g.name)?;
+            let plain = fresh.iter().find(|e| e.name == base)?;
+            Some((plain, g))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return;
+    }
+    let probe = pairs
+        .iter()
+        .find_map(|(_, g)| g.offload.as_deref())
+        .unwrap_or("unknown");
+    let _ = writeln!(
+        out,
+        "\n### Segmentation offload vs plain batched ({file}, fresh run)\n"
+    );
+    let _ = writeln!(out, "Offload probe outcome: `{probe}`\n");
+    let _ = writeln!(
+        out,
+        "| workload | goodput MB/s (off → on) | Δ | p99 ms (off → on) | Δ | probe |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (plain, gso) in pairs {
+        let _ = writeln!(
+            out,
+            "| {} | {} → {} | {} | {} → {} | {} | {} |",
+            plain.name,
+            fmt_opt(plain.goodput_mbps, 2),
+            fmt_opt(gso.goodput_mbps, 2),
+            delta_cell(plain.goodput_mbps, gso.goodput_mbps),
+            fmt_opt(plain.p99_ms, 2),
+            fmt_opt(gso.p99_ms, 2),
+            delta_cell(plain.p99_ms, gso.p99_ms),
+            gso.offload.as_deref().unwrap_or("–"),
+        );
+    }
+}
+
 /// Split a direct third-party-copy record name `copy_direct_256k` into
 /// the name of its client-relayed sibling `copy_relayed_256k`.
 fn relayed_sibling(name: &str) -> Option<String> {
@@ -303,6 +366,9 @@ fn main() {
         sharding_delta(file, fresh_dir, &mut out);
     }
     for &file in &files {
+        gso_delta(file, fresh_dir, &mut out);
+    }
+    for &file in &files {
         recorder_delta(file, fresh_dir, &mut out);
     }
     for &file in &files {
@@ -344,6 +410,25 @@ mod tests {
         // `_rec` strips before `_sN` pairing would: a `_rec` record
         // never also parses as a sharded base of something else.
         assert_eq!(sharded_base("push_16x256k_rec"), None);
+    }
+
+    #[test]
+    fn gso_names_pair_with_their_base() {
+        assert_eq!(gso_base("push_16x256k_gso"), Some("push_16x256k"));
+        assert_eq!(gso_base("push_16x256k_s4_gso"), Some("push_16x256k_s4"));
+        assert_eq!(gso_base("push_16x256k"), None);
+        // A `_gso` record never mis-parses as a sharded base: the
+        // shard suffix must be a pure number.
+        assert_eq!(sharded_base("push_16x256k_gso"), None);
+        assert_eq!(sharded_base("push_16x256k_s4_gso"), None);
+    }
+
+    #[test]
+    fn offload_field_parses_from_a_record_line() {
+        let line =
+            r#"    {"name": "push_4x256k_gso", "goodput_mbps": 50.1, "offload": "gso+gro"},"#;
+        assert_eq!(str_field(line, "offload").as_deref(), Some("gso+gro"));
+        assert_eq!(str_field(line, "netio_backend"), None);
     }
 
     #[test]

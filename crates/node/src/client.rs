@@ -291,11 +291,17 @@ impl<C: Channel> Client<C> {
         // The linger window is a quiet window (traffic restarts it):
         // make it comfortably longer than the node's
         // tail-retransmission interval so the driver stays for as many
-        // re-ack rounds as the node needs, yet a clean exit costs only
-        // ~100 ms.
+        // re-ack rounds as the node needs.  Paying that full window on
+        // every clean pull would cap relayed-copy throughput (each
+        // relay leg is one pull + one push), so loss-free runs exit on
+        // a much shorter clean window instead.
         let linger = (self.cfg.timeout.initial() * 4).max(Duration::from_millis(100));
+        let clean = (self.cfg.timeout.initial() / 4)
+            .clamp(Duration::from_millis(5), Duration::from_millis(25));
         let drops_before = self.channel.fcs_drops;
-        let mut driver = Driver::new(&mut self.channel).with_linger_for(linger);
+        let mut driver = Driver::new(&mut self.channel)
+            .with_linger_for(linger)
+            .with_clean_linger_for(clean);
         if let Some(rec) = &self.recorder {
             driver = driver.with_recorder(rec.clone());
         }

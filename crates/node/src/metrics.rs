@@ -105,6 +105,10 @@ pub struct NodeMetrics {
     /// Which [`blast_udp::netio`] backend the node socket runs
     /// (`"batched"` or `"portable"`).
     pub netio_backend: String,
+    /// The backend's segmentation-offload probe outcome
+    /// (`"gso+gro"`, `"gso"`, `"gro"`, `"unsupported"`, `"disabled"`,
+    /// or `"portable"` — see `blast_udp::netio::OffloadState`).
+    pub netio_offload: String,
     /// The node socket's syscall counters (batch amortisation, wait
     /// strategy: epoll wakeups vs timer expiries), snapshotted from the
     /// reactor's [`NetIoStats`] every tick.
@@ -195,6 +199,9 @@ impl NodeMetrics {
         if self.netio_backend.is_empty() {
             self.netio_backend.clone_from(&other.netio_backend);
         }
+        if self.netio_offload.is_empty() {
+            self.netio_offload.clone_from(&other.netio_offload);
+        }
         self.io.datagrams_sent += other.io.datagrams_sent;
         self.io.send_batches += other.io.send_batches;
         self.io.send_drops += other.io.send_drops;
@@ -202,6 +209,10 @@ impl NodeMetrics {
         self.io.recv_batches += other.io.recv_batches;
         self.io.wakeups += other.io.wakeups;
         self.io.timeouts += other.io.timeouts;
+        self.io.gso_super_datagrams += other.io.gso_super_datagrams;
+        self.io.gso_segments += other.io.gso_segments;
+        self.io.gro_super_datagrams += other.io.gro_super_datagrams;
+        self.io.gro_segments += other.io.gro_segments;
         self.burst_final.merge(&other.burst_final);
         self.burst_mean.merge(&other.burst_mean);
         self.session_secs.merge(&other.session_secs);
@@ -251,6 +262,7 @@ impl NodeMetrics {
         dst.malformed = self.malformed;
         dst.unroutable = self.unroutable;
         dst.netio_backend.clone_from(&self.netio_backend);
+        dst.netio_offload.clone_from(&self.netio_offload);
         dst.io = self.io;
         dst.burst_final = self.burst_final;
         dst.burst_mean = self.burst_mean;
@@ -307,7 +319,8 @@ impl NodeMetrics {
              rejects: {} pull misses, {} id collisions, {} at capacity, {} oversize\n\
              copies: {} requested, {} completed, {} failed, {} in flight; {} B moved, {} handshake retx\n\
              payload: {} B in, {} B out; datagrams: {} in / {} out ({} bad FCS, {} malformed, {} unroutable, {} send drops)\n\
-             netio [{}]: {} send batches / {} recv batches; waits: {} wakeups / {} timeouts\n\
+             netio [{}, offload {}]: {} send batches / {} recv batches; waits: {} wakeups / {} timeouts\n\
+             offload: {} segments out in {} super-datagrams, {} segments in from {} super-datagrams\n\
              pacing burst: final {}, mean {} over {} paced sessions\n\
              session time [s]: {}\n\
              goodput [Mbit/s]: {}\n\
@@ -337,10 +350,15 @@ impl NodeMetrics {
             self.unroutable,
             self.send_drops,
             self.netio_backend,
+            self.netio_offload,
             self.io.send_batches,
             self.io.recv_batches,
             self.io.wakeups,
             self.io.timeouts,
+            self.io.gso_segments,
+            self.io.gso_super_datagrams,
+            self.io.gro_segments,
+            self.io.gro_super_datagrams,
             self.burst_final,
             self.burst_mean,
             self.burst_final.count(),
@@ -563,6 +581,35 @@ mod tests {
         let all_secs = [0.010, 0.020, 0.040];
         let want = all_secs.iter().sum::<f64>() / 3.0;
         assert!((merged.session_secs.mean() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_publish_carry_offload_state() {
+        let mut a = NodeMetrics::default();
+        a.netio_offload = "gso+gro".into();
+        a.io.gso_super_datagrams = 2;
+        a.io.gso_segments = 40;
+        a.io.gro_super_datagrams = 1;
+        a.io.gro_segments = 16;
+        let mut b = NodeMetrics::default();
+        b.netio_offload = "gso+gro".into();
+        b.io.gso_super_datagrams = 1;
+        b.io.gso_segments = 24;
+
+        let mut merged = NodeMetrics::default();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.netio_offload, "gso+gro");
+        assert_eq!(merged.io.gso_super_datagrams, 3);
+        assert_eq!(merged.io.gso_segments, 64);
+        assert_eq!(merged.io.gro_super_datagrams, 1);
+        assert_eq!(merged.io.gro_segments, 16);
+
+        let mut slot = NodeMetrics::default();
+        a.publish_into(&mut slot);
+        assert_eq!(slot.netio_offload, "gso+gro");
+        assert_eq!(slot.io.gso_segments, 40);
+        assert!(a.summary().contains("offload gso+gro"), "{}", a.summary());
     }
 
     #[test]

@@ -52,7 +52,6 @@ use blast_core::multiblast::MultiBlastSender;
 use blast_core::pool::BufferPool;
 use blast_core::{AdaptiveTimeout, Engine, PacingConfig};
 use blast_telemetry::{EventKind, Recorder, Telemetry};
-use blast_udp::channel::MAX_DATAGRAM;
 use blast_udp::copy::{errcode, BlobDigest, CopyMode, CopyMsg, CopyState, CopyStatus, CopySubmit};
 use blast_udp::fcs;
 use blast_udp::handshake::{Direction, Request};
@@ -333,6 +332,7 @@ impl NodeServer {
         config.protocol.pool.warm(64);
         let mut local = NodeMetrics::default();
         local.netio_backend = io.backend().name().to_string();
+        local.netio_offload = io.offload().name().to_string();
         let slot = Arc::new(Mutex::new(local.clone()));
         Ok(NodeServer {
             socket,
@@ -349,7 +349,12 @@ impl NodeServer {
             copy_timers: TimerWheel::new(),
             copy_scratch: Vec::new(),
             epoch: Instant::now(),
-            recv_buf: vec![0u8; MAX_DATAGRAM + 4],
+            // Sized for the largest per-datagram view the backend can
+            // pop: a GRO-coalesced read's segments never exceed one
+            // framed datagram, but a 64 KB buffer keeps the shard
+            // correct even if a peer sends jumbo datagrams, at the cost
+            // of one buffer per shard.
+            recv_buf: vec![0u8; 64 * 1024],
             frame_buf: Vec::new(),
             scratch: Vec::new(),
             published_events: 0,
@@ -1897,6 +1902,7 @@ mod tests {
         assert!(node.wait_idle(Duration::from_secs(5)));
         let m = node.shutdown().unwrap();
         assert_eq!(m.netio_backend, "portable");
+        assert_eq!(m.netio_offload, "portable", "no offload without batching");
         assert_eq!(m.sessions_completed, 1);
     }
 

@@ -81,6 +81,19 @@ pub enum EventKind {
     /// The kernel shed an outbound datagram (ENOBUFS/EAGAIN):
     /// `a` = drops so far.
     SendDrop = 27,
+    /// Segmentation-offloaded sends were submitted: `a` = datagrams
+    /// that travelled coalesced, `b` = super-datagrams carrying them.
+    GsoSubmit = 28,
+    /// GRO-coalesced reads were split: `a` = datagrams recovered,
+    /// `b` = coalesced buffers they came from.
+    GroReceive = 29,
+    /// The batched backend probed `UDP_SEGMENT`/`UDP_GRO` at socket
+    /// setup: `a` = 1 if GSO is usable, `b` = 1 if GRO is usable.
+    OffloadProbe = 30,
+    /// The recorder is sampling round-level events: `a` = the period N
+    /// (1 in N recorded).  Emitted once when sampling is configured so
+    /// exporters can annotate the stream.
+    SampleRate = 31,
 }
 
 impl EventKind {
@@ -109,8 +122,35 @@ impl EventKind {
             25 => EventKind::WakeEvent,
             26 => EventKind::WakeTimeout,
             27 => EventKind::SendDrop,
+            28 => EventKind::GsoSubmit,
+            29 => EventKind::GroReceive,
+            30 => EventKind::OffloadProbe,
+            31 => EventKind::SampleRate,
             _ => return None,
         })
+    }
+
+    /// Kinds exempt from sampling (see `Recorder::sample_every`):
+    /// session/copy lifecycle, loss and error signals, and one-shot
+    /// annotations — everything whose absence would make a sampled
+    /// trace misleading rather than merely sparser.
+    pub fn always_recorded(self) -> bool {
+        matches!(
+            self,
+            EventKind::NackReceived
+                | EventKind::RetxRound
+                | EventKind::KarnReject
+                | EventKind::RtoBackoff
+                | EventKind::PoolExhausted
+                | EventKind::SessionAdmit
+                | EventKind::SessionReap
+                | EventKind::CopyAdmit
+                | EventKind::CopyDone
+                | EventKind::ClockAnchor
+                | EventKind::SendDrop
+                | EventKind::OffloadProbe
+                | EventKind::SampleRate
+        )
     }
 
     /// Stable kebab-case label, used by both exporters.
@@ -138,11 +178,15 @@ impl EventKind {
             EventKind::WakeEvent => "wake-event",
             EventKind::WakeTimeout => "wake-timeout",
             EventKind::SendDrop => "send-drop",
+            EventKind::GsoSubmit => "gso-submit",
+            EventKind::GroReceive => "gro-receive",
+            EventKind::OffloadProbe => "offload-probe",
+            EventKind::SampleRate => "sample-rate",
         }
     }
 
     /// Every defined kind, for exhaustive tests.
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 26] = [
         EventKind::RoundStart,
         EventKind::RoundEnd,
         EventKind::NackReceived,
@@ -165,6 +209,10 @@ impl EventKind {
         EventKind::WakeEvent,
         EventKind::WakeTimeout,
         EventKind::SendDrop,
+        EventKind::GsoSubmit,
+        EventKind::GroReceive,
+        EventKind::OffloadProbe,
+        EventKind::SampleRate,
     ];
 }
 

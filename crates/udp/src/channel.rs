@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use blast_telemetry::Recorder;
 
-use crate::netio::{BackendKind, NetIo, NetIoStats};
+use crate::netio::{BackendKind, NetIo, NetIoStats, OffloadState};
 
 /// Largest datagram the drivers will send or receive.  Loopback UDP
 /// carries much more than Ethernet; we keep a generous bound so large
@@ -127,6 +127,12 @@ impl UdpChannel {
     /// The backend's syscall counters.
     pub fn io_stats(&self) -> NetIoStats {
         self.io.stats
+    }
+
+    /// The segmentation-offload probe outcome for this channel's
+    /// backend (see [`OffloadState`]).
+    pub fn offload(&self) -> OffloadState {
+        self.io.offload()
     }
 }
 

@@ -63,6 +63,15 @@ pub struct Driver<C: Channel> {
     /// suits most links; raise it past the peer's retransmission
     /// interval if that interval is unusually long.
     pub linger_for: Duration,
+    /// Optional shorter quiet window used when the run completed
+    /// *clean* — no retransmission rounds, no malformed datagrams.  A
+    /// clean run is strong evidence the link is not losing packets, so
+    /// the final status is very unlikely to need re-answering and a
+    /// long tail wait would be pure dead time (per-transfer callers
+    /// like `blast-node`'s `Client::pull` pay it on every call).  Runs
+    /// that saw any loss keep the full [`linger_for`](Self::linger_for)
+    /// window.
+    pub clean_linger_for: Option<Duration>,
     /// Flight recorder, handed to the engine and the channel at
     /// [`run`](Driver::run).  The recorder's epoch also becomes the
     /// engine's `set_now` base, so engine events and the backend's
@@ -79,6 +88,7 @@ impl<C: Channel> Driver<C> {
             deadline: Duration::from_secs(60),
             linger: false,
             linger_for: LINGER,
+            clean_linger_for: None,
             recorder: None,
         }
     }
@@ -99,6 +109,14 @@ impl<C: Channel> Driver<C> {
     pub fn with_linger_for(mut self, window: Duration) -> Self {
         self.linger = true;
         self.linger_for = window;
+        self
+    }
+
+    /// Use a shorter quiet window after a clean run (see
+    /// [`Driver::clean_linger_for`]).  Implies lingering.
+    pub fn with_clean_linger_for(mut self, window: Duration) -> Self {
+        self.linger = true;
+        self.clean_linger_for = Some(window);
         self
     }
 
@@ -147,6 +165,9 @@ impl<C: Channel> Driver<C> {
         // incoming traffic (kept separate from `finished_at`, which
         // feeds the elapsed-time measurement).
         let mut quiet_since: Option<Instant> = None;
+        // Picked at completion: the clean-run short window when the
+        // transfer saw no loss, the full window otherwise.
+        let mut linger_window = self.linger_for;
 
         loop {
             let now = Instant::now();
@@ -154,7 +175,7 @@ impl<C: Channel> Driver<C> {
                 break;
             }
             if let Some(t) = quiet_since {
-                if !self.linger || now.duration_since(t) > self.linger_for {
+                if !self.linger || now.duration_since(t) > linger_window {
                     break;
                 }
             }
@@ -165,6 +186,11 @@ impl<C: Channel> Driver<C> {
                 engine.on_timer(token, &mut actions);
                 let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                 if let Some(info) = done {
+                    if let Some(short) = self.clean_linger_for {
+                        if info.stats.retransmission_rounds == 0 && malformed == 0 {
+                            linger_window = short;
+                        }
+                    }
                     completion = Some(info);
                     finished_at = Some(Instant::now());
                     quiet_since = finished_at;
@@ -182,11 +208,18 @@ impl<C: Channel> Driver<C> {
             // scheduler-tick round-up nor the yield-spin that used to
             // paper over it; the portable fallback degrades to a coarse
             // `SO_RCVTIMEO` wait with the shared floor.
-            let until_timer = timers
+            let mut until_timer = timers
                 .next_deadline()
                 .map(|when| when.saturating_duration_since(now))
                 .unwrap_or(Duration::from_millis(20))
                 .clamp(PacingConfig::MIN_WAIT, Duration::from_millis(50));
+            // While lingering, don't oversleep the quiet window: with
+            // no timers pending the default 20 ms wait would stretch a
+            // shorter (clean-run) window to the wait granularity.
+            if let Some(t) = quiet_since {
+                let remaining = linger_window.saturating_sub(now.duration_since(t));
+                until_timer = until_timer.min(remaining.max(PacingConfig::MIN_WAIT));
+            }
             match self.channel.recv_timeout(&mut buf, until_timer)? {
                 None => continue,
                 Some(n) => {
@@ -212,6 +245,11 @@ impl<C: Channel> Driver<C> {
                     engine.on_datagram(&dgram, &mut actions);
                     let done = self.execute(&mut actions, &mut sent, &mut timers)?;
                     if let Some(info) = done {
+                        if let Some(short) = self.clean_linger_for {
+                            if info.stats.retransmission_rounds == 0 && malformed == 0 {
+                                linger_window = short;
+                            }
+                        }
                         completion = Some(info);
                         finished_at = Some(Instant::now());
                         quiet_since = finished_at;
@@ -332,6 +370,34 @@ mod tests {
         let out = driver.run(&mut engine).unwrap();
         assert!(out.completion.is_success());
         assert_eq!(receiver.join().unwrap(), payload.as_ref());
+    }
+
+    #[test]
+    fn clean_run_uses_the_short_linger_window() {
+        let (a, b) = UdpChannel::pair().unwrap();
+        let c = cfg();
+        let payload = data(20_000);
+        let payload2 = payload.clone();
+        let c2 = c.clone();
+        let receiver = std::thread::spawn(move || {
+            let mut engine = BlastReceiver::new(1, payload2.len(), &c2);
+            let start = Instant::now();
+            let mut driver = Driver::new(b)
+                .with_linger_for(Duration::from_millis(400))
+                .with_clean_linger_for(Duration::from_millis(10));
+            let out = driver.run(&mut engine).unwrap();
+            assert!(out.completion.is_success());
+            (engine.into_data(), start.elapsed())
+        });
+        let mut engine = BlastSender::new(1, payload.clone(), &c);
+        let out = Driver::new(a).run(&mut engine).unwrap();
+        assert!(out.completion.is_success());
+        let (received, elapsed) = receiver.join().unwrap();
+        assert_eq!(received, payload.as_ref());
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "loopback run is clean, so the 400 ms window must not be paid: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Sans-I/O arithmetic for UDP segmentation offload.
+//!
+//! The batched [`crate::netio`] backend coalesces same-destination,
+//! equal-size datagrams from one flush into *super-datagrams* sent with
+//! a `UDP_SEGMENT` control message (the kernel segments them at the
+//! stack/NIC edge), and splits `UDP_GRO`-coalesced reads back into
+//! per-datagram views.  The decisions — when a frame may join a run,
+//! and how a coalesced buffer splits — are pure arithmetic, so they
+//! live here where they compile and test on every host, while the
+//! Linux-only FFI stays in `netio`.
+//!
+//! Kernel rules encoded by this module:
+//!
+//! * every segment of a super-datagram has the same size (`seg_size`),
+//!   except the last, which may be a shorter *tail runt*;
+//! * a super-datagram carries at most [`MAX_SEGMENTS`] segments and at
+//!   most [`MAX_SUPER_DATAGRAM`] bytes (the UDP payload ceiling);
+//! * on receive, a buffer of `len` bytes with a `UDP_GRO` segment size
+//!   of `seg_size` splits into `seg_size`-byte datagrams plus a final
+//!   runt of `len % seg_size` bytes (a `seg_size` of 0 means the read
+//!   was not coalesced).
+
+/// Most segments one super-datagram may carry (kernel
+/// `UDP_MAX_SEGMENTS`).
+pub const MAX_SEGMENTS: u32 = 64;
+
+/// Largest super-datagram payload: the IPv4 UDP maximum.
+pub const MAX_SUPER_DATAGRAM: usize = 65_507;
+
+/// One coalesced run of equal-size datagrams under construction.
+///
+/// Start a run with the first frame ([`Run::start`]), then offer each
+/// following same-destination frame with [`Run::try_append`]; a refusal
+/// means the frame must start a new run.  Destination equality is the
+/// caller's job — a run only tracks sizes and counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    seg_size: usize,
+    len: usize,
+    segments: u32,
+    open: bool,
+}
+
+impl Run {
+    /// Begin a run whose segment size is the first frame's length.
+    pub fn start(frame_len: usize) -> Run {
+        Run {
+            seg_size: frame_len,
+            len: frame_len,
+            segments: 1,
+            // A zero-length datagram cannot define a segment size.
+            open: frame_len > 0,
+        }
+    }
+
+    /// Try to add one more frame to the run, bounded by `budget` (the
+    /// bytes of staging storage left for this run; the kernel ceilings
+    /// apply on top).  Returns `false` when the frame must go into a
+    /// new run: the run is closed (a tail runt was already taken), the
+    /// frame is larger than the segment size, or a limit would be
+    /// exceeded.  A frame *smaller* than the segment size is accepted
+    /// as the tail runt and closes the run.
+    pub fn try_append(&mut self, frame_len: usize, budget: usize) -> bool {
+        if !self.open || frame_len == 0 || frame_len > self.seg_size {
+            return false;
+        }
+        if self.segments >= MAX_SEGMENTS {
+            return false;
+        }
+        if self.len + frame_len > MAX_SUPER_DATAGRAM.min(budget) {
+            return false;
+        }
+        self.len += frame_len;
+        self.segments += 1;
+        if frame_len < self.seg_size {
+            self.open = false;
+        }
+        true
+    }
+
+    /// Refuse further appends (the next frame went elsewhere).
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// The run's segment size: the length of its first frame.
+    pub fn seg_size(&self) -> usize {
+        self.seg_size
+    }
+
+    /// Total payload bytes staged in the run.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True only for a run started from a zero-length frame.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many datagrams the run carries.
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// True when the run holds more than one datagram and therefore
+    /// needs a `UDP_SEGMENT` control message.
+    pub fn is_coalesced(&self) -> bool {
+        self.segments > 1
+    }
+}
+
+/// Split one received buffer back into per-datagram lengths.
+///
+/// `seg_size` comes from the `UDP_GRO` control message; 0 means the
+/// read was a plain datagram.  The iterator yields each datagram's
+/// length in order (a single item for an uncoalesced read, including
+/// the zero-length-datagram case).
+pub fn split(len: usize, seg_size: usize) -> Split {
+    Split {
+        remaining: len,
+        seg_size,
+        yielded: false,
+    }
+}
+
+/// Iterator over the per-datagram lengths of one coalesced read; see
+/// [`split`].
+#[derive(Debug, Clone)]
+pub struct Split {
+    remaining: usize,
+    seg_size: usize,
+    yielded: bool,
+}
+
+impl Iterator for Split {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            // A zero-length datagram is still one datagram.
+            if self.yielded {
+                return None;
+            }
+            self.yielded = true;
+            return Some(0);
+        }
+        self.yielded = true;
+        let n = if self.seg_size == 0 || self.seg_size >= self.remaining {
+            self.remaining
+        } else {
+            self.seg_size
+        };
+        self.remaining -= n;
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_size_frames_coalesce_into_one_run() {
+        let mut run = Run::start(1400);
+        for _ in 0..9 {
+            assert!(run.try_append(1400, usize::MAX));
+        }
+        assert_eq!(run.segments(), 10);
+        assert_eq!(run.len(), 14_000);
+        assert_eq!(run.seg_size(), 1400);
+        assert!(run.is_coalesced());
+    }
+
+    #[test]
+    fn larger_frame_starts_a_new_run() {
+        let mut run = Run::start(100);
+        assert!(!run.try_append(101, usize::MAX), "oversize frame refused");
+        assert!(run.try_append(100, usize::MAX), "refusal leaves run usable");
+    }
+
+    #[test]
+    fn tail_runt_joins_then_closes_the_run() {
+        let mut run = Run::start(100);
+        assert!(run.try_append(40, usize::MAX), "runt accepted as tail");
+        assert_eq!(run.segments(), 2);
+        assert_eq!(run.len(), 140);
+        assert!(
+            !run.try_append(100, usize::MAX),
+            "nothing may follow the runt"
+        );
+    }
+
+    #[test]
+    fn segment_count_ceiling_is_enforced() {
+        let mut run = Run::start(10);
+        for _ in 1..MAX_SEGMENTS {
+            assert!(run.try_append(10, usize::MAX));
+        }
+        assert_eq!(run.segments(), MAX_SEGMENTS);
+        assert!(!run.try_append(10, usize::MAX), "65th segment refused");
+    }
+
+    #[test]
+    fn byte_ceilings_are_enforced() {
+        let mut run = Run::start(60_000);
+        assert!(
+            !run.try_append(60_000, usize::MAX),
+            "second segment would exceed the UDP payload maximum"
+        );
+        let mut run = Run::start(100);
+        assert!(!run.try_append(100, 150), "budget caps the run");
+        assert!(run.try_append(50, 150), "a runt within budget still fits");
+    }
+
+    #[test]
+    fn zero_length_frames_never_coalesce() {
+        let run = Run::start(0);
+        assert!(run.is_empty());
+        let mut run = run;
+        assert!(!run.try_append(0, usize::MAX));
+        let mut run = Run::start(100);
+        assert!(!run.try_append(0, usize::MAX));
+    }
+
+    #[test]
+    fn split_yields_equal_segments_plus_tail_runt() {
+        let lens: Vec<usize> = split(1400 * 3 + 250, 1400).collect();
+        assert_eq!(lens, vec![1400, 1400, 1400, 250]);
+    }
+
+    #[test]
+    fn split_of_uncoalesced_read_is_one_datagram() {
+        assert_eq!(split(900, 0).collect::<Vec<_>>(), vec![900]);
+        assert_eq!(split(900, 1400).collect::<Vec<_>>(), vec![900]);
+        assert_eq!(split(0, 0).collect::<Vec<_>>(), vec![0], "empty datagram");
+    }
+
+    #[test]
+    fn split_round_trips_a_run() {
+        let mut run = Run::start(700);
+        for _ in 0..5 {
+            assert!(run.try_append(700, usize::MAX));
+        }
+        assert!(run.try_append(123, usize::MAX), "tail runt");
+        let lens: Vec<usize> = split(run.len(), run.seg_size()).collect();
+        assert_eq!(lens, vec![700, 700, 700, 700, 700, 700, 123]);
+        assert_eq!(lens.len(), run.segments() as usize);
+    }
+}

@@ -26,8 +26,11 @@
 //!   copy's status, and digest-verifies the replica;
 //! * [`netio`] — the pluggable syscall backend: batched
 //!   `sendmmsg`/`recvmmsg` submission with event-driven epoll + timerfd
-//!   waits on Linux, a portable single-syscall fallback everywhere else
-//!   (force it with `BLAST_NETIO=portable`);
+//!   waits and runtime-probed `UDP_SEGMENT`/`UDP_GRO` segmentation
+//!   offload on Linux, a portable single-syscall fallback everywhere
+//!   else (force it with `BLAST_NETIO=portable`);
+//! * [`gso`] — the sans-I/O coalescer/splitter arithmetic behind that
+//!   offload (runs of equal-size datagrams, tail runts, GRO splits);
 //! * [`peer`] — one-call bulk transfer: the handshake, then the
 //!   configured protocol;
 //! * [`sockopt`] — `SO_RCVBUF`/`SO_SNDBUF` growth at socket setup, so a
@@ -70,6 +73,7 @@ pub mod copy;
 pub mod driver;
 pub mod fault;
 pub mod fcs;
+pub mod gso;
 pub mod handshake;
 pub mod netio;
 pub mod peer;

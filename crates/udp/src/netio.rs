@@ -18,12 +18,27 @@
 //!   following the [`crate::sockopt`] precedent (crate `deny(unsafe_code)`,
 //!   module-level allow, hardcoded asm-generic constants, so only the
 //!   mainstream Linux targets take this path).
+//! * **Segmentation offload** (Linux, runtime-probed): batching
+//!   amortised the *syscall*, but every datagram still traversed the
+//!   kernel stack individually.  At socket setup the batched backend
+//!   probes `UDP_SEGMENT`/`UDP_GRO`; where supported, the staging
+//!   layer coalesces same-destination equal-size datagrams from one
+//!   flush into ~64 KB super-datagrams carrying a `UDP_SEGMENT`
+//!   control message (segment size = the framed packet length, tail
+//!   runt allowed — see [`crate::gso`]), and the receive path drains
+//!   GRO-coalesced buffers and splits them back into per-datagram
+//!   views without copying or allocating.  Hosts whose kernels refuse
+//!   the probe degrade silently to the plain batched path.
 //! * **Portable** (everything else, or forced): one syscall per
 //!   datagram and coarse `SO_RCVTIMEO` waits as the last resort —
 //!   exactly the pre-batching behaviour, kept as a living fallback.
 //!
-//! Set `BLAST_NETIO=portable` to force the fallback on Linux (CI runs
-//! the perf harness under both and prints the delta).
+//! Set `BLAST_NETIO=portable` to force the fallback on Linux, or
+//! `BLAST_NETIO=batched` to keep the batched backend but leave
+//! segmentation offload off (CI runs the perf harness under several
+//! modes and prints the deltas).  [`set_offload_enabled`] is the same
+//! offload switch for callers that cannot set an environment variable
+//! (the perf harness's GSO-on/off axis).
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -66,6 +81,18 @@ pub struct NetIoStats {
     pub wakeups: u64,
     /// Waits that expired at their deadline instead.
     pub timeouts: u64,
+    /// GSO super-datagrams submitted (send slots carrying ≥ 2
+    /// segments under one `UDP_SEGMENT` control message).
+    pub gso_super_datagrams: u64,
+    /// Datagrams that travelled inside those super-datagrams —
+    /// `gso_segments / gso_super_datagrams` is the send coalescing
+    /// factor.
+    pub gso_segments: u64,
+    /// GRO-coalesced reads drained (receives that carried ≥ 2
+    /// datagrams in one buffer).
+    pub gro_super_datagrams: u64,
+    /// Datagrams split back out of those reads.
+    pub gro_segments: u64,
 }
 
 /// Which backend a [`NetIo`] is running.
@@ -84,6 +111,48 @@ impl BackendKind {
             BackendKind::Batched => "batched",
             BackendKind::Portable => "portable",
         }
+    }
+}
+
+/// Outcome of the `UDP_SEGMENT`/`UDP_GRO` probe for one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadState {
+    /// Portable backend: segmentation offload does not apply.
+    Portable,
+    /// Offload was switched off before the probe ran
+    /// (`BLAST_NETIO=batched` or [`set_offload_enabled`]`(false)`).
+    Disabled,
+    /// The probe ran and the kernel refused both options.
+    Unsupported,
+    /// `UDP_SEGMENT` send coalescing only (pre-5.0 kernels).
+    Gso,
+    /// `UDP_GRO` receive coalescing only.
+    Gro,
+    /// Both offloads active.
+    GsoGro,
+}
+
+impl OffloadState {
+    /// Stable lowercase name for logs and perf JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OffloadState::Portable => "portable",
+            OffloadState::Disabled => "disabled",
+            OffloadState::Unsupported => "unsupported",
+            OffloadState::Gso => "gso",
+            OffloadState::Gro => "gro",
+            OffloadState::GsoGro => "gso+gro",
+        }
+    }
+
+    /// True when sends may coalesce under `UDP_SEGMENT`.
+    pub fn gso(self) -> bool {
+        matches!(self, OffloadState::Gso | OffloadState::GsoGro)
+    }
+
+    /// True when receives may arrive GRO-coalesced.
+    pub fn gro(self) -> bool {
+        matches!(self, OffloadState::Gro | OffloadState::GsoGro)
     }
 }
 
@@ -154,7 +223,12 @@ impl NetIo {
 
     #[cfg(netio_batched)]
     fn try_batched(socket: &UdpSocket) -> Option<NetIo> {
-        let imp = batched::BatchedIo::new(socket).ok()?;
+        Self::try_batched_with(socket, offload_requested())
+    }
+
+    #[cfg(netio_batched)]
+    fn try_batched_with(socket: &UdpSocket, offload: bool) -> Option<NetIo> {
+        let imp = batched::BatchedIo::new(socket, offload).ok()?;
         Some(NetIo {
             imp: Impl::Batched(Box::new(imp)),
             stats: NetIoStats::default(),
@@ -178,10 +252,23 @@ impl NetIo {
 
     /// Attach a flight recorder.  Afterwards every batch submission
     /// ([`EventKind::BatchSubmit`]: a = datagrams, b = syscalls), wait
-    /// outcome ([`EventKind::WakeEvent`] / [`EventKind::WakeTimeout`])
-    /// and kernel send-drop ([`EventKind::SendDrop`]) is traced on
-    /// session track 0 of the recorder's shard.
+    /// outcome ([`EventKind::WakeEvent`] / [`EventKind::WakeTimeout`]),
+    /// kernel send-drop ([`EventKind::SendDrop`]) and offload
+    /// coalescing delta ([`EventKind::GsoSubmit`] /
+    /// [`EventKind::GroReceive`]) is traced on session track 0 of the
+    /// recorder's shard.  Batched backends log their probe outcome
+    /// once up front ([`EventKind::OffloadProbe`]: a = GSO supported,
+    /// b = GRO supported).
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        if self.is_batched() {
+            let state = self.offload();
+            recorder.record(
+                0,
+                EventKind::OffloadProbe,
+                u64::from(state.gso()),
+                u64::from(state.gro()),
+            );
+        }
         self.recorder = Some(recorder);
     }
 
@@ -208,6 +295,22 @@ impl NetIo {
         if s.timeouts > before.timeouts {
             rec.record(0, EventKind::WakeTimeout, s.timeouts - before.timeouts, 0);
         }
+        if s.gso_segments > before.gso_segments {
+            rec.record(
+                0,
+                EventKind::GsoSubmit,
+                s.gso_segments - before.gso_segments,
+                s.gso_super_datagrams - before.gso_super_datagrams,
+            );
+        }
+        if s.gro_segments > before.gro_segments {
+            rec.record(
+                0,
+                EventKind::GroReceive,
+                s.gro_segments - before.gro_segments,
+                s.gro_super_datagrams - before.gro_super_datagrams,
+            );
+        }
     }
 
     /// Which backend this instance runs.
@@ -222,6 +325,15 @@ impl NetIo {
     /// True when the batched backend is compiled in and selected.
     pub fn is_batched(&self) -> bool {
         self.backend() == BackendKind::Batched
+    }
+
+    /// The segmentation-offload probe outcome for this instance.
+    pub fn offload(&self) -> OffloadState {
+        match &self.imp {
+            #[cfg(netio_batched)]
+            Impl::Batched(b) => b.offload_state(),
+            Impl::Portable(_) => OffloadState::Portable,
+        }
     }
 
     /// Stage one datagram on a connected socket for a batched flush
@@ -353,19 +465,55 @@ impl NetIo {
     }
 }
 
-/// Did the operator force the portable backend?  Read once per process
-/// (channels are built per session; an env lookup per construction
-/// would be a per-session allocation for a process-constant answer).
-fn forced_portable() -> bool {
-    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+/// What did the operator force through `BLAST_NETIO`?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForcedMode {
+    /// No override: batched where available, offload where probed.
+    Auto,
+    /// `portable` / `fallback`: the single-syscall backend.
+    Portable,
+    /// `batched`: the batched backend with segmentation offload off.
+    BatchedPlain,
+}
+
+/// The `BLAST_NETIO` override, read once per process (channels are
+/// built per session; an env lookup per construction would be a
+/// per-session allocation for a process-constant answer).
+fn forced_mode() -> ForcedMode {
+    static FORCED: std::sync::OnceLock<ForcedMode> = std::sync::OnceLock::new();
     *FORCED.get_or_init(|| {
-        std::env::var("BLAST_NETIO")
-            .map(|v| {
-                let v = v.to_ascii_lowercase();
-                v == "portable" || v == "fallback"
-            })
-            .unwrap_or(false)
+        match std::env::var("BLAST_NETIO")
+            .map(|v| v.to_ascii_lowercase())
+            .as_deref()
+        {
+            Ok("portable") | Ok("fallback") => ForcedMode::Portable,
+            Ok("batched") => ForcedMode::BatchedPlain,
+            _ => ForcedMode::Auto,
+        }
     })
+}
+
+fn forced_portable() -> bool {
+    forced_mode() == ForcedMode::Portable
+}
+
+/// Process-wide segmentation-offload switch, default on.  See
+/// [`set_offload_enabled`].
+static OFFLOAD_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Allow or forbid `UDP_SEGMENT`/`UDP_GRO` offload for backends built
+/// *after* the call (existing instances keep their probed state).
+/// This is the programmatic twin of `BLAST_NETIO=batched`, used by the
+/// perf harness to run a GSO-on/off axis inside one process; normal
+/// callers never need it.
+pub fn set_offload_enabled(enabled: bool) {
+    OFFLOAD_ENABLED.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// May a newly built batched backend probe for offload support?
+fn offload_requested() -> bool {
+    forced_mode() != ForcedMode::BatchedPlain
+        && OFFLOAD_ENABLED.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Would sending fail in a way the blast protocols treat as loss, not
@@ -525,7 +673,8 @@ mod batched {
     use std::os::fd::AsRawFd;
     use std::time::Duration;
 
-    use super::{is_send_drop, NetIoStats, BATCH, SLOT_CAP};
+    use super::{is_send_drop, NetIoStats, OffloadState, BATCH, SLOT_CAP};
+    use crate::gso;
 
     // Linked via std's libc dependency; declared here because the
     // workspace builds offline with no `libc` crate available.
@@ -537,6 +686,13 @@ mod batched {
             vlen: u32,
             flags: i32,
             timeout: *mut TimeSpec,
+        ) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
         ) -> i32;
         fn epoll_create1(flags: i32) -> i32;
         fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -562,6 +718,21 @@ mod batched {
     const AF_INET6: u16 = 10;
     /// `sockaddr_storage` size: holds any address family.
     const SS_SIZE: usize = 128;
+    const SOL_UDP: i32 = 17;
+    const UDP_SEGMENT: i32 = 103;
+    const UDP_GRO: i32 = 104;
+    /// `cmsghdr` bytes on 64-bit Linux (`CMSG_ALIGN(sizeof(cmsghdr))`).
+    const CMSG_HDR: usize = 16;
+    /// Per-slot control-message capacity: one int-bearing cmsg,
+    /// `CMSG_SPACE(sizeof(int))`.
+    const CTRL_CAP: usize = 24;
+    /// GRO read slots: fewer, larger buffers, so one coalesced read
+    /// can carry up to ~64 KB while the slab stays the same size as
+    /// the non-GRO ring (8 × 64 KB ≈ 32 × 16 KB).
+    const GRO_BATCH: usize = 8;
+    /// Capacity of one GRO read slot: the largest buffer the kernel
+    /// will coalesce into (the UDP payload ceiling, rounded up).
+    const GRO_SLOT_CAP: usize = 65_536;
 
     #[repr(C)]
     #[derive(Clone, Copy)]
@@ -645,37 +816,52 @@ mod batched {
         }
     }
 
-    /// A batch of pre-allocated datagram slots: one contiguous buffer
-    /// slab (`BATCH × SLOT_CAP`) plus one address slab, so building a
-    /// backend costs two allocations, not two per slot — channels are
-    /// constructed per session, and construction cost shows up directly
-    /// in the perf harness's allocs-per-datagram figure.  Pointer-free,
-    /// so the backend stays `Send`; the kernel-facing header arrays are
-    /// rebuilt on the stack for each syscall.
+    /// Staged outbound super-datagrams: one contiguous arena
+    /// (`BATCH × SLOT_CAP` bytes) carved into up to `BATCH`
+    /// variable-length slots, plus pre-allocated address and
+    /// control-message slabs, so building a backend costs a fixed
+    /// handful of allocations — channels are constructed per session,
+    /// and construction cost shows up directly in the perf harness's
+    /// allocs-per-datagram figure.  With offload active a slot is a
+    /// [`gso::Run`] of same-destination equal-size datagrams packed
+    /// back to back (the kernel re-segments them at `seg_sizes`);
+    /// without it every slot holds exactly one datagram, which is the
+    /// pre-offload layout.  Pointer-free, so the backend stays `Send`;
+    /// the kernel-facing header arrays are rebuilt on the stack for
+    /// each syscall.
     #[derive(Debug)]
-    struct Ring {
+    struct SendRing {
         data: Vec<u8>,
+        ctrl: Vec<u8>,
         addrs: Vec<u8>,
+        offs: [usize; BATCH],
         lens: [usize; BATCH],
+        seg_sizes: [usize; BATCH],
+        seg_counts: [u32; BATCH],
         addr_lens: [u32; BATCH],
+        /// Used slots; `run` mirrors the last one while it may still
+        /// accept segments.
+        slots: usize,
+        /// Arena bytes consumed by the staged slots.
+        used: usize,
+        run: gso::Run,
     }
 
-    impl Ring {
-        fn new() -> Ring {
-            Ring {
+    impl SendRing {
+        fn new() -> SendRing {
+            SendRing {
                 data: vec![0u8; BATCH * SLOT_CAP],
+                ctrl: vec![0u8; BATCH * CTRL_CAP],
                 addrs: vec![0u8; BATCH * SS_SIZE],
+                offs: [0; BATCH],
                 lens: [0; BATCH],
+                seg_sizes: [0; BATCH],
+                seg_counts: [0; BATCH],
                 addr_lens: [0; BATCH],
+                slots: 0,
+                used: 0,
+                run: closed_run(),
             }
-        }
-
-        fn buf(&self, i: usize) -> &[u8] {
-            &self.data[i * SLOT_CAP..(i + 1) * SLOT_CAP]
-        }
-
-        fn buf_mut(&mut self, i: usize) -> &mut [u8] {
-            &mut self.data[i * SLOT_CAP..(i + 1) * SLOT_CAP]
         }
 
         fn addr(&self, i: usize) -> &[u8] {
@@ -684,6 +870,119 @@ mod batched {
 
         fn addr_mut(&mut self, i: usize) -> &mut [u8] {
             &mut self.addrs[i * SS_SIZE..(i + 1) * SS_SIZE]
+        }
+    }
+
+    /// A run that accepts nothing (the ring's initial state).
+    fn closed_run() -> gso::Run {
+        let mut run = gso::Run::start(0);
+        run.close();
+        run
+    }
+
+    /// Write the `UDP_SEGMENT` control message for one super-datagram
+    /// into its control slot.  The kernel insists on exactly
+    /// `CMSG_LEN(sizeof(__u16))`.
+    fn write_segment_cmsg(ctrl: &mut [u8], seg_size: usize) {
+        let cmsg_len: usize = CMSG_HDR + 2;
+        ctrl[0..8].copy_from_slice(&cmsg_len.to_ne_bytes());
+        ctrl[8..12].copy_from_slice(&SOL_UDP.to_ne_bytes());
+        ctrl[12..16].copy_from_slice(&UDP_SEGMENT.to_ne_bytes());
+        ctrl[16..18].copy_from_slice(&(seg_size as u16).to_ne_bytes());
+        ctrl[18..CTRL_CAP].fill(0);
+    }
+
+    /// Read the `UDP_GRO` segment size out of a receive control
+    /// buffer; 0 when the read was not coalesced.  Single-cmsg parse:
+    /// `UDP_GRO` is the only option enabled on the socket, so the
+    /// first header is the only candidate.
+    fn parse_gro_cmsg(ctrl: &[u8], controllen: usize) -> usize {
+        if controllen < CMSG_HDR + 4 || controllen > ctrl.len() {
+            return 0;
+        }
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&ctrl[0..8]);
+        let cmsg_len = usize::from_ne_bytes(word);
+        let mut half = [0u8; 4];
+        half.copy_from_slice(&ctrl[8..12]);
+        let level = i32::from_ne_bytes(half);
+        half.copy_from_slice(&ctrl[12..16]);
+        let ty = i32::from_ne_bytes(half);
+        if level != SOL_UDP || ty != UDP_GRO || cmsg_len < CMSG_HDR + 4 {
+            return 0;
+        }
+        half.copy_from_slice(&ctrl[16..20]);
+        i32::from_ne_bytes(half).max(0) as usize
+    }
+
+    /// Probe `UDP_SEGMENT` (set to 0 — no per-socket default, but the
+    /// option must exist) and `UDP_GRO` (enabled and left on: plain
+    /// datagrams still arrive normally).  A kernel without the options
+    /// answers `ENOPROTOOPT` and the backend degrades silently.
+    fn probe_offload(fd: i32) -> (bool, bool) {
+        let zero: i32 = 0;
+        let one: i32 = 1;
+        // SAFETY: plain setsockopt calls with stack-local ints of the
+        // stated length; results are checked.
+        let gso =
+            unsafe { setsockopt(fd, SOL_UDP, UDP_SEGMENT, (&zero as *const i32).cast(), 4) } == 0;
+        let gro = unsafe { setsockopt(fd, SOL_UDP, UDP_GRO, (&one as *const i32).cast(), 4) } == 0;
+        (gso, gro)
+    }
+
+    /// Did the kernel reject the submission in a way specific to GSO
+    /// super-datagrams (`EINVAL`: segment exceeds the route MTU;
+    /// `EIO`: the device path refused the offload)?
+    fn is_gso_rejection(e: &io::Error) -> bool {
+        matches!(e.raw_os_error(), Some(22) | Some(5))
+    }
+
+    /// Filled inbound slots.  With GRO active the ring trades slot
+    /// count for slot size ([`GRO_BATCH`] × [`GRO_SLOT_CAP`]) so one
+    /// read can carry a whole coalesced super-datagram; `seg_sizes`
+    /// records each slot's `UDP_GRO` segment size (0 = plain) for
+    /// [`BatchedIo::pop_into`] to split against.
+    #[derive(Debug)]
+    struct RecvRing {
+        data: Vec<u8>,
+        ctrl: Vec<u8>,
+        addrs: Vec<u8>,
+        lens: [usize; BATCH],
+        seg_sizes: [usize; BATCH],
+        addr_lens: [u32; BATCH],
+        slot_cap: usize,
+        slot_count: usize,
+    }
+
+    impl RecvRing {
+        fn new(gro: bool) -> RecvRing {
+            let (slot_count, slot_cap) = if gro {
+                (GRO_BATCH, GRO_SLOT_CAP)
+            } else {
+                (BATCH, SLOT_CAP)
+            };
+            RecvRing {
+                data: vec![0u8; slot_count * slot_cap],
+                ctrl: vec![0u8; slot_count * CTRL_CAP],
+                addrs: vec![0u8; slot_count * SS_SIZE],
+                lens: [0; BATCH],
+                seg_sizes: [0; BATCH],
+                addr_lens: [0; BATCH],
+                slot_cap,
+                slot_count,
+            }
+        }
+
+        fn buf(&self, i: usize) -> &[u8] {
+            &self.data[i * self.slot_cap..(i + 1) * self.slot_cap]
+        }
+
+        fn addr(&self, i: usize) -> &[u8] {
+            &self.addrs[i * SS_SIZE..(i + 1) * SS_SIZE]
+        }
+
+        fn ctrl(&self, i: usize) -> &[u8] {
+            &self.ctrl[i * CTRL_CAP..(i + 1) * CTRL_CAP]
         }
     }
 
@@ -750,17 +1049,38 @@ mod batched {
         epoll: Fd,
         timer: Fd,
         sock_fd: i32,
-        send: Ring,
-        send_len: usize,
-        recv: Ring,
+        send: SendRing,
+        recv: RecvRing,
         recv_head: usize,
         recv_len: usize,
+        /// Byte offset of the next segment inside the slot at
+        /// `recv_head` (a GRO read splits across several pops).
+        recv_seg_off: usize,
+        /// Send coalescing active.  Starts as the probe outcome; a
+        /// route-level rejection (`EINVAL`/`EIO` on a super-datagram)
+        /// clears it at runtime.
+        gso_send: bool,
+        /// `UDP_GRO` accepted on the socket: reads may be coalesced.
+        gro_recv: bool,
+        state: OffloadState,
     }
 
     impl BatchedIo {
-        pub(super) fn new(socket: &UdpSocket) -> io::Result<BatchedIo> {
+        pub(super) fn new(socket: &UdpSocket, offload: bool) -> io::Result<BatchedIo> {
             socket.set_nonblocking(true)?;
             let sock_fd = socket.as_raw_fd();
+            let (gso_send, gro_recv) = if offload {
+                probe_offload(sock_fd)
+            } else {
+                (false, false)
+            };
+            let state = match (offload, gso_send, gro_recv) {
+                (false, ..) => OffloadState::Disabled,
+                (true, true, true) => OffloadState::GsoGro,
+                (true, true, false) => OffloadState::Gso,
+                (true, false, true) => OffloadState::Gro,
+                (true, false, false) => OffloadState::Unsupported,
+            };
             // SAFETY: plain descriptor-creating syscalls; results are
             // checked and owned by `Fd` guards.
             let ep = unsafe { epoll_create1(EPOLL_CLOEXEC) };
@@ -789,49 +1109,92 @@ mod batched {
                 epoll,
                 timer,
                 sock_fd,
-                send: Ring::new(),
-                send_len: 0,
-                recv: Ring::new(),
+                send: SendRing::new(),
+                recv: RecvRing::new(gro_recv),
                 recv_head: 0,
                 recv_len: 0,
+                recv_seg_off: 0,
+                gso_send,
+                gro_recv,
+                state,
             })
         }
 
-        pub(super) fn send_full(&self) -> bool {
-            self.send_len == BATCH
+        pub(super) fn offload_state(&self) -> OffloadState {
+            self.state
         }
 
-        /// Copy one datagram into the next free send slot.
+        pub(super) fn send_full(&self) -> bool {
+            // Full when no slot is free or the arena cannot take a
+            // worst-case datagram as a fresh slot.
+            self.send.slots == BATCH || self.send.data.len() - self.send.used < SLOT_CAP
+        }
+
+        /// Copy one datagram into the staging arena: appended to the
+        /// open [`gso::Run`] when coalescing applies (same
+        /// destination, equal size, within the kernel ceilings),
+        /// otherwise opening a new slot.
         pub(super) fn stage(&mut self, frame: &[u8], to: Option<SocketAddr>) {
-            debug_assert!(
-                self.send_len < BATCH,
-                "flush before staging into a full batch"
-            );
+            debug_assert!(!self.send_full(), "flush before staging into a full batch");
             debug_assert!(frame.len() <= SLOT_CAP, "datagram exceeds slot capacity");
-            let i = self.send_len;
             let n = frame.len().min(SLOT_CAP);
-            self.send.buf_mut(i)[..n].copy_from_slice(&frame[..n]);
-            self.send.lens[i] = n;
-            self.send.addr_lens[i] = match to {
-                Some(addr) => encode_addr(&addr, self.send.addr_mut(i)),
+            let mut addr_buf = [0u8; SS_SIZE];
+            let addr_len = match to {
+                Some(addr) => encode_addr(&addr, &mut addr_buf),
                 None => 0,
             };
-            self.send_len += 1;
+            let s = &mut self.send;
+            if self.gso_send && s.slots > 0 {
+                let i = s.slots - 1;
+                let same_dest = s.addr_lens[i] == addr_len
+                    && s.addr(i)[..addr_len as usize] == addr_buf[..addr_len as usize];
+                let budget = s.data.len() - s.offs[i];
+                if same_dest && s.run.try_append(n, budget) {
+                    let at = s.offs[i] + s.lens[i];
+                    s.data[at..at + n].copy_from_slice(&frame[..n]);
+                    s.lens[i] += n;
+                    s.seg_counts[i] += 1;
+                    s.used += n;
+                    return;
+                }
+            }
+            let i = s.slots;
+            let off = s.used;
+            s.offs[i] = off;
+            s.data[off..off + n].copy_from_slice(&frame[..n]);
+            s.lens[i] = n;
+            s.seg_sizes[i] = n;
+            s.seg_counts[i] = 1;
+            s.addr_lens[i] = addr_len;
+            if addr_len > 0 {
+                s.addr_mut(i)[..addr_len as usize].copy_from_slice(&addr_buf[..addr_len as usize]);
+            }
+            s.run = if self.gso_send {
+                gso::Run::start(n)
+            } else {
+                closed_run()
+            };
+            s.slots += 1;
+            s.used += n;
         }
 
-        /// Submit every staged datagram: one `sendmmsg` per `BATCH`
-        /// slots, with loss-like submission failures counted as drops
-        /// (the protocols retransmit) rather than surfaced as errors.
+        /// Submit every staged slot: one `sendmmsg` per `BATCH` slots,
+        /// coalesced slots carrying their `UDP_SEGMENT` control
+        /// message, with loss-like submission failures counted as
+        /// drops (the protocols retransmit) rather than surfaced as
+        /// errors.
         pub(super) fn flush(
             &mut self,
             _socket: &UdpSocket,
             stats: &mut NetIoStats,
         ) -> io::Result<()> {
-            let n = self.send_len;
+            let n = self.send.slots;
             if n == 0 {
                 return Ok(());
             }
-            self.send_len = 0;
+            self.send.slots = 0;
+            self.send.used = 0;
+            self.send.run.close();
             let mut done = 0usize;
             // Pending ICMP errors from earlier sends surface as
             // `ECONNREFUSED` with nothing submitted; each retry consumes
@@ -843,12 +1206,14 @@ mod batched {
                 let mut hdrs = [ZERO_MSG; BATCH];
                 let data_ptr = self.send.data.as_mut_ptr();
                 let addr_ptr = self.send.addrs.as_mut_ptr();
+                let ctrl_ptr = self.send.ctrl.as_mut_ptr();
                 for i in 0..count {
                     let slot = done + i;
                     iovs[i] = IoVec {
-                        // SAFETY: in-bounds offsets into the send slabs
-                        // (slot < BATCH by construction).
-                        base: unsafe { data_ptr.add(slot * SLOT_CAP) }.cast(),
+                        // SAFETY: in-bounds offsets into the send arena
+                        // (`offs`/`lens` were bounds-checked by
+                        // `stage`).
+                        base: unsafe { data_ptr.add(self.send.offs[slot]) }.cast(),
                         len: self.send.lens[slot],
                     };
                     hdrs[i].hdr.msg_iov = &mut iovs[i];
@@ -857,14 +1222,31 @@ mod batched {
                         hdrs[i].hdr.msg_name = unsafe { addr_ptr.add(slot * SS_SIZE) }.cast();
                         hdrs[i].hdr.msg_namelen = self.send.addr_lens[slot];
                     }
+                    if self.send.seg_counts[slot] > 1 {
+                        let seg = self.send.seg_sizes[slot];
+                        write_segment_cmsg(
+                            &mut self.send.ctrl[slot * CTRL_CAP..(slot + 1) * CTRL_CAP],
+                            seg,
+                        );
+                        hdrs[i].hdr.msg_control = unsafe { ctrl_ptr.add(slot * CTRL_CAP) }.cast();
+                        hdrs[i].hdr.msg_controllen = CTRL_CAP;
+                    }
                 }
-                // SAFETY: `hdrs[..count]` reference iovecs and buffers
-                // that outlive the call; the kernel writes only the
-                // documented `len`/`msg_flags` out-fields.
+                // SAFETY: `hdrs[..count]` reference iovecs, buffers and
+                // control slots that outlive the call; the kernel
+                // writes only the documented `len`/`msg_flags`
+                // out-fields.
                 let rc = unsafe { sendmmsg(self.sock_fd, hdrs.as_mut_ptr(), count as u32, 0) };
                 if rc > 0 {
+                    for slot in done..done + rc as usize {
+                        let segs = u64::from(self.send.seg_counts[slot]);
+                        stats.datagrams_sent += segs;
+                        if segs > 1 {
+                            stats.gso_super_datagrams += 1;
+                            stats.gso_segments += segs;
+                        }
+                    }
                     done += rc as usize;
-                    stats.datagrams_sent += rc as u64;
                     stats.send_batches += 1;
                     continue;
                 }
@@ -875,8 +1257,19 @@ mod batched {
                         refused_budget -= 1;
                         continue;
                     }
+                    _ if self.send.seg_counts[done] > 1 && is_gso_rejection(&err) => {
+                        // The route rejected a super-datagram (segment
+                        // larger than the path MTU, or the probe lied).
+                        // Stop coalescing on this socket and resend the
+                        // remaining slots as individual datagrams —
+                        // nothing was submitted, so nothing duplicates.
+                        self.gso_send = false;
+                        return self.flush_split(done, n, stats);
+                    }
                     _ if is_send_drop(&err) => {
-                        stats.send_drops += (n - done) as u64;
+                        for slot in done..n {
+                            stats.send_drops += u64::from(self.send.seg_counts[slot]);
+                        }
                         return Ok(());
                     }
                     _ => return Err(err),
@@ -885,8 +1278,80 @@ mod batched {
             Ok(())
         }
 
-        /// Drain up to a batch of datagrams off the socket in one
-        /// `recvmmsg`.  Non-blocking; returns how many arrived.
+        /// De-coalescing fallback for [`flush`](BatchedIo::flush):
+        /// submit the slots in `from..n` segment by segment, as the
+        /// pre-offload path would have.
+        fn flush_split(&mut self, from: usize, n: usize, stats: &mut NetIoStats) -> io::Result<()> {
+            for slot in from..n {
+                let base = self.send.offs[slot];
+                let seg_size = if self.send.seg_counts[slot] > 1 {
+                    self.send.seg_sizes[slot]
+                } else {
+                    0
+                };
+                let mut segs = [(0usize, 0usize); gso::MAX_SEGMENTS as usize];
+                let mut count = 0usize;
+                let mut off = 0usize;
+                for len in gso::split(self.send.lens[slot], seg_size) {
+                    segs[count] = (base + off, len);
+                    off += len;
+                    count += 1;
+                }
+                let mut done = 0usize;
+                let mut refused_budget = count + 4;
+                while done < count {
+                    let take = (count - done).min(BATCH);
+                    let mut iovs = [ZERO_IOV; BATCH];
+                    let mut hdrs = [ZERO_MSG; BATCH];
+                    let data_ptr = self.send.data.as_mut_ptr();
+                    let addr_ptr = self.send.addrs.as_mut_ptr();
+                    for i in 0..take {
+                        let (seg_off, seg_len) = segs[done + i];
+                        iovs[i] = IoVec {
+                            // SAFETY: segment offsets stay inside the
+                            // slot's arena range.
+                            base: unsafe { data_ptr.add(seg_off) }.cast(),
+                            len: seg_len,
+                        };
+                        hdrs[i].hdr.msg_iov = &mut iovs[i];
+                        hdrs[i].hdr.msg_iovlen = 1;
+                        if self.send.addr_lens[slot] > 0 {
+                            hdrs[i].hdr.msg_name = unsafe { addr_ptr.add(slot * SS_SIZE) }.cast();
+                            hdrs[i].hdr.msg_namelen = self.send.addr_lens[slot];
+                        }
+                    }
+                    // SAFETY: as in `flush`.
+                    let rc = unsafe { sendmmsg(self.sock_fd, hdrs.as_mut_ptr(), take as u32, 0) };
+                    if rc > 0 {
+                        done += rc as usize;
+                        stats.datagrams_sent += rc as u64;
+                        stats.send_batches += 1;
+                        continue;
+                    }
+                    let err = io::Error::last_os_error();
+                    match err.kind() {
+                        io::ErrorKind::Interrupted => continue,
+                        io::ErrorKind::ConnectionRefused if refused_budget > 0 => {
+                            refused_budget -= 1;
+                            continue;
+                        }
+                        _ if is_send_drop(&err) => {
+                            stats.send_drops += (count - done) as u64;
+                            for later in slot + 1..n {
+                                stats.send_drops += u64::from(self.send.seg_counts[later]);
+                            }
+                            return Ok(());
+                        }
+                        _ => return Err(err),
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Drain up to a ring of datagrams off the socket in one
+        /// `recvmmsg` (GRO-coalesced reads count every datagram they
+        /// carry).  Non-blocking; returns how many datagrams arrived.
         pub(super) fn fill(
             &mut self,
             _socket: &UdpSocket,
@@ -894,45 +1359,68 @@ mod batched {
         ) -> io::Result<usize> {
             debug_assert!(self.recv_head >= self.recv_len, "fill over undrained batch");
             let mut refused_budget = 16;
+            let slots = self.recv.slot_count;
             loop {
                 let mut iovs = [ZERO_IOV; BATCH];
                 let mut hdrs = [ZERO_MSG; BATCH];
                 let data_ptr = self.recv.data.as_mut_ptr();
                 let addr_ptr = self.recv.addrs.as_mut_ptr();
-                for (i, iov) in iovs.iter_mut().enumerate() {
-                    *iov = IoVec {
+                let ctrl_ptr = self.recv.ctrl.as_mut_ptr();
+                for i in 0..slots {
+                    iovs[i] = IoVec {
                         // SAFETY: in-bounds offsets into the recv slabs.
-                        base: unsafe { data_ptr.add(i * SLOT_CAP) }.cast(),
-                        len: SLOT_CAP,
+                        base: unsafe { data_ptr.add(i * self.recv.slot_cap) }.cast(),
+                        len: self.recv.slot_cap,
                     };
-                    hdrs[i].hdr.msg_iov = iov;
+                    hdrs[i].hdr.msg_iov = &mut iovs[i];
                     hdrs[i].hdr.msg_iovlen = 1;
                     hdrs[i].hdr.msg_name = unsafe { addr_ptr.add(i * SS_SIZE) }.cast();
                     hdrs[i].hdr.msg_namelen = SS_SIZE as u32;
+                    if self.gro_recv {
+                        hdrs[i].hdr.msg_control = unsafe { ctrl_ptr.add(i * CTRL_CAP) }.cast();
+                        hdrs[i].hdr.msg_controllen = CTRL_CAP;
+                    }
                 }
-                // SAFETY: as in `flush`; the kernel fills buffers and
-                // address storage owned by `self.recv` and reports
-                // per-message lengths in the headers.
+                // SAFETY: as in `flush`; the kernel fills buffers,
+                // address and control storage owned by `self.recv` and
+                // reports per-message lengths in the headers.
                 let rc = unsafe {
                     recvmmsg(
                         self.sock_fd,
                         hdrs.as_mut_ptr(),
-                        BATCH as u32,
+                        slots as u32,
                         0,
                         std::ptr::null_mut(),
                     )
                 };
                 if rc > 0 {
                     let got = rc as usize;
+                    let mut datagrams = 0u64;
                     for (i, hdr) in hdrs.iter().enumerate().take(got) {
-                        self.recv.lens[i] = (hdr.len as usize).min(SLOT_CAP);
+                        let len = (hdr.len as usize).min(self.recv.slot_cap);
+                        self.recv.lens[i] = len;
                         self.recv.addr_lens[i] = hdr.hdr.msg_namelen;
+                        let seg = if self.gro_recv {
+                            parse_gro_cmsg(self.recv.ctrl(i), hdr.hdr.msg_controllen)
+                        } else {
+                            0
+                        };
+                        self.recv.seg_sizes[i] = seg;
+                        if seg > 0 && len > seg {
+                            let count = gso::split(len, seg).count() as u64;
+                            stats.gro_super_datagrams += 1;
+                            stats.gro_segments += count;
+                            datagrams += count;
+                        } else {
+                            datagrams += 1;
+                        }
                     }
                     self.recv_head = 0;
                     self.recv_len = got;
-                    stats.datagrams_received += got as u64;
+                    self.recv_seg_off = 0;
+                    stats.datagrams_received += datagrams;
                     stats.recv_batches += 1;
-                    return Ok(got);
+                    return Ok(datagrams as usize);
                 }
                 let err = io::Error::last_os_error();
                 match err.kind() {
@@ -950,16 +1438,41 @@ mod batched {
             }
         }
 
-        /// Pop one filled datagram into `buf`.
+        /// Pop one filled datagram into `buf`.  A GRO-coalesced slot
+        /// yields one segment per call — a view into the slot at the
+        /// running segment offset, so the split costs no copy beyond
+        /// the one every pop already makes and no allocation at all.
         pub(super) fn pop_into(&mut self, buf: &mut [u8]) -> Option<(usize, Option<SocketAddr>)> {
-            if self.recv_head >= self.recv_len {
-                return None;
+            loop {
+                if self.recv_head >= self.recv_len {
+                    return None;
+                }
+                let i = self.recv_head;
+                let total = self.recv.lens[i];
+                let off = self.recv_seg_off;
+                if off >= total {
+                    if off == 0 && total == 0 {
+                        // A zero-length datagram is still one datagram.
+                        self.recv_head += 1;
+                        let addr = decode_addr(self.recv.addr(i), self.recv.addr_lens[i]);
+                        return Some((0, addr));
+                    }
+                    self.recv_head += 1;
+                    self.recv_seg_off = 0;
+                    continue;
+                }
+                let seg = self.recv.seg_sizes[i];
+                let want = if seg == 0 {
+                    total - off
+                } else {
+                    seg.min(total - off)
+                };
+                let n = want.min(buf.len());
+                buf[..n].copy_from_slice(&self.recv.buf(i)[off..off + n]);
+                self.recv_seg_off = off + want;
+                let addr = decode_addr(self.recv.addr(i), self.recv.addr_lens[i]);
+                return Some((n, addr));
             }
-            let i = self.recv_head;
-            self.recv_head += 1;
-            let n = self.recv.lens[i].min(buf.len());
-            buf[..n].copy_from_slice(&self.recv.buf(i)[..n]);
-            Some((n, decode_addr(self.recv.addr(i), self.recv.addr_lens[i])))
         }
 
         /// Block until the socket is readable or `timeout` elapses.
@@ -1195,5 +1708,138 @@ mod tests {
         assert!(!is_send_drop(&io::Error::from(
             io::ErrorKind::PermissionDenied
         )));
+    }
+
+    #[test]
+    fn portable_backend_reports_offload_not_applicable() {
+        let io = NetIo::portable(false);
+        assert_eq!(io.offload(), OffloadState::Portable);
+        assert_eq!(OffloadState::GsoGro.name(), "gso+gro");
+        assert_eq!(OffloadState::Unsupported.name(), "unsupported");
+        assert!(OffloadState::GsoGro.gso() && OffloadState::GsoGro.gro());
+        assert!(!OffloadState::Disabled.gso() && !OffloadState::Disabled.gro());
+    }
+
+    /// Batched backend with offload explicitly on/off, bypassing the
+    /// process-global switch (tests run concurrently; flipping the
+    /// global here would race other tests' constructions).
+    #[cfg(netio_batched)]
+    fn batched_with(socket: &UdpSocket, offload: bool) -> NetIo {
+        NetIo::try_batched_with(socket, offload).expect("batched backend")
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn disabled_offload_never_coalesces() {
+        let (a, b) = pair();
+        let mut tx = batched_with(&a, false);
+        let mut rx = batched_with(&b, false);
+        assert_eq!(tx.offload(), OffloadState::Disabled);
+        for i in 0..10u8 {
+            tx.queue(&a, &[i; 100]).unwrap();
+        }
+        tx.flush(&a).unwrap();
+        assert_eq!(tx.stats.datagrams_sent, 10);
+        assert_eq!(tx.stats.gso_super_datagrams, 0, "no coalescing when off");
+        let mut buf = [0u8; 256];
+        for i in 0..10u8 {
+            let n = rx
+                .recv(&b, &mut buf, Duration::from_secs(2))
+                .unwrap()
+                .expect("datagram arrives");
+            assert_eq!(&buf[..n], &[i; 100][..]);
+        }
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn gso_coalesces_equal_size_bursts() {
+        let (a, b) = pair();
+        let mut tx = batched_with(&a, true);
+        let mut rx = batched_with(&b, true);
+        if !tx.offload().gso() {
+            eprintln!(
+                "kernel lacks UDP_SEGMENT ({}); skipping",
+                tx.offload().name()
+            );
+            return;
+        }
+        for i in 0..(BATCH as u8) {
+            tx.queue(&a, &[i; 256]).unwrap();
+        }
+        tx.flush(&a).unwrap();
+        assert_eq!(tx.stats.datagrams_sent, BATCH as u64, "logical count kept");
+        assert_eq!(tx.stats.gso_super_datagrams, 1, "whole burst in one slot");
+        assert_eq!(tx.stats.gso_segments, BATCH as u64);
+        assert_eq!(tx.stats.send_batches, 1);
+        let mut buf = [0u8; 512];
+        for i in 0..(BATCH as u8) {
+            let n = rx
+                .recv(&b, &mut buf, Duration::from_secs(2))
+                .unwrap()
+                .expect("datagram arrives");
+            assert_eq!(&buf[..n], &[i; 256][..], "boundaries and order preserved");
+        }
+        assert_eq!(rx.stats.datagrams_received, BATCH as u64);
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn gso_tail_runt_joins_and_larger_frame_splits() {
+        let (a, b) = pair();
+        let mut tx = batched_with(&a, true);
+        let mut rx = batched_with(&b, true);
+        if !tx.offload().gso() {
+            return;
+        }
+        // Two equal frames, a runt (joins as tail and closes the run),
+        // then a larger frame that must open a new slot.
+        let frames: [&[u8]; 4] = [&[1; 300], &[2; 300], &[3; 120], &[4; 400]];
+        for f in frames {
+            tx.queue(&a, f).unwrap();
+        }
+        tx.flush(&a).unwrap();
+        assert_eq!(tx.stats.datagrams_sent, 4);
+        assert_eq!(tx.stats.gso_super_datagrams, 1);
+        assert_eq!(tx.stats.gso_segments, 3, "runt rode the super-datagram");
+        let mut buf = [0u8; 512];
+        for f in frames {
+            let n = rx
+                .recv(&b, &mut buf, Duration::from_secs(2))
+                .unwrap()
+                .expect("datagram arrives");
+            assert_eq!(&buf[..n], f, "sizes survive the segmentation round-trip");
+        }
+    }
+
+    #[cfg(netio_batched)]
+    #[test]
+    fn different_destinations_never_share_a_super_datagram() {
+        let server = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut io = NetIo::try_batched_with(&server, true).expect("batched backend");
+        if !io.offload().gso() {
+            return;
+        }
+        let c1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let c2 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let d1 = Some(c1.local_addr().unwrap());
+        let d2 = Some(c2.local_addr().unwrap());
+        // Interleaved destinations with equal sizes: every datagram
+        // must open its own slot.
+        for _ in 0..4 {
+            io.queue_to(&server, &[7u8; 200], d1).unwrap();
+            io.queue_to(&server, &[9u8; 200], d2).unwrap();
+        }
+        io.flush(&server).unwrap();
+        assert_eq!(io.stats.datagrams_sent, 8);
+        assert_eq!(io.stats.gso_super_datagrams, 0, "no cross-peer coalescing");
+        for (sock, byte) in [(&c1, 7u8), (&c2, 9u8)] {
+            sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut buf = [0u8; 256];
+            for _ in 0..4 {
+                let n = sock.recv(&mut buf).unwrap();
+                assert_eq!(&buf[..n], &[byte; 200][..]);
+            }
+        }
     }
 }

@@ -1,0 +1,120 @@
+//! Property tests for the segmentation-offload arithmetic.
+//!
+//! The coalescer ([`gso::Run`]) and the splitter ([`gso::split`]) are
+//! inverses across the kernel: whatever a run packs into one
+//! super-datagram, a GRO split with the same segment size must hand
+//! back datagram-for-datagram.  These tests drive both with arbitrary
+//! frame sequences and segment sizes and assert the invariants the
+//! `netio` backend relies on: the kernel ceilings are never exceeded,
+//! runs only ever end with a single runt, and split lengths always sum
+//! back to the buffer.
+
+use blast_udp::gso;
+use proptest::prelude::*;
+
+/// Feed `frames` through the coalescer exactly as the staging layer
+/// does: each refusal starts a new run.  Returns the finished runs.
+fn coalesce(frames: &[usize], budget: usize) -> Vec<gso::Run> {
+    let mut runs: Vec<gso::Run> = Vec::new();
+    for &len in frames {
+        if let Some(run) = runs.last_mut() {
+            // `budget` is the run's total byte allowance, matching the
+            // staging layer's "storage from run start to arena end".
+            if run.try_append(len, budget) {
+                continue;
+            }
+        }
+        runs.push(gso::Run::start(len));
+    }
+    runs
+}
+
+proptest! {
+    /// A run of equal-size frames coalesces as far as the kernel
+    /// ceilings allow, and every run splits back into the exact frame
+    /// sequence it absorbed.
+    #[test]
+    fn equal_size_runs_coalesce_and_round_trip(
+        seg in 1usize..3000,
+        count in 1usize..200,
+    ) {
+        let frames = vec![seg; count];
+        let runs = coalesce(&frames, usize::MAX);
+        let mut recovered = Vec::new();
+        for run in &runs {
+            prop_assert!(run.segments() <= gso::MAX_SEGMENTS);
+            prop_assert!(run.len() <= gso::MAX_SUPER_DATAGRAM);
+            prop_assert_eq!(run.seg_size(), seg);
+            let lens: Vec<usize> = if run.is_coalesced() {
+                gso::split(run.len(), run.seg_size()).collect()
+            } else {
+                gso::split(run.len(), 0).collect()
+            };
+            prop_assert_eq!(lens.len() as u32, run.segments());
+            recovered.extend(lens);
+        }
+        prop_assert_eq!(recovered, frames);
+    }
+
+    /// Arbitrary mixed-size frame sequences never violate a run
+    /// invariant, and the concatenated splits reproduce the input
+    /// exactly (order and lengths).
+    #[test]
+    fn mixed_sizes_split_correctly(
+        frames in proptest::collection::vec(1usize..5000, 1..80),
+    ) {
+        let runs = coalesce(&frames, usize::MAX);
+        let mut recovered = Vec::new();
+        for run in &runs {
+            prop_assert!(run.segments() <= gso::MAX_SEGMENTS);
+            prop_assert!(run.len() <= gso::MAX_SUPER_DATAGRAM);
+            let seg = if run.is_coalesced() { run.seg_size() } else { 0 };
+            let lens: Vec<usize> = gso::split(run.len(), seg).collect();
+            prop_assert_eq!(lens.len() as u32, run.segments());
+            // Only the last segment of a run may be smaller than the
+            // segment size — the tail-runt rule.
+            for &l in &lens[..lens.len() - 1] {
+                prop_assert_eq!(l, lens[0]);
+            }
+            prop_assert!(*lens.last().unwrap() <= lens[0]);
+            recovered.extend(lens);
+        }
+        prop_assert_eq!(recovered, frames);
+    }
+
+    /// The splitter round-trips arbitrary (len, seg_size) pairs: the
+    /// yielded lengths sum to `len`, all but the last equal `seg_size`,
+    /// and the tail runt is `len % seg_size` when there is one.
+    #[test]
+    fn split_partitions_any_buffer(
+        len in 0usize..70_000,
+        seg in 0usize..70_000,
+    ) {
+        let lens: Vec<usize> = gso::split(len, seg).collect();
+        prop_assert_eq!(lens.iter().sum::<usize>(), len);
+        if seg == 0 || seg >= len {
+            prop_assert_eq!(lens.len(), 1, "uncoalesced read is one datagram");
+        } else {
+            for &l in &lens[..lens.len() - 1] {
+                prop_assert_eq!(l, seg);
+            }
+            let tail = *lens.last().unwrap();
+            prop_assert_eq!(tail, if len % seg == 0 { seg } else { len % seg });
+        }
+    }
+
+    /// A staging budget tighter than the kernel ceilings is honoured:
+    /// no run ever outgrows the storage the caller has left.
+    #[test]
+    fn budget_caps_every_run(
+        frames in proptest::collection::vec(1usize..3000, 1..60),
+        budget in 1usize..20_000,
+    ) {
+        for run in coalesce(&frames, budget) {
+            prop_assert!(
+                run.segments() == 1 || run.len() <= budget,
+                "coalesced run exceeded its byte budget"
+            );
+        }
+    }
+}

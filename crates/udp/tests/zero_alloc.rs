@@ -66,4 +66,15 @@ fn batched_burst_path_is_allocation_free() {
         "staging, flushing and draining {} framed datagrams must not allocate",
         4 * BURST
     );
+
+    // When the kernel supports segmentation offload, the bursts above
+    // travelled as GSO super-datagrams — so the zero-alloc proof covers
+    // the coalescing staging layer, not just the plain batched path.
+    let tx = tx.into_inner();
+    if tx.offload().gso() {
+        assert!(
+            tx.io_stats().gso_super_datagrams > 0,
+            "equal-size bursts must coalesce when GSO is usable"
+        );
+    }
 }
