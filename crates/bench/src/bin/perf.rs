@@ -30,8 +30,10 @@ use blast_core::blast::{BlastReceiver, BlastSender};
 use blast_core::config::{ProtocolConfig, RetxStrategy};
 use blast_core::control::{AdaptiveTimeout, PacingConfig};
 use blast_core::harness::{Harness, LossPlan};
+use blast_core::multiblast::MultiBlastSender;
 use blast_core::saw::{SawReceiver, SawSender};
 use blast_core::window::WindowSender;
+use blast_core::Engine;
 use blast_stats::Histogram;
 // Every `alloc`/`realloc` in the process bumps the shared counter; the
 // sections below read it before and after a measured loop and divide by
@@ -147,6 +149,19 @@ struct LossRecord {
     burst_initial: f64,
     burst_final_mean: f64,
     burst_min_mean: f64,
+    /// Virtual-time goodput (congestion-control sweep records only):
+    /// transferred bytes over the harness's `sender_elapsed`, so the
+    /// figure compares pacing policies, not host scheduling noise.
+    goodput_mbps: Option<f64>,
+    /// Windowed-max delivery-rate estimate at end of transfer, Mbit/s
+    /// (congestion-control records).
+    rate_mbps: Option<f64>,
+    /// Windowed-min round-trip estimate, µs (congestion-control
+    /// records).
+    min_rtt_us: Option<f64>,
+    /// Packets lost to bottleneck queue overflow — the self-induced
+    /// share of the loss (congestion-control records).
+    overflow_mean: Option<f64>,
 }
 
 /// Deterministic per-stream generator (xorshift64*), one instance per
@@ -609,7 +624,124 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
             burst_initial: f64::from(pacing.burst),
             burst_final_mean: burst_final / n,
             burst_min_mean: burst_min / n,
+            goodput_mbps: None,
+            rate_mbps: None,
+            min_rtt_us: None,
+            overflow_mean: None,
         });
+    }
+    out
+}
+
+/// Congestion-control sweep (`_aimd`/`_rate` record pairs): the same
+/// 256 KB multiblast workload through the virtual-time harness, over a
+/// receiving-interface bottleneck (50 kpkt/s service, 8-deep queue —
+/// the paper's "interface errors" made mechanical), driven once by the
+/// AIMD pacer alone and once by delivery-rate (BBR-flavoured) pacing.
+///
+/// The loss axis covers iid rates plus one Gilbert–Elliott burst
+/// profile (`_ge` names; its `loss_pct` is the chain's mean loss).
+/// Against that axis the pair answers the tentpole question: does
+/// pacing to the measured bandwidth-delay product retransmit less and
+/// self-induce less overflow than probing for loss — and what does it
+/// cost when the path is clean?  Goodput is virtual-time, so the
+/// records are exactly reproducible (seed-stamped per trial).
+fn cc_sweep(trials: usize) -> Vec<LossRecord> {
+    const CC_BYTES: usize = 256 * 1024;
+    let initial = Duration::from_millis(1);
+    let service = Duration::from_micros(20);
+    let queue_cap = 8;
+    let gap = Duration::from_micros(50);
+    let modes = [
+        ("aimd", PacingConfig::aimd(16, gap, 2, 64, 8)),
+        ("rate", PacingConfig::rate_based(16, gap, 2, 64, 8)),
+    ];
+    // (suffix, nominal loss %, plan for a given seed)
+    type PlanFor = fn(u64) -> LossPlan;
+    let profiles: [(&str, f64, PlanFor); 6] = [
+        ("loss_0pct", 0.0, |_| LossPlan::perfect()),
+        ("loss_1pct", 1.0, |s| LossPlan::random(s, 1, 100)),
+        ("loss_2pct", 2.0, |s| LossPlan::random(s, 2, 100)),
+        ("loss_5pct", 5.0, |s| LossPlan::random(s, 5, 100)),
+        ("loss_10pct", 10.0, |s| LossPlan::random(s, 10, 100)),
+        // Bursty channel: enter the bad state with p=2%, leave with
+        // p=25% (mean burst ≈ 4 packets), lose half the packets while
+        // bad — ≈ 3.7% mean loss arriving in clumps.
+        ("ge", 3.7, |s| {
+            LossPlan::gilbert_elliott(s, 20_000, 250_000, 0, 500_000)
+        }),
+    ];
+    let data: Arc<[u8]> = payload(CC_BYTES).into();
+    let mut out = Vec::new();
+    for (suffix, loss_pct, plan_for) in profiles {
+        for (mode, pacing) in modes {
+            let mut cfg = ProtocolConfig::default()
+                .with_timeout(AdaptiveTimeout::Adaptive {
+                    initial,
+                    min: Duration::from_micros(100),
+                    max: Duration::from_millis(50),
+                })
+                .with_pacing(pacing)
+                .with_multiblast_chunk(32);
+            cfg.max_retries = 100_000;
+            let mut goodput = 0.0;
+            let mut rounds = 0u64;
+            let mut retx_packets = 0u64;
+            let mut overflow = 0u64;
+            let mut rto_final_ms = 0.0;
+            let mut srtt_final_us = 0.0;
+            let mut burst_final = 0.0;
+            let mut burst_min = 0.0;
+            let mut rate_mbps = 0.0;
+            let mut min_rtt_us = 0.0;
+            for trial in 0..trials {
+                let seed = 0xCC_5EED + trial as u64 * 7919;
+                let mut h = Harness::new(
+                    MultiBlastSender::new(1, data.clone(), &cfg),
+                    BlastReceiver::new(1, data.len(), &cfg),
+                    plan_for(seed),
+                )
+                .with_bottleneck(service, queue_cap);
+                let outcome = h.run().expect("cc-sweep transfer completes");
+                let elapsed = h.sender_elapsed().expect("sender finished");
+                goodput += mbps(CC_BYTES as u64, elapsed);
+                rounds += outcome.sender.retransmission_rounds;
+                retx_packets += outcome.sender.data_packets_retransmitted;
+                overflow += h.overflow;
+                rto_final_ms += h.sender().current_rto().as_secs_f64() * 1e3;
+                srtt_final_us += h
+                    .sender()
+                    .srtt()
+                    .map(|d| d.as_secs_f64() * 1e6)
+                    .unwrap_or(0.0);
+                let snap = h
+                    .sender()
+                    .pacing_snapshot()
+                    .expect("cc-sweep engines are paced");
+                burst_final += f64::from(snap.burst);
+                burst_min += f64::from(snap.min_burst_seen);
+                rate_mbps += snap.rate_bps * 8.0 / 1e6;
+                min_rtt_us += snap.min_rtt_us;
+            }
+            let n = trials.max(1) as f64;
+            out.push(LossRecord {
+                name: format!("mblast_256k_{suffix}_{mode}"),
+                loss_pct,
+                trials,
+                rounds_mean: rounds as f64 / n,
+                retx_packets_mean: retx_packets as f64 / n,
+                rto_initial_ms: initial.as_secs_f64() * 1e3,
+                rto_final_ms_mean: rto_final_ms / n,
+                srtt_final_us_mean: srtt_final_us / n,
+                burst_initial: f64::from(pacing.burst),
+                burst_final_mean: burst_final / n,
+                burst_min_mean: burst_min / n,
+                goodput_mbps: Some(goodput / n),
+                rate_mbps: Some(rate_mbps / n),
+                min_rtt_us: Some(min_rtt_us / n),
+                overflow_mean: Some(overflow as f64 / n),
+            });
+        }
     }
     out
 }
@@ -617,7 +749,7 @@ fn loss_sweep(trials: usize) -> Vec<LossRecord> {
 fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: &[LossRecord]) {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v7\",");
+    let _ = writeln!(out, "  \"schema\": \"blast-bench/{section}/v8\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -685,13 +817,26 @@ fn write_json(path: &str, section: &str, mode: &str, records: &[Record], sweep: 
         out.push_str(",\n  \"loss_sweep\": [\n");
         for (i, r) in sweep.iter().enumerate() {
             let comma = if i + 1 == sweep.len() { "" } else { "," };
+            let mut extra = String::new();
+            if let Some(g) = r.goodput_mbps {
+                let _ = write!(extra, ", \"goodput_mbps\": {g:.3}");
+            }
+            if let Some(rate) = r.rate_mbps {
+                let _ = write!(extra, ", \"rate_mbps\": {rate:.2}");
+            }
+            if let Some(us) = r.min_rtt_us {
+                let _ = write!(extra, ", \"min_rtt_us\": {us:.1}");
+            }
+            if let Some(o) = r.overflow_mean {
+                let _ = write!(extra, ", \"overflow_mean\": {o:.2}");
+            }
             let _ = writeln!(
                 out,
                 "    {{\"name\": \"{}\", \"loss_pct\": {:.1}, \"trials\": {}, \
                  \"retx_rounds_mean\": {:.3}, \"retx_packets_mean\": {:.3}, \
                  \"rto_initial_ms\": {:.3}, \"rto_final_ms_mean\": {:.3}, \
                  \"srtt_final_us_mean\": {:.1}, \"burst_initial\": {:.0}, \
-                 \"burst_final_mean\": {:.2}, \"burst_min_mean\": {:.2}}}{comma}",
+                 \"burst_final_mean\": {:.2}, \"burst_min_mean\": {:.2}{extra}}}{comma}",
                 r.name,
                 r.loss_pct,
                 r.trials,
@@ -809,7 +954,7 @@ fn main() {
         ));
     }
     print_summary("engines (virtual-time harness, 64 KB transfers)", &engines);
-    let sweep = loss_sweep(if smoke { 10 } else { 40 });
+    let mut sweep = loss_sweep(if smoke { 10 } else { 40 });
     println!("\n== loss sweep (adaptive RTO + AIMD pacing, virtual time) ==");
     println!(
         "{:<24} {:>8} {:>12} {:>12} {:>14} {:>10} {:>18}",
@@ -828,6 +973,33 @@ fn main() {
             r.burst_min_mean
         );
     }
+    let cc = cc_sweep(if smoke { 10 } else { 40 });
+    println!("\n== cc sweep (AIMD vs delivery-rate pacing over a 50 kpkt/s bottleneck) ==");
+    println!(
+        "{:<28} {:>8} {:>12} {:>10} {:>12} {:>10} {:>10} {:>12}",
+        "name",
+        "loss %",
+        "goodput MB/s",
+        "rounds",
+        "retx pkts",
+        "overflow",
+        "rate Mb/s",
+        "min-RTT µs"
+    );
+    for r in &cc {
+        println!(
+            "{:<28} {:>8.1} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>10.1} {:>12.1}",
+            r.name,
+            r.loss_pct,
+            r.goodput_mbps.unwrap_or(0.0),
+            r.rounds_mean,
+            r.retx_packets_mean,
+            r.overflow_mean.unwrap_or(0.0),
+            r.rate_mbps.unwrap_or(0.0),
+            r.min_rtt_us.unwrap_or(0.0)
+        );
+    }
+    sweep.extend(cc);
     write_json("BENCH_engines.json", "engines", mode, &engines, &sweep);
 
     let mut node = Vec::new();

@@ -31,6 +31,10 @@ struct Entry {
     /// Segmentation-offload probe outcome (`gso+gro`, `unsupported`,
     /// `offload-disabled`, …) — node records from schema v7 on.
     offload: Option<String>,
+    /// Mean retransmission rounds — cc-sweep records (schema v8 on).
+    retx_rounds_mean: Option<f64>,
+    /// Mean bottleneck-overflow drops — cc-sweep records (schema v8 on).
+    overflow_mean: Option<f64>,
 }
 
 /// Extract `"key": <number>` from a record line.
@@ -71,6 +75,8 @@ fn parse(path: &Path) -> Vec<Entry> {
                 p99_ms: field(line, "p99_ms"),
                 shards: field(line, "shards"),
                 offload: str_field(line, "offload"),
+                retx_rounds_mean: field(line, "retx_rounds_mean"),
+                overflow_mean: field(line, "overflow_mean"),
             };
             // Auxiliary sections (e.g. the loss sweep) carry names but
             // no goodput; they are trajectories, not comparables.
@@ -280,6 +286,57 @@ fn gso_delta(file: &str, fresh_dir: &Path, out: &mut String) {
     }
 }
 
+/// Split a rate-paced cc-sweep record name `mblast_256k_ge_rate` into
+/// the name of its AIMD-paced sibling `mblast_256k_ge_aimd`.
+fn aimd_sibling(name: &str) -> Option<String> {
+    let base = name.strip_suffix("_rate")?;
+    Some(format!("{base}_aimd"))
+}
+
+/// Render the congestion-control delta table for one fresh file: every
+/// `*_rate` cc-sweep record paired with its `*_aimd` sibling from the
+/// same run — what delivery-rate (BBR-flavoured) pacing buys over the
+/// AIMD backstop alone, per loss profile, over the same bottleneck.
+fn cc_delta(file: &str, fresh_dir: &Path, out: &mut String) {
+    let fresh = parse(&fresh_dir.join(file));
+    let pairs: Vec<(&Entry, &Entry)> = fresh
+        .iter()
+        .filter_map(|r| {
+            let sibling = aimd_sibling(&r.name)?;
+            let aimd = fresh.iter().find(|e| e.name == sibling)?;
+            Some((aimd, r))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\n### AIMD vs delivery-rate pacing ({file}, fresh run)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| workload | goodput MB/s (aimd → rate) | Δ | retx rounds (aimd → rate) | Δ | overflow drops (aimd → rate) | Δ |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for (aimd, rate) in pairs {
+        let _ = writeln!(
+            out,
+            "| {} | {} → {} | {} | {} → {} | {} | {} → {} | {} |",
+            rate.name.strip_suffix("_rate").unwrap_or(&rate.name),
+            fmt_opt(aimd.goodput_mbps, 2),
+            fmt_opt(rate.goodput_mbps, 2),
+            delta_cell(aimd.goodput_mbps, rate.goodput_mbps),
+            fmt_opt(aimd.retx_rounds_mean, 2),
+            fmt_opt(rate.retx_rounds_mean, 2),
+            delta_cell(aimd.retx_rounds_mean, rate.retx_rounds_mean),
+            fmt_opt(aimd.overflow_mean, 2),
+            fmt_opt(rate.overflow_mean, 2),
+            delta_cell(aimd.overflow_mean, rate.overflow_mean),
+        );
+    }
+}
+
 /// Split a direct third-party-copy record name `copy_direct_256k` into
 /// the name of its client-relayed sibling `copy_relayed_256k`.
 fn relayed_sibling(name: &str) -> Option<String> {
@@ -374,6 +431,9 @@ fn main() {
     for &file in &files {
         copy_delta(file, fresh_dir, &mut out);
     }
+    for &file in &files {
+        cc_delta(file, fresh_dir, &mut out);
+    }
     print!("{out}");
 }
 
@@ -439,6 +499,28 @@ mod tests {
         );
         assert_eq!(relayed_sibling("copy_relayed_256k"), None);
         assert_eq!(relayed_sibling("push_16x256k"), None);
+    }
+
+    #[test]
+    fn cc_names_pair_rate_with_aimd() {
+        assert_eq!(
+            aimd_sibling("mblast_256k_ge_rate").as_deref(),
+            Some("mblast_256k_ge_aimd")
+        );
+        assert_eq!(
+            aimd_sibling("mblast_256k_loss_5pct_rate").as_deref(),
+            Some("mblast_256k_loss_5pct_aimd")
+        );
+        assert_eq!(aimd_sibling("mblast_256k_ge_aimd"), None);
+        assert_eq!(aimd_sibling("push_16x256k"), None);
+    }
+
+    #[test]
+    fn cc_fields_parse_from_a_sweep_line() {
+        let line = r#"    {"name": "mblast_256k_ge_rate", "loss_pct": 3.7, "retx_rounds_mean": 16.200, "goodput_mbps": 17.044, "overflow_mean": 72.00},"#;
+        assert_eq!(field(line, "retx_rounds_mean"), Some(16.2));
+        assert_eq!(field(line, "overflow_mean"), Some(72.0));
+        assert_eq!(field(line, "goodput_mbps"), Some(17.044));
     }
 
     #[test]

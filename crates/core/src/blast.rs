@@ -102,6 +102,17 @@ pub struct BlastSender {
     /// under Karn's rule (the tail transmitted exactly once, in a round
     /// that retransmitted nothing).
     solicit_sent: Option<Duration>,
+    /// When the round in flight began emitting: the delivery-rate
+    /// sample's interval origin (packets acked over the time from first
+    /// offer to status report — pacing gaps included, because data not
+    /// yet offered cannot have been delivered).
+    round_started_at: Duration,
+    /// Packets the round in flight solicits.
+    round_size: u32,
+    /// The round could not fill even one burst: its delivery sample
+    /// measures the application's supply, not the path (excluded from
+    /// the estimator's rate window).
+    round_app_limited: bool,
     /// Paced-emission cursor for the round in flight.
     pending: Pending,
     /// Storage behind [`Pending::Set`], reused across rounds.
@@ -168,6 +179,9 @@ impl BlastSender {
             rounds_used: 0,
             now: Duration::ZERO,
             solicit_sent: None,
+            round_started_at: Duration::ZERO,
+            round_size: 0,
+            round_app_limited: false,
             pending: Pending::Idle,
             pending_set: Vec::new(),
             // Sized up front so steady-state bursts never grow it (the
@@ -353,6 +367,9 @@ impl BlastSender {
             u64::from(self.rounds_used),
             self.pending_len() as u64,
         );
+        self.round_started_at = self.now;
+        self.round_size = self.pending_len() as u32;
+        self.round_app_limited = (self.round_size as u64) < u64::from(self.pacer.burst_budget());
         if self.pending_len() > self.pacer.burst_budget() as usize {
             sink.push_action(Action::CancelTimer { token: RETX_TIMER });
         }
@@ -399,9 +416,11 @@ impl BlastSender {
         });
     }
 
-    /// Take the Karn-valid RTT sample for an arriving status report, if
-    /// the soliciting tail is still unambiguous.
-    fn sample_rtt(&mut self) {
+    /// Take the Karn-valid RTT and delivery-rate samples for an
+    /// arriving status report, if the soliciting tail is still
+    /// unambiguous.  `delivered` is how many of the round's packets the
+    /// report acknowledges.
+    fn sample_rtt(&mut self, delivered: u32) {
         if let Some(sent) = self.solicit_sent.take() {
             let sample = self.now.saturating_sub(sent);
             self.rto.sample(sample);
@@ -413,10 +432,42 @@ impl BlastSender {
                     srtt.as_nanos() as u64,
                 );
             }
+            self.sample_rate(delivered);
         } else {
             // The solicitation window was poisoned (retransmitted tail
             // or timeout): Karn's rule rejects this report's sample.
             self.trace(EventKind::KarnReject, u64::from(self.rounds_used), 0);
+        }
+    }
+
+    /// Feed the pacer one delivery-rate sample: `delivered` packets
+    /// acknowledged over the time since the round began emitting.
+    /// Reached only through a Karn-valid solicitation, so the pairing
+    /// is unambiguous.
+    fn sample_rate(&mut self, delivered: u32) {
+        let interval = self.now.saturating_sub(self.round_started_at);
+        if delivered == 0 || interval.is_zero() {
+            return;
+        }
+        let bytes = u64::from(delivered) * self.tx.payload_of(self.first).len() as u64;
+        self.pacer
+            .on_rate_sample(delivered, bytes, interval, self.round_app_limited);
+        if self.recorder.is_some() {
+            let est = self.pacer.estimator();
+            let sample_bps = bytes as f64 / interval.as_secs_f64();
+            self.trace(
+                EventKind::RateSample,
+                sample_bps as u64,
+                est.max_rate_bps() as u64,
+            );
+            if self.pacer.is_rate_based() {
+                let min_rtt = est.min_rtt().unwrap_or_default();
+                self.trace(
+                    EventKind::PaceTarget,
+                    u64::from(self.pacer.burst_budget()),
+                    min_rtt.as_nanos() as u64,
+                );
+            }
         }
     }
 
@@ -440,6 +491,30 @@ impl BlastSender {
         self.stats.retransmission_rounds += 1;
         self.trace(EventKind::RetxRound, u64::from(self.rounds_used), 0);
         true
+    }
+
+    /// How many of the round's packets a NACK still acknowledges as
+    /// delivered (the delivery-rate sample's numerator).  Conservative:
+    /// anything the report leaves unaccounted for counts as missing.
+    fn delivered_of_round(&self, ack: &AckPayload) -> u32 {
+        match ack {
+            AckPayload::Positive { .. } => self.round_size,
+            // A full-retransmission NACK reports nothing about what
+            // arrived; no delivery information.
+            AckPayload::NackFull => 0,
+            AckPayload::NackFirstMissing { first_missing } => first_missing
+                .saturating_sub(self.first)
+                .min(self.round_size),
+            AckPayload::NackBitmap(bm) => {
+                let horizon = bm.base().saturating_add(u32::from(bm.nbits()));
+                let in_range = bm
+                    .missing()
+                    .filter(|&s| s >= self.first && s < self.end)
+                    .count() as u32;
+                let beyond = self.end.saturating_sub(horizon.max(self.first));
+                self.round_size.saturating_sub(in_range + beyond)
+            }
+        }
     }
 
     /// Packets to resend for a NACK, per strategy and NACK payload.  A
@@ -498,7 +573,7 @@ impl Engine for BlastSender {
         match ack {
             AckPayload::Positive { acked } => {
                 if *acked + 1 >= self.end {
-                    self.sample_rtt();
+                    self.sample_rtt(self.round_size);
                     // AIMD: the whole range was acknowledged in one
                     // report — a clean round, grow the burst.
                     let burst_before = self.pacer.burst_budget();
@@ -519,7 +594,10 @@ impl Engine for BlastSender {
             nack => {
                 // The status report answers our soliciting tail: a valid
                 // round-trip measurement even when it asks for more data.
-                self.sample_rtt();
+                // Delivery-rate-wise the report also says how much of the
+                // round *did* land — partial rounds are samples too.
+                let delivered = self.delivered_of_round(nack);
+                self.sample_rtt(delivered);
                 // AIMD: any NACK means the receiver missed packets —
                 // shrink the burst before retransmitting.
                 let burst_before = self.pacer.burst_budget();

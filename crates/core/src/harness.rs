@@ -58,6 +58,26 @@ pub enum LossPlan {
     /// Drop exactly the n-th, m-th, ... packets placed on the wire
     /// (0-based, counting every transmission from either side).
     Script(Vec<u64>),
+    /// Two-state Gilbert–Elliott burst-loss model: a hidden Markov
+    /// chain alternates between a *good* and a *bad* state, each with
+    /// its own iid loss probability.  Loss on a LAN is bursty — a
+    /// swamped receiving interface drops packets in runs, not
+    /// independently — and this is the classic model for it.  All
+    /// probabilities are in parts per million; the chain steps once per
+    /// wire packet, then the packet is dropped with the current state's
+    /// loss probability.
+    GilbertElliott {
+        /// RNG seed; same seed ⇒ same state and drop trajectory.
+        seed: u64,
+        /// P(good → bad) per packet, ppm.
+        p_enter_ppm: u32,
+        /// P(bad → good) per packet, ppm.
+        p_exit_ppm: u32,
+        /// Loss probability while in the good state, ppm.
+        good_loss_ppm: u32,
+        /// Loss probability while in the bad state, ppm.
+        bad_loss_ppm: u32,
+    },
 }
 
 impl LossPlan {
@@ -79,6 +99,29 @@ impl LossPlan {
     /// Drop the given wire-sequence numbers.
     pub fn script(drops: impl Into<Vec<u64>>) -> Self {
         LossPlan::Script(drops.into())
+    }
+
+    /// Gilbert–Elliott burst loss.  All probabilities in parts per
+    /// million (`1_000_000` = certainty).
+    pub fn gilbert_elliott(
+        seed: u64,
+        p_enter_ppm: u32,
+        p_exit_ppm: u32,
+        good_loss_ppm: u32,
+        bad_loss_ppm: u32,
+    ) -> Self {
+        const PPM: u32 = 1_000_000;
+        assert!(
+            p_enter_ppm <= PPM && p_exit_ppm <= PPM && good_loss_ppm <= PPM && bad_loss_ppm <= PPM,
+            "probabilities are parts per million"
+        );
+        LossPlan::GilbertElliott {
+            seed,
+            p_enter_ppm,
+            p_exit_ppm,
+            good_loss_ppm,
+            bad_loss_ppm,
+        }
     }
 }
 
@@ -182,12 +225,27 @@ impl ReceiverEngine for crate::blast::BlastReceiver {
     }
 }
 
+/// A single-server bottleneck at the receiving interface: every
+/// sender→receiver packet needs `service_ns` of exclusive service, and
+/// at most `queue_cap` packets may wait for the server.  Arrivals that
+/// find the queue full are lost — the paper's "interface errors",
+/// where "packets arrive faster than the receiving interface can move
+/// them to memory".
+#[derive(Debug, Clone, Copy)]
+struct Bottleneck {
+    service_ns: u64,
+    queue_cap: u64,
+    busy_until_ns: u64,
+}
+
 /// The virtual-time correctness harness.
 pub struct Harness<S: Engine, R: ReceiverEngine> {
     sender: S,
     receiver: R,
     plan: LossPlan,
     rng: XorShift,
+    /// Gilbert–Elliott channel state (`true` = bad state).
+    ge_bad: bool,
     queue: BinaryHeap<Reverse<Event>>,
     now_ns: u64,
     event_seq: u64,
@@ -196,10 +254,15 @@ pub struct Harness<S: Engine, R: ReceiverEngine> {
     timer_gen: HashMap<(Side, TimerToken), u64>,
     /// One-way packet latency.
     latency: Duration,
+    /// Optional receiving-interface bottleneck (data direction only).
+    bottleneck: Option<Bottleneck>,
     /// Packets placed on the wire so far (index for `LossPlan::Script`).
     pub wire_count: u64,
     /// Packets dropped by the loss plan.
     pub dropped: u64,
+    /// Packets lost to bottleneck queue overflow (not counted in
+    /// [`Self::dropped`], which is loss-plan drops only).
+    pub overflow: u64,
     /// Hard cap on processed events.
     pub max_events: u64,
     sender_done: Option<Result<usize, CoreError>>,
@@ -211,7 +274,7 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
     /// Create a harness around a sender/receiver pair.
     pub fn new(sender: S, receiver: R, plan: LossPlan) -> Self {
         let seed = match &plan {
-            LossPlan::Random { seed, .. } => *seed,
+            LossPlan::Random { seed, .. } | LossPlan::GilbertElliott { seed, .. } => *seed,
             _ => 1,
         };
         Harness {
@@ -219,13 +282,16 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
             receiver,
             plan,
             rng: XorShift::new(seed),
+            ge_bad: false,
             queue: BinaryHeap::new(),
             now_ns: 0,
             event_seq: 0,
             timer_gen: HashMap::new(),
             latency: Duration::from_micros(10), // the paper's τ
+            bottleneck: None,
             wire_count: 0,
             dropped: 0,
+            overflow: 0,
             max_events: 10_000_000,
             sender_done: None,
             receiver_done: None,
@@ -236,6 +302,25 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
     /// Override the one-way latency (default 10 µs).
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Put a single-server bottleneck in the data direction: each
+    /// sender→receiver packet takes `service` to move into memory, at
+    /// most `queue_cap` packets may queue for it, and arrivals beyond
+    /// that are silently lost.  A sender that bursts faster than
+    /// `1/service` *induces* loss here — which is exactly what
+    /// delivery-rate pacing exists to avoid.
+    pub fn with_bottleneck(mut self, service: Duration, queue_cap: u32) -> Self {
+        assert!(
+            !service.is_zero(),
+            "bottleneck needs a positive service time"
+        );
+        self.bottleneck = Some(Bottleneck {
+            service_ns: service.as_nanos() as u64,
+            queue_cap: u64::from(queue_cap),
+            busy_until_ns: 0,
+        });
         self
     }
 
@@ -258,6 +343,25 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                 (self.rng.next_u64() % u64::from(d)) < u64::from(n)
             }
             LossPlan::Script(drops) => drops.contains(&idx),
+            LossPlan::GilbertElliott {
+                p_enter_ppm,
+                p_exit_ppm,
+                good_loss_ppm,
+                bad_loss_ppm,
+                ..
+            } => {
+                let (enter, exit, good, bad) =
+                    (*p_enter_ppm, *p_exit_ppm, *good_loss_ppm, *bad_loss_ppm);
+                const PPM: u64 = 1_000_000;
+                let flip = self.rng.next_u64() % PPM;
+                self.ge_bad = if self.ge_bad {
+                    flip >= u64::from(exit)
+                } else {
+                    flip < u64::from(enter)
+                };
+                let loss = if self.ge_bad { bad } else { good };
+                (self.rng.next_u64() % PPM) < u64::from(loss)
+            }
         }
     }
 
@@ -271,16 +375,32 @@ impl<S: Engine, R: ReceiverEngine> Harness<S, R> {
                     self.wire_count += 1;
                     if drop {
                         self.dropped += 1;
-                    } else {
-                        let at = self.now_ns + self.latency.as_nanos() as u64;
-                        self.push(
-                            at,
-                            EventKind::Deliver {
-                                to: side.other(),
-                                packet,
-                            },
-                        );
+                        continue;
                     }
+                    let mut at = self.now_ns + self.latency.as_nanos() as u64;
+                    if side == Side::Sender {
+                        if let Some(b) = &mut self.bottleneck {
+                            // Transmissions happen in virtual-time order,
+                            // so the FIFO queue reduces to one deadline:
+                            // the wait at arrival is `start - at`, and a
+                            // wait of `queue_cap` service times means the
+                            // queue is full.
+                            let start = at.max(b.busy_until_ns);
+                            if start - at > b.service_ns.saturating_mul(b.queue_cap) {
+                                self.overflow += 1;
+                                continue;
+                            }
+                            b.busy_until_ns = start + b.service_ns;
+                            at = b.busy_until_ns;
+                        }
+                    }
+                    self.push(
+                        at,
+                        EventKind::Deliver {
+                            to: side.other(),
+                            packet,
+                        },
+                    );
                 }
                 Action::SetTimer { token, after } => {
                     let generation = self.timer_gen.entry((side, token)).or_insert(0);
@@ -574,6 +694,68 @@ mod tests {
         h.run().unwrap();
         let expected = cfg.timeout.initial() + Duration::from_micros(20);
         assert_eq!(h.sender_elapsed(), Some(expected));
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty_and_deterministic() {
+        let payload = data(64 * 1024);
+        let mut cfg = ProtocolConfig::default();
+        cfg.max_retries = 10_000;
+        let run = |seed: u64| {
+            // Good state is clean; the bad state (entered ~2 % of
+            // packets, left ~25 %) drops half of everything — loss
+            // arrives in runs, never as isolated drops.
+            let mut h = Harness::new(
+                BlastSender::new(1, payload.clone(), &cfg),
+                BlastReceiver::new(1, payload.len(), &cfg),
+                LossPlan::gilbert_elliott(seed, 20_000, 250_000, 0, 500_000),
+            );
+            h.run().unwrap();
+            assert_eq!(h.received_data(), &payload[..]);
+            (h.wire_count, h.dropped, h.sender_elapsed())
+        };
+        let (wire, dropped, _) = run(3);
+        assert!(dropped > 0, "the bad state should have bitten");
+        assert!(dropped < wire, "the good state should be mostly clean");
+        assert_eq!(run(3), run(3), "same seed, same burst trajectory");
+    }
+
+    #[test]
+    fn bottleneck_drops_unpaced_bursts_but_not_paced_ones() {
+        use crate::control::PacingConfig;
+        let payload = data(32 * 1024);
+        let service = Duration::from_micros(50);
+
+        // Unpaced blast: 32 packets hit the interface back to back, the
+        // 8-deep queue overflows, retransmission rounds mop up.
+        let mut cfg = ProtocolConfig::default();
+        cfg.max_retries = 10_000;
+        let mut h = Harness::new(
+            BlastSender::new(1, payload.clone(), &cfg),
+            BlastReceiver::new(1, payload.len(), &cfg),
+            LossPlan::perfect(),
+        )
+        .with_bottleneck(service, 8);
+        let outcome = h.run().unwrap();
+        assert_eq!(h.received_data(), &payload[..]);
+        assert!(h.overflow > 0, "an unpaced blast must overrun the queue");
+        assert_eq!(h.dropped, 0, "the loss plan itself was perfect");
+        assert!(outcome.sender.retransmission_rounds > 0);
+
+        // Paced below the bottleneck rate (4 packets per 4 × 50 µs):
+        // the queue never overflows and no retransmissions happen.
+        let cfg =
+            ProtocolConfig::default().with_pacing(PacingConfig::new(4, Duration::from_micros(200)));
+        let mut h = Harness::new(
+            BlastSender::new(1, payload.clone(), &cfg),
+            BlastReceiver::new(1, payload.len(), &cfg),
+            LossPlan::perfect(),
+        )
+        .with_bottleneck(service, 8);
+        let outcome = h.run().unwrap();
+        assert_eq!(h.received_data(), &payload[..]);
+        assert_eq!(h.overflow, 0, "pacing at the service rate fits the queue");
+        assert_eq!(outcome.sender.retransmission_rounds, 0);
     }
 
     #[test]

@@ -85,6 +85,18 @@ impl MultiBlastSender {
         self.chunk_start / self.chunk
     }
 
+    /// Current retransmission timeout (the RTT estimator carries
+    /// across chunks, so this is the session's converged RTO).
+    pub fn current_rto(&self) -> std::time::Duration {
+        self.inner.current_rto()
+    }
+
+    /// Smoothed round-trip estimate carried across chunks, once a
+    /// Karn-valid sample has landed.
+    pub fn srtt(&self) -> Option<std::time::Duration> {
+        self.inner.srtt()
+    }
+
     /// Run the inner chunk engine and post-process its actions:
     /// pass-through everything except `Complete`, which advances to the
     /// next chunk (or completes the whole transfer).

@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use crate::api::{Action, ActionSink, CompletionInfo, EngineStats, TimerToken};
 use crate::config::ProtocolConfig;
-use crate::control::RttEstimator;
+use crate::control::{Pacer, PacerSnapshot, RttEstimator};
 use crate::engine::{Engine, Finish};
 use crate::error::CoreError;
 use crate::pool::BufferPool;
@@ -39,6 +39,11 @@ pub struct SawSender {
     builder: DatagramBuilder,
     /// Retransmission-timeout source: fixed `Tr` or Jacobson/Karn.
     rto: RttEstimator,
+    /// Stop-and-wait never bursts, so the pacer's budget is moot — but
+    /// it hosts the delivery-rate estimator, so this engine's reports
+    /// carry the same measured rate/min-RTT trajectory as the others.
+    /// One packet per round trip *is* the protocol's delivery rate.
+    pacer: Pacer,
     max_retries: u32,
     /// Sequence currently awaiting acknowledgement.
     cur: u32,
@@ -62,6 +67,7 @@ impl SawSender {
             tx: TxData::new(data, config.packet_payload),
             builder: DatagramBuilder::new(transfer_id).kernel(config.kernel_flag),
             rto: RttEstimator::new(&config.timeout),
+            pacer: Pacer::new(config.pacing),
             max_retries: config.max_retries,
             cur: 0,
             attempts: 0,
@@ -138,7 +144,13 @@ impl Engine for SawSender {
         self.stats.acks_received += 1;
         if self.attempts == 0 {
             // Karn: only a never-retransmitted packet's ack is sampled.
-            self.rto.sample(self.now.saturating_sub(self.sent_at));
+            let rtt = self.now.saturating_sub(self.sent_at);
+            self.rto.sample(rtt);
+            // The same unambiguous exchange is a delivery-rate sample:
+            // one packet per round trip.  Never app-limited — lockstep
+            // is the protocol's ceiling, not the application's.
+            let bytes = self.tx.payload_of(self.cur).len() as u64;
+            self.pacer.on_rate_sample(1, bytes, rtt, false);
         }
         self.cur += 1;
         self.attempts = 0;
@@ -186,6 +198,10 @@ impl Engine for SawSender {
 
     fn transfer_id(&self) -> u32 {
         self.transfer_id
+    }
+
+    fn pacing_snapshot(&self) -> Option<PacerSnapshot> {
+        (self.pacer.enabled() || self.pacer.has_rate_samples()).then(|| self.pacer.snapshot())
     }
 }
 

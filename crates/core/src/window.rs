@@ -74,6 +74,19 @@ pub struct WindowSender {
     /// together, and each expiry must not double the shared RTO again
     /// — only the first timeout of an epoch backs off.
     backoff_barrier: Duration,
+    /// Rate-sample epoch start: per-packet acks are too fine-grained to
+    /// feed the delivery-rate estimator one at a time, so deliveries are
+    /// aggregated over roughly one smoothed RTT and folded in as a
+    /// single sample when the epoch closes.
+    epoch_started_at: Duration,
+    /// Cleanly-acked packets in the current rate epoch.
+    epoch_packets: u32,
+    /// Bytes those packets carried.
+    epoch_bytes: u64,
+    /// The sender ran out of fresh data during this epoch with the pipe
+    /// underfilled — its measured rate reflects the application, not
+    /// the path, and must not raise the windowed max.
+    epoch_app_limited: bool,
     pool: BufferPool,
     stats: EngineStats,
     finish: Finish,
@@ -104,6 +117,10 @@ impl WindowSender {
             // Sized up front: queueing a retransmission never allocates.
             retx_queue: Vec::with_capacity(total),
             backoff_barrier: Duration::ZERO,
+            epoch_started_at: Duration::ZERO,
+            epoch_packets: 0,
+            epoch_bytes: 0,
+            epoch_app_limited: false,
             pool: config.pool.clone(),
             stats: EngineStats::default(),
             finish: Finish::default(),
@@ -205,10 +222,37 @@ impl WindowSender {
             });
         }
     }
+
+    /// Fold one cleanly-acked packet into the current rate epoch and
+    /// close the epoch — one estimator sample — once it spans a
+    /// smoothed RTT (the first clean RTT before the estimator warms up).
+    fn note_delivery(&mut self, seq: u32, rtt: Duration) {
+        self.epoch_packets += 1;
+        self.epoch_bytes += self.tx.payload_of(seq).len() as u64;
+        if self.next_unsent == self.tx.total_packets()
+            && self.in_flight() < self.pacer.burst_budget()
+        {
+            self.epoch_app_limited = true;
+        }
+        let elapsed = self.now.saturating_sub(self.epoch_started_at);
+        if elapsed >= self.rto.srtt().unwrap_or(rtt) {
+            self.pacer.on_rate_sample(
+                self.epoch_packets,
+                self.epoch_bytes,
+                elapsed,
+                self.epoch_app_limited,
+            );
+            self.epoch_started_at = self.now;
+            self.epoch_packets = 0;
+            self.epoch_bytes = 0;
+            self.epoch_app_limited = false;
+        }
+    }
 }
 
 impl Engine for WindowSender {
     fn start(&mut self, sink: &mut dyn ActionSink) {
+        self.epoch_started_at = self.now;
         self.fill_window(sink);
     }
 
@@ -230,9 +274,11 @@ impl Engine for WindowSender {
         }
         self.stats.acks_received += 1;
         if self.attempts[seq as usize] == 0 {
-            // Karn: never-retransmitted packets yield clean RTT samples.
-            self.rto
-                .sample(self.now.saturating_sub(self.sent_at[seq as usize]));
+            // Karn: never-retransmitted packets yield clean RTT samples,
+            // and only those acks count toward the delivery-rate epoch.
+            let rtt = self.now.saturating_sub(self.sent_at[seq as usize]);
+            self.rto.sample(rtt);
+            self.note_delivery(seq, rtt);
         }
         self.acked[seq as usize] = true;
         self.acked_count += 1;
@@ -279,6 +325,10 @@ impl Engine for WindowSender {
         if self.now >= self.backoff_barrier {
             self.backoff_barrier = self.now + self.rto.rto();
             self.rto.backoff();
+            // One loss epoch = one congestion response: the pacer halves
+            // its burst (and, rate-based, snaps the rate cap down) once,
+            // however many sibling timers fire in the same tick.
+            self.pacer.on_loss();
         }
         if self.attempts[seq as usize] >= self.max_retries {
             let stats = self.stats;
@@ -322,6 +372,10 @@ impl Engine for WindowSender {
 
     fn transfer_id(&self) -> u32 {
         self.transfer_id
+    }
+
+    fn pacing_snapshot(&self) -> Option<crate::control::PacerSnapshot> {
+        (self.pacer.enabled() || self.pacer.has_rate_samples()).then(|| self.pacer.snapshot())
     }
 }
 

@@ -1,0 +1,159 @@
+//! Property tests for the delivery-rate estimator and the rate-based
+//! pacer: windowed-max agreement with a brute-force reference model
+//! under insertion and expiry, min-RTT monotonicity inside the window,
+//! app-limited exclusion, and pace-target bounds under arbitrary
+//! interleavings of samples, losses and clean rounds.
+
+use std::time::Duration;
+
+use blast_core::control::{DeliveryRateEstimator, Pacer, PacingConfig, RATE_WINDOW, RTT_WINDOW};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Sample {
+    packets: u32,
+    bytes: u64,
+    interval_us: u64,
+    app_limited: bool,
+}
+
+fn sample_strategy() -> impl Strategy<Value = Sample> {
+    (1u32..=512, 1u64..=1 << 20, 1u64..=1_000_000, any::<bool>()).prop_map(
+        |(packets, bytes, interval_us, app_limited)| Sample {
+            packets,
+            bytes,
+            interval_us,
+            app_limited,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Sample(Sample),
+    Loss,
+    Clean,
+}
+
+proptest! {
+    /// The estimator's windowed max equals a brute-force max over the
+    /// last `RATE_WINDOW` non-app-limited samples — at every step, so
+    /// both insertion (a new max) and expiry (the old max aging out)
+    /// agree with the reference model.
+    #[test]
+    fn windowed_max_matches_reference_model(
+        samples in proptest::collection::vec(sample_strategy(), 1..100),
+    ) {
+        let mut e = DeliveryRateEstimator::new();
+        let mut reference: Vec<f64> = Vec::new();
+        for s in &samples {
+            let interval = Duration::from_micros(s.interval_us);
+            e.on_sample(s.packets, s.bytes, interval, s.app_limited);
+            if !s.app_limited {
+                reference.push(s.bytes as f64 / interval.as_secs_f64());
+                if reference.len() > RATE_WINDOW {
+                    reference.remove(0);
+                }
+            }
+            let want = reference.iter().copied().fold(0.0f64, f64::max);
+            let got = e.max_rate_bps();
+            let tol = want.abs() * 1e-12 + 1e-9;
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "windowed max diverged from the reference: got {got}, want {want}"
+            );
+        }
+    }
+
+    /// Within one window's worth of samples the min-RTT can only
+    /// tighten: it never increases until expiry can evict its holder —
+    /// and app-limited samples still feed it (only the *rate* window
+    /// excludes them).
+    #[test]
+    fn min_rtt_never_increases_within_window(
+        rtts_us in proptest::collection::vec(1u64..=1_000_000, 1..=RTT_WINDOW),
+        app_limited in proptest::collection::vec(any::<bool>(), RTT_WINDOW),
+    ) {
+        let mut e = DeliveryRateEstimator::new();
+        let mut best = Duration::MAX;
+        for (i, &us) in rtts_us.iter().enumerate() {
+            e.on_sample(1, 1024, Duration::from_micros(us), app_limited[i]);
+            let got = e.min_rtt().expect("RTT recorded regardless of app-limited");
+            prop_assert!(
+                got <= best,
+                "min-RTT rose inside the window: {best:?} -> {got:?}"
+            );
+            best = got;
+            let want = Duration::from_micros(*rtts_us[..=i].iter().min().expect("non-empty"));
+            prop_assert_eq!(got, want, "min-RTT must be the exact window minimum");
+        }
+    }
+
+    /// An app-limited sample never raises the windowed-max rate, no
+    /// matter how fast it claims to be: it bypasses the rate window
+    /// entirely, so the max is bit-for-bit unchanged.
+    #[test]
+    fn app_limited_never_raises_rate(
+        warm in proptest::collection::vec(sample_strategy(), 0..20),
+        packets in 1u32..=1024,
+        bytes in 1u64..=1 << 30,
+        interval_us in 1u64..=1000,
+    ) {
+        let mut e = DeliveryRateEstimator::new();
+        for s in &warm {
+            e.on_sample(
+                s.packets,
+                s.bytes,
+                Duration::from_micros(s.interval_us),
+                s.app_limited,
+            );
+        }
+        let before = e.max_rate_bps();
+        e.on_sample(packets, bytes, Duration::from_micros(interval_us), true);
+        prop_assert_eq!(
+            e.max_rate_bps(),
+            before,
+            "an app-limited sample must leave the rate window untouched"
+        );
+    }
+
+    /// Whatever interleaving of delivery samples, losses and clean
+    /// rounds a rate-based pacer sees, its pace target stays inside
+    /// `[min_burst, max_burst]` — in steady state, in gain-cycle
+    /// probe/drain phases, and throughout AIMD loss recovery.
+    #[test]
+    fn rate_pace_target_respects_burst_bounds(
+        events in proptest::collection::vec(
+            prop_oneof![
+                3 => sample_strategy().prop_map(Event::Sample),
+                1 => Just(Event::Loss),
+                2 => Just(Event::Clean),
+            ],
+            1..300,
+        ),
+    ) {
+        let cfg = PacingConfig::rate_based(16, Duration::from_micros(100), 2, 64, 8);
+        let mut p = Pacer::new(cfg);
+        for ev in &events {
+            match ev {
+                Event::Sample(s) => p.on_rate_sample(
+                    s.packets,
+                    s.bytes,
+                    Duration::from_micros(s.interval_us),
+                    s.app_limited,
+                ),
+                Event::Loss => p.on_loss(),
+                Event::Clean => p.on_clean_round(),
+            }
+            let b = p.burst_budget();
+            prop_assert!(
+                b >= cfg.min_burst && b <= cfg.max_burst,
+                "pace target {b} escaped [{}, {}]",
+                cfg.min_burst,
+                cfg.max_burst
+            );
+            let snap = p.snapshot();
+            prop_assert!(snap.burst >= cfg.min_burst && snap.burst <= cfg.max_burst);
+        }
+    }
+}

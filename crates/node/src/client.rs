@@ -636,50 +636,3 @@ fn default_config() -> ProtocolConfig {
     cfg.max_retries = 1000;
     cfg
 }
-
-/// Bind an ephemeral local port connected to `node`.
-#[deprecated(note = "use `Client::connect`, which owns the channel and the configuration")]
-pub fn connect(node: SocketAddr) -> io::Result<UdpChannel> {
-    let local: SocketAddr = if node.is_ipv4() {
-        "0.0.0.0:0".parse().expect("literal addr")
-    } else {
-        "[::]:0".parse().expect("literal addr")
-    };
-    UdpChannel::connect(local, node)
-}
-
-/// Store `data` on the node as the named blob `name`.
-#[deprecated(note = "use `Client::over(channel).push(name, data)`")]
-pub fn push_blob<C: Channel>(
-    channel: C,
-    transfer_id: u32,
-    name: &str,
-    data: &[u8],
-    cfg: &ProtocolConfig,
-) -> io::Result<TransferReport> {
-    let mut client = Client::over(channel)
-        .config(cfg.clone())
-        .transfer_ids_from(transfer_id);
-    client.push(name, data)
-}
-
-/// Fetch the named blob `name` from the node.
-#[deprecated(note = "use `Client::over(channel).pull(name)`")]
-pub fn pull_blob<C: Channel>(
-    channel: C,
-    transfer_id: u32,
-    name: &str,
-    cfg: &ProtocolConfig,
-) -> io::Result<TransferReport> {
-    let mut client = Client::over(channel)
-        .config(cfg.clone())
-        .transfer_ids_from(transfer_id);
-    client.pull(name)
-}
-
-/// Ask a node for a live metrics snapshot.
-#[deprecated(note = "use `Client::over(channel).patience(timeout).stats()`")]
-pub fn node_stats<C: Channel>(channel: C, timeout: Duration) -> io::Result<String> {
-    let mut client = Client::over(channel).patience(timeout);
-    client.stats()
-}

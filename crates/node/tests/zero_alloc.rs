@@ -19,6 +19,7 @@
 use std::time::Duration;
 
 use blast_core::api::EngineStats;
+use blast_core::PacerSnapshot;
 use blast_counting_alloc::{allocations, CountingAlloc};
 use blast_node::metrics::{NodeMetrics, SessionReport};
 use blast_udp::handshake::Direction;
@@ -38,7 +39,22 @@ fn report(id: u32) -> SessionReport {
         bytes: 64 * 1024,
         elapsed: Duration::from_millis(3),
         stats: EngineStats::default(),
-        pacing: None,
+        // A rate-based pacer's full snapshot (delivery rate, min-RTT,
+        // sample counts): `Copy` all the way through, so the rate
+        // telemetry rides the same zero-allocation metrics tiers.
+        pacing: Some(PacerSnapshot {
+            initial_burst: 16,
+            burst: 32,
+            min_burst_seen: 8,
+            mean_burst: 24.0,
+            clean_rounds: 5,
+            loss_events: 1,
+            rate_bps: 12_500_000.0,
+            min_rtt_us: 180.0,
+            rate_samples: 6,
+            app_limited_samples: 1,
+            in_recovery: false,
+        }),
         ok: true,
     }
 }

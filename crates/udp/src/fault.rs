@@ -16,6 +16,41 @@ use rand::{Rng, SeedableRng};
 
 use crate::channel::Channel;
 
+/// Two-state Gilbert–Elliott burst-loss parameters (each probability
+/// in `0.0..=1.0`).
+///
+/// A hidden Markov chain alternates between a *good* and a *bad*
+/// state, each with its own iid loss probability.  Real LAN loss is
+/// bursty — a swamped receiving interface drops packets in runs — and
+/// iid loss flatters protocols that cannot ride out such runs.  The
+/// chain steps once per outgoing packet, then the packet is dropped
+/// with the current state's probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// P(good → bad) per packet.
+    pub p_enter: f64,
+    /// P(bad → good) per packet.
+    pub p_exit: f64,
+    /// Loss probability while in the good state.
+    pub good_loss: f64,
+    /// Loss probability while in the bad state.
+    pub bad_loss: f64,
+}
+
+impl GilbertElliott {
+    /// A typical LAN burst profile: mostly clean, but ~`p_enter` of
+    /// packets tip the channel into a bad state that drops half of
+    /// everything until it exits (mean burst ≈ `1/p_exit` packets).
+    pub fn lan_bursts(p_enter: f64) -> Self {
+        GilbertElliott {
+            p_enter,
+            p_exit: 0.25,
+            good_loss: 0.0,
+            bad_loss: 0.5,
+        }
+    }
+}
+
 /// Per-packet fault probabilities (each in `0.0..=1.0`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -27,6 +62,9 @@ pub struct FaultConfig {
     pub reorder: f64,
     /// Flip one random bit of the payload before sending.
     pub corrupt: f64,
+    /// Bursty loss instead of iid: when set, the Gilbert–Elliott chain
+    /// decides drops and `drop` is ignored.
+    pub burst: Option<GilbertElliott>,
 }
 
 impl FaultConfig {
@@ -37,6 +75,7 @@ impl FaultConfig {
             duplicate: 0.0,
             reorder: 0.0,
             corrupt: 0.0,
+            burst: None,
         }
     }
 
@@ -55,16 +94,34 @@ impl FaultConfig {
             duplicate: p,
             reorder: p,
             corrupt: p,
+            burst: None,
+        }
+    }
+
+    /// Bursty loss only — the Gilbert–Elliott chain decides drops.
+    pub fn burst_loss(ge: GilbertElliott) -> Self {
+        FaultConfig {
+            burst: Some(ge),
+            ..Self::none()
         }
     }
 
     fn validate(&self) {
-        for (name, v) in [
+        let mut probs = vec![
             ("drop", self.drop),
             ("duplicate", self.duplicate),
             ("reorder", self.reorder),
             ("corrupt", self.corrupt),
-        ] {
+        ];
+        if let Some(ge) = &self.burst {
+            probs.extend([
+                ("burst.p_enter", ge.p_enter),
+                ("burst.p_exit", ge.p_exit),
+                ("burst.good_loss", ge.good_loss),
+                ("burst.bad_loss", ge.bad_loss),
+            ]);
+        }
+        for (name, v) in probs {
             assert!(
                 (0.0..=1.0).contains(&v),
                 "{name} probability out of range: {v}"
@@ -79,6 +136,8 @@ pub struct FaultyChannel<C: Channel> {
     inner: C,
     config: FaultConfig,
     rng: SmallRng,
+    /// Gilbert–Elliott channel state (`true` = bad state).
+    ge_bad: bool,
     /// Packet held back for reordering.
     held: Option<Vec<u8>>,
     /// Counters for test assertions.
@@ -100,6 +159,7 @@ impl<C: Channel> FaultyChannel<C> {
             inner,
             config,
             rng: SmallRng::seed_from_u64(seed),
+            ge_bad: false,
             held: None,
             dropped: 0,
             duplicated: 0,
@@ -116,6 +176,26 @@ impl<C: Channel> FaultyChannel<C> {
     fn chance(&mut self, p: f64) -> bool {
         p > 0.0 && self.rng.gen::<f64>() < p
     }
+
+    /// One drop decision: step the Gilbert–Elliott chain if burst loss
+    /// is configured, else fall back to the iid `drop` probability.
+    fn should_drop(&mut self) -> bool {
+        let Some(ge) = self.config.burst else {
+            return self.chance(self.config.drop);
+        };
+        let flip = self.rng.gen::<f64>();
+        self.ge_bad = if self.ge_bad {
+            flip >= ge.p_exit
+        } else {
+            flip < ge.p_enter
+        };
+        let p = if self.ge_bad {
+            ge.bad_loss
+        } else {
+            ge.good_loss
+        };
+        self.chance(p)
+    }
 }
 
 impl<C: Channel> Channel for FaultyChannel<C> {
@@ -123,7 +203,7 @@ impl<C: Channel> Channel for FaultyChannel<C> {
         // Release any held packet *after* this one (reorder complete).
         let release = self.held.take();
 
-        if self.chance(self.config.drop) {
+        if self.should_drop() {
             self.dropped += 1;
             // Still release the held packet, else it could be stuck
             // behind a dropped one forever.
@@ -302,5 +382,75 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn invalid_probability_rejected() {
         let _ = FaultyChannel::new(MemChannel::default(), FaultConfig::loss(2.0), 1);
+    }
+
+    #[test]
+    fn burst_loss_extremes() {
+        // Chain that can never leave the good state drops nothing.
+        let never = GilbertElliott {
+            p_enter: 0.0,
+            p_exit: 1.0,
+            good_loss: 0.0,
+            bad_loss: 1.0,
+        };
+        let mut ch = FaultyChannel::new(MemChannel::default(), FaultConfig::burst_loss(never), 1);
+        for _ in 0..50 {
+            ch.send(b"x").unwrap();
+        }
+        assert_eq!(ch.dropped, 0);
+
+        // Chain that enters (and never leaves) a total-loss bad state
+        // drops everything.
+        let always = GilbertElliott {
+            p_enter: 1.0,
+            p_exit: 0.0,
+            good_loss: 0.0,
+            bad_loss: 1.0,
+        };
+        let mut ch = FaultyChannel::new(MemChannel::default(), FaultConfig::burst_loss(always), 1);
+        for _ in 0..50 {
+            ch.send(b"x").unwrap();
+        }
+        assert_eq!(ch.dropped, 50);
+    }
+
+    #[test]
+    fn burst_loss_comes_in_runs() {
+        // Bad state drops everything and lasts 1/p_exit = 4 packets on
+        // average: drops must cluster, not scatter like iid loss.
+        let ge = GilbertElliott {
+            p_enter: 0.05,
+            p_exit: 0.25,
+            good_loss: 0.0,
+            bad_loss: 1.0,
+        };
+        let mut ch = FaultyChannel::new(MemChannel::default(), FaultConfig::burst_loss(ge), 42);
+        let mut pattern = Vec::new();
+        for i in 0..2000u32 {
+            let before = ch.dropped;
+            ch.send(&i.to_le_bytes()).unwrap();
+            pattern.push(ch.dropped > before);
+        }
+        let dropped = pattern.iter().filter(|&&d| d).count();
+        assert!(dropped > 0, "the bad state should have bitten");
+        let runs = pattern.windows(2).filter(|w| w[1] && !w[0]).count() + usize::from(pattern[0]);
+        let mean_run = dropped as f64 / runs as f64;
+        assert!(
+            mean_run > 2.0,
+            "drops should arrive in runs (mean run length {mean_run:.2} from \
+             {dropped} drops in {runs} runs)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst.p_exit probability out of range")]
+    fn invalid_burst_probability_rejected() {
+        let ge = GilbertElliott {
+            p_enter: 0.1,
+            p_exit: 7.0,
+            good_loss: 0.0,
+            bad_loss: 1.0,
+        };
+        let _ = FaultyChannel::new(MemChannel::default(), FaultConfig::burst_loss(ge), 1);
     }
 }

@@ -3,7 +3,8 @@
 //! Implements the subset of the proptest API this workspace uses: the
 //! [`proptest!`] macro with `name in strategy` bindings and an optional
 //! `#![proptest_config(..)]` header, `prop_assert!`-family macros,
-//! [`arbitrary::any`], integer-range strategies,
+//! [`arbitrary::any`], integer-range strategies, tuple strategies,
+//! [`strategy::Strategy::prop_map`], [`prop_oneof!`],
 //! [`collection::vec`]/[`collection::btree_set`], [`option::of`] and
 //! [`sample::Index`].
 //!
@@ -29,7 +30,7 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Mirror of `proptest::prelude::prop`: the crate's strategy
     /// modules under a short alias.
@@ -90,6 +91,23 @@ macro_rules! __proptest_fns {
                 });
             }
         )*
+    };
+}
+
+/// Picks one of several strategies per generated value, mirroring
+/// `proptest::prop_oneof!`.  Arms are either bare strategies (equal
+/// weight) or `weight => strategy` pairs.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm($weight, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm(1, $strategy)),+
+        ])
     };
 }
 
